@@ -1,0 +1,81 @@
+//! **Figure 1** — "Example Internet Topology".
+//!
+//! The paper's figure shows a backbone/regional/campus hierarchy augmented
+//! with lateral and bypass links. This target shows the generator
+//! realizing that topology class across scales: composition by level and
+//! role, link-kind mix, degree and path statistics, and the property the
+//! paper leans on — hierarchies with lateral/bypass augmentation stay
+//! valley-free-connected.
+
+use adroute_bench::{f2, pct, Table};
+use adroute_topology::{
+    algo, generate::HierarchyConfig, AdLevel, PartialOrder,
+};
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 1: generated internets (hierarchy + lateral + bypass)",
+        &[
+            "ADs", "links", "hier", "lateral", "bypass", "stubs", "multi-homed", "transit",
+            "hybrid", "mean deg", "diam", "vf-reach",
+        ],
+    );
+    for (scale, seed) in [(30usize, 1u64), (100, 2), (250, 3), (500, 4), (1000, 5)] {
+        let cfg = HierarchyConfig {
+            lateral_prob: 0.25,
+            bypass_prob: 0.1,
+            multihome_prob: 0.2,
+            ..HierarchyConfig::with_approx_size(scale, seed)
+        };
+        let topo = cfg.generate();
+        let (h, l, b) = topo.link_kind_counts();
+        let (s, m, tr, hy) = topo.role_counts();
+        let n = topo.num_ads();
+        let mean_deg = 2.0 * topo.num_links() as f64 / n as f64;
+        // Diameter approximation: max BFS eccentricity from a few seeds.
+        let mut diam = 0;
+        for start in [0u32, (n / 2) as u32, (n - 1) as u32] {
+            let (hops, _) = algo::bfs_tree(&topo, adroute_topology::AdId(start));
+            diam = diam.max(hops.iter().copied().filter(|&x| x != u32::MAX).max().unwrap_or(0));
+        }
+        // Valley-free reachability over sampled campus pairs.
+        let po = PartialOrder::from_levels(&topo);
+        let campuses: Vec<_> = topo
+            .ads()
+            .filter(|a| a.level == AdLevel::Campus)
+            .map(|a| a.id)
+            .collect();
+        let mut ok = 0;
+        let mut total = 0;
+        for (i, &a) in campuses.iter().enumerate().take(12) {
+            for &bb in campuses.iter().skip(i + 1).take(12) {
+                total += 1;
+                if po.valley_free_reachable(&topo, a, bb) {
+                    ok += 1;
+                }
+            }
+        }
+        let vf = if total == 0 { 1.0 } else { ok as f64 / total as f64 };
+        t.row(&[
+            &n,
+            &topo.num_links(),
+            &h,
+            &l,
+            &b,
+            &s,
+            &m,
+            &tr,
+            &hy,
+            &f2(mean_deg),
+            &diam,
+            &pct(vf),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nReading: 'vf-reach' = fraction of sampled campus pairs connected by a \
+         valley-free path under the level ordering — the connectivity ECMA can use. \
+         The paper's Figure 1 shape (hierarchy dominant, persistent lateral and \
+         bypass links at every scale) is preserved."
+    );
+}

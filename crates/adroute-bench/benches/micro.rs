@@ -1,0 +1,107 @@
+//! **M1** — Criterion micro-benchmarks of the hot paths: the
+//! policy-constrained route search (Route Server synthesis), the ordering
+//! solver, link-state view reconstruction, ORWG setup/forwarding, and the
+//! ECMA valley-free search.
+
+// criterion_group! expands to undocumented items.
+#![allow(missing_docs)]
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use adroute_core::{OrwgNetwork, Strategy};
+use adroute_policy::legality::legal_route;
+use adroute_policy::ordering::{random_constraints, solve_ordering};
+use adroute_policy::workload::PolicyWorkload;
+use adroute_protocols::forwarding::sample_flows;
+use adroute_protocols::linkstate::LsDb;
+use adroute_protocols::ls_hbh::LsHbh;
+use adroute_sim::Engine;
+use adroute_topology::{AdId, HierarchyConfig, PartialOrder};
+
+fn bench_oracle(c: &mut Criterion) {
+    let topo = HierarchyConfig::with_approx_size(200, 41).generate();
+    let db = PolicyWorkload::default_mix(41).generate(&topo);
+    let flows = sample_flows(&topo, 64, 41);
+    let mut i = 0;
+    c.bench_function("oracle_legal_route_200ads", |b| {
+        b.iter(|| {
+            let f = &flows[i % flows.len()];
+            i += 1;
+            black_box(legal_route(&topo, &db, f))
+        })
+    });
+}
+
+fn bench_ordering_solver(c: &mut Criterion) {
+    let topo = HierarchyConfig::with_approx_size(100, 43).generate();
+    let cs = random_constraints(&topo, 200, 0.5, 43);
+    c.bench_function("ordering_solver_200_constraints", |b| {
+        b.iter(|| black_box(solve_ordering(topo.num_ads(), &cs)))
+    });
+}
+
+fn bench_lsdb_view(c: &mut Criterion) {
+    let topo = HierarchyConfig::with_approx_size(200, 47).generate();
+    let db = PolicyWorkload::default_mix(47).generate(&topo);
+    let mut e = Engine::new(topo.clone(), LsHbh::new(&topo, db));
+    e.run_to_quiescence();
+    let lsdb: &LsDb = &e.router(AdId(0)).flooder.db;
+    c.bench_function("lsdb_view_reconstruction_200ads", |b| {
+        b.iter(|| black_box(lsdb.view()))
+    });
+}
+
+fn bench_orwg_data_plane(c: &mut Criterion) {
+    let topo = HierarchyConfig::with_approx_size(200, 53).generate();
+    let db = PolicyWorkload::default_mix(53).generate(&topo);
+    let mut net =
+        OrwgNetwork::converged_with(&topo, &db, Strategy::Cached { capacity: 4096 }, 65536);
+    let flows = sample_flows(&topo, 64, 53);
+    let mut i = 0;
+    c.bench_function("orwg_open_cached", |b| {
+        b.iter(|| {
+            let f = &flows[i % flows.len()];
+            i += 1;
+            black_box(net.open(f).ok())
+        })
+    });
+    let flow = flows
+        .iter()
+        .find(|f| net.open(f).is_ok())
+        .copied()
+        .expect("some routable flow");
+    let handle = net.open(&flow).unwrap().handle;
+    c.bench_function("orwg_send_handle", |b| b.iter(|| black_box(net.send(handle).unwrap())));
+}
+
+fn bench_valley_free(c: &mut Criterion) {
+    let topo = HierarchyConfig::with_approx_size(400, 59).generate();
+    let po = PartialOrder::from_levels(&topo);
+    let pairs = sample_flows(&topo, 64, 59);
+    let mut i = 0;
+    c.bench_function("ecma_valley_free_search_400ads", |b| {
+        b.iter(|| {
+            let f = &pairs[i % pairs.len()];
+            i += 1;
+            black_box(po.valley_free_path(&topo, f.src, f.dst))
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let topo = HierarchyConfig::with_approx_size(400, 61).generate();
+    c.bench_function("policy_workload_generation_400ads", |b| {
+        b.iter(|| black_box(PolicyWorkload::default_mix(61).generate(&topo)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_oracle,
+    bench_ordering_solver,
+    bench_lsdb_view,
+    bench_orwg_data_plane,
+    bench_valley_free,
+    bench_workload_generation
+);
+criterion_main!(benches);

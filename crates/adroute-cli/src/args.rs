@@ -1,0 +1,131 @@
+//! A tiny, dependency-free flag parser: `--key value` pairs plus a
+//! leading subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand plus `--key value` flags.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// A command-line error with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Shorthand error constructor.
+pub fn bail<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, CliError> {
+        let mut it = argv.into_iter();
+        let Some(command) = it.next() else {
+            return bail("missing subcommand; try `adroute help`");
+        };
+        if command.starts_with("--") {
+            return bail("the subcommand must come before flags");
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return bail(format!("unexpected positional argument '{tok}'"));
+            };
+            let Some(value) = it.next() else {
+                return bail(format!("flag --{key} needs a value"));
+            };
+            if flags.insert(key.to_string(), value).is_some() {
+                return bail(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// A required string flag.
+    pub fn req(&self, key: &str) -> Result<&str, CliError> {
+        match self.flags.get(key) {
+            Some(v) => Ok(v),
+            None => bail(format!("missing required flag --{key}")),
+        }
+    }
+
+    /// An optional string flag.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required parsed flag.
+    pub fn req_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
+        self.req(key)?
+            .parse()
+            .map_err(|_| CliError(format!("flag --{key}: cannot parse '{}'", self.req(key).unwrap())))
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn opt_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError(format!("flag --{key}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// Flags that were set but never consumed by the command — caller can
+    /// check against a known list for typo detection.
+    pub fn known(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return bail(format!(
+                    "unknown flag --{k} for '{}'; allowed: {}",
+                    self.command,
+                    allowed.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(argv("gen-topo --ads 100 --seed 7")).unwrap();
+        assert_eq!(a.command, "gen-topo");
+        assert_eq!(a.req("ads").unwrap(), "100");
+        assert_eq!(a.req_parse::<u64>("seed").unwrap(), 7);
+        assert_eq!(a.opt("missing"), None);
+        assert_eq!(a.opt_parse("missing", 5u32).unwrap(), 5);
+        a.known(&["ads", "seed"]).unwrap();
+        assert!(a.known(&["ads"]).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Args::parse(argv("")).is_err());
+        assert!(Args::parse(argv("--ads 5")).is_err());
+        assert!(Args::parse(argv("cmd stray")).is_err());
+        assert!(Args::parse(argv("cmd --k")).is_err());
+        assert!(Args::parse(argv("cmd --k 1 --k 2")).is_err());
+        let a = Args::parse(argv("cmd --k notanum")).unwrap();
+        assert!(a.req_parse::<u32>("k").is_err());
+        assert!(a.req("absent").is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! The CLI subcommands. Every command is a pure function from parsed
+//! arguments (plus file contents) to an output string, so the whole tool
+//! is unit-testable without spawning processes.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use adroute_core::{OrwgNetwork, PolicyImpact};
+use adroute_policy::text::{format_policies, parse_policies, parse_policy};
+use adroute_policy::workload::PolicyWorkload;
+use adroute_policy::{legality, FlowSpec, PolicyDb, QosClass, TimeOfDay, UserClass};
+use adroute_topology::{analysis, io as topo_io, AdId, HierarchyConfig, Topology};
+
+use crate::args::{bail, Args, CliError};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+adroute — inter-AD policy routing tools (SIGCOMM 1990 design space)
+
+USAGE: adroute <command> [--flag value]...
+
+COMMANDS:
+  gen-topo      --ads N [--seed S --lateral P --bypass P --multihome P --out FILE]
+                generate a Figure-1-style internet (text format to stdout/FILE)
+  gen-policies  --topo FILE [--granularity G --seed S --out FILE]
+                generate a policy workload for a topology
+  route         --topo FILE --src A --dst B [--policies FILE --qos Q --uci U --time HH:MM]
+                find the least-cost policy-legal route (oracle + ORWG setup)
+  audit         --topo FILE [--tree true]
+                structural resilience report (articulation ADs, degrees,
+                optional ASCII hierarchy)
+  impact        --topo FILE --policies FILE --candidate FILE [--flows N --seed S]
+                predict the effect of a candidate policy before deploying it
+  help          this text
+";
+
+fn load_topo(path: &str) -> Result<Topology, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read topology '{path}': {e}")))?;
+    topo_io::parse(&text).map_err(|e| CliError(format!("topology '{path}': {e}")))
+}
+
+fn load_policies(path: Option<&str>, topo: &Topology) -> Result<PolicyDb, CliError> {
+    match path {
+        None => Ok(PolicyDb::permissive(topo)),
+        Some(p) => {
+            let text = fs::read_to_string(p)
+                .map_err(|e| CliError(format!("cannot read policies '{p}': {e}")))?;
+            parse_policies(&text, topo.num_ads())
+                .map_err(|e| CliError(format!("policies '{p}': {e}")))
+        }
+    }
+}
+
+fn emit(out: &str, target: Option<&str>) -> Result<String, CliError> {
+    match target {
+        None => Ok(out.to_string()),
+        Some(path) => {
+            fs::write(path, out).map_err(|e| CliError(format!("cannot write '{path}': {e}")))?;
+            Ok(format!("wrote {} bytes to {path}\n", out.len()))
+        }
+    }
+}
+
+/// `gen-topo`: generate and dump an internet.
+pub fn gen_topo(args: &Args) -> Result<String, CliError> {
+    args.known(&["ads", "seed", "lateral", "bypass", "multihome", "out"])?;
+    let ads: usize = args.req_parse("ads")?;
+    let cfg = HierarchyConfig {
+        lateral_prob: args.opt_parse("lateral", 0.25)?,
+        bypass_prob: args.opt_parse("bypass", 0.1)?,
+        multihome_prob: args.opt_parse("multihome", 0.2)?,
+        ..HierarchyConfig::with_approx_size(ads, args.opt_parse("seed", 1990)?)
+    };
+    let topo = cfg.generate();
+    emit(&topo_io::dump(&topo), args.opt("out"))
+}
+
+/// `gen-policies`: generate a policy workload for an existing topology.
+pub fn gen_policies(args: &Args) -> Result<String, CliError> {
+    args.known(&["topo", "granularity", "seed", "out"])?;
+    let topo = load_topo(args.req("topo")?)?;
+    let seed = args.opt_parse("seed", 1990)?;
+    let g: u8 = args.opt_parse("granularity", 0)?;
+    let db = if g == 0 {
+        PolicyWorkload::default_mix(seed).generate(&topo)
+    } else {
+        PolicyWorkload::granularity(g, seed).generate(&topo)
+    };
+    emit(&format_policies(&db), args.opt("out"))
+}
+
+fn parse_hm(s: &str) -> Result<TimeOfDay, CliError> {
+    let Some((h, m)) = s.split_once(':') else {
+        return bail(format!("expected HH:MM, found '{s}'"));
+    };
+    match (h.parse::<u16>(), m.parse::<u16>()) {
+        (Ok(h), Ok(m)) if h < 24 && m < 60 => Ok(TimeOfDay::hm(h, m)),
+        _ => bail(format!("bad time '{s}'")),
+    }
+}
+
+/// `route`: oracle route plus ORWG setup preview for one flow.
+pub fn route(args: &Args) -> Result<String, CliError> {
+    args.known(&["topo", "policies", "src", "dst", "qos", "uci", "time"])?;
+    let topo = load_topo(args.req("topo")?)?;
+    let db = load_policies(args.opt("policies"), &topo)?;
+    let src = AdId(args.req_parse("src")?);
+    let dst = AdId(args.req_parse("dst")?);
+    if src.index() >= topo.num_ads() || dst.index() >= topo.num_ads() {
+        return bail("src/dst outside the topology");
+    }
+    let mut flow = FlowSpec::best_effort(src, dst)
+        .with_qos(QosClass(args.opt_parse("qos", 0u8)?))
+        .with_uci(UserClass(args.opt_parse("uci", 0u8)?));
+    if let Some(t) = args.opt("time") {
+        flow = flow.at(parse_hm(t)?);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "flow: {flow}");
+    match legality::legal_route(&topo, &db, &flow) {
+        None => {
+            let _ = writeln!(out, "no policy-legal route exists");
+        }
+        Some(r) => {
+            let path: Vec<String> = r.path.iter().map(|a| a.to_string()).collect();
+            let _ = writeln!(out, "route: {}  (cost {}, {} hops)", path.join(" -> "), r.cost, r.hops());
+            let mut net = OrwgNetwork::converged(&topo, &db);
+            match net.open(&flow) {
+                Ok(setup) => {
+                    let _ = writeln!(
+                        out,
+                        "setup: {} gateway validations, {} header bytes, {} us; data header {} bytes/pkt",
+                        setup.validations,
+                        setup.header_bytes,
+                        setup.latency_us,
+                        adroute_core::DataPacket::HEADER_SIZE
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "setup failed: {e:?}");
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `audit`: structural resilience report.
+pub fn audit(args: &Args) -> Result<String, CliError> {
+    args.known(&["topo", "tree"])?;
+    let topo = load_topo(args.req("topo")?)?;
+    let stats = analysis::degree_stats(&topo);
+    let arts = analysis::articulation_ads(&topo);
+    let (h, l, b) = topo.link_kind_counts();
+    let (s, m, t, hy) = topo.role_counts();
+    let mut out = String::new();
+    let _ = writeln!(out, "ADs: {}  links: {} ({h} hierarchical, {l} lateral, {b} bypass)", topo.num_ads(), topo.num_links());
+    let _ = writeln!(out, "roles: {s} stub, {m} multi-homed, {t} transit, {hy} hybrid");
+    let _ = writeln!(out, "degree: min {} / mean {:.2} / max {}", stats.min, stats.mean, stats.max);
+    let _ = writeln!(out, "connected: {}", adroute_topology::algo::is_connected(&topo));
+    let _ = writeln!(out, "articulation ADs ({}):", arts.len());
+    for a in &arts {
+        let ad = topo.ad(*a);
+        let _ = writeln!(out, "  {} ({} {})", a, ad.level, ad.role);
+    }
+    if args.opt_parse("tree", false)? {
+        let _ = writeln!(out, "\nhierarchy:");
+        out.push_str(&adroute_topology::render_tree(&topo));
+    }
+    Ok(out)
+}
+
+/// `impact`: assess a candidate policy against a sampled traffic matrix.
+pub fn impact(args: &Args) -> Result<String, CliError> {
+    args.known(&["topo", "policies", "candidate", "flows", "seed"])?;
+    let topo = load_topo(args.req("topo")?)?;
+    let db = load_policies(args.opt("policies"), &topo)?;
+    let cand_path = args.req("candidate")?;
+    let cand_text = fs::read_to_string(cand_path)
+        .map_err(|e| CliError(format!("cannot read candidate '{cand_path}': {e}")))?;
+    let candidate = parse_policy(&cand_text)
+        .map_err(|e| CliError(format!("candidate '{cand_path}': {e}")))?;
+    if candidate.ad.index() >= topo.num_ads() {
+        return bail("candidate policy names an AD outside the topology");
+    }
+    let flows = adroute_protocols::forwarding::sample_flows(
+        &topo,
+        args.opt_parse("flows", 200usize)?,
+        args.opt_parse("seed", 1990u64)?,
+    );
+    let i = PolicyImpact::assess(&topo, &db, candidate, &flows);
+    let mut out = String::new();
+    let _ = writeln!(out, "candidate policy for {} over {} sampled flows:", args.req("candidate")?, i.flows);
+    let _ = writeln!(out, "  safe (no flow stranded): {}", i.is_safe());
+    let _ = writeln!(out, "  routable: {} -> {}", i.routable_before, i.routable_after);
+    let _ = writeln!(out, "  rerouted: {}", i.rerouted);
+    let _ = writeln!(out, "  transit share: {} -> {} (delta {:+})", i.transit_before, i.transit_after, i.transit_delta());
+    let _ = writeln!(out, "  revenue proxy: {} -> {}", i.revenue.0, i.revenue.1);
+    let _ = writeln!(out, "  mean route cost: {:.2} -> {:.2}", i.mean_cost.0, i.mean_cost.1);
+    for f in i.broken.iter().take(10) {
+        let _ = writeln!(out, "  would strand: {f}");
+    }
+    if i.broken.len() > 10 {
+        let _ = writeln!(out, "  … and {} more", i.broken.len() - 10);
+    }
+    Ok(out)
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "gen-topo" => gen_topo(args),
+        "gen-policies" => gen_policies(args),
+        "route" => route(args),
+        "audit" => audit(args),
+        "impact" => impact(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => bail(format!("unknown command '{other}'; try `adroute help`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn run(line: &str) -> Result<String, CliError> {
+        dispatch(&Args::parse(line.split_whitespace().map(str::to_string)).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("adroute-cli-tests");
+        let _ = fs::create_dir_all(&dir);
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn end_to_end_pipeline() {
+        let topo_file = tmp("pipeline.topo");
+        let pol_file = tmp("pipeline.pol");
+        // 1. Generate a topology.
+        let msg = run(&format!("gen-topo --ads 60 --seed 3 --out {topo_file}")).unwrap();
+        assert!(msg.contains("wrote"));
+        // 2. Generate policies for it.
+        let msg = run(&format!("gen-policies --topo {topo_file} --seed 3 --out {pol_file}")).unwrap();
+        assert!(msg.contains("wrote"));
+        // 3. Route a flow.
+        let out = run(&format!("route --topo {topo_file} --policies {pol_file} --src 3 --dst 40")).unwrap();
+        assert!(out.contains("flow: AD3->AD40"), "{out}");
+        assert!(out.contains("route:") || out.contains("no policy-legal route"), "{out}");
+        // 4. Audit.
+        let out = run(&format!("audit --topo {topo_file}")).unwrap();
+        assert!(out.contains("articulation ADs"), "{out}");
+        assert!(out.contains("connected: true"), "{out}");
+        // 5. Impact of shutting down AD2.
+        let cand_file = tmp("pipeline.cand");
+        fs::write(&cand_file, "policy AD2 { default deny; }").unwrap();
+        let out = run(&format!(
+            "impact --topo {topo_file} --policies {pol_file} --candidate {cand_file} --flows 50"
+        ))
+        .unwrap();
+        assert!(out.contains("safe (no flow stranded):"), "{out}");
+        assert!(out.contains("transit share:"), "{out}");
+    }
+
+    #[test]
+    fn route_with_class_flags() {
+        let topo_file = tmp("classes.topo");
+        run(&format!("gen-topo --ads 50 --seed 5 --out {topo_file}")).unwrap();
+        let out = run(&format!(
+            "route --topo {topo_file} --src 0 --dst 10 --qos 1 --uci 2 --time 23:30"
+        ))
+        .unwrap();
+        assert!(out.contains("qos1 uci2 @23:30"), "{out}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run("frobnicate").unwrap_err().0.contains("unknown command"));
+        assert!(run("gen-topo").unwrap_err().0.contains("--ads"));
+        assert!(run("gen-topo --ads 50 --bogus 1").unwrap_err().0.contains("unknown flag"));
+        assert!(run("route --topo /nonexistent --src 0 --dst 1")
+            .unwrap_err()
+            .0
+            .contains("cannot read"));
+        let topo_file = tmp("err.topo");
+        run(&format!("gen-topo --ads 50 --seed 5 --out {topo_file}")).unwrap();
+        assert!(run(&format!("route --topo {topo_file} --src 0 --dst 9999"))
+            .unwrap_err()
+            .0
+            .contains("outside the topology"));
+        assert!(run(&format!("route --topo {topo_file} --src 0 --dst 1 --time 25:00"))
+            .unwrap_err()
+            .0
+            .contains("bad time"));
+        assert!(run("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn gen_topo_to_stdout_round_trips() {
+        let text = run("gen-topo --ads 50 --seed 9").unwrap();
+        let topo = adroute_topology::io::parse(&text).unwrap();
+        assert!(topo.num_ads() >= 40);
+    }
+}

@@ -1,0 +1,34 @@
+//! `adroute` — command-line tools for the inter-AD policy-routing
+//! workspace: generate Figure-1-style internets and policy workloads,
+//! query policy routes against the oracle and the ORWG data plane, audit
+//! structural resilience, and predict the impact of a candidate policy
+//! before deploying it (the paper's Section-6 management tool).
+//!
+//! Run `adroute help` for usage.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end tests of the installed `adroute` binary: real process, real
+//! argv, real files.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_adroute"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("adroute-bin-tests");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("gen-topo"));
+}
+
+#[test]
+fn missing_args_fail_with_nonzero_and_message() {
+    let (ok, _, stderr) = run(&["gen-topo"]);
+    assert!(!ok);
+    assert!(stderr.contains("--ads"), "{stderr}");
+    let (ok, _, stderr) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("subcommand"), "{stderr}");
+    let (ok, _, stderr) = run(&["nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let topo = tmp("bin.topo");
+    let pol = tmp("bin.pol");
+    let cand = tmp("bin.cand");
+
+    let (ok, stdout, stderr) =
+        run(&["gen-topo", "--ads", "60", "--seed", "11", "--out", &topo]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote"));
+
+    let (ok, _, stderr) = run(&["gen-policies", "--topo", &topo, "--out", &pol]);
+    assert!(ok, "{stderr}");
+
+    let (ok, stdout, stderr) = run(&[
+        "route", "--topo", &topo, "--policies", &pol, "--src", "2", "--dst", "30",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("flow: AD2->AD30"), "{stdout}");
+
+    let (ok, stdout, _) = run(&["audit", "--topo", &topo]);
+    assert!(ok);
+    assert!(stdout.contains("connected: true"), "{stdout}");
+
+    std::fs::write(&cand, "policy AD3 { default deny; }\n").unwrap();
+    let (ok, stdout, stderr) = run(&[
+        "impact", "--topo", &topo, "--policies", &pol, "--candidate", &cand, "--flows", "40",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("transit share:"), "{stdout}");
+}
+
+#[test]
+fn gen_topo_stdout_is_parseable_and_deterministic() {
+    let (ok, a, _) = run(&["gen-topo", "--ads", "50", "--seed", "4"]);
+    let (_, b, _) = run(&["gen-topo", "--ads", "50", "--seed", "4"]);
+    assert!(ok);
+    assert_eq!(a, b, "same seed must emit identical topologies");
+    assert!(adroute_topology::io::parse(&a).is_ok());
+}

@@ -1,0 +1,313 @@
+//! Policy Gateways: per-AD setup validation and handle-based forwarding
+//! (paper Section 5.4.1).
+//!
+//! "The AD's border gateways, referred to as policy gateways (PGs),
+//! execute the validation for the AD. In effect, one can view the PGs as
+//! containing routing tables that are filled on demand." A setup packet is
+//! validated against the AD's *local* Policy Terms; on success the setup
+//! state is cached under the packet's handle. Data packets carry only the
+//! handle, and the PG performs cheap per-packet validation ("is it coming
+//! from the AD specified in the cached PT setup information").
+//!
+//! The handle cache is bounded ([`PolicyGateway::new`] takes a capacity)
+//! with LRU eviction — "policy gateway state management and limitations"
+//! is one of the paper's open scaling issues, and experiment E6 sweeps
+//! this capacity.
+
+use adroute_policy::{FlowSpec, PtId, TransitPolicy};
+use adroute_topology::AdId;
+
+use crate::dataplane::{DataPacket, HandleId, SetupPacket};
+use crate::lru::LruCache;
+
+/// Why a setup was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SetupError {
+    /// The validating AD does not appear (exactly once, as transit) on
+    /// the route.
+    NotOnRoute,
+    /// The AD's policy denies this traversal.
+    PolicyDenied {
+        /// The AD that refused.
+        ad: AdId,
+    },
+    /// The setup cited a Policy Term that is not the one the AD's policy
+    /// actually selects for this traversal (stale or forged claim).
+    PtMismatch {
+        /// The AD that detected the mismatch.
+        ad: AdId,
+    },
+}
+
+/// Why a data packet was dropped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataError {
+    /// No cached state for the handle (never set up, expired, or
+    /// evicted): the source must re-run setup.
+    UnknownHandle {
+        /// Where the miss occurred.
+        at: AdId,
+    },
+    /// The packet's source AD does not match the cached setup.
+    SourceMismatch {
+        /// Where the check failed.
+        at: AdId,
+    },
+}
+
+/// Cached per-handle forwarding state at one gateway.
+#[derive(Clone, Debug)]
+pub struct HandleEntry {
+    /// The traffic class set up.
+    pub flow: FlowSpec,
+    /// AD the packets must arrive from.
+    pub prev: AdId,
+    /// AD the packets are forwarded to.
+    pub next: AdId,
+    /// The Policy Term that authorized the setup (None = default action).
+    pub pt: Option<PtId>,
+}
+
+/// Counters for gateway work (experiment E5/E6 columns).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct GatewayStats {
+    /// Setup validations that succeeded.
+    pub setups_ok: u64,
+    /// Setup validations that failed.
+    pub setups_rejected: u64,
+    /// Data packets forwarded from cache.
+    pub data_forwarded: u64,
+    /// Data packets dropped.
+    pub data_dropped: u64,
+}
+
+/// One AD's policy gateway.
+#[derive(Clone, Debug)]
+pub struct PolicyGateway {
+    /// The AD this gateway guards.
+    pub ad: AdId,
+    handles: LruCache<HandleId, HandleEntry>,
+    /// Work counters.
+    pub stats: GatewayStats,
+}
+
+impl PolicyGateway {
+    /// A gateway with a handle cache of the given capacity.
+    pub fn new(ad: AdId, capacity: usize) -> PolicyGateway {
+        PolicyGateway { ad, handles: LruCache::new(capacity), stats: GatewayStats::default() }
+    }
+
+    /// Number of cached handles.
+    pub fn cached_handles(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Handles evicted so far (state-pressure measure).
+    pub fn evictions(&self) -> u64 {
+        self.handles.evictions
+    }
+
+    /// Validates a setup packet against this AD's own policy and, on
+    /// success, installs the handle.
+    ///
+    /// The gateway checks three things, per the paper: that it is a
+    /// transit AD on the route, that its local policy permits the
+    /// traversal for the packet's traffic class, and that the Policy Term
+    /// cited by the source matches the term its policy actually selects.
+    pub fn validate_setup(
+        &mut self,
+        policy: &TransitPolicy,
+        setup: &SetupPacket,
+    ) -> Result<(), SetupError> {
+        debug_assert_eq!(policy.ad, self.ad);
+        let Some(pos) = setup.route.iter().position(|&a| a == self.ad) else {
+            self.stats.setups_rejected += 1;
+            return Err(SetupError::NotOnRoute);
+        };
+        if pos == 0 || pos == setup.route.len() - 1 {
+            self.stats.setups_rejected += 1;
+            return Err(SetupError::NotOnRoute);
+        }
+        let prev = setup.route[pos - 1];
+        let next = setup.route[pos + 1];
+        let (permit, deciding_pt) =
+            policy.evaluate_with_term(&setup.flow, Some(prev), Some(next));
+        if permit.is_none() {
+            self.stats.setups_rejected += 1;
+            return Err(SetupError::PolicyDenied { ad: self.ad });
+        }
+        let claimed = setup.claimed_pts.get(pos - 1).copied().flatten();
+        if claimed != deciding_pt {
+            self.stats.setups_rejected += 1;
+            return Err(SetupError::PtMismatch { ad: self.ad });
+        }
+        self.handles.insert(
+            setup.handle,
+            HandleEntry { flow: setup.flow, prev, next, pt: deciding_pt },
+        );
+        self.stats.setups_ok += 1;
+        Ok(())
+    }
+
+    /// Forwards a data packet from cached state: returns the next AD.
+    ///
+    /// `arrived_from` is the AD the packet physically came from; it must
+    /// match both the cached previous AD and the packet's claimed source
+    /// lineage (the cheap per-packet validation of the paper).
+    pub fn forward_data(
+        &mut self,
+        pkt: &DataPacket,
+        arrived_from: AdId,
+    ) -> Result<AdId, DataError> {
+        let Some(entry) = self.handles.get(&pkt.handle) else {
+            self.stats.data_dropped += 1;
+            return Err(DataError::UnknownHandle { at: self.ad });
+        };
+        if entry.prev != arrived_from || entry.flow.src != pkt.src {
+            self.stats.data_dropped += 1;
+            return Err(DataError::SourceMismatch { at: self.ad });
+        }
+        let next = entry.next;
+        self.stats.data_forwarded += 1;
+        Ok(next)
+    }
+
+    /// Tears down one handle (source-initiated teardown).
+    pub fn teardown(&mut self, handle: HandleId) {
+        self.handles.remove(&handle);
+    }
+
+    /// Flushes every handle whose cached next/prev hop uses the failed
+    /// adjacency, or whose flow matches the predicate (policy change).
+    pub fn invalidate(&mut self, mut doomed: impl FnMut(&HandleEntry) -> bool) {
+        self.handles.retain(|_, e| !doomed(e));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adroute_policy::{AdSet, PolicyAction, PolicyCondition};
+
+    fn setup_pkt(route: Vec<AdId>, pts: Vec<Option<PtId>>) -> SetupPacket {
+        let flow = FlowSpec::best_effort(route[0], *route.last().unwrap());
+        SetupPacket { flow, route, claimed_pts: pts, handle: HandleId(7) }
+    }
+
+    #[test]
+    fn valid_setup_installs_handle() {
+        let mut pg = PolicyGateway::new(AdId(1), 8);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
+        pg.validate_setup(&policy, &s).unwrap();
+        assert_eq!(pg.cached_handles(), 1);
+        assert_eq!(pg.stats.setups_ok, 1);
+        let next = pg
+            .forward_data(&DataPacket { handle: HandleId(7), src: AdId(0) }, AdId(0))
+            .unwrap();
+        assert_eq!(next, AdId(2));
+        assert_eq!(pg.stats.data_forwarded, 1);
+    }
+
+    #[test]
+    fn denial_rejects_setup() {
+        let mut pg = PolicyGateway::new(AdId(1), 8);
+        let policy = TransitPolicy::deny_all(AdId(1));
+        let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
+        assert_eq!(
+            pg.validate_setup(&policy, &s),
+            Err(SetupError::PolicyDenied { ad: AdId(1) })
+        );
+        assert_eq!(pg.cached_handles(), 0);
+        assert_eq!(pg.stats.setups_rejected, 1);
+    }
+
+    #[test]
+    fn pt_claims_are_checked() {
+        let mut pg = PolicyGateway::new(AdId(1), 8);
+        let mut policy = TransitPolicy::deny_all(AdId(1));
+        let pt = policy.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))],
+            PolicyAction::Permit { cost: 0 },
+        );
+        // Claiming "default permits" when a specific term decides: reject.
+        let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
+        assert_eq!(pg.validate_setup(&policy, &s), Err(SetupError::PtMismatch { ad: AdId(1) }));
+        // Correct citation: accept.
+        let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![Some(pt)]);
+        pg.validate_setup(&policy, &s).unwrap();
+    }
+
+    #[test]
+    fn endpoints_cannot_validate() {
+        let mut pg = PolicyGateway::new(AdId(0), 8);
+        let policy = TransitPolicy::permit_all(AdId(0));
+        let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
+        assert_eq!(pg.validate_setup(&policy, &s), Err(SetupError::NotOnRoute));
+        let mut pg9 = PolicyGateway::new(AdId(9), 8);
+        let policy9 = TransitPolicy::permit_all(AdId(9));
+        assert_eq!(pg9.validate_setup(&policy9, &s), Err(SetupError::NotOnRoute));
+    }
+
+    #[test]
+    fn per_packet_source_validation() {
+        let mut pg = PolicyGateway::new(AdId(1), 8);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
+        pg.validate_setup(&policy, &s).unwrap();
+        // Wrong physical previous hop.
+        let err = pg
+            .forward_data(&DataPacket { handle: HandleId(7), src: AdId(0) }, AdId(2))
+            .unwrap_err();
+        assert_eq!(err, DataError::SourceMismatch { at: AdId(1) });
+        // Wrong claimed source.
+        let err = pg
+            .forward_data(&DataPacket { handle: HandleId(7), src: AdId(5) }, AdId(0))
+            .unwrap_err();
+        assert_eq!(err, DataError::SourceMismatch { at: AdId(1) });
+        assert_eq!(pg.stats.data_dropped, 2);
+    }
+
+    #[test]
+    fn unknown_handle_demands_resetup() {
+        let mut pg = PolicyGateway::new(AdId(1), 8);
+        let err = pg
+            .forward_data(&DataPacket { handle: HandleId(42), src: AdId(0) }, AdId(0))
+            .unwrap_err();
+        assert_eq!(err, DataError::UnknownHandle { at: AdId(1) });
+    }
+
+    #[test]
+    fn bounded_cache_evicts() {
+        let mut pg = PolicyGateway::new(AdId(1), 2);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        for h in 0..4u64 {
+            let mut s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
+            s.handle = HandleId(h);
+            pg.validate_setup(&policy, &s).unwrap();
+        }
+        assert_eq!(pg.cached_handles(), 2);
+        assert_eq!(pg.evictions(), 2);
+        // The earliest handle is gone.
+        let err = pg
+            .forward_data(&DataPacket { handle: HandleId(0), src: AdId(0) }, AdId(0))
+            .unwrap_err();
+        assert!(matches!(err, DataError::UnknownHandle { .. }));
+    }
+
+    #[test]
+    fn teardown_and_invalidation() {
+        let mut pg = PolicyGateway::new(AdId(1), 8);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        for h in 0..3u64 {
+            let mut s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
+            s.handle = HandleId(h);
+            pg.validate_setup(&policy, &s).unwrap();
+        }
+        pg.teardown(HandleId(0));
+        assert_eq!(pg.cached_handles(), 2);
+        // Invalidate everything using next == AD2 (link 1-2 failed).
+        pg.invalidate(|e| e.next == AdId(2));
+        assert_eq!(pg.cached_handles(), 0);
+    }
+}

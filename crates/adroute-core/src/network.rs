@@ -1,0 +1,594 @@
+//! [`OrwgNetwork`]: the assembled ORWG data plane — Route Servers, Policy
+//! Gateways, and the setup/handle forwarding machinery — runnable against
+//! a (converged) topology-and-policy view.
+
+use std::collections::HashMap;
+
+use adroute_policy::{FlowSpec, PolicyDb, TransitPolicy};
+use adroute_sim::Engine;
+use adroute_topology::{AdId, LinkId, Topology};
+
+use crate::dataplane::{DataPacket, HandleId, SetupPacket};
+use crate::gateway::{DataError, PolicyGateway, SetupError};
+use crate::router::OrwgProtocol;
+use crate::synthesis::{PolicyRoute, RouteServer, Strategy};
+
+/// Why opening a policy route failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpenError {
+    /// The source's Route Server found no legal route in its view.
+    NoRoute,
+    /// A link on the synthesized route is physically down (stale view).
+    LinkDown {
+        /// Upstream endpoint of the dead link.
+        a: AdId,
+        /// Downstream endpoint.
+        b: AdId,
+    },
+    /// A Policy Gateway refused the setup.
+    Rejected(SetupError),
+}
+
+/// Why sending on an established route failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendError {
+    /// The handle was never opened (or was torn down) at the source.
+    UnknownFlow,
+    /// A link on the route is physically down.
+    LinkDown {
+        /// Upstream endpoint of the dead link.
+        a: AdId,
+        /// Downstream endpoint.
+        b: AdId,
+    },
+    /// A gateway dropped the packet (evicted handle, failed validation).
+    Dropped(DataError),
+}
+
+/// Result of a successful route setup.
+#[derive(Clone, Debug)]
+pub struct SetupOutcome {
+    /// The allocated handle.
+    pub handle: HandleId,
+    /// The validated route.
+    pub route: Vec<AdId>,
+    /// Total header bytes transmitted (setup header × hops).
+    pub header_bytes: usize,
+    /// Policy-gateway validations performed.
+    pub validations: usize,
+    /// End-to-end setup latency over the route's link delays, µs.
+    pub latency_us: u64,
+}
+
+/// Result of a successful data transmission.
+#[derive(Clone, Copy, Debug)]
+pub struct DataOutcome {
+    /// Hops traversed.
+    pub hops: usize,
+    /// Total header bytes transmitted (per-hop header × hops).
+    pub header_bytes: usize,
+    /// End-to-end latency over the route's link delays, µs.
+    pub latency_us: u64,
+}
+
+/// An established policy route at the source.
+#[derive(Clone, Debug)]
+pub struct OpenFlow {
+    /// The traffic class.
+    pub flow: FlowSpec,
+    /// The validated route.
+    pub route: Vec<AdId>,
+}
+
+/// The assembled ORWG network.
+///
+/// Ground truth (`topo`, `db`) models the physical network and each AD's
+/// *actual* policy; each Route Server holds its own (possibly stale) view,
+/// exactly as flooding left it.
+pub struct OrwgNetwork {
+    topo: Topology,
+    db: PolicyDb,
+    servers: Vec<RouteServer>,
+    gateways: Vec<PolicyGateway>,
+    next_handle: u64,
+    open_flows: HashMap<HandleId, OpenFlow>,
+}
+
+impl OrwgNetwork {
+    /// Default Route-Server strategy.
+    pub const DEFAULT_STRATEGY: Strategy = Strategy::Cached { capacity: 1024 };
+    /// Default Policy-Gateway handle-cache capacity.
+    pub const DEFAULT_HANDLE_CAPACITY: usize = 4096;
+
+    /// Builds a network in which every Route Server has a perfect,
+    /// identical view — the state flooding reaches at quiescence. The
+    /// standard entry point for experiments and examples.
+    pub fn converged(topo: &Topology, db: &PolicyDb) -> OrwgNetwork {
+        OrwgNetwork::converged_with(topo, db, Self::DEFAULT_STRATEGY, Self::DEFAULT_HANDLE_CAPACITY)
+    }
+
+    /// [`OrwgNetwork::converged`] with explicit strategy and handle-cache
+    /// capacity.
+    pub fn converged_with(
+        topo: &Topology,
+        db: &PolicyDb,
+        strategy: Strategy,
+        handle_capacity: usize,
+    ) -> OrwgNetwork {
+        let servers = topo
+            .ad_ids()
+            .map(|ad| RouteServer::new(ad, topo.clone(), db.clone(), strategy.clone()))
+            .collect();
+        let gateways = topo.ad_ids().map(|ad| PolicyGateway::new(ad, handle_capacity)).collect();
+        OrwgNetwork {
+            topo: topo.clone(),
+            db: db.clone(),
+            servers,
+            gateways,
+            next_handle: 1,
+            open_flows: HashMap::new(),
+        }
+    }
+
+    /// Builds the data plane from a converged control-plane engine: each
+    /// AD's Route Server gets the view **its own flooded database**
+    /// describes (views may legitimately differ if the engine has not
+    /// quiesced).
+    pub fn from_engine(
+        engine: &Engine<OrwgProtocol>,
+        strategy: Strategy,
+        handle_capacity: usize,
+    ) -> OrwgNetwork {
+        let topo = engine.topo().clone();
+        let db = engine.protocol().policies.clone();
+        let servers = topo
+            .ad_ids()
+            .map(|ad| {
+                let (vt, vd) = engine.router(ad).flooder.db.view();
+                RouteServer::new(ad, vt, vd, strategy.clone())
+            })
+            .collect();
+        let gateways = topo.ad_ids().map(|ad| PolicyGateway::new(ad, handle_capacity)).collect();
+        OrwgNetwork { topo, db, servers, gateways, next_handle: 1, open_flows: HashMap::new() }
+    }
+
+    /// The ground-truth topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The ground-truth policy database.
+    pub fn policies(&self) -> &PolicyDb {
+        &self.db
+    }
+
+    /// The Route Server of `ad`.
+    pub fn server(&self, ad: AdId) -> &RouteServer {
+        &self.servers[ad.index()]
+    }
+
+    /// Mutable Route Server access (e.g. to set selection criteria or
+    /// trigger precomputation).
+    pub fn server_mut(&mut self, ad: AdId) -> &mut RouteServer {
+        &mut self.servers[ad.index()]
+    }
+
+    /// The Policy Gateway of `ad`.
+    pub fn gateway(&self, ad: AdId) -> &PolicyGateway {
+        &self.gateways[ad.index()]
+    }
+
+    /// Synthesizes (without setting up) the policy route for `flow`, from
+    /// the flow source's own Route Server.
+    pub fn policy_route(&mut self, flow: &FlowSpec) -> Option<Vec<AdId>> {
+        self.servers[flow.src.index()].request(flow).map(|r| r.path)
+    }
+
+    /// Synthesizes and returns the full [`PolicyRoute`] (with PT
+    /// citations).
+    pub fn synthesize(&mut self, flow: &FlowSpec) -> Option<PolicyRoute> {
+        self.servers[flow.src.index()].request(flow)
+    }
+
+    fn check_links(route: &[AdId], topo: &Topology) -> Result<u64, (AdId, AdId)> {
+        let mut latency = 0;
+        for w in route.windows(2) {
+            match topo.link_between(w[0], w[1]) {
+                Some(l) if topo.link(l).up => latency += topo.link(l).delay_us,
+                _ => return Err((w[0], w[1])),
+            }
+        }
+        Ok(latency)
+    }
+
+    /// Opens a policy route for `flow`: synthesize at the source, then
+    /// walk the setup packet through every transit AD's Policy Gateway.
+    pub fn open(&mut self, flow: &FlowSpec) -> Result<SetupOutcome, OpenError> {
+        let route = self.servers[flow.src.index()].request(flow).ok_or(OpenError::NoRoute)?;
+        let handle = HandleId(self.next_handle);
+        self.next_handle += 1;
+        let setup = SetupPacket {
+            flow: *flow,
+            route: route.path.clone(),
+            claimed_pts: route.pts.clone(),
+            handle,
+        };
+        let latency_us =
+            Self::check_links(&setup.route, &self.topo).map_err(|(a, b)| OpenError::LinkDown { a, b })?;
+        let mut validations = 0;
+        for i in 1..setup.route.len().saturating_sub(1) {
+            let ad = setup.route[i];
+            // The gateway validates against the AD's *actual* policy —
+            // its own policy is always locally accurate.
+            validations += 1;
+            self.gateways[ad.index()]
+                .validate_setup(self.db.policy(ad), &setup)
+                .map_err(OpenError::Rejected)?;
+        }
+        let hops = setup.route.len() - 1;
+        let header_bytes = setup.header_size() * hops;
+        self.open_flows.insert(handle, OpenFlow { flow: *flow, route: setup.route.clone() });
+        Ok(SetupOutcome { handle, route: setup.route, header_bytes, validations, latency_us })
+    }
+
+    /// Opens a policy route, retrying around rejections.
+    ///
+    /// When a Policy Gateway refuses a setup (its actual policy is newer
+    /// than the source's flooded view) or a link on the synthesized route
+    /// is down, the source adds the offender to its (private) avoid
+    /// criteria and re-synthesizes — up to `max_retries` times. The
+    /// source's prior selection criteria are restored afterwards.
+    pub fn open_resilient(
+        &mut self,
+        flow: &FlowSpec,
+        max_retries: usize,
+    ) -> Result<SetupOutcome, OpenError> {
+        let saved = self.servers[flow.src.index()].selection().clone();
+        let mut avoided: Vec<AdId> = match &saved.avoid {
+            adroute_policy::AdSet::Only(v) => v.clone(),
+            _ => Vec::new(),
+        };
+        let mut attempt = 0;
+        let result = loop {
+            match self.open(flow) {
+                Ok(s) => break Ok(s),
+                Err(e) if attempt >= max_retries => break Err(e),
+                Err(OpenError::Rejected(
+                    SetupError::PolicyDenied { ad } | SetupError::PtMismatch { ad },
+                )) => {
+                    avoided.push(ad);
+                }
+                Err(OpenError::LinkDown { a, b }) => {
+                    // Avoid the downstream endpoint (never the endpoints
+                    // of the flow itself).
+                    let pick = if b != flow.src && b != flow.dst { b } else { a };
+                    if pick == flow.src || pick == flow.dst {
+                        break Err(OpenError::LinkDown { a, b });
+                    }
+                    avoided.push(pick);
+                }
+                Err(e) => break Err(e),
+            }
+            attempt += 1;
+            let mut sel = saved.clone();
+            sel.avoid = adroute_policy::AdSet::only(avoided.iter().copied());
+            self.servers[flow.src.index()].set_selection(sel);
+        };
+        self.servers[flow.src.index()].set_selection(saved);
+        result
+    }
+
+    /// Sends one data packet on an established route using the handle.
+    pub fn send(&mut self, handle: HandleId) -> Result<DataOutcome, SendError> {
+        let of = self.open_flows.get(&handle).ok_or(SendError::UnknownFlow)?.clone();
+        let latency_us = Self::check_links(&of.route, &self.topo)
+            .map_err(|(a, b)| SendError::LinkDown { a, b })?;
+        let pkt = DataPacket { handle, src: of.flow.src };
+        for i in 1..of.route.len().saturating_sub(1) {
+            let ad = of.route[i];
+            let next = self.gateways[ad.index()]
+                .forward_data(&pkt, of.route[i - 1])
+                .map_err(SendError::Dropped)?;
+            debug_assert_eq!(next, of.route[i + 1]);
+        }
+        let hops = of.route.len() - 1;
+        Ok(DataOutcome { hops, header_bytes: DataPacket::HEADER_SIZE * hops, latency_us })
+    }
+
+    /// The ablation data plane: every packet carries the full source
+    /// route (no setup, no handles). Gateways fully re-validate policy for
+    /// each packet — the "overhead of carrying and processing complete
+    /// information for each packet is prohibitive" alternative.
+    pub fn send_source_routed(&mut self, flow: &FlowSpec) -> Result<DataOutcome, OpenError> {
+        let route = self.servers[flow.src.index()].request(flow).ok_or(OpenError::NoRoute)?;
+        let latency_us = Self::check_links(&route.path, &self.topo)
+            .map_err(|(a, b)| OpenError::LinkDown { a, b })?;
+        for i in 1..route.path.len().saturating_sub(1) {
+            let ad = route.path[i];
+            let permit = self.db.policy(ad).evaluate(
+                flow,
+                Some(route.path[i - 1]),
+                Some(route.path[i + 1]),
+            );
+            if permit.is_none() {
+                return Err(OpenError::Rejected(SetupError::PolicyDenied { ad }));
+            }
+        }
+        let hops = route.path.len() - 1;
+        Ok(DataOutcome {
+            hops,
+            header_bytes: DataPacket::source_route_header_size(route.path.len()) * hops,
+            latency_us,
+        })
+    }
+
+    /// Tears down an open flow at the source and every gateway.
+    pub fn teardown(&mut self, handle: HandleId) {
+        if let Some(of) = self.open_flows.remove(&handle) {
+            for ad in &of.route[1..of.route.len().saturating_sub(1)] {
+                self.gateways[ad.index()].teardown(handle);
+            }
+        }
+    }
+
+    /// Fails a link in ground truth: flushes affected gateway handles and
+    /// (modeling re-flooding at quiescence) updates every Route Server's
+    /// view.
+    pub fn fail_link(&mut self, link: LinkId) {
+        self.topo.set_link_up(link, false);
+        let l = self.topo.link(link);
+        let (a, b) = (l.a, l.b);
+        self.gateways[a.index()].invalidate(|e| e.prev == b || e.next == b);
+        self.gateways[b.index()].invalidate(|e| e.prev == a || e.next == a);
+        self.open_flows
+            .retain(|_, of| of.route.windows(2).all(|w| !(w.contains(&a) && w.contains(&b))));
+        let topo = self.topo.clone();
+        let db = self.db.clone();
+        for s in &mut self.servers {
+            s.update_view(topo.clone(), db.clone());
+        }
+    }
+
+    /// Changes one AD's policy: the AD's gateway flushes all cached
+    /// handles, and (modeling re-flooding) every Route Server's view is
+    /// refreshed. The staleness cost is E7's policy-change column.
+    pub fn change_policy(&mut self, policy: TransitPolicy) {
+        let ad = policy.ad;
+        self.db.set_policy(policy);
+        self.gateways[ad.index()].invalidate(|_| true);
+        self.open_flows.retain(|_, of| !of.route[1..of.route.len().saturating_sub(1)].contains(&ad));
+        let topo = self.topo.clone();
+        let db = self.db.clone();
+        for s in &mut self.servers {
+            s.update_view(topo.clone(), db.clone());
+        }
+    }
+
+    /// Total synthesis searches across all Route Servers.
+    pub fn total_searches(&self) -> u64 {
+        self.servers.iter().map(|s| s.stats.searches).sum()
+    }
+
+    /// Currently open flows.
+    pub fn open_flow_count(&self) -> usize {
+        self.open_flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adroute_policy::{workload::PolicyWorkload, AdSet, PolicyAction, PolicyCondition};
+    use adroute_topology::generate::{line, ring, HierarchyConfig};
+
+    fn permissive(n: usize) -> OrwgNetwork {
+        let topo = ring(n);
+        let db = PolicyDb::permissive(&topo);
+        OrwgNetwork::converged(&topo, &db)
+    }
+
+    #[test]
+    fn open_then_send_amortizes() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let setup = net.open(&flow).unwrap();
+        assert_eq!(setup.route, vec![AdId(0), AdId(1), AdId(2), AdId(3)]);
+        assert_eq!(setup.validations, 2);
+        assert!(setup.header_bytes > 0);
+        let d = net.send(setup.handle).unwrap();
+        assert_eq!(d.hops, 3);
+        assert_eq!(d.header_bytes, 36);
+        assert!(d.header_bytes < setup.header_bytes);
+        // Handle forwarding does not consult route servers again.
+        assert_eq!(net.total_searches(), 1);
+        assert_eq!(net.open_flow_count(), 1);
+    }
+
+    #[test]
+    fn source_routed_packets_cost_more_per_packet() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let setup = net.open(&flow).unwrap();
+        let handle_pkt = net.send(setup.handle).unwrap();
+        let sr_pkt = net.send_source_routed(&flow).unwrap();
+        assert!(sr_pkt.header_bytes > handle_pkt.header_bytes);
+    }
+
+    #[test]
+    fn gateways_enforce_policy_at_setup() {
+        let topo = line(4);
+        let mut db = PolicyDb::permissive(&topo);
+        let mut p = TransitPolicy::permit_all(AdId(2));
+        p.push_term(vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))], PolicyAction::Deny);
+        db.set_policy(p);
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        // The route server knows AD2 denies source 0: no route at all.
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        assert_eq!(net.open(&flow).unwrap_err(), OpenError::NoRoute);
+        // Another source is fine.
+        let flow1 = FlowSpec::best_effort(AdId(1), AdId(3));
+        assert!(net.open(&flow1).is_ok());
+    }
+
+    #[test]
+    fn stale_view_rejected_by_gateway() {
+        // Build a network whose servers believe AD1 permits, then change
+        // AD1's actual policy without telling the servers: the gateway
+        // must catch the setup.
+        let topo = line(3);
+        let db = PolicyDb::permissive(&topo);
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        // Out-of-band actual-policy change (bypassing change_policy, which
+        // would refresh views).
+        net.db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let flow = FlowSpec::best_effort(AdId(0), AdId(2));
+        match net.open(&flow) {
+            Err(OpenError::Rejected(SetupError::PolicyDenied { ad })) => assert_eq!(ad, AdId(1)),
+            other => panic!("expected gateway rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_failure_invalidates_and_reroutes() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let setup = net.open(&flow).unwrap();
+        let l = net.topo().link_between(AdId(1), AdId(2)).unwrap();
+        net.fail_link(l);
+        // Old handle is gone (flow flushed).
+        assert_eq!(net.send(setup.handle).unwrap_err(), SendError::UnknownFlow);
+        // Re-opening synthesizes the other side of the ring.
+        let setup2 = net.open(&flow).unwrap();
+        assert_eq!(setup2.route, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+        assert!(net.send(setup2.handle).is_ok());
+    }
+
+    #[test]
+    fn policy_change_flushes_and_recomputes() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let s1 = net.open(&flow).unwrap();
+        assert_eq!(s1.route, vec![AdId(0), AdId(1), AdId(2), AdId(3)]);
+        net.change_policy(TransitPolicy::deny_all(AdId(1)));
+        assert_eq!(net.send(s1.handle).unwrap_err(), SendError::UnknownFlow);
+        let s2 = net.open(&flow).unwrap();
+        assert_eq!(s2.route, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+    }
+
+    #[test]
+    fn teardown_releases_state() {
+        let mut net = permissive(5);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(2));
+        let s = net.open(&flow).unwrap();
+        assert_eq!(net.gateway(AdId(1)).cached_handles(), 1);
+        net.teardown(s.handle);
+        assert_eq!(net.gateway(AdId(1)).cached_handles(), 0);
+        assert_eq!(net.send(s.handle).unwrap_err(), SendError::UnknownFlow);
+    }
+
+    #[test]
+    fn evicted_handle_surfaces_as_drop() {
+        let topo = ring(6);
+        let db = PolicyDb::permissive(&topo);
+        // Tiny gateway caches: 1 handle.
+        let mut net =
+            OrwgNetwork::converged_with(&topo, &db, Strategy::Cached { capacity: 64 }, 1);
+        let f1 = FlowSpec::best_effort(AdId(0), AdId(3));
+        let f2 = FlowSpec::best_effort(AdId(5), AdId(2)); // also transits AD1
+        let s1 = net.open(&f1).unwrap();
+        let _s2 = net.open(&f2).unwrap(); // evicts s1's handle at shared PGs
+        match net.send(s1.handle) {
+            Err(SendError::Dropped(DataError::UnknownHandle { .. })) => {}
+            other => panic!("expected eviction drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_resilient_routes_around_stale_policy() {
+        // Servers believe AD1 permits; AD1's actual policy (not yet
+        // reflooded) denies. Plain open is rejected at the gateway;
+        // resilient open avoids AD1 and succeeds via the other side.
+        let topo = ring(6);
+        let db = PolicyDb::permissive(&topo);
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        net.db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        assert!(matches!(net.open(&flow), Err(OpenError::Rejected(_))));
+        let s = net.open_resilient(&flow, 3).expect("detour exists");
+        assert_eq!(s.route, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+        // Selection criteria restored afterwards.
+        assert!(net.server(AdId(0)).selection().allows_transit(AdId(1)));
+        assert!(net.send(s.handle).is_ok());
+    }
+
+    #[test]
+    fn open_resilient_gives_up_after_budget() {
+        // Both ring directions stale-deny: one retry is not enough for
+        // two rejections.
+        let topo = ring(6);
+        let db = PolicyDb::permissive(&topo);
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        net.db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        net.db.set_policy(TransitPolicy::deny_all(AdId(5)));
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        assert!(net.open_resilient(&flow, 0).is_err());
+        // With budget, both offenders are discovered, then no route
+        // remains in the (stale) view either way around.
+        assert!(net.open_resilient(&flow, 4).is_err());
+    }
+
+    #[test]
+    fn open_resilient_routes_around_unflooded_link_failure() {
+        // The link fails but servers' views are stale (we bypass
+        // fail_link's view refresh by flipping ground truth directly).
+        let topo = ring(6);
+        let db = PolicyDb::permissive(&topo);
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        let l = net.topo.link_between(AdId(1), AdId(2)).unwrap();
+        net.topo.set_link_up(l, false);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        assert!(matches!(net.open(&flow), Err(OpenError::LinkDown { .. })));
+        let s = net.open_resilient(&flow, 3).expect("detour exists");
+        assert_eq!(s.route, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+    }
+
+    #[test]
+    fn from_engine_builds_per_ad_views() {
+        let topo = HierarchyConfig::figure1().generate();
+        let db = PolicyWorkload::default_mix(4).generate(&topo);
+        let engine = crate::router::converge_control_plane(topo.clone(), db.clone());
+        let mut net = OrwgNetwork::from_engine(
+            &engine,
+            Strategy::Cached { capacity: 64 },
+            OrwgNetwork::DEFAULT_HANDLE_CAPACITY,
+        );
+        // Every campus-to-campus flow with a legal route must open.
+        let mut opened = 0;
+        for f in adroute_protocols::forwarding::sample_flows(&topo, 25, 11) {
+            let legal = adroute_policy::legality::legal_route(&topo, &db, &f).is_some();
+            match net.open(&f) {
+                Ok(_) => {
+                    assert!(legal, "opened an illegal flow {f}");
+                    opened += 1;
+                }
+                Err(OpenError::NoRoute) => assert!(!legal, "missed legal route for {f}"),
+                Err(e) => panic!("unexpected {e:?} for {f}"),
+            }
+        }
+        assert!(opened > 0);
+    }
+
+    #[test]
+    fn transit_ads_do_no_route_computation() {
+        let mut net = permissive(6);
+        for dst in [2u32, 3, 4] {
+            let f = FlowSpec::best_effort(AdId(0), AdId(dst));
+            let _ = net.open(&f);
+        }
+        // Only the source's server worked.
+        assert_eq!(net.server(AdId(0)).stats.searches, 3);
+        for ad in 1..6 {
+            assert_eq!(net.server(AdId(ad)).stats.searches, 0, "AD{ad} computed a route");
+        }
+    }
+}

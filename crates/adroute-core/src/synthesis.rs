@@ -1,0 +1,393 @@
+//! The Route Server: policy route synthesis (paper Sections 5.4.1 and 6).
+//!
+//! "A Route Server in each AD computes Policy Routes based on the
+//! advertised policy and topology information." Synthesis is the paper's
+//! acknowledged hard problem: "Precomputation of all policy routes in a
+//! large internet is computationally intractable, while on demand
+//! computation may introduce excessive latency at setup time.
+//! Consequently, a combination of precomputation and on-demand computation
+//! should be used." The three [`Strategy`] variants realize exactly those
+//! options; experiment E7 sweeps them.
+//!
+//! The search itself is the same policy-constrained Dijkstra as the oracle
+//! (`adroute_policy::legality`) — run over **this AD's own flooded view**
+//! of topology and policy, not ground truth.
+
+use std::collections::HashMap;
+
+use adroute_policy::{
+    legality::{self, SearchStats},
+    FlowSpec, PolicyDb, PtId, RouteSelection,
+};
+use adroute_topology::{AdId, Topology};
+
+use crate::lru::LruCache;
+
+/// A synthesized policy route: the AD path plus, per transit AD, the
+/// Policy Term that permits the traversal (cited in the setup packet).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PolicyRoute {
+    /// The AD-level path, source to destination.
+    pub path: Vec<AdId>,
+    /// Total cost (link metrics + transit charges).
+    pub cost: u64,
+    /// For each transit AD on `path` (in order), the deciding permit term
+    /// (`None` when the AD's default action permits).
+    pub pts: Vec<Option<PtId>>,
+}
+
+impl PolicyRoute {
+    /// Number of AD hops.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Route synthesis strategy (the Section 6 trade-off).
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// Compute every request from scratch; no state, maximum setup
+    /// latency.
+    OnDemand,
+    /// On-demand with an LRU route cache of the given capacity.
+    Cached {
+        /// Maximum cached routes.
+        capacity: usize,
+    },
+    /// Precompute routes for a workload-supplied list of expected traffic
+    /// classes (the "commonly used routes" heuristic); anything else is a
+    /// miss that falls back to on-demand with an LRU cache.
+    Hybrid {
+        /// Maximum cached routes for non-precomputed classes.
+        capacity: usize,
+    },
+}
+
+/// Synthesis work counters (experiment E7's columns).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SynthStats {
+    /// Route requests served.
+    pub requests: u64,
+    /// Full searches performed.
+    pub searches: u64,
+    /// Search states settled (CPU proxy).
+    pub settled: u64,
+    /// Search edge relaxations (CPU proxy).
+    pub relaxations: u64,
+    /// Requests answered from the precomputed table.
+    pub precomputed_hits: u64,
+    /// Requests answered from the LRU cache.
+    pub cache_hits: u64,
+}
+
+/// One AD's Route Server.
+#[derive(Clone, Debug)]
+pub struct RouteServer {
+    /// The AD this server belongs to.
+    pub ad: AdId,
+    view_topo: Topology,
+    view_db: PolicyDb,
+    strategy: Strategy,
+    /// The source's private route-selection criteria (applied to every
+    /// synthesis; never advertised — the privacy property of source
+    /// routing). Set via [`RouteServer::set_selection`], which flushes
+    /// cached routes computed under the old criteria.
+    selection: RouteSelection,
+    precompute_list: Vec<FlowSpec>,
+    precomputed: HashMap<FlowSpec, Option<PolicyRoute>>,
+    cache: LruCache<FlowSpec, Option<PolicyRoute>>,
+    /// Work counters.
+    pub stats: SynthStats,
+}
+
+impl RouteServer {
+    /// A server for `ad` with the given view and strategy.
+    pub fn new(ad: AdId, view_topo: Topology, view_db: PolicyDb, strategy: Strategy) -> RouteServer {
+        let cache = match &strategy {
+            Strategy::OnDemand => LruCache::new(0),
+            Strategy::Cached { capacity } | Strategy::Hybrid { capacity } => {
+                LruCache::new(*capacity)
+            }
+        };
+        RouteServer {
+            ad,
+            view_topo,
+            view_db,
+            strategy,
+            selection: RouteSelection::unconstrained(),
+            precompute_list: Vec::new(),
+            precomputed: HashMap::new(),
+            cache,
+            stats: SynthStats::default(),
+        }
+    }
+
+    /// The server's current view of the topology.
+    pub fn view_topo(&self) -> &Topology {
+        &self.view_topo
+    }
+
+    /// The server's current view of global policy.
+    pub fn view_db(&self) -> &PolicyDb {
+        &self.view_db
+    }
+
+    /// The source's current route-selection criteria.
+    pub fn selection(&self) -> &RouteSelection {
+        &self.selection
+    }
+
+    /// Replaces the source's route-selection criteria. Cached and
+    /// precomputed routes were synthesized under the old criteria, so both
+    /// are flushed (and precomputation re-run).
+    pub fn set_selection(&mut self, selection: RouteSelection) {
+        self.selection = selection;
+        self.cache.clear();
+        self.run_precompute();
+    }
+
+    /// Number of precomputed routes currently held.
+    pub fn precomputed_len(&self) -> usize {
+        self.precomputed.len()
+    }
+
+    /// Number of cached routes currently held.
+    pub fn cached_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Precomputes routes for the expected traffic classes (only
+    /// meaningful under [`Strategy::Hybrid`]; ignored by `OnDemand` and
+    /// `Cached`). The list is remembered and re-run on view changes.
+    pub fn precompute(&mut self, flows: &[FlowSpec]) {
+        if !matches!(self.strategy, Strategy::Hybrid { .. }) {
+            return;
+        }
+        self.precompute_list = flows.to_vec();
+        self.run_precompute();
+    }
+
+    fn run_precompute(&mut self) {
+        let list = std::mem::take(&mut self.precompute_list);
+        self.precomputed.clear();
+        for flow in &list {
+            let r = self.search(flow);
+            self.precomputed.insert(*flow, r);
+        }
+        self.precompute_list = list;
+    }
+
+    fn search(&mut self, flow: &FlowSpec) -> Option<PolicyRoute> {
+        self.stats.searches += 1;
+        let mut ss = SearchStats::default();
+        let route =
+            legality::legal_route_with(&self.view_topo, &self.view_db, flow, &self.selection, &mut ss)?;
+        self.stats.settled += ss.settled;
+        self.stats.relaxations += ss.relaxations;
+        // Collect the deciding PT per transit AD, to cite in the setup.
+        let mut pts = Vec::with_capacity(route.path.len().saturating_sub(2));
+        for i in 1..route.path.len().saturating_sub(1) {
+            let (permit, pt) = self.view_db.policy(route.path[i]).evaluate_with_term(
+                flow,
+                Some(route.path[i - 1]),
+                Some(route.path[i + 1]),
+            );
+            debug_assert!(permit.is_some(), "search returned an illegal route");
+            pts.push(pt);
+        }
+        Some(PolicyRoute { path: route.path, cost: route.cost, pts })
+    }
+
+    /// Synthesizes (or recalls) the policy route for `flow`.
+    pub fn request(&mut self, flow: &FlowSpec) -> Option<PolicyRoute> {
+        self.stats.requests += 1;
+        if let Some(hit) = self.precomputed.get(flow) {
+            self.stats.precomputed_hits += 1;
+            return hit.clone();
+        }
+        if let Some(hit) = self.cache.get(flow) {
+            self.stats.cache_hits += 1;
+            return hit.clone();
+        }
+        let r = self.search(flow);
+        self.cache.insert(*flow, r.clone());
+        r
+    }
+
+    /// Up to `k` alternative routes for `flow`, cheapest first.
+    ///
+    /// Heuristic: after each route is found, re-search while avoiding one
+    /// of its transit ADs (each in turn), collecting distinct results.
+    /// This is the sort of pruning heuristic the paper's Section 6 calls
+    /// for, not an exact k-shortest-paths.
+    pub fn alternatives(&mut self, flow: &FlowSpec, k: usize) -> Vec<PolicyRoute> {
+        let Some(first) = self.request(flow) else {
+            return Vec::new();
+        };
+        let mut found = vec![first.clone()];
+        let transit: Vec<AdId> =
+            first.path[1..first.path.len().saturating_sub(1)].to_vec();
+        let base = self.selection.clone();
+        for avoid in transit {
+            if found.len() >= k {
+                break;
+            }
+            let mut sel = base.clone();
+            let mut avoided: Vec<AdId> = match &sel.avoid {
+                adroute_policy::AdSet::Only(v) => v.clone(),
+                _ => Vec::new(),
+            };
+            avoided.push(avoid);
+            sel.avoid = adroute_policy::AdSet::only(avoided);
+            self.selection = sel;
+            if let Some(alt) = self.search(flow) {
+                if !found.iter().any(|r| r.path == alt.path) {
+                    found.push(alt);
+                }
+            }
+        }
+        self.selection = base;
+        found.sort_by_key(|r| (r.cost, r.path.len()));
+        found.truncate(k.max(1));
+        found
+    }
+
+    /// Installs a new view after a topology or policy change: flushes the
+    /// cache and re-runs precomputation (the staleness cost E7 reports).
+    pub fn update_view(&mut self, view_topo: Topology, view_db: PolicyDb) {
+        self.view_topo = view_topo;
+        self.view_db = view_db;
+        self.cache.clear();
+        self.run_precompute();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adroute_policy::{AdSet, PolicyAction, PolicyCondition, TransitPolicy};
+    use adroute_topology::generate::{line, ring};
+
+    fn server(strategy: Strategy) -> RouteServer {
+        let topo = ring(6);
+        let db = PolicyDb::permissive(&topo);
+        RouteServer::new(AdId(0), topo, db, strategy)
+    }
+
+    #[test]
+    fn on_demand_searches_every_time() {
+        let mut rs = server(Strategy::OnDemand);
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let a = rs.request(&f).unwrap();
+        let b = rs.request(&f).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(rs.stats.searches, 2);
+        assert_eq!(rs.stats.cache_hits, 0);
+        assert_eq!(rs.cached_len(), 0);
+    }
+
+    #[test]
+    fn cached_strategy_reuses() {
+        let mut rs = server(Strategy::Cached { capacity: 16 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let _ = rs.request(&f);
+        let _ = rs.request(&f);
+        assert_eq!(rs.stats.searches, 1);
+        assert_eq!(rs.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn hybrid_precompute_hits_before_search() {
+        let mut rs = server(Strategy::Hybrid { capacity: 16 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        rs.precompute(&[f]);
+        assert_eq!(rs.precomputed_len(), 1);
+        let searched_during_precompute = rs.stats.searches;
+        let _ = rs.request(&f);
+        assert_eq!(rs.stats.searches, searched_during_precompute);
+        assert_eq!(rs.stats.precomputed_hits, 1);
+        // A class not precomputed falls back to on-demand + cache.
+        let g = FlowSpec::best_effort(AdId(0), AdId(2));
+        let _ = rs.request(&g);
+        let _ = rs.request(&g);
+        assert_eq!(rs.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn routes_carry_policy_term_citations() {
+        let topo = line(4);
+        let mut db = PolicyDb::permissive(&topo);
+        let mut p = TransitPolicy::deny_all(AdId(1));
+        let pt = p.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))],
+            PolicyAction::Permit { cost: 2 },
+        );
+        db.set_policy(p);
+        let mut rs = RouteServer::new(AdId(0), topo, db, Strategy::OnDemand);
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let r = rs.request(&f).unwrap();
+        assert_eq!(r.path, vec![AdId(0), AdId(1), AdId(2), AdId(3)]);
+        assert_eq!(r.pts.len(), 2);
+        assert_eq!(r.pts[0], Some(pt), "AD1's deciding term must be cited");
+        assert_eq!(r.pts[1], None, "AD2 permits by default");
+        assert_eq!(r.cost, 3 + 2);
+        assert_eq!(r.hops(), 3);
+    }
+
+    #[test]
+    fn selection_criteria_stay_private_but_apply() {
+        let mut rs = server(Strategy::OnDemand);
+        rs.set_selection(RouteSelection::avoiding([AdId(1), AdId(2)]));
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let r = rs.request(&f).unwrap();
+        assert_eq!(r.path, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+    }
+
+    #[test]
+    fn alternatives_finds_both_ring_sides() {
+        let mut rs = server(Strategy::OnDemand);
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let alts = rs.alternatives(&f, 2);
+        assert_eq!(alts.len(), 2);
+        assert_ne!(alts[0].path, alts[1].path);
+        assert!(alts[0].cost <= alts[1].cost);
+    }
+
+    #[test]
+    fn view_update_flushes_and_recomputes() {
+        let topo = ring(6);
+        let db = PolicyDb::permissive(&topo);
+        let mut rs =
+            RouteServer::new(AdId(0), topo.clone(), db.clone(), Strategy::Hybrid { capacity: 8 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        rs.precompute(&[f]);
+        let g = FlowSpec::best_effort(AdId(0), AdId(2));
+        let _ = rs.request(&g);
+        assert_eq!(rs.cached_len(), 1);
+        // Fail link 0-1 in the view.
+        let mut topo2 = topo.clone();
+        let l = topo2.link_between(AdId(0), AdId(1)).unwrap();
+        topo2.set_link_up(l, false);
+        rs.update_view(topo2, db);
+        assert_eq!(rs.cached_len(), 0, "cache must flush");
+        let r = rs.request(&f).unwrap();
+        assert_eq!(
+            r.path,
+            vec![AdId(0), AdId(5), AdId(4), AdId(3)],
+            "precomputed route must reflect the new view"
+        );
+        assert_eq!(rs.stats.precomputed_hits, 1);
+    }
+
+    #[test]
+    fn unreachable_flows_are_negative_cached() {
+        let topo = line(3);
+        let mut db = PolicyDb::permissive(&topo);
+        db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let mut rs = RouteServer::new(AdId(0), topo, db, Strategy::Cached { capacity: 4 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(2));
+        assert!(rs.request(&f).is_none());
+        assert!(rs.request(&f).is_none());
+        assert_eq!(rs.stats.searches, 1, "negative result must be cached too");
+    }
+}

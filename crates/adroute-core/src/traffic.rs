@@ -1,0 +1,243 @@
+//! Session-level traffic driver for the ORWG data plane.
+//!
+//! The paper stresses that policy routes "have a long lifetime and are not
+//! intended to correspond one to one with transport level sessions … a
+//! single policy route can support multiple pairs of hosts" (Section
+//! 5.4.1). This module drives an [`OrwgNetwork`] with a stream of
+//! *sessions* — open a flow (reusing the policy route if one is live),
+//! send a burst of packets, occasionally tear down — under a skewed
+//! destination popularity, and aggregates the costs. It is the workload
+//! engine behind the steady-state experiments and the churn tests.
+
+use std::collections::HashMap;
+
+use adroute_policy::FlowSpec;
+use adroute_topology::{AdId, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataplane::HandleId;
+use crate::gateway::DataError;
+use crate::network::{OpenError, OrwgNetwork, SendError};
+
+/// Traffic model parameters.
+#[derive(Clone, Debug)]
+pub struct TrafficModel {
+    /// Number of sessions to run.
+    pub sessions: usize,
+    /// Packets per session (mean; actual count is 1..=2*mean-1).
+    pub packets_per_session: usize,
+    /// Probability a session tears its route down when it ends (long-lived
+    /// routes shared across sessions are the paper's expectation).
+    pub teardown_prob: f64,
+    /// Fraction of traffic aimed at the "hot" 10% of destinations.
+    pub hot_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrafficModel {
+    fn default() -> Self {
+        TrafficModel {
+            sessions: 500,
+            packets_per_session: 10,
+            teardown_prob: 0.1,
+            hot_fraction: 0.7,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregate outcome of a traffic run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrafficReport {
+    /// Sessions attempted.
+    pub sessions: usize,
+    /// Sessions with no legal route.
+    pub unroutable: usize,
+    /// Fresh route setups performed.
+    pub setups: u64,
+    /// Setups forced by evicted gateway handles mid-flow.
+    pub resetups: u64,
+    /// Data packets delivered.
+    pub packets: u64,
+    /// Total header bytes (setup + data).
+    pub header_bytes: u64,
+    /// Route-synthesis searches performed by all Route Servers.
+    pub searches: u64,
+}
+
+impl TrafficReport {
+    /// Mean header bytes per delivered packet (setups amortized in).
+    pub fn bytes_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.header_bytes as f64 / self.packets as f64
+    }
+}
+
+/// Runs the model against a network. Deterministic for a given
+/// `(network state, model)` pair.
+pub fn run_traffic(net: &mut OrwgNetwork, topo: &Topology, model: &TrafficModel) -> TrafficReport {
+    let mut rng = SmallRng::seed_from_u64(model.seed);
+    let n = topo.num_ads() as u32;
+    let hot: Vec<u32> = (0..n).filter(|x| x % 10 == 7).collect();
+    let mut live: HashMap<FlowSpec, HandleId> = HashMap::new();
+    let mut report = TrafficReport { sessions: model.sessions, ..TrafficReport::default() };
+    let searches_before = net.total_searches();
+
+    for _ in 0..model.sessions {
+        // Pick a flow with skewed destination popularity.
+        let src = AdId(rng.gen_range(0..n));
+        let dst = loop {
+            let d = if rng.gen_bool(model.hot_fraction) && !hot.is_empty() {
+                AdId(hot[rng.gen_range(0..hot.len())])
+            } else {
+                AdId(rng.gen_range(0..n))
+            };
+            if d != src {
+                break d;
+            }
+        };
+        let flow = FlowSpec::best_effort(src, dst);
+
+        // Reuse the live policy route when one exists (the paper's
+        // long-lived-route expectation), otherwise set up.
+        let handle = match live.get(&flow) {
+            Some(&h) => h,
+            None => match net.open(&flow) {
+                Ok(setup) => {
+                    report.setups += 1;
+                    report.header_bytes += setup.header_bytes as u64;
+                    live.insert(flow, setup.handle);
+                    setup.handle
+                }
+                Err(OpenError::NoRoute) => {
+                    report.unroutable += 1;
+                    continue;
+                }
+                Err(e) => panic!("unexpected setup failure: {e:?}"),
+            },
+        };
+
+        let burst = rng.gen_range(1..=model.packets_per_session.max(1) * 2 - 1);
+        let mut h = handle;
+        for _ in 0..burst {
+            match net.send(h) {
+                Ok(d) => {
+                    report.packets += 1;
+                    report.header_bytes += d.header_bytes as u64;
+                }
+                Err(SendError::Dropped(DataError::UnknownHandle { .. }))
+                | Err(SendError::UnknownFlow) => {
+                    // A gateway evicted our handle: re-setup and retry.
+                    match net.open(&flow) {
+                        Ok(setup) => {
+                            report.resetups += 1;
+                            report.header_bytes += setup.header_bytes as u64;
+                            h = setup.handle;
+                            live.insert(flow, h);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                Err(e) => panic!("unexpected send failure: {e:?}"),
+            }
+        }
+
+        if rng.gen_bool(model.teardown_prob) {
+            net.teardown(h);
+            live.remove(&flow);
+        }
+    }
+    report.searches = net.total_searches() - searches_before;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::Strategy;
+    use adroute_policy::PolicyDb;
+    use adroute_topology::generate::ring;
+
+    fn net(handle_capacity: usize) -> (OrwgNetwork, Topology) {
+        let topo = ring(10);
+        let db = PolicyDb::permissive(&topo);
+        let n = OrwgNetwork::converged_with(
+            &topo,
+            &db,
+            Strategy::Cached { capacity: 1024 },
+            handle_capacity,
+        );
+        (n, topo)
+    }
+
+    #[test]
+    fn traffic_runs_and_delivers() {
+        let (mut n, topo) = net(65536);
+        let model = TrafficModel { sessions: 200, seed: 1, ..Default::default() };
+        let r = run_traffic(&mut n, &topo, &model);
+        assert_eq!(r.sessions, 200);
+        assert_eq!(r.unroutable, 0, "permissive ring must route everything");
+        assert!(r.packets > 0);
+        assert!(r.setups > 0);
+        assert_eq!(r.resetups, 0, "huge handle caches never evict");
+        assert!(r.bytes_per_packet() > 0.0);
+    }
+
+    #[test]
+    fn route_reuse_keeps_setups_below_sessions() {
+        let (mut n, topo) = net(65536);
+        let model = TrafficModel {
+            sessions: 400,
+            teardown_prob: 0.0,
+            hot_fraction: 0.9,
+            seed: 2,
+            ..Default::default()
+        };
+        let r = run_traffic(&mut n, &topo, &model);
+        assert!(
+            r.setups < r.sessions as u64 / 2,
+            "hot destinations should reuse routes: {} setups / {} sessions",
+            r.setups,
+            r.sessions
+        );
+        // Synthesis is cached too: distinct classes bound the searches.
+        assert!(r.searches <= 10 * 9);
+    }
+
+    #[test]
+    fn tiny_gateway_caches_force_resetups() {
+        let (mut n, topo) = net(2);
+        let model = TrafficModel { sessions: 300, teardown_prob: 0.0, seed: 3, ..Default::default() };
+        let r = run_traffic(&mut n, &topo, &model);
+        assert!(r.resetups > 0, "capacity-2 gateway caches must churn");
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let (mut n, topo) = net(128);
+            let model = TrafficModel { sessions: 150, seed: 9, ..Default::default() };
+            let r = run_traffic(&mut n, &topo, &model);
+            (r.setups, r.resetups, r.packets, r.header_bytes, r.searches)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unroutable_sessions_counted() {
+        let topo = ring(6);
+        let mut db = PolicyDb::permissive(&topo);
+        // Cut the ring policy-wise: two opposite ADs deny all transit.
+        db.set_policy(adroute_policy::TransitPolicy::deny_all(AdId(1)));
+        db.set_policy(adroute_policy::TransitPolicy::deny_all(AdId(4)));
+        let mut n = OrwgNetwork::converged(&topo, &db);
+        let model = TrafficModel { sessions: 200, seed: 5, ..Default::default() };
+        let r = run_traffic(&mut n, &topo, &model);
+        assert!(r.unroutable > 0);
+        assert!(r.packets > 0, "some flows still work");
+    }
+}

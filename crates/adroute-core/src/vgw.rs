@@ -1,0 +1,241 @@
+//! Virtual gateways: replicated Policy Gateways per AD.
+//!
+//! "ORWG refers to the point of connection between ADs as virtual
+//! gateways. A virtual gateway may be comprised of multiple PGs in the
+//! interest of reliability and performance" (paper Section 5.4.1,
+//! footnote 8). A [`VirtualGateway`] stripes route handles across `k`
+//! replica [`PolicyGateway`]s for load sharing; when a replica fails, its
+//! cached handles are lost and affected sources re-run setup — the same
+//! recovery path as a cache eviction, which keeps the failure model
+//! simple and measurable.
+
+use adroute_policy::TransitPolicy;
+use adroute_topology::AdId;
+
+use crate::dataplane::{DataPacket, HandleId, SetupPacket};
+use crate::gateway::{DataError, GatewayStats, PolicyGateway, SetupError};
+
+/// A replicated gateway: several PGs fronting one AD.
+#[derive(Clone, Debug)]
+pub struct VirtualGateway {
+    /// The AD this virtual gateway guards.
+    pub ad: AdId,
+    replicas: Vec<PolicyGateway>,
+    alive: Vec<bool>,
+}
+
+impl VirtualGateway {
+    /// A virtual gateway of `replicas` PGs, each with its own handle
+    /// cache of `capacity_each`.
+    ///
+    /// # Panics
+    /// Panics if `replicas == 0`.
+    pub fn new(ad: AdId, replicas: usize, capacity_each: usize) -> VirtualGateway {
+        assert!(replicas > 0, "a virtual gateway needs at least one PG");
+        VirtualGateway {
+            ad,
+            replicas: (0..replicas).map(|_| PolicyGateway::new(ad, capacity_each)).collect(),
+            alive: vec![true; replicas],
+        }
+    }
+
+    /// Number of replicas (alive or not).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of currently alive replicas.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Deterministic replica choice for a handle: hash-striped over the
+    /// alive replicas (so the same handle always lands on the same PG
+    /// while the alive-set is stable).
+    fn pick(&self, handle: HandleId) -> Option<usize> {
+        let alive: Vec<usize> =
+            (0..self.replicas.len()).filter(|&i| self.alive[i]).collect();
+        if alive.is_empty() {
+            return None;
+        }
+        // Cheap splittable hash of the handle id.
+        let h = handle.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Some(alive[(h % alive.len() as u64) as usize])
+    }
+
+    /// Validates a setup at the replica responsible for its handle.
+    pub fn validate_setup(
+        &mut self,
+        policy: &TransitPolicy,
+        setup: &SetupPacket,
+    ) -> Result<(), SetupError> {
+        let Some(i) = self.pick(setup.handle) else {
+            // Whole virtual gateway down: the AD is unreachable as
+            // transit; report as a policy-level refusal.
+            return Err(SetupError::PolicyDenied { ad: self.ad });
+        };
+        self.replicas[i].validate_setup(policy, setup)
+    }
+
+    /// Forwards a data packet via the replica holding its handle.
+    pub fn forward_data(
+        &mut self,
+        pkt: &DataPacket,
+        arrived_from: AdId,
+    ) -> Result<AdId, DataError> {
+        let Some(i) = self.pick(pkt.handle) else {
+            return Err(DataError::UnknownHandle { at: self.ad });
+        };
+        self.replicas[i].forward_data(pkt, arrived_from)
+    }
+
+    /// Fails one replica: its cached handles are lost. Subsequent packets
+    /// for those handles re-stripe to surviving replicas, miss, and force
+    /// a re-setup — the reliability model of the paper's footnote.
+    pub fn fail_replica(&mut self, i: usize) {
+        self.alive[i] = false;
+        self.replicas[i].invalidate(|_| true);
+    }
+
+    /// Restores a failed replica (empty-cached).
+    pub fn restore_replica(&mut self, i: usize) {
+        self.alive[i] = true;
+    }
+
+    /// Total cached handles across replicas.
+    pub fn cached_handles(&self) -> usize {
+        self.replicas.iter().map(|r| r.cached_handles()).sum()
+    }
+
+    /// Handles held per replica — the load-sharing measure.
+    pub fn load(&self) -> Vec<usize> {
+        self.replicas.iter().map(|r| r.cached_handles()).collect()
+    }
+
+    /// Aggregated statistics over replicas.
+    pub fn stats(&self) -> GatewayStats {
+        let mut agg = GatewayStats::default();
+        for r in &self.replicas {
+            agg.setups_ok += r.stats.setups_ok;
+            agg.setups_rejected += r.stats.setups_rejected;
+            agg.data_forwarded += r.stats.data_forwarded;
+            agg.data_dropped += r.stats.data_dropped;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adroute_policy::FlowSpec;
+
+    fn setup(handle: u64) -> SetupPacket {
+        SetupPacket {
+            flow: FlowSpec::best_effort(AdId(0), AdId(2)),
+            route: vec![AdId(0), AdId(1), AdId(2)],
+            claimed_pts: vec![None],
+            handle: HandleId(handle),
+        }
+    }
+
+    fn pkt(handle: u64) -> DataPacket {
+        DataPacket { handle: HandleId(handle), src: AdId(0) }
+    }
+
+    #[test]
+    fn stripes_handles_across_replicas() {
+        let mut vg = VirtualGateway::new(AdId(1), 3, 1024);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        for h in 0..90 {
+            vg.validate_setup(&policy, &setup(h)).unwrap();
+        }
+        let load = vg.load();
+        assert_eq!(load.iter().sum::<usize>(), 90);
+        assert!(load.iter().all(|&l| l > 10), "unbalanced striping: {load:?}");
+        assert_eq!(vg.stats().setups_ok, 90);
+        assert_eq!(vg.replica_count(), 3);
+    }
+
+    #[test]
+    fn forwarding_reaches_the_striped_replica() {
+        let mut vg = VirtualGateway::new(AdId(1), 4, 1024);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        for h in 0..20 {
+            vg.validate_setup(&policy, &setup(h)).unwrap();
+        }
+        for h in 0..20 {
+            assert_eq!(vg.forward_data(&pkt(h), AdId(0)).unwrap(), AdId(2));
+        }
+        assert_eq!(vg.stats().data_forwarded, 20);
+    }
+
+    #[test]
+    fn replica_failure_loses_only_its_handles() {
+        let mut vg = VirtualGateway::new(AdId(1), 2, 1024);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        for h in 0..40 {
+            vg.validate_setup(&policy, &setup(h)).unwrap();
+        }
+        let before = vg.load();
+        vg.fail_replica(0);
+        assert_eq!(vg.alive_count(), 1);
+        // Handles that lived on replica 1 keep working …
+        let mut survivors = 0;
+        let mut lost = 0;
+        for h in 0..40 {
+            match vg.forward_data(&pkt(h), AdId(0)) {
+                Ok(_) => survivors += 1,
+                Err(DataError::UnknownHandle { .. }) => lost += 1,
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        assert_eq!(survivors, before[1]);
+        assert_eq!(lost, before[0]);
+        // … and a lost handle can be re-set-up on the survivor.
+        vg.validate_setup(&policy, &setup(1000)).unwrap();
+        assert_eq!(vg.forward_data(&pkt(1000), AdId(0)).unwrap(), AdId(2));
+    }
+
+    #[test]
+    fn restored_replica_rejoins_empty() {
+        let mut vg = VirtualGateway::new(AdId(1), 2, 1024);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        vg.fail_replica(1);
+        for h in 0..10 {
+            vg.validate_setup(&policy, &setup(h)).unwrap();
+        }
+        vg.restore_replica(1);
+        assert_eq!(vg.alive_count(), 2);
+        // Handles that now stripe to the restored (empty) replica miss.
+        let mut misses = 0;
+        for h in 0..10 {
+            if vg.forward_data(&pkt(h), AdId(0)).is_err() {
+                misses += 1;
+            }
+        }
+        assert!(misses > 0, "restored replica should start cold");
+    }
+
+    #[test]
+    fn all_replicas_down_refuses_setup() {
+        let mut vg = VirtualGateway::new(AdId(1), 2, 8);
+        vg.fail_replica(0);
+        vg.fail_replica(1);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        assert_eq!(
+            vg.validate_setup(&policy, &setup(1)),
+            Err(SetupError::PolicyDenied { ad: AdId(1) })
+        );
+        assert!(matches!(
+            vg.forward_data(&pkt(1), AdId(0)),
+            Err(DataError::UnknownHandle { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PG")]
+    fn zero_replicas_rejected() {
+        VirtualGateway::new(AdId(1), 0, 8);
+    }
+}

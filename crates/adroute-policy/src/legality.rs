@@ -1,0 +1,467 @@
+//! The route-legality oracle: exact policy-constrained route search.
+//!
+//! Paper Section 5.1 observes that hop-by-hop designs can leave a source
+//! with "no available route when in fact a legal route exists (i.e., a
+//! route that is permitted by the policies of all transit ADs involved)".
+//! This module decides, with complete information, whether such a legal
+//! route exists — and finds the least-cost one. Every protocol in the
+//! workspace is scored against it.
+//!
+//! Because Policy Terms may condition on the **previous** and **next** AD
+//! of a traversal, path legality is not a per-edge property: the search
+//! runs over the product state `(current AD, previous AD)`, which is
+//! exactly the state space a Route Server must explore (`adroute-core`
+//! uses the same routine for synthesis).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use adroute_topology::{AdId, Topology};
+
+use crate::class::FlowSpec;
+use crate::db::PolicyDb;
+use crate::terms::RouteSelection;
+
+/// A legal route found by the oracle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LegalRoute {
+    /// The AD-level path, `src … dst`.
+    pub path: Vec<AdId>,
+    /// Total cost: link metrics plus transit charges from the permitting
+    /// Policy Terms.
+    pub cost: u64,
+}
+
+impl LegalRoute {
+    /// Number of inter-AD hops.
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+}
+
+/// Search-effort statistics, for the synthesis experiments.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SearchStats {
+    /// `(state, edge)` relaxations attempted.
+    pub relaxations: u64,
+    /// States settled (popped with best cost).
+    pub settled: u64,
+}
+
+/// Finds the least-cost policy-legal route for `flow`, or `None` if no
+/// legal route exists.
+///
+/// A route is legal when every *transit* AD on it permits the traversal —
+/// given the flow attributes and that AD's previous/next neighbors on the
+/// path — and every link is operational. Endpoint ADs do not evaluate
+/// transit policy (Section 2.3: policy routing is resource control, not
+/// end-system access control).
+pub fn legal_route(
+    topo: &Topology,
+    db: &PolicyDb,
+    flow: &FlowSpec,
+) -> Option<LegalRoute> {
+    legal_route_with(topo, db, flow, &RouteSelection::unconstrained(), &mut SearchStats::default())
+}
+
+/// Full-control variant of [`legal_route`]: honors the source's
+/// [`RouteSelection`] criteria and accumulates [`SearchStats`].
+///
+/// The avoid-set is enforced during the search (avoided ADs are never used
+/// for transit); `max_cost`/`max_hops` are checked on the result.
+pub fn legal_route_with(
+    topo: &Topology,
+    db: &PolicyDb,
+    flow: &FlowSpec,
+    selection: &RouteSelection,
+    stats: &mut SearchStats,
+) -> Option<LegalRoute> {
+    if flow.src == flow.dst {
+        return Some(LegalRoute { path: vec![flow.src], cost: 0 });
+    }
+    let n = topo.num_ads();
+    if flow.src.index() >= n || flow.dst.index() >= n {
+        return None;
+    }
+
+    // State: (current AD, previous AD). Start state uses prev = current
+    // (sentinel, never consulted because the source's own policy is not
+    // evaluated).
+    type State = (AdId, AdId);
+    let start: State = (flow.src, flow.src);
+    let mut dist: HashMap<State, u64> = HashMap::new();
+    let mut parent: HashMap<State, State> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(u64, AdId, AdId)>> = BinaryHeap::new();
+    dist.insert(start, 0);
+    heap.push(Reverse((0, flow.src, flow.src)));
+
+    let mut best_final: Option<(u64, State)> = None;
+
+    while let Some(Reverse((cost, cur, prev))) = heap.pop() {
+        let state = (cur, prev);
+        if dist.get(&state).is_none_or(|&d| cost > d) {
+            continue;
+        }
+        stats.settled += 1;
+        if cur == flow.dst {
+            best_final = Some((cost, state));
+            break; // first settle of dst is optimal
+        }
+        for (nbr, link) in topo.neighbors(cur) {
+            stats.relaxations += 1;
+            if nbr == prev && cur != flow.src {
+                continue; // immediate backtrack is never useful
+            }
+            // The *current* AD (if transit) must permit forwarding from
+            // `prev` to `nbr`.
+            let transit_cost = if cur == flow.src {
+                0
+            } else {
+                match db.policy(cur).evaluate(flow, Some(prev), Some(nbr)) {
+                    Some(c) => u64::from(c),
+                    None => continue,
+                }
+            };
+            // Source route-selection: never transit an avoided AD.
+            if nbr != flow.dst && !selection.allows_transit(nbr) {
+                continue;
+            }
+            let ncost = cost + u64::from(topo.link(link).metric) + transit_cost;
+            let nstate: State = (nbr, cur);
+            if dist.get(&nstate).is_none_or(|&d| ncost < d) {
+                dist.insert(nstate, ncost);
+                parent.insert(nstate, state);
+                heap.push(Reverse((ncost, nbr, cur)));
+            }
+        }
+    }
+
+    let (cost, final_state) = best_final?;
+    // Reconstruct.
+    let mut path = Vec::new();
+    let mut cur = final_state;
+    loop {
+        path.push(cur.0);
+        if cur == start {
+            break;
+        }
+        cur = parent[&cur];
+    }
+    path.reverse();
+
+    // The (current, previous) state graph searches *walks*; with policies
+    // conditioned on the previous AD the optimal walk can, in adversarial
+    // cases, revisit an AD. Inter-AD routes must be loop-free (paper
+    // Section 2.1), so fall back to an exact simple-path search when that
+    // happens. The walk cost is a valid lower bound for pruning.
+    let has_revisit = {
+        let mut seen = std::collections::HashSet::new();
+        path.iter().any(|a| !seen.insert(*a))
+    };
+    let route = if has_revisit {
+        legal_route_bruteforce(topo, db, flow)?
+    } else {
+        LegalRoute { path, cost }
+    };
+
+    if selection.accepts(&route.path, route.cost) {
+        return Some(route);
+    }
+    // The least-cost route violated the source's criteria. If a hop bound
+    // is the problem, retry minimizing hops instead of cost (best-effort:
+    // the full bicriteria problem is out of scope for the oracle).
+    if selection.max_hops.is_some() {
+        if let Some(r) = legal_route_min_hops(topo, db, flow, selection) {
+            if selection.accepts(&r.path, r.cost) {
+                return Some(r);
+            }
+        }
+    }
+    None
+}
+
+/// Hop-minimizing variant: BFS over the same `(current, previous)` state
+/// graph, used when a source's `max_hops` criterion rejects the least-cost
+/// route.
+fn legal_route_min_hops(
+    topo: &Topology,
+    db: &PolicyDb,
+    flow: &FlowSpec,
+    selection: &RouteSelection,
+) -> Option<LegalRoute> {
+    type State = (AdId, AdId);
+    let start: State = (flow.src, flow.src);
+    let mut parent: HashMap<State, State> = HashMap::new();
+    let mut visited: std::collections::HashSet<State> = std::collections::HashSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited.insert(start);
+    queue.push_back(start);
+    while let Some((cur, prev)) = queue.pop_front() {
+        if cur == flow.dst {
+            let mut path = Vec::new();
+            let mut s = (cur, prev);
+            loop {
+                path.push(s.0);
+                if s == start {
+                    break;
+                }
+                s = parent[&s];
+            }
+            path.reverse();
+            let cost = route_is_legal(topo, db, flow, &path)?;
+            return Some(LegalRoute { path, cost });
+        }
+        for (nbr, _) in topo.neighbors(cur) {
+            if nbr == prev && cur != flow.src {
+                continue;
+            }
+            if cur != flow.src && db.policy(cur).evaluate(flow, Some(prev), Some(nbr)).is_none() {
+                continue;
+            }
+            if nbr != flow.dst && !selection.allows_transit(nbr) {
+                continue;
+            }
+            let nstate = (nbr, cur);
+            if visited.insert(nstate) {
+                parent.insert(nstate, (cur, prev));
+                queue.push_back(nstate);
+            }
+        }
+    }
+    None
+}
+
+/// Checks a complete candidate route for legality, returning the total
+/// cost if legal. This is what a chain of Policy Gateways does during
+/// route setup, and what the forwarding harness uses to audit protocols.
+pub fn route_is_legal(
+    topo: &Topology,
+    db: &PolicyDb,
+    flow: &FlowSpec,
+    path: &[AdId],
+) -> Option<u64> {
+    if path.len() == 1 {
+        return (path[0] == flow.src && flow.src == flow.dst).then_some(0);
+    }
+    if path.first() != Some(&flow.src) || path.last() != Some(&flow.dst) {
+        return None;
+    }
+    if !topo.is_simple_path(path) {
+        return None;
+    }
+    let mut cost = 0u64;
+    for w in path.windows(2) {
+        let link = topo.link_between(w[0], w[1])?;
+        cost += u64::from(topo.link(link).metric);
+    }
+    for i in 1..path.len() - 1 {
+        let c = db
+            .policy(path[i])
+            .evaluate(flow, Some(path[i - 1]), Some(path[i + 1]))?;
+        cost += u64::from(c);
+    }
+    Some(cost)
+}
+
+/// Exhaustive reference implementation: enumerates **all simple paths**
+/// and returns the least-cost legal one. Exponential; only for testing the
+/// oracle on small graphs.
+pub fn legal_route_bruteforce(
+    topo: &Topology,
+    db: &PolicyDb,
+    flow: &FlowSpec,
+) -> Option<LegalRoute> {
+    fn rec(
+        topo: &Topology,
+        db: &PolicyDb,
+        flow: &FlowSpec,
+        path: &mut Vec<AdId>,
+        on_path: &mut Vec<bool>,
+        best: &mut Option<LegalRoute>,
+    ) {
+        let cur = *path.last().unwrap();
+        if cur == flow.dst {
+            if let Some(cost) = route_is_legal(topo, db, flow, path) {
+                if best.as_ref().is_none_or(|b| cost < b.cost) {
+                    *best = Some(LegalRoute { path: path.clone(), cost });
+                }
+            }
+            return;
+        }
+        for (nbr, _) in topo.neighbors(cur) {
+            if !on_path[nbr.index()] {
+                on_path[nbr.index()] = true;
+                path.push(nbr);
+                rec(topo, db, flow, path, on_path, best);
+                path.pop();
+                on_path[nbr.index()] = false;
+            }
+        }
+    }
+    if flow.src == flow.dst {
+        return Some(LegalRoute { path: vec![flow.src], cost: 0 });
+    }
+    let mut best = None;
+    let mut on_path = vec![false; topo.num_ads()];
+    on_path[flow.src.index()] = true;
+    rec(topo, db, flow, &mut vec![flow.src], &mut on_path, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terms::{AdSet, PolicyAction, PolicyCondition, TransitPolicy};
+    use adroute_topology::generate::{line, ring};
+
+    #[test]
+    fn permissive_oracle_matches_shortest_path() {
+        let t = ring(6);
+        let db = PolicyDb::permissive(&t);
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let r = legal_route(&t, &db, &f).unwrap();
+        assert_eq!(r.cost, 3);
+        assert_eq!(r.hops(), 3);
+    }
+
+    #[test]
+    fn deny_all_transit_blocks_route() {
+        let t = line(3);
+        let mut db = PolicyDb::permissive(&t);
+        db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let f = FlowSpec::best_effort(AdId(0), AdId(2));
+        assert!(legal_route(&t, &db, &f).is_none());
+        // But the middle AD can still originate/terminate.
+        let f2 = FlowSpec::best_effort(AdId(0), AdId(1));
+        assert!(legal_route(&t, &db, &f2).is_some());
+    }
+
+    #[test]
+    fn oracle_routes_around_denials() {
+        let t = ring(6); // two paths 0->3: via 1,2 and via 5,4
+        let mut db = PolicyDb::permissive(&t);
+        db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let r = legal_route(&t, &db, &f).unwrap();
+        assert_eq!(r.path, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+    }
+
+    #[test]
+    fn transit_charges_affect_choice() {
+        let t = ring(4); // 0->2 via 1 or via 3
+        let mut db = PolicyDb::permissive(&t);
+        db.policy_mut(AdId(1)).default = PolicyAction::Permit { cost: 10 };
+        let f = FlowSpec::best_effort(AdId(0), AdId(2));
+        let r = legal_route(&t, &db, &f).unwrap();
+        assert_eq!(r.path, vec![AdId(0), AdId(3), AdId(2)]);
+        assert_eq!(r.cost, 2);
+    }
+
+    #[test]
+    fn prev_next_conditions_enforced() {
+        // 0 - 1 - 2 and 0 - 3 - 1: AD1 refuses packets arriving from AD0
+        // directly but accepts them via AD3.
+        let t = ring(4); // edges 0-1, 1-2, 2-3, 0-3
+        let mut db = PolicyDb::permissive(&t);
+        let mut p1 = TransitPolicy::permit_all(AdId(1));
+        p1.push_term(
+            vec![PolicyCondition::PrevIn(AdSet::only([AdId(0)]))],
+            PolicyAction::Deny,
+        );
+        db.set_policy(p1);
+        let f = FlowSpec::best_effort(AdId(0), AdId(2));
+        let r = legal_route(&t, &db, &f).unwrap();
+        // Direct 0-1-2 is illegal (prev=0 at AD1); 0-3-2 works.
+        assert_eq!(r.path, vec![AdId(0), AdId(3), AdId(2)]);
+    }
+
+    #[test]
+    fn route_is_legal_checks_everything() {
+        let t = line(4);
+        let mut db = PolicyDb::permissive(&t);
+        db.policy_mut(AdId(1)).default = PolicyAction::Permit { cost: 5 };
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let p = [AdId(0), AdId(1), AdId(2), AdId(3)];
+        assert_eq!(route_is_legal(&t, &db, &f, &p), Some(3 + 5));
+        // wrong endpoints
+        assert_eq!(route_is_legal(&t, &db, &f, &[AdId(1), AdId(2), AdId(3)]), None);
+        // non-adjacent
+        assert_eq!(route_is_legal(&t, &db, &f, &[AdId(0), AdId(2), AdId(3)]), None);
+        // denial on path
+        db.set_policy(TransitPolicy::deny_all(AdId(2)));
+        assert_eq!(route_is_legal(&t, &db, &f, &p), None);
+    }
+
+    #[test]
+    fn route_selection_avoidance() {
+        let t = ring(6);
+        let db = PolicyDb::permissive(&t);
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let sel = RouteSelection::avoiding([AdId(1), AdId(2)]);
+        let mut stats = SearchStats::default();
+        let r = legal_route_with(&t, &db, &f, &sel, &mut stats).unwrap();
+        assert_eq!(r.path, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+        assert!(stats.settled > 0 && stats.relaxations > 0);
+    }
+
+    #[test]
+    fn route_selection_max_cost_rejects() {
+        let t = line(5);
+        let db = PolicyDb::permissive(&t);
+        let f = FlowSpec::best_effort(AdId(0), AdId(4));
+        let sel = RouteSelection { max_cost: Some(3), ..RouteSelection::unconstrained() };
+        let mut stats = SearchStats::default();
+        assert!(legal_route_with(&t, &db, &f, &sel, &mut stats).is_none());
+    }
+
+    #[test]
+    fn oracle_agrees_with_bruteforce_on_random_policies() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let t = if trial % 2 == 0 { ring(6) } else { adroute_topology::generate::grid(2, 3) };
+            let mut db = PolicyDb::permissive(&t);
+            for ad in t.ad_ids() {
+                if rng.gen_bool(0.4) {
+                    let p = db.policy_mut(ad);
+                    let denied: Vec<AdId> = t
+                        .ad_ids()
+                        .filter(|_| rng.gen_bool(0.3))
+                        .collect();
+                    p.push_term(
+                        vec![PolicyCondition::SrcIn(AdSet::only(denied))],
+                        PolicyAction::Deny,
+                    );
+                }
+                if rng.gen_bool(0.3) {
+                    db.policy_mut(ad).default = PolicyAction::Permit { cost: rng.gen_range(0..5) };
+                }
+            }
+            let src = AdId(rng.gen_range(0..t.num_ads() as u32));
+            let dst = AdId(rng.gen_range(0..t.num_ads() as u32));
+            let f = FlowSpec::best_effort(src, dst);
+            let fast = legal_route(&t, &db, &f);
+            let slow = legal_route_bruteforce(&t, &db, &f);
+            match (&fast, &slow) {
+                (Some(a), Some(b)) => assert_eq!(a.cost, b.cost, "trial {trial}: {f}"),
+                (None, None) => {}
+                _ => panic!("trial {trial}: oracle {fast:?} vs brute {slow:?} for {f}"),
+            }
+            if let Some(r) = fast {
+                assert_eq!(route_is_legal(&t, &db, &f, &r.path), Some(r.cost));
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_flow() {
+        let t = line(2);
+        let db = PolicyDb::permissive(&t);
+        let f = FlowSpec::best_effort(AdId(0), AdId(0));
+        let r = legal_route(&t, &db, &f).unwrap();
+        assert_eq!(r.path, vec![AdId(0)]);
+        assert_eq!(r.cost, 0);
+        assert_eq!(route_is_legal(&t, &db, &f, &[AdId(0)]), Some(0));
+    }
+}

@@ -1,0 +1,678 @@
+//! Policy Terms: explicit, advertisable policy statements (RFC 1102 /
+//! paper Section 4.2).
+//!
+//! "Link or path updates contain administrative constraints and service
+//! guarantees that apply to the resources they advertise. We refer to these
+//! constraints as Policy Terms (PTs)." Each AD groups its PTs into a
+//! [`TransitPolicy`]; sources hold private [`RouteSelection`] criteria.
+
+use adroute_topology::AdId;
+use std::fmt;
+
+use crate::class::{FlowSpec, QosClass, TimeOfDay, UserClass};
+
+/// A set of ADs, as appears in policy conditions.
+///
+/// Kept sorted for deterministic evaluation and cheap membership tests.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AdSet {
+    /// Matches every AD.
+    Any,
+    /// Matches exactly the listed ADs.
+    Only(Vec<AdId>),
+    /// Matches every AD except the listed ones.
+    Except(Vec<AdId>),
+}
+
+impl AdSet {
+    /// Builds an [`AdSet::Only`] from an iterator, sorting and deduplicating.
+    pub fn only(ads: impl IntoIterator<Item = AdId>) -> AdSet {
+        let mut v: Vec<AdId> = ads.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        AdSet::Only(v)
+    }
+
+    /// Builds an [`AdSet::Except`] from an iterator, sorting and deduplicating.
+    pub fn except(ads: impl IntoIterator<Item = AdId>) -> AdSet {
+        let mut v: Vec<AdId> = ads.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        AdSet::Except(v)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, ad: AdId) -> bool {
+        match self {
+            AdSet::Any => true,
+            AdSet::Only(v) => v.binary_search(&ad).is_ok(),
+            AdSet::Except(v) => v.binary_search(&ad).is_err(),
+        }
+    }
+
+    /// Approximate encoded size in bytes, for message accounting.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            AdSet::Any => 1,
+            AdSet::Only(v) | AdSet::Except(v) => 1 + 4 * v.len(),
+        }
+    }
+
+    /// Whether this set matches no AD at all.
+    pub fn is_empty_set(&self) -> bool {
+        matches!(self, AdSet::Only(v) if v.is_empty())
+    }
+
+    /// Set intersection. Path-vector protocols narrow a route's
+    /// distribution scope by intersecting it with each transit AD's policy
+    /// scope (paper Section 5.2: "additional policy constraints can be
+    /// added" as updates propagate).
+    pub fn intersect(&self, other: &AdSet) -> AdSet {
+        use AdSet::*;
+        match (self, other) {
+            (Any, x) | (x, Any) => x.clone(),
+            (Only(a), Only(b)) => {
+                AdSet::Only(a.iter().copied().filter(|x| b.binary_search(x).is_ok()).collect())
+            }
+            (Only(a), Except(b)) | (Except(b), Only(a)) => {
+                AdSet::Only(a.iter().copied().filter(|x| b.binary_search(x).is_err()).collect())
+            }
+            (Except(a), Except(b)) => {
+                let mut v: Vec<AdId> = a.iter().chain(b.iter()).copied().collect();
+                v.sort_unstable();
+                v.dedup();
+                AdSet::Except(v)
+            }
+        }
+    }
+
+    /// Set difference `self \ removed` where `removed` is a plain list.
+    pub fn subtract(&self, removed: &[AdId]) -> AdSet {
+        let mut r = removed.to_vec();
+        r.sort_unstable();
+        r.dedup();
+        self.intersect(&AdSet::Except(r))
+    }
+}
+
+impl fmt::Display for AdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdSet::Any => f.write_str("*"),
+            AdSet::Only(v) => {
+                write!(f, "{{")?;
+                for (i, a) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "}}")
+            }
+            AdSet::Except(v) => {
+                write!(f, "!{{")?;
+                for (i, a) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// One condition of a Policy Term. A term matches a traversal when **all**
+/// its conditions match (conjunction).
+///
+/// The ORWG architecture's "path constraints restrict access to the path
+/// based on source AD, destination AD, previous AD, or next AD in the
+/// path" (paper Section 5.4.1), plus QOS, user class, and "other global
+/// conditions" such as time of day.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PolicyCondition {
+    /// Source AD of the flow must be in the set.
+    SrcIn(AdSet),
+    /// Destination AD of the flow must be in the set.
+    DstIn(AdSet),
+    /// The AD the packet arrives from must be in the set. Matches only
+    /// when a previous AD exists (i.e. the evaluating AD is not the
+    /// source).
+    PrevIn(AdSet),
+    /// The AD the packet will be handed to must be in the set. Matches
+    /// only when a next AD exists (i.e. the evaluating AD is not the
+    /// destination).
+    NextIn(AdSet),
+    /// Requested QOS must be one of the listed classes.
+    QosIn(Vec<QosClass>),
+    /// User class must be one of the listed classes.
+    UciIn(Vec<UserClass>),
+    /// Flow time must lie in `[start, end)` (may wrap midnight).
+    TimeWindow(TimeOfDay, TimeOfDay),
+}
+
+impl PolicyCondition {
+    /// Evaluates this condition for a traversal of the policy's AD by
+    /// `flow`, arriving from `prev` and departing toward `next` (`None`
+    /// when the evaluating AD is the flow's source / destination
+    /// respectively).
+    pub fn matches(&self, flow: &FlowSpec, prev: Option<AdId>, next: Option<AdId>) -> bool {
+        match self {
+            PolicyCondition::SrcIn(s) => s.contains(flow.src),
+            PolicyCondition::DstIn(s) => s.contains(flow.dst),
+            PolicyCondition::PrevIn(s) => prev.is_some_and(|p| s.contains(p)),
+            PolicyCondition::NextIn(s) => next.is_some_and(|n| s.contains(n)),
+            PolicyCondition::QosIn(qs) => qs.contains(&flow.qos),
+            PolicyCondition::UciIn(us) => us.contains(&flow.uci),
+            PolicyCondition::TimeWindow(s, e) => flow.time.in_window(*s, *e),
+        }
+    }
+
+    /// Approximate encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        1 + match self {
+            PolicyCondition::SrcIn(s)
+            | PolicyCondition::DstIn(s)
+            | PolicyCondition::PrevIn(s)
+            | PolicyCondition::NextIn(s) => s.encoded_size(),
+            PolicyCondition::QosIn(v) => 1 + v.len(),
+            PolicyCondition::UciIn(v) => 1 + v.len(),
+            PolicyCondition::TimeWindow(..) => 4,
+        }
+    }
+}
+
+/// What a matching Policy Term decides.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyAction {
+    /// Transit permitted, at the given advertised cost (charging /
+    /// accounting surrogate; added to the route metric).
+    Permit {
+        /// Cost the AD charges for this class of transit.
+        cost: u32,
+    },
+    /// Transit denied.
+    Deny,
+}
+
+/// Identifier of a Policy Term: the advertising AD plus a per-AD serial.
+/// Setup packets cite PT ids so Policy Gateways can validate against the
+/// exact terms the source believed it was using.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PtId {
+    /// Advertising AD.
+    pub ad: AdId,
+    /// Serial within the AD's policy.
+    pub serial: u16,
+}
+
+impl fmt::Display for PtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.ad, self.serial)
+    }
+}
+
+/// One Policy Term: conditions plus an action.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PolicyTerm {
+    /// Identifier (advertising AD + serial).
+    pub id: PtId,
+    /// Conjunctive conditions; an empty list matches everything.
+    pub conditions: Vec<PolicyCondition>,
+    /// Permit (with cost) or deny.
+    pub action: PolicyAction,
+}
+
+impl PolicyTerm {
+    /// Whether every condition matches the given traversal.
+    pub fn matches(&self, flow: &FlowSpec, prev: Option<AdId>, next: Option<AdId>) -> bool {
+        self.conditions.iter().all(|c| c.matches(flow, prev, next))
+    }
+
+    /// Approximate encoded size in bytes (id + action + conditions).
+    pub fn encoded_size(&self) -> usize {
+        6 + 5 + self.conditions.iter().map(|c| c.encoded_size()).sum::<usize>()
+    }
+}
+
+/// The transit policy of one AD: an ordered list of Policy Terms with
+/// first-match-wins semantics and a default action.
+///
+/// Per paper Section 2.3 this controls **use of the AD's resources for
+/// transit**, not end-system access: flows sourced at or destined to the
+/// AD itself are always permitted (network access control is a separate,
+/// orthogonal mechanism — Section 3).
+#[derive(Clone, Debug)]
+pub struct TransitPolicy {
+    /// The AD whose policy this is.
+    pub ad: AdId,
+    /// Ordered terms; the first matching term decides.
+    pub terms: Vec<PolicyTerm>,
+    /// Action when no term matches.
+    pub default: PolicyAction,
+}
+
+impl TransitPolicy {
+    /// A policy that permits all transit at cost 0 — the "least restrictive
+    /// polic\[y\] possible" the paper urges ADs to adopt.
+    pub fn permit_all(ad: AdId) -> TransitPolicy {
+        TransitPolicy { ad, terms: Vec::new(), default: PolicyAction::Permit { cost: 0 } }
+    }
+
+    /// A policy that denies all transit — what a stub or multi-homed stub
+    /// advertises.
+    pub fn deny_all(ad: AdId) -> TransitPolicy {
+        TransitPolicy { ad, terms: Vec::new(), default: PolicyAction::Deny }
+    }
+
+    /// Appends a term, assigning the next serial. Returns the new term's id.
+    pub fn push_term(
+        &mut self,
+        conditions: Vec<PolicyCondition>,
+        action: PolicyAction,
+    ) -> PtId {
+        let id = PtId { ad: self.ad, serial: self.terms.len() as u16 };
+        self.terms.push(PolicyTerm { id, conditions, action });
+        id
+    }
+
+    /// Evaluates a transit traversal: the first matching term decides,
+    /// otherwise the default.
+    ///
+    /// Returns `Some(cost)` if permitted (the AD's advertised transit
+    /// charge) or `None` if denied. `prev`/`next` are `None` at the flow's
+    /// source / destination respectively — but note that an AD never
+    /// evaluates its own transit policy for flows it originates or
+    /// terminates (see [`TransitPolicy::evaluate_on_path`]).
+    pub fn evaluate(
+        &self,
+        flow: &FlowSpec,
+        prev: Option<AdId>,
+        next: Option<AdId>,
+    ) -> Option<u32> {
+        let action = self
+            .terms
+            .iter()
+            .find(|t| t.matches(flow, prev, next))
+            .map(|t| t.action)
+            .unwrap_or(self.default);
+        match action {
+            PolicyAction::Permit { cost } => Some(cost),
+            PolicyAction::Deny => None,
+        }
+    }
+
+    /// Like [`TransitPolicy::evaluate`], but also returns the id of the
+    /// deciding term (`None` for the default action). Policy Gateways use
+    /// this to check the PT ids cited in setup packets.
+    pub fn evaluate_with_term(
+        &self,
+        flow: &FlowSpec,
+        prev: Option<AdId>,
+        next: Option<AdId>,
+    ) -> (Option<u32>, Option<PtId>) {
+        if let Some(t) = self.terms.iter().find(|t| t.matches(flow, prev, next)) {
+            match t.action {
+                PolicyAction::Permit { cost } => (Some(cost), Some(t.id)),
+                PolicyAction::Deny => (None, Some(t.id)),
+            }
+        } else {
+            match self.default {
+                PolicyAction::Permit { cost } => (Some(cost), None),
+                PolicyAction::Deny => (None, None),
+            }
+        }
+    }
+
+    /// Evaluates this AD's traversal as position `i` of `path` for `flow`.
+    /// Endpoints are always permitted at cost 0 (transit policy governs
+    /// transit only).
+    ///
+    /// # Panics
+    /// Panics if `path[i]` is not this policy's AD.
+    pub fn evaluate_on_path(&self, flow: &FlowSpec, path: &[AdId], i: usize) -> Option<u32> {
+        assert_eq!(path[i], self.ad);
+        if i == 0 || i == path.len() - 1 {
+            return Some(0);
+        }
+        self.evaluate(flow, Some(path[i - 1]), Some(path[i + 1]))
+    }
+
+    /// Approximate encoded size in bytes of the whole policy as advertised.
+    pub fn encoded_size(&self) -> usize {
+        4 + 1 + self.terms.iter().map(|t| t.encoded_size()).sum::<usize>()
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// Source-side route selection criteria (paper Section 2.3: "policies of
+/// the source", which under source routing "can [be kept] private from
+/// other ADs" — Section 5.4).
+#[derive(Clone, Debug)]
+pub struct RouteSelection {
+    /// ADs the source refuses to route through (e.g. untrusted carriers).
+    pub avoid: AdSet,
+    /// Maximum acceptable total route cost (metric + transit charges), if
+    /// bounded.
+    pub max_cost: Option<u64>,
+    /// Maximum acceptable AD-hop count, if bounded.
+    pub max_hops: Option<usize>,
+}
+
+impl RouteSelection {
+    /// No source-side constraints.
+    pub fn unconstrained() -> RouteSelection {
+        RouteSelection { avoid: AdSet::Only(Vec::new()), max_cost: None, max_hops: None }
+    }
+
+    /// Avoid the listed transit ADs.
+    pub fn avoiding(ads: impl IntoIterator<Item = AdId>) -> RouteSelection {
+        RouteSelection {
+            avoid: AdSet::only(ads),
+            max_cost: None,
+            max_hops: None,
+        }
+    }
+
+    /// Whether a complete route satisfies these criteria. The avoid-set is
+    /// checked against *transit* ADs only (a source cannot avoid itself or
+    /// its destination).
+    pub fn accepts(&self, path: &[AdId], cost: u64) -> bool {
+        if let Some(mc) = self.max_cost {
+            if cost > mc {
+                return false;
+            }
+        }
+        if let Some(mh) = self.max_hops {
+            if path.len().saturating_sub(1) > mh {
+                return false;
+            }
+        }
+        if path.len() > 2 {
+            for ad in &path[1..path.len() - 1] {
+                if self.avoid.contains(*ad) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether a transit AD is acceptable to this source.
+    pub fn allows_transit(&self, ad: AdId) -> bool {
+        !self.avoid.contains(ad)
+    }
+}
+
+impl Default for RouteSelection {
+    fn default() -> Self {
+        RouteSelection::unconstrained()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::FlowSpec;
+
+    fn flow() -> FlowSpec {
+        FlowSpec::best_effort(AdId(0), AdId(9))
+    }
+
+    #[test]
+    fn adset_membership() {
+        assert!(AdSet::Any.contains(AdId(5)));
+        let only = AdSet::only([AdId(3), AdId(1), AdId(3)]);
+        assert!(only.contains(AdId(1)));
+        assert!(!only.contains(AdId(2)));
+        let except = AdSet::except([AdId(4)]);
+        assert!(except.contains(AdId(5)));
+        assert!(!except.contains(AdId(4)));
+    }
+
+    #[test]
+    fn adset_intersection() {
+        let only12 = AdSet::only([AdId(1), AdId(2)]);
+        let only23 = AdSet::only([AdId(2), AdId(3)]);
+        let except2 = AdSet::except([AdId(2)]);
+        assert_eq!(AdSet::Any.intersect(&only12), only12);
+        assert_eq!(only12.intersect(&only23), AdSet::only([AdId(2)]));
+        assert_eq!(only12.intersect(&except2), AdSet::only([AdId(1)]));
+        assert_eq!(
+            except2.intersect(&AdSet::except([AdId(3)])),
+            AdSet::except([AdId(2), AdId(3)])
+        );
+        assert!(only12.intersect(&AdSet::only([AdId(9)])).is_empty_set());
+        assert!(!AdSet::Any.is_empty_set());
+        assert!(!except2.is_empty_set());
+    }
+
+    #[test]
+    fn adset_subtraction() {
+        let s = AdSet::only([AdId(1), AdId(2), AdId(3)]);
+        assert_eq!(s.subtract(&[AdId(2)]), AdSet::only([AdId(1), AdId(3)]));
+        assert_eq!(AdSet::Any.subtract(&[AdId(5)]), AdSet::except([AdId(5)]));
+        // Subtracting from Except accumulates exclusions.
+        assert_eq!(
+            AdSet::except([AdId(1)]).subtract(&[AdId(2), AdId(2)]),
+            AdSet::except([AdId(1), AdId(2)])
+        );
+    }
+
+    #[test]
+    fn adset_display_and_size() {
+        assert_eq!(AdSet::Any.to_string(), "*");
+        assert_eq!(AdSet::only([AdId(1), AdId(2)]).to_string(), "{AD1,AD2}");
+        assert_eq!(AdSet::except([AdId(1)]).to_string(), "!{AD1}");
+        assert_eq!(AdSet::Any.encoded_size(), 1);
+        assert_eq!(AdSet::only([AdId(1), AdId(2)]).encoded_size(), 9);
+    }
+
+    #[test]
+    fn conditions_match() {
+        let f = flow();
+        assert!(PolicyCondition::SrcIn(AdSet::only([AdId(0)])).matches(&f, None, None));
+        assert!(!PolicyCondition::SrcIn(AdSet::only([AdId(1)])).matches(&f, None, None));
+        assert!(PolicyCondition::DstIn(AdSet::Any).matches(&f, None, None));
+        // Prev/Next require the hop to exist.
+        let prev = PolicyCondition::PrevIn(AdSet::Any);
+        assert!(prev.matches(&f, Some(AdId(2)), None));
+        assert!(!prev.matches(&f, None, None));
+        let next = PolicyCondition::NextIn(AdSet::only([AdId(7)]));
+        assert!(next.matches(&f, None, Some(AdId(7))));
+        assert!(!next.matches(&f, None, Some(AdId(8))));
+        assert!(!next.matches(&f, None, None));
+        assert!(PolicyCondition::QosIn(vec![QosClass(0)]).matches(&f, None, None));
+        assert!(!PolicyCondition::QosIn(vec![QosClass(1)]).matches(&f, None, None));
+        assert!(PolicyCondition::UciIn(vec![UserClass(0)]).matches(&f, None, None));
+        assert!(PolicyCondition::TimeWindow(TimeOfDay::hm(9, 0), TimeOfDay::hm(17, 0))
+            .matches(&f, None, None));
+        assert!(!PolicyCondition::TimeWindow(TimeOfDay::hm(0, 0), TimeOfDay::hm(1, 0))
+            .matches(&f, None, None));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut p = TransitPolicy::permit_all(AdId(5));
+        // Deny traffic sourced at AD0 …
+        p.push_term(vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))], PolicyAction::Deny);
+        // … but this later, broader permit never fires for AD0 sources.
+        p.push_term(vec![], PolicyAction::Permit { cost: 7 });
+        let f = flow();
+        assert_eq!(p.evaluate(&f, Some(AdId(1)), Some(AdId(2))), None);
+        let f2 = FlowSpec::best_effort(AdId(3), AdId(9));
+        assert_eq!(p.evaluate(&f2, Some(AdId(1)), Some(AdId(2))), Some(7));
+    }
+
+    #[test]
+    fn default_action_applies() {
+        let p = TransitPolicy::deny_all(AdId(5));
+        assert_eq!(p.evaluate(&flow(), Some(AdId(1)), Some(AdId(2))), None);
+        let p2 = TransitPolicy::permit_all(AdId(5));
+        assert_eq!(p2.evaluate(&flow(), Some(AdId(1)), Some(AdId(2))), Some(0));
+    }
+
+    #[test]
+    fn evaluate_with_term_reports_decider() {
+        let mut p = TransitPolicy::deny_all(AdId(5));
+        let id = p.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))],
+            PolicyAction::Permit { cost: 2 },
+        );
+        let (cost, pt) = p.evaluate_with_term(&flow(), Some(AdId(1)), Some(AdId(2)));
+        assert_eq!(cost, Some(2));
+        assert_eq!(pt, Some(id));
+        let f2 = FlowSpec::best_effort(AdId(3), AdId(9));
+        let (cost2, pt2) = p.evaluate_with_term(&f2, Some(AdId(1)), Some(AdId(2)));
+        assert_eq!(cost2, None);
+        assert_eq!(pt2, None); // default decided
+    }
+
+    #[test]
+    fn endpoints_always_permitted() {
+        let p = TransitPolicy::deny_all(AdId(0));
+        let f = flow(); // src is AD0
+        let path = [AdId(0), AdId(5), AdId(9)];
+        assert_eq!(p.evaluate_on_path(&f, &path, 0), Some(0));
+        let pd = TransitPolicy::deny_all(AdId(9));
+        assert_eq!(pd.evaluate_on_path(&f, &path, 2), Some(0));
+    }
+
+    #[test]
+    fn route_selection_criteria() {
+        let rs = RouteSelection::avoiding([AdId(5)]);
+        assert!(!rs.accepts(&[AdId(0), AdId(5), AdId(9)], 10));
+        assert!(rs.accepts(&[AdId(0), AdId(6), AdId(9)], 10));
+        // endpoints not subject to avoid
+        assert!(rs.accepts(&[AdId(0), AdId(9)], 1));
+        assert!(!rs.allows_transit(AdId(5)));
+
+        let rs2 = RouteSelection { max_cost: Some(5), ..RouteSelection::unconstrained() };
+        assert!(!rs2.accepts(&[AdId(0), AdId(1), AdId(9)], 6));
+        assert!(rs2.accepts(&[AdId(0), AdId(1), AdId(9)], 5));
+
+        let rs3 = RouteSelection { max_hops: Some(2), ..RouteSelection::unconstrained() };
+        assert!(rs3.accepts(&[AdId(0), AdId(1), AdId(9)], 100));
+        assert!(!rs3.accepts(&[AdId(0), AdId(1), AdId(2), AdId(9)], 100));
+    }
+
+    #[test]
+    fn term_serials_increment() {
+        let mut p = TransitPolicy::permit_all(AdId(3));
+        let a = p.push_term(vec![], PolicyAction::Deny);
+        let b = p.push_term(vec![], PolicyAction::Deny);
+        assert_eq!(a.serial, 0);
+        assert_eq!(b.serial, 1);
+        assert_eq!(a.ad, AdId(3));
+        assert_eq!(p.num_terms(), 2);
+    }
+
+    #[test]
+    fn encoded_sizes_positive() {
+        let mut p = TransitPolicy::permit_all(AdId(3));
+        let empty = p.encoded_size();
+        p.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(0), AdId(1)]))],
+            PolicyAction::Deny,
+        );
+        assert!(p.encoded_size() > empty);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::class::FlowSpec;
+    use proptest::prelude::*;
+
+    fn arb_adset() -> impl Strategy<Value = AdSet> {
+        prop_oneof![
+            Just(AdSet::Any),
+            proptest::collection::vec(0u32..20, 0..6)
+                .prop_map(|v| AdSet::only(v.into_iter().map(AdId))),
+            proptest::collection::vec(0u32..20, 0..6)
+                .prop_map(|v| AdSet::except(v.into_iter().map(AdId))),
+        ]
+    }
+
+    proptest! {
+        /// Intersection agrees with pointwise conjunction of membership.
+        #[test]
+        fn intersection_is_pointwise_and(a in arb_adset(), b in arb_adset(), ad in 0u32..25) {
+            let ad = AdId(ad);
+            let i = a.intersect(&b);
+            prop_assert_eq!(i.contains(ad), a.contains(ad) && b.contains(ad));
+        }
+
+        /// Intersection is commutative in semantics.
+        #[test]
+        fn intersection_commutes(a in arb_adset(), b in arb_adset(), ad in 0u32..25) {
+            let ad = AdId(ad);
+            prop_assert_eq!(a.intersect(&b).contains(ad), b.intersect(&a).contains(ad));
+        }
+
+        /// Subtraction removes exactly the listed members.
+        #[test]
+        fn subtraction_is_pointwise(a in arb_adset(),
+                                    removed in proptest::collection::vec(0u32..20, 0..6),
+                                    ad in 0u32..25) {
+            let removed: Vec<AdId> = removed.into_iter().map(AdId).collect();
+            let ad = AdId(ad);
+            let s = a.subtract(&removed);
+            prop_assert_eq!(s.contains(ad), a.contains(ad) && !removed.contains(&ad));
+        }
+
+        /// An empty-set check is consistent with membership.
+        #[test]
+        fn emptiness_consistent(a in arb_adset()) {
+            if a.is_empty_set() {
+                for x in 0..25u32 {
+                    prop_assert!(!a.contains(AdId(x)));
+                }
+            }
+        }
+
+        /// `evaluate` and `evaluate_with_term` always agree on the verdict,
+        /// and any cited PT really is the first matching term.
+        #[test]
+        fn evaluate_consistency(seed in 0u64..500, nterms in 0usize..5) {
+            use rand::rngs::SmallRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut p = TransitPolicy::permit_all(AdId(9));
+            for _ in 0..nterms {
+                let cond = match rng.gen_range(0..3) {
+                    0 => PolicyCondition::SrcIn(AdSet::only(
+                        (0..rng.gen_range(0..4)).map(|_| AdId(rng.gen_range(0..6))))),
+                    1 => PolicyCondition::QosIn(vec![QosClass(rng.gen_range(0..3))]),
+                    _ => PolicyCondition::PrevIn(AdSet::only(
+                        (0..rng.gen_range(0..4)).map(|_| AdId(rng.gen_range(0..6))))),
+                };
+                let action = if rng.gen_bool(0.5) {
+                    PolicyAction::Deny
+                } else {
+                    PolicyAction::Permit { cost: rng.gen_range(0..9) }
+                };
+                p.push_term(vec![cond], action);
+            }
+            let flow = FlowSpec::best_effort(AdId(rng.gen_range(0..6)), AdId(rng.gen_range(0..6)))
+                .with_qos(QosClass(rng.gen_range(0..3)));
+            let prev = Some(AdId(rng.gen_range(0..6)));
+            let next = Some(AdId(rng.gen_range(0..6)));
+            let v1 = p.evaluate(&flow, prev, next);
+            let (v2, cited) = p.evaluate_with_term(&flow, prev, next);
+            prop_assert_eq!(v1, v2);
+            if let Some(pt) = cited {
+                let first = p.terms.iter().find(|t| t.matches(&flow, prev, next)).unwrap();
+                prop_assert_eq!(first.id, pt);
+            } else {
+                prop_assert!(p.terms.iter().all(|t| !t.matches(&flow, prev, next)));
+            }
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! A human-readable text form for transit policies.
+//!
+//! Administrators, not protocols, write policies (paper Section 6: "it
+//! will be the job of local administrators to specify policies for their
+//! ADs"). This module gives [`TransitPolicy`] a stable, round-trippable
+//! text syntax used by examples, golden tests, and anyone inspecting a
+//! workload:
+//!
+//! ```text
+//! policy AD5 {
+//!     deny src {AD1, AD2};
+//!     permit qos {1, 2} cost 3;
+//!     permit src {AD3} dst !{AD9} prev {AD0} time 19:00-07:00 cost 2;
+//!     default permit 0;
+//! }
+//! ```
+//!
+//! Semantics match the in-memory model exactly: terms are ordered,
+//! first match wins, conditions within a term are conjunctive, `!{…}`
+//! is set complement, and `default` gives the action when nothing
+//! matches.
+
+use std::fmt;
+use std::str::FromStr;
+
+use adroute_topology::AdId;
+
+use crate::class::{QosClass, TimeOfDay, UserClass};
+use crate::terms::{AdSet, PolicyAction, PolicyCondition, PolicyTerm, TransitPolicy};
+
+/// Formats a policy in the canonical text syntax.
+pub fn format_policy(p: &TransitPolicy) -> String {
+    let mut out = format!("policy {} {{\n", p.ad);
+    for term in &p.terms {
+        out.push_str("    ");
+        out.push_str(&format_term(term));
+        out.push_str(";\n");
+    }
+    out.push_str("    default ");
+    out.push_str(&format_action(&p.default));
+    out.push_str(";\n}\n");
+    out
+}
+
+fn format_action(a: &PolicyAction) -> String {
+    match a {
+        PolicyAction::Permit { cost } => format!("permit {cost}"),
+        PolicyAction::Deny => "deny".to_string(),
+    }
+}
+
+fn format_term(t: &PolicyTerm) -> String {
+    let mut s = match t.action {
+        PolicyAction::Permit { .. } => "permit".to_string(),
+        PolicyAction::Deny => "deny".to_string(),
+    };
+    for c in &t.conditions {
+        s.push(' ');
+        match c {
+            PolicyCondition::SrcIn(set) => s.push_str(&format!("src {set}")),
+            PolicyCondition::DstIn(set) => s.push_str(&format!("dst {set}")),
+            PolicyCondition::PrevIn(set) => s.push_str(&format!("prev {set}")),
+            PolicyCondition::NextIn(set) => s.push_str(&format!("next {set}")),
+            PolicyCondition::QosIn(qs) => {
+                let list: Vec<String> = qs.iter().map(|q| q.0.to_string()).collect();
+                s.push_str(&format!("qos {{{}}}", list.join(", ")));
+            }
+            PolicyCondition::UciIn(us) => {
+                let list: Vec<String> = us.iter().map(|u| u.0.to_string()).collect();
+                s.push_str(&format!("uci {{{}}}", list.join(", ")));
+            }
+            PolicyCondition::TimeWindow(a, b) => s.push_str(&format!("time {a}-{b}")),
+        }
+    }
+    if let PolicyAction::Permit { cost } = t.action {
+        s.push_str(&format!(" cost {cost}"));
+    }
+    s
+}
+
+/// An error produced while parsing policy text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// What went wrong, with enough context to find it.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { message: message.into() })
+}
+
+/// A tiny hand-rolled tokenizer: words, numbers, and punctuation.
+struct Lexer<'a> {
+    rest: &'a str,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tok<'a> {
+    Word(&'a str),
+    Punct(char),
+}
+
+impl<'a> Lexer<'a> {
+    fn new(s: &'a str) -> Lexer<'a> {
+        Lexer { rest: s }
+    }
+
+    fn next(&mut self) -> Option<Tok<'a>> {
+        self.rest = self.rest.trim_start();
+        let mut chars = self.rest.char_indices();
+        let (_, first) = chars.next()?;
+        if first.is_alphanumeric() || first == ':' {
+            let end = self
+                .rest
+                .char_indices()
+                .find(|&(_, c)| !(c.is_alphanumeric() || c == ':'))
+                .map(|(i, _)| i)
+                .unwrap_or(self.rest.len());
+            let (word, rest) = self.rest.split_at(end);
+            self.rest = rest;
+            Some(Tok::Word(word))
+        } else {
+            self.rest = &self.rest[first.len_utf8()..];
+            Some(Tok::Punct(first))
+        }
+    }
+
+    fn expect_word(&mut self, want: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Word(w)) if w == want => Ok(()),
+            other => err(format!("expected '{want}', found {other:?}")),
+        }
+    }
+
+    fn expect_punct(&mut self, want: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == want => Ok(()),
+            other => err(format!("expected '{want}', found {other:?}")),
+        }
+    }
+
+    fn peek(&self) -> Option<Tok<'a>> {
+        Lexer { rest: self.rest }.next()
+    }
+}
+
+fn parse_ad(word: &str) -> Result<AdId, ParseError> {
+    let digits = word.strip_prefix("AD").unwrap_or(word);
+    match digits.parse::<u32>() {
+        Ok(n) => Ok(AdId(n)),
+        Err(_) => err(format!("expected an AD id, found '{word}'")),
+    }
+}
+
+fn parse_number(lx: &mut Lexer<'_>) -> Result<u32, ParseError> {
+    match lx.next() {
+        Some(Tok::Word(w)) => {
+            w.parse::<u32>().map_err(|_| ParseError { message: format!("expected number, found '{w}'") })
+        }
+        other => err(format!("expected number, found {other:?}")),
+    }
+}
+
+/// Parses `{AD1, AD2}` or `!{…}` or `*`.
+fn parse_adset(lx: &mut Lexer<'_>) -> Result<AdSet, ParseError> {
+    match lx.next() {
+        Some(Tok::Punct('*')) => Ok(AdSet::Any),
+        Some(Tok::Punct('!')) => {
+            let AdSet::Only(v) = parse_adset_braces(lx)? else {
+                return err("expected '{' after '!'");
+            };
+            Ok(AdSet::except(v))
+        }
+        Some(Tok::Punct('{')) => parse_adset_rest(lx),
+        other => err(format!("expected AD set, found {other:?}")),
+    }
+}
+
+fn parse_adset_braces(lx: &mut Lexer<'_>) -> Result<AdSet, ParseError> {
+    lx.expect_punct('{')?;
+    parse_adset_rest(lx)
+}
+
+fn parse_adset_rest(lx: &mut Lexer<'_>) -> Result<AdSet, ParseError> {
+    let mut ads = Vec::new();
+    loop {
+        match lx.next() {
+            Some(Tok::Punct('}')) => break,
+            Some(Tok::Punct(',')) => continue,
+            Some(Tok::Word(w)) => ads.push(parse_ad(w)?),
+            other => return err(format!("in AD set: unexpected {other:?}")),
+        }
+    }
+    Ok(AdSet::only(ads))
+}
+
+/// Parses `{1, 2}` as a list of small class numbers.
+fn parse_class_list(lx: &mut Lexer<'_>) -> Result<Vec<u8>, ParseError> {
+    lx.expect_punct('{')?;
+    let mut out = Vec::new();
+    loop {
+        match lx.next() {
+            Some(Tok::Punct('}')) => break,
+            Some(Tok::Punct(',')) => continue,
+            Some(Tok::Word(w)) => match w.parse::<u8>() {
+                Ok(n) => out.push(n),
+                Err(_) => return err(format!("expected class number, found '{w}'")),
+            },
+            other => return err(format!("in class list: unexpected {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses `HH:MM-HH:MM`.
+fn parse_time_window(lx: &mut Lexer<'_>) -> Result<(TimeOfDay, TimeOfDay), ParseError> {
+    let parse_hm = |w: &str| -> Result<TimeOfDay, ParseError> {
+        let (h, m) = w
+            .split_once(':')
+            .ok_or(ParseError { message: format!("expected HH:MM, found '{w}'") })?;
+        let (h, m) = (
+            h.parse::<u16>().map_err(|_| ParseError { message: format!("bad hour '{h}'") })?,
+            m.parse::<u16>().map_err(|_| ParseError { message: format!("bad minute '{m}'") })?,
+        );
+        if h >= 24 || m >= 60 {
+            return err(format!("time out of range: {h}:{m}"));
+        }
+        Ok(TimeOfDay::hm(h, m))
+    };
+    match lx.next() {
+        Some(Tok::Word(w)) => {
+            let start = parse_hm(w)?;
+            lx.expect_punct('-')?;
+            match lx.next() {
+                Some(Tok::Word(w2)) => Ok((start, parse_hm(w2)?)),
+                other => err(format!("expected end time, found {other:?}")),
+            }
+        }
+        other => err(format!("expected time window, found {other:?}")),
+    }
+}
+
+/// Parses the canonical text syntax back into a [`TransitPolicy`].
+pub fn parse_policy(input: &str) -> Result<TransitPolicy, ParseError> {
+    let mut lx = Lexer::new(input);
+    lx.expect_word("policy")?;
+    let ad = match lx.next() {
+        Some(Tok::Word(w)) => parse_ad(w)?,
+        other => return err(format!("expected AD id, found {other:?}")),
+    };
+    lx.expect_punct('{')?;
+    let mut policy = TransitPolicy { ad, terms: Vec::new(), default: PolicyAction::Deny };
+    let mut saw_default = false;
+    loop {
+        match lx.next() {
+            Some(Tok::Punct('}')) => break,
+            Some(Tok::Word("default")) => {
+                let action = match lx.next() {
+                    Some(Tok::Word("permit")) => {
+                        let cost = parse_number(&mut lx)?;
+                        PolicyAction::Permit { cost }
+                    }
+                    Some(Tok::Word("deny")) => PolicyAction::Deny,
+                    other => return err(format!("expected permit/deny, found {other:?}")),
+                };
+                lx.expect_punct(';')?;
+                policy.default = action;
+                saw_default = true;
+            }
+            Some(Tok::Word(kw @ ("permit" | "deny"))) => {
+                let mut conditions = Vec::new();
+                let mut cost = None;
+                loop {
+                    match lx.peek() {
+                        Some(Tok::Punct(';')) => {
+                            let _ = lx.next();
+                            break;
+                        }
+                        Some(Tok::Word("src")) => {
+                            let _ = lx.next();
+                            conditions.push(PolicyCondition::SrcIn(parse_adset(&mut lx)?));
+                        }
+                        Some(Tok::Word("dst")) => {
+                            let _ = lx.next();
+                            conditions.push(PolicyCondition::DstIn(parse_adset(&mut lx)?));
+                        }
+                        Some(Tok::Word("prev")) => {
+                            let _ = lx.next();
+                            conditions.push(PolicyCondition::PrevIn(parse_adset(&mut lx)?));
+                        }
+                        Some(Tok::Word("next")) => {
+                            let _ = lx.next();
+                            conditions.push(PolicyCondition::NextIn(parse_adset(&mut lx)?));
+                        }
+                        Some(Tok::Word("qos")) => {
+                            let _ = lx.next();
+                            let list = parse_class_list(&mut lx)?;
+                            conditions
+                                .push(PolicyCondition::QosIn(list.into_iter().map(QosClass).collect()));
+                        }
+                        Some(Tok::Word("uci")) => {
+                            let _ = lx.next();
+                            let list = parse_class_list(&mut lx)?;
+                            conditions
+                                .push(PolicyCondition::UciIn(list.into_iter().map(UserClass).collect()));
+                        }
+                        Some(Tok::Word("time")) => {
+                            let _ = lx.next();
+                            let (a, b) = parse_time_window(&mut lx)?;
+                            conditions.push(PolicyCondition::TimeWindow(a, b));
+                        }
+                        Some(Tok::Word("cost")) => {
+                            let _ = lx.next();
+                            cost = Some(parse_number(&mut lx)?);
+                        }
+                        other => return err(format!("in term: unexpected {other:?}")),
+                    }
+                }
+                let action = if kw == "permit" {
+                    PolicyAction::Permit { cost: cost.unwrap_or(0) }
+                } else {
+                    if cost.is_some() {
+                        return err("deny terms cannot carry a cost");
+                    }
+                    PolicyAction::Deny
+                };
+                policy.push_term(conditions, action);
+            }
+            other => return err(format!("expected a term or '}}', found {other:?}")),
+        }
+    }
+    if !saw_default {
+        return err("missing 'default' clause");
+    }
+    Ok(policy)
+}
+
+/// Formats a whole database, one `policy` block per AD.
+pub fn format_policies(db: &crate::db::PolicyDb) -> String {
+    let mut out = String::new();
+    for p in db.iter() {
+        out.push_str(&format_policy(p));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a concatenation of `policy` blocks into a [`crate::db::PolicyDb`] covering
+/// ADs `0..num_ads`. ADs without a block get a permit-all policy (the
+/// paper's "least restrictive policies possible" default).
+pub fn parse_policies(input: &str, num_ads: usize) -> Result<crate::db::PolicyDb, ParseError> {
+    let mut policies: Vec<TransitPolicy> =
+        (0..num_ads as u32).map(|i| TransitPolicy::permit_all(AdId(i))).collect();
+    // Split on 'policy' keyword occurrences at line starts.
+    let mut starts: Vec<usize> = Vec::new();
+    for (off, _) in input.match_indices("policy") {
+        let at_line_start =
+            off == 0 || input[..off].trim_end_matches([' ', '\t']).ends_with('\n') || input[..off].trim().is_empty();
+        if at_line_start {
+            starts.push(off);
+        }
+    }
+    for (i, &s) in starts.iter().enumerate() {
+        let end = starts.get(i + 1).copied().unwrap_or(input.len());
+        let block = &input[s..end];
+        let p = parse_policy(block)?;
+        let idx = p.ad.index();
+        if idx >= num_ads {
+            return err(format!("policy for {} outside the {num_ads}-AD topology", p.ad));
+        }
+        policies[idx] = p;
+    }
+    Ok(crate::db::PolicyDb::from_policies(policies))
+}
+
+impl fmt::Display for TransitPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_policy(self))
+    }
+}
+
+impl FromStr for TransitPolicy {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_policy(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::FlowSpec;
+
+    #[test]
+    fn formats_canonical_syntax() {
+        let mut p = TransitPolicy::permit_all(AdId(5));
+        p.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(1), AdId(2)]))],
+            PolicyAction::Deny,
+        );
+        p.push_term(
+            vec![PolicyCondition::QosIn(vec![QosClass(1), QosClass(2)])],
+            PolicyAction::Permit { cost: 3 },
+        );
+        let text = format_policy(&p);
+        assert!(text.contains("policy AD5 {"), "{text}");
+        assert!(text.contains("deny src {AD1,AD2};"), "{text}");
+        assert!(text.contains("permit qos {1, 2} cost 3;"), "{text}");
+        assert!(text.contains("default permit 0;"), "{text}");
+    }
+
+    #[test]
+    fn parses_what_it_formats() {
+        let mut p = TransitPolicy::deny_all(AdId(7));
+        p.push_term(
+            vec![
+                PolicyCondition::SrcIn(AdSet::only([AdId(3)])),
+                PolicyCondition::DstIn(AdSet::except([AdId(9)])),
+                PolicyCondition::PrevIn(AdSet::Any),
+                PolicyCondition::NextIn(AdSet::only([AdId(1), AdId(4)])),
+                PolicyCondition::QosIn(vec![QosClass(2)]),
+                PolicyCondition::UciIn(vec![UserClass(1), UserClass(3)]),
+                PolicyCondition::TimeWindow(TimeOfDay::hm(19, 0), TimeOfDay::hm(7, 0)),
+            ],
+            PolicyAction::Permit { cost: 12 },
+        );
+        p.push_term(vec![], PolicyAction::Deny);
+        let text = format_policy(&p);
+        let back = parse_policy(&text).unwrap_or_else(|e| panic!("{e}:\n{text}"));
+        assert_eq!(back.ad, p.ad);
+        assert_eq!(back.terms, p.terms);
+        assert_eq!(
+            matches!(back.default, PolicyAction::Deny),
+            matches!(p.default, PolicyAction::Deny)
+        );
+    }
+
+    #[test]
+    fn parses_hand_written_policy() {
+        let text = "
+            policy AD5 {
+                deny src {AD1, AD2};
+                permit qos {1} cost 3;
+                permit src * dst {AD4} cost 0;
+                default deny;
+            }";
+        let p: TransitPolicy = text.parse().unwrap();
+        assert_eq!(p.ad, AdId(5));
+        assert_eq!(p.num_terms(), 3);
+        // Behaviour check: src AD1 denied, qos1 permitted for others.
+        let f = FlowSpec::best_effort(AdId(1), AdId(9));
+        assert_eq!(p.evaluate(&f, Some(AdId(0)), Some(AdId(3))), None);
+        let f2 = FlowSpec::best_effort(AdId(3), AdId(9)).with_qos(QosClass(1));
+        assert_eq!(p.evaluate(&f2, Some(AdId(0)), Some(AdId(3))), Some(3));
+        let f3 = FlowSpec::best_effort(AdId(3), AdId(4));
+        assert_eq!(p.evaluate(&f3, Some(AdId(0)), Some(AdId(3))), Some(0));
+        let f4 = FlowSpec::best_effort(AdId(3), AdId(9));
+        assert_eq!(p.evaluate(&f4, Some(AdId(0)), Some(AdId(3))), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_policy("policy AD5 {").is_err());
+        assert!(parse_policy("policy {} {}").is_err());
+        assert!(parse_policy("policy AD5 { default permit 0; } trailing").is_ok()); // trailing ignored
+        assert!(parse_policy("policy AD5 { }").is_err(), "default required");
+        assert!(parse_policy("policy AD5 { deny cost 3; default deny; }").is_err());
+        assert!(parse_policy("policy AD5 { permit time 25:00-07:00 cost 0; default deny; }").is_err());
+        assert!(parse_policy("policy AD5 { frobnicate; default deny; }").is_err());
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = parse_policy("policy AD5 { bogus; default deny; }").unwrap_err();
+        assert!(e.to_string().contains("bogus"), "{e}");
+    }
+
+    #[test]
+    fn whole_database_round_trips() {
+        use crate::workload::PolicyWorkload;
+        use adroute_topology::generate::HierarchyConfig;
+        let topo = HierarchyConfig::figure1().generate();
+        let db = PolicyWorkload::default_mix(5).generate(&topo);
+        let text = format_policies(&db);
+        let back = parse_policies(&text, topo.num_ads()).unwrap();
+        assert_eq!(back.total_terms(), db.total_terms());
+        for (a, b) in db.iter().zip(back.iter()) {
+            assert_eq!(a.terms, b.terms, "policy of {} diverged", a.ad);
+        }
+    }
+
+    #[test]
+    fn sparse_database_defaults_to_permit_all() {
+        let text = "policy AD2 { default deny; }";
+        let db = parse_policies(text, 4).unwrap();
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        assert_eq!(db.policy(AdId(1)).evaluate(&f, Some(AdId(0)), Some(AdId(2))), Some(0));
+        assert_eq!(db.policy(AdId(2)).evaluate(&f, Some(AdId(0)), Some(AdId(3))), None);
+        // Out-of-range policy rejected.
+        assert!(parse_policies("policy AD9 { default deny; }", 4).is_err());
+    }
+
+    proptest::proptest! {
+        /// Round trip: any generated workload policy survives
+        /// format -> parse -> format unchanged.
+        #[test]
+        fn roundtrip_workload_policies(seed in 0u64..300, g in 0u8..8) {
+            use adroute_topology::generate::HierarchyConfig;
+            use crate::workload::PolicyWorkload;
+            let topo = HierarchyConfig::figure1().generate();
+            let db = PolicyWorkload::granularity(g, seed).generate(&topo);
+            for p in db.iter().take(10) {
+                let text = format_policy(p);
+                let back = parse_policy(&text)
+                    .unwrap_or_else(|e| panic!("{e}\n{text}"));
+                proptest::prop_assert_eq!(format_policy(&back), text);
+                proptest::prop_assert_eq!(&back.terms, &p.terms);
+            }
+        }
+    }
+}

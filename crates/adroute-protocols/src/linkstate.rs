@@ -1,0 +1,303 @@
+//! Shared link-state machinery: policy-bearing LSAs, the link-state
+//! database, and reliable flooding with duplicate suppression.
+//!
+//! In both link-state design points (Sections 5.3 and 5.4 of the paper),
+//! "link state updates can be augmented to include policy related
+//! attributes of the resources they advertise". An [`Lsa`] therefore
+//! carries, besides the origin's adjacencies and metrics, the origin's
+//! full advertised [`TransitPolicy`] (its Policy Terms) and hierarchy
+//! level. Flooding these gives every AD the complete topology *and* policy
+//! view from which routes satisfying any set of policy constraints can be
+//! computed.
+
+use adroute_policy::{PolicyDb, TransitPolicy};
+use adroute_sim::Ctx;
+use adroute_topology::{graph::Ad, AdId, AdLevel, AdRole, Topology};
+
+/// A link-state advertisement: one AD's adjacencies plus its Policy Terms.
+#[derive(Clone, Debug)]
+pub struct Lsa {
+    /// Originating AD.
+    pub origin: AdId,
+    /// Monotonic sequence number; higher supersedes.
+    pub seq: u64,
+    /// Hierarchy level of the origin (lets receivers reconstruct the
+    /// Figure-1 structure for link classification).
+    pub level: AdLevel,
+    /// Operational adjacencies: `(neighbor, metric, delay_us)`.
+    pub links: Vec<(AdId, u32, u64)>,
+    /// The origin's advertised transit policy (its PTs).
+    pub policy: TransitPolicy,
+}
+
+impl Lsa {
+    /// Approximate encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        4 + 8 + 1 + 16 * self.links.len() + self.policy.encoded_size()
+    }
+}
+
+/// A link-state database: the newest LSA per origin, plus a version
+/// counter consumers use to invalidate derived caches.
+#[derive(Clone, Debug)]
+pub struct LsDb {
+    lsas: Vec<Option<Lsa>>,
+    version: u64,
+}
+
+impl LsDb {
+    /// An empty database sized for `num_ads` ADs.
+    pub fn new(num_ads: usize) -> LsDb {
+        LsDb { lsas: vec![None; num_ads], version: 0 }
+    }
+
+    /// Inserts `lsa` if it is newer than the stored one. Returns `true`
+    /// if the database changed.
+    pub fn insert(&mut self, lsa: Lsa) -> bool {
+        let slot = &mut self.lsas[lsa.origin.index()];
+        let newer = slot.as_ref().is_none_or(|cur| lsa.seq > cur.seq);
+        if newer {
+            *slot = Some(lsa);
+            self.version += 1;
+        }
+        newer
+    }
+
+    /// The stored LSA of `origin`, if any.
+    pub fn get(&self, origin: AdId) -> Option<&Lsa> {
+        self.lsas[origin.index()].as_ref()
+    }
+
+    /// Monotonic change counter (bumps on every accepted insert).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of LSAs present.
+    pub fn len(&self) -> usize {
+        self.lsas.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Number of AD slots (present or not).
+    pub fn num_ads(&self) -> usize {
+        self.lsas.len()
+    }
+
+    /// Whether no LSA has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total encoded size of the database (the state cost of the
+    /// link-state approach).
+    pub fn encoded_size(&self) -> usize {
+        self.lsas.iter().flatten().map(Lsa::encoded_size).sum()
+    }
+
+    /// Reconstructs the AD-level view this database describes: a
+    /// [`Topology`] containing every **bidirectionally confirmed**
+    /// operational link, and the [`PolicyDb`] of advertised policies
+    /// (ADs with no LSA yet default to deny-all — an unknown AD cannot
+    /// be used for transit).
+    pub fn view(&self) -> (Topology, PolicyDb) {
+        let n = self.lsas.len();
+        let mut ads = Vec::with_capacity(n);
+        let mut policies = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = AdId(i as u32);
+            match &self.lsas[i] {
+                Some(lsa) => {
+                    ads.push(Ad { id, level: lsa.level, role: AdRole::Hybrid });
+                    policies.push(lsa.policy.clone());
+                }
+                None => {
+                    ads.push(Ad { id, level: AdLevel::Campus, role: AdRole::Stub });
+                    policies.push(TransitPolicy::deny_all(id));
+                }
+            }
+        }
+        let mut edges: Vec<(AdId, AdId, u32)> = Vec::new();
+        let mut delays: Vec<u64> = Vec::new();
+        for lsa in self.lsas.iter().flatten() {
+            for &(nbr, metric, delay) in &lsa.links {
+                if lsa.origin < nbr {
+                    // Confirm the reverse adjacency before accepting.
+                    let confirmed = self
+                        .get(nbr)
+                        .map(|other| other.links.iter().any(|&(n, _, _)| n == lsa.origin))
+                        .unwrap_or(false);
+                    if confirmed {
+                        edges.push((lsa.origin, nbr, metric));
+                        delays.push(delay);
+                    }
+                }
+            }
+        }
+        let mut topo = Topology::new(ads, &edges);
+        for (i, d) in delays.into_iter().enumerate() {
+            topo.set_delay(adroute_topology::LinkId(i as u32), d);
+        }
+        topo.reclassify_roles();
+        (topo, PolicyDb::from_policies(policies))
+    }
+}
+
+/// Flooding state embedded in each link-state router: the database plus
+/// origination bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Flooder {
+    /// This router's AD.
+    pub me: AdId,
+    /// The local copy of the link-state database.
+    pub db: LsDb,
+    /// Own LSA sequence number (bumped on each origination).
+    pub seq: u64,
+}
+
+/// Messages exchanged by flooding: a single LSA per message (a
+/// simplification of OSPF-style bundling that keeps byte accounting
+/// transparent).
+pub type FloodMsg = Lsa;
+
+impl Flooder {
+    /// A flooder for `me` in a network of `num_ads` ADs.
+    pub fn new(me: AdId, num_ads: usize) -> Flooder {
+        Flooder { me, db: LsDb::new(num_ads), seq: 0 }
+    }
+
+    /// Originates (or re-originates) this AD's own LSA describing its
+    /// current operational adjacencies, and floods it to all neighbors.
+    pub fn originate(
+        &mut self,
+        ctx: &mut Ctx<'_, FloodMsg>,
+        level: AdLevel,
+        policy: TransitPolicy,
+    ) {
+        self.seq += 1;
+        let links = ctx
+            .neighbors()
+            .into_iter()
+            .map(|(nbr, link)| (nbr, ctx.link_metric(link), ctx.link_delay(link)))
+            .collect();
+        let lsa = Lsa { origin: self.me, seq: self.seq, level, links, policy };
+        self.db.insert(lsa.clone());
+        for (nbr, _) in ctx.neighbors() {
+            ctx.send(nbr, lsa.clone());
+        }
+    }
+
+    /// Handles a received LSA: stores and re-floods it if new. Returns
+    /// `true` if the database changed.
+    pub fn handle(&mut self, ctx: &mut Ctx<'_, FloodMsg>, from: AdId, lsa: FloodMsg) -> bool {
+        if self.db.insert(lsa.clone()) {
+            for (nbr, _) in ctx.neighbors() {
+                if nbr != from {
+                    ctx.send(nbr, lsa.clone());
+                }
+            }
+            true
+        } else {
+            ctx.count("flood_dup", 1);
+            false
+        }
+    }
+
+    /// Database resynchronization with a neighbor, run when an adjacency
+    /// (re)appears: sends every stored LSA to `neighbor`.
+    ///
+    /// This is the (simplified) equivalent of OSPF's database-description
+    /// exchange. Without it, an LSA originated while the network was
+    /// partitioned would never cross the healed link — flooding alone is
+    /// unacknowledged and provides no catch-up — and views would stay
+    /// stale forever (the churn tests caught exactly that).
+    pub fn resync(&mut self, ctx: &mut Ctx<'_, FloodMsg>, neighbor: AdId) {
+        let lsas: Vec<FloodMsg> = (0..self.db.num_ads())
+            .filter_map(|i| self.db.get(AdId(i as u32)).cloned())
+            .collect();
+        ctx.count("ls_resync", 1);
+        for lsa in lsas {
+            ctx.send(neighbor, lsa);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adroute_policy::PolicyAction;
+    use adroute_topology::graph::make_ad;
+
+    fn lsa(origin: u32, seq: u64, nbrs: &[u32]) -> Lsa {
+        Lsa {
+            origin: AdId(origin),
+            seq,
+            level: AdLevel::Campus,
+            links: nbrs.iter().map(|&n| (AdId(n), 1, 1000)).collect(),
+            policy: TransitPolicy::permit_all(AdId(origin)),
+        }
+    }
+
+    #[test]
+    fn newer_seq_supersedes() {
+        let mut db = LsDb::new(3);
+        assert!(db.insert(lsa(0, 1, &[1])));
+        assert!(!db.insert(lsa(0, 1, &[1, 2])), "same seq must not replace");
+        assert!(db.insert(lsa(0, 2, &[1, 2])));
+        assert_eq!(db.get(AdId(0)).unwrap().links.len(), 2);
+        assert_eq!(db.version(), 2);
+        assert_eq!(db.len(), 1);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn view_requires_bidirectional_confirmation() {
+        let mut db = LsDb::new(3);
+        db.insert(lsa(0, 1, &[1]));
+        // AD1 hasn't advertised the 0-1 adjacency yet.
+        let (topo, _) = db.view();
+        assert_eq!(topo.num_links(), 0);
+        db.insert(lsa(1, 1, &[0, 2]));
+        let (topo, _) = db.view();
+        assert_eq!(topo.num_links(), 1);
+        assert!(topo.link_between(AdId(0), AdId(1)).is_some());
+        // 1-2 still unconfirmed.
+        assert!(topo.link_between(AdId(1), AdId(2)).is_none());
+    }
+
+    #[test]
+    fn view_defaults_unknown_ads_to_deny() {
+        let mut db = LsDb::new(2);
+        db.insert(lsa(0, 1, &[]));
+        let (_, pols) = db.view();
+        // AD1 never advertised: deny-all.
+        assert!(matches!(pols.policy(AdId(1)).default, PolicyAction::Deny));
+        assert!(matches!(pols.policy(AdId(0)).default, PolicyAction::Permit { .. }));
+    }
+
+    #[test]
+    fn view_preserves_levels_metrics_and_roles() {
+        let mut db = LsDb::new(2);
+        let mut a = lsa(0, 1, &[1]);
+        a.level = AdLevel::Backbone;
+        a.links[0].1 = 7;
+        db.insert(a);
+        db.insert(lsa(1, 1, &[0]));
+        let (topo, _) = db.view();
+        assert_eq!(topo.ad(AdId(0)).level, AdLevel::Backbone);
+        let l = topo.link_between(AdId(0), AdId(1)).unwrap();
+        assert_eq!(topo.link(l).metric, 7);
+        assert_eq!(topo.ad(AdId(1)).role, AdRole::Stub);
+        let _ = make_ad(0, AdLevel::Campus); // exercise helper linkage
+    }
+
+    #[test]
+    fn encoded_sizes_accumulate() {
+        let mut db = LsDb::new(4);
+        assert_eq!(db.encoded_size(), 0);
+        db.insert(lsa(0, 1, &[1, 2, 3]));
+        let one = db.encoded_size();
+        assert!(one > 0);
+        db.insert(lsa(1, 1, &[0]));
+        assert!(db.encoded_size() > one);
+    }
+}

@@ -1,0 +1,403 @@
+//! A classic Bellman–Ford distance-vector protocol with **no** policy
+//! support: the baseline the paper's Section 3/5.1 arguments start from.
+//!
+//! Routers exchange `(destination, metric)` vectors with neighbors,
+//! triggered by change. Without the ECMA partial-order rule the protocol
+//! exhibits the classic pathologies on cyclic topologies: transient loops
+//! and **count-to-infinity** after failures (bounded here by the
+//! configurable `infinity` metric). Split horizon with poisoned reverse is
+//! available as a knob for the convergence ablation (E10).
+//!
+//! Because the protocol knows nothing of policy, its data plane happily
+//! routes transit traffic through ADs whose policies forbid it — the
+//! policy-integrity failure that the Table-1 capability probe records.
+
+use std::collections::HashMap;
+
+use adroute_policy::FlowSpec;
+use adroute_sim::{Ctx, Engine, Protocol};
+use adroute_topology::{AdId, LinkId, Topology};
+
+use crate::forwarding::DataPlane;
+
+/// Protocol configuration.
+#[derive(Clone, Debug)]
+pub struct NaiveDv {
+    /// The unreachable metric. Smaller values bound count-to-infinity
+    /// sooner (RIP uses 16).
+    pub infinity: u32,
+    /// Split horizon with poisoned reverse.
+    pub split_horizon: bool,
+    /// EGP mode: use only **hierarchical** links, modeling EGP's acyclic
+    /// topology restriction (paper Section 3: "there can be no cycles in
+    /// the EGP graph"). Lateral and bypass links are ignored entirely —
+    /// the connectivity they provide is wasted, which experiment E11
+    /// quantifies.
+    pub hierarchical_only: bool,
+}
+
+impl Default for NaiveDv {
+    fn default() -> Self {
+        NaiveDv { infinity: 64, split_horizon: false, hierarchical_only: false }
+    }
+}
+
+impl NaiveDv {
+    /// The EGP model: reachability exchange over the hierarchy tree only.
+    pub fn egp() -> NaiveDv {
+        NaiveDv { hierarchical_only: true, ..NaiveDv::default() }
+    }
+
+    /// Neighbors this configuration is willing to peer with.
+    fn peers(&self, ctx: &Ctx<'_, DvUpdate>) -> Vec<(AdId, LinkId)> {
+        ctx.neighbors()
+            .into_iter()
+            .filter(|&(_, l)| {
+                !self.hierarchical_only
+                    || ctx.link_kind(l) == adroute_topology::LinkKind::Hierarchical
+            })
+            .collect()
+    }
+}
+
+/// A distance-vector update: the sender's full distance table.
+#[derive(Clone, Debug)]
+pub struct DvUpdate {
+    /// `(destination, metric)` pairs; `metric == infinity` poisons.
+    pub entries: Vec<(AdId, u32)>,
+}
+
+/// Per-AD router state.
+#[derive(Clone, Debug)]
+pub struct DvRouter {
+    me: AdId,
+    /// Best known metric per destination (`infinity` = unreachable).
+    pub metric: Vec<u32>,
+    /// Chosen next hop per destination.
+    pub next_hop: Vec<Option<AdId>>,
+    /// Last vector received from each neighbor.
+    adv_in: HashMap<AdId, Vec<u32>>,
+}
+
+impl DvRouter {
+    /// Number of reachable destinations (excluding self).
+    pub fn reachable(&self, infinity: u32) -> usize {
+        self.metric
+            .iter()
+            .enumerate()
+            .filter(|&(i, &m)| m < infinity && i != self.me.index())
+            .count()
+    }
+}
+
+impl NaiveDv {
+    fn recompute(&self, r: &mut DvRouter, ctx: &Ctx<'_, DvUpdate>) -> bool {
+        let n = r.metric.len();
+        let mut changed = false;
+        let neighbors = self.peers(ctx);
+        for dest in 0..n {
+            let (mut best, mut hop) = if dest == r.me.index() {
+                (0u32, None)
+            } else {
+                (self.infinity, None)
+            };
+            if dest != r.me.index() {
+                for &(nbr, link) in &neighbors {
+                    if let Some(v) = r.adv_in.get(&nbr) {
+                        let m = v[dest].saturating_add(ctx.link_metric(link)).min(self.infinity);
+                        if m < best || (m == best && hop.is_some_and(|h| nbr < h)) {
+                            best = m;
+                            hop = Some(nbr);
+                        }
+                    }
+                }
+            }
+            if r.metric[dest] != best || r.next_hop[dest] != hop {
+                r.metric[dest] = best;
+                r.next_hop[dest] = if best >= self.infinity { None } else { hop };
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn advertise(&self, r: &DvRouter, ctx: &mut Ctx<'_, DvUpdate>) {
+        for (nbr, _) in self.peers(ctx) {
+            let entries: Vec<(AdId, u32)> = r
+                .metric
+                .iter()
+                .enumerate()
+                .map(|(dest, &m)| {
+                    let poisoned = self.split_horizon
+                        && r.next_hop[dest] == Some(nbr)
+                        && dest != r.me.index();
+                    (AdId(dest as u32), if poisoned { self.infinity } else { m })
+                })
+                .collect();
+            ctx.send(nbr, DvUpdate { entries });
+        }
+    }
+}
+
+impl Protocol for NaiveDv {
+    type Router = DvRouter;
+    type Msg = DvUpdate;
+
+    fn make_router(&self, topo: &Topology, ad: AdId) -> DvRouter {
+        let n = topo.num_ads();
+        let mut metric = vec![self.infinity; n];
+        metric[ad.index()] = 0;
+        DvRouter { me: ad, metric, next_hop: vec![None; n], adv_in: HashMap::new() }
+    }
+
+    fn on_start(&self, r: &mut DvRouter, ctx: &mut Ctx<'_, DvUpdate>) {
+        self.advertise(r, ctx);
+    }
+
+    fn on_message(
+        &self,
+        r: &mut DvRouter,
+        ctx: &mut Ctx<'_, DvUpdate>,
+        from: AdId,
+        link: LinkId,
+        msg: DvUpdate,
+    ) {
+        if self.hierarchical_only
+            && ctx.link_kind(link) != adroute_topology::LinkKind::Hierarchical
+        {
+            return; // EGP peers only across hierarchy links
+        }
+        let mut v = vec![self.infinity; r.metric.len()];
+        for (dest, m) in msg.entries {
+            // Ignore entries for destinations outside our world: a buggy
+            // or malicious neighbor must not be able to crash us.
+            if let Some(slot) = v.get_mut(dest.index()) {
+                *slot = m.min(self.infinity);
+            }
+        }
+        r.adv_in.insert(from, v);
+        ctx.count("dv_recompute", 1);
+        if self.recompute(r, ctx) {
+            self.advertise(r, ctx);
+        }
+    }
+
+    fn on_link_event(
+        &self,
+        r: &mut DvRouter,
+        ctx: &mut Ctx<'_, DvUpdate>,
+        _link: LinkId,
+        neighbor: AdId,
+        up: bool,
+    ) {
+        if !up {
+            r.adv_in.remove(&neighbor);
+        }
+        ctx.count("dv_recompute", 1);
+        let changed = self.recompute(r, ctx);
+        if changed || up {
+            // On link-up, (re)introduce ourselves even if nothing changed.
+            self.advertise(r, ctx);
+        }
+    }
+
+    fn msg_size(&self, msg: &DvUpdate) -> usize {
+        4 + 8 * msg.entries.len()
+    }
+}
+
+impl DataPlane for Engine<NaiveDv> {
+    type Mark = ();
+
+    fn next_hop(
+        &mut self,
+        at: AdId,
+        flow: &FlowSpec,
+        _prev: Option<AdId>,
+        _mark: &mut (),
+    ) -> Option<AdId> {
+        self.router(at).next_hop[flow.dst.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forwarding::{forward, ForwardOutcome};
+    use adroute_sim::SimTime;
+    use adroute_topology::generate::{grid, line, ring};
+
+    fn converge(topo: Topology, dv: NaiveDv) -> Engine<NaiveDv> {
+        let mut e = Engine::new(topo, dv);
+        e.run_to_quiescence();
+        e
+    }
+
+    #[test]
+    fn converges_to_shortest_hops_on_line() {
+        let e = converge(line(5), NaiveDv::default());
+        let r0 = e.router(AdId(0));
+        assert_eq!(r0.metric[4], 4);
+        assert_eq!(r0.next_hop[4], Some(AdId(1)));
+        assert_eq!(r0.reachable(64), 4);
+    }
+
+    #[test]
+    fn converges_on_ring_and_grid() {
+        let e = converge(ring(8), NaiveDv::default());
+        assert_eq!(e.router(AdId(0)).metric[4], 4);
+        assert_eq!(e.router(AdId(0)).metric[6], 2);
+        let g = converge(grid(4, 4), NaiveDv::default());
+        assert_eq!(g.router(AdId(0)).metric[15], 6);
+    }
+
+    #[test]
+    fn forwards_packets_after_convergence() {
+        let topo = line(6);
+        let mut e = converge(topo, NaiveDv::default());
+        let f = FlowSpec::best_effort(AdId(0), AdId(5));
+        let topo2 = e.topo().clone();
+        let out = forward(&mut e, &topo2, &f);
+        assert!(out.delivered());
+        assert_eq!(out.path().len(), 6);
+    }
+
+    #[test]
+    fn reroutes_after_failure() {
+        let mut e = Engine::new(ring(6), NaiveDv::default());
+        e.run_to_quiescence();
+        // 0->3 initially 3 hops either way; cut 0-1 and expect 0->3 via 5,4.
+        let l = e.topo().link_between(AdId(0), AdId(1)).unwrap();
+        let t = e.now().plus_us(1000);
+        e.schedule_link_change(l, false, t);
+        e.run_to_quiescence();
+        assert_eq!(e.router(AdId(0)).metric[3], 3);
+        assert_eq!(e.router(AdId(0)).next_hop[3], Some(AdId(5)));
+        // 0->1 now the long way round.
+        assert_eq!(e.router(AdId(0)).metric[1], 5);
+    }
+
+    #[test]
+    fn partition_counts_to_infinity_but_terminates() {
+        // Classic: line 0-1-2; cut 1-2. Node 2 becomes unreachable; 0 and 1
+        // may bounce (no split horizon) until the infinity cap.
+        let dv = NaiveDv { infinity: 16, split_horizon: false, ..NaiveDv::default() };
+        let mut e = Engine::new(ring(4), dv);
+        e.run_to_quiescence();
+        // Cut both links of AD2 to partition it.
+        let l12 = e.topo().link_between(AdId(1), AdId(2)).unwrap();
+        let l23 = e.topo().link_between(AdId(2), AdId(3)).unwrap();
+        let t = e.now().plus_us(1000);
+        e.schedule_link_change(l12, false, t);
+        e.schedule_link_change(l23, false, t);
+        e.stats.reset_counters();
+        e.run_to_quiescence();
+        assert_eq!(e.router(AdId(0)).metric[2], 16, "AD2 should be unreachable");
+        assert_eq!(e.router(AdId(0)).next_hop[2], None);
+        // Count-to-infinity generated extra traffic.
+        assert!(e.stats.msgs_sent > 4, "expected count-to-infinity chatter");
+    }
+
+    #[test]
+    fn split_horizon_reduces_failure_chatter() {
+        let run = |sh: bool| {
+            let dv = NaiveDv { infinity: 16, split_horizon: sh, ..NaiveDv::default() };
+            let mut e = Engine::new(ring(6), dv);
+            e.run_to_quiescence();
+            let l = e.topo().link_between(AdId(0), AdId(1)).unwrap();
+            let t = e.now().plus_us(1000);
+            e.schedule_link_change(l, false, t);
+            e.stats.reset_counters();
+            e.run_to_quiescence();
+            e.stats.msgs_sent
+        };
+        // Poisoned reverse should not *increase* convergence traffic.
+        assert!(run(true) <= run(false) * 2);
+    }
+
+    #[test]
+    fn link_recovery_restores_routes() {
+        let mut e = Engine::new(line(3), NaiveDv::default());
+        e.run_to_quiescence();
+        let l = e.topo().link_between(AdId(1), AdId(2)).unwrap();
+        e.schedule_link_change(l, false, SimTime::from_ms(100));
+        e.run_to_quiescence();
+        assert_eq!(e.router(AdId(0)).next_hop[2], None);
+        let t = e.now().plus_us(1000);
+        e.schedule_link_change(l, true, t);
+        e.run_to_quiescence();
+        assert_eq!(e.router(AdId(0)).metric[2], 2);
+        assert_eq!(e.router(AdId(0)).next_hop[2], Some(AdId(1)));
+    }
+
+    #[test]
+    fn no_route_to_partitioned_dest_drops() {
+        let mut e = Engine::new(line(3), NaiveDv::default());
+        e.run_to_quiescence();
+        let l = e.topo().link_between(AdId(1), AdId(2)).unwrap();
+        let t = e.now().plus_us(500);
+        e.schedule_link_change(l, false, t);
+        e.run_to_quiescence();
+        let topo = e.topo().clone();
+        let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(2)));
+        assert!(matches!(out, ForwardOutcome::NoRoute { .. }));
+    }
+
+    #[test]
+    fn egp_mode_ignores_non_hierarchical_links() {
+        use adroute_topology::generate::HierarchyConfig;
+        // A topology rich in lateral/bypass links.
+        let topo = HierarchyConfig {
+            lateral_prob: 0.4,
+            bypass_prob: 0.3,
+            multihome_prob: 0.0,
+            seed: 5,
+            ..HierarchyConfig::default()
+        }
+        .generate();
+        let (_, lateral, bypass) = topo.link_kind_counts();
+        assert!(lateral > 0 && bypass > 0, "need non-tree links for the test");
+        let mut egp = Engine::new(topo.clone(), NaiveDv::egp());
+        egp.run_to_quiescence();
+        let mut full = Engine::new(topo.clone(), NaiveDv::default());
+        full.run_to_quiescence();
+        // EGP paths never cost less than full-graph paths, and are
+        // sometimes strictly worse (a lateral shortcut it cannot use).
+        let mut strictly_worse = 0;
+        for ad in topo.ad_ids() {
+            for dest in topo.ad_ids() {
+                let e = egp.router(ad).metric[dest.index()];
+                let f = full.router(ad).metric[dest.index()];
+                assert!(e >= f, "{ad}->{dest}: egp {e} < full {f}");
+                if e > f {
+                    strictly_worse += 1;
+                }
+            }
+        }
+        assert!(strictly_worse > 0, "lateral links should shorten some path");
+        // EGP forwarding never crosses a non-hierarchical link.
+        let topo2 = egp.topo().clone();
+        for f in crate::forwarding::sample_flows(&topo2, 20, 5) {
+            let out = forward(&mut egp, &topo2, &f);
+            for w in out.path().windows(2) {
+                let l = topo2.link_between(w[0], w[1]).unwrap();
+                assert_eq!(
+                    topo2.link(l).kind,
+                    adroute_topology::LinkKind::Hierarchical,
+                    "EGP used non-tree link {:?}",
+                    w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut e = Engine::new(grid(3, 3), NaiveDv::default());
+            let t = e.run_to_quiescence();
+            (t, e.stats.msgs_sent, e.stats.bytes_sent)
+        };
+        assert_eq!(run(), run());
+    }
+}

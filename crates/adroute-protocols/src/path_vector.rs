@@ -1,0 +1,711 @@
+//! The IDRP / BGP-2 design point: distance vector (path vector),
+//! hop-by-hop, **explicit policy terms in routing updates** (paper
+//! Section 5.2 / 5.2.1).
+//!
+//! Updates carry the **full AD path** (IDRP's loop-avoidance mechanism)
+//! plus policy attributes: the QOS and user class a route applies to, and
+//! a **distribution/source scope** — the set of source ADs permitted to
+//! use the route, IDRP's vehicle for source-specific policy (the paper
+//! notes BGP-2 lacks this; disable [`PathVector::scope_attrs`] to model
+//! BGP-2). As updates propagate, each transit AD narrows the attributes
+//! according to its own policy and may split one route into several
+//! class-specific routes — which is precisely the paper's complaint:
+//! "this effectively replicates the routing table per forwarding entity
+//! for each QOS, UCI, source combination", measured by experiment E4.
+//!
+//! ## Policy conversion
+//!
+//! A transit AD's first-match-wins [`TransitPolicy`] must be converted
+//! into advertisable per-class *offerings* at export time. With the
+//! destination, previous AD, and next AD fixed (all known at export), the
+//! conversion walks the terms in order, tracking the set of sources not
+//! yet denied; each permit term yields an offering over the remaining
+//! sources. The conversion is exact for the policy shapes the workload
+//! generator emits (source-set denials; QOS/UCI/cone permits); two
+//! documented approximations remain: (1) a deny term conditioned on
+//! QOS/UCI narrows *all* later offerings' source scope (conservative —
+//! may lose legal routes, never violates policy), and (2) a
+//! class-conditioned permit does not shadow later terms for that class,
+//! so a later broader offering may coexist (route selection then picks
+//! the cheaper, which can differ from strict first-match costing).
+//! Time-of-day conditions are evaluated at [`PathVector::eval_time`]:
+//! hop-by-hop tables cannot re-evaluate per packet — a genuine limitation
+//! of this design point versus source routing.
+
+use std::collections::BTreeMap;
+
+use adroute_policy::{
+    AdSet, FlowSpec, PolicyAction, PolicyCondition, PolicyDb, QosClass, TimeOfDay, TransitPolicy,
+    UserClass,
+};
+use adroute_sim::{Ctx, Engine, Protocol};
+use adroute_topology::{AdId, LinkId, Topology};
+
+use crate::forwarding::DataPlane;
+
+/// Policy attributes attached to a route.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PvAttrs {
+    /// QOS class the route applies to (`None` = any).
+    pub qos: Option<QosClass>,
+    /// User class the route applies to (`None` = any).
+    pub uci: Option<UserClass>,
+    /// Source ADs permitted to use this route.
+    pub scope: AdSet,
+}
+
+impl PvAttrs {
+    /// Attributes that apply to all traffic.
+    pub fn any() -> PvAttrs {
+        PvAttrs { qos: None, uci: None, scope: AdSet::Any }
+    }
+
+    /// Whether a flow matches these attributes.
+    pub fn matches(&self, flow: &FlowSpec) -> bool {
+        self.qos.is_none_or(|q| q == flow.qos)
+            && self.uci.is_none_or(|u| u == flow.uci)
+            && self.scope.contains(flow.src)
+    }
+
+    /// Approximate encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        2 + 2 + self.scope.encoded_size()
+    }
+}
+
+/// One route in an update or RIB: full AD path plus policy attributes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PvRoute {
+    /// Destination AD.
+    pub dest: AdId,
+    /// AD path ending at `dest`. In an update, it starts at the sender;
+    /// in a local RIB, at the next hop.
+    pub path: Vec<AdId>,
+    /// Policy attributes.
+    pub attrs: PvAttrs,
+    /// Cumulative cost: link metrics plus transit charges.
+    pub cost: u32,
+}
+
+impl PvRoute {
+    /// Approximate encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        4 + 4 + 4 * self.path.len() + self.attrs.encoded_size()
+    }
+}
+
+/// A full-table routing update: the sender's entire exportable RIB for
+/// the receiving neighbor.
+#[derive(Clone, Debug)]
+pub struct PvUpdate {
+    /// Advertised routes.
+    pub routes: Vec<PvRoute>,
+}
+
+/// Protocol configuration.
+#[derive(Clone, Debug)]
+pub struct PathVector {
+    /// Ground-truth per-AD policies; each router consults **only its
+    /// own** entry (policies themselves are private — only their effects
+    /// travel, as route attributes).
+    pub policies: PolicyDb,
+    /// IDRP-style source/distribution scopes on routes. `false` models
+    /// BGP-2, which cannot express source-specific policy: scopes are
+    /// widened to `Any` (violations then surface in the audit).
+    pub scope_attrs: bool,
+    /// Maximum routes advertised per destination to one neighbor
+    /// (cheapest first). Models the paper's concern about advertising
+    /// "multiple routes per destination, each with different policy
+    /// attributes".
+    pub max_routes_per_dest: usize,
+    /// Time of day at which time-window policy conditions are evaluated.
+    pub eval_time: TimeOfDay,
+    /// Minimum route advertisement interval in microseconds: after a RIB
+    /// change, the router waits this long (coalescing further changes)
+    /// before advertising. 0 disables batching (advertise immediately).
+    pub mrai_us: u64,
+}
+
+impl PathVector {
+    /// IDRP with the given policies and default knobs.
+    pub fn idrp(policies: PolicyDb) -> PathVector {
+        PathVector {
+            policies,
+            scope_attrs: true,
+            max_routes_per_dest: 32,
+            eval_time: TimeOfDay::NOON,
+            mrai_us: 2_000,
+        }
+    }
+
+    /// BGP-2: same machinery, no source scopes.
+    pub fn bgp2(policies: PolicyDb) -> PathVector {
+        PathVector { scope_attrs: false, ..PathVector::idrp(policies) }
+    }
+}
+
+/// One advertisable offering derived from a transit policy at export time.
+#[derive(Clone, Debug)]
+struct Offering {
+    qos: Option<Vec<QosClass>>,
+    uci: Option<Vec<UserClass>>,
+    scope: AdSet,
+    cost: u32,
+}
+
+/// Converts `policy` into offerings for transit traversals with the given
+/// fixed destination / previous / next ADs (see module docs).
+fn offerings(
+    policy: &TransitPolicy,
+    dst: AdId,
+    prev: AdId,
+    next: AdId,
+    time: TimeOfDay,
+) -> Vec<Offering> {
+    let mut out = Vec::new();
+    // Sources not yet denied by earlier terms.
+    let mut remaining = AdSet::Any;
+    for term in &policy.terms {
+        let mut src_cond: Option<&AdSet> = None;
+        let mut qos_cond: Option<&Vec<QosClass>> = None;
+        let mut uci_cond: Option<&Vec<UserClass>> = None;
+        let mut applicable = true;
+        for cond in &term.conditions {
+            match cond {
+                PolicyCondition::SrcIn(s) => src_cond = Some(s),
+                PolicyCondition::QosIn(q) => qos_cond = Some(q),
+                PolicyCondition::UciIn(u) => uci_cond = Some(u),
+                PolicyCondition::DstIn(s) => applicable &= s.contains(dst),
+                PolicyCondition::PrevIn(s) => applicable &= s.contains(prev),
+                PolicyCondition::NextIn(s) => applicable &= s.contains(next),
+                PolicyCondition::TimeWindow(a, b) => applicable &= time.in_window(*a, *b),
+            }
+        }
+        if !applicable {
+            continue;
+        }
+        match term.action {
+            PolicyAction::Deny => {
+                // Remove the denied sources from everything that follows.
+                // (Class-conditioned denials over-restrict; conservative.)
+                match src_cond {
+                    Some(AdSet::Only(v)) => remaining = remaining.subtract(v),
+                    Some(AdSet::Except(v)) => {
+                        remaining = remaining.intersect(&AdSet::Only(v.clone()))
+                    }
+                    Some(AdSet::Any) | None => {
+                        // Unconditional (w.r.t. source) denial: everything
+                        // after is shadowed.
+                        return out;
+                    }
+                }
+                if remaining.is_empty_set() {
+                    return out;
+                }
+            }
+            PolicyAction::Permit { cost } => {
+                let scope = match src_cond {
+                    Some(s) => remaining.intersect(s),
+                    None => remaining.clone(),
+                };
+                if scope.is_empty_set() {
+                    continue;
+                }
+                let unconditional =
+                    src_cond.is_none() && qos_cond.is_none() && uci_cond.is_none();
+                out.push(Offering {
+                    qos: qos_cond.cloned(),
+                    uci: uci_cond.cloned(),
+                    scope,
+                    cost,
+                });
+                if unconditional {
+                    // Catch-all permit: later terms are fully shadowed.
+                    return out;
+                }
+            }
+        }
+    }
+    if let PolicyAction::Permit { cost } = policy.default {
+        if !remaining.is_empty_set() {
+            out.push(Offering { qos: None, uci: None, scope: remaining, cost });
+        }
+    }
+    out
+}
+
+/// Per-AD router state.
+#[derive(Clone, Debug)]
+pub struct PvRouter {
+    me: AdId,
+    /// Last full table received from each neighbor (paths start at that
+    /// neighbor).
+    adj_in: BTreeMap<AdId, Vec<PvRoute>>,
+    /// Selected routes: cheapest per `(dest, attrs)`, sorted for
+    /// determinism. Paths start at the next hop.
+    pub loc_rib: Vec<PvRoute>,
+    /// Whether an MRAI advertisement timer is outstanding.
+    advert_pending: bool,
+}
+
+impl PvRouter {
+    /// Total routes stored across neighbor RIBs (the state-size measure
+    /// of experiment E4).
+    pub fn adj_rib_size(&self) -> usize {
+        self.adj_in.values().map(Vec::len).sum()
+    }
+
+    /// Selected routes toward one destination.
+    pub fn routes_to(&self, dest: AdId) -> impl Iterator<Item = &PvRoute> {
+        self.loc_rib.iter().filter(move |r| r.dest == dest)
+    }
+
+    /// The cheapest selected route matching `flow`.
+    pub fn best_match(&self, flow: &FlowSpec) -> Option<&PvRoute> {
+        self.loc_rib
+            .iter()
+            .filter(|r| r.dest == flow.dst && r.attrs.matches(flow))
+            .min_by(|a, b| {
+                (a.cost, a.path.len(), &a.path).cmp(&(b.cost, b.path.len(), &b.path))
+            })
+    }
+}
+
+impl PathVector {
+    /// Schedules an MRAI-batched advertisement (or sends immediately when
+    /// batching is disabled).
+    fn schedule_advert(&self, r: &mut PvRouter, ctx: &mut Ctx<'_, PvUpdate>) {
+        if self.mrai_us == 0 {
+            self.advertise(r, ctx);
+        } else if !r.advert_pending {
+            r.advert_pending = true;
+            ctx.set_timer(self.mrai_us, 1);
+        }
+    }
+
+    fn recompute(&self, r: &mut PvRouter, ctx: &Ctx<'_, PvUpdate>) -> bool {
+        let neighbors = ctx.neighbors();
+        let mut best: BTreeMap<(AdId, PvAttrs), PvRoute> = BTreeMap::new();
+        for (&nbr, routes) in &r.adj_in {
+            let Some(&(_, link)) = neighbors.iter().find(|&&(n, _)| n == nbr) else {
+                continue; // link currently down
+            };
+            let w = ctx.link_metric(link);
+            for route in routes {
+                if route.path.contains(&r.me) {
+                    continue; // loop avoidance via full path information
+                }
+                let cand = PvRoute {
+                    dest: route.dest,
+                    path: route.path.clone(),
+                    attrs: route.attrs.clone(),
+                    cost: route.cost.saturating_add(w),
+                };
+                let key = (cand.dest, cand.attrs.clone());
+                match best.get(&key) {
+                    Some(cur)
+                        if (cur.cost, cur.path.len(), &cur.path)
+                            <= (cand.cost, cand.path.len(), &cand.path) => {}
+                    _ => {
+                        best.insert(key, cand);
+                    }
+                }
+            }
+        }
+        let new_rib: Vec<PvRoute> = best.into_values().collect();
+        if new_rib != r.loc_rib {
+            r.loc_rib = new_rib;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn advertise(&self, r: &PvRouter, ctx: &mut Ctx<'_, PvUpdate>) {
+        let policy = self.policies.policy(r.me);
+        for (nbr, _) in ctx.neighbors() {
+            let mut routes: Vec<PvRoute> = Vec::new();
+            // Own-origin route: reaching us is not transit; always offered.
+            routes.push(PvRoute { dest: r.me, path: vec![r.me], attrs: PvAttrs::any(), cost: 0 });
+            // Transit routes, narrowed by our offerings. The receiver
+            // prepends us to each path on import.
+            let mut per_dest: BTreeMap<AdId, Vec<PvRoute>> = BTreeMap::new();
+            for route in &r.loc_rib {
+                if route.path.contains(&nbr) {
+                    continue; // receiver would loop-reject; save the bytes
+                }
+                let next = route.path[0];
+                for off in offerings(policy, route.dest, nbr, next, self.eval_time) {
+                    per_dest
+                        .entry(route.dest)
+                        .or_default()
+                        .extend(combine(route, &off, self.scope_attrs));
+                }
+            }
+            for (_dest, cands) in per_dest {
+                // Best route per distinct attribute set, then cheapest-first
+                // truncation to the advertisement budget.
+                let mut best: BTreeMap<PvAttrs, PvRoute> = BTreeMap::new();
+                for c in cands {
+                    match best.get(&c.attrs) {
+                        Some(cur)
+                            if (cur.cost, cur.path.len(), &cur.path)
+                                <= (c.cost, c.path.len(), &c.path) => {}
+                        _ => {
+                            best.insert(c.attrs.clone(), c);
+                        }
+                    }
+                }
+                let mut cands: Vec<PvRoute> = best.into_values().collect();
+                cands.sort_by(|a, b| {
+                    (a.cost, a.path.len(), &a.path, &a.attrs)
+                        .cmp(&(b.cost, b.path.len(), &b.path, &b.attrs))
+                });
+                cands.truncate(self.max_routes_per_dest);
+                routes.extend(cands);
+            }
+            ctx.send(nbr, PvUpdate { routes });
+        }
+    }
+}
+
+/// Combines a selected route with one offering into advertised routes
+/// (possibly several: one per QOS/UCI class the offering names).
+fn combine(route: &PvRoute, off: &Offering, scope_attrs: bool) -> Vec<PvRoute> {
+    // Scope: narrow; or widen to Any when scopes are unsupported (BGP-2).
+    let scope = if scope_attrs {
+        let s = route.attrs.scope.intersect(&off.scope);
+        if s.is_empty_set() {
+            return Vec::new();
+        }
+        s
+    } else {
+        AdSet::Any
+    };
+    let qos_options: Vec<Option<QosClass>> = match (&route.attrs.qos, &off.qos) {
+        (None, None) => vec![None],
+        (Some(q), None) => vec![Some(*q)],
+        (None, Some(list)) => list.iter().map(|q| Some(*q)).collect(),
+        (Some(q), Some(list)) => {
+            if list.contains(q) {
+                vec![Some(*q)]
+            } else {
+                return Vec::new();
+            }
+        }
+    };
+    let uci_options: Vec<Option<UserClass>> = match (&route.attrs.uci, &off.uci) {
+        (None, None) => vec![None],
+        (Some(u), None) => vec![Some(*u)],
+        (None, Some(list)) => list.iter().map(|u| Some(*u)).collect(),
+        (Some(u), Some(list)) => {
+            if list.contains(u) {
+                vec![Some(*u)]
+            } else {
+                return Vec::new();
+            }
+        }
+    };
+    let mut out = Vec::with_capacity(qos_options.len() * uci_options.len());
+    for q in &qos_options {
+        for u in &uci_options {
+            out.push(PvRoute {
+                dest: route.dest,
+                path: route.path.clone(),
+                attrs: PvAttrs { qos: *q, uci: *u, scope: scope.clone() },
+                cost: route.cost.saturating_add(off.cost),
+            });
+        }
+    }
+    out
+}
+
+impl Protocol for PathVector {
+    type Router = PvRouter;
+    type Msg = PvUpdate;
+
+    fn make_router(&self, _topo: &Topology, ad: AdId) -> PvRouter {
+        PvRouter { me: ad, adj_in: BTreeMap::new(), loc_rib: Vec::new(), advert_pending: false }
+    }
+
+    fn on_start(&self, r: &mut PvRouter, ctx: &mut Ctx<'_, PvUpdate>) {
+        self.advertise(r, ctx);
+    }
+
+    fn on_message(
+        &self,
+        r: &mut PvRouter,
+        ctx: &mut Ctx<'_, PvUpdate>,
+        from: AdId,
+        _link: LinkId,
+        msg: PvUpdate,
+    ) {
+        // Prepend the sender so stored paths run next-hop … dest.
+        let routes: Vec<PvRoute> = msg
+            .routes
+            .into_iter()
+            .map(|mut route| {
+                if route.path.first() != Some(&from) {
+                    route.path.insert(0, from);
+                }
+                route
+            })
+            .collect();
+        r.adj_in.insert(from, routes);
+        ctx.count("pv_recompute", 1);
+        if self.recompute(r, ctx) {
+            self.schedule_advert(r, ctx);
+        }
+    }
+
+    fn on_timer(&self, r: &mut PvRouter, ctx: &mut Ctx<'_, PvUpdate>, _token: u64) {
+        if r.advert_pending {
+            r.advert_pending = false;
+            self.advertise(r, ctx);
+        }
+    }
+
+    fn on_link_event(
+        &self,
+        r: &mut PvRouter,
+        ctx: &mut Ctx<'_, PvUpdate>,
+        _link: LinkId,
+        neighbor: AdId,
+        up: bool,
+    ) {
+        if !up {
+            r.adj_in.remove(&neighbor);
+        }
+        ctx.count("pv_recompute", 1);
+        let changed = self.recompute(r, ctx);
+        if changed || up {
+            self.schedule_advert(r, ctx);
+        }
+    }
+
+    fn msg_size(&self, msg: &PvUpdate) -> usize {
+        4 + msg.routes.iter().map(PvRoute::encoded_size).sum::<usize>()
+    }
+}
+
+impl DataPlane for Engine<PathVector> {
+    type Mark = ();
+
+    fn next_hop(
+        &mut self,
+        at: AdId,
+        flow: &FlowSpec,
+        _prev: Option<AdId>,
+        _mark: &mut (),
+    ) -> Option<AdId> {
+        self.router(at).best_match(flow).map(|r| r.path[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forwarding::{audit_path, forward, score_flows, ForwardOutcome};
+    use adroute_policy::workload::PolicyWorkload;
+    use adroute_topology::generate::{line, ring, HierarchyConfig};
+
+    fn converge(topo: Topology, pv: PathVector) -> Engine<PathVector> {
+        let mut e = Engine::new(topo, pv);
+        e.run_to_quiescence();
+        e
+    }
+
+    #[test]
+    fn permissive_policies_reach_everywhere() {
+        let topo = ring(6);
+        let db = PolicyDb::permissive(&topo);
+        let mut e = converge(topo, PathVector::idrp(db));
+        let topo = e.topo().clone();
+        for f in crate::forwarding::sample_flows(&topo, 20, 1) {
+            let out = forward(&mut e, &topo, &f);
+            assert!(out.delivered(), "{f}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn full_path_prevents_loops() {
+        let topo = ring(5);
+        let db = PolicyDb::permissive(&topo);
+        let e = converge(topo, PathVector::idrp(db));
+        for ad in e.topo().ad_ids() {
+            for r in &e.router(ad).loc_rib {
+                assert!(!r.path.contains(&ad), "{ad} stores looping path {:?}", r.path);
+                let mut p = r.path.clone();
+                p.sort_unstable();
+                p.dedup();
+                assert_eq!(p.len(), r.path.len(), "duplicate in path");
+            }
+        }
+    }
+
+    #[test]
+    fn deny_all_transit_is_never_advertised_through() {
+        let topo = line(4);
+        let mut db = PolicyDb::permissive(&topo);
+        db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let mut e = converge(topo, PathVector::idrp(db));
+        let topo = e.topo().clone();
+        // 0 -> 3 must fail: the only physical path transits AD1.
+        let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(3)));
+        assert!(matches!(out, ForwardOutcome::NoRoute { .. }), "{out:?}");
+        // 0 -> 1 (AD1 as endpoint) still works.
+        let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(1)));
+        assert!(out.delivered());
+    }
+
+    #[test]
+    fn source_scope_enforces_source_specific_policy() {
+        // Ring 0-1-2-3-0: AD1 denies source 0; 0->2 must go via 3.
+        let topo = ring(4);
+        let mut db = PolicyDb::permissive(&topo);
+        let mut p1 = TransitPolicy::permit_all(AdId(1));
+        p1.push_term(vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))], PolicyAction::Deny);
+        db.set_policy(p1);
+        let mut e = converge(topo, PathVector::idrp(db.clone()));
+        let topo = e.topo().clone();
+        let f = FlowSpec::best_effort(AdId(0), AdId(2));
+        let out = forward(&mut e, &topo, &f);
+        let ForwardOutcome::Delivered { path } = &out else { panic!("{out:?}") };
+        assert_eq!(path, &vec![AdId(0), AdId(3), AdId(2)]);
+        assert!(audit_path(&topo, &db, &f, path).compliant());
+        // A different source may use AD1.
+        let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(3), AdId(2)));
+        assert!(out.delivered());
+    }
+
+    #[test]
+    fn bgp2_without_scopes_loses_enforcement() {
+        let topo = ring(4);
+        let mut db = PolicyDb::permissive(&topo);
+        let mut p1 = TransitPolicy::permit_all(AdId(1));
+        p1.push_term(vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))], PolicyAction::Deny);
+        db.set_policy(p1);
+        let mut e = converge(topo, PathVector::bgp2(db.clone()));
+        let topo = e.topo().clone();
+        let f = FlowSpec::best_effort(AdId(0), AdId(2));
+        let score = score_flows(&mut e, &topo, &db, &[f]);
+        // BGP-2 still delivers (it has routes), but cannot see the
+        // source-specific denial; compliance is luck of cost tie-break.
+        assert_eq!(score.delivered, 1);
+    }
+
+    #[test]
+    fn qos_terms_split_routes() {
+        // Line 0-1-2: AD1 permits QOS0 cheap, QOS1 expensive.
+        let topo = line(3);
+        let mut db = PolicyDb::permissive(&topo);
+        let mut p1 = TransitPolicy::deny_all(AdId(1));
+        p1.push_term(
+            vec![PolicyCondition::QosIn(vec![QosClass(0)])],
+            PolicyAction::Permit { cost: 1 },
+        );
+        p1.push_term(
+            vec![PolicyCondition::QosIn(vec![QosClass(1)])],
+            PolicyAction::Permit { cost: 9 },
+        );
+        db.set_policy(p1);
+        let e = converge(topo, PathVector::idrp(db));
+        let routes: Vec<_> = e.router(AdId(0)).routes_to(AdId(2)).collect();
+        assert_eq!(routes.len(), 2, "{routes:?}");
+        let q0 = routes.iter().find(|r| r.attrs.qos == Some(QosClass(0))).unwrap();
+        let q1 = routes.iter().find(|r| r.attrs.qos == Some(QosClass(1))).unwrap();
+        assert_eq!(q0.cost + 8, q1.cost);
+        // Forwarding respects the class split.
+        let mut e = e;
+        let topo = e.topo().clone();
+        let f1 = FlowSpec::best_effort(AdId(0), AdId(2)).with_qos(QosClass(1));
+        assert!(forward(&mut e, &topo, &f1).delivered());
+        let f2 = FlowSpec::best_effort(AdId(0), AdId(2)).with_qos(QosClass(2));
+        assert!(matches!(forward(&mut e, &topo, &f2), ForwardOutcome::NoRoute { .. }));
+    }
+
+    #[test]
+    fn granular_policies_blow_up_tables() {
+        let topo = HierarchyConfig::figure1().generate();
+        let coarse = PolicyWorkload::granularity(1, 3).generate(&topo);
+        let fine = PolicyWorkload::granularity(5, 3).generate(&topo);
+        let e1 = converge(topo.clone(), PathVector::idrp(coarse));
+        let e2 = converge(topo.clone(), PathVector::idrp(fine));
+        let rib1: usize = topo.ad_ids().map(|a| e1.router(a).loc_rib.len()).sum();
+        let rib2: usize = topo.ad_ids().map(|a| e2.router(a).loc_rib.len()).sum();
+        assert!(rib2 > rib1, "finer policy should enlarge RIBs: {rib1} vs {rib2}");
+    }
+
+    #[test]
+    fn reconverges_after_failure() {
+        let topo = ring(5);
+        let db = PolicyDb::permissive(&topo);
+        let mut e = converge(topo, PathVector::idrp(db));
+        let l = e.topo().link_between(AdId(0), AdId(1)).unwrap();
+        let t = e.now().plus_us(1000);
+        e.schedule_link_change(l, false, t);
+        e.run_to_quiescence();
+        let topo = e.topo().clone();
+        let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(1)));
+        let ForwardOutcome::Delivered { path } = &out else { panic!("{out:?}") };
+        assert_eq!(path.len(), 5, "must take the long way: {path:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let topo = ring(6);
+            let db = PolicyDb::permissive(&topo);
+            let mut e = Engine::new(topo, PathVector::idrp(db));
+            let t = e.run_to_quiescence();
+            (t, e.stats.msgs_sent, e.stats.bytes_sent)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn offerings_conversion_cases() {
+        let dst = AdId(9);
+        let (prev, next) = (AdId(1), AdId(2));
+        let noon = TimeOfDay::NOON;
+        // permit_all => one catch-all offering.
+        let p = TransitPolicy::permit_all(AdId(5));
+        let offs = offerings(&p, dst, prev, next, noon);
+        assert_eq!(offs.len(), 1);
+        assert_eq!(offs[0].scope, AdSet::Any);
+        // deny_all => none.
+        assert!(offerings(&TransitPolicy::deny_all(AdId(5)), dst, prev, next, noon).is_empty());
+        // deny(src {3}) then default permit => catch-all minus {3}.
+        let mut p = TransitPolicy::permit_all(AdId(5));
+        p.push_term(vec![PolicyCondition::SrcIn(AdSet::only([AdId(3)]))], PolicyAction::Deny);
+        let offs = offerings(&p, dst, prev, next, noon);
+        assert_eq!(offs.len(), 1);
+        assert!(!offs[0].scope.contains(AdId(3)));
+        assert!(offs[0].scope.contains(AdId(4)));
+        // PrevIn gating: a term for a different prev is skipped.
+        let mut p = TransitPolicy::deny_all(AdId(5));
+        p.push_term(
+            vec![PolicyCondition::PrevIn(AdSet::only([AdId(7)]))],
+            PolicyAction::Permit { cost: 0 },
+        );
+        assert!(offerings(&p, dst, prev, next, noon).is_empty());
+        p.push_term(
+            vec![PolicyCondition::PrevIn(AdSet::only([prev]))],
+            PolicyAction::Permit { cost: 2 },
+        );
+        let offs = offerings(&p, dst, prev, next, noon);
+        assert_eq!(offs.len(), 1);
+        assert_eq!(offs[0].cost, 2);
+        // Unconditional deny stops processing.
+        let mut p = TransitPolicy::permit_all(AdId(5));
+        p.push_term(vec![], PolicyAction::Deny);
+        p.push_term(vec![], PolicyAction::Permit { cost: 0 });
+        assert!(offerings(&p, dst, prev, next, noon).is_empty());
+        // Deny Except({4}) leaves only source 4.
+        let mut p = TransitPolicy::permit_all(AdId(5));
+        p.push_term(vec![PolicyCondition::SrcIn(AdSet::except([AdId(4)]))], PolicyAction::Deny);
+        let offs = offerings(&p, dst, prev, next, noon);
+        assert_eq!(offs.len(), 1);
+        assert_eq!(offs[0].scope, AdSet::only([AdId(4)]));
+    }
+}

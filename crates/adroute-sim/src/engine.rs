@@ -1,0 +1,608 @@
+//! The simulation engine: routers, message delivery, timers, link events.
+
+use std::collections::BinaryHeap;
+
+use adroute_topology::{AdId, LinkId, Topology};
+
+use crate::event::{Event, EventKind, SimTime};
+use crate::stats::Stats;
+use crate::trace::Trace;
+
+/// A routing protocol that can be run by the [`Engine`].
+///
+/// The protocol value itself holds *configuration* shared by all routers
+/// (policies, tuning knobs); per-AD state lives in `Router`. Handlers
+/// receive a [`Ctx`] through which they send messages, set one-shot
+/// timers, and record work counters.
+pub trait Protocol: Sized {
+    /// Per-AD router state.
+    type Router;
+    /// Wire message type exchanged between neighbors.
+    type Msg: Clone;
+
+    /// Creates the initial router state for `ad`.
+    fn make_router(&self, topo: &Topology, ad: AdId) -> Self::Router;
+
+    /// Called once per router at simulation start (time zero).
+    fn on_start(&self, router: &mut Self::Router, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a message from neighbor `from` arrives over `link`.
+    fn on_message(
+        &self,
+        router: &mut Self::Router,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        from: AdId,
+        link: LinkId,
+        msg: Self::Msg,
+    );
+
+    /// Called when a one-shot timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&self, router: &mut Self::Router, ctx: &mut Ctx<'_, Self::Msg>, token: u64) {
+        let _ = (router, ctx, token);
+    }
+
+    /// Called when an adjacent link changes state. The topology has
+    /// already been updated when this fires.
+    fn on_link_event(
+        &self,
+        router: &mut Self::Router,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        link: LinkId,
+        neighbor: AdId,
+        up: bool,
+    ) {
+        let _ = (router, ctx, link, neighbor, up);
+    }
+
+    /// Encoded size in bytes of a message, for overhead accounting.
+    fn msg_size(&self, msg: &Self::Msg) -> usize;
+}
+
+/// Handler-side context: everything a router may do during an event.
+pub struct Ctx<'a, M> {
+    me: AdId,
+    now: SimTime,
+    topo: &'a Topology,
+    stats: &'a mut Stats,
+    /// Outgoing messages `(to, link, msg)` buffered until the handler
+    /// returns.
+    outbox: Vec<(AdId, LinkId, M)>,
+    /// Timers `(delay_us, token)` buffered until the handler returns.
+    timers: Vec<(u64, u64)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The AD this router belongs to.
+    #[inline]
+    pub fn me(&self) -> AdId {
+        self.me
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Operational neighbors of this AD, with the connecting link.
+    pub fn neighbors(&self) -> Vec<(AdId, LinkId)> {
+        self.topo.neighbors(self.me).collect()
+    }
+
+    /// The routing metric of a link (for computing advertised distances).
+    pub fn link_metric(&self, link: LinkId) -> u32 {
+        self.topo.link(link).metric
+    }
+
+    /// The propagation delay of a link in microseconds.
+    pub fn link_delay(&self, link: LinkId) -> u64 {
+        self.topo.link(link).delay_us
+    }
+
+    /// The hierarchy classification of a link (hierarchical / lateral /
+    /// bypass). Tree-restricted protocols (EGP-style) filter on this.
+    pub fn link_kind(&self, link: LinkId) -> adroute_topology::LinkKind {
+        self.topo.link(link).kind
+    }
+
+    /// Whether the link to `neighbor` is currently operational.
+    pub fn neighbor_up(&self, neighbor: AdId) -> bool {
+        self.topo
+            .link_between(self.me, neighbor)
+            .map(|l| self.topo.link(l).up)
+            .unwrap_or(false)
+    }
+
+    /// Sends `msg` to a directly connected neighbor over the (operational)
+    /// link between them. Messages to non-neighbors or over failed links
+    /// are silently dropped, mirroring a loss on a dying link.
+    pub fn send(&mut self, to: AdId, msg: M) {
+        if let Some(link) = self.topo.link_between(self.me, to) {
+            if self.topo.link(link).up {
+                self.outbox.push((to, link, msg));
+            }
+        }
+    }
+
+    /// Sets a one-shot timer `delay_us` microseconds from now. The token
+    /// is returned to [`Protocol::on_timer`].
+    pub fn set_timer(&mut self, delay_us: u64, token: u64) {
+        self.timers.push((delay_us, token));
+    }
+
+    /// Adds `n` to a named work counter (e.g. `"dijkstra"`).
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        self.stats.count(name, n);
+    }
+}
+
+/// The discrete-event engine running one [`Protocol`] over one
+/// [`Topology`].
+pub struct Engine<P: Protocol> {
+    protocol: P,
+    topo: Topology,
+    routers: Vec<P::Router>,
+    queue: BinaryHeap<Event<P::Msg>>,
+    seq: u64,
+    now: SimTime,
+    /// Safety valve: maximum events processed per `run_*` call family.
+    pub max_events: u64,
+    /// Accumulated measurement counters.
+    pub stats: Stats,
+    /// Optional event trace (capacity 0 = disabled). Because the engine
+    /// is deterministic, the rendered trace is a golden artifact: equal
+    /// configurations produce byte-identical traces, and
+    /// [`Trace::first_divergence`] pinpoints where two runs split.
+    pub trace: Trace,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Builds routers for every AD and schedules their start events at
+    /// time zero (in AD order).
+    pub fn new(topo: Topology, protocol: P) -> Engine<P> {
+        let routers = topo
+            .ad_ids()
+            .map(|ad| protocol.make_router(&topo, ad))
+            .collect::<Vec<_>>();
+        let stats = Stats::new(topo.num_ads());
+        let mut e = Engine {
+            protocol,
+            topo,
+            routers,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            max_events: 50_000_000,
+            stats,
+            trace: Trace::new(0),
+        };
+        for ad in e.topo.ad_ids() {
+            e.push(SimTime::ZERO, EventKind::Start { ad });
+        }
+        e
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<P::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { time, seq, kind });
+    }
+
+    /// The topology (current link states included).
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Router state of `ad`.
+    pub fn router(&self, ad: AdId) -> &P::Router {
+        &self.routers[ad.index()]
+    }
+
+    /// Mutable router state of `ad`, for experiment-driven changes
+    /// (e.g. editing a policy before poking the router).
+    pub fn router_mut(&mut self, ad: AdId) -> &mut P::Router {
+        &mut self.routers[ad.index()]
+    }
+
+    /// The protocol configuration.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules a link state change at an absolute time. The topology
+    /// flips when the event fires; both endpoint routers are then
+    /// notified.
+    pub fn schedule_link_change(&mut self, link: LinkId, up: bool, at: SimTime) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, EventKind::LinkEvent { link, up });
+    }
+
+    /// Schedules a timer wake-up at router `ad` at an absolute time.
+    /// Experiments use this to trigger protocol-defined reactions (e.g.
+    /// after directly mutating a router's policy).
+    pub fn schedule_wakeup(&mut self, ad: AdId, at: SimTime, token: u64) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, EventKind::Timer { ad, token });
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.stats.events += 1;
+        let tracing = self.trace.capacity() > 0;
+        match ev.kind {
+            EventKind::Start { ad } => {
+                if tracing {
+                    self.trace.log(self.now, format!("start {ad}"));
+                }
+                self.dispatch(ad, |p, r, ctx| p.on_start(r, ctx));
+            }
+            EventKind::Deliver { to, from, link, msg } => {
+                // A message in flight when its link failed is lost.
+                if self.topo.link(link).up {
+                    self.stats.msgs_delivered += 1;
+                    self.stats.last_activity = self.now;
+                    if tracing {
+                        self.trace.log(self.now, format!("deliver {from}->{to} via {link}"));
+                    }
+                    self.dispatch(to, |p, r, ctx| p.on_message(r, ctx, from, link, msg));
+                } else if tracing {
+                    self.trace.log(self.now, format!("lost {from}->{to} via {link}"));
+                }
+            }
+            EventKind::Timer { ad, token } => {
+                if tracing {
+                    self.trace.log(self.now, format!("timer {ad} token={token}"));
+                }
+                self.dispatch(ad, |p, r, ctx| p.on_timer(r, ctx, token));
+            }
+            EventKind::LinkEvent { link, up } => {
+                self.topo.set_link_up(link, up);
+                self.stats.last_activity = self.now;
+                if tracing {
+                    let state = if up { "up" } else { "down" };
+                    self.trace.log(self.now, format!("link {link} {state}"));
+                }
+                let l = self.topo.link(link);
+                let (a, b) = (l.a, l.b);
+                self.dispatch(a, |p, r, ctx| p.on_link_event(r, ctx, link, b, up));
+                self.dispatch(b, |p, r, ctx| p.on_link_event(r, ctx, link, a, up));
+            }
+        }
+        true
+    }
+
+    /// Enables event tracing with the given ring-buffer capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::new(capacity);
+    }
+
+    fn dispatch<F>(&mut self, ad: AdId, f: F)
+    where
+        F: FnOnce(&P, &mut P::Router, &mut Ctx<'_, P::Msg>),
+    {
+        let mut ctx = Ctx {
+            me: ad,
+            now: self.now,
+            topo: &self.topo,
+            stats: &mut self.stats,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
+        f(&self.protocol, &mut self.routers[ad.index()], &mut ctx);
+        let Ctx { outbox, timers, .. } = ctx;
+        for (to, link, msg) in outbox {
+            let delay = self.topo.link(link).delay_us;
+            self.stats.msgs_sent += 1;
+            self.stats.per_ad_msgs[ad.index()] += 1;
+            self.stats.bytes_sent += self.protocol.msg_size(&msg) as u64;
+            let at = self.now.plus_us(delay);
+            self.push(at, EventKind::Deliver { to, from: ad, link, msg });
+        }
+        for (delay_us, token) in timers {
+            let at = self.now.plus_us(delay_us);
+            self.push(at, EventKind::Timer { ad, token });
+        }
+    }
+
+    /// Runs until the event queue is empty (quiescence) and returns the
+    /// time of the last control activity — the convergence time.
+    ///
+    /// # Panics
+    /// Panics if more than `max_events` events are processed, which
+    /// indicates a protocol that does not converge (e.g. unbounded
+    /// count-to-infinity).
+    pub fn run_to_quiescence(&mut self) -> SimTime {
+        let start_events = self.stats.events;
+        while self.step() {
+            if self.stats.events - start_events > self.max_events {
+                panic!(
+                    "protocol did not quiesce within {} events (time {})",
+                    self.max_events, self.now
+                );
+            }
+        }
+        self.stats.last_activity
+    }
+
+    /// Runs until simulated time exceeds `until` or the queue empties.
+    pub fn run_until(&mut self, until: SimTime) {
+        let start_events = self.stats.events;
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > until {
+                break;
+            }
+            self.step();
+            assert!(
+                self.stats.events - start_events <= self.max_events,
+                "event budget exceeded at {}",
+                self.now
+            );
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Consumes the engine, returning its parts (topology, routers,
+    /// stats). Experiments use this to inspect final state.
+    pub fn into_parts(self) -> (Topology, Vec<P::Router>, Stats) {
+        (self.topo, self.routers, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adroute_topology::generate::line;
+
+    /// A toy flooding protocol: AD0 floods a wave token; every router
+    /// forwards the first copy it sees to all neighbors.
+    struct Wave;
+    #[derive(Default)]
+    struct WaveRouter {
+        seen: bool,
+        heard_from: Vec<AdId>,
+        timer_fired: bool,
+        link_events: u32,
+    }
+
+    impl Protocol for Wave {
+        type Router = WaveRouter;
+        type Msg = u32;
+
+        fn make_router(&self, _t: &Topology, _ad: AdId) -> WaveRouter {
+            WaveRouter::default()
+        }
+
+        fn on_start(&self, r: &mut WaveRouter, ctx: &mut Ctx<'_, u32>) {
+            if ctx.me() == AdId(0) {
+                r.seen = true;
+                for (nbr, _) in ctx.neighbors() {
+                    ctx.send(nbr, 1);
+                }
+                ctx.set_timer(10, 99);
+            }
+        }
+
+        fn on_message(
+            &self,
+            r: &mut WaveRouter,
+            ctx: &mut Ctx<'_, u32>,
+            from: AdId,
+            _link: LinkId,
+            msg: u32,
+        ) {
+            r.heard_from.push(from);
+            ctx.count("wave_rx", 1);
+            if !r.seen {
+                r.seen = true;
+                for (nbr, _) in ctx.neighbors() {
+                    if nbr != from {
+                        ctx.send(nbr, msg + 1);
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&self, r: &mut WaveRouter, _ctx: &mut Ctx<'_, u32>, token: u64) {
+            assert_eq!(token, 99);
+            r.timer_fired = true;
+        }
+
+        fn on_link_event(
+            &self,
+            r: &mut WaveRouter,
+            _ctx: &mut Ctx<'_, u32>,
+            _link: LinkId,
+            _nbr: AdId,
+            _up: bool,
+        ) {
+            r.link_events += 1;
+        }
+
+        fn msg_size(&self, _m: &u32) -> usize {
+            4
+        }
+    }
+
+    #[test]
+    fn wave_reaches_everyone_and_quiesces() {
+        let topo = line(5);
+        let mut e = Engine::new(topo, Wave);
+        let t = e.run_to_quiescence();
+        assert!(t > SimTime::ZERO);
+        for ad in e.topo().ad_ids() {
+            assert!(e.router(ad).seen, "{ad} never saw the wave");
+        }
+        assert!(e.router(AdId(0)).timer_fired);
+        // 4 links, each crossed exactly once forward = 4 messages.
+        assert_eq!(e.stats.msgs_sent, 4);
+        assert_eq!(e.stats.bytes_sent, 16);
+        assert_eq!(e.stats.counter("wave_rx"), 4);
+        assert_eq!(e.pending_events(), 0);
+    }
+
+    #[test]
+    fn link_failure_blocks_and_notifies() {
+        let topo = line(3);
+        let mut e = Engine::new(topo, Wave);
+        // Fail 1-2 before the wave crosses it: delays are 1000us per hop,
+        // so fail at t=500 (wave 0->1 arrives at 1000, 1->2 would arrive
+        // at 2000).
+        e.schedule_link_change(LinkId(1), false, SimTime(500));
+        e.run_to_quiescence();
+        assert!(e.router(AdId(1)).seen);
+        assert!(!e.router(AdId(2)).seen, "wave crossed a failed link");
+        assert_eq!(e.router(AdId(1)).link_events, 1);
+        assert_eq!(e.router(AdId(2)).link_events, 1);
+        assert_eq!(e.router(AdId(0)).link_events, 0);
+    }
+
+    #[test]
+    fn message_in_flight_on_failed_link_is_lost() {
+        let topo = line(3);
+        let mut e = Engine::new(topo, Wave);
+        // The 1->2 message departs at t=1000; kill the link at t=1500
+        // while it is in flight.
+        e.schedule_link_change(LinkId(1), false, SimTime(1500));
+        e.run_to_quiescence();
+        assert!(!e.router(AdId(2)).seen);
+    }
+
+    #[test]
+    fn run_until_stops_midway() {
+        let topo = line(5);
+        let mut e = Engine::new(topo, Wave);
+        e.run_until(SimTime(1500)); // only the first hop (t=1000) delivered
+        assert!(e.router(AdId(1)).seen);
+        assert!(!e.router(AdId(2)).seen);
+        assert_eq!(e.now(), SimTime(1500));
+        e.run_to_quiescence();
+        assert!(e.router(AdId(4)).seen);
+    }
+
+    #[test]
+    fn wakeup_delivers_token() {
+        let topo = line(2);
+        let mut e = Engine::new(topo, Wave);
+        e.run_to_quiescence();
+        e.schedule_wakeup(AdId(1), SimTime(10_000), 99);
+        e.run_to_quiescence();
+        assert!(e.router(AdId(1)).timer_fired);
+    }
+
+    #[test]
+    fn ctx_exposes_link_attributes() {
+        /// Probe protocol: records what Ctx reports at start time.
+        struct Probe;
+        #[derive(Default)]
+        struct ProbeRouter {
+            neighbor_up: Option<bool>,
+            metric: Option<u32>,
+            delay: Option<u64>,
+            kind: Option<adroute_topology::LinkKind>,
+        }
+        impl Protocol for Probe {
+            type Router = ProbeRouter;
+            type Msg = ();
+            fn make_router(&self, _t: &Topology, _a: AdId) -> ProbeRouter {
+                ProbeRouter::default()
+            }
+            fn on_start(&self, r: &mut ProbeRouter, ctx: &mut Ctx<'_, ()>) {
+                if let Some((nbr, link)) = ctx.neighbors().first().copied() {
+                    r.neighbor_up = Some(ctx.neighbor_up(nbr));
+                    r.metric = Some(ctx.link_metric(link));
+                    r.delay = Some(ctx.link_delay(link));
+                    r.kind = Some(ctx.link_kind(link));
+                }
+                // Non-neighbors are reported down and sends to them drop.
+                assert!(!ctx.neighbor_up(AdId(999)));
+                ctx.send(AdId(999), ());
+            }
+            fn on_message(&self, _r: &mut ProbeRouter, _c: &mut Ctx<'_, ()>, _f: AdId, _l: LinkId, _m: ()) {
+                panic!("no message should ever be delivered");
+            }
+            fn msg_size(&self, _m: &()) -> usize {
+                0
+            }
+        }
+        let mut topo = line(2);
+        topo.set_metric(LinkId(0), 7);
+        topo.set_delay(LinkId(0), 2500);
+        let mut e = Engine::new(topo, Probe);
+        e.run_to_quiescence();
+        let r = e.router(AdId(0));
+        assert_eq!(r.neighbor_up, Some(true));
+        assert_eq!(r.metric, Some(7));
+        assert_eq!(r.delay, Some(2500));
+        assert_eq!(r.kind, Some(adroute_topology::LinkKind::Lateral));
+        assert_eq!(e.stats.msgs_sent, 0, "send to non-neighbor must drop");
+    }
+
+    #[test]
+    fn tracing_captures_golden_event_log() {
+        let mk = || {
+            let mut e = Engine::new(line(3), Wave);
+            e.enable_trace(64);
+            e.schedule_link_change(LinkId(1), false, SimTime(5000));
+            e.run_to_quiescence();
+            e
+        };
+        let a = mk();
+        let b = mk();
+        assert!(!a.trace.is_empty());
+        assert_eq!(a.trace.render(), b.trace.render(), "trace must be golden");
+        assert!(a.trace.first_divergence(&b.trace).is_none());
+        let text = a.trace.render();
+        assert!(text.contains("start AD0"), "{text}");
+        assert!(text.contains("deliver AD0->AD1 via L0"), "{text}");
+        assert!(text.contains("link L1 down"), "{text}");
+        // Disabled by default: a fresh engine records nothing.
+        let mut plain = Engine::new(line(3), Wave);
+        plain.run_to_quiescence();
+        assert!(plain.trace.is_empty());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut e = Engine::new(line(6), Wave);
+            let t = e.run_to_quiescence();
+            (t, e.stats.msgs_sent, e.stats.events)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn past_scheduling_rejected() {
+        let mut e = Engine::new(line(3), Wave);
+        e.run_to_quiescence();
+        e.schedule_link_change(LinkId(0), false, SimTime::ZERO);
+    }
+
+    #[test]
+    fn into_parts_returns_state() {
+        let mut e = Engine::new(line(3), Wave);
+        e.run_to_quiescence();
+        let (topo, routers, stats) = e.into_parts();
+        assert_eq!(topo.num_ads(), 3);
+        assert_eq!(routers.len(), 3);
+        assert!(stats.events > 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Simulated time and the event structures of the engine.
+
+use adroute_topology::{AdId, LinkId};
+use std::fmt;
+
+/// Simulated time in microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// This time plus `us` microseconds.
+    #[inline]
+    pub fn plus_us(self, us: u64) -> SimTime {
+        SimTime(self.0 + us)
+    }
+
+    /// Constructs from whole milliseconds.
+    pub fn from_ms(ms: u64) -> SimTime {
+        SimTime(ms * 1000)
+    }
+
+    /// The value in milliseconds (truncating).
+    pub fn as_ms(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// The value in microseconds.
+    pub fn as_us(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}ms", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+/// What an event does when it fires. Generic over the protocol message
+/// type `M`.
+#[derive(Clone, Debug)]
+pub(crate) enum EventKind<M> {
+    /// Router start-up: the protocol's `on_start` hook.
+    Start { ad: AdId },
+    /// A message arriving at `to` from neighbor `from` over `link`.
+    Deliver { to: AdId, from: AdId, link: LinkId, msg: M },
+    /// A one-shot timer at `ad` with an opaque token.
+    Timer { ad: AdId, token: u64 },
+    /// A link going up or down; delivered to both endpoints after the
+    /// topology is updated.
+    LinkEvent { link: LinkId, up: bool },
+}
+
+/// A scheduled event: ordered by `(time, seq)` so simulation order is
+/// total and deterministic.
+#[derive(Clone, Debug)]
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_ms(2).plus_us(500);
+        assert_eq!(t.as_us(), 2500);
+        assert_eq!(t.as_ms(), 2);
+        assert_eq!(t.to_string(), "2.500ms");
+        assert!(SimTime::ZERO < t);
+    }
+
+    #[test]
+    fn event_ordering_is_earliest_first() {
+        let a: Event<()> =
+            Event { time: SimTime(5), seq: 1, kind: EventKind::Timer { ad: AdId(0), token: 0 } };
+        let b: Event<()> =
+            Event { time: SimTime(3), seq: 2, kind: EventKind::Timer { ad: AdId(0), token: 0 } };
+        let c: Event<()> =
+            Event { time: SimTime(3), seq: 1, kind: EventKind::Timer { ad: AdId(0), token: 0 } };
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(a);
+        heap.push(b);
+        heap.push(c);
+        let first = heap.pop().unwrap();
+        assert_eq!((first.time, first.seq), (SimTime(3), 1));
+        let second = heap.pop().unwrap();
+        assert_eq!((second.time, second.seq), (SimTime(3), 2));
+        let third = heap.pop().unwrap();
+        assert_eq!(third.time, SimTime(5));
+    }
+}

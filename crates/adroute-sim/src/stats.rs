@@ -1,0 +1,101 @@
+//! Measurement counters shared by every experiment.
+
+use std::collections::BTreeMap;
+
+use crate::event::SimTime;
+
+/// Counters accumulated during a simulation run.
+///
+/// Besides the fixed message counters, protocols record named work
+/// counters (e.g. `"dijkstra"`, `"route_recompute"`, `"flood_dup"`), which
+/// is how the computation-burden experiments (paper Sections 5.2/5.3) are
+/// measured without wall-clock noise.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Control messages sent (per-hop transmissions, not end-to-end).
+    pub msgs_sent: u64,
+    /// Total encoded bytes of control messages sent.
+    pub bytes_sent: u64,
+    /// Control messages delivered.
+    pub msgs_delivered: u64,
+    /// Events processed in total.
+    pub events: u64,
+    /// Time of the last control-plane activity (convergence time).
+    pub last_activity: SimTime,
+    /// Named work counters incremented by protocols.
+    counters: BTreeMap<&'static str, u64>,
+    /// Per-AD control messages sent, indexed by AD.
+    pub per_ad_msgs: Vec<u64>,
+}
+
+impl Stats {
+    /// Creates stats sized for `num_ads` ADs.
+    pub fn new(num_ads: usize) -> Stats {
+        Stats { per_ad_msgs: vec![0; num_ads], ..Stats::default() }
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Reads a named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All named counters, for reporting.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The maximum per-AD message count (hot-spot measure).
+    pub fn max_per_ad_msgs(&self) -> u64 {
+        self.per_ad_msgs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Resets message/byte/event counters but keeps sizing. Used between
+    /// the initial-convergence phase and a failure-response phase so the
+    /// two can be reported separately.
+    pub fn reset_counters(&mut self) {
+        let n = self.per_ad_msgs.len();
+        *self = Stats::new(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_counters() {
+        let mut s = Stats::new(3);
+        assert_eq!(s.counter("dijkstra"), 0);
+        s.count("dijkstra", 2);
+        s.count("dijkstra", 3);
+        assert_eq!(s.counter("dijkstra"), 5);
+        assert_eq!(s.counters().count(), 1);
+    }
+
+    #[test]
+    fn reset_preserves_sizing() {
+        let mut s = Stats::new(4);
+        s.msgs_sent = 10;
+        s.per_ad_msgs[2] = 7;
+        s.count("x", 1);
+        s.reset_counters();
+        assert_eq!(s.msgs_sent, 0);
+        assert_eq!(s.per_ad_msgs.len(), 4);
+        assert_eq!(s.per_ad_msgs[2], 0);
+        assert_eq!(s.counter("x"), 0);
+    }
+
+    #[test]
+    fn hotspot_measure() {
+        let mut s = Stats::new(3);
+        s.per_ad_msgs[1] = 9;
+        s.per_ad_msgs[2] = 4;
+        assert_eq!(s.max_per_ad_msgs(), 9);
+        assert_eq!(Stats::new(0).max_per_ad_msgs(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Bounded event tracing for debugging protocol runs.
+//!
+//! A [`Trace`] is a ring buffer of rendered event records that a protocol
+//! (or the experiment driving it) appends to via [`Trace::log`]. Because
+//! the engine is deterministic, a trace is a *golden artifact*: two runs
+//! of the same configuration produce byte-identical traces, which makes
+//! `assert_eq!(trace_a.render(), trace_b.render())` a powerful regression
+//! test (see the determinism tests), and a diff of two traces pinpoints
+//! the first divergent event when something breaks.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::event::SimTime;
+
+/// One rendered trace record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// Free-form, deterministic description.
+    pub what: String,
+}
+
+/// A bounded, in-order event log.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    /// Records discarded because the buffer was full.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` most-recent records.
+    pub fn new(capacity: usize) -> Trace {
+        Trace { records: VecDeque::new(), capacity, dropped: 0 }
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn log(&mut self, at: SimTime, what: impl Into<String>) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { at, what: what.into() });
+    }
+
+    /// The configured capacity (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Renders the trace as one line per record (`time<TAB>what`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(out, "{}\t{}", r.at, r.what);
+        }
+        out
+    }
+
+    /// First record whose description differs from `other`'s at the same
+    /// position — the point of divergence between two runs.
+    pub fn first_divergence<'a>(&'a self, other: &'a Trace) -> Option<(usize, Option<&'a TraceRecord>, Option<&'a TraceRecord>)> {
+        let mut i = 0;
+        let mut a = self.records.iter();
+        let mut b = other.records.iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return None,
+                (x, y) if x.map(|r| (&r.at, &r.what)) == y.map(|r| (&r.at, &r.what)) => {}
+                (x, y) => return Some((i, x, y)),
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logs_and_renders_in_order() {
+        let mut t = Trace::new(8);
+        t.log(SimTime(1000), "a");
+        t.log(SimTime(2000), "b");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert_eq!(s, "1.000ms\ta\n2.000ms\tb\n");
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(2);
+        t.log(SimTime(1), "a");
+        t.log(SimTime(2), "b");
+        t.log(SimTime(3), "c");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped, 1);
+        let kinds: Vec<&str> = t.iter().map(|r| r.what.as_str()).collect();
+        assert_eq!(kinds, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut t = Trace::new(0);
+        t.log(SimTime(1), "a");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped, 1);
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn divergence_detection() {
+        let mut a = Trace::new(8);
+        let mut b = Trace::new(8);
+        for t in [1u64, 2, 3] {
+            a.log(SimTime(t), format!("e{t}"));
+            b.log(SimTime(t), format!("e{t}"));
+        }
+        assert!(a.first_divergence(&b).is_none());
+        b.log(SimTime(4), "extra");
+        let (i, x, y) = a.first_divergence(&b).unwrap();
+        assert_eq!(i, 3);
+        assert!(x.is_none());
+        assert_eq!(y.unwrap().what, "extra");
+        a.log(SimTime(4), "different");
+        let (i, x, _) = a.first_divergence(&b).unwrap();
+        assert_eq!(i, 3);
+        assert_eq!(x.unwrap().what, "different");
+    }
+}

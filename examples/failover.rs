@@ -1,0 +1,80 @@
+//! Failure response across the design space: fail an inter-AD link after
+//! convergence and watch each architecture recover.
+//!
+//! The paper's Section 2.2 assumption — ADs are stable, inter-AD links
+//! fail — makes this the interesting dynamic case: naive DV counts toward
+//! infinity, ECMA's ordering suppresses the count, path vector explores
+//! paths, link state refloods, and ORWG invalidates handles and re-runs
+//! setup.
+//!
+//! ```sh
+//! cargo run --example failover
+//! ```
+
+use adroute::core::{OrwgNetwork, Strategy};
+use adroute::policy::{FlowSpec, PolicyDb};
+use adroute::protocols::ecma::Ecma;
+use adroute::protocols::ls_hbh::LsHbh;
+use adroute::protocols::naive_dv::NaiveDv;
+use adroute::protocols::path_vector::PathVector;
+use adroute::sim::{Engine, Protocol};
+use adroute::topology::generate::ring;
+use adroute::topology::AdId;
+
+/// Converges, fails the 0-1 link, and reports the failure-response cost.
+fn crash_test<P: Protocol>(name: &str, topo: adroute::topology::Topology, proto: P) {
+    let mut e = Engine::new(topo, proto);
+    let t0 = e.run_to_quiescence();
+    let initial_msgs = e.stats.msgs_sent;
+    let l = e.topo().link_between(AdId(0), AdId(1)).expect("ring link");
+    let fail_at = e.now().plus_us(10_000);
+    e.schedule_link_change(l, false, fail_at);
+    e.stats.reset_counters();
+    let t1 = e.run_to_quiescence();
+    println!(
+        "{name:<22} initial: {initial_msgs:>5} msgs, conv {t0}   failure: {:>5} msgs, reconv {} ms",
+        e.stats.msgs_sent,
+        (t1.as_us().saturating_sub(fail_at.as_us())) / 1000
+    );
+}
+
+fn main() {
+    let n = 8;
+    println!("ring of {n} ADs, permissive policies; fail link AD0-AD1 after convergence\n");
+
+    crash_test("naive DV", ring(n), NaiveDv { infinity: 32, split_horizon: false, ..NaiveDv::default() });
+    crash_test("naive DV + split hz", ring(n), NaiveDv { infinity: 32, split_horizon: true, ..NaiveDv::default() });
+    crash_test("ECMA (ordering)", ring(n), Ecma::all_transit(&ring(n)));
+    crash_test("path vector (IDRP)", ring(n), PathVector::idrp(PolicyDb::permissive(&ring(n))));
+    crash_test("link state (HBH)", ring(n), LsHbh::new(&ring(n), PolicyDb::permissive(&ring(n))));
+
+    // ORWG: the interesting part is the data plane — handles crossing the
+    // dead link are invalidated and the source re-opens.
+    println!("\nORWG handle recovery:");
+    let topo = ring(n);
+    let db = PolicyDb::permissive(&topo);
+    let mut net =
+        OrwgNetwork::converged_with(&topo, &db, Strategy::Cached { capacity: 128 }, 1024);
+    let flow = FlowSpec::best_effort(AdId(0), AdId(4));
+    let s1 = net.open(&flow).expect("initial setup");
+    println!(
+        "  before: route {:?}, setup {} bytes",
+        s1.route.iter().map(|a| a.0).collect::<Vec<_>>(),
+        s1.header_bytes
+    );
+    let l = net.topo().link_between(AdId(1), AdId(2)).unwrap();
+    net.fail_link(l);
+    match net.send(s1.handle) {
+        Err(e) => println!("  after failure, old handle: {e:?} -> source must re-open"),
+        Ok(_) => println!("  after failure, old handle unexpectedly still works"),
+    }
+    let s2 = net.open(&flow).expect("re-setup around the failure");
+    println!(
+        "  re-opened: route {:?} ({} validations, {} bytes)",
+        s2.route.iter().map(|a| a.0).collect::<Vec<_>>(),
+        s2.validations,
+        s2.header_bytes
+    );
+    let d = net.send(s2.handle).expect("data flows again");
+    println!("  data flows again: {} hops, {} header bytes", d.hops, d.header_bytes);
+}

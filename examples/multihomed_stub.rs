@@ -1,0 +1,116 @@
+//! The paper's motivating scenario (Section 2.1): a **multi-homed stub**
+//! AD has two providers for reliability but "wish[es] to disallow any
+//! transit traffic".
+//!
+//! A policy-blind distance-vector protocol happily shortcuts provider-to-
+//! provider traffic *through* the stub. ECMA's partial ordering and the
+//! ORWG architecture both enforce the stub's policy — by construction.
+//!
+//! ```sh
+//! cargo run --example multihomed_stub
+//! ```
+
+use adroute::core::OrwgNetwork;
+use adroute::policy::workload::PolicyWorkload;
+use adroute::policy::FlowSpec;
+use adroute::protocols::ecma::Ecma;
+use adroute::protocols::forwarding::{audit_path, forward, ForwardOutcome};
+use adroute::protocols::naive_dv::NaiveDv;
+use adroute::sim::Engine;
+use adroute::topology::graph::make_ad;
+use adroute::topology::{AdId, AdLevel, Topology};
+
+/// Two regional providers R1, R2 joined only via a distant backbone; the
+/// multi-homed campus stub S hangs under both. The tempting shortcut
+/// R1-S-R2 is two hops; the legal path R1-B-R2 is two hops at higher
+/// metric (the backbone links cost more).
+fn build() -> Topology {
+    let ads = vec![
+        make_ad(0, AdLevel::Backbone), // B
+        make_ad(1, AdLevel::Regional), // R1
+        make_ad(2, AdLevel::Regional), // R2
+        make_ad(3, AdLevel::Campus),   // S (multi-homed stub)
+        make_ad(4, AdLevel::Campus),   // customer of R1
+        make_ad(5, AdLevel::Campus),   // customer of R2
+    ];
+    let mut topo = Topology::new(
+        ads,
+        &[
+            (AdId(0), AdId(1), 5), // B-R1 (long haul)
+            (AdId(0), AdId(2), 5), // B-R2
+            (AdId(1), AdId(3), 1), // R1-S
+            (AdId(2), AdId(3), 1), // R2-S  <- the tempting shortcut
+            (AdId(1), AdId(4), 1),
+            (AdId(2), AdId(5), 1),
+        ],
+    );
+    topo.reclassify_roles();
+    topo
+}
+
+fn describe(path: &[AdId]) -> String {
+    path.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" -> ")
+}
+
+fn main() {
+    let topo = build();
+    let policies = PolicyWorkload::structural(1).generate(&topo);
+    let flow = FlowSpec::best_effort(AdId(4), AdId(5)); // customer to customer
+    println!("scenario: {} (stub S = AD3 is multi-homed, no-transit)\n", flow);
+
+    // --- Naive DV: policy-blind --------------------------------------
+    let mut dv = Engine::new(topo.clone(), NaiveDv::default());
+    dv.run_to_quiescence();
+    let out = forward(&mut dv, &topo, &flow);
+    if let ForwardOutcome::Delivered { path } = &out {
+        let audit = audit_path(&topo, &policies, &flow, path);
+        println!("naive DV   : {}", describe(path));
+        println!(
+            "             policy compliant: {} (violations at {:?})",
+            audit.compliant(),
+            audit.violations
+        );
+    }
+
+    // --- ECMA: the stub never re-advertises, the ordering forbids the
+    //     valley ------------------------------------------------------
+    let mut ecma = Engine::new(topo.clone(), Ecma::hierarchical(&topo));
+    ecma.run_to_quiescence();
+    let out = forward(&mut ecma, &topo, &flow);
+    if let ForwardOutcome::Delivered { path } = &out {
+        let audit = audit_path(&topo, &policies, &flow, path);
+        println!("ECMA       : {}", describe(path));
+        println!("             policy compliant: {}", audit.compliant());
+    } else {
+        println!("ECMA       : {out:?}");
+    }
+
+    // --- ORWG: the stub's deny-all PT is flooded; no route server will
+    //     ever synthesize a route through it ---------------------------
+    let mut net = OrwgNetwork::converged(&topo, &policies);
+    match net.open(&flow) {
+        Ok(setup) => {
+            println!("ORWG       : {}", describe(&setup.route));
+            let audit = audit_path(&topo, &policies, &flow, &setup.route);
+            println!(
+                "             policy compliant: {} ({} gateway validations)",
+                audit.compliant(),
+                setup.validations
+            );
+        }
+        Err(e) => println!("ORWG       : {e:?}"),
+    }
+
+    // And the stub keeps its redundancy: when R2-S fails, S still
+    // reaches everyone via R1.
+    let l = topo.link_between(AdId(2), AdId(3)).unwrap();
+    net.fail_link(l);
+    let from_stub = FlowSpec::best_effort(AdId(3), AdId(5));
+    match net.open(&from_stub) {
+        Ok(setup) => println!(
+            "\nafter R2-S failure, stub still reaches AD5: {}",
+            describe(&setup.route)
+        ),
+        Err(e) => println!("\nafter R2-S failure, stub cut off: {e:?}"),
+    }
+}

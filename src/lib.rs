@@ -1,0 +1,70 @@
+//! # adroute — the inter-AD policy-routing design space, executable
+//!
+//! An executable reproduction of *Design of Inter-Administrative Domain
+//! Routing Protocols* (Breslau & Estrin, SIGCOMM 1990). The paper defines a
+//! 2×2×2 design space for inter-AD routing — {distance vector | link state}
+//! × {hop-by-hop | source routing} × {policy in topology | explicit policy
+//! terms} — walks its four viable points, and argues that link-state source
+//! routing with explicit Policy Terms (the ORWG / IDPR architecture) best
+//! serves long-term policy-routing requirements.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`topology`] — the AD-level internet model and Figure-1 generators;
+//! * [`policy`] — Policy Terms, traffic classes, policy workloads, and the
+//!   route-legality oracle;
+//! * [`sim`] — the deterministic discrete-event engine protocols run on;
+//! * [`protocols`] — the hop-by-hop design points (naive DV, ECMA
+//!   partial-order DV, IDRP/BGP-2 path vector, link-state hop-by-hop);
+//! * [`core`] — the paper's endorsed architecture: policy source routing
+//!   with Route Servers, Policy Gateways, and a setup/handle data plane.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adroute::topology::HierarchyConfig;
+//! use adroute::policy::{workload::PolicyWorkload, FlowSpec, QosClass, UserClass};
+//! use adroute::core::OrwgNetwork;
+//!
+//! // A Figure-1-style internet and a mixed policy workload.
+//! let topo = HierarchyConfig::figure1().generate();
+//! let policies = PolicyWorkload::default_mix(7).generate(&topo);
+//!
+//! // Bring up the ORWG architecture: flood policy terms, then source-route.
+//! let mut net = OrwgNetwork::converged(&topo, &policies);
+//! let flow = FlowSpec::best_effort(topo.ad_ids().next().unwrap(),
+//!                                  topo.ad_ids().last().unwrap());
+//! if let Some(route) = net.policy_route(&flow) {
+//!     println!("policy route: {:?}", route);
+//! }
+//! ```
+
+pub use adroute_core as core;
+pub use adroute_policy as policy;
+pub use adroute_protocols as protocols;
+pub use adroute_sim as sim;
+pub use adroute_topology as topology;
+
+/// Convenience prelude: the types most programs need, one `use` away.
+///
+/// ```
+/// use adroute::prelude::*;
+///
+/// let topo = HierarchyConfig::figure1().generate();
+/// let db = PolicyDb::permissive(&topo);
+/// let mut net = OrwgNetwork::converged(&topo, &db);
+/// let flow = FlowSpec::best_effort(AdId(0), AdId(5));
+/// assert!(net.open(&flow).is_ok() || adroute_policy::legal_route(&topo, &db, &flow).is_none());
+/// ```
+pub mod prelude {
+    pub use adroute_core::{
+        HandleId, OrwgNetwork, OrwgProtocol, PolicyImpact, PolicyRoute, RouteServer, Strategy,
+    };
+    pub use adroute_policy::{
+        legal_route, AdSet, FlowSpec, PolicyAction, PolicyCondition, PolicyDb, QosClass,
+        RouteSelection, TimeOfDay, TransitPolicy, UserClass,
+    };
+    pub use adroute_protocols::forwarding::{forward, sample_flows, DataPlane, ForwardOutcome};
+    pub use adroute_sim::{Engine, FailureModel, FailureSchedule, Protocol, SimTime};
+    pub use adroute_topology::{AdId, AdLevel, AdRole, HierarchyConfig, LinkId, Topology};
+}

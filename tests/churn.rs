@@ -1,0 +1,147 @@
+//! Steady-state churn tests: protocols under continuous seeded link
+//! failure/repair schedules (the paper's Section 2.2 operating regime).
+
+use adroute::policy::workload::PolicyWorkload;
+use adroute::policy::PolicyDb;
+use adroute::protocols::ecma::Ecma;
+use adroute::protocols::forwarding::{forward, sample_flows, ForwardOutcome};
+use adroute::protocols::ls_hbh::LsHbh;
+use adroute::protocols::naive_dv::NaiveDv;
+use adroute::sim::{Engine, FailureModel, FailureSchedule};
+use adroute::topology::HierarchyConfig;
+
+fn internet(seed: u64) -> adroute::topology::Topology {
+    HierarchyConfig {
+        backbones: 1,
+        lateral_prob: 0.3,
+        bypass_prob: 0.15,
+        multihome_prob: 0.3,
+        seed,
+        ..HierarchyConfig::default()
+    }
+    .generate()
+}
+
+fn model(seed: u64) -> FailureModel {
+    FailureModel { mtbf_ms: 200.0, mttr_ms: 50.0, fallible_fraction: 0.3, seed }
+}
+
+#[test]
+fn link_state_stays_consistent_through_churn() {
+    let topo = internet(81);
+    let db = PolicyWorkload::default_mix(81).generate(&topo);
+    let mut e = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    e.run_to_quiescence();
+    let schedule = FailureSchedule::draw(e.topo(), &model(81), e.now().plus_us(1000), 1_500);
+    assert!(!schedule.is_empty());
+    schedule.apply(&mut e);
+    e.run_to_quiescence();
+    // After the dust settles every router's database agrees with ground
+    // truth: its view contains exactly the operational links.
+    let truth = e.topo().clone();
+    for ad in truth.ad_ids() {
+        let (view, _) = e.router(ad).flooder.db.view();
+        assert_eq!(
+            view.links().filter(|l| l.up).count(),
+            truth.links().filter(|l| l.up).count(),
+            "{ad} view diverges from ground truth"
+        );
+    }
+    // And forwarding is loop-free and policy-compliant.
+    for f in sample_flows(&truth, 30, 81) {
+        let out = forward(&mut e, &truth, &f);
+        assert!(!matches!(out, ForwardOutcome::Loop { .. }), "loop for {f}");
+        if let ForwardOutcome::Delivered { path } = &out {
+            let audit = adroute::protocols::forwarding::audit_path(&truth, &db, &f, path);
+            assert!(audit.compliant(), "{f} violates at {:?}", audit.violations);
+        }
+    }
+}
+
+#[test]
+fn dv_protocols_survive_churn_without_loops() {
+    let topo = internet(83);
+    for split in [false, true] {
+        let mut e = Engine::new(
+            topo.clone(),
+            NaiveDv { infinity: 32, split_horizon: split, ..NaiveDv::default() },
+        );
+        e.run_to_quiescence();
+        let schedule = FailureSchedule::draw(e.topo(), &model(83), e.now().plus_us(1000), 1_000);
+        schedule.apply(&mut e);
+        e.run_to_quiescence();
+        let truth = e.topo().clone();
+        for f in sample_flows(&truth, 25, 83) {
+            let out = forward(&mut e, &truth, &f);
+            assert!(
+                !matches!(out, ForwardOutcome::Loop { .. }),
+                "split={split}: post-churn loop for {f}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ecma_churn_preserves_valley_freedom() {
+    let topo = internet(89);
+    let po = adroute::topology::PartialOrder::from_levels(&topo);
+    let mut e = Engine::new(topo.clone(), Ecma::hierarchical(&topo));
+    e.run_to_quiescence();
+    let schedule = FailureSchedule::draw(e.topo(), &model(89), e.now().plus_us(1000), 1_000);
+    schedule.apply(&mut e);
+    e.run_to_quiescence();
+    let truth = e.topo().clone();
+    for f in sample_flows(&truth, 30, 89) {
+        let out = forward(&mut e, &truth, &f);
+        assert!(!matches!(out, ForwardOutcome::Loop { .. }));
+        if let ForwardOutcome::Delivered { path } = &out {
+            assert!(po.is_valley_free(path), "{f} valley after churn: {path:?}");
+        }
+    }
+}
+
+#[test]
+fn churn_runs_are_deterministic() {
+    let run = || {
+        let topo = internet(97);
+        let mut e = Engine::new(topo.clone(), LsHbh::new(&topo, PolicyDb::permissive(&topo)));
+        e.run_to_quiescence();
+        let schedule = FailureSchedule::draw(e.topo(), &model(97), e.now().plus_us(1000), 1_200);
+        schedule.apply(&mut e);
+        let t = e.run_to_quiescence();
+        (t, e.stats.msgs_sent, e.stats.bytes_sent, e.stats.events)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn final_state_matches_fresh_start_on_final_topology() {
+    // Path independence for link-state: converging through churn ends in
+    // the same databases as starting fresh on the final topology.
+    let topo = internet(91);
+    let db = PolicyDb::permissive(&topo);
+    let mut churned = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    churned.run_to_quiescence();
+    let schedule =
+        FailureSchedule::draw(churned.topo(), &model(91), churned.now().plus_us(1000), 800);
+    schedule.apply(&mut churned);
+    churned.run_to_quiescence();
+
+    let mut final_topo = topo.clone();
+    for l in churned.topo().links() {
+        final_topo.set_link_up(l.id, l.up);
+    }
+    let mut fresh = Engine::new(final_topo.clone(), LsHbh::new(&final_topo, db));
+    fresh.run_to_quiescence();
+
+    for ad in final_topo.ad_ids() {
+        if final_topo.degree(ad) == 0 {
+            continue; // isolated ADs may hold stale views
+        }
+        let (a, _) = churned.router(ad).flooder.db.view();
+        let (b, _) = fresh.router(ad).flooder.db.view();
+        let ua: Vec<_> = a.links().filter(|l| l.up).map(|l| (l.a, l.b)).collect();
+        let ub: Vec<_> = b.links().filter(|l| l.up).map(|l| (l.a, l.b)).collect();
+        assert_eq!(ua, ub, "{ad}: churned view != fresh view");
+    }
+}

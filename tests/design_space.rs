@@ -1,0 +1,260 @@
+//! Cross-crate integration tests: every architecture of the design space
+//! run against the same internet and policy workload, checked against the
+//! paper's qualitative claims.
+
+use adroute::core::network::OpenError;
+use adroute::core::router::converge_control_plane;
+use adroute::core::{OrwgNetwork, Strategy};
+use adroute::policy::legality::{legal_route, route_is_legal};
+use adroute::policy::workload::PolicyWorkload;
+use adroute::policy::PolicyDb;
+use adroute::protocols::ecma::Ecma;
+use adroute::protocols::forwarding::{
+    audit_path, forward, sample_flows, score_flows, ForwardOutcome,
+};
+use adroute::protocols::ls_hbh::LsHbh;
+use adroute::protocols::naive_dv::NaiveDv;
+use adroute::protocols::path_vector::PathVector;
+use adroute::sim::Engine;
+use adroute::topology::{HierarchyConfig, PartialOrder};
+
+fn internet(seed: u64) -> adroute::topology::Topology {
+    // One backbone subtree (~49 ADs): large enough for lateral/bypass
+    // structure, small enough that the path-vector suite stays fast.
+    HierarchyConfig {
+        backbones: 1,
+        lateral_prob: 0.25,
+        bypass_prob: 0.1,
+        multihome_prob: 0.25,
+        seed,
+        ..HierarchyConfig::default()
+    }
+    .generate()
+}
+
+#[test]
+fn no_architecture_ever_loops() {
+    let topo = internet(42);
+    let db = PolicyWorkload::default_mix(42).generate(&topo);
+    let flows = sample_flows(&topo, 60, 42);
+
+    let mut dv = Engine::new(topo.clone(), NaiveDv::default());
+    dv.run_to_quiescence();
+    let s = score_flows(&mut dv, &topo, &db, &flows);
+    assert_eq!(s.loops, 0, "naive DV looped after convergence");
+
+    let mut ecma = Engine::new(topo.clone(), Ecma::hierarchical(&topo));
+    ecma.run_to_quiescence();
+    let s = score_flows(&mut ecma, &topo, &db, &flows);
+    assert_eq!(s.loops, 0, "ECMA looped");
+
+    let mut pv = Engine::new(topo.clone(), PathVector::idrp(db.clone()));
+    pv.run_to_quiescence();
+    let s = score_flows(&mut pv, &topo, &db, &flows);
+    assert_eq!(s.loops, 0, "path vector looped");
+
+    let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    ls.run_to_quiescence();
+    let s = score_flows(&mut ls, &topo, &db, &flows);
+    assert_eq!(s.loops, 0, "LS hop-by-hop looped");
+}
+
+#[test]
+fn policy_aware_architectures_never_violate() {
+    let topo = internet(7);
+    let db = PolicyWorkload::default_mix(7).generate(&topo);
+    let flows = sample_flows(&topo, 60, 7);
+
+    let mut pv = Engine::new(topo.clone(), PathVector::idrp(db.clone()));
+    pv.run_to_quiescence();
+    let s = score_flows(&mut pv, &topo, &db, &flows);
+    assert_eq!(s.violating, 0, "IDRP delivered a policy-violating path");
+
+    let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    ls.run_to_quiescence();
+    let s = score_flows(&mut ls, &topo, &db, &flows);
+    assert_eq!(s.violating, 0, "LS-HBH delivered a policy-violating path");
+}
+
+#[test]
+fn link_state_finds_every_legal_route_dv_may_not() {
+    // The central Section 5.1/5.3 contrast: link-state architectures have
+    // availability 1.0; distance-vector-based ones may miss legal routes.
+    let topo = internet(3);
+    let db = PolicyWorkload::default_mix(3).generate(&topo);
+    let flows = sample_flows(&topo, 80, 3);
+
+    let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    ls.run_to_quiescence();
+    let ls_score = score_flows(&mut ls, &topo, &db, &flows);
+    assert!(
+        (ls_score.availability() - 1.0).abs() < f64::EPSILON,
+        "LS-HBH availability {}",
+        ls_score.availability()
+    );
+
+    let mut pv = Engine::new(topo.clone(), PathVector::idrp(db.clone()));
+    pv.run_to_quiescence();
+    let pv_score = score_flows(&mut pv, &topo, &db, &flows);
+    assert!(
+        pv_score.availability() <= ls_score.availability() + f64::EPSILON,
+        "PV should not beat complete-information link state"
+    );
+}
+
+#[test]
+fn orwg_setup_routes_are_always_legal_and_optimal() {
+    let topo = internet(11);
+    let db = PolicyWorkload::default_mix(11).generate(&topo);
+    let engine = converge_control_plane(topo.clone(), db.clone());
+    let mut net = OrwgNetwork::from_engine(&engine, Strategy::Cached { capacity: 256 }, 4096);
+    for f in sample_flows(&topo, 60, 11) {
+        match net.open(&f) {
+            Ok(setup) => {
+                let cost = route_is_legal(&topo, &db, &f, &setup.route)
+                    .expect("gateway-validated route must be legal");
+                let oracle = legal_route(&topo, &db, &f).expect("legal route exists");
+                assert_eq!(cost, oracle.cost, "suboptimal route for {f}");
+            }
+            Err(OpenError::NoRoute) => {
+                assert!(legal_route(&topo, &db, &f).is_none(), "missed legal route for {f}");
+            }
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn ecma_paths_are_valley_free_and_compliant_with_structural_policy() {
+    let topo = internet(5);
+    // Structural workload = exactly what the ordering can express.
+    let db = PolicyWorkload::structural(5).generate(&topo);
+    let po = PartialOrder::from_levels(&topo);
+    let mut ecma = Engine::new(topo.clone(), Ecma::hierarchical(&topo));
+    ecma.run_to_quiescence();
+    for f in sample_flows(&topo, 60, 5) {
+        let out = forward(&mut ecma, &topo, &f);
+        if let ForwardOutcome::Delivered { path } = &out {
+            assert!(po.is_valley_free(path), "{f} took a valley: {path:?}");
+            let audit = audit_path(&topo, &db, &f, path);
+            assert!(
+                audit.compliant(),
+                "{f} violated structural policy at {:?} via {path:?}",
+                audit.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_dv_violates_policy_where_policy_aware_protocols_do_not() {
+    let topo = internet(13);
+    let db = PolicyWorkload::default_mix(13).generate(&topo);
+    let flows = sample_flows(&topo, 120, 13);
+
+    let mut dv = Engine::new(topo.clone(), NaiveDv::default());
+    dv.run_to_quiescence();
+    let dv_score = score_flows(&mut dv, &topo, &db, &flows);
+
+    let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    ls.run_to_quiescence();
+    let ls_score = score_flows(&mut ls, &topo, &db, &flows);
+
+    assert!(
+        dv_score.violating > 0,
+        "expected the policy-blind baseline to violate policies somewhere"
+    );
+    assert_eq!(ls_score.violating, 0);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let topo = internet(99);
+        let db = PolicyWorkload::default_mix(99).generate(&topo);
+        let mut pv = Engine::new(topo.clone(), PathVector::idrp(db.clone()));
+        let t = pv.run_to_quiescence();
+        let s = score_flows(&mut pv, &topo, &db, &sample_flows(&topo, 40, 99));
+        (t, pv.stats.msgs_sent, pv.stats.bytes_sent, s.delivered, s.compliant_of_legal)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn permissive_network_all_protocols_agree_on_reachability() {
+    let topo = internet(17);
+    let db = PolicyDb::permissive(&topo);
+    let flows = sample_flows(&topo, 40, 17);
+
+    let mut dv = Engine::new(topo.clone(), NaiveDv::default());
+    dv.run_to_quiescence();
+    let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    ls.run_to_quiescence();
+    for f in &flows {
+        let a = forward(&mut dv, &topo, f).delivered();
+        let b = forward(&mut ls, &topo, f).delivered();
+        assert_eq!(a, b, "reachability disagreement for {f}");
+        assert!(a, "connected permissive internet must deliver {f}");
+    }
+}
+
+#[test]
+fn class_bearing_flows_keep_link_state_exact() {
+    use adroute::policy::{QosClass, UserClass};
+    // Link-state completeness must hold for QOS/UCI classes too, not just
+    // best effort — the classes are where the policy workload is granular.
+    let topo = internet(23);
+    let db = PolicyWorkload::default_mix(23).generate(&topo);
+    let flows: Vec<_> = sample_flows(&topo, 60, 23)
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| {
+            f.with_qos(QosClass((i % 3) as u8)).with_uci(UserClass((i % 2) as u8))
+        })
+        .collect();
+    let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    ls.run_to_quiescence();
+    let s = score_flows(&mut ls, &topo, &db, &flows);
+    assert_eq!(s.violating, 0);
+    assert!(
+        (s.availability() - 1.0).abs() < f64::EPSILON,
+        "class-bearing availability {} ({}/{})",
+        s.availability(),
+        s.compliant_of_legal,
+        s.legal_exists
+    );
+    // The per-class FIB state reflects the distinct classes used.
+    let distinct: std::collections::HashSet<_> =
+        flows.iter().map(|f| (f.src, f.dst, f.qos, f.uci)).collect();
+    let total_fib: usize = topo.ad_ids().map(|a| ls.router(a).fib_entries()).sum();
+    assert!(total_fib >= distinct.len(), "{total_fib} < {}", distinct.len());
+}
+
+#[test]
+fn egp_never_uses_non_tree_links_but_link_state_does() {
+    use adroute::protocols::naive_dv::NaiveDv;
+    use adroute::topology::LinkKind;
+    let topo = internet(29);
+    let (_, lateral, bypass) = topo.link_kind_counts();
+    assert!(lateral + bypass > 0, "internet must have non-tree links");
+    let mut egp = Engine::new(topo.clone(), NaiveDv::egp());
+    egp.run_to_quiescence();
+    let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, PolicyDb::permissive(&topo)));
+    ls.run_to_quiescence();
+    let flows = sample_flows(&topo, 50, 29);
+    let mut ls_used_nontree = false;
+    for f in &flows {
+        let out = forward(&mut egp, &topo, f);
+        for w in out.path().windows(2) {
+            let l = topo.link_between(w[0], w[1]).expect("adjacent");
+            assert_eq!(topo.link(l).kind, LinkKind::Hierarchical, "EGP used {l}");
+        }
+        if let ForwardOutcome::Delivered { path } = forward(&mut ls, &topo, f) {
+            ls_used_nontree |= path.windows(2).any(|w| {
+                let l = topo.link_between(w[0], w[1]).unwrap();
+                topo.link(l).kind != LinkKind::Hierarchical
+            });
+        }
+    }
+    assert!(ls_used_nontree, "link state should exploit lateral/bypass links");
+}

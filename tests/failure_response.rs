@@ -1,0 +1,201 @@
+//! Integration tests for dynamics: link failures, recoveries, partitions,
+//! and policy changes, across the whole stack.
+
+use adroute::core::network::SendError;
+use adroute::core::{OrwgNetwork, Strategy};
+use adroute::policy::workload::PolicyWorkload;
+use adroute::policy::{FlowSpec, PolicyDb, TransitPolicy};
+use adroute::protocols::ecma::Ecma;
+use adroute::protocols::forwarding::{forward, sample_flows, ForwardOutcome};
+use adroute::protocols::ls_hbh::LsHbh;
+use adroute::protocols::naive_dv::NaiveDv;
+use adroute::protocols::path_vector::PathVector;
+use adroute::sim::{Engine, SimTime};
+use adroute::topology::generate::ring;
+use adroute::topology::{AdId, HierarchyConfig};
+
+#[test]
+fn ecma_converges_with_far_fewer_messages_than_naive_dv_after_partition() {
+    // The Section 5.1.1 claim: the ordering prevents count-to-infinity.
+    let n = 8;
+    let naive_msgs = {
+        let mut e = Engine::new(ring(n), NaiveDv { infinity: 32, split_horizon: false, ..NaiveDv::default() });
+        e.run_to_quiescence();
+        // Partition AD4 completely.
+        let l1 = e.topo().link_between(AdId(3), AdId(4)).unwrap();
+        let l2 = e.topo().link_between(AdId(4), AdId(5)).unwrap();
+        let t = e.now().plus_us(1000);
+        e.schedule_link_change(l1, false, t);
+        e.schedule_link_change(l2, false, t);
+        e.stats.reset_counters();
+        e.run_to_quiescence();
+        e.stats.msgs_sent
+    };
+    let ecma_msgs = {
+        let mut e = Engine::new(ring(n), Ecma::all_transit(&ring(n)));
+        e.run_to_quiescence();
+        let l1 = e.topo().link_between(AdId(3), AdId(4)).unwrap();
+        let l2 = e.topo().link_between(AdId(4), AdId(5)).unwrap();
+        let t = e.now().plus_us(1000);
+        e.schedule_link_change(l1, false, t);
+        e.schedule_link_change(l2, false, t);
+        e.stats.reset_counters();
+        e.run_to_quiescence();
+        e.stats.msgs_sent
+    };
+    assert!(
+        ecma_msgs * 2 < naive_msgs,
+        "expected ECMA ({ecma_msgs}) well below naive DV ({naive_msgs}) on partition"
+    );
+}
+
+#[test]
+fn all_protocols_recover_reachability_after_single_failure() {
+    let topo = HierarchyConfig::default().generate();
+    let db = PolicyDb::permissive(&topo);
+    // Pick a backbone-regional link to fail: redundancy exists.
+    let victim = topo
+        .links()
+        .find(|l| {
+            topo.ad(l.a).level == adroute::topology::AdLevel::Backbone
+                && topo.full_degree(l.b) >= 2
+        })
+        .expect("hierarchy has backbone links")
+        .id;
+    let flows = sample_flows(&topo, 30, 21);
+
+    // Naive DV.
+    let mut dv = Engine::new(topo.clone(), NaiveDv::default());
+    dv.run_to_quiescence();
+    let t = dv.now().plus_us(1000);
+    dv.schedule_link_change(victim, false, t);
+    dv.run_to_quiescence();
+    let post_topo = dv.topo().clone();
+    for f in &flows {
+        let out = forward(&mut dv, &post_topo, f);
+        assert!(
+            !matches!(out, ForwardOutcome::Loop { .. }),
+            "naive DV loops after failure for {f}"
+        );
+    }
+
+    // Path vector.
+    let mut pv = Engine::new(topo.clone(), PathVector::idrp(db.clone()));
+    pv.run_to_quiescence();
+    let t = pv.now().plus_us(1000);
+    pv.schedule_link_change(victim, false, t);
+    pv.run_to_quiescence();
+    for f in &flows {
+        let out = forward(&mut pv, &post_topo, f);
+        assert!(!matches!(out, ForwardOutcome::Loop { .. }));
+    }
+
+    // Link state.
+    let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    ls.run_to_quiescence();
+    let t = ls.now().plus_us(1000);
+    ls.schedule_link_change(victim, false, t);
+    ls.run_to_quiescence();
+    for f in &flows {
+        let out = forward(&mut ls, &post_topo, f);
+        assert!(out.delivered(), "LS must re-deliver {f} (permissive, still connected)");
+    }
+}
+
+#[test]
+fn flap_link_and_reconverge_to_original_state() {
+    // Fail and recover: final tables must equal never-failed tables.
+    let mk = || {
+        let mut e = Engine::new(ring(6), NaiveDv::default());
+        e.run_to_quiescence();
+        e
+    };
+    let reference = mk();
+    let mut flapped = mk();
+    let l = flapped.topo().link_between(AdId(2), AdId(3)).unwrap();
+    flapped.schedule_link_change(l, false, SimTime::from_ms(50));
+    flapped.schedule_link_change(l, true, SimTime::from_ms(100));
+    flapped.run_to_quiescence();
+    for ad in reference.topo().ad_ids() {
+        assert_eq!(
+            reference.router(ad).metric,
+            flapped.router(ad).metric,
+            "{ad} tables diverge after flap"
+        );
+    }
+}
+
+#[test]
+fn orwg_policy_change_redirects_traffic_mid_stream() {
+    let topo = ring(6);
+    let db = PolicyDb::permissive(&topo);
+    let mut net = OrwgNetwork::converged_with(&topo, &db, Strategy::Hybrid { capacity: 64 }, 256);
+    let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+    net.server_mut(AdId(0)).precompute(&[flow]);
+    let s1 = net.open(&flow).unwrap();
+    assert_eq!(s1.route, vec![AdId(0), AdId(1), AdId(2), AdId(3)]);
+    for _ in 0..5 {
+        net.send(s1.handle).unwrap();
+    }
+    // AD2 stops carrying transit.
+    net.change_policy(TransitPolicy::deny_all(AdId(2)));
+    assert!(matches!(net.send(s1.handle), Err(SendError::UnknownFlow)));
+    let s2 = net.open(&flow).unwrap();
+    assert_eq!(s2.route, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+    // Precomputation was refreshed: the new route came from the
+    // precomputed table, not a fresh search.
+    assert!(net.server(AdId(0)).stats.precomputed_hits >= 1);
+    for _ in 0..5 {
+        net.send(s2.handle).unwrap();
+    }
+}
+
+#[test]
+fn partitioned_destination_is_unreachable_for_everyone_without_loops() {
+    let topo = ring(6);
+    let db = PolicyDb::permissive(&topo);
+
+    let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    ls.run_to_quiescence();
+    let l1 = ls.topo().link_between(AdId(2), AdId(3)).unwrap();
+    let l2 = ls.topo().link_between(AdId(3), AdId(4)).unwrap();
+    let t = ls.now().plus_us(1000);
+    ls.schedule_link_change(l1, false, t);
+    ls.schedule_link_change(l2, false, t);
+    ls.run_to_quiescence();
+    let post = ls.topo().clone();
+    let f = FlowSpec::best_effort(AdId(0), AdId(3));
+    assert!(matches!(forward(&mut ls, &post, &f), ForwardOutcome::NoRoute { .. }));
+
+    let mut net = OrwgNetwork::converged(&topo, &db);
+    net.fail_link(l1);
+    net.fail_link(l2);
+    assert!(net.open(&f).is_err());
+}
+
+#[test]
+fn mixed_policy_network_survives_random_failure_schedule() {
+    let topo = HierarchyConfig::default().generate();
+    let db = PolicyWorkload::default_mix(31).generate(&topo);
+    let mut e = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+    e.run_to_quiescence();
+    // Fail three scattered links, then recover one, at staggered times.
+    let ids: Vec<_> = topo.links().map(|l| l.id).collect();
+    let picks = [ids[ids.len() / 4], ids[ids.len() / 2], ids[3 * ids.len() / 4]];
+    let mut t = e.now();
+    for (i, l) in picks.iter().enumerate() {
+        t = t.plus_us(5_000 * (i as u64 + 1));
+        e.schedule_link_change(*l, false, t);
+    }
+    e.schedule_link_change(picks[0], true, t.plus_us(20_000));
+    e.run_to_quiescence();
+    let post = e.topo().clone();
+    for f in sample_flows(&post, 40, 31) {
+        let out = forward(&mut e, &post, &f);
+        assert!(!matches!(out, ForwardOutcome::Loop { .. }), "loop for {f}");
+        if let ForwardOutcome::Delivered { path } = &out {
+            let audit = adroute::protocols::forwarding::audit_path(&post, &db, &f, path);
+            assert!(audit.compliant(), "violation for {f} via {path:?}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Golden-format tests: the text syntaxes are stable artifacts — changing
+//! them is a compatibility break and must show up in review as a diff of
+//! these exact strings.
+
+use adroute::policy::text::{format_policy, parse_policy};
+use adroute::policy::{AdSet, PolicyAction, PolicyCondition, QosClass, TimeOfDay, TransitPolicy, UserClass};
+use adroute::topology::graph::make_ad;
+use adroute::topology::{io, AdId, AdLevel, Topology};
+
+#[test]
+fn golden_policy_text() {
+    let mut p = TransitPolicy::deny_all(AdId(5));
+    p.push_term(
+        vec![PolicyCondition::SrcIn(AdSet::only([AdId(1), AdId(2)]))],
+        PolicyAction::Deny,
+    );
+    p.push_term(
+        vec![
+            PolicyCondition::QosIn(vec![QosClass(1), QosClass(2)]),
+            PolicyCondition::UciIn(vec![UserClass(1)]),
+            PolicyCondition::TimeWindow(TimeOfDay::hm(19, 0), TimeOfDay::hm(7, 0)),
+        ],
+        PolicyAction::Permit { cost: 3 },
+    );
+    p.push_term(
+        vec![
+            PolicyCondition::DstIn(AdSet::except([AdId(9)])),
+            PolicyCondition::PrevIn(AdSet::Any),
+            PolicyCondition::NextIn(AdSet::only([AdId(4)])),
+        ],
+        PolicyAction::Permit { cost: 0 },
+    );
+    let expected = "\
+policy AD5 {
+    deny src {AD1,AD2};
+    permit qos {1, 2} uci {1} time 19:00-07:00 cost 3;
+    permit dst !{AD9} prev * next {AD4} cost 0;
+    default deny;
+}
+";
+    assert_eq!(format_policy(&p), expected);
+    // And the golden text parses back to the same policy.
+    let back = parse_policy(expected).unwrap();
+    assert_eq!(back.terms, p.terms);
+}
+
+#[test]
+fn golden_topology_text() {
+    let ads = vec![
+        make_ad(0, AdLevel::Backbone),
+        make_ad(1, AdLevel::Regional),
+        make_ad(2, AdLevel::Campus),
+    ];
+    let mut topo = Topology::new(
+        ads,
+        &[(AdId(0), AdId(1), 2), (AdId(1), AdId(2), 4), (AdId(0), AdId(2), 5)],
+    );
+    topo.set_link_up(adroute::topology::LinkId(2), false);
+    topo.set_delay(adroute::topology::LinkId(0), 2500);
+    let expected = "\
+# adroute topology v1
+ad 0 backbone transit
+ad 1 regional transit
+ad 2 campus stub
+link 0 1 metric 2 delay 2500 up
+link 1 2 metric 4 delay 1000 up
+link 0 2 metric 5 delay 1000 down
+";
+    assert_eq!(io::dump(&topo), expected);
+    let back = io::parse(expected).unwrap();
+    assert_eq!(io::dump(&back), expected);
+}
+
+#[test]
+fn display_forms_are_stable() {
+    use adroute::policy::FlowSpec;
+    let f = FlowSpec::best_effort(AdId(3), AdId(7))
+        .with_qos(QosClass(2))
+        .with_uci(UserClass(1))
+        .at(TimeOfDay::hm(8, 5));
+    assert_eq!(f.to_string(), "AD3->AD7 qos2 uci1 @08:05");
+    assert_eq!(AdSet::except([AdId(1), AdId(2)]).to_string(), "!{AD1,AD2}");
+    assert_eq!(adroute::sim::SimTime::from_ms(12).plus_us(34).to_string(), "12.034ms");
+}

@@ -1,0 +1,126 @@
+//! The management tool must not lie: `PolicyImpact::assess` predictions
+//! are checked against what actually happens when the candidate policy is
+//! deployed on a live ORWG network.
+
+use adroute::core::network::OpenError;
+use adroute::core::{OrwgNetwork, PolicyImpact};
+use adroute::policy::workload::PolicyWorkload;
+use adroute::policy::{AdSet, PolicyAction, PolicyCondition, TransitPolicy};
+use adroute::protocols::forwarding::sample_flows;
+use adroute::topology::{AdLevel, HierarchyConfig};
+
+fn setup(seed: u64) -> (adroute::topology::Topology, adroute::policy::PolicyDb) {
+    let topo = HierarchyConfig {
+        backbones: 1,
+        lateral_prob: 0.25,
+        bypass_prob: 0.1,
+        multihome_prob: 0.25,
+        seed,
+        ..HierarchyConfig::default()
+    }
+    .generate();
+    let db = PolicyWorkload::default_mix(seed).generate(&topo);
+    (topo, db)
+}
+
+#[test]
+fn predicted_breakage_matches_deployment() {
+    let (topo, db) = setup(61);
+    let flows = sample_flows(&topo, 80, 61);
+    let victim = topo.ads().find(|a| a.level == AdLevel::Regional).unwrap().id;
+    let candidate = TransitPolicy::deny_all(victim);
+
+    // Predict.
+    let impact = PolicyImpact::assess(&topo, &db, candidate.clone(), &flows);
+
+    // Deploy on a live network and compare reality per flow.
+    let mut net = OrwgNetwork::converged(&topo, &db);
+    net.change_policy(candidate);
+    for f in &flows {
+        let opened = match net.open(f) {
+            Ok(_) => true,
+            Err(OpenError::NoRoute) => false,
+            Err(e) => panic!("{e:?}"),
+        };
+        let predicted_broken = impact.broken.contains(f);
+        let predicted_enabled = impact.enabled.contains(f);
+        if predicted_broken {
+            assert!(!opened, "{f} predicted broken but opened fine");
+        }
+        if predicted_enabled {
+            assert!(opened, "{f} predicted enabled but still unroutable");
+        }
+    }
+    // Aggregate consistency.
+    let opened_after = flows
+        .iter()
+        .filter(|f| net.open(f).is_ok())
+        .count();
+    assert_eq!(opened_after, impact.routable_after);
+}
+
+#[test]
+fn predicted_reroutes_match_deployment_paths() {
+    let (topo, db) = setup(67);
+    let flows = sample_flows(&topo, 60, 67);
+    let victim = topo.ads().find(|a| a.level == AdLevel::Metro).unwrap().id;
+    // A pure price hike: same permit/deny structure, every permit costs
+    // 25 more. (Replacing the policy wholesale would change *which* flows
+    // are permitted, not just their price.)
+    let mut candidate = db.policy(victim).clone();
+    for term in &mut candidate.terms {
+        if let PolicyAction::Permit { cost } = &mut term.action {
+            *cost += 25;
+        }
+    }
+    if let PolicyAction::Permit { cost } = &mut candidate.default {
+        *cost += 25;
+    }
+
+    let impact = PolicyImpact::assess(&topo, &db, candidate.clone(), &flows);
+    assert!(impact.is_safe(), "a price hike breaks nothing");
+    assert!(impact.enabled.is_empty(), "a price hike enables nothing");
+
+    let mut before = OrwgNetwork::converged(&topo, &db);
+    let mut after = OrwgNetwork::converged(&topo, &db);
+    after.change_policy(candidate);
+    let mut rerouted = 0;
+    for f in &flows {
+        let a = before.policy_route(f);
+        let b = after.policy_route(f);
+        assert_eq!(a.is_some(), b.is_some(), "{f} availability must not change");
+        if let (Some(a), Some(b)) = (a, b) {
+            if a != b {
+                rerouted += 1;
+            }
+        }
+    }
+    assert_eq!(rerouted, impact.rerouted, "re-route prediction mismatch");
+}
+
+#[test]
+fn targeted_exclusion_impact_is_source_precise() {
+    let (topo, db) = setup(71);
+    let flows = sample_flows(&topo, 100, 71);
+    let victim = topo.ads().find(|a| a.level == AdLevel::Regional).unwrap().id;
+    // Exclude one specific heavy source.
+    let excluded = flows[0].src;
+    let mut candidate = db.policy(victim).clone();
+    candidate.terms.insert(
+        0,
+        adroute::policy::PolicyTerm {
+            id: adroute::policy::PtId { ad: victim, serial: 999 },
+            conditions: vec![PolicyCondition::SrcIn(AdSet::only([excluded]))],
+            action: PolicyAction::Deny,
+        },
+    );
+    let impact = PolicyImpact::assess(&topo, &db, candidate, &flows);
+    for f in &impact.broken {
+        assert_eq!(f.src, excluded, "only the excluded source may break");
+    }
+    assert!(
+        impact.enabled.is_empty(),
+        "an exclusion cannot enable flows: {:?}",
+        impact.enabled
+    );
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the ORWG architecture end to end: synthesis,
+//! setup validation, handle forwarding, and their security-ish invariants.
+
+use adroute::core::dataplane::{HandleId, SetupPacket};
+use adroute::core::network::OpenError;
+use adroute::core::{OrwgNetwork, PolicyGateway, SetupError, Strategy};
+use adroute::policy::legality::{legal_route, route_is_legal};
+use adroute::policy::workload::PolicyWorkload;
+use adroute::policy::{FlowSpec, PolicyDb};
+use adroute::protocols::forwarding::sample_flows;
+use adroute::topology::{generate, AdId, HierarchyConfig};
+use proptest::prelude::*;
+
+fn small_internet(seed: u64) -> adroute::topology::Topology {
+    HierarchyConfig {
+        backbones: 1,
+        regionals_per_backbone: 2,
+        metros_per_regional: 2,
+        campuses_per_metro: 2,
+        lateral_prob: 0.3,
+        bypass_prob: 0.2,
+        multihome_prob: 0.3,
+        seed,
+    }
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every route the ORWG opens is legal, cost-optimal, and forwardable;
+    /// every refusal corresponds to genuine oracle unreachability.
+    #[test]
+    fn opened_routes_are_legal_and_optimal(seed in 0u64..400) {
+        let topo = small_internet(seed);
+        let db = PolicyWorkload::default_mix(seed).generate(&topo);
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        for f in sample_flows(&topo, 12, seed) {
+            match net.open(&f) {
+                Ok(setup) => {
+                    let cost = route_is_legal(&topo, &db, &f, &setup.route);
+                    prop_assert!(cost.is_some(), "illegal route opened for {}", f);
+                    let oracle = legal_route(&topo, &db, &f).expect("oracle agrees");
+                    prop_assert_eq!(cost.unwrap(), oracle.cost);
+                    prop_assert!(net.send(setup.handle).is_ok());
+                }
+                Err(OpenError::NoRoute) => {
+                    prop_assert!(legal_route(&topo, &db, &f).is_none(),
+                        "missed a legal route for {}", f);
+                }
+                Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+            }
+        }
+    }
+
+    /// A gateway never accepts a setup its AD's policy denies, no matter
+    /// what the (possibly forged) setup packet claims.
+    #[test]
+    fn gateways_reject_forged_setups(seed in 0u64..400, claimed_serial in 0u16..4) {
+        let topo = generate::ring(5);
+        let db = PolicyWorkload::granularity(2, seed).generate(&topo);
+        // Make AD1's policy restrictive enough to have deny outcomes.
+        let mut gw = PolicyGateway::new(AdId(1), 64);
+        let policy = db.policy(AdId(1)).clone();
+        let flow = FlowSpec::best_effort(AdId(0), AdId(2));
+        let claimed = if claimed_serial == 0 {
+            None
+        } else {
+            Some(adroute::policy::PtId { ad: AdId(1), serial: claimed_serial - 1 })
+        };
+        let setup = SetupPacket {
+            flow,
+            route: vec![AdId(0), AdId(1), AdId(2)],
+            claimed_pts: vec![claimed],
+            handle: HandleId(7),
+        };
+        let truth = policy.evaluate(&flow, Some(AdId(0)), Some(AdId(2)));
+        match gw.validate_setup(&policy, &setup) {
+            Ok(()) => {
+                // Accepted: the policy genuinely permits AND the claim was
+                // exactly the deciding term.
+                prop_assert!(truth.is_some());
+                let (_, deciding) =
+                    policy.evaluate_with_term(&flow, Some(AdId(0)), Some(AdId(2)));
+                prop_assert_eq!(claimed, deciding);
+            }
+            Err(SetupError::PolicyDenied { .. }) => prop_assert!(truth.is_none()),
+            Err(SetupError::PtMismatch { .. }) => {
+                let (_, deciding) =
+                    policy.evaluate_with_term(&flow, Some(AdId(0)), Some(AdId(2)));
+                prop_assert!(claimed != deciding || truth.is_none());
+            }
+            Err(e) => prop_assert!(false, "unexpected {:?}", e),
+        }
+    }
+
+    /// Synthesis strategies agree: whatever the caching/precompute
+    /// strategy, the same flow yields the same route.
+    #[test]
+    fn strategies_agree_on_routes(seed in 0u64..200) {
+        let topo = small_internet(seed);
+        let db = PolicyWorkload::default_mix(seed ^ 0x55).generate(&topo);
+        let flows = sample_flows(&topo, 8, seed);
+        let mut on_demand = OrwgNetwork::converged_with(&topo, &db, Strategy::OnDemand, 1024);
+        let mut cached =
+            OrwgNetwork::converged_with(&topo, &db, Strategy::Cached { capacity: 64 }, 1024);
+        let mut hybrid =
+            OrwgNetwork::converged_with(&topo, &db, Strategy::Hybrid { capacity: 64 }, 1024);
+        for f in &flows {
+            net_precompute(&mut hybrid, f);
+        }
+        for f in &flows {
+            let a = on_demand.policy_route(f);
+            let b = cached.policy_route(f);
+            let b2 = cached.policy_route(f); // cache hit must not change it
+            let c = hybrid.policy_route(f);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(&b, &b2);
+            prop_assert_eq!(&b, &c);
+        }
+    }
+
+    /// Teardown is complete: after tearing a flow down, no gateway holds
+    /// its handle.
+    #[test]
+    fn teardown_leaves_no_state(seed in 0u64..200) {
+        let topo = small_internet(seed);
+        let db = PolicyDb::permissive(&topo);
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        let mut opened = Vec::new();
+        for f in sample_flows(&topo, 6, seed) {
+            if let Ok(s) = net.open(&f) {
+                opened.push(s);
+            }
+        }
+        let before: usize = topo.ad_ids().map(|a| net.gateway(a).cached_handles()).sum();
+        prop_assert!(before > 0 || opened.iter().all(|s| s.route.len() <= 2));
+        for s in &opened {
+            net.teardown(s.handle);
+        }
+        let after: usize = topo.ad_ids().map(|a| net.gateway(a).cached_handles()).sum();
+        prop_assert_eq!(after, 0);
+        prop_assert_eq!(net.open_flow_count(), 0);
+    }
+}
+
+fn net_precompute(net: &mut OrwgNetwork, f: &FlowSpec) {
+    let src = f.src;
+    net.server_mut(src).precompute(&[*f]);
+}

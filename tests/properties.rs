@@ -1,0 +1,188 @@
+//! Workspace-level property-based tests: invariants that must hold for
+//! random topologies, random policies, and random dynamics.
+
+use adroute::policy::legality::{legal_route, legal_route_bruteforce, route_is_legal};
+use adroute::policy::ordering::{check_ordering, random_constraints, solve_ordering, OrderingSolution};
+use adroute::policy::workload::PolicyWorkload;
+use adroute::policy::{AdSet, FlowSpec, PolicyAction, PolicyCondition, PolicyDb, QosClass, UserClass};
+use adroute::protocols::ecma::Ecma;
+use adroute::protocols::forwarding::{forward, ForwardOutcome};
+use adroute::protocols::path_vector::PathVector;
+use adroute::sim::Engine;
+use adroute::topology::{generate, AdId, PartialOrder};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random small connected topology (ring/grid/clique by selector).
+fn small_topo(kind: u8, size: u8) -> adroute::topology::Topology {
+    let n = 4 + (size % 4) as usize;
+    match kind % 3 {
+        0 => generate::ring(n),
+        1 => generate::grid(2, n / 2 + 1),
+        _ => generate::clique(n),
+    }
+}
+
+/// Random policies over a topology, driven by a seed.
+fn random_policies(topo: &adroute::topology::Topology, seed: u64) -> PolicyDb {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = PolicyDb::permissive(topo);
+    for ad in topo.ad_ids() {
+        let p = db.policy_mut(ad);
+        for _ in 0..rng.gen_range(0..3) {
+            let denied: Vec<AdId> = topo
+                .ad_ids()
+                .filter(|_| rng.gen_bool(0.25))
+                .collect();
+            let cond = match rng.gen_range(0..4) {
+                0 => PolicyCondition::SrcIn(AdSet::only(denied)),
+                1 => PolicyCondition::DstIn(AdSet::only(denied)),
+                2 => PolicyCondition::QosIn(vec![QosClass(rng.gen_range(0..3))]),
+                _ => PolicyCondition::UciIn(vec![UserClass(rng.gen_range(0..3))]),
+            };
+            let action = if rng.gen_bool(0.6) {
+                PolicyAction::Deny
+            } else {
+                PolicyAction::Permit { cost: rng.gen_range(0..5) }
+            };
+            p.push_term(vec![cond], action);
+        }
+        if rng.gen_bool(0.2) {
+            p.default = PolicyAction::Deny;
+        }
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fast oracle agrees with exhaustive search on small graphs.
+    #[test]
+    fn oracle_matches_bruteforce(kind in 0u8..3, size in 0u8..4, seed in 0u64..1000) {
+        let topo = small_topo(kind, size);
+        let db = random_policies(&topo, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+        let src = AdId(rng.gen_range(0..topo.num_ads() as u32));
+        let dst = AdId(rng.gen_range(0..topo.num_ads() as u32));
+        let flow = FlowSpec::best_effort(src, dst)
+            .with_qos(QosClass(rng.gen_range(0..3)))
+            .with_uci(UserClass(rng.gen_range(0..3)));
+        let fast = legal_route(&topo, &db, &flow);
+        let slow = legal_route_bruteforce(&topo, &db, &flow);
+        match (&fast, &slow) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.cost, b.cost);
+                prop_assert_eq!(route_is_legal(&topo, &db, &flow, &a.path), Some(a.cost));
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "oracle {:?} vs brute {:?}", fast, slow),
+        }
+    }
+
+    /// Any route the oracle returns is simple, endpoint-correct, and
+    /// passes the independent legality checker at the same cost.
+    #[test]
+    fn oracle_routes_validate(kind in 0u8..3, size in 0u8..4, seed in 0u64..1000) {
+        let topo = small_topo(kind, size);
+        let db = random_policies(&topo, seed);
+        for f in adroute::protocols::forwarding::sample_flows(&topo, 5, seed) {
+            if let Some(r) = legal_route(&topo, &db, &f) {
+                prop_assert!(r.path.len() == 1 || topo.is_simple_path(&r.path));
+                prop_assert_eq!(r.path.first(), Some(&f.src));
+                prop_assert_eq!(r.path.last(), Some(&f.dst));
+                prop_assert_eq!(route_is_legal(&topo, &db, &f, &r.path), Some(r.cost));
+            }
+        }
+    }
+
+    /// The ordering solver is sound, and its least fixpoint is pointwise
+    /// minimal among returned solutions for permuted constraint orders.
+    #[test]
+    fn ordering_solver_order_independent(seed in 0u64..500, count in 0usize..30) {
+        let topo = generate::clique(7);
+        let mut cs = random_constraints(&topo, count, 0.6, seed);
+        let a = solve_ordering(topo.num_ads(), &cs);
+        cs.reverse();
+        let b = solve_ordering(topo.num_ads(), &cs);
+        prop_assert_eq!(a.is_satisfiable(), b.is_satisfiable());
+        if let (OrderingSolution::Satisfiable(ra), OrderingSolution::Satisfiable(rb)) = (&a, &b) {
+            prop_assert!(check_ordering(ra, &cs));
+            prop_assert!(check_ordering(rb, &cs));
+            // Least fixpoint is unique regardless of iteration order.
+            prop_assert_eq!(ra, rb);
+        }
+    }
+
+    /// ECMA forwarding is loop-free on random hierarchies with random
+    /// link failures (the Section 5.1.1 guarantee).
+    #[test]
+    fn ecma_loop_free_under_failures(seed in 0u64..200, cut in 0usize..6) {
+        let topo = adroute::topology::HierarchyConfig {
+            backbones: 2,
+            regionals_per_backbone: 2,
+            metros_per_regional: 2,
+            campuses_per_metro: 2,
+            lateral_prob: 0.3,
+            bypass_prob: 0.2,
+            multihome_prob: 0.3,
+            seed,
+        }
+        .generate();
+        let po = PartialOrder::from_levels(&topo);
+        let mut e = Engine::new(topo.clone(), Ecma::hierarchical(&topo));
+        e.run_to_quiescence();
+        if topo.num_links() > 0 {
+            let victim = adroute::topology::LinkId((seed as usize % topo.num_links()) as u32);
+            if cut % 2 == 0 {
+                let t = e.now().plus_us(1000);
+                e.schedule_link_change(victim, false, t);
+                e.run_to_quiescence();
+            }
+        }
+        let post = e.topo().clone();
+        for f in adroute::protocols::forwarding::sample_flows(&post, 10, seed) {
+            let out = forward(&mut e, &post, &f);
+            prop_assert!(!matches!(out, ForwardOutcome::Loop { .. }), "loop: {:?}", out.path());
+            if let ForwardOutcome::Delivered { path } = &out {
+                prop_assert!(po.is_valley_free(path));
+            }
+        }
+    }
+
+    /// Path-vector RIBs never store a path containing the router itself,
+    /// and forwarding never delivers a policy-violating path.
+    #[test]
+    fn path_vector_invariants(kind in 0u8..3, size in 0u8..3, seed in 0u64..300) {
+        let topo = small_topo(kind, size);
+        let db = random_policies(&topo, seed);
+        let mut e = Engine::new(topo.clone(), PathVector::idrp(db.clone()));
+        e.run_to_quiescence();
+        for ad in topo.ad_ids() {
+            for r in &e.router(ad).loc_rib {
+                prop_assert!(!r.path.contains(&ad));
+            }
+        }
+        for f in adroute::protocols::forwarding::sample_flows(&topo, 6, seed) {
+            let out = forward(&mut e, &topo, &f);
+            let looped = matches!(out, ForwardOutcome::Loop { .. });
+            prop_assert!(!looped, "loop: {:?}", out.path());
+            if let ForwardOutcome::Delivered { path } = &out {
+                let audit = adroute::protocols::forwarding::audit_path(&topo, &db, &f, path);
+                prop_assert!(audit.compliant(), "{} violated at {:?}", f, audit.violations);
+            }
+        }
+    }
+
+    /// Workload generation is deterministic and structurally sane for any
+    /// seed and granularity.
+    #[test]
+    fn workloads_deterministic(seed in 0u64..1000, g in 0u8..12) {
+        let topo = adroute::topology::HierarchyConfig::figure1().generate();
+        let a = PolicyWorkload::granularity(g, seed).generate(&topo);
+        let b = PolicyWorkload::granularity(g, seed).generate(&topo);
+        prop_assert_eq!(a.total_terms(), b.total_terms());
+        prop_assert_eq!(a.total_encoded_size(), b.total_encoded_size());
+    }
+}

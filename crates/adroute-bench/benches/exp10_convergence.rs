@@ -29,37 +29,82 @@ fn partition<P: Protocol>(topo: Topology, victim: AdId, proto: P) -> (u64, u64, 
     }
     e.stats.reset_counters();
     let done = e.run_to_quiescence();
-    (initial, e.stats.msgs_sent, (done.as_us().saturating_sub(t.as_us())) / 1000)
+    (
+        initial,
+        e.stats.msgs_sent,
+        (done.as_us().saturating_sub(t.as_us())) / 1000,
+    )
 }
 
 fn main() {
     let mut t = Table::new(
         "E10(a): partition response on rings (count-to-infinity study)",
-        &["ring", "architecture", "initial msgs", "failure msgs", "reconv ms"],
+        &[
+            "ring",
+            "architecture",
+            "initial msgs",
+            "failure msgs",
+            "reconv ms",
+        ],
     );
     for n in [6usize, 10, 14] {
         let victim = AdId((n / 2) as u32);
         let cases: Vec<(&str, (u64, u64, u64))> = vec![
             (
                 "naive DV (inf=32)",
-                partition(ring(n), victim, NaiveDv { infinity: 32, split_horizon: false, ..NaiveDv::default() }),
+                partition(
+                    ring(n),
+                    victim,
+                    NaiveDv {
+                        infinity: 32,
+                        split_horizon: false,
+                        ..NaiveDv::default()
+                    },
+                ),
             ),
             (
                 "naive DV + split horizon",
-                partition(ring(n), victim, NaiveDv { infinity: 32, split_horizon: true, ..NaiveDv::default() }),
+                partition(
+                    ring(n),
+                    victim,
+                    NaiveDv {
+                        infinity: 32,
+                        split_horizon: true,
+                        ..NaiveDv::default()
+                    },
+                ),
             ),
             (
                 "naive DV (inf=128)",
-                partition(ring(n), victim, NaiveDv { infinity: 128, split_horizon: false, ..NaiveDv::default() }),
+                partition(
+                    ring(n),
+                    victim,
+                    NaiveDv {
+                        infinity: 128,
+                        split_horizon: false,
+                        ..NaiveDv::default()
+                    },
+                ),
             ),
-            ("ECMA up/down rule", partition(ring(n), victim, Ecma::all_transit(&ring(n)))),
+            (
+                "ECMA up/down rule",
+                partition(ring(n), victim, Ecma::all_transit(&ring(n))),
+            ),
             (
                 "path vector (IDRP)",
-                partition(ring(n), victim, PathVector::idrp(PolicyDb::permissive(&ring(n)))),
+                partition(
+                    ring(n),
+                    victim,
+                    PathVector::idrp(PolicyDb::permissive(&ring(n))),
+                ),
             ),
             (
                 "link state",
-                partition(ring(n), victim, LsHbh::new(&ring(n), PolicyDb::permissive(&ring(n)))),
+                partition(
+                    ring(n),
+                    victim,
+                    LsHbh::new(&ring(n), PolicyDb::permissive(&ring(n))),
+                ),
             ),
         ];
         for (name, (i, f, ms)) in cases {
@@ -79,8 +124,15 @@ fn main() {
         .find(|a| a.level == adroute_topology::AdLevel::Regional)
         .unwrap()
         .id;
-    let (_, f, ms) =
-        partition(topo.clone(), victim, NaiveDv { infinity: 32, split_horizon: false, ..NaiveDv::default() });
+    let (_, f, ms) = partition(
+        topo.clone(),
+        victim,
+        NaiveDv {
+            infinity: 32,
+            split_horizon: false,
+            ..NaiveDv::default()
+        },
+    );
     t.row(&[&"naive DV", &f, &ms]);
     let (_, f, ms) = partition(topo.clone(), victim, Ecma::hierarchical(&topo));
     t.row(&[&"ECMA", &f, &ms]);
@@ -90,8 +142,11 @@ fn main() {
         PathVector::idrp(PolicyDb::permissive(&topo)),
     );
     t.row(&[&"path vector", &f, &ms]);
-    let (_, f, ms) =
-        partition(topo.clone(), victim, LsHbh::new(&topo, PolicyDb::permissive(&topo)));
+    let (_, f, ms) = partition(
+        topo.clone(),
+        victim,
+        LsHbh::new(&topo, PolicyDb::permissive(&topo)),
+    );
     t.row(&[&"link state", &f, &ms]);
     t.print();
     println!(

@@ -39,18 +39,38 @@ fn path_stats(topo: &Topology, pairs: &[(AdId, AdId)]) -> (f64, usize) {
             algo::PathCost::Unreachable => cut += 1,
         }
     }
-    let mean = if reached == 0 { 0.0 } else { total as f64 / reached as f64 };
+    let mean = if reached == 0 {
+        0.0
+    } else {
+        total as f64 / reached as f64
+    };
     (mean, cut)
 }
 
 fn main() {
     let mut integrity = Table::new(
         "E11(a): integrity as lateral/bypass density grows (100-AD internet)",
-        &["lateral p", "bypass p", "links", "arch", "loops", "violations", "availability"],
+        &[
+            "lateral p",
+            "bypass p",
+            "links",
+            "arch",
+            "loops",
+            "violations",
+            "availability",
+        ],
     );
     let mut egp = Table::new(
         "E11(b): the EGP tree restriction — what ignoring non-tree links costs",
-        &["lateral p", "bypass p", "extra links", "mean cost (full)", "mean cost (tree)", "stretch", "cut pairs (tree)"],
+        &[
+            "lateral p",
+            "bypass p",
+            "extra links",
+            "mean cost (full)",
+            "mean cost (tree)",
+            "stretch",
+            "cut pairs (tree)",
+        ],
     );
 
     for (lat, byp) in [(0.0f64, 0.0f64), (0.15, 0.05), (0.3, 0.15), (0.5, 0.3)] {
@@ -67,24 +87,56 @@ fn main() {
         let mut ecma = Engine::new(topo.clone(), Ecma::hierarchical(&topo));
         ecma.run_to_quiescence();
         let s = score_flows(&mut ecma, &topo, &db, &flows);
-        integrity.row(&[&f2(lat), &f2(byp), &topo.num_links(), &"ECMA", &s.loops, &pct(s.violation_rate()), &pct(s.availability())]);
+        integrity.row(&[
+            &f2(lat),
+            &f2(byp),
+            &topo.num_links(),
+            &"ECMA",
+            &s.loops,
+            &pct(s.violation_rate()),
+            &pct(s.availability()),
+        ]);
 
         let mut pv = Engine::new(topo.clone(), PathVector::idrp(db.clone()));
         pv.run_to_quiescence();
         let s = score_flows(&mut pv, &topo, &db, &flows);
-        integrity.row(&[&f2(lat), &f2(byp), &topo.num_links(), &"IDRP", &s.loops, &pct(s.violation_rate()), &pct(s.availability())]);
+        integrity.row(&[
+            &f2(lat),
+            &f2(byp),
+            &topo.num_links(),
+            &"IDRP",
+            &s.loops,
+            &pct(s.violation_rate()),
+            &pct(s.availability()),
+        ]);
 
         let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
         ls.run_to_quiescence();
         let s = score_flows(&mut ls, &topo, &db, &flows);
-        integrity.row(&[&f2(lat), &f2(byp), &topo.num_links(), &"LS/ORWG", &s.loops, &pct(s.violation_rate()), &pct(s.availability())]);
+        integrity.row(&[
+            &f2(lat),
+            &f2(byp),
+            &topo.num_links(),
+            &"LS/ORWG",
+            &s.loops,
+            &pct(s.violation_rate()),
+            &pct(s.availability()),
+        ]);
 
         // The running EGP protocol (tree-restricted DV): its availability
         // decays as connectivity moves into links it cannot use.
         let mut egp_dv = Engine::new(topo.clone(), NaiveDv::egp());
         egp_dv.run_to_quiescence();
         let s = score_flows(&mut egp_dv, &topo, &db, &flows);
-        integrity.row(&[&f2(lat), &f2(byp), &topo.num_links(), &"EGP (tree DV)", &s.loops, &pct(s.violation_rate()), &pct(s.availability())]);
+        integrity.row(&[
+            &f2(lat),
+            &f2(byp),
+            &topo.num_links(),
+            &"EGP (tree DV)",
+            &s.loops,
+            &pct(s.violation_rate()),
+            &pct(s.availability()),
+        ]);
 
         // EGP contrast: disable every non-hierarchical link (the acyclic
         // "EGP graph") and compare shortest paths.
@@ -99,8 +151,20 @@ fn main() {
             }
         }
         let (tree_mean, cut) = path_stats(&tree, &pairs);
-        let stretch = if full_mean > 0.0 { tree_mean / full_mean } else { 1.0 };
-        egp.row(&[&f2(lat), &f2(byp), &extra, &f2(full_mean), &f2(tree_mean), &f2(stretch), &cut]);
+        let stretch = if full_mean > 0.0 {
+            tree_mean / full_mean
+        } else {
+            1.0
+        };
+        egp.row(&[
+            &f2(lat),
+            &f2(byp),
+            &extra,
+            &f2(full_mean),
+            &f2(tree_mean),
+            &f2(stretch),
+            &cut,
+        ]);
     }
     integrity.print();
     egp.print();

@@ -39,7 +39,12 @@ fn main() {
     // measured — at larger scales it dominates the whole suite's runtime.
     let topo = internet(50, 43);
     let db = PolicyWorkload::default_mix(43).generate(&topo);
-    let model = FailureModel { mtbf_ms: 300.0, mttr_ms: 60.0, fallible_fraction: 0.15, seed: 43 };
+    let model = FailureModel {
+        mtbf_ms: 300.0,
+        mttr_ms: 60.0,
+        fallible_fraction: 0.15,
+        seed: 43,
+    };
 
     let mut t = Table::new(
         "E12(a): sustained control traffic under link churn (1s horizon)",
@@ -60,7 +65,15 @@ fn main() {
     // across failure epochs; count the re-setups churn forces.
     let mut t = Table::new(
         "E12(b): ORWG long-lived flows across failure epochs",
-        &["epoch", "failed links", "live flows", "pkts ok", "resetups", "lost flows", "hdr bytes/pkt"],
+        &[
+            "epoch",
+            "failed links",
+            "live flows",
+            "pkts ok",
+            "resetups",
+            "lost flows",
+            "hdr bytes/pkt",
+        ],
     );
     let topo = internet(100, 44);
     let db = PolicyWorkload::default_mix(44).generate(&topo);
@@ -115,7 +128,11 @@ fn main() {
             &pkts,
             &resetups,
             &lost,
-            &f2(if pkts == 0 { 0.0 } else { bytes as f64 / pkts as f64 }),
+            &f2(if pkts == 0 {
+                0.0
+            } else {
+                bytes as f64 / pkts as f64
+            }),
         ]);
     }
     t.print();

@@ -23,7 +23,13 @@ fn satisfiability() {
     let topo = internet(100, 3);
     let mut t = Table::new(
         "E3(a): single-ordering satisfiability of random policy sets",
-        &["constraints", "deny=25%", "deny=50%", "deny=75%", "deny=100%"],
+        &[
+            "constraints",
+            "deny=25%",
+            "deny=50%",
+            "deny=75%",
+            "deny=100%",
+        ],
     );
     let trials = 40;
     for count in [5usize, 10, 20, 40, 80, 160] {
@@ -63,7 +69,11 @@ fn replication() {
             }
             addr_sum += nodes;
         }
-        t.row(&[&k, &pct(sat as f64 / trials as f64), &(addr_sum / trials as usize)]);
+        t.row(&[
+            &k,
+            &pct(sat as f64 / trials as f64),
+            &(addr_sum / trials as usize),
+        ]);
     }
     t.print();
 }
@@ -84,8 +94,17 @@ fn ecma_vs_oracle() {
         e.run_to_quiescence();
         let flows = sample_flows(&topo, 120, 7);
         let s = score_flows(&mut e, &topo, &db, &flows);
-        let label = if g == 0 { "structural only".to_string() } else { format!("g={g}") };
-        t.row(&[&label, &pct(s.availability()), &pct(s.violation_rate()), &s.loops]);
+        let label = if g == 0 {
+            "structural only".to_string()
+        } else {
+            format!("g={g}")
+        };
+        t.row(&[
+            &label,
+            &pct(s.availability()),
+            &pct(s.violation_rate()),
+            &s.loops,
+        ]);
     }
     t.print();
     println!(

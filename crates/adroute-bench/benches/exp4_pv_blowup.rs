@@ -31,11 +31,25 @@ fn run(g: u8, max_routes: usize) -> (f64, usize, f64, u64, u64) {
 fn main() {
     let mut t = Table::new(
         "E4(a): IDRP RIB growth vs policy granularity (60-AD internet)",
-        &["granularity", "mean RIB", "max RIB", "mean adj-RIB-in", "ctl msgs", "ctl MBytes"],
+        &[
+            "granularity",
+            "mean RIB",
+            "max RIB",
+            "mean adj-RIB-in",
+            "ctl msgs",
+            "ctl MBytes",
+        ],
     );
     for g in [1u8, 2, 4, 8, 12] {
         let (mean, max, adj, msgs, bytes) = run(g, 8);
-        t.row(&[&g, &f2(mean), &max, &f2(adj), &msgs, &f2(bytes as f64 / 1e6)]);
+        t.row(&[
+            &g,
+            &f2(mean),
+            &max,
+            &f2(adj),
+            &msgs,
+            &f2(bytes as f64 / 1e6),
+        ]);
     }
     t.print();
 

@@ -43,8 +43,10 @@ fn main() {
         for f in &flows {
             let _ = forward(&mut ls, &topo, f);
         }
-        let comp: Vec<u64> =
-            topo.ad_ids().map(|a| ls.router(a).route_computations).collect();
+        let comp: Vec<u64> = topo
+            .ad_ids()
+            .map(|a| ls.router(a).route_computations)
+            .collect();
         let fib: usize = topo.ad_ids().map(|a| ls.router(a).fib_entries()).sum();
         let total: u64 = comp.iter().sum();
         let max = *comp.iter().max().unwrap();

@@ -23,7 +23,13 @@ fn main() {
     // ---------- (a) amortization vs flow length ------------------------
     let mut t = Table::new(
         "E6(a): mean header bytes/packet vs packets per flow",
-        &["pkts/flow", "handle+setup", "handle only", "full source route", "crossover?"],
+        &[
+            "pkts/flow",
+            "handle+setup",
+            "handle only",
+            "full source route",
+            "crossover?",
+        ],
     );
     let flows = sample_flows(&topo, 40, 13);
     for pkts in [1usize, 2, 5, 10, 50, 500] {
@@ -52,7 +58,11 @@ fn main() {
             &f2(with_setup),
             &f2(handle_only),
             &f2(sr),
-            &(if with_setup < sr { "handle wins" } else { "src-route wins" }),
+            &(if with_setup < sr {
+                "handle wins"
+            } else {
+                "src-route wins"
+            }),
         ]);
     }
     t.print();
@@ -60,7 +70,13 @@ fn main() {
     // ---------- (b) handle-cache pressure ------------------------------
     let mut t = Table::new(
         "E6(b): gateway handle-cache capacity vs re-setup overhead (200 concurrent flows)",
-        &["capacity", "evictions", "data drops", "re-setups", "total header KB"],
+        &[
+            "capacity",
+            "evictions",
+            "data drops",
+            "re-setups",
+            "total header KB",
+        ],
     );
     let many_flows = sample_flows(&topo, 200, 14);
     for capacity in [8usize, 32, 128, 512, 2048] {

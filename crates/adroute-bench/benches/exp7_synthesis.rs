@@ -51,7 +51,11 @@ fn main() {
         ("on-demand", Strategy::OnDemand, false),
         ("LRU cache 64", Strategy::Cached { capacity: 64 }, false),
         ("LRU cache 1024", Strategy::Cached { capacity: 1024 }, false),
-        ("hybrid (pre+LRU 64)", Strategy::Hybrid { capacity: 64 }, true),
+        (
+            "hybrid (pre+LRU 64)",
+            Strategy::Hybrid { capacity: 64 },
+            true,
+        ),
     ];
 
     let mut t = Table::new(
@@ -90,7 +94,10 @@ fn main() {
         }
         let searches = net.total_searches() - baseline_searches;
         let settled: u64 = topo.ad_ids().map(|a| net.server(a).stats.settled).sum();
-        let pre_hits: u64 = topo.ad_ids().map(|a| net.server(a).stats.precomputed_hits).sum();
+        let pre_hits: u64 = topo
+            .ad_ids()
+            .map(|a| net.server(a).stats.precomputed_hits)
+            .sum();
         let cache_hits: u64 = topo.ad_ids().map(|a| net.server(a).stats.cache_hits).sum();
         let stored: usize = topo
             .ad_ids()

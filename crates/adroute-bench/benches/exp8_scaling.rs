@@ -42,13 +42,27 @@ fn run<P: Protocol>(topo: Topology, proto: P) -> Row {
     e.schedule_link_change(victim, false, t);
     e.stats.reset_counters();
     e.run_to_quiescence();
-    Row { msgs, bytes, conv, fail_msgs: e.stats.msgs_sent, fail_bytes: e.stats.bytes_sent }
+    Row {
+        msgs,
+        bytes,
+        conv,
+        fail_msgs: e.stats.msgs_sent,
+        fail_bytes: e.stats.bytes_sent,
+    }
 }
 
 fn main() {
     let mut t = Table::new(
         "E8: control overhead vs internet size",
-        &["ADs", "architecture", "msgs", "MBytes", "conv ms", "fail msgs", "fail KB"],
+        &[
+            "ADs",
+            "architecture",
+            "msgs",
+            "MBytes",
+            "conv ms",
+            "fail msgs",
+            "fail KB",
+        ],
     );
     for scale in [50usize, 100, 200, 400] {
         let topo = internet(scale, 23);
@@ -56,10 +70,26 @@ fn main() {
         let n = topo.num_ads();
 
         let r = run(topo.clone(), NaiveDv::default());
-        t.row(&[&n, &"naive DV", &r.msgs, &f2(r.bytes as f64 / 1e6), &r.conv.as_ms(), &r.fail_msgs, &(r.fail_bytes / 1024)]);
+        t.row(&[
+            &n,
+            &"naive DV",
+            &r.msgs,
+            &f2(r.bytes as f64 / 1e6),
+            &r.conv.as_ms(),
+            &r.fail_msgs,
+            &(r.fail_bytes / 1024),
+        ]);
 
         let r = run(topo.clone(), Ecma::hierarchical(&topo));
-        t.row(&[&n, &"ECMA", &r.msgs, &f2(r.bytes as f64 / 1e6), &r.conv.as_ms(), &r.fail_msgs, &(r.fail_bytes / 1024)]);
+        t.row(&[
+            &n,
+            &"ECMA",
+            &r.msgs,
+            &f2(r.bytes as f64 / 1e6),
+            &r.conv.as_ms(),
+            &r.fail_msgs,
+            &(r.fail_bytes / 1024),
+        ]);
 
         // The path-vector full-table state is O(dests × classes × path)
         // per neighbor: beyond ~100 ADs one run needs minutes to hours and
@@ -67,13 +97,29 @@ fn main() {
         // report it up to 100 and mark larger scales infeasible.
         if n <= 100 {
             let r = run(topo.clone(), PathVector::idrp(db.clone()));
-            t.row(&[&n, &"IDRP (PV)", &r.msgs, &f2(r.bytes as f64 / 1e6), &r.conv.as_ms(), &r.fail_msgs, &(r.fail_bytes / 1024)]);
+            t.row(&[
+                &n,
+                &"IDRP (PV)",
+                &r.msgs,
+                &f2(r.bytes as f64 / 1e6),
+                &r.conv.as_ms(),
+                &r.fail_msgs,
+                &(r.fail_bytes / 1024),
+            ]);
         } else {
             t.row(&[&n, &"IDRP (PV)", &"(infeasible)", &"-", &"-", &"-", &"-"]);
         }
 
         let r = run(topo.clone(), LsHbh::new(&topo, db.clone()));
-        t.row(&[&n, &"link state", &r.msgs, &f2(r.bytes as f64 / 1e6), &r.conv.as_ms(), &r.fail_msgs, &(r.fail_bytes / 1024)]);
+        t.row(&[
+            &n,
+            &"link state",
+            &r.msgs,
+            &f2(r.bytes as f64 / 1e6),
+            &r.conv.as_ms(),
+            &r.fail_msgs,
+            &(r.fail_bytes / 1024),
+        ]);
     }
     t.print();
     println!(

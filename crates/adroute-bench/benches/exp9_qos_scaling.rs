@@ -63,7 +63,13 @@ fn main() {
         }
         let orwg = net.total_searches();
 
-        t.row(&[&q, &fib_per_ad, &f2(ecma_bytes as f64 / 1e6), &ls_comp, &orwg]);
+        t.row(&[
+            &q,
+            &fib_per_ad,
+            &f2(ecma_bytes as f64 / 1e6),
+            &ls_comp,
+            &orwg,
+        ]);
     }
     t.print();
     println!(

@@ -8,16 +8,24 @@
 //! valley-free-connected.
 
 use adroute_bench::{f2, pct, Table};
-use adroute_topology::{
-    algo, generate::HierarchyConfig, AdLevel, PartialOrder,
-};
+use adroute_topology::{algo, generate::HierarchyConfig, AdLevel, PartialOrder};
 
 fn main() {
     let mut t = Table::new(
         "Figure 1: generated internets (hierarchy + lateral + bypass)",
         &[
-            "ADs", "links", "hier", "lateral", "bypass", "stubs", "multi-homed", "transit",
-            "hybrid", "mean deg", "diam", "vf-reach",
+            "ADs",
+            "links",
+            "hier",
+            "lateral",
+            "bypass",
+            "stubs",
+            "multi-homed",
+            "transit",
+            "hybrid",
+            "mean deg",
+            "diam",
+            "vf-reach",
         ],
     );
     for (scale, seed) in [(30usize, 1u64), (100, 2), (250, 3), (500, 4), (1000, 5)] {
@@ -36,7 +44,13 @@ fn main() {
         let mut diam = 0;
         for start in [0u32, (n / 2) as u32, (n - 1) as u32] {
             let (hops, _) = algo::bfs_tree(&topo, adroute_topology::AdId(start));
-            diam = diam.max(hops.iter().copied().filter(|&x| x != u32::MAX).max().unwrap_or(0));
+            diam = diam.max(
+                hops.iter()
+                    .copied()
+                    .filter(|&x| x != u32::MAX)
+                    .max()
+                    .unwrap_or(0),
+            );
         }
         // Valley-free reachability over sampled campus pairs.
         let po = PartialOrder::from_levels(&topo);
@@ -55,7 +69,11 @@ fn main() {
                 }
             }
         }
-        let vf = if total == 0 { 1.0 } else { ok as f64 / total as f64 };
+        let vf = if total == 0 {
+            1.0
+        } else {
+            ok as f64 / total as f64
+        };
         t.row(&[
             &n,
             &topo.num_links(),

@@ -71,7 +71,9 @@ fn bench_orwg_data_plane(c: &mut Criterion) {
         .copied()
         .expect("some routable flow");
     let handle = net.open(&flow).unwrap().handle;
-    c.bench_function("orwg_send_handle", |b| b.iter(|| black_box(net.send(handle).unwrap())));
+    c.bench_function("orwg_send_handle", |b| {
+        b.iter(|| black_box(net.send(handle).unwrap()))
+    });
 }
 
 fn bench_valley_free(c: &mut Criterion) {

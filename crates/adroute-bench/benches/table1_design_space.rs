@@ -24,16 +24,61 @@ use adroute_topology::AdId;
 fn matrix() {
     let mut t = Table::new(
         "Table 1(a): the design space (paper Section 5)",
-        &["algorithm", "decision", "policy expression", "occupant / verdict"],
+        &[
+            "algorithm",
+            "decision",
+            "policy expression",
+            "occupant / verdict",
+        ],
     );
-    t.row(&[&"distance vector", &"hop-by-hop", &"topology", &"NIST/ECMA partial ordering (5.1.1)"]);
-    t.row(&[&"distance vector", &"hop-by-hop", &"policy terms", &"IDRP, BGP-2 (5.2.1)"]);
-    t.row(&[&"link state", &"hop-by-hop", &"policy terms", &"per-source spanning trees (5.3)"]);
-    t.row(&[&"link state", &"source", &"policy terms", &"Clark/ORWG - the paper's pick (5.4.1)"]);
-    t.row(&[&"link state", &"hop-by-hop", &"topology", &"excluded: flooding vs info-hiding (5.5.1)"]);
-    t.row(&[&"link state", &"source", &"topology", &"excluded: same (5.5.1)"]);
-    t.row(&[&"distance vector", &"source", &"topology", &"excluded: source needs full info (5.5.2)"]);
-    t.row(&[&"distance vector", &"source", &"policy terms", &"excluded: little gain w/o link state (5.5.2)"]);
+    t.row(&[
+        &"distance vector",
+        &"hop-by-hop",
+        &"topology",
+        &"NIST/ECMA partial ordering (5.1.1)",
+    ]);
+    t.row(&[
+        &"distance vector",
+        &"hop-by-hop",
+        &"policy terms",
+        &"IDRP, BGP-2 (5.2.1)",
+    ]);
+    t.row(&[
+        &"link state",
+        &"hop-by-hop",
+        &"policy terms",
+        &"per-source spanning trees (5.3)",
+    ]);
+    t.row(&[
+        &"link state",
+        &"source",
+        &"policy terms",
+        &"Clark/ORWG - the paper's pick (5.4.1)",
+    ]);
+    t.row(&[
+        &"link state",
+        &"hop-by-hop",
+        &"topology",
+        &"excluded: flooding vs info-hiding (5.5.1)",
+    ]);
+    t.row(&[
+        &"link state",
+        &"source",
+        &"topology",
+        &"excluded: same (5.5.1)",
+    ]);
+    t.row(&[
+        &"distance vector",
+        &"source",
+        &"topology",
+        &"excluded: source needs full info (5.5.2)",
+    ]);
+    t.row(&[
+        &"distance vector",
+        &"source",
+        &"policy terms",
+        &"excluded: little gain w/o link state (5.5.2)",
+    ]);
     t.print();
 }
 
@@ -48,7 +93,9 @@ fn probe_source_policy(
     let mut applicable = 0;
     let mut honored = 0;
     for f in flows {
-        let Some(base) = legal_route(topo, db, f) else { continue };
+        let Some(base) = legal_route(topo, db, f) else {
+            continue;
+        };
         if base.path.len() < 3 {
             continue;
         }
@@ -125,12 +172,14 @@ fn main() {
         let s = score_flows(&mut e, &topo, &db, &flows);
         let honored = probe_source_policy(&flows, &topo, &db, |f, sel| {
             // Best the source can do: filter its received routes.
-            e.router(f.src).best_match(f).map(|r| {
-                let mut p = vec![f.src];
-                p.extend_from_slice(&r.path);
-                p
-            })
-            .filter(|p| sel.accepts(p, 0))
+            e.router(f.src)
+                .best_match(f)
+                .map(|r| {
+                    let mut p = vec![f.src];
+                    p.extend_from_slice(&r.path);
+                    p
+                })
+                .filter(|p| sel.accepts(p, 0))
         });
         push("IDRP: PV+hbh+terms", &s, honored, false);
     }
@@ -145,7 +194,10 @@ fn main() {
     {
         let engine = converge_control_plane(topo.clone(), db.clone());
         let mut net = OrwgNetwork::from_engine(&engine, Strategy::Cached { capacity: 512 }, 8192);
-        let mut s = FlowScore { flows: flows.len(), ..Default::default() };
+        let mut s = FlowScore {
+            flows: flows.len(),
+            ..Default::default()
+        };
         for f in &flows {
             let oracle = legal_route(&topo, &db, f);
             if oracle.is_some() {
@@ -168,7 +220,8 @@ fn main() {
         let honored = probe_source_policy(&flows, &topo, &db, |f, sel| {
             net.server_mut(f.src).set_selection(sel.clone());
             let r = net.policy_route(f);
-            net.server_mut(f.src).set_selection(RouteSelection::unconstrained());
+            net.server_mut(f.src)
+                .set_selection(RouteSelection::unconstrained());
             r
         });
         push("ORWG: LS+source+terms", &s, honored, true);

@@ -29,7 +29,8 @@ impl Table {
     /// Appends one row (stringifying each cell).
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Prints the table as aligned Markdown.

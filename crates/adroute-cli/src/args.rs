@@ -68,16 +68,21 @@ impl Args {
 
     /// A required parsed flag.
     pub fn req_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
-        self.req(key)?
-            .parse()
-            .map_err(|_| CliError(format!("flag --{key}: cannot parse '{}'", self.req(key).unwrap())))
+        self.req(key)?.parse().map_err(|_| {
+            CliError(format!(
+                "flag --{key}: cannot parse '{}'",
+                self.req(key).unwrap()
+            ))
+        })
     }
 
     /// An optional parsed flag with a default.
     pub fn opt_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| CliError(format!("flag --{key}: cannot parse '{v}'"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("flag --{key}: cannot parse '{v}'"))),
         }
     }
 

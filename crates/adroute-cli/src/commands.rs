@@ -5,10 +5,11 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use adroute_core::{OrwgNetwork, PolicyImpact};
+use adroute_core::{OrwgNetwork, OrwgProtocol, PolicyImpact, SetupRetryPolicy, Strategy};
 use adroute_policy::text::{format_policies, parse_policies, parse_policy};
 use adroute_policy::workload::PolicyWorkload;
 use adroute_policy::{legality, FlowSpec, PolicyDb, QosClass, TimeOfDay, UserClass};
+use adroute_sim::{ChannelFaults, CrashModel, Engine, FailureModel, FaultPlan, FaultSpec};
 use adroute_topology::{analysis, io as topo_io, AdId, HierarchyConfig, Topology};
 
 use crate::args::{bail, Args, CliError};
@@ -31,6 +32,10 @@ COMMANDS:
                 optional ASCII hierarchy)
   impact        --topo FILE --policies FILE --candidate FILE [--flows N --seed S]
                 predict the effect of a candidate policy before deploying it
+  chaos         [--ads N --seed S --duration MS --loss P --flows N]
+                run the ORWG control and data planes through a seeded fault
+                plan (link churn, lossy channels, router crashes) and report
+                recovery metrics
   help          this text
 ";
 
@@ -124,7 +129,13 @@ pub fn route(args: &Args) -> Result<String, CliError> {
         }
         Some(r) => {
             let path: Vec<String> = r.path.iter().map(|a| a.to_string()).collect();
-            let _ = writeln!(out, "route: {}  (cost {}, {} hops)", path.join(" -> "), r.cost, r.hops());
+            let _ = writeln!(
+                out,
+                "route: {}  (cost {}, {} hops)",
+                path.join(" -> "),
+                r.cost,
+                r.hops()
+            );
             let mut net = OrwgNetwork::converged(&topo, &db);
             match net.open(&flow) {
                 Ok(setup) => {
@@ -155,10 +166,26 @@ pub fn audit(args: &Args) -> Result<String, CliError> {
     let (h, l, b) = topo.link_kind_counts();
     let (s, m, t, hy) = topo.role_counts();
     let mut out = String::new();
-    let _ = writeln!(out, "ADs: {}  links: {} ({h} hierarchical, {l} lateral, {b} bypass)", topo.num_ads(), topo.num_links());
-    let _ = writeln!(out, "roles: {s} stub, {m} multi-homed, {t} transit, {hy} hybrid");
-    let _ = writeln!(out, "degree: min {} / mean {:.2} / max {}", stats.min, stats.mean, stats.max);
-    let _ = writeln!(out, "connected: {}", adroute_topology::algo::is_connected(&topo));
+    let _ = writeln!(
+        out,
+        "ADs: {}  links: {} ({h} hierarchical, {l} lateral, {b} bypass)",
+        topo.num_ads(),
+        topo.num_links()
+    );
+    let _ = writeln!(
+        out,
+        "roles: {s} stub, {m} multi-homed, {t} transit, {hy} hybrid"
+    );
+    let _ = writeln!(
+        out,
+        "degree: min {} / mean {:.2} / max {}",
+        stats.min, stats.mean, stats.max
+    );
+    let _ = writeln!(
+        out,
+        "connected: {}",
+        adroute_topology::algo::is_connected(&topo)
+    );
     let _ = writeln!(out, "articulation ADs ({}):", arts.len());
     for a in &arts {
         let ad = topo.ad(*a);
@@ -179,8 +206,8 @@ pub fn impact(args: &Args) -> Result<String, CliError> {
     let cand_path = args.req("candidate")?;
     let cand_text = fs::read_to_string(cand_path)
         .map_err(|e| CliError(format!("cannot read candidate '{cand_path}': {e}")))?;
-    let candidate = parse_policy(&cand_text)
-        .map_err(|e| CliError(format!("candidate '{cand_path}': {e}")))?;
+    let candidate =
+        parse_policy(&cand_text).map_err(|e| CliError(format!("candidate '{cand_path}': {e}")))?;
     if candidate.ad.index() >= topo.num_ads() {
         return bail("candidate policy names an AD outside the topology");
     }
@@ -191,19 +218,284 @@ pub fn impact(args: &Args) -> Result<String, CliError> {
     );
     let i = PolicyImpact::assess(&topo, &db, candidate, &flows);
     let mut out = String::new();
-    let _ = writeln!(out, "candidate policy for {} over {} sampled flows:", args.req("candidate")?, i.flows);
+    let _ = writeln!(
+        out,
+        "candidate policy for {} over {} sampled flows:",
+        args.req("candidate")?,
+        i.flows
+    );
     let _ = writeln!(out, "  safe (no flow stranded): {}", i.is_safe());
-    let _ = writeln!(out, "  routable: {} -> {}", i.routable_before, i.routable_after);
+    let _ = writeln!(
+        out,
+        "  routable: {} -> {}",
+        i.routable_before, i.routable_after
+    );
     let _ = writeln!(out, "  rerouted: {}", i.rerouted);
-    let _ = writeln!(out, "  transit share: {} -> {} (delta {:+})", i.transit_before, i.transit_after, i.transit_delta());
+    let _ = writeln!(
+        out,
+        "  transit share: {} -> {} (delta {:+})",
+        i.transit_before,
+        i.transit_after,
+        i.transit_delta()
+    );
     let _ = writeln!(out, "  revenue proxy: {} -> {}", i.revenue.0, i.revenue.1);
-    let _ = writeln!(out, "  mean route cost: {:.2} -> {:.2}", i.mean_cost.0, i.mean_cost.1);
+    let _ = writeln!(
+        out,
+        "  mean route cost: {:.2} -> {:.2}",
+        i.mean_cost.0, i.mean_cost.1
+    );
     for f in i.broken.iter().take(10) {
         let _ = writeln!(out, "  would strand: {f}");
     }
     if i.broken.len() > 10 {
         let _ = writeln!(out, "  … and {} more", i.broken.len() - 10);
     }
+    Ok(out)
+}
+
+/// `chaos`: a full fault-injection sweep over the ORWG architecture.
+///
+/// Converges the flooding control plane, applies a seeded healed
+/// [`FaultPlan`] (link churn + lossy/reordering channels + router
+/// crashes), re-runs to quiescence, then drives the data plane through a
+/// gateway crash and a link failure with lossy setups, repairing torn
+/// flows from cached alternates before fresh synthesis. All randomness is
+/// seeded: the same arguments always print the same report.
+pub fn chaos(args: &Args) -> Result<String, CliError> {
+    args.known(&["ads", "seed", "duration", "loss", "flows"])?;
+    let ads: usize = args.opt_parse("ads", 40)?;
+    let seed: u64 = args.opt_parse("seed", 1990)?;
+    let duration_ms: u64 = args.opt_parse("duration", 400)?;
+    let loss: f64 = args.opt_parse("loss", 0.05)?;
+    if !(0.0..=0.5).contains(&loss) {
+        return bail("--loss must be in [0, 0.5]");
+    }
+    let n_flows: usize = args.opt_parse("flows", 30)?;
+
+    let topo = HierarchyConfig::with_approx_size(ads, seed).generate();
+    // Structural policies only (stubs refuse transit): under the
+    // customer-cone mix, nearly every topological detour is policy-denied
+    // and a hub crash can only demonstrate disconnection. The chaos demo
+    // is about recovery, so it runs in the policy regime where recovery
+    // is possible; the experiment suite covers the restrictive mixes.
+    let db = PolicyWorkload::structural(seed).generate(&topo);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos: {} ADs, {} links, seed {seed}",
+        topo.num_ads(),
+        topo.num_links()
+    );
+
+    // Phase 1: control plane under the fault plan.
+    let mut e = Engine::new(topo.clone(), OrwgProtocol::new(&topo, db.clone()));
+    e.run_to_quiescence();
+    let spec = FaultSpec {
+        link_model: Some(FailureModel {
+            mtbf_ms: duration_ms as f64 / 3.0,
+            mttr_ms: duration_ms as f64 / 8.0,
+            fallible_fraction: 0.3,
+            seed: seed ^ 0x11,
+        }),
+        crash_model: Some(CrashModel {
+            mtbf_ms: duration_ms as f64 / 2.0,
+            mttr_ms: duration_ms as f64 / 8.0,
+            fallible_fraction: 0.15,
+            seed: seed ^ 0x22,
+        }),
+        channel: Some(ChannelFaults {
+            loss,
+            corrupt: loss / 4.0,
+            duplicate: loss / 4.0,
+            reorder: loss / 2.0,
+            seed: seed ^ 0x33,
+            ..ChannelFaults::default()
+        }),
+    };
+    let plan = FaultPlan::draw(&topo, &spec, e.now(), duration_ms);
+    let _ = writeln!(
+        out,
+        "plan: {} link events, {} router outages, channel loss {:.1}% over {duration_ms} ms",
+        plan.link_events().events().len(),
+        plan.outages().len(),
+        loss * 100.0,
+    );
+    plan.apply(&mut e);
+    let t = e.run_to_quiescence();
+    let _ = writeln!(
+        out,
+        "control plane: quiescent at {} us after {} events",
+        t.0, e.stats.events
+    );
+    let _ = writeln!(
+        out,
+        "  crashes {}, restarts {}, msgs lost {}, corrupted {}, duplicated {}, reordered {}",
+        e.stats.router_crashes,
+        e.stats.router_restarts,
+        e.stats.msgs_lost,
+        e.stats.msgs_corrupted,
+        e.stats.msgs_duplicated,
+        e.stats.msgs_reordered,
+    );
+    let _ = writeln!(
+        out,
+        "  seq jumps {}, resyncs {}",
+        e.stats.counter("ls_seq_jump"),
+        e.stats.counter("ls_resync"),
+    );
+    let truth = e.topo().clone();
+    let want = truth.links().filter(|l| l.up).count();
+    let mut consistent = 0;
+    let mut checked = 0;
+    for ad in truth.ad_ids() {
+        if truth.neighbors(ad).next().is_none() {
+            continue; // ended the run isolated: its view is legitimately frozen
+        }
+        checked += 1;
+        let (view, _) = e.router(ad).flooder.db.view();
+        if view.links().filter(|l| l.up).count() == want {
+            consistent += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  views consistent with ground truth: {consistent}/{checked} ADs"
+    );
+
+    // Phase 2: data plane — lossy setups, then a gateway crash and a link
+    // failure, then repair.
+    let mut net = OrwgNetwork::from_engine(
+        &e,
+        Strategy::Cached { capacity: 1024 },
+        OrwgNetwork::DEFAULT_HANDLE_CAPACITY,
+    );
+    net.set_setup_loss(loss, seed ^ 0x44);
+    let rp = SetupRetryPolicy::default();
+    let flows = adroute_protocols::forwarding::sample_flows(&topo, n_flows, seed);
+    let (mut opened, mut no_route, mut timeouts, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+    for f in &flows {
+        match net.open_with_retries(f, &rp) {
+            Ok(_) => opened += 1,
+            Err(adroute_core::network::OpenError::NoRoute) => no_route += 1,
+            Err(adroute_core::network::OpenError::SetupTimeout) => timeouts += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    let _ = writeln!(
+        out,
+        "data plane: {} flows sampled; opened {opened}, no route {no_route}, \
+         setup timeouts {timeouts}, rejected {rejected}, retransmits {}",
+        flows.len(),
+        net.repair_stats.setup_retransmits,
+    );
+
+    // Crash the busiest gateway whose transiting flows all keep a
+    // policy-legal detour. In a Figure-1-style hierarchy the top hub is
+    // usually a de-facto articulation point once policy constraints
+    // apply — crashing it only demonstrates disconnection, not repair.
+    let mut cands: Vec<AdId> = truth.ad_ids().collect();
+    cands.sort_by_key(|&ad| (std::cmp::Reverse(truth.neighbors(ad).count()), ad.index()));
+    let survivable = |victim: AdId| {
+        let mut ghost = truth.clone();
+        let doomed: Vec<_> = ghost
+            .links()
+            .filter(|l| l.a == victim || l.b == victim)
+            .map(|l| l.id)
+            .collect();
+        for l in doomed {
+            ghost.set_link_up(l, false);
+        }
+        let mut transiting = 0;
+        for (_, of) in net.open_flows() {
+            if of.route[1..of.route.len() - 1].contains(&victim) {
+                transiting += 1;
+                if legality::legal_route(&ghost, &db, &of.flow).is_none() {
+                    return false;
+                }
+            }
+        }
+        transiting > 0
+    };
+    let victim = cands
+        .iter()
+        .copied()
+        .find(|&c| survivable(c))
+        .unwrap_or(cands[0]);
+    // Pick the cut the same way: a carrying link away from the victim
+    // whose loss (on top of the crash) still leaves every affected flow a
+    // policy-legal detour — otherwise the demo cuts the backbone trunk
+    // and "repairs" nothing.
+    let mut ghost = truth.clone();
+    let doomed: Vec<_> = ghost
+        .links()
+        .filter(|l| l.a == victim || l.b == victim)
+        .map(|l| l.id)
+        .collect();
+    for l in doomed {
+        ghost.set_link_up(l, false);
+    }
+    let uses = |route: &[AdId], a: AdId, b: AdId| {
+        route
+            .windows(2)
+            .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+    };
+    let cut = truth
+        .links()
+        .filter(|l| l.up && l.a != victim && l.b != victim)
+        .find(|l| {
+            ghost.set_link_up(l.id, false);
+            let ok = net.open_flows().all(|(_, of)| {
+                let affected =
+                    of.route[1..of.route.len() - 1].contains(&victim) || uses(&of.route, l.a, l.b);
+                !affected || legality::legal_route(&ghost, &db, &of.flow).is_some()
+            });
+            if !ok {
+                ghost.set_link_up(l.id, true);
+            }
+            ok
+        })
+        .map(|l| l.id)
+        .or_else(|| {
+            truth
+                .links()
+                .find(|l| l.up && l.a != victim && l.b != victim)
+                .map(|l| l.id)
+        })
+        .expect("some link avoids the victim");
+    let (ca, cb) = {
+        let l = truth.link(cut);
+        (l.a, l.b)
+    };
+    // Oracle ground truth for the report: of the flows about to be torn
+    // down, how many still have a policy-legal route at all?
+    ghost.set_link_up(cut, false);
+    let no_detour = net
+        .open_flows()
+        .filter(|(_, of)| {
+            of.route[1..of.route.len() - 1].contains(&victim) || uses(&of.route, ca, cb)
+        })
+        .filter(|(_, of)| legality::legal_route(&ghost, &db, &of.flow).is_none())
+        .count();
+    net.crash_gateway(victim);
+    net.fail_link(cut);
+    let torn = net.pending_repair_count();
+    let r = net.repair_pending(4);
+    let _ = writeln!(
+        out,
+        "recovery: crashed {victim} gateway, failed link {ca}-{cb}: {torn} flows torn down \
+         ({no_detour} with no policy-legal detour)"
+    );
+    let _ = writeln!(
+        out,
+        "  repaired via cached alternate {}, via fresh synthesis {}, unrepairable {}",
+        r.repaired_via_alternate, r.repaired_via_synthesis, r.failures,
+    );
+    net.restore_gateway(victim);
+    let _ = writeln!(
+        out,
+        "  stale forwards across all gateways: {}",
+        net.total_stale_forwards()
+    );
     Ok(out)
 }
 
@@ -215,6 +507,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "route" => route(args),
         "audit" => audit(args),
         "impact" => impact(args),
+        "chaos" => chaos(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => bail(format!("unknown command '{other}'; try `adroute help`")),
     }
@@ -243,12 +536,21 @@ mod tests {
         let msg = run(&format!("gen-topo --ads 60 --seed 3 --out {topo_file}")).unwrap();
         assert!(msg.contains("wrote"));
         // 2. Generate policies for it.
-        let msg = run(&format!("gen-policies --topo {topo_file} --seed 3 --out {pol_file}")).unwrap();
+        let msg = run(&format!(
+            "gen-policies --topo {topo_file} --seed 3 --out {pol_file}"
+        ))
+        .unwrap();
         assert!(msg.contains("wrote"));
         // 3. Route a flow.
-        let out = run(&format!("route --topo {topo_file} --policies {pol_file} --src 3 --dst 40")).unwrap();
+        let out = run(&format!(
+            "route --topo {topo_file} --policies {pol_file} --src 3 --dst 40"
+        ))
+        .unwrap();
         assert!(out.contains("flow: AD3->AD40"), "{out}");
-        assert!(out.contains("route:") || out.contains("no policy-legal route"), "{out}");
+        assert!(
+            out.contains("route:") || out.contains("no policy-legal route"),
+            "{out}"
+        );
         // 4. Audit.
         let out = run(&format!("audit --topo {topo_file}")).unwrap();
         assert!(out.contains("articulation ADs"), "{out}");
@@ -279,7 +581,10 @@ mod tests {
     fn helpful_errors() {
         assert!(run("frobnicate").unwrap_err().0.contains("unknown command"));
         assert!(run("gen-topo").unwrap_err().0.contains("--ads"));
-        assert!(run("gen-topo --ads 50 --bogus 1").unwrap_err().0.contains("unknown flag"));
+        assert!(run("gen-topo --ads 50 --bogus 1")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
         assert!(run("route --topo /nonexistent --src 0 --dst 1")
             .unwrap_err()
             .0
@@ -290,11 +595,51 @@ mod tests {
             .unwrap_err()
             .0
             .contains("outside the topology"));
-        assert!(run(&format!("route --topo {topo_file} --src 0 --dst 1 --time 25:00"))
-            .unwrap_err()
-            .0
-            .contains("bad time"));
+        assert!(run(&format!(
+            "route --topo {topo_file} --src 0 --dst 1 --time 25:00"
+        ))
+        .unwrap_err()
+        .0
+        .contains("bad time"));
         assert!(run("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn chaos_reports_recovery_and_is_deterministic() {
+        let line = "chaos --ads 30 --seed 11 --duration 250 --loss 0.05 --flows 20";
+        let a = run(line).unwrap();
+        assert!(a.contains("chaos: "), "{a}");
+        assert!(a.contains("router outages"), "{a}");
+        assert!(a.contains("views consistent with ground truth"), "{a}");
+        assert!(a.contains("stale forwards across all gateways: 0"), "{a}");
+        // Full reconvergence: the consistent count equals the checked count.
+        let line_views = a.lines().find(|l| l.contains("views consistent")).unwrap();
+        let frac = line_views.rsplit(' ').nth(1).unwrap();
+        let (num, den) = frac.split_once('/').unwrap();
+        assert_eq!(num, den, "not all views reconverged: {a}");
+        // Every torn-down flow with a legal detour must be repaired: the
+        // unrepairable count equals the oracle's no-detour count.
+        let line_torn = a.lines().find(|l| l.contains("flows torn down")).unwrap();
+        let no_detour: u64 = line_torn
+            .split('(')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let line_rep = a.lines().find(|l| l.contains("unrepairable")).unwrap();
+        let unrepairable: u64 = line_rep.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(unrepairable, no_detour, "repair missed a legal detour: {a}");
+        // Identical seeds produce a byte-identical report.
+        let b = run(line).unwrap();
+        assert_eq!(a, b);
+        // A different seed produces a different plan.
+        let c = run("chaos --ads 30 --seed 12 --duration 250 --loss 0.05 --flows 20").unwrap();
+        assert_ne!(a, c);
+        // Loss outside range is refused.
+        assert!(run("chaos --loss 0.9").unwrap_err().0.contains("--loss"));
     }
 
     #[test]

@@ -48,8 +48,7 @@ fn full_pipeline_through_the_binary() {
     let pol = tmp("bin.pol");
     let cand = tmp("bin.cand");
 
-    let (ok, stdout, stderr) =
-        run(&["gen-topo", "--ads", "60", "--seed", "11", "--out", &topo]);
+    let (ok, stdout, stderr) = run(&["gen-topo", "--ads", "60", "--seed", "11", "--out", &topo]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("wrote"));
 
@@ -57,7 +56,15 @@ fn full_pipeline_through_the_binary() {
     assert!(ok, "{stderr}");
 
     let (ok, stdout, stderr) = run(&[
-        "route", "--topo", &topo, "--policies", &pol, "--src", "2", "--dst", "30",
+        "route",
+        "--topo",
+        &topo,
+        "--policies",
+        &pol,
+        "--src",
+        "2",
+        "--dst",
+        "30",
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("flow: AD2->AD30"), "{stdout}");
@@ -68,7 +75,15 @@ fn full_pipeline_through_the_binary() {
 
     std::fs::write(&cand, "policy AD3 { default deny; }\n").unwrap();
     let (ok, stdout, stderr) = run(&[
-        "impact", "--topo", &topo, "--policies", &pol, "--candidate", &cand, "--flows", "40",
+        "impact",
+        "--topo",
+        &topo,
+        "--policies",
+        &pol,
+        "--candidate",
+        &cand,
+        "--flows",
+        "40",
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("transit share:"), "{stdout}");

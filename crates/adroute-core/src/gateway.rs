@@ -37,6 +37,12 @@ pub enum SetupError {
         /// The AD that detected the mismatch.
         ad: AdId,
     },
+    /// The AD's gateway is crashed: it can validate nothing until it
+    /// restarts. Sources treat this like a denial and route around.
+    GatewayDown {
+        /// The AD whose gateway is down.
+        ad: AdId,
+    },
 }
 
 /// Why a data packet was dropped.
@@ -53,6 +59,17 @@ pub enum DataError {
         /// Where the check failed.
         at: AdId,
     },
+    /// The gateway is crashed: nothing forwards until it restarts.
+    GatewayDown {
+        /// The crashed gateway's AD.
+        at: AdId,
+    },
+    /// The cached entry predates the gateway's current incarnation —
+    /// setup state from before a crash must never forward data.
+    StaleHandle {
+        /// Where the stale entry was caught.
+        at: AdId,
+    },
 }
 
 /// Cached per-handle forwarding state at one gateway.
@@ -66,6 +83,10 @@ pub struct HandleEntry {
     pub next: AdId,
     /// The Policy Term that authorized the setup (None = default action).
     pub pt: Option<PtId>,
+    /// Gateway incarnation at install time. An entry from an earlier
+    /// incarnation is unconditionally stale: the policy state that
+    /// validated it died with the crash.
+    pub epoch: u64,
 }
 
 /// Counters for gateway work (experiment E5/E6 columns).
@@ -79,6 +100,10 @@ pub struct GatewayStats {
     pub data_forwarded: u64,
     /// Data packets dropped.
     pub data_dropped: u64,
+    /// Data packets that reached a cached entry from a *previous*
+    /// incarnation. Crash handling wipes the cache, so this must stay 0 —
+    /// it is a tripwire proving no stale handle ever forwards traffic.
+    pub stale_forwards: u64,
 }
 
 /// One AD's policy gateway.
@@ -87,6 +112,8 @@ pub struct PolicyGateway {
     /// The AD this gateway guards.
     pub ad: AdId,
     handles: LruCache<HandleId, HandleEntry>,
+    up: bool,
+    epoch: u64,
     /// Work counters.
     pub stats: GatewayStats,
 }
@@ -94,7 +121,13 @@ pub struct PolicyGateway {
 impl PolicyGateway {
     /// A gateway with a handle cache of the given capacity.
     pub fn new(ad: AdId, capacity: usize) -> PolicyGateway {
-        PolicyGateway { ad, handles: LruCache::new(capacity), stats: GatewayStats::default() }
+        PolicyGateway {
+            ad,
+            handles: LruCache::new(capacity),
+            up: true,
+            epoch: 0,
+            stats: GatewayStats::default(),
+        }
     }
 
     /// Number of cached handles.
@@ -105,6 +138,32 @@ impl PolicyGateway {
     /// Handles evicted so far (state-pressure measure).
     pub fn evictions(&self) -> u64 {
         self.handles.evictions
+    }
+
+    /// Whether the gateway is operational.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Current incarnation number (bumps on every crash).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Crashes the gateway: all soft state (the handle cache) is lost and
+    /// the incarnation advances, so anything that somehow survived would
+    /// be recognizably stale. Setups and data are refused until
+    /// [`PolicyGateway::restart`].
+    pub fn crash(&mut self) {
+        self.up = false;
+        self.epoch += 1;
+        self.handles.clear();
+    }
+
+    /// Restarts a crashed gateway with an empty cache: every flow through
+    /// this AD must re-run setup, exactly as after an eviction.
+    pub fn restart(&mut self) {
+        self.up = true;
     }
 
     /// Validates a setup packet against this AD's own policy and, on
@@ -120,6 +179,10 @@ impl PolicyGateway {
         setup: &SetupPacket,
     ) -> Result<(), SetupError> {
         debug_assert_eq!(policy.ad, self.ad);
+        if !self.up {
+            self.stats.setups_rejected += 1;
+            return Err(SetupError::GatewayDown { ad: self.ad });
+        }
         let Some(pos) = setup.route.iter().position(|&a| a == self.ad) else {
             self.stats.setups_rejected += 1;
             return Err(SetupError::NotOnRoute);
@@ -130,8 +193,7 @@ impl PolicyGateway {
         }
         let prev = setup.route[pos - 1];
         let next = setup.route[pos + 1];
-        let (permit, deciding_pt) =
-            policy.evaluate_with_term(&setup.flow, Some(prev), Some(next));
+        let (permit, deciding_pt) = policy.evaluate_with_term(&setup.flow, Some(prev), Some(next));
         if permit.is_none() {
             self.stats.setups_rejected += 1;
             return Err(SetupError::PolicyDenied { ad: self.ad });
@@ -143,7 +205,13 @@ impl PolicyGateway {
         }
         self.handles.insert(
             setup.handle,
-            HandleEntry { flow: setup.flow, prev, next, pt: deciding_pt },
+            HandleEntry {
+                flow: setup.flow,
+                prev,
+                next,
+                pt: deciding_pt,
+                epoch: self.epoch,
+            },
         );
         self.stats.setups_ok += 1;
         Ok(())
@@ -159,10 +227,19 @@ impl PolicyGateway {
         pkt: &DataPacket,
         arrived_from: AdId,
     ) -> Result<AdId, DataError> {
+        if !self.up {
+            self.stats.data_dropped += 1;
+            return Err(DataError::GatewayDown { at: self.ad });
+        }
         let Some(entry) = self.handles.get(&pkt.handle) else {
             self.stats.data_dropped += 1;
             return Err(DataError::UnknownHandle { at: self.ad });
         };
+        if entry.epoch != self.epoch {
+            self.stats.stale_forwards += 1;
+            self.stats.data_dropped += 1;
+            return Err(DataError::StaleHandle { at: self.ad });
+        }
         if entry.prev != arrived_from || entry.flow.src != pkt.src {
             self.stats.data_dropped += 1;
             return Err(DataError::SourceMismatch { at: self.ad });
@@ -191,7 +268,12 @@ mod tests {
 
     fn setup_pkt(route: Vec<AdId>, pts: Vec<Option<PtId>>) -> SetupPacket {
         let flow = FlowSpec::best_effort(route[0], *route.last().unwrap());
-        SetupPacket { flow, route, claimed_pts: pts, handle: HandleId(7) }
+        SetupPacket {
+            flow,
+            route,
+            claimed_pts: pts,
+            handle: HandleId(7),
+        }
     }
 
     #[test]
@@ -203,7 +285,13 @@ mod tests {
         assert_eq!(pg.cached_handles(), 1);
         assert_eq!(pg.stats.setups_ok, 1);
         let next = pg
-            .forward_data(&DataPacket { handle: HandleId(7), src: AdId(0) }, AdId(0))
+            .forward_data(
+                &DataPacket {
+                    handle: HandleId(7),
+                    src: AdId(0),
+                },
+                AdId(0),
+            )
             .unwrap();
         assert_eq!(next, AdId(2));
         assert_eq!(pg.stats.data_forwarded, 1);
@@ -232,7 +320,10 @@ mod tests {
         );
         // Claiming "default permits" when a specific term decides: reject.
         let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
-        assert_eq!(pg.validate_setup(&policy, &s), Err(SetupError::PtMismatch { ad: AdId(1) }));
+        assert_eq!(
+            pg.validate_setup(&policy, &s),
+            Err(SetupError::PtMismatch { ad: AdId(1) })
+        );
         // Correct citation: accept.
         let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![Some(pt)]);
         pg.validate_setup(&policy, &s).unwrap();
@@ -246,7 +337,10 @@ mod tests {
         assert_eq!(pg.validate_setup(&policy, &s), Err(SetupError::NotOnRoute));
         let mut pg9 = PolicyGateway::new(AdId(9), 8);
         let policy9 = TransitPolicy::permit_all(AdId(9));
-        assert_eq!(pg9.validate_setup(&policy9, &s), Err(SetupError::NotOnRoute));
+        assert_eq!(
+            pg9.validate_setup(&policy9, &s),
+            Err(SetupError::NotOnRoute)
+        );
     }
 
     #[test]
@@ -257,12 +351,24 @@ mod tests {
         pg.validate_setup(&policy, &s).unwrap();
         // Wrong physical previous hop.
         let err = pg
-            .forward_data(&DataPacket { handle: HandleId(7), src: AdId(0) }, AdId(2))
+            .forward_data(
+                &DataPacket {
+                    handle: HandleId(7),
+                    src: AdId(0),
+                },
+                AdId(2),
+            )
             .unwrap_err();
         assert_eq!(err, DataError::SourceMismatch { at: AdId(1) });
         // Wrong claimed source.
         let err = pg
-            .forward_data(&DataPacket { handle: HandleId(7), src: AdId(5) }, AdId(0))
+            .forward_data(
+                &DataPacket {
+                    handle: HandleId(7),
+                    src: AdId(5),
+                },
+                AdId(0),
+            )
             .unwrap_err();
         assert_eq!(err, DataError::SourceMismatch { at: AdId(1) });
         assert_eq!(pg.stats.data_dropped, 2);
@@ -272,7 +378,13 @@ mod tests {
     fn unknown_handle_demands_resetup() {
         let mut pg = PolicyGateway::new(AdId(1), 8);
         let err = pg
-            .forward_data(&DataPacket { handle: HandleId(42), src: AdId(0) }, AdId(0))
+            .forward_data(
+                &DataPacket {
+                    handle: HandleId(42),
+                    src: AdId(0),
+                },
+                AdId(0),
+            )
             .unwrap_err();
         assert_eq!(err, DataError::UnknownHandle { at: AdId(1) });
     }
@@ -290,9 +402,92 @@ mod tests {
         assert_eq!(pg.evictions(), 2);
         // The earliest handle is gone.
         let err = pg
-            .forward_data(&DataPacket { handle: HandleId(0), src: AdId(0) }, AdId(0))
+            .forward_data(
+                &DataPacket {
+                    handle: HandleId(0),
+                    src: AdId(0),
+                },
+                AdId(0),
+            )
             .unwrap_err();
         assert!(matches!(err, DataError::UnknownHandle { .. }));
+    }
+
+    #[test]
+    fn crash_refuses_and_wipes_restart_starts_cold() {
+        let mut pg = PolicyGateway::new(AdId(1), 8);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
+        pg.validate_setup(&policy, &s).unwrap();
+        pg.crash();
+        assert!(!pg.is_up());
+        assert_eq!(pg.cached_handles(), 0, "crash must lose soft state");
+        assert_eq!(
+            pg.validate_setup(&policy, &s),
+            Err(SetupError::GatewayDown { ad: AdId(1) })
+        );
+        let err = pg
+            .forward_data(
+                &DataPacket {
+                    handle: HandleId(7),
+                    src: AdId(0),
+                },
+                AdId(0),
+            )
+            .unwrap_err();
+        assert_eq!(err, DataError::GatewayDown { at: AdId(1) });
+        pg.restart();
+        assert!(pg.is_up());
+        assert_eq!(pg.epoch(), 1);
+        // The pre-crash handle is gone: the source must re-run setup.
+        let err = pg
+            .forward_data(
+                &DataPacket {
+                    handle: HandleId(7),
+                    src: AdId(0),
+                },
+                AdId(0),
+            )
+            .unwrap_err();
+        assert_eq!(err, DataError::UnknownHandle { at: AdId(1) });
+        assert_eq!(
+            pg.stats.stale_forwards, 0,
+            "no stale handle may ever forward"
+        );
+        // And a fresh setup works at the new epoch.
+        pg.validate_setup(&policy, &s).unwrap();
+        assert!(pg
+            .forward_data(
+                &DataPacket {
+                    handle: HandleId(7),
+                    src: AdId(0)
+                },
+                AdId(0)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn epoch_tripwire_catches_surviving_state() {
+        // Plant an entry that (hypothetically) survived a crash by bumping
+        // the epoch without the wipe: the tripwire must catch it.
+        let mut pg = PolicyGateway::new(AdId(1), 8);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
+        pg.validate_setup(&policy, &s).unwrap();
+        pg.epoch += 1; // simulate buggy crash handling that kept the cache
+        let err = pg
+            .forward_data(
+                &DataPacket {
+                    handle: HandleId(7),
+                    src: AdId(0),
+                },
+                AdId(0),
+            )
+            .unwrap_err();
+        assert_eq!(err, DataError::StaleHandle { at: AdId(1) });
+        assert_eq!(pg.stats.stale_forwards, 1);
+        assert_eq!(pg.stats.data_forwarded, 0);
     }
 
     #[test]

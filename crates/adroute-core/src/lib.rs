@@ -41,7 +41,7 @@ pub mod vgw;
 pub use dataplane::{DataPacket, HandleId, SetupPacket};
 pub use gateway::{DataError, PolicyGateway, SetupError};
 pub use mgmt::PolicyImpact;
-pub use network::OrwgNetwork;
+pub use network::{OrwgNetwork, RepairStats, SetupRetryPolicy};
 pub use router::OrwgProtocol;
 pub use synthesis::{PolicyRoute, RouteServer, Strategy, SynthStats};
 pub use traffic::{run_traffic, TrafficModel, TrafficReport};

@@ -58,7 +58,10 @@ impl PolicyImpact {
         let ad = candidate.ad;
         let mut hypothetical = db.clone();
         hypothetical.set_policy(candidate);
-        let mut out = PolicyImpact { flows: flows.len(), ..PolicyImpact::default() };
+        let mut out = PolicyImpact {
+            flows: flows.len(),
+            ..PolicyImpact::default()
+        };
         let mut cost_before = 0u64;
         let mut cost_after = 0u64;
         let mut both = 0usize;
@@ -99,7 +102,10 @@ impl PolicyImpact {
             }
         }
         if both > 0 {
-            out.mean_cost = (cost_before as f64 / both as f64, cost_after as f64 / both as f64);
+            out.mean_cost = (
+                cost_before as f64 / both as f64,
+                cost_after as f64 / both as f64,
+            );
         }
         out
     }
@@ -119,11 +125,16 @@ fn transit_position(path: &[AdId], ad: AdId) -> Option<usize> {
     if path.len() < 3 {
         return None;
     }
-    path[1..path.len() - 1].iter().position(|&a| a == ad).map(|i| i + 1)
+    path[1..path.len() - 1]
+        .iter()
+        .position(|&a| a == ad)
+        .map(|i| i + 1)
 }
 
 fn transit_charge(db: &PolicyDb, f: &FlowSpec, path: &[AdId], ad: AdId) -> u64 {
-    let Some(i) = transit_position(path, ad) else { return 0 };
+    let Some(i) = transit_position(path, ad) else {
+        return 0;
+    };
     db.policy(ad)
         .evaluate(f, Some(path[i - 1]), Some(path[i + 1]))
         .map(u64::from)
@@ -145,8 +156,7 @@ mod tests {
             FlowSpec::best_effort(AdId(0), AdId(2)),
             FlowSpec::best_effort(AdId(2), AdId(3)),
         ];
-        let impact =
-            PolicyImpact::assess(&topo, &db, TransitPolicy::deny_all(AdId(1)), &flows);
+        let impact = PolicyImpact::assess(&topo, &db, TransitPolicy::deny_all(AdId(1)), &flows);
         assert!(!impact.is_safe());
         assert_eq!(impact.broken.len(), 2); // 0->3 and 0->2 die
         assert_eq!(impact.routable_before, 3);
@@ -154,7 +164,8 @@ mod tests {
         assert_eq!(impact.transit_delta(), -2);
         // Nothing was deployed: the live database is untouched.
         assert_eq!(
-            db.policy(AdId(1)).evaluate(&flows[0], Some(AdId(0)), Some(AdId(2))),
+            db.policy(AdId(1))
+                .evaluate(&flows[0], Some(AdId(0)), Some(AdId(2))),
             Some(0)
         );
     }
@@ -164,8 +175,7 @@ mod tests {
         let topo = ring(6);
         let db = PolicyDb::permissive(&topo);
         let flows = [FlowSpec::best_effort(AdId(0), AdId(3))];
-        let impact =
-            PolicyImpact::assess(&topo, &db, TransitPolicy::deny_all(AdId(1)), &flows);
+        let impact = PolicyImpact::assess(&topo, &db, TransitPolicy::deny_all(AdId(1)), &flows);
         assert!(impact.is_safe());
         assert_eq!(impact.rerouted, 1);
         assert_eq!(impact.routable_after, 1);
@@ -175,14 +185,19 @@ mod tests {
     fn charging_more_loses_traffic_and_revenue_tradeoff_is_visible() {
         let topo = ring(4); // 0->2 via 1 or via 3
         let db = PolicyDb::permissive(&topo);
-        let flows = [FlowSpec::best_effort(AdId(0), AdId(2)),
-                     FlowSpec::best_effort(AdId(2), AdId(0))];
+        let flows = [
+            FlowSpec::best_effort(AdId(0), AdId(2)),
+            FlowSpec::best_effort(AdId(2), AdId(0)),
+        ];
         // AD1 considers charging 10 for transit: traffic shifts to AD3.
         let mut pricey = TransitPolicy::permit_all(AdId(1));
         pricey.default = PolicyAction::Permit { cost: 10 };
         let impact = PolicyImpact::assess(&topo, &db, pricey, &flows);
         assert!(impact.is_safe());
-        assert_eq!(impact.transit_after, 0, "traffic routes around the expensive AD");
+        assert_eq!(
+            impact.transit_after, 0,
+            "traffic routes around the expensive AD"
+        );
         assert!(impact.mean_cost.1 <= impact.mean_cost.0 + 2.0);
         // A modest price keeps (tie-broken) traffic only if competitive;
         // free transit certainly keeps it.
@@ -197,8 +212,7 @@ mod tests {
         let mut db = PolicyDb::permissive(&topo);
         db.set_policy(TransitPolicy::deny_all(AdId(1)));
         let flows = [FlowSpec::best_effort(AdId(0), AdId(2))];
-        let impact =
-            PolicyImpact::assess(&topo, &db, TransitPolicy::permit_all(AdId(1)), &flows);
+        let impact = PolicyImpact::assess(&topo, &db, TransitPolicy::permit_all(AdId(1)), &flows);
         assert_eq!(impact.enabled.len(), 1);
         assert_eq!(impact.routable_before, 0);
         assert_eq!(impact.routable_after, 1);
@@ -232,7 +246,11 @@ mod tests {
         let mut cand = TransitPolicy::permit_all(AdId(1));
         cand.default = PolicyAction::Permit { cost: 7 };
         let impact = PolicyImpact::assess(&topo, &db, cand, &flows);
-        assert_eq!(impact.revenue, (4, 7), "captive traffic pays the higher charge");
+        assert_eq!(
+            impact.revenue,
+            (4, 7),
+            "captive traffic pays the higher charge"
+        );
         assert_eq!(impact.mean_cost.0 + 3.0, impact.mean_cost.1);
     }
 }

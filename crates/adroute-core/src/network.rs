@@ -27,6 +27,9 @@ pub enum OpenError {
     },
     /// A Policy Gateway refused the setup.
     Rejected(SetupError),
+    /// Every setup transmission (original plus all retransmits) was lost;
+    /// the source's retry budget ran out.
+    SetupTimeout,
 }
 
 /// Why sending on an established route failed.
@@ -78,6 +81,42 @@ pub struct OpenFlow {
     pub flow: FlowSpec,
     /// The validated route.
     pub route: Vec<AdId>,
+    /// Spare policy routes cached at open time
+    /// ([`OrwgNetwork::open_repairable`]): tried before fresh synthesis
+    /// when the installed route dies.
+    pub alternates: Vec<PolicyRoute>,
+}
+
+/// Source retransmission policy for setup packets: a timeout that doubles
+/// on every retry (exponential backoff), up to a retry cap.
+#[derive(Clone, Copy, Debug)]
+pub struct SetupRetryPolicy {
+    /// Retransmissions allowed after the initial transmission.
+    pub max_retries: u32,
+    /// Initial retransmit timeout, µs (doubles per retry).
+    pub base_timeout_us: u64,
+}
+
+impl Default for SetupRetryPolicy {
+    fn default() -> SetupRetryPolicy {
+        SetupRetryPolicy {
+            max_retries: 3,
+            base_timeout_us: 2_000,
+        }
+    }
+}
+
+/// Outcomes of route repair after faults (cumulative per network).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RepairStats {
+    /// Flows restored from an alternate route cached at open time.
+    pub repaired_via_alternate: u64,
+    /// Flows restored by a fresh resilient synthesis.
+    pub repaired_via_synthesis: u64,
+    /// Flows that could not be restored (no legal route survives).
+    pub failures: u64,
+    /// Setup packets retransmitted after a loss.
+    pub setup_retransmits: u64,
 }
 
 /// The assembled ORWG network.
@@ -92,6 +131,13 @@ pub struct OrwgNetwork {
     gateways: Vec<PolicyGateway>,
     next_handle: u64,
     open_flows: HashMap<HandleId, OpenFlow>,
+    /// Flows whose installed route died (link failure, policy change, or
+    /// gateway crash tore the handle down and notified the source); they
+    /// wait here until [`OrwgNetwork::repair_pending`].
+    pending_repair: Vec<OpenFlow>,
+    /// Cumulative repair outcomes.
+    pub repair_stats: RepairStats,
+    setup_loss: Option<(f64, rand::rngs::SmallRng)>,
 }
 
 impl OrwgNetwork {
@@ -104,7 +150,12 @@ impl OrwgNetwork {
     /// identical view — the state flooding reaches at quiescence. The
     /// standard entry point for experiments and examples.
     pub fn converged(topo: &Topology, db: &PolicyDb) -> OrwgNetwork {
-        OrwgNetwork::converged_with(topo, db, Self::DEFAULT_STRATEGY, Self::DEFAULT_HANDLE_CAPACITY)
+        OrwgNetwork::converged_with(
+            topo,
+            db,
+            Self::DEFAULT_STRATEGY,
+            Self::DEFAULT_HANDLE_CAPACITY,
+        )
     }
 
     /// [`OrwgNetwork::converged`] with explicit strategy and handle-cache
@@ -119,7 +170,10 @@ impl OrwgNetwork {
             .ad_ids()
             .map(|ad| RouteServer::new(ad, topo.clone(), db.clone(), strategy.clone()))
             .collect();
-        let gateways = topo.ad_ids().map(|ad| PolicyGateway::new(ad, handle_capacity)).collect();
+        let gateways = topo
+            .ad_ids()
+            .map(|ad| PolicyGateway::new(ad, handle_capacity))
+            .collect();
         OrwgNetwork {
             topo: topo.clone(),
             db: db.clone(),
@@ -127,6 +181,9 @@ impl OrwgNetwork {
             gateways,
             next_handle: 1,
             open_flows: HashMap::new(),
+            pending_repair: Vec::new(),
+            repair_stats: RepairStats::default(),
+            setup_loss: None,
         }
     }
 
@@ -148,8 +205,21 @@ impl OrwgNetwork {
                 RouteServer::new(ad, vt, vd, strategy.clone())
             })
             .collect();
-        let gateways = topo.ad_ids().map(|ad| PolicyGateway::new(ad, handle_capacity)).collect();
-        OrwgNetwork { topo, db, servers, gateways, next_handle: 1, open_flows: HashMap::new() }
+        let gateways = topo
+            .ad_ids()
+            .map(|ad| PolicyGateway::new(ad, handle_capacity))
+            .collect();
+        OrwgNetwork {
+            topo,
+            db,
+            servers,
+            gateways,
+            next_handle: 1,
+            open_flows: HashMap::new(),
+            pending_repair: Vec::new(),
+            repair_stats: RepairStats::default(),
+            setup_loss: None,
+        }
     }
 
     /// The ground-truth topology.
@@ -201,10 +271,15 @@ impl OrwgNetwork {
         Ok(latency)
     }
 
-    /// Opens a policy route for `flow`: synthesize at the source, then
-    /// walk the setup packet through every transit AD's Policy Gateway.
-    pub fn open(&mut self, flow: &FlowSpec) -> Result<SetupOutcome, OpenError> {
-        let route = self.servers[flow.src.index()].request(flow).ok_or(OpenError::NoRoute)?;
+    /// Walks a setup packet for an already-synthesized route through every
+    /// transit AD's Policy Gateway; on success the flow is installed with
+    /// the given spare routes attached.
+    fn setup_along(
+        &mut self,
+        flow: &FlowSpec,
+        route: &PolicyRoute,
+        alternates: Vec<PolicyRoute>,
+    ) -> Result<SetupOutcome, OpenError> {
         let handle = HandleId(self.next_handle);
         self.next_handle += 1;
         let setup = SetupPacket {
@@ -213,8 +288,8 @@ impl OrwgNetwork {
             claimed_pts: route.pts.clone(),
             handle,
         };
-        let latency_us =
-            Self::check_links(&setup.route, &self.topo).map_err(|(a, b)| OpenError::LinkDown { a, b })?;
+        let latency_us = Self::check_links(&setup.route, &self.topo)
+            .map_err(|(a, b)| OpenError::LinkDown { a, b })?;
         let mut validations = 0;
         for i in 1..setup.route.len().saturating_sub(1) {
             let ad = setup.route[i];
@@ -227,8 +302,83 @@ impl OrwgNetwork {
         }
         let hops = setup.route.len() - 1;
         let header_bytes = setup.header_size() * hops;
-        self.open_flows.insert(handle, OpenFlow { flow: *flow, route: setup.route.clone() });
-        Ok(SetupOutcome { handle, route: setup.route, header_bytes, validations, latency_us })
+        self.open_flows.insert(
+            handle,
+            OpenFlow {
+                flow: *flow,
+                route: setup.route.clone(),
+                alternates,
+            },
+        );
+        Ok(SetupOutcome {
+            handle,
+            route: setup.route,
+            header_bytes,
+            validations,
+            latency_us,
+        })
+    }
+
+    /// Opens a policy route for `flow`: synthesize at the source, then
+    /// walk the setup packet through every transit AD's Policy Gateway.
+    pub fn open(&mut self, flow: &FlowSpec) -> Result<SetupOutcome, OpenError> {
+        let route = self.servers[flow.src.index()]
+            .request(flow)
+            .ok_or(OpenError::NoRoute)?;
+        self.setup_along(flow, &route, Vec::new())
+    }
+
+    /// [`OrwgNetwork::open`], but the source also synthesizes up to two
+    /// spare routes and caches them with the flow. When a fault later
+    /// tears the installed route down, [`OrwgNetwork::repair_pending`]
+    /// tries the spares before paying for a fresh synthesis — the paper's
+    /// "precompute alternate routes" resilience option.
+    pub fn open_repairable(&mut self, flow: &FlowSpec) -> Result<SetupOutcome, OpenError> {
+        let mut routes = self.servers[flow.src.index()].alternatives(flow, 3);
+        if routes.is_empty() {
+            return Err(OpenError::NoRoute);
+        }
+        let primary = routes.remove(0);
+        self.setup_along(flow, &primary, routes)
+    }
+
+    /// Enables (or disables, with `prob = 0.0`) seeded random loss of
+    /// setup transmissions, consumed by [`OrwgNetwork::open_with_retries`].
+    pub fn set_setup_loss(&mut self, prob: f64, seed: u64) {
+        use rand::SeedableRng;
+        self.setup_loss = (prob > 0.0).then(|| (prob, rand::rngs::SmallRng::seed_from_u64(seed)));
+    }
+
+    /// Opens a repairable route under the setup-loss model: each
+    /// transmission may be lost, in which case the source times out
+    /// (doubling the timeout each retry — exponential backoff, charged to
+    /// the outcome's latency) and retransmits, up to the policy's cap.
+    pub fn open_with_retries(
+        &mut self,
+        flow: &FlowSpec,
+        rp: &SetupRetryPolicy,
+    ) -> Result<SetupOutcome, OpenError> {
+        use rand::Rng;
+        let mut timeout_penalty_us = 0u64;
+        for attempt in 0..=rp.max_retries {
+            let lost = match &mut self.setup_loss {
+                Some((prob, rng)) => rng.gen_bool(*prob),
+                None => false,
+            };
+            if lost {
+                // Detected only by timeout; back off exponentially.
+                timeout_penalty_us += rp.base_timeout_us << attempt;
+                if attempt < rp.max_retries {
+                    self.repair_stats.setup_retransmits += 1;
+                }
+                continue;
+            }
+            return self.open_repairable(flow).map(|mut s| {
+                s.latency_us += timeout_penalty_us;
+                s
+            });
+        }
+        Err(OpenError::SetupTimeout)
     }
 
     /// Opens a policy route, retrying around rejections.
@@ -254,7 +404,9 @@ impl OrwgNetwork {
                 Ok(s) => break Ok(s),
                 Err(e) if attempt >= max_retries => break Err(e),
                 Err(OpenError::Rejected(
-                    SetupError::PolicyDenied { ad } | SetupError::PtMismatch { ad },
+                    SetupError::PolicyDenied { ad }
+                    | SetupError::PtMismatch { ad }
+                    | SetupError::GatewayDown { ad },
                 )) => {
                     avoided.push(ad);
                 }
@@ -280,10 +432,17 @@ impl OrwgNetwork {
 
     /// Sends one data packet on an established route using the handle.
     pub fn send(&mut self, handle: HandleId) -> Result<DataOutcome, SendError> {
-        let of = self.open_flows.get(&handle).ok_or(SendError::UnknownFlow)?.clone();
+        let of = self
+            .open_flows
+            .get(&handle)
+            .ok_or(SendError::UnknownFlow)?
+            .clone();
         let latency_us = Self::check_links(&of.route, &self.topo)
             .map_err(|(a, b)| SendError::LinkDown { a, b })?;
-        let pkt = DataPacket { handle, src: of.flow.src };
+        let pkt = DataPacket {
+            handle,
+            src: of.flow.src,
+        };
         for i in 1..of.route.len().saturating_sub(1) {
             let ad = of.route[i];
             let next = self.gateways[ad.index()]
@@ -292,7 +451,11 @@ impl OrwgNetwork {
             debug_assert_eq!(next, of.route[i + 1]);
         }
         let hops = of.route.len() - 1;
-        Ok(DataOutcome { hops, header_bytes: DataPacket::HEADER_SIZE * hops, latency_us })
+        Ok(DataOutcome {
+            hops,
+            header_bytes: DataPacket::HEADER_SIZE * hops,
+            latency_us,
+        })
     }
 
     /// The ablation data plane: every packet carries the full source
@@ -300,16 +463,17 @@ impl OrwgNetwork {
     /// each packet — the "overhead of carrying and processing complete
     /// information for each packet is prohibitive" alternative.
     pub fn send_source_routed(&mut self, flow: &FlowSpec) -> Result<DataOutcome, OpenError> {
-        let route = self.servers[flow.src.index()].request(flow).ok_or(OpenError::NoRoute)?;
+        let route = self.servers[flow.src.index()]
+            .request(flow)
+            .ok_or(OpenError::NoRoute)?;
         let latency_us = Self::check_links(&route.path, &self.topo)
             .map_err(|(a, b)| OpenError::LinkDown { a, b })?;
         for i in 1..route.path.len().saturating_sub(1) {
             let ad = route.path[i];
-            let permit = self.db.policy(ad).evaluate(
-                flow,
-                Some(route.path[i - 1]),
-                Some(route.path[i + 1]),
-            );
+            let permit =
+                self.db
+                    .policy(ad)
+                    .evaluate(flow, Some(route.path[i - 1]), Some(route.path[i + 1]));
             if permit.is_none() {
                 return Err(OpenError::Rejected(SetupError::PolicyDenied { ad }));
             }
@@ -331,17 +495,37 @@ impl OrwgNetwork {
         }
     }
 
-    /// Fails a link in ground truth: flushes affected gateway handles and
-    /// (modeling re-flooding at quiescence) updates every Route Server's
-    /// view.
+    /// Removes every open flow `doomed` matches, queueing each for repair
+    /// (the teardown notification every on-path gateway sends the source
+    /// when it flushes the flow's handle).
+    fn teardown_and_notify(&mut self, doomed: impl Fn(&OpenFlow) -> bool) {
+        let dead: Vec<HandleId> = self
+            .open_flows
+            .iter()
+            .filter(|(_, of)| doomed(of))
+            .map(|(h, _)| *h)
+            .collect();
+        for h in dead {
+            if let Some(of) = self.open_flows.remove(&h) {
+                self.pending_repair.push(of);
+            }
+        }
+    }
+
+    /// Fails a link in ground truth: flushes affected gateway handles,
+    /// queues the torn-down flows for source-side repair, and (modeling
+    /// re-flooding at quiescence) updates every Route Server's view.
     pub fn fail_link(&mut self, link: LinkId) {
         self.topo.set_link_up(link, false);
         let l = self.topo.link(link);
         let (a, b) = (l.a, l.b);
         self.gateways[a.index()].invalidate(|e| e.prev == b || e.next == b);
         self.gateways[b.index()].invalidate(|e| e.prev == a || e.next == a);
-        self.open_flows
-            .retain(|_, of| of.route.windows(2).all(|w| !(w.contains(&a) && w.contains(&b))));
+        self.teardown_and_notify(|of| {
+            of.route
+                .windows(2)
+                .any(|w| w.contains(&a) && w.contains(&b))
+        });
         let topo = self.topo.clone();
         let db = self.db.clone();
         for s in &mut self.servers {
@@ -350,17 +534,80 @@ impl OrwgNetwork {
     }
 
     /// Changes one AD's policy: the AD's gateway flushes all cached
-    /// handles, and (modeling re-flooding) every Route Server's view is
-    /// refreshed. The staleness cost is E7's policy-change column.
+    /// handles, the torn-down flows queue for repair, and (modeling
+    /// re-flooding) every Route Server's view is refreshed. The staleness
+    /// cost is E7's policy-change column.
     pub fn change_policy(&mut self, policy: TransitPolicy) {
         let ad = policy.ad;
         self.db.set_policy(policy);
         self.gateways[ad.index()].invalidate(|_| true);
-        self.open_flows.retain(|_, of| !of.route[1..of.route.len().saturating_sub(1)].contains(&ad));
+        self.teardown_and_notify(|of| of.route[1..of.route.len().saturating_sub(1)].contains(&ad));
         let topo = self.topo.clone();
         let db = self.db.clone();
         for s in &mut self.servers {
             s.update_view(topo.clone(), db.clone());
+        }
+    }
+
+    /// Crashes `ad`'s Policy Gateway: its handle cache is lost, flows
+    /// transiting the AD are torn down and queued for repair, and setups
+    /// through the AD are refused until [`OrwgNetwork::restore_gateway`].
+    /// Route Servers' views are *not* refreshed — sources discover the
+    /// crash through rejected setups, exactly like stale policy.
+    pub fn crash_gateway(&mut self, ad: AdId) {
+        self.gateways[ad.index()].crash();
+        self.teardown_and_notify(|of| of.route[1..of.route.len().saturating_sub(1)].contains(&ad));
+    }
+
+    /// Restarts a crashed gateway cold (empty handle cache, new epoch).
+    pub fn restore_gateway(&mut self, ad: AdId) {
+        self.gateways[ad.index()].restart();
+    }
+
+    /// Flows currently awaiting repair.
+    pub fn pending_repair_count(&self) -> usize {
+        self.pending_repair.len()
+    }
+
+    /// Attempts to restore every flow whose route a fault tore down.
+    ///
+    /// For each pending flow the source first replays its cached alternate
+    /// routes (spares stored by [`OrwgNetwork::open_repairable`]) through
+    /// a fresh setup walk — links and gateways re-validate, so a spare
+    /// that the fault also broke is simply rejected. Only when no spare
+    /// survives does the source pay for a fresh policy-constrained
+    /// synthesis ([`OrwgNetwork::open_resilient`] with `max_retries`
+    /// detour attempts). Outcomes accumulate in
+    /// [`OrwgNetwork::repair_stats`]; the per-call delta is returned.
+    pub fn repair_pending(&mut self, max_retries: usize) -> RepairStats {
+        let before = self.repair_stats;
+        let pending = std::mem::take(&mut self.pending_repair);
+        for of in pending {
+            let mut fixed = false;
+            for alt in &of.alternates {
+                if alt.path == of.route {
+                    continue; // the spare is the route that just died
+                }
+                if self.setup_along(&of.flow, alt, Vec::new()).is_ok() {
+                    self.repair_stats.repaired_via_alternate += 1;
+                    fixed = true;
+                    break;
+                }
+            }
+            if !fixed {
+                match self.open_resilient(&of.flow, max_retries) {
+                    Ok(_) => self.repair_stats.repaired_via_synthesis += 1,
+                    Err(_) => self.repair_stats.failures += 1,
+                }
+            }
+        }
+        RepairStats {
+            repaired_via_alternate: self.repair_stats.repaired_via_alternate
+                - before.repaired_via_alternate,
+            repaired_via_synthesis: self.repair_stats.repaired_via_synthesis
+                - before.repaired_via_synthesis,
+            failures: self.repair_stats.failures - before.failures,
+            setup_retransmits: self.repair_stats.setup_retransmits - before.setup_retransmits,
         }
     }
 
@@ -369,9 +616,20 @@ impl OrwgNetwork {
         self.servers.iter().map(|s| s.stats.searches).sum()
     }
 
+    /// Total data packets that hit a pre-crash handle across all gateways
+    /// (must stay 0 — see [`crate::gateway::GatewayStats::stale_forwards`]).
+    pub fn total_stale_forwards(&self) -> u64 {
+        self.gateways.iter().map(|g| g.stats.stale_forwards).sum()
+    }
+
     /// Currently open flows.
     pub fn open_flow_count(&self) -> usize {
         self.open_flows.len()
+    }
+
+    /// Iterates over the currently open flows (order unspecified).
+    pub fn open_flows(&self) -> impl Iterator<Item = (HandleId, &OpenFlow)> {
+        self.open_flows.iter().map(|(h, of)| (*h, of))
     }
 }
 
@@ -419,7 +677,10 @@ mod tests {
         let topo = line(4);
         let mut db = PolicyDb::permissive(&topo);
         let mut p = TransitPolicy::permit_all(AdId(2));
-        p.push_term(vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))], PolicyAction::Deny);
+        p.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))],
+            PolicyAction::Deny,
+        );
         db.set_policy(p);
         let mut net = OrwgNetwork::converged(&topo, &db);
         // The route server knows AD2 denies source 0: no route at all.
@@ -491,8 +752,7 @@ mod tests {
         let topo = ring(6);
         let db = PolicyDb::permissive(&topo);
         // Tiny gateway caches: 1 handle.
-        let mut net =
-            OrwgNetwork::converged_with(&topo, &db, Strategy::Cached { capacity: 64 }, 1);
+        let mut net = OrwgNetwork::converged_with(&topo, &db, Strategy::Cached { capacity: 64 }, 1);
         let f1 = FlowSpec::best_effort(AdId(0), AdId(3));
         let f2 = FlowSpec::best_effort(AdId(5), AdId(2)); // also transits AD1
         let s1 = net.open(&f1).unwrap();
@@ -579,6 +839,122 @@ mod tests {
     }
 
     #[test]
+    fn crashed_gateway_tears_down_and_is_avoided() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let s = net.open(&flow).unwrap();
+        assert_eq!(s.route, vec![AdId(0), AdId(1), AdId(2), AdId(3)]);
+        net.crash_gateway(AdId(1));
+        // The source was notified: the flow is queued for repair, the
+        // handle is dead.
+        assert_eq!(net.pending_repair_count(), 1);
+        assert_eq!(net.send(s.handle).unwrap_err(), SendError::UnknownFlow);
+        // Plain opens through the crashed AD are refused at setup…
+        match net.open(&flow) {
+            Err(OpenError::Rejected(SetupError::GatewayDown { ad })) => assert_eq!(ad, AdId(1)),
+            other => panic!("expected GatewayDown, got {other:?}"),
+        }
+        // …and the resilient source routes around the crash.
+        let s2 = net.open_resilient(&flow, 3).expect("detour exists");
+        assert_eq!(s2.route, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+        assert!(net.send(s2.handle).is_ok());
+        // After restart the original side works again, cold.
+        net.restore_gateway(AdId(1));
+        let s3 = net.open(&flow).unwrap();
+        assert_eq!(s3.route, vec![AdId(0), AdId(1), AdId(2), AdId(3)]);
+        assert_eq!(net.total_stale_forwards(), 0);
+    }
+
+    #[test]
+    fn repair_prefers_cached_alternate_over_synthesis() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let s = net.open_repairable(&flow).unwrap();
+        assert_eq!(s.route, vec![AdId(0), AdId(1), AdId(2), AdId(3)]);
+        let searches_after_open = net.total_searches();
+        let l = net.topo().link_between(AdId(1), AdId(2)).unwrap();
+        net.fail_link(l);
+        assert_eq!(net.pending_repair_count(), 1);
+        let r = net.repair_pending(3);
+        assert_eq!(r.repaired_via_alternate, 1);
+        assert_eq!(r.repaired_via_synthesis, 0);
+        assert_eq!(r.failures, 0);
+        // The spare was replayed, not re-synthesized.
+        assert_eq!(net.total_searches(), searches_after_open);
+        assert_eq!(net.open_flow_count(), 1);
+        let of = net.open_flows.values().next().unwrap();
+        assert_eq!(of.route, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+    }
+
+    #[test]
+    fn repair_falls_back_to_synthesis_when_spares_die_too() {
+        // Figure-1-style richer graph: fail a link that kills the primary,
+        // then crash an AD on the only cached spare so synthesis must run.
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        net.open_repairable(&flow).unwrap();
+        let l = net.topo().link_between(AdId(1), AdId(2)).unwrap();
+        net.fail_link(l);
+        // Break the spare (the other ring side) before repair runs.
+        let l2 = net.topo().link_between(AdId(4), AdId(5)).unwrap();
+        net.fail_link(l2);
+        let r = net.repair_pending(3);
+        // No path remains on a 6-ring with both sides cut.
+        assert_eq!(r.repaired_via_alternate, 0);
+        assert_eq!(r.failures, 1);
+        assert_eq!(net.repair_stats.failures, 1);
+    }
+
+    #[test]
+    fn setup_loss_retransmits_with_backoff() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let rp = SetupRetryPolicy {
+            max_retries: 8,
+            base_timeout_us: 1_000,
+        };
+        // Deterministic heavy loss: some attempts are lost, the eventual
+        // success carries the accumulated backoff in its latency.
+        net.set_setup_loss(0.7, 42);
+        let mut saw_retry = false;
+        for _ in 0..10 {
+            match net.open_with_retries(&flow, &rp) {
+                Ok(s) => {
+                    if s.latency_us > 3_000 {
+                        // Ring of 6: raw route latency is 3 hops × 1000µs.
+                        saw_retry = true;
+                    }
+                }
+                Err(OpenError::SetupTimeout) => saw_retry = true,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(saw_retry, "70% loss must cost at least one retransmit");
+        assert!(net.repair_stats.setup_retransmits > 0);
+        // With loss disabled the same call is loss-free.
+        net.set_setup_loss(0.0, 42);
+        let before = net.repair_stats.setup_retransmits;
+        net.open_with_retries(&flow, &rp).unwrap();
+        assert_eq!(net.repair_stats.setup_retransmits, before);
+    }
+
+    #[test]
+    fn setup_timeout_after_retry_cap() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        net.set_setup_loss(1.0, 7); // every transmission lost
+        let rp = SetupRetryPolicy {
+            max_retries: 2,
+            base_timeout_us: 500,
+        };
+        assert_eq!(
+            net.open_with_retries(&flow, &rp).unwrap_err(),
+            OpenError::SetupTimeout
+        );
+        assert_eq!(net.repair_stats.setup_retransmits, 2);
+    }
+
+    #[test]
     fn transit_ads_do_no_route_computation() {
         let mut net = permissive(6);
         for dst in [2u32, 3, 4] {
@@ -588,7 +964,11 @@ mod tests {
         // Only the source's server worked.
         assert_eq!(net.server(AdId(0)).stats.searches, 3);
         for ad in 1..6 {
-            assert_eq!(net.server(AdId(ad)).stats.searches, 0, "AD{ad} computed a route");
+            assert_eq!(
+                net.server(AdId(ad)).stats.searches,
+                0,
+                "AD{ad} computed a route"
+            );
         }
     }
 }

@@ -7,7 +7,7 @@
 //! ([`crate::synthesis::RouteServer`]); transit ADs never compute routes.
 
 use adroute_policy::PolicyDb;
-use adroute_protocols::linkstate::{Flooder, FloodMsg};
+use adroute_protocols::linkstate::{FloodMsg, Flooder};
 use adroute_sim::{Ctx, Engine, Protocol};
 use adroute_topology::{AdId, AdLevel, LinkId, Topology};
 
@@ -24,7 +24,10 @@ pub struct OrwgProtocol {
 impl OrwgProtocol {
     /// Builds the configuration from a topology and its policies.
     pub fn new(topo: &Topology, policies: PolicyDb) -> OrwgProtocol {
-        OrwgProtocol { policies, levels: topo.ads().map(|a| a.level).collect() }
+        OrwgProtocol {
+            policies,
+            levels: topo.ads().map(|a| a.level).collect(),
+        }
     }
 }
 
@@ -40,12 +43,18 @@ impl Protocol for OrwgProtocol {
     type Msg = FloodMsg;
 
     fn make_router(&self, topo: &Topology, ad: AdId) -> OrwgRouter {
-        OrwgRouter { flooder: Flooder::new(ad, topo.num_ads()) }
+        OrwgRouter {
+            flooder: Flooder::new(ad, topo.num_ads()),
+        }
     }
 
     fn on_start(&self, r: &mut OrwgRouter, ctx: &mut Ctx<'_, FloodMsg>) {
         let me = r.flooder.me;
-        r.flooder.originate(ctx, self.levels[me.index()], self.policies.policy(me).clone());
+        r.flooder.originate(
+            ctx,
+            self.levels[me.index()],
+            self.policies.policy(me).clone(),
+        );
     }
 
     fn on_message(
@@ -68,7 +77,11 @@ impl Protocol for OrwgProtocol {
         up: bool,
     ) {
         let me = r.flooder.me;
-        r.flooder.originate(ctx, self.levels[me.index()], self.policies.policy(me).clone());
+        r.flooder.originate(
+            ctx,
+            self.levels[me.index()],
+            self.policies.policy(me).clone(),
+        );
         if up {
             // Database exchange on the fresh adjacency (see
             // `Flooder::resync`): heals partitions.

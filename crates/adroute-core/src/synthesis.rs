@@ -102,7 +102,12 @@ pub struct RouteServer {
 
 impl RouteServer {
     /// A server for `ad` with the given view and strategy.
-    pub fn new(ad: AdId, view_topo: Topology, view_db: PolicyDb, strategy: Strategy) -> RouteServer {
+    pub fn new(
+        ad: AdId,
+        view_topo: Topology,
+        view_db: PolicyDb,
+        strategy: Strategy,
+    ) -> RouteServer {
         let cache = match &strategy {
             Strategy::OnDemand => LruCache::new(0),
             Strategy::Cached { capacity } | Strategy::Hybrid { capacity } => {
@@ -180,8 +185,13 @@ impl RouteServer {
     fn search(&mut self, flow: &FlowSpec) -> Option<PolicyRoute> {
         self.stats.searches += 1;
         let mut ss = SearchStats::default();
-        let route =
-            legality::legal_route_with(&self.view_topo, &self.view_db, flow, &self.selection, &mut ss)?;
+        let route = legality::legal_route_with(
+            &self.view_topo,
+            &self.view_db,
+            flow,
+            &self.selection,
+            &mut ss,
+        )?;
         self.stats.settled += ss.settled;
         self.stats.relaxations += ss.relaxations;
         // Collect the deciding PT per transit AD, to cite in the setup.
@@ -195,7 +205,11 @@ impl RouteServer {
             debug_assert!(permit.is_some(), "search returned an illegal route");
             pts.push(pt);
         }
-        Some(PolicyRoute { path: route.path, cost: route.cost, pts })
+        Some(PolicyRoute {
+            path: route.path,
+            cost: route.cost,
+            pts,
+        })
     }
 
     /// Synthesizes (or recalls) the policy route for `flow`.
@@ -225,8 +239,7 @@ impl RouteServer {
             return Vec::new();
         };
         let mut found = vec![first.clone()];
-        let transit: Vec<AdId> =
-            first.path[1..first.path.len().saturating_sub(1)].to_vec();
+        let transit: Vec<AdId> = first.path[1..first.path.len().saturating_sub(1)].to_vec();
         let base = self.selection.clone();
         for avoid in transit {
             if found.len() >= k {
@@ -357,8 +370,12 @@ mod tests {
     fn view_update_flushes_and_recomputes() {
         let topo = ring(6);
         let db = PolicyDb::permissive(&topo);
-        let mut rs =
-            RouteServer::new(AdId(0), topo.clone(), db.clone(), Strategy::Hybrid { capacity: 8 });
+        let mut rs = RouteServer::new(
+            AdId(0),
+            topo.clone(),
+            db.clone(),
+            Strategy::Hybrid { capacity: 8 },
+        );
         let f = FlowSpec::best_effort(AdId(0), AdId(3));
         rs.precompute(&[f]);
         let g = FlowSpec::best_effort(AdId(0), AdId(2));

@@ -84,7 +84,10 @@ pub fn run_traffic(net: &mut OrwgNetwork, topo: &Topology, model: &TrafficModel)
     let n = topo.num_ads() as u32;
     let hot: Vec<u32> = (0..n).filter(|x| x % 10 == 7).collect();
     let mut live: HashMap<FlowSpec, HandleId> = HashMap::new();
-    let mut report = TrafficReport { sessions: model.sessions, ..TrafficReport::default() };
+    let mut report = TrafficReport {
+        sessions: model.sessions,
+        ..TrafficReport::default()
+    };
     let searches_before = net.total_searches();
 
     for _ in 0..model.sessions {
@@ -177,7 +180,11 @@ mod tests {
     #[test]
     fn traffic_runs_and_delivers() {
         let (mut n, topo) = net(65536);
-        let model = TrafficModel { sessions: 200, seed: 1, ..Default::default() };
+        let model = TrafficModel {
+            sessions: 200,
+            seed: 1,
+            ..Default::default()
+        };
         let r = run_traffic(&mut n, &topo, &model);
         assert_eq!(r.sessions, 200);
         assert_eq!(r.unroutable, 0, "permissive ring must route everything");
@@ -211,7 +218,12 @@ mod tests {
     #[test]
     fn tiny_gateway_caches_force_resetups() {
         let (mut n, topo) = net(2);
-        let model = TrafficModel { sessions: 300, teardown_prob: 0.0, seed: 3, ..Default::default() };
+        let model = TrafficModel {
+            sessions: 300,
+            teardown_prob: 0.0,
+            seed: 3,
+            ..Default::default()
+        };
         let r = run_traffic(&mut n, &topo, &model);
         assert!(r.resetups > 0, "capacity-2 gateway caches must churn");
     }
@@ -220,7 +232,11 @@ mod tests {
     fn deterministic() {
         let run = || {
             let (mut n, topo) = net(128);
-            let model = TrafficModel { sessions: 150, seed: 9, ..Default::default() };
+            let model = TrafficModel {
+                sessions: 150,
+                seed: 9,
+                ..Default::default()
+            };
             let r = run_traffic(&mut n, &topo, &model);
             (r.setups, r.resetups, r.packets, r.header_bytes, r.searches)
         };
@@ -235,7 +251,11 @@ mod tests {
         db.set_policy(adroute_policy::TransitPolicy::deny_all(AdId(1)));
         db.set_policy(adroute_policy::TransitPolicy::deny_all(AdId(4)));
         let mut n = OrwgNetwork::converged(&topo, &db);
-        let model = TrafficModel { sessions: 200, seed: 5, ..Default::default() };
+        let model = TrafficModel {
+            sessions: 200,
+            seed: 5,
+            ..Default::default()
+        };
         let r = run_traffic(&mut n, &topo, &model);
         assert!(r.unroutable > 0);
         assert!(r.packets > 0, "some flows still work");

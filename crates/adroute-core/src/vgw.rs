@@ -34,7 +34,9 @@ impl VirtualGateway {
         assert!(replicas > 0, "a virtual gateway needs at least one PG");
         VirtualGateway {
             ad,
-            replicas: (0..replicas).map(|_| PolicyGateway::new(ad, capacity_each)).collect(),
+            replicas: (0..replicas)
+                .map(|_| PolicyGateway::new(ad, capacity_each))
+                .collect(),
             alive: vec![true; replicas],
         }
     }
@@ -53,8 +55,9 @@ impl VirtualGateway {
     /// alive replicas (so the same handle always lands on the same PG
     /// while the alive-set is stable).
     fn pick(&self, handle: HandleId) -> Option<usize> {
-        let alive: Vec<usize> =
-            (0..self.replicas.len()).filter(|&i| self.alive[i]).collect();
+        let alive: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| self.alive[i])
+            .collect();
         if alive.is_empty() {
             return None;
         }
@@ -94,12 +97,28 @@ impl VirtualGateway {
     /// a re-setup — the reliability model of the paper's footnote.
     pub fn fail_replica(&mut self, i: usize) {
         self.alive[i] = false;
-        self.replicas[i].invalidate(|_| true);
+        self.replicas[i].crash();
     }
 
     /// Restores a failed replica (empty-cached).
     pub fn restore_replica(&mut self, i: usize) {
         self.alive[i] = true;
+        self.replicas[i].restart();
+    }
+
+    /// Crashes the whole virtual gateway (every replica at once): the AD
+    /// drops out of the data plane until [`VirtualGateway::restart`].
+    pub fn crash(&mut self) {
+        for i in 0..self.replicas.len() {
+            self.fail_replica(i);
+        }
+    }
+
+    /// Restarts every replica cold.
+    pub fn restart(&mut self) {
+        for i in 0..self.replicas.len() {
+            self.restore_replica(i);
+        }
     }
 
     /// Total cached handles across replicas.
@@ -120,6 +139,7 @@ impl VirtualGateway {
             agg.setups_rejected += r.stats.setups_rejected;
             agg.data_forwarded += r.stats.data_forwarded;
             agg.data_dropped += r.stats.data_dropped;
+            agg.stale_forwards += r.stats.stale_forwards;
         }
         agg
     }
@@ -140,7 +160,10 @@ mod tests {
     }
 
     fn pkt(handle: u64) -> DataPacket {
-        DataPacket { handle: HandleId(handle), src: AdId(0) }
+        DataPacket {
+            handle: HandleId(handle),
+            src: AdId(0),
+        }
     }
 
     #[test]
@@ -152,7 +175,10 @@ mod tests {
         }
         let load = vg.load();
         assert_eq!(load.iter().sum::<usize>(), 90);
-        assert!(load.iter().all(|&l| l > 10), "unbalanced striping: {load:?}");
+        assert!(
+            load.iter().all(|&l| l > 10),
+            "unbalanced striping: {load:?}"
+        );
         assert_eq!(vg.stats().setups_ok, 90);
         assert_eq!(vg.replica_count(), 3);
     }

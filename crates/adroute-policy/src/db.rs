@@ -101,9 +101,17 @@ mod tests {
         let mut db = PolicyDb::permissive(&t);
         db.set_policy(TransitPolicy::deny_all(AdId(1)));
         let f = crate::FlowSpec::best_effort(AdId(0), AdId(2));
-        assert_eq!(db.policy(AdId(1)).evaluate(&f, Some(AdId(0)), Some(AdId(2))), None);
+        assert_eq!(
+            db.policy(AdId(1))
+                .evaluate(&f, Some(AdId(0)), Some(AdId(2))),
+            None
+        );
         db.policy_mut(AdId(1)).default = PolicyAction::Permit { cost: 3 };
-        assert_eq!(db.policy(AdId(1)).evaluate(&f, Some(AdId(0)), Some(AdId(2))), Some(3));
+        assert_eq!(
+            db.policy(AdId(1))
+                .evaluate(&f, Some(AdId(0)), Some(AdId(2))),
+            Some(3)
+        );
     }
 
     #[test]

@@ -56,12 +56,14 @@ pub struct SearchStats {
 /// path — and every link is operational. Endpoint ADs do not evaluate
 /// transit policy (Section 2.3: policy routing is resource control, not
 /// end-system access control).
-pub fn legal_route(
-    topo: &Topology,
-    db: &PolicyDb,
-    flow: &FlowSpec,
-) -> Option<LegalRoute> {
-    legal_route_with(topo, db, flow, &RouteSelection::unconstrained(), &mut SearchStats::default())
+pub fn legal_route(topo: &Topology, db: &PolicyDb, flow: &FlowSpec) -> Option<LegalRoute> {
+    legal_route_with(
+        topo,
+        db,
+        flow,
+        &RouteSelection::unconstrained(),
+        &mut SearchStats::default(),
+    )
 }
 
 /// Full-control variant of [`legal_route`]: honors the source's
@@ -77,7 +79,10 @@ pub fn legal_route_with(
     stats: &mut SearchStats,
 ) -> Option<LegalRoute> {
     if flow.src == flow.dst {
-        return Some(LegalRoute { path: vec![flow.src], cost: 0 });
+        return Some(LegalRoute {
+            path: vec![flow.src],
+            cost: 0,
+        });
     }
     let n = topo.num_ads();
     if flow.src.index() >= n || flow.dst.index() >= n {
@@ -215,7 +220,12 @@ fn legal_route_min_hops(
             if nbr == prev && cur != flow.src {
                 continue;
             }
-            if cur != flow.src && db.policy(cur).evaluate(flow, Some(prev), Some(nbr)).is_none() {
+            if cur != flow.src
+                && db
+                    .policy(cur)
+                    .evaluate(flow, Some(prev), Some(nbr))
+                    .is_none()
+            {
                 continue;
             }
             if nbr != flow.dst && !selection.allows_transit(nbr) {
@@ -283,7 +293,10 @@ pub fn legal_route_bruteforce(
         if cur == flow.dst {
             if let Some(cost) = route_is_legal(topo, db, flow, path) {
                 if best.as_ref().is_none_or(|b| cost < b.cost) {
-                    *best = Some(LegalRoute { path: path.clone(), cost });
+                    *best = Some(LegalRoute {
+                        path: path.clone(),
+                        cost,
+                    });
                 }
             }
             return;
@@ -299,7 +312,10 @@ pub fn legal_route_bruteforce(
         }
     }
     if flow.src == flow.dst {
-        return Some(LegalRoute { path: vec![flow.src], cost: 0 });
+        return Some(LegalRoute {
+            path: vec![flow.src],
+            cost: 0,
+        });
     }
     let mut best = None;
     let mut on_path = vec![false; topo.num_ads()];
@@ -384,9 +400,15 @@ mod tests {
         let p = [AdId(0), AdId(1), AdId(2), AdId(3)];
         assert_eq!(route_is_legal(&t, &db, &f, &p), Some(3 + 5));
         // wrong endpoints
-        assert_eq!(route_is_legal(&t, &db, &f, &[AdId(1), AdId(2), AdId(3)]), None);
+        assert_eq!(
+            route_is_legal(&t, &db, &f, &[AdId(1), AdId(2), AdId(3)]),
+            None
+        );
         // non-adjacent
-        assert_eq!(route_is_legal(&t, &db, &f, &[AdId(0), AdId(2), AdId(3)]), None);
+        assert_eq!(
+            route_is_legal(&t, &db, &f, &[AdId(0), AdId(2), AdId(3)]),
+            None
+        );
         // denial on path
         db.set_policy(TransitPolicy::deny_all(AdId(2)));
         assert_eq!(route_is_legal(&t, &db, &f, &p), None);
@@ -409,7 +431,10 @@ mod tests {
         let t = line(5);
         let db = PolicyDb::permissive(&t);
         let f = FlowSpec::best_effort(AdId(0), AdId(4));
-        let sel = RouteSelection { max_cost: Some(3), ..RouteSelection::unconstrained() };
+        let sel = RouteSelection {
+            max_cost: Some(3),
+            ..RouteSelection::unconstrained()
+        };
         let mut stats = SearchStats::default();
         assert!(legal_route_with(&t, &db, &f, &sel, &mut stats).is_none());
     }
@@ -420,22 +445,25 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(42);
         for trial in 0..30 {
-            let t = if trial % 2 == 0 { ring(6) } else { adroute_topology::generate::grid(2, 3) };
+            let t = if trial % 2 == 0 {
+                ring(6)
+            } else {
+                adroute_topology::generate::grid(2, 3)
+            };
             let mut db = PolicyDb::permissive(&t);
             for ad in t.ad_ids() {
                 if rng.gen_bool(0.4) {
                     let p = db.policy_mut(ad);
-                    let denied: Vec<AdId> = t
-                        .ad_ids()
-                        .filter(|_| rng.gen_bool(0.3))
-                        .collect();
+                    let denied: Vec<AdId> = t.ad_ids().filter(|_| rng.gen_bool(0.3)).collect();
                     p.push_term(
                         vec![PolicyCondition::SrcIn(AdSet::only(denied))],
                         PolicyAction::Deny,
                     );
                 }
                 if rng.gen_bool(0.3) {
-                    db.policy_mut(ad).default = PolicyAction::Permit { cost: rng.gen_range(0..5) };
+                    db.policy_mut(ad).default = PolicyAction::Permit {
+                        cost: rng.gen_range(0..5),
+                    };
                 }
             }
             let src = AdId(rng.gen_range(0..t.num_ads() as u32));

@@ -183,7 +183,8 @@ pub fn solve_with_replication(
     // a replicated AD picks the FIB by address, but plain references to
     // neighbors use their primary identity.
     let mut next_deny_replica = vec![0usize; n];
-    let logical = |ad: AdId, cluster: usize, base: &[usize]| AdId((base[ad.index()] + cluster) as u32);
+    let logical =
+        |ad: AdId, cluster: usize, base: &[usize]| AdId((base[ad.index()] + cluster) as u32);
     let rewritten: Vec<OrderingConstraint> = constraints
         .iter()
         .map(|c| match *c {
@@ -223,10 +224,7 @@ pub fn solve_with_replication(
 /// revise). Returns the satisfying ranks for the kept set and the indices
 /// of dropped constraints. Greedy, hence minimal only per-prefix — but
 /// deterministic, which is what the E3 measurements need.
-pub fn greedy_negotiate(
-    n: usize,
-    constraints: &[OrderingConstraint],
-) -> (Vec<u32>, Vec<usize>) {
+pub fn greedy_negotiate(n: usize, constraints: &[OrderingConstraint]) -> (Vec<u32>, Vec<usize>) {
     let mut kept: Vec<OrderingConstraint> = Vec::with_capacity(constraints.len());
     let mut dropped = Vec::new();
     let mut ranks = vec![0u32; n];
@@ -311,7 +309,11 @@ mod tests {
 
     #[test]
     fn single_deny_is_satisfiable() {
-        let c = [OrderingConstraint::Deny { via: AdId(1), from: AdId(0), to: AdId(2) }];
+        let c = [OrderingConstraint::Deny {
+            via: AdId(1),
+            from: AdId(0),
+            to: AdId(2),
+        }];
         let s = solve_ordering(3, &c);
         let r = s.ranks().unwrap().to_vec();
         assert!(check_ordering(&r, &c));
@@ -322,16 +324,32 @@ mod tests {
     fn deny_cycle_is_unsatisfiable() {
         // a below b&c; b below c&a; c below a&b — impossible.
         let c = [
-            OrderingConstraint::Deny { via: AdId(0), from: AdId(1), to: AdId(2) },
-            OrderingConstraint::Deny { via: AdId(1), from: AdId(2), to: AdId(0) },
-            OrderingConstraint::Deny { via: AdId(2), from: AdId(0), to: AdId(1) },
+            OrderingConstraint::Deny {
+                via: AdId(0),
+                from: AdId(1),
+                to: AdId(2),
+            },
+            OrderingConstraint::Deny {
+                via: AdId(1),
+                from: AdId(2),
+                to: AdId(0),
+            },
+            OrderingConstraint::Deny {
+                via: AdId(2),
+                from: AdId(0),
+                to: AdId(1),
+            },
         ];
         assert!(!solve_ordering(3, &c).is_satisfiable());
     }
 
     #[test]
     fn permit_alone_is_trivially_satisfiable() {
-        let c = [OrderingConstraint::Permit { via: AdId(0), from: AdId(1), to: AdId(2) }];
+        let c = [OrderingConstraint::Permit {
+            via: AdId(0),
+            from: AdId(1),
+            to: AdId(2),
+        }];
         let s = solve_ordering(3, &c);
         assert!(check_ordering(s.ranks().unwrap(), &c));
     }
@@ -341,8 +359,16 @@ mod tests {
         // Deny forces via below both; a Permit on the same triple demands
         // the opposite. Unsatisfiable.
         let c = [
-            OrderingConstraint::Deny { via: AdId(0), from: AdId(1), to: AdId(2) },
-            OrderingConstraint::Permit { via: AdId(0), from: AdId(1), to: AdId(2) },
+            OrderingConstraint::Deny {
+                via: AdId(0),
+                from: AdId(1),
+                to: AdId(2),
+            },
+            OrderingConstraint::Permit {
+                via: AdId(0),
+                from: AdId(1),
+                to: AdId(2),
+            },
         ];
         assert!(!solve_ordering(3, &c).is_satisfiable());
     }
@@ -352,8 +378,16 @@ mod tests {
         // Deny raises 1 and 2 above 0; Permit(via=3, from=1, to=2) then
         // requires 3 ≥ min(1,2)'s rank — solvable by raising 3.
         let c = [
-            OrderingConstraint::Deny { via: AdId(0), from: AdId(1), to: AdId(2) },
-            OrderingConstraint::Permit { via: AdId(3), from: AdId(1), to: AdId(2) },
+            OrderingConstraint::Deny {
+                via: AdId(0),
+                from: AdId(1),
+                to: AdId(2),
+            },
+            OrderingConstraint::Permit {
+                via: AdId(3),
+                from: AdId(1),
+                to: AdId(2),
+            },
         ];
         let s = solve_ordering(4, &c);
         let r = s.ranks().unwrap().to_vec();
@@ -363,7 +397,11 @@ mod tests {
 
     #[test]
     fn least_fixpoint_is_minimal() {
-        let c = [OrderingConstraint::Deny { via: AdId(0), from: AdId(1), to: AdId(2) }];
+        let c = [OrderingConstraint::Deny {
+            via: AdId(0),
+            from: AdId(1),
+            to: AdId(2),
+        }];
         let s = solve_ordering(3, &c);
         // Least solution: via stays at 0, others at 1.
         assert_eq!(s.ranks().unwrap(), &[0, 1, 1]);
@@ -372,7 +410,11 @@ mod tests {
     #[test]
     fn solution_converts_to_partial_order() {
         let t = line(3);
-        let c = [OrderingConstraint::Deny { via: AdId(1), from: AdId(0), to: AdId(2) }];
+        let c = [OrderingConstraint::Deny {
+            via: AdId(1),
+            from: AdId(0),
+            to: AdId(2),
+        }];
         let po = solve_ordering(3, &c).into_partial_order(&t).unwrap();
         // 0 -> 1 is down, 1 -> 2 is up: valley forbidden — AD1's policy
         // is enforced by the ordering.
@@ -414,9 +456,21 @@ mod tests {
         // deny can live on its AD's low-ranked logical cluster while the
         // primaries stay unordered:
         let c = [
-            OrderingConstraint::Deny { via: AdId(0), from: AdId(1), to: AdId(2) },
-            OrderingConstraint::Deny { via: AdId(1), from: AdId(2), to: AdId(0) },
-            OrderingConstraint::Deny { via: AdId(2), from: AdId(0), to: AdId(1) },
+            OrderingConstraint::Deny {
+                via: AdId(0),
+                from: AdId(1),
+                to: AdId(2),
+            },
+            OrderingConstraint::Deny {
+                via: AdId(1),
+                from: AdId(2),
+                to: AdId(0),
+            },
+            OrderingConstraint::Deny {
+                via: AdId(2),
+                from: AdId(0),
+                to: AdId(1),
+            },
         ];
         assert!(!solve_ordering(3, &c).is_satisfiable());
         let (sat, nodes) = solve_with_replication(3, &c, 2);
@@ -425,8 +479,16 @@ mod tests {
         // A deny/permit conflict on one AD is likewise rescued: the permit
         // stays on the (unconstrained) primary cluster.
         let c2 = [
-            OrderingConstraint::Deny { via: AdId(0), from: AdId(1), to: AdId(2) },
-            OrderingConstraint::Permit { via: AdId(0), from: AdId(1), to: AdId(2) },
+            OrderingConstraint::Deny {
+                via: AdId(0),
+                from: AdId(1),
+                to: AdId(2),
+            },
+            OrderingConstraint::Permit {
+                via: AdId(0),
+                from: AdId(1),
+                to: AdId(2),
+            },
         ];
         assert!(!solve_ordering(3, &c2).is_satisfiable());
         let (sat, nodes) = solve_with_replication(3, &c2, 2);
@@ -437,12 +499,28 @@ mod tests {
     #[test]
     fn negotiation_drops_the_conflicting_constraint() {
         let c = [
-            OrderingConstraint::Deny { via: AdId(0), from: AdId(1), to: AdId(2) },
-            OrderingConstraint::Permit { via: AdId(0), from: AdId(1), to: AdId(2) },
-            OrderingConstraint::Deny { via: AdId(3), from: AdId(1), to: AdId(2) },
+            OrderingConstraint::Deny {
+                via: AdId(0),
+                from: AdId(1),
+                to: AdId(2),
+            },
+            OrderingConstraint::Permit {
+                via: AdId(0),
+                from: AdId(1),
+                to: AdId(2),
+            },
+            OrderingConstraint::Deny {
+                via: AdId(3),
+                from: AdId(1),
+                to: AdId(2),
+            },
         ];
         let (ranks, dropped) = greedy_negotiate(4, &c);
-        assert_eq!(dropped, vec![1], "the later, conflicting permit is revised away");
+        assert_eq!(
+            dropped,
+            vec![1],
+            "the later, conflicting permit is revised away"
+        );
         let kept = [c[0], c[2]];
         assert!(check_ordering(&ranks, &kept));
     }
@@ -476,7 +554,11 @@ mod tests {
 
     #[test]
     fn replication_with_one_replica_is_exact() {
-        let c = [OrderingConstraint::Deny { via: AdId(0), from: AdId(1), to: AdId(2) }];
+        let c = [OrderingConstraint::Deny {
+            via: AdId(0),
+            from: AdId(1),
+            to: AdId(2),
+        }];
         let (sat, nodes) = solve_with_replication(3, &c, 1);
         assert!(sat);
         assert_eq!(nodes, 3);
@@ -497,8 +579,14 @@ mod tests {
                 doubled += 1;
             }
         }
-        assert!(doubled >= single, "replication must never hurt: {doubled} vs {single}");
-        assert!(doubled > single, "with 3 clusters some conflicts should resolve");
+        assert!(
+            doubled >= single,
+            "replication must never hurt: {doubled} vs {single}"
+        );
+        assert!(
+            doubled > single,
+            "with 3 clusters some conflicts should resolve"
+        );
     }
 
     proptest::proptest! {

@@ -71,12 +71,18 @@ impl AdSet {
         use AdSet::*;
         match (self, other) {
             (Any, x) | (x, Any) => x.clone(),
-            (Only(a), Only(b)) => {
-                AdSet::Only(a.iter().copied().filter(|x| b.binary_search(x).is_ok()).collect())
-            }
-            (Only(a), Except(b)) | (Except(b), Only(a)) => {
-                AdSet::Only(a.iter().copied().filter(|x| b.binary_search(x).is_err()).collect())
-            }
+            (Only(a), Only(b)) => AdSet::Only(
+                a.iter()
+                    .copied()
+                    .filter(|x| b.binary_search(x).is_ok())
+                    .collect(),
+            ),
+            (Only(a), Except(b)) | (Except(b), Only(a)) => AdSet::Only(
+                a.iter()
+                    .copied()
+                    .filter(|x| b.binary_search(x).is_err())
+                    .collect(),
+            ),
             (Except(a), Except(b)) => {
                 let mut v: Vec<AdId> = a.iter().chain(b.iter()).copied().collect();
                 v.sort_unstable();
@@ -232,7 +238,12 @@ impl PolicyTerm {
 
     /// Approximate encoded size in bytes (id + action + conditions).
     pub fn encoded_size(&self) -> usize {
-        6 + 5 + self.conditions.iter().map(|c| c.encoded_size()).sum::<usize>()
+        6 + 5
+            + self
+                .conditions
+                .iter()
+                .map(|c| c.encoded_size())
+                .sum::<usize>()
     }
 }
 
@@ -257,23 +268,34 @@ impl TransitPolicy {
     /// A policy that permits all transit at cost 0 — the "least restrictive
     /// polic\[y\] possible" the paper urges ADs to adopt.
     pub fn permit_all(ad: AdId) -> TransitPolicy {
-        TransitPolicy { ad, terms: Vec::new(), default: PolicyAction::Permit { cost: 0 } }
+        TransitPolicy {
+            ad,
+            terms: Vec::new(),
+            default: PolicyAction::Permit { cost: 0 },
+        }
     }
 
     /// A policy that denies all transit — what a stub or multi-homed stub
     /// advertises.
     pub fn deny_all(ad: AdId) -> TransitPolicy {
-        TransitPolicy { ad, terms: Vec::new(), default: PolicyAction::Deny }
+        TransitPolicy {
+            ad,
+            terms: Vec::new(),
+            default: PolicyAction::Deny,
+        }
     }
 
     /// Appends a term, assigning the next serial. Returns the new term's id.
-    pub fn push_term(
-        &mut self,
-        conditions: Vec<PolicyCondition>,
-        action: PolicyAction,
-    ) -> PtId {
-        let id = PtId { ad: self.ad, serial: self.terms.len() as u16 };
-        self.terms.push(PolicyTerm { id, conditions, action });
+    pub fn push_term(&mut self, conditions: Vec<PolicyCondition>, action: PolicyAction) -> PtId {
+        let id = PtId {
+            ad: self.ad,
+            serial: self.terms.len() as u16,
+        };
+        self.terms.push(PolicyTerm {
+            id,
+            conditions,
+            action,
+        });
         id
     }
 
@@ -285,12 +307,7 @@ impl TransitPolicy {
     /// source / destination respectively — but note that an AD never
     /// evaluates its own transit policy for flows it originates or
     /// terminates (see [`TransitPolicy::evaluate_on_path`]).
-    pub fn evaluate(
-        &self,
-        flow: &FlowSpec,
-        prev: Option<AdId>,
-        next: Option<AdId>,
-    ) -> Option<u32> {
+    pub fn evaluate(&self, flow: &FlowSpec, prev: Option<AdId>, next: Option<AdId>) -> Option<u32> {
         let action = self
             .terms
             .iter()
@@ -367,7 +384,11 @@ pub struct RouteSelection {
 impl RouteSelection {
     /// No source-side constraints.
     pub fn unconstrained() -> RouteSelection {
-        RouteSelection { avoid: AdSet::Only(Vec::new()), max_cost: None, max_hops: None }
+        RouteSelection {
+            avoid: AdSet::Only(Vec::new()),
+            max_cost: None,
+            max_hops: None,
+        }
     }
 
     /// Avoid the listed transit ADs.
@@ -490,17 +511,24 @@ mod tests {
         assert!(PolicyCondition::QosIn(vec![QosClass(0)]).matches(&f, None, None));
         assert!(!PolicyCondition::QosIn(vec![QosClass(1)]).matches(&f, None, None));
         assert!(PolicyCondition::UciIn(vec![UserClass(0)]).matches(&f, None, None));
-        assert!(PolicyCondition::TimeWindow(TimeOfDay::hm(9, 0), TimeOfDay::hm(17, 0))
-            .matches(&f, None, None));
-        assert!(!PolicyCondition::TimeWindow(TimeOfDay::hm(0, 0), TimeOfDay::hm(1, 0))
-            .matches(&f, None, None));
+        assert!(
+            PolicyCondition::TimeWindow(TimeOfDay::hm(9, 0), TimeOfDay::hm(17, 0))
+                .matches(&f, None, None)
+        );
+        assert!(
+            !PolicyCondition::TimeWindow(TimeOfDay::hm(0, 0), TimeOfDay::hm(1, 0))
+                .matches(&f, None, None)
+        );
     }
 
     #[test]
     fn first_match_wins() {
         let mut p = TransitPolicy::permit_all(AdId(5));
         // Deny traffic sourced at AD0 …
-        p.push_term(vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))], PolicyAction::Deny);
+        p.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))],
+            PolicyAction::Deny,
+        );
         // … but this later, broader permit never fires for AD0 sources.
         p.push_term(vec![], PolicyAction::Permit { cost: 7 });
         let f = flow();
@@ -552,11 +580,17 @@ mod tests {
         assert!(rs.accepts(&[AdId(0), AdId(9)], 1));
         assert!(!rs.allows_transit(AdId(5)));
 
-        let rs2 = RouteSelection { max_cost: Some(5), ..RouteSelection::unconstrained() };
+        let rs2 = RouteSelection {
+            max_cost: Some(5),
+            ..RouteSelection::unconstrained()
+        };
         assert!(!rs2.accepts(&[AdId(0), AdId(1), AdId(9)], 6));
         assert!(rs2.accepts(&[AdId(0), AdId(1), AdId(9)], 5));
 
-        let rs3 = RouteSelection { max_hops: Some(2), ..RouteSelection::unconstrained() };
+        let rs3 = RouteSelection {
+            max_hops: Some(2),
+            ..RouteSelection::unconstrained()
+        };
         assert!(rs3.accepts(&[AdId(0), AdId(1), AdId(9)], 100));
         assert!(!rs3.accepts(&[AdId(0), AdId(1), AdId(2), AdId(9)], 100));
     }

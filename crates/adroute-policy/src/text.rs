@@ -94,7 +94,9 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { message: message.into() })
+    Err(ParseError {
+        message: message.into(),
+    })
 }
 
 /// A tiny hand-rolled tokenizer: words, numbers, and punctuation.
@@ -162,9 +164,9 @@ fn parse_ad(word: &str) -> Result<AdId, ParseError> {
 
 fn parse_number(lx: &mut Lexer<'_>) -> Result<u32, ParseError> {
     match lx.next() {
-        Some(Tok::Word(w)) => {
-            w.parse::<u32>().map_err(|_| ParseError { message: format!("expected number, found '{w}'") })
-        }
+        Some(Tok::Word(w)) => w.parse::<u32>().map_err(|_| ParseError {
+            message: format!("expected number, found '{w}'"),
+        }),
         other => err(format!("expected number, found {other:?}")),
     }
 }
@@ -223,12 +225,16 @@ fn parse_class_list(lx: &mut Lexer<'_>) -> Result<Vec<u8>, ParseError> {
 /// Parses `HH:MM-HH:MM`.
 fn parse_time_window(lx: &mut Lexer<'_>) -> Result<(TimeOfDay, TimeOfDay), ParseError> {
     let parse_hm = |w: &str| -> Result<TimeOfDay, ParseError> {
-        let (h, m) = w
-            .split_once(':')
-            .ok_or(ParseError { message: format!("expected HH:MM, found '{w}'") })?;
+        let (h, m) = w.split_once(':').ok_or(ParseError {
+            message: format!("expected HH:MM, found '{w}'"),
+        })?;
         let (h, m) = (
-            h.parse::<u16>().map_err(|_| ParseError { message: format!("bad hour '{h}'") })?,
-            m.parse::<u16>().map_err(|_| ParseError { message: format!("bad minute '{m}'") })?,
+            h.parse::<u16>().map_err(|_| ParseError {
+                message: format!("bad hour '{h}'"),
+            })?,
+            m.parse::<u16>().map_err(|_| ParseError {
+                message: format!("bad minute '{m}'"),
+            })?,
         );
         if h >= 24 || m >= 60 {
             return err(format!("time out of range: {h}:{m}"));
@@ -257,7 +263,11 @@ pub fn parse_policy(input: &str) -> Result<TransitPolicy, ParseError> {
         other => return err(format!("expected AD id, found {other:?}")),
     };
     lx.expect_punct('{')?;
-    let mut policy = TransitPolicy { ad, terms: Vec::new(), default: PolicyAction::Deny };
+    let mut policy = TransitPolicy {
+        ad,
+        terms: Vec::new(),
+        default: PolicyAction::Deny,
+    };
     let mut saw_default = false;
     loop {
         match lx.next() {
@@ -303,14 +313,16 @@ pub fn parse_policy(input: &str) -> Result<TransitPolicy, ParseError> {
                         Some(Tok::Word("qos")) => {
                             let _ = lx.next();
                             let list = parse_class_list(&mut lx)?;
-                            conditions
-                                .push(PolicyCondition::QosIn(list.into_iter().map(QosClass).collect()));
+                            conditions.push(PolicyCondition::QosIn(
+                                list.into_iter().map(QosClass).collect(),
+                            ));
                         }
                         Some(Tok::Word("uci")) => {
                             let _ = lx.next();
                             let list = parse_class_list(&mut lx)?;
-                            conditions
-                                .push(PolicyCondition::UciIn(list.into_iter().map(UserClass).collect()));
+                            conditions.push(PolicyCondition::UciIn(
+                                list.into_iter().map(UserClass).collect(),
+                            ));
                         }
                         Some(Tok::Word("time")) => {
                             let _ = lx.next();
@@ -325,7 +337,9 @@ pub fn parse_policy(input: &str) -> Result<TransitPolicy, ParseError> {
                     }
                 }
                 let action = if kw == "permit" {
-                    PolicyAction::Permit { cost: cost.unwrap_or(0) }
+                    PolicyAction::Permit {
+                        cost: cost.unwrap_or(0),
+                    }
                 } else {
                     if cost.is_some() {
                         return err("deny terms cannot carry a cost");
@@ -357,13 +371,15 @@ pub fn format_policies(db: &crate::db::PolicyDb) -> String {
 /// ADs `0..num_ads`. ADs without a block get a permit-all policy (the
 /// paper's "least restrictive policies possible" default).
 pub fn parse_policies(input: &str, num_ads: usize) -> Result<crate::db::PolicyDb, ParseError> {
-    let mut policies: Vec<TransitPolicy> =
-        (0..num_ads as u32).map(|i| TransitPolicy::permit_all(AdId(i))).collect();
+    let mut policies: Vec<TransitPolicy> = (0..num_ads as u32)
+        .map(|i| TransitPolicy::permit_all(AdId(i)))
+        .collect();
     // Split on 'policy' keyword occurrences at line starts.
     let mut starts: Vec<usize> = Vec::new();
     for (off, _) in input.match_indices("policy") {
-        let at_line_start =
-            off == 0 || input[..off].trim_end_matches([' ', '\t']).ends_with('\n') || input[..off].trim().is_empty();
+        let at_line_start = off == 0
+            || input[..off].trim_end_matches([' ', '\t']).ends_with('\n')
+            || input[..off].trim().is_empty();
         if at_line_start {
             starts.push(off);
         }
@@ -374,7 +390,10 @@ pub fn parse_policies(input: &str, num_ads: usize) -> Result<crate::db::PolicyDb
         let p = parse_policy(block)?;
         let idx = p.ad.index();
         if idx >= num_ads {
-            return err(format!("policy for {} outside the {num_ads}-AD topology", p.ad));
+            return err(format!(
+                "policy for {} outside the {num_ads}-AD topology",
+                p.ad
+            ));
         }
         policies[idx] = p;
     }
@@ -474,7 +493,9 @@ mod tests {
         assert!(parse_policy("policy AD5 { default permit 0; } trailing").is_ok()); // trailing ignored
         assert!(parse_policy("policy AD5 { }").is_err(), "default required");
         assert!(parse_policy("policy AD5 { deny cost 3; default deny; }").is_err());
-        assert!(parse_policy("policy AD5 { permit time 25:00-07:00 cost 0; default deny; }").is_err());
+        assert!(
+            parse_policy("policy AD5 { permit time 25:00-07:00 cost 0; default deny; }").is_err()
+        );
         assert!(parse_policy("policy AD5 { frobnicate; default deny; }").is_err());
     }
 
@@ -503,8 +524,16 @@ mod tests {
         let text = "policy AD2 { default deny; }";
         let db = parse_policies(text, 4).unwrap();
         let f = FlowSpec::best_effort(AdId(0), AdId(3));
-        assert_eq!(db.policy(AdId(1)).evaluate(&f, Some(AdId(0)), Some(AdId(2))), Some(0));
-        assert_eq!(db.policy(AdId(2)).evaluate(&f, Some(AdId(0)), Some(AdId(3))), None);
+        assert_eq!(
+            db.policy(AdId(1))
+                .evaluate(&f, Some(AdId(0)), Some(AdId(2))),
+            Some(0)
+        );
+        assert_eq!(
+            db.policy(AdId(2))
+                .evaluate(&f, Some(AdId(0)), Some(AdId(3))),
+            None
+        );
         // Out-of-range policy rejected.
         assert!(parse_policies("policy AD9 { default deny; }", 4).is_err());
     }

@@ -106,7 +106,11 @@ impl PolicyWorkload {
     /// Generates the per-AD policies for `topo`.
     pub fn generate(&self, topo: &Topology) -> PolicyDb {
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let cones = if self.customer_cone { Some(customer_cones(topo)) } else { None };
+        let cones = if self.customer_cone {
+            Some(customer_cones(topo))
+        } else {
+            None
+        };
 
         let policies = topo
             .ads()
@@ -238,8 +242,7 @@ mod tests {
         let db = PolicyWorkload::structural(1).generate(&topo);
         for ad in topo.ads() {
             let f = FlowSpec::best_effort(AdId(0), AdId(1));
-            let verdict =
-                db.policy(ad.id).evaluate(&f, Some(AdId(0)), Some(AdId(1)));
+            let verdict = db.policy(ad.id).evaluate(&f, Some(AdId(0)), Some(AdId(1)));
             match ad.role {
                 AdRole::Stub | AdRole::MultiHomedStub => assert_eq!(verdict, None),
                 _ => assert!(verdict.is_some()),

@@ -55,7 +55,11 @@ pub struct EcmaAdConfig {
 
 impl Default for EcmaAdConfig {
     fn default() -> Self {
-        EcmaAdConfig { supported_qos: vec![QosClass::BEST_EFFORT], transit_dests: None, no_transit: false }
+        EcmaAdConfig {
+            supported_qos: vec![QosClass::BEST_EFFORT],
+            transit_dests: None,
+            no_transit: false,
+        }
     }
 }
 
@@ -86,7 +90,12 @@ impl Ecma {
                 ..EcmaAdConfig::default()
             })
             .collect();
-        Ecma { ranks, qos_classes: 1, ad_config, infinity: 1 << 20 }
+        Ecma {
+            ranks,
+            qos_classes: 1,
+            ad_config,
+            infinity: 1 << 20,
+        }
     }
 
     /// A configuration in which **every** AD offers transit, regardless of
@@ -152,7 +161,10 @@ impl Ecma {
     }
 
     fn supports(&self, ad: AdId, qos: u8) -> bool {
-        qos == 0 || self.ad_config[ad.index()].supported_qos.contains(&QosClass(qos))
+        qos == 0
+            || self.ad_config[ad.index()]
+                .supported_qos
+                .contains(&QosClass(qos))
     }
 
     fn recompute(&self, r: &mut EcmaRouter, ctx: &Ctx<'_, EcmaUpdate>) -> bool {
@@ -164,10 +176,15 @@ impl Ecma {
                 let slot = dest_i * nq + qos as usize;
                 let mut best = EcmaEntry::unreachable(self.infinity);
                 if dest_i == r.me.index() {
-                    best = EcmaEntry { any: (0, None), alldown: (0, None) };
+                    best = EcmaEntry {
+                        any: (0, None),
+                        alldown: (0, None),
+                    };
                 } else {
                     for &(nbr, link) in &neighbors {
-                        let Some(v) = r.adv_in.get(&nbr) else { continue };
+                        let Some(v) = r.adv_in.get(&nbr) else {
+                            continue;
+                        };
                         let adv = v[slot];
                         let w = ctx.link_metric(link);
                         if self.hop_is_up(r.me, nbr) {
@@ -231,7 +248,12 @@ impl Ecma {
             }
         }
         for (nbr, _) in ctx.neighbors() {
-            ctx.send(nbr, EcmaUpdate { entries: entries.clone() });
+            ctx.send(
+                nbr,
+                EcmaUpdate {
+                    entries: entries.clone(),
+                },
+            );
         }
     }
 }
@@ -247,7 +269,10 @@ pub struct EcmaEntry {
 
 impl EcmaEntry {
     fn unreachable(infinity: u32) -> EcmaEntry {
-        EcmaEntry { any: (infinity, None), alldown: (infinity, None) }
+        EcmaEntry {
+            any: (infinity, None),
+            alldown: (infinity, None),
+        }
     }
 }
 
@@ -284,9 +309,17 @@ impl Protocol for Ecma {
         let nq = self.qos_classes as usize;
         let mut table = vec![EcmaEntry::unreachable(self.infinity); n * nq];
         for q in 0..nq {
-            table[ad.index() * nq + q] = EcmaEntry { any: (0, None), alldown: (0, None) };
+            table[ad.index() * nq + q] = EcmaEntry {
+                any: (0, None),
+                alldown: (0, None),
+            };
         }
-        EcmaRouter { me: ad, num_ads: n, table, adv_in: HashMap::new() }
+        EcmaRouter {
+            me: ad,
+            num_ads: n,
+            table,
+            adv_in: HashMap::new(),
+        }
     }
 
     fn on_start(&self, r: &mut EcmaRouter, ctx: &mut Ctx<'_, EcmaUpdate>) {
@@ -355,7 +388,9 @@ impl DataPlane for Engine<Ecma> {
         if flow.qos.0 >= proto.qos_classes {
             return None;
         }
-        let entry = self.router(at).entry(flow.dst, flow.qos.0, proto.qos_classes);
+        let entry = self
+            .router(at)
+            .entry(flow.dst, flow.qos.0, proto.qos_classes);
         let (metric, hop) = if *gone_down { entry.alldown } else { entry.any };
         if metric >= proto.infinity {
             return None;
@@ -445,7 +480,11 @@ mod tests {
             }
         }
         // But C3 itself can still send and receive.
-        let out = forward(&mut e, &topo.clone(), &FlowSpec::best_effort(AdId(5), AdId(4)));
+        let out = forward(
+            &mut e,
+            &topo.clone(),
+            &FlowSpec::best_effort(AdId(5), AdId(4)),
+        );
         assert!(out.delivered());
         let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(3), AdId(5)));
         assert!(out.delivered());
@@ -486,7 +525,10 @@ mod tests {
         let ForwardOutcome::Delivered { path } = out else {
             panic!("not delivered: {out:?}");
         };
-        assert!(!path[1..path.len() - 1].contains(&AdId(5)), "valley via stub: {path:?}");
+        assert!(
+            !path[1..path.len() - 1].contains(&AdId(5)),
+            "valley via stub: {path:?}"
+        );
         // Must go over the backbone.
         assert!(path.contains(&AdId(0)), "{path:?}");
     }
@@ -520,13 +562,15 @@ mod tests {
         let mut proto = Ecma::hierarchical(&topo);
         // R2 only carries transit toward C2 (AD4): traffic to R2 itself
         // and to AD4 passes, but R2 won't give C4->B transit toward C1.
-        proto.ad_config[2].transit_dests =
-            Some(adroute_policy::AdSet::only([AdId(4)]));
+        proto.ad_config[2].transit_dests = Some(adroute_policy::AdSet::only([AdId(4)]));
         let mut e = Engine::new(topo, proto);
         e.run_to_quiescence();
         let topo = e.topo().clone();
         let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(3), AdId(4)));
-        assert!(out.delivered(), "toward the filtered dest must work: {out:?}");
+        assert!(
+            out.delivered(),
+            "toward the filtered dest must work: {out:?}"
+        );
         // C2(4) -> C1(3): R2 refuses to advertise dest 3 to C2, so C2 has
         // no route at all (its only provider is R2).
         let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(4), AdId(3)));
@@ -587,8 +631,16 @@ mod tests {
         // expressiveness trap of encoding policy in one ordering. The
         // authority must encode willingness as well as refusal.
         let c = [
-            OrderingConstraint::Deny { via: AdId(1), from: AdId(0), to: AdId(2) },
-            OrderingConstraint::Permit { via: AdId(3), from: AdId(0), to: AdId(2) },
+            OrderingConstraint::Deny {
+                via: AdId(1),
+                from: AdId(0),
+                to: AdId(2),
+            },
+            OrderingConstraint::Permit {
+                via: AdId(3),
+                from: AdId(0),
+                to: AdId(2),
+            },
         ];
         let ranks = match solve_ordering(4, &c) {
             adroute_policy::ordering::OrderingSolution::Satisfiable(r) => r,
@@ -602,7 +654,9 @@ mod tests {
         e.run_to_quiescence();
         let topo = e.topo().clone();
         let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(2)));
-        let ForwardOutcome::Delivered { path } = out else { panic!("undelivered") };
+        let ForwardOutcome::Delivered { path } = out else {
+            panic!("undelivered")
+        };
         assert_eq!(
             path,
             vec![AdId(0), AdId(3), AdId(2)],

@@ -207,7 +207,10 @@ pub fn score_flows<D: DataPlane>(
     db: &PolicyDb,
     flows: &[FlowSpec],
 ) -> FlowScore {
-    let mut score = FlowScore { flows: flows.len(), ..FlowScore::default() };
+    let mut score = FlowScore {
+        flows: flows.len(),
+        ..FlowScore::default()
+    };
     for flow in flows {
         let oracle = legality::legal_route(topo, db, flow);
         if oracle.is_some() {
@@ -367,7 +370,12 @@ mod tests {
         // Table with a hole.
         dp.0[1][2] = None;
         let out2 = forward(&mut dp, &topo, &f);
-        assert_eq!(out2, ForwardOutcome::NoRoute { path: vec![AdId(0), AdId(1)] });
+        assert_eq!(
+            out2,
+            ForwardOutcome::NoRoute {
+                path: vec![AdId(0), AdId(1)]
+            }
+        );
     }
 
     #[test]
@@ -375,7 +383,12 @@ mod tests {
         let topo = line(2);
         let mut dp = line_table(2);
         let out = forward(&mut dp, &topo, &FlowSpec::best_effort(AdId(0), AdId(0)));
-        assert_eq!(out, ForwardOutcome::Delivered { path: vec![AdId(0)] });
+        assert_eq!(
+            out,
+            ForwardOutcome::Delivered {
+                path: vec![AdId(0)]
+            }
+        );
     }
 
     #[test]
@@ -446,6 +459,9 @@ mod tests {
             .iter()
             .any(|f| (f.src.0 as i64 - f.dst.0 as i64).unsigned_abs() > 5));
         // Determinism.
-        assert_eq!(sample_flows_local(&topo, 10, 0.5, 2, 7), sample_flows_local(&topo, 10, 0.5, 2, 7));
+        assert_eq!(
+            sample_flows_local(&topo, 10, 0.5, 2, 7),
+            sample_flows_local(&topo, 10, 0.5, 2, 7)
+        );
     }
 }

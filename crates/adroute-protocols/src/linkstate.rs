@@ -48,7 +48,10 @@ pub struct LsDb {
 impl LsDb {
     /// An empty database sized for `num_ads` ADs.
     pub fn new(num_ads: usize) -> LsDb {
-        LsDb { lsas: vec![None; num_ads], version: 0 }
+        LsDb {
+            lsas: vec![None; num_ads],
+            version: 0,
+        }
     }
 
     /// Inserts `lsa` if it is newer than the stored one. Returns `true`
@@ -107,11 +110,19 @@ impl LsDb {
             let id = AdId(i as u32);
             match &self.lsas[i] {
                 Some(lsa) => {
-                    ads.push(Ad { id, level: lsa.level, role: AdRole::Hybrid });
+                    ads.push(Ad {
+                        id,
+                        level: lsa.level,
+                        role: AdRole::Hybrid,
+                    });
                     policies.push(lsa.policy.clone());
                 }
                 None => {
-                    ads.push(Ad { id, level: AdLevel::Campus, role: AdRole::Stub });
+                    ads.push(Ad {
+                        id,
+                        level: AdLevel::Campus,
+                        role: AdRole::Stub,
+                    });
                     policies.push(TransitPolicy::deny_all(id));
                 }
             }
@@ -152,6 +163,10 @@ pub struct Flooder {
     pub db: LsDb,
     /// Own LSA sequence number (bumped on each origination).
     pub seq: u64,
+    /// What we advertise about ourselves, recorded at origination so a
+    /// sequence-number jump (see [`Flooder::handle`]) can re-originate
+    /// without protocol help.
+    identity: Option<(AdLevel, TransitPolicy)>,
 }
 
 /// Messages exchanged by flooding: a single LSA per message (a
@@ -162,7 +177,12 @@ pub type FloodMsg = Lsa;
 impl Flooder {
     /// A flooder for `me` in a network of `num_ads` ADs.
     pub fn new(me: AdId, num_ads: usize) -> Flooder {
-        Flooder { me, db: LsDb::new(num_ads), seq: 0 }
+        Flooder {
+            me,
+            db: LsDb::new(num_ads),
+            seq: 0,
+            identity: None,
+        }
     }
 
     /// Originates (or re-originates) this AD's own LSA describing its
@@ -174,12 +194,19 @@ impl Flooder {
         policy: TransitPolicy,
     ) {
         self.seq += 1;
+        self.identity = Some((level, policy.clone()));
         let links = ctx
             .neighbors()
             .into_iter()
             .map(|(nbr, link)| (nbr, ctx.link_metric(link), ctx.link_delay(link)))
             .collect();
-        let lsa = Lsa { origin: self.me, seq: self.seq, level, links, policy };
+        let lsa = Lsa {
+            origin: self.me,
+            seq: self.seq,
+            level,
+            links,
+            policy,
+        };
         self.db.insert(lsa.clone());
         for (nbr, _) in ctx.neighbors() {
             ctx.send(nbr, lsa.clone());
@@ -188,7 +215,37 @@ impl Flooder {
 
     /// Handles a received LSA: stores and re-floods it if new. Returns
     /// `true` if the database changed.
+    ///
+    /// A copy of our *own* LSA that we did not issue — one with a higher
+    /// sequence number, or our current number but different content — is
+    /// a ghost from a previous incarnation: we crashed, lost the counter,
+    /// and restarted at 1, so the network would reject everything we now
+    /// say (or, seq-tied, keep the ghost's stale adjacencies). The cure is
+    /// OSPF's self-originated-LSA rule: jump our counter past the ghost
+    /// and re-originate with current adjacencies, which supersedes it
+    /// everywhere. Ordinary flooding echoes of our own LSA are exact
+    /// clones of what we sent (same seq, same content) and fall through to
+    /// duplicate suppression.
     pub fn handle(&mut self, ctx: &mut Ctx<'_, FloodMsg>, from: AdId, lsa: FloodMsg) -> bool {
+        if lsa.origin == self.me {
+            let ghost = lsa.seq > self.seq
+                || (lsa.seq == self.seq
+                    && self
+                        .db
+                        .get(self.me)
+                        .is_some_and(|cur| cur.links != lsa.links));
+            if !ghost {
+                ctx.count("flood_dup", 1);
+                return false;
+            }
+            self.seq = lsa.seq;
+            ctx.count("ls_seq_jump", 1);
+            let Some((level, policy)) = self.identity.clone() else {
+                return false; // never originated: nothing to supersede with
+            };
+            self.originate(ctx, level, policy);
+            return true;
+        }
         if self.db.insert(lsa.clone()) {
             for (nbr, _) in ctx.neighbors() {
                 if nbr != from {
@@ -271,7 +328,10 @@ mod tests {
         let (_, pols) = db.view();
         // AD1 never advertised: deny-all.
         assert!(matches!(pols.policy(AdId(1)).default, PolicyAction::Deny));
-        assert!(matches!(pols.policy(AdId(0)).default, PolicyAction::Permit { .. }));
+        assert!(matches!(
+            pols.policy(AdId(0)).default,
+            PolicyAction::Permit { .. }
+        ));
     }
 
     #[test]

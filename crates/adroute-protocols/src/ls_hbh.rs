@@ -26,7 +26,7 @@ use adroute_sim::{Ctx, Engine, Protocol};
 use adroute_topology::{AdId, AdLevel, LinkId, Topology};
 
 use crate::forwarding::DataPlane;
-use crate::linkstate::{Flooder, FloodMsg};
+use crate::linkstate::{FloodMsg, Flooder};
 
 /// Protocol configuration: the policies each AD will advertise in its
 /// LSAs, and the levels used in reconstruction.
@@ -42,7 +42,10 @@ pub struct LsHbh {
 impl LsHbh {
     /// Builds the configuration from a topology and its policies.
     pub fn new(topo: &Topology, policies: PolicyDb) -> LsHbh {
-        LsHbh { policies, levels: topo.ads().map(|a| a.level).collect() }
+        LsHbh {
+            policies,
+            levels: topo.ads().map(|a| a.level).collect(),
+        }
     }
 }
 
@@ -204,7 +207,9 @@ mod tests {
         let topo = e.topo().clone();
         let f = FlowSpec::best_effort(AdId(0), AdId(2));
         let out = forward(&mut e, &topo, &f);
-        let ForwardOutcome::Delivered { path } = &out else { panic!("{out:?}") };
+        let ForwardOutcome::Delivered { path } = &out else {
+            panic!("{out:?}")
+        };
         // Must route the long way (around AD1) and compliantly.
         assert!(!path[1..path.len() - 1].contains(&AdId(1)));
         assert!(audit_path(&topo, &db, &f, path).compliant());
@@ -282,7 +287,9 @@ mod tests {
         e.run_to_quiescence();
         let topo1 = e.topo().clone();
         let out = forward(&mut e, &topo1, &f);
-        let ForwardOutcome::Delivered { path } = &out else { panic!("{out:?}") };
+        let ForwardOutcome::Delivered { path } = &out else {
+            panic!("{out:?}")
+        };
         assert_eq!(path, &vec![AdId(0), AdId(4), AdId(3), AdId(2)]);
     }
 
@@ -293,7 +300,9 @@ mod tests {
         let mut db = PolicyDb::permissive(&topo);
         let mut p1 = TransitPolicy::deny_all(AdId(1));
         p1.push_term(
-            vec![PolicyCondition::PrevIn(adroute_policy::AdSet::only([AdId(2)]))],
+            vec![PolicyCondition::PrevIn(adroute_policy::AdSet::only([
+                AdId(2),
+            ]))],
             PolicyAction::Permit { cost: 0 },
         );
         db.set_policy(p1);
@@ -302,7 +311,9 @@ mod tests {
         // 0 -> 2: direct via AD1 is illegal (prev would be 0); go via 3.
         let f = FlowSpec::best_effort(AdId(0), AdId(2));
         let out = forward(&mut e, &topo, &f);
-        let ForwardOutcome::Delivered { path } = &out else { panic!("{out:?}") };
+        let ForwardOutcome::Delivered { path } = &out else {
+            panic!("{out:?}")
+        };
         assert_eq!(path, &vec![AdId(0), AdId(3), AdId(2)]);
         assert!(audit_path(&topo, &db, &f, path).compliant());
     }

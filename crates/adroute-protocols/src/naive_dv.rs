@@ -38,14 +38,21 @@ pub struct NaiveDv {
 
 impl Default for NaiveDv {
     fn default() -> Self {
-        NaiveDv { infinity: 64, split_horizon: false, hierarchical_only: false }
+        NaiveDv {
+            infinity: 64,
+            split_horizon: false,
+            hierarchical_only: false,
+        }
     }
 }
 
 impl NaiveDv {
     /// The EGP model: reachability exchange over the hierarchy tree only.
     pub fn egp() -> NaiveDv {
-        NaiveDv { hierarchical_only: true, ..NaiveDv::default() }
+        NaiveDv {
+            hierarchical_only: true,
+            ..NaiveDv::default()
+        }
     }
 
     /// Neighbors this configuration is willing to peer with.
@@ -104,7 +111,9 @@ impl NaiveDv {
             if dest != r.me.index() {
                 for &(nbr, link) in &neighbors {
                     if let Some(v) = r.adv_in.get(&nbr) {
-                        let m = v[dest].saturating_add(ctx.link_metric(link)).min(self.infinity);
+                        let m = v[dest]
+                            .saturating_add(ctx.link_metric(link))
+                            .min(self.infinity);
                         if m < best || (m == best && hop.is_some_and(|h| nbr < h)) {
                             best = m;
                             hop = Some(nbr);
@@ -128,9 +137,8 @@ impl NaiveDv {
                 .iter()
                 .enumerate()
                 .map(|(dest, &m)| {
-                    let poisoned = self.split_horizon
-                        && r.next_hop[dest] == Some(nbr)
-                        && dest != r.me.index();
+                    let poisoned =
+                        self.split_horizon && r.next_hop[dest] == Some(nbr) && dest != r.me.index();
                     (AdId(dest as u32), if poisoned { self.infinity } else { m })
                 })
                 .collect();
@@ -147,7 +155,12 @@ impl Protocol for NaiveDv {
         let n = topo.num_ads();
         let mut metric = vec![self.infinity; n];
         metric[ad.index()] = 0;
-        DvRouter { me: ad, metric, next_hop: vec![None; n], adv_in: HashMap::new() }
+        DvRouter {
+            me: ad,
+            metric,
+            next_hop: vec![None; n],
+            adv_in: HashMap::new(),
+        }
     }
 
     fn on_start(&self, r: &mut DvRouter, ctx: &mut Ctx<'_, DvUpdate>) {
@@ -162,8 +175,7 @@ impl Protocol for NaiveDv {
         link: LinkId,
         msg: DvUpdate,
     ) {
-        if self.hierarchical_only
-            && ctx.link_kind(link) != adroute_topology::LinkKind::Hierarchical
+        if self.hierarchical_only && ctx.link_kind(link) != adroute_topology::LinkKind::Hierarchical
         {
             return; // EGP peers only across hierarchy links
         }
@@ -281,7 +293,11 @@ mod tests {
     fn partition_counts_to_infinity_but_terminates() {
         // Classic: line 0-1-2; cut 1-2. Node 2 becomes unreachable; 0 and 1
         // may bounce (no split horizon) until the infinity cap.
-        let dv = NaiveDv { infinity: 16, split_horizon: false, ..NaiveDv::default() };
+        let dv = NaiveDv {
+            infinity: 16,
+            split_horizon: false,
+            ..NaiveDv::default()
+        };
         let mut e = Engine::new(ring(4), dv);
         e.run_to_quiescence();
         // Cut both links of AD2 to partition it.
@@ -301,7 +317,11 @@ mod tests {
     #[test]
     fn split_horizon_reduces_failure_chatter() {
         let run = |sh: bool| {
-            let dv = NaiveDv { infinity: 16, split_horizon: sh, ..NaiveDv::default() };
+            let dv = NaiveDv {
+                infinity: 16,
+                split_horizon: sh,
+                ..NaiveDv::default()
+            };
             let mut e = Engine::new(ring(6), dv);
             e.run_to_quiescence();
             let l = e.topo().link_between(AdId(0), AdId(1)).unwrap();
@@ -356,7 +376,10 @@ mod tests {
         }
         .generate();
         let (_, lateral, bypass) = topo.link_kind_counts();
-        assert!(lateral > 0 && bypass > 0, "need non-tree links for the test");
+        assert!(
+            lateral > 0 && bypass > 0,
+            "need non-tree links for the test"
+        );
         let mut egp = Engine::new(topo.clone(), NaiveDv::egp());
         egp.run_to_quiescence();
         let mut full = Engine::new(topo.clone(), NaiveDv::default());

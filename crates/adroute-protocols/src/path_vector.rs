@@ -57,7 +57,11 @@ pub struct PvAttrs {
 impl PvAttrs {
     /// Attributes that apply to all traffic.
     pub fn any() -> PvAttrs {
-        PvAttrs { qos: None, uci: None, scope: AdSet::Any }
+        PvAttrs {
+            qos: None,
+            uci: None,
+            scope: AdSet::Any,
+        }
     }
 
     /// Whether a flow matches these attributes.
@@ -140,7 +144,10 @@ impl PathVector {
 
     /// BGP-2: same machinery, no source scopes.
     pub fn bgp2(policies: PolicyDb) -> PathVector {
-        PathVector { scope_attrs: false, ..PathVector::idrp(policies) }
+        PathVector {
+            scope_attrs: false,
+            ..PathVector::idrp(policies)
+        }
     }
 }
 
@@ -211,8 +218,7 @@ fn offerings(
                 if scope.is_empty_set() {
                     continue;
                 }
-                let unconditional =
-                    src_cond.is_none() && qos_cond.is_none() && uci_cond.is_none();
+                let unconditional = src_cond.is_none() && qos_cond.is_none() && uci_cond.is_none();
                 out.push(Offering {
                     qos: qos_cond.cloned(),
                     uci: uci_cond.cloned(),
@@ -228,7 +234,12 @@ fn offerings(
     }
     if let PolicyAction::Permit { cost } = policy.default {
         if !remaining.is_empty_set() {
-            out.push(Offering { qos: None, uci: None, scope: remaining, cost });
+            out.push(Offering {
+                qos: None,
+                uci: None,
+                scope: remaining,
+                cost,
+            });
         }
     }
     out
@@ -265,9 +276,7 @@ impl PvRouter {
         self.loc_rib
             .iter()
             .filter(|r| r.dest == flow.dst && r.attrs.matches(flow))
-            .min_by(|a, b| {
-                (a.cost, a.path.len(), &a.path).cmp(&(b.cost, b.path.len(), &b.path))
-            })
+            .min_by(|a, b| (a.cost, a.path.len(), &a.path).cmp(&(b.cost, b.path.len(), &b.path)))
     }
 }
 
@@ -326,7 +335,12 @@ impl PathVector {
         for (nbr, _) in ctx.neighbors() {
             let mut routes: Vec<PvRoute> = Vec::new();
             // Own-origin route: reaching us is not transit; always offered.
-            routes.push(PvRoute { dest: r.me, path: vec![r.me], attrs: PvAttrs::any(), cost: 0 });
+            routes.push(PvRoute {
+                dest: r.me,
+                path: vec![r.me],
+                attrs: PvAttrs::any(),
+                cost: 0,
+            });
             // Transit routes, narrowed by our offerings. The receiver
             // prepends us to each path on import.
             let mut per_dest: BTreeMap<AdId, Vec<PvRoute>> = BTreeMap::new();
@@ -336,10 +350,11 @@ impl PathVector {
                 }
                 let next = route.path[0];
                 for off in offerings(policy, route.dest, nbr, next, self.eval_time) {
-                    per_dest
-                        .entry(route.dest)
-                        .or_default()
-                        .extend(combine(route, &off, self.scope_attrs));
+                    per_dest.entry(route.dest).or_default().extend(combine(
+                        route,
+                        &off,
+                        self.scope_attrs,
+                    ));
                 }
             }
             for (_dest, cands) in per_dest {
@@ -358,8 +373,12 @@ impl PathVector {
                 }
                 let mut cands: Vec<PvRoute> = best.into_values().collect();
                 cands.sort_by(|a, b| {
-                    (a.cost, a.path.len(), &a.path, &a.attrs)
-                        .cmp(&(b.cost, b.path.len(), &b.path, &b.attrs))
+                    (a.cost, a.path.len(), &a.path, &a.attrs).cmp(&(
+                        b.cost,
+                        b.path.len(),
+                        &b.path,
+                        &b.attrs,
+                    ))
                 });
                 cands.truncate(self.max_routes_per_dest);
                 routes.extend(cands);
@@ -412,7 +431,11 @@ fn combine(route: &PvRoute, off: &Offering, scope_attrs: bool) -> Vec<PvRoute> {
             out.push(PvRoute {
                 dest: route.dest,
                 path: route.path.clone(),
-                attrs: PvAttrs { qos: *q, uci: *u, scope: scope.clone() },
+                attrs: PvAttrs {
+                    qos: *q,
+                    uci: *u,
+                    scope: scope.clone(),
+                },
                 cost: route.cost.saturating_add(off.cost),
             });
         }
@@ -425,7 +448,12 @@ impl Protocol for PathVector {
     type Msg = PvUpdate;
 
     fn make_router(&self, _topo: &Topology, ad: AdId) -> PvRouter {
-        PvRouter { me: ad, adj_in: BTreeMap::new(), loc_rib: Vec::new(), advert_pending: false }
+        PvRouter {
+            me: ad,
+            adj_in: BTreeMap::new(),
+            loc_rib: Vec::new(),
+            advert_pending: false,
+        }
     }
 
     fn on_start(&self, r: &mut PvRouter, ctx: &mut Ctx<'_, PvUpdate>) {
@@ -534,7 +562,11 @@ mod tests {
         let e = converge(topo, PathVector::idrp(db));
         for ad in e.topo().ad_ids() {
             for r in &e.router(ad).loc_rib {
-                assert!(!r.path.contains(&ad), "{ad} stores looping path {:?}", r.path);
+                assert!(
+                    !r.path.contains(&ad),
+                    "{ad} stores looping path {:?}",
+                    r.path
+                );
                 let mut p = r.path.clone();
                 p.sort_unstable();
                 p.dedup();
@@ -564,13 +596,18 @@ mod tests {
         let topo = ring(4);
         let mut db = PolicyDb::permissive(&topo);
         let mut p1 = TransitPolicy::permit_all(AdId(1));
-        p1.push_term(vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))], PolicyAction::Deny);
+        p1.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))],
+            PolicyAction::Deny,
+        );
         db.set_policy(p1);
         let mut e = converge(topo, PathVector::idrp(db.clone()));
         let topo = e.topo().clone();
         let f = FlowSpec::best_effort(AdId(0), AdId(2));
         let out = forward(&mut e, &topo, &f);
-        let ForwardOutcome::Delivered { path } = &out else { panic!("{out:?}") };
+        let ForwardOutcome::Delivered { path } = &out else {
+            panic!("{out:?}")
+        };
         assert_eq!(path, &vec![AdId(0), AdId(3), AdId(2)]);
         assert!(audit_path(&topo, &db, &f, path).compliant());
         // A different source may use AD1.
@@ -583,7 +620,10 @@ mod tests {
         let topo = ring(4);
         let mut db = PolicyDb::permissive(&topo);
         let mut p1 = TransitPolicy::permit_all(AdId(1));
-        p1.push_term(vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))], PolicyAction::Deny);
+        p1.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))],
+            PolicyAction::Deny,
+        );
         db.set_policy(p1);
         let mut e = converge(topo, PathVector::bgp2(db.clone()));
         let topo = e.topo().clone();
@@ -612,8 +652,14 @@ mod tests {
         let e = converge(topo, PathVector::idrp(db));
         let routes: Vec<_> = e.router(AdId(0)).routes_to(AdId(2)).collect();
         assert_eq!(routes.len(), 2, "{routes:?}");
-        let q0 = routes.iter().find(|r| r.attrs.qos == Some(QosClass(0))).unwrap();
-        let q1 = routes.iter().find(|r| r.attrs.qos == Some(QosClass(1))).unwrap();
+        let q0 = routes
+            .iter()
+            .find(|r| r.attrs.qos == Some(QosClass(0)))
+            .unwrap();
+        let q1 = routes
+            .iter()
+            .find(|r| r.attrs.qos == Some(QosClass(1)))
+            .unwrap();
         assert_eq!(q0.cost + 8, q1.cost);
         // Forwarding respects the class split.
         let mut e = e;
@@ -621,7 +667,10 @@ mod tests {
         let f1 = FlowSpec::best_effort(AdId(0), AdId(2)).with_qos(QosClass(1));
         assert!(forward(&mut e, &topo, &f1).delivered());
         let f2 = FlowSpec::best_effort(AdId(0), AdId(2)).with_qos(QosClass(2));
-        assert!(matches!(forward(&mut e, &topo, &f2), ForwardOutcome::NoRoute { .. }));
+        assert!(matches!(
+            forward(&mut e, &topo, &f2),
+            ForwardOutcome::NoRoute { .. }
+        ));
     }
 
     #[test]
@@ -633,7 +682,10 @@ mod tests {
         let e2 = converge(topo.clone(), PathVector::idrp(fine));
         let rib1: usize = topo.ad_ids().map(|a| e1.router(a).loc_rib.len()).sum();
         let rib2: usize = topo.ad_ids().map(|a| e2.router(a).loc_rib.len()).sum();
-        assert!(rib2 > rib1, "finer policy should enlarge RIBs: {rib1} vs {rib2}");
+        assert!(
+            rib2 > rib1,
+            "finer policy should enlarge RIBs: {rib1} vs {rib2}"
+        );
     }
 
     #[test]
@@ -647,7 +699,9 @@ mod tests {
         e.run_to_quiescence();
         let topo = e.topo().clone();
         let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(1)));
-        let ForwardOutcome::Delivered { path } = &out else { panic!("{out:?}") };
+        let ForwardOutcome::Delivered { path } = &out else {
+            panic!("{out:?}")
+        };
         assert_eq!(path.len(), 5, "must take the long way: {path:?}");
     }
 
@@ -677,7 +731,10 @@ mod tests {
         assert!(offerings(&TransitPolicy::deny_all(AdId(5)), dst, prev, next, noon).is_empty());
         // deny(src {3}) then default permit => catch-all minus {3}.
         let mut p = TransitPolicy::permit_all(AdId(5));
-        p.push_term(vec![PolicyCondition::SrcIn(AdSet::only([AdId(3)]))], PolicyAction::Deny);
+        p.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(3)]))],
+            PolicyAction::Deny,
+        );
         let offs = offerings(&p, dst, prev, next, noon);
         assert_eq!(offs.len(), 1);
         assert!(!offs[0].scope.contains(AdId(3)));
@@ -703,7 +760,10 @@ mod tests {
         assert!(offerings(&p, dst, prev, next, noon).is_empty());
         // Deny Except({4}) leaves only source 4.
         let mut p = TransitPolicy::permit_all(AdId(5));
-        p.push_term(vec![PolicyCondition::SrcIn(AdSet::except([AdId(4)]))], PolicyAction::Deny);
+        p.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::except([AdId(4)]))],
+            PolicyAction::Deny,
+        );
         let offs = offerings(&p, dst, prev, next, noon);
         assert_eq!(offs.len(), 1);
         assert_eq!(offs[0].scope, AdSet::only([AdId(4)]));

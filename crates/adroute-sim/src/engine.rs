@@ -3,8 +3,11 @@
 use std::collections::BinaryHeap;
 
 use adroute_topology::{AdId, LinkId, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::event::{Event, EventKind, SimTime};
+use crate::faults::ChannelFaults;
 use crate::stats::Stats;
 use crate::trace::Trace;
 
@@ -52,6 +55,24 @@ pub trait Protocol: Sized {
         up: bool,
     ) {
         let _ = (router, ctx, link, neighbor, up);
+    }
+
+    /// Called on the dying router state just before a crash discards it.
+    /// The router cannot send or set timers — it is already dead; the hook
+    /// exists for protocols that mirror state outside the engine.
+    fn on_crash(&self, router: &mut Self::Router) {
+        let _ = router;
+    }
+
+    /// Called on the freshly rebuilt router state when a crashed router
+    /// restarts. Defaults to [`Protocol::on_start`]: for most protocols a
+    /// reboot looks exactly like a cold boot. Adjacent links that are
+    /// operational again also deliver `on_link_event(up)` to both ends
+    /// right after this hook, so neighbor-side resynchronization logic
+    /// (full-table re-advertisement, database exchange) runs without any
+    /// crash-specific protocol code.
+    fn on_restart(&self, router: &mut Self::Router, ctx: &mut Ctx<'_, Self::Msg>) {
+        self.on_start(router, ctx);
     }
 
     /// Encoded size in bytes of a message, for overhead accounting.
@@ -115,12 +136,12 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Sends `msg` to a directly connected neighbor over the (operational)
     /// link between them. Messages to non-neighbors or over failed links
-    /// are silently dropped, mirroring a loss on a dying link.
+    /// are dropped at the source, mirroring a loss on a dying link; such
+    /// drops are counted in [`Stats::msgs_dropped`].
     pub fn send(&mut self, to: AdId, msg: M) {
-        if let Some(link) = self.topo.link_between(self.me, to) {
-            if self.topo.link(link).up {
-                self.outbox.push((to, link, msg));
-            }
+        match self.topo.link_between(self.me, to) {
+            Some(link) if self.topo.link(link).up => self.outbox.push((to, link, msg)),
+            _ => self.stats.msgs_dropped += 1,
         }
     }
 
@@ -145,6 +166,16 @@ pub struct Engine<P: Protocol> {
     queue: BinaryHeap<Event<P::Msg>>,
     seq: u64,
     now: SimTime,
+    /// What the link-fault process says about each link, independent of
+    /// router crashes. A link is *operational* (reflected in `topo`) iff
+    /// its scheduled state is up AND both endpoint routers are up.
+    sched_up: Vec<bool>,
+    /// Liveness of each router; crashed routers receive no events.
+    router_up: Vec<bool>,
+    /// Bumped on each crash so pre-crash timers die with the old state.
+    incarnations: Vec<u32>,
+    /// Optional channel-fault injector (loss/corruption/dup/reorder).
+    faults: Option<FaultInjector>,
     /// Safety valve: maximum events processed per `run_*` call family.
     pub max_events: u64,
     /// Accumulated measurement counters.
@@ -165,6 +196,8 @@ impl<P: Protocol> Engine<P> {
             .map(|ad| protocol.make_router(&topo, ad))
             .collect::<Vec<_>>();
         let stats = Stats::new(topo.num_ads());
+        let sched_up = topo.links().map(|l| l.up).collect();
+        let num_ads = topo.num_ads();
         let mut e = Engine {
             protocol,
             topo,
@@ -172,6 +205,10 @@ impl<P: Protocol> Engine<P> {
             queue: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            sched_up,
+            router_up: vec![true; num_ads],
+            incarnations: vec![0; num_ads],
+            faults: None,
             max_events: 50_000_000,
             stats,
             trace: Trace::new(0),
@@ -232,7 +269,46 @@ impl<P: Protocol> Engine<P> {
     /// after directly mutating a router's policy).
     pub fn schedule_wakeup(&mut self, ad: AdId, at: SimTime, token: u64) {
         assert!(at >= self.now, "cannot schedule in the past");
-        self.push(at, EventKind::Timer { ad, token });
+        let incarnation = self.incarnations[ad.index()];
+        self.push(
+            at,
+            EventKind::Timer {
+                ad,
+                token,
+                incarnation,
+            },
+        );
+    }
+
+    /// Schedules a router crash (`up = false`) or restart (`up = true`) at
+    /// an absolute time. A crash discards the router's entire soft state
+    /// and takes its adjacent links out of operation (fate sharing: dead
+    /// routers have dead interfaces); live neighbors observe ordinary
+    /// link-down events. A restart rebuilds the router via
+    /// [`Protocol::make_router`], runs [`Protocol::on_restart`], restores
+    /// the adjacent links the link-fault process allows, and delivers
+    /// link-up events to both ends of each — which is what lets existing
+    /// protocol resynchronization logic heal the reborn router.
+    pub fn schedule_router_change(&mut self, ad: AdId, up: bool, at: SimTime) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        assert!(ad.index() < self.routers.len(), "unknown AD {ad}");
+        self.push(at, EventKind::RouterEvent { ad, up });
+    }
+
+    /// Whether router `ad` is currently alive.
+    pub fn router_is_up(&self, ad: AdId) -> bool {
+        self.router_up[ad.index()]
+    }
+
+    /// Installs (or clears) the channel-fault injector. Faults apply to
+    /// every message sent after this call, drawn from a dedicated RNG
+    /// seeded by the configuration — fault arrival is a pure function of
+    /// the event sequence, so runs stay deterministic.
+    pub fn set_channel_faults(&mut self, faults: Option<ChannelFaults>) {
+        self.faults = faults.map(|cfg| FaultInjector {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+        });
     }
 
     /// Processes a single event. Returns `false` if the queue was empty.
@@ -251,39 +327,143 @@ impl<P: Protocol> Engine<P> {
                 }
                 self.dispatch(ad, |p, r, ctx| p.on_start(r, ctx));
             }
-            EventKind::Deliver { to, from, link, msg } => {
-                // A message in flight when its link failed is lost.
-                if self.topo.link(link).up {
+            EventKind::Deliver {
+                to,
+                from,
+                link,
+                msg,
+            } => {
+                // A message in flight when its link failed, or whose
+                // destination crashed, is lost.
+                if self.topo.link(link).up && self.router_up[to.index()] {
                     self.stats.msgs_delivered += 1;
                     self.stats.last_activity = self.now;
                     if tracing {
-                        self.trace.log(self.now, format!("deliver {from}->{to} via {link}"));
+                        self.trace
+                            .log(self.now, format!("deliver {from}->{to} via {link}"));
                     }
                     self.dispatch(to, |p, r, ctx| p.on_message(r, ctx, from, link, msg));
-                } else if tracing {
-                    self.trace.log(self.now, format!("lost {from}->{to} via {link}"));
+                } else {
+                    self.stats.msgs_lost += 1;
+                    if tracing {
+                        self.trace
+                            .log(self.now, format!("lost {from}->{to} via {link}"));
+                    }
                 }
             }
-            EventKind::Timer { ad, token } => {
-                if tracing {
-                    self.trace.log(self.now, format!("timer {ad} token={token}"));
+            EventKind::Timer {
+                ad,
+                token,
+                incarnation,
+            } => {
+                // Timers armed by a previous incarnation (or aimed at a
+                // currently dead router) died with the state that set them.
+                if self.router_up[ad.index()] && incarnation == self.incarnations[ad.index()] {
+                    if tracing {
+                        self.trace
+                            .log(self.now, format!("timer {ad} token={token}"));
+                    }
+                    self.dispatch(ad, |p, r, ctx| p.on_timer(r, ctx, token));
+                } else if tracing {
+                    self.trace
+                        .log(self.now, format!("stale-timer {ad} token={token}"));
                 }
-                self.dispatch(ad, |p, r, ctx| p.on_timer(r, ctx, token));
             }
             EventKind::LinkEvent { link, up } => {
-                self.topo.set_link_up(link, up);
-                self.stats.last_activity = self.now;
-                if tracing {
-                    let state = if up { "up" } else { "down" };
-                    self.trace.log(self.now, format!("link {link} {state}"));
-                }
+                self.sched_up[link.index()] = up;
                 let l = self.topo.link(link);
                 let (a, b) = (l.a, l.b);
-                self.dispatch(a, |p, r, ctx| p.on_link_event(r, ctx, link, b, up));
-                self.dispatch(b, |p, r, ctx| p.on_link_event(r, ctx, link, a, up));
+                // A link is only operational if both endpoint routers live.
+                let eff = up && self.router_up[a.index()] && self.router_up[b.index()];
+                self.topo.set_link_up(link, eff);
+                self.stats.last_activity = self.now;
+                if tracing {
+                    let state = match (up, eff) {
+                        (true, true) => "up",
+                        (true, false) => "up-masked",
+                        _ => "down",
+                    };
+                    self.trace.log(self.now, format!("link {link} {state}"));
+                }
+                if self.router_up[a.index()] {
+                    self.dispatch(a, |p, r, ctx| p.on_link_event(r, ctx, link, b, eff));
+                }
+                if self.router_up[b.index()] {
+                    self.dispatch(b, |p, r, ctx| p.on_link_event(r, ctx, link, a, eff));
+                }
+            }
+            EventKind::RouterEvent { ad, up } => {
+                if up {
+                    self.restart_router(ad);
+                } else {
+                    self.crash_router(ad);
+                }
             }
         }
         true
+    }
+
+    /// Crashes router `ad`: soft state is lost, adjacent links go out of
+    /// operation, live neighbors observe link-down events.
+    fn crash_router(&mut self, ad: AdId) {
+        if !self.router_up[ad.index()] {
+            return; // already down: double-crash is a no-op
+        }
+        self.stats.router_crashes += 1;
+        self.stats.last_activity = self.now;
+        if self.trace.capacity() > 0 {
+            self.trace.log(self.now, format!("crash {ad}"));
+        }
+        self.protocol.on_crash(&mut self.routers[ad.index()]);
+        self.router_up[ad.index()] = false;
+        self.incarnations[ad.index()] += 1;
+        let adjacent: Vec<(AdId, LinkId)> = self.topo.neighbors(ad).collect();
+        for (nbr, link) in adjacent {
+            self.topo.set_link_up(link, false);
+            if self.trace.capacity() > 0 {
+                self.trace.log(self.now, format!("link {link} down"));
+            }
+            if self.router_up[nbr.index()] {
+                self.dispatch(nbr, |p, r, ctx| p.on_link_event(r, ctx, link, ad, false));
+            }
+        }
+    }
+
+    /// Restarts router `ad`: state is rebuilt from scratch via
+    /// [`Protocol::make_router`], operational adjacent links come back,
+    /// and link-up events fire at both ends of each restored link.
+    fn restart_router(&mut self, ad: AdId) {
+        if self.router_up[ad.index()] {
+            return; // already up: double-restart is a no-op
+        }
+        self.stats.router_restarts += 1;
+        self.stats.last_activity = self.now;
+        if self.trace.capacity() > 0 {
+            self.trace.log(self.now, format!("restart {ad}"));
+        }
+        self.router_up[ad.index()] = true;
+        // Restore adjacency first so the rebuilt router boots against the
+        // topology it will actually operate on.
+        let mut restored: Vec<(AdId, LinkId)> = Vec::new();
+        let adjacent: Vec<(AdId, LinkId)> = self.topo.all_neighbors(ad).collect();
+        for (nbr, link) in adjacent {
+            let eff = self.sched_up[link.index()] && self.router_up[nbr.index()];
+            if eff && !self.topo.link(link).up {
+                self.topo.set_link_up(link, true);
+                if self.trace.capacity() > 0 {
+                    self.trace.log(self.now, format!("link {link} up"));
+                }
+                restored.push((nbr, link));
+            }
+        }
+        self.routers[ad.index()] = self.protocol.make_router(&self.topo, ad);
+        self.dispatch(ad, |p, r, ctx| p.on_restart(r, ctx));
+        for (nbr, link) in restored {
+            self.dispatch(ad, |p, r, ctx| p.on_link_event(r, ctx, link, nbr, true));
+            if self.router_up[nbr.index()] {
+                self.dispatch(nbr, |p, r, ctx| p.on_link_event(r, ctx, link, ad, true));
+            }
+        }
     }
 
     /// Enables event tracing with the given ring-buffer capacity.
@@ -310,12 +490,88 @@ impl<P: Protocol> Engine<P> {
             self.stats.msgs_sent += 1;
             self.stats.per_ad_msgs[ad.index()] += 1;
             self.stats.bytes_sent += self.protocol.msg_size(&msg) as u64;
+            let tracing = self.trace.capacity() > 0;
+            let mut delay = delay;
+            let mut dup_at = None;
+            if let Some(inj) = &mut self.faults {
+                if inj.cfg.active_at(self.now) {
+                    match inj.judge(delay) {
+                        ChannelVerdict::Lost => {
+                            self.stats.msgs_lost += 1;
+                            if tracing {
+                                self.trace
+                                    .log(self.now, format!("chan-loss {ad}->{to} via {link}"));
+                            }
+                            continue;
+                        }
+                        ChannelVerdict::Corrupted => {
+                            self.stats.msgs_corrupted += 1;
+                            if tracing {
+                                self.trace
+                                    .log(self.now, format!("chan-corrupt {ad}->{to} via {link}"));
+                            }
+                            continue;
+                        }
+                        ChannelVerdict::Pass {
+                            delay_us,
+                            duplicate_at_us,
+                            reordered,
+                        } => {
+                            if reordered {
+                                self.stats.msgs_reordered += 1;
+                                if tracing {
+                                    self.trace.log(
+                                        self.now,
+                                        format!("chan-reorder {ad}->{to} via {link}"),
+                                    );
+                                }
+                            }
+                            if let Some(d) = duplicate_at_us {
+                                self.stats.msgs_duplicated += 1;
+                                if tracing {
+                                    self.trace
+                                        .log(self.now, format!("chan-dup {ad}->{to} via {link}"));
+                                }
+                                dup_at = Some(self.now.plus_us(d));
+                            }
+                            delay = delay_us;
+                        }
+                    }
+                }
+            }
+            if let Some(at) = dup_at {
+                self.push(
+                    at,
+                    EventKind::Deliver {
+                        to,
+                        from: ad,
+                        link,
+                        msg: msg.clone(),
+                    },
+                );
+            }
             let at = self.now.plus_us(delay);
-            self.push(at, EventKind::Deliver { to, from: ad, link, msg });
+            self.push(
+                at,
+                EventKind::Deliver {
+                    to,
+                    from: ad,
+                    link,
+                    msg,
+                },
+            );
         }
+        let incarnation = self.incarnations[ad.index()];
         for (delay_us, token) in timers {
             let at = self.now.plus_us(delay_us);
-            self.push(at, EventKind::Timer { ad, token });
+            self.push(
+                at,
+                EventKind::Timer {
+                    ad,
+                    token,
+                    incarnation,
+                },
+            );
         }
     }
 
@@ -362,6 +618,61 @@ impl<P: Protocol> Engine<P> {
     /// stats). Experiments use this to inspect final state.
     pub fn into_parts(self) -> (Topology, Vec<P::Router>, Stats) {
         (self.topo, self.routers, self.stats)
+    }
+}
+
+/// Live state of the channel-fault process: configuration plus the RNG it
+/// draws from. Owned by the engine so fault arrival is a pure function of
+/// the (deterministic) event sequence.
+struct FaultInjector {
+    cfg: ChannelFaults,
+    rng: SmallRng,
+}
+
+/// What the channel decided to do with one message.
+enum ChannelVerdict {
+    /// Silently dropped in flight.
+    Lost,
+    /// Dropped by the receiver's checksum (payload corrupted).
+    Corrupted,
+    /// Delivered, possibly late and/or twice.
+    Pass {
+        delay_us: u64,
+        duplicate_at_us: Option<u64>,
+        reordered: bool,
+    },
+}
+
+impl FaultInjector {
+    /// Draws this message's fate. Draw order is fixed (loss, corruption,
+    /// reorder, duplication) so identical configurations replay
+    /// identically.
+    fn judge(&mut self, base_delay_us: u64) -> ChannelVerdict {
+        let c = &self.cfg;
+        let rng = &mut self.rng;
+        if c.loss > 0.0 && rng.gen_bool(c.loss) {
+            return ChannelVerdict::Lost;
+        }
+        if c.corrupt > 0.0 && rng.gen_bool(c.corrupt) {
+            return ChannelVerdict::Corrupted;
+        }
+        let jitter = c.jitter_us.max(1);
+        let mut delay_us = base_delay_us;
+        let mut reordered = false;
+        if c.reorder > 0.0 && rng.gen_bool(c.reorder) {
+            reordered = true;
+            delay_us += rng.gen_range(1..=jitter);
+        }
+        let duplicate_at_us = if c.duplicate > 0.0 && rng.gen_bool(c.duplicate) {
+            Some(delay_us + rng.gen_range(1..=jitter))
+        } else {
+            None
+        };
+        ChannelVerdict::Pass {
+            delay_us,
+            duplicate_at_us,
+            reordered,
+        }
     }
 }
 
@@ -534,7 +845,14 @@ mod tests {
                 assert!(!ctx.neighbor_up(AdId(999)));
                 ctx.send(AdId(999), ());
             }
-            fn on_message(&self, _r: &mut ProbeRouter, _c: &mut Ctx<'_, ()>, _f: AdId, _l: LinkId, _m: ()) {
+            fn on_message(
+                &self,
+                _r: &mut ProbeRouter,
+                _c: &mut Ctx<'_, ()>,
+                _f: AdId,
+                _l: LinkId,
+                _m: (),
+            ) {
                 panic!("no message should ever be delivered");
             }
             fn msg_size(&self, _m: &()) -> usize {
@@ -586,6 +904,237 @@ mod tests {
             (t, e.stats.msgs_sent, e.stats.events)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn send_drops_are_counted() {
+        struct Dropper;
+        impl Protocol for Dropper {
+            type Router = ();
+            type Msg = ();
+            fn make_router(&self, _t: &Topology, _a: AdId) {}
+            fn on_start(&self, _r: &mut (), ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == AdId(0) {
+                    ctx.send(AdId(999), ()); // non-neighbor
+                    ctx.send(AdId(2), ()); // not adjacent in a line of 3
+                    ctx.send(AdId(1), ()); // fine
+                }
+            }
+            fn on_message(&self, _r: &mut (), _c: &mut Ctx<'_, ()>, _f: AdId, _l: LinkId, _m: ()) {}
+            fn msg_size(&self, _m: &()) -> usize {
+                0
+            }
+        }
+        let mut e = Engine::new(line(3), Dropper);
+        e.run_to_quiescence();
+        assert_eq!(e.stats.msgs_dropped, 2);
+        assert_eq!(e.stats.msgs_sent, 1);
+
+        // Sends over a failed link drop at the source too.
+        let mut topo = line(3);
+        topo.set_link_up(LinkId(0), false);
+        let mut e = Engine::new(topo, Dropper);
+        e.run_to_quiescence();
+        assert_eq!(e.stats.msgs_dropped, 3);
+        assert_eq!(e.stats.msgs_sent, 0);
+    }
+
+    #[test]
+    fn crash_loses_state_and_links_share_fate() {
+        let topo = line(3);
+        let mut e = Engine::new(topo, Wave);
+        // Crash AD1 before the wave reaches it (0->1 arrives at t=1000).
+        e.schedule_router_change(AdId(1), false, SimTime(500));
+        e.run_to_quiescence();
+        assert!(!e.router_is_up(AdId(1)));
+        assert!(
+            !e.router(AdId(1)).seen,
+            "crashed router processed a message"
+        );
+        assert!(!e.router(AdId(2)).seen, "wave crossed a dead router");
+        assert_eq!(e.stats.router_crashes, 1);
+        assert_eq!(e.stats.msgs_lost, 1, "the in-flight 0->1 message is lost");
+        // Fate sharing: both adjacent links went down, neighbors notified.
+        assert!(!e.topo().link(LinkId(0)).up);
+        assert!(!e.topo().link(LinkId(1)).up);
+        assert_eq!(e.router(AdId(0)).link_events, 1);
+        assert_eq!(e.router(AdId(2)).link_events, 1);
+    }
+
+    #[test]
+    fn restart_rebuilds_router_and_restores_links() {
+        let topo = line(3);
+        let mut e = Engine::new(topo, Wave);
+        e.run_to_quiescence();
+        assert!(e.router(AdId(1)).seen);
+        e.schedule_router_change(AdId(1), false, e.now().plus_us(100));
+        e.schedule_router_change(AdId(1), true, e.now().plus_us(200));
+        e.run_to_quiescence();
+        assert!(e.router_is_up(AdId(1)));
+        assert_eq!(e.stats.router_crashes, 1);
+        assert_eq!(e.stats.router_restarts, 1);
+        // make_router rebuilt the state: the pre-crash wave marker is gone.
+        assert!(!e.router(AdId(1)).seen, "soft state survived the crash");
+        // Both links are operational again and both ends saw down+up.
+        assert!(e.topo().link(LinkId(0)).up);
+        assert!(e.topo().link(LinkId(1)).up);
+        assert_eq!(e.router(AdId(0)).link_events, 2);
+        assert_eq!(e.router(AdId(2)).link_events, 2);
+        assert_eq!(
+            e.router(AdId(1)).link_events,
+            2,
+            "restarted side gets link-up events"
+        );
+    }
+
+    #[test]
+    fn crash_respects_scheduled_link_state_on_restart() {
+        // A link that fails *while its endpoint is down* must not come
+        // back when the router restarts.
+        let topo = line(3);
+        let mut e = Engine::new(topo, Wave);
+        e.run_to_quiescence();
+        let t = e.now();
+        e.schedule_router_change(AdId(1), false, t.plus_us(100));
+        e.schedule_link_change(LinkId(0), false, t.plus_us(200)); // while AD1 down
+        e.schedule_router_change(AdId(1), true, t.plus_us(300));
+        e.run_to_quiescence();
+        assert!(
+            !e.topo().link(LinkId(0)).up,
+            "scheduled failure survived the restart"
+        );
+        assert!(e.topo().link(LinkId(1)).up);
+    }
+
+    #[test]
+    fn pre_crash_timers_die_with_their_incarnation() {
+        let topo = line(2);
+        let mut e = Engine::new(topo, Wave);
+        e.enable_trace(64);
+        // AD0's on_start arms a timer for t=10; crash at 5, restart at 7.
+        // The old timer (incarnation 0) fires at 10 into incarnation 1 and
+        // must be discarded; the restart re-runs on_start, arming a fresh
+        // timer that does fire.
+        e.schedule_router_change(AdId(0), false, SimTime(5));
+        e.schedule_router_change(AdId(0), true, SimTime(7));
+        e.run_to_quiescence();
+        assert!(
+            e.router(AdId(0)).timer_fired,
+            "fresh incarnation timer fired"
+        );
+        let text = e.trace.render();
+        assert!(text.contains("stale-timer AD0 token=99"), "{text}");
+        assert!(text.contains("crash AD0"), "{text}");
+        assert!(text.contains("restart AD0"), "{text}");
+    }
+
+    #[test]
+    fn double_crash_and_double_restart_are_noops() {
+        let topo = line(2);
+        let mut e = Engine::new(topo, Wave);
+        e.run_to_quiescence();
+        let t = e.now();
+        e.schedule_router_change(AdId(1), false, t.plus_us(10));
+        e.schedule_router_change(AdId(1), false, t.plus_us(20));
+        e.schedule_router_change(AdId(1), true, t.plus_us(30));
+        e.schedule_router_change(AdId(1), true, t.plus_us(40));
+        e.run_to_quiescence();
+        assert_eq!(e.stats.router_crashes, 1);
+        assert_eq!(e.stats.router_restarts, 1);
+        assert!(e.router_is_up(AdId(1)));
+    }
+
+    #[test]
+    fn channel_loss_eats_messages_deterministically() {
+        use crate::faults::ChannelFaults;
+        let run = || {
+            let mut e = Engine::new(line(5), Wave);
+            e.set_channel_faults(Some(ChannelFaults {
+                loss: 1.0,
+                seed: 1,
+                ..ChannelFaults::default()
+            }));
+            e.run_to_quiescence();
+            (e.stats.msgs_sent, e.stats.msgs_lost, e.stats.msgs_delivered)
+        };
+        let (sent, lost, delivered) = run();
+        assert_eq!(sent, 1, "only AD0's first send happens; it is lost");
+        assert_eq!(lost, 1);
+        assert_eq!(delivered, 0);
+        assert_eq!(
+            run(),
+            (sent, lost, delivered),
+            "fault draws are deterministic"
+        );
+    }
+
+    #[test]
+    fn duplication_and_reordering_are_counted_and_survivable() {
+        use crate::faults::ChannelFaults;
+        let mut e = Engine::new(line(3), Wave);
+        e.set_channel_faults(Some(ChannelFaults {
+            duplicate: 1.0,
+            reorder: 1.0,
+            jitter_us: 100,
+            seed: 3,
+            ..ChannelFaults::default()
+        }));
+        e.run_to_quiescence();
+        for ad in e.topo().ad_ids() {
+            assert!(e.router(ad).seen, "{ad} missed the wave");
+        }
+        assert_eq!(e.stats.msgs_sent, 2);
+        assert_eq!(e.stats.msgs_duplicated, 2);
+        assert_eq!(e.stats.msgs_reordered, 2);
+        assert_eq!(e.stats.msgs_delivered, 4, "each message arrives twice");
+        // Duplicate deliveries reach on_message: AD1 heard 0 twice + 2's
+        // copies never happen (2 only echoes back nothing in a line).
+        assert!(e.router(AdId(1)).heard_from.len() >= 2);
+    }
+
+    #[test]
+    fn corruption_drops_are_separated_from_loss() {
+        use crate::faults::ChannelFaults;
+        let mut e = Engine::new(line(2), Wave);
+        e.set_channel_faults(Some(ChannelFaults {
+            corrupt: 1.0,
+            seed: 9,
+            ..ChannelFaults::default()
+        }));
+        e.run_to_quiescence();
+        assert_eq!(e.stats.msgs_corrupted, 1);
+        assert_eq!(e.stats.msgs_lost, 0);
+        assert!(!e.router(AdId(1)).seen);
+    }
+
+    #[test]
+    fn channel_faults_expire_at_until() {
+        use crate::faults::ChannelFaults;
+        let mut e = Engine::new(line(2), Wave);
+        e.set_channel_faults(Some(ChannelFaults {
+            loss: 1.0,
+            seed: 1,
+            until: Some(SimTime::ZERO),
+            ..ChannelFaults::default()
+        }));
+        // The start event fires at t=0, so its send is still faulted; the
+        // wakeup-driven resend below happens after expiry and gets through.
+        e.run_to_quiescence();
+        assert!(!e.router(AdId(1)).seen);
+        assert_eq!(e.stats.msgs_lost, 1);
+        e.schedule_wakeup(AdId(0), e.now().plus_us(10), 99);
+        e.run_to_quiescence();
+        // Timer handler doesn't resend in Wave; drive a fresh start event
+        // via a restart instead: crash+restart AD0 after expiry.
+        let t = e.now();
+        e.schedule_router_change(AdId(0), false, t.plus_us(10));
+        e.schedule_router_change(AdId(0), true, t.plus_us(20));
+        e.run_to_quiescence();
+        assert!(
+            e.router(AdId(1)).seen,
+            "post-expiry resend must get through"
+        );
+        assert_eq!(e.stats.msgs_lost, 1);
     }
 
     #[test]

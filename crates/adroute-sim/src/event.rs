@@ -46,12 +46,26 @@ pub(crate) enum EventKind<M> {
     /// Router start-up: the protocol's `on_start` hook.
     Start { ad: AdId },
     /// A message arriving at `to` from neighbor `from` over `link`.
-    Deliver { to: AdId, from: AdId, link: LinkId, msg: M },
-    /// A one-shot timer at `ad` with an opaque token.
-    Timer { ad: AdId, token: u64 },
+    Deliver {
+        to: AdId,
+        from: AdId,
+        link: LinkId,
+        msg: M,
+    },
+    /// A one-shot timer at `ad` with an opaque token. The incarnation
+    /// pins the timer to the router instance that set it: timers armed
+    /// before a crash never fire into the rebuilt state.
+    Timer {
+        ad: AdId,
+        token: u64,
+        incarnation: u32,
+    },
     /// A link going up or down; delivered to both endpoints after the
     /// topology is updated.
     LinkEvent { link: LinkId, up: bool },
+    /// A router crashing (`up = false`, soft state lost) or restarting
+    /// (`up = true`, state rebuilt from scratch).
+    RouterEvent { ad: AdId, up: bool },
 }
 
 /// A scheduled event: ordered by `(time, seq)` so simulation order is
@@ -96,12 +110,26 @@ mod tests {
 
     #[test]
     fn event_ordering_is_earliest_first() {
-        let a: Event<()> =
-            Event { time: SimTime(5), seq: 1, kind: EventKind::Timer { ad: AdId(0), token: 0 } };
-        let b: Event<()> =
-            Event { time: SimTime(3), seq: 2, kind: EventKind::Timer { ad: AdId(0), token: 0 } };
-        let c: Event<()> =
-            Event { time: SimTime(3), seq: 1, kind: EventKind::Timer { ad: AdId(0), token: 0 } };
+        let timer = |token| EventKind::Timer {
+            ad: AdId(0),
+            token,
+            incarnation: 0,
+        };
+        let a: Event<()> = Event {
+            time: SimTime(5),
+            seq: 1,
+            kind: timer(0),
+        };
+        let b: Event<()> = Event {
+            time: SimTime(3),
+            seq: 2,
+            kind: timer(0),
+        };
+        let c: Event<()> = Event {
+            time: SimTime(3),
+            seq: 1,
+            kind: timer(0),
+        };
         let mut heap = std::collections::BinaryHeap::new();
         heap.push(a);
         heap.push(b);

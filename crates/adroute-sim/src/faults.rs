@@ -1,0 +1,369 @@
+//! Unified fault injection: link churn, lossy channels, router crashes.
+//!
+//! The paper's operating model (Section 2.2) is an internet whose inter-AD
+//! links fail and recover continuously while the routing fabric keeps
+//! forwarding. [`FailureSchedule`](crate::FailureSchedule) realizes the
+//! clean link-flip half of that regime; a [`FaultPlan`] composes it with
+//! the messier rest:
+//!
+//! - **Channel faults** ([`ChannelFaults`]): per-message loss,
+//!   corruption (detected at the receiver and dropped), duplication, and
+//!   reordering (extra delay jitter), drawn from a seeded RNG owned by the
+//!   engine so runs stay deterministic.
+//! - **Router crashes** ([`CrashModel`], [`RouterOutage`]): a crashed
+//!   router loses *all* soft state — it is rebuilt from
+//!   [`Protocol::make_router`](crate::Protocol::make_router) at restart —
+//!   and its links share its fate, so neighbors observe ordinary
+//!   link-down/link-up events and their existing resynchronization logic
+//!   heals the reborn router.
+//!
+//! A plan drawn with `heal = true` (the default) additionally guarantees a
+//! clean ending: outstanding failures are repaired at the horizon, channel
+//! faults stop there, and a **resynchronization sweep** re-fires a link-up
+//! event on every operational link just after — modeling the periodic
+//! refresh every deployed routing protocol runs, compressed into a single
+//! round. Quiescence after an applied healed plan therefore means full
+//! reconvergence, which is what the chaos tests assert against.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use adroute_topology::{AdId, Topology};
+
+use crate::engine::{Engine, Protocol};
+use crate::event::SimTime;
+use crate::schedule::{FailureModel, FailureSchedule};
+
+/// Per-message channel fault probabilities. All default to zero; a default
+/// `ChannelFaults` is a perfect channel.
+#[derive(Clone, Debug)]
+pub struct ChannelFaults {
+    /// Probability a message is silently lost in flight.
+    pub loss: f64,
+    /// Probability a message arrives corrupted; the receiver's checksum
+    /// catches it and the message is dropped (counted separately).
+    pub corrupt: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a message is delayed by extra jitter, letting later
+    /// messages overtake it.
+    pub reorder: f64,
+    /// Maximum extra delay (µs) applied to reordered and duplicated
+    /// copies.
+    pub jitter_us: u64,
+    /// Seed of the dedicated fault RNG.
+    pub seed: u64,
+    /// If set, faults only apply to messages sent at or before this time;
+    /// afterwards the channel is clean. [`FaultPlan::draw`] sets this to
+    /// the plan horizon so post-horizon reconvergence is loss-free.
+    pub until: Option<SimTime>,
+}
+
+impl Default for ChannelFaults {
+    fn default() -> ChannelFaults {
+        ChannelFaults {
+            loss: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            jitter_us: 500,
+            seed: 0,
+            until: None,
+        }
+    }
+}
+
+impl ChannelFaults {
+    /// Whether faults still apply to messages sent at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.until.is_none_or(|t| now <= t)
+    }
+}
+
+/// Parameters of a random router crash/restart process, mirroring
+/// [`FailureModel`] for links.
+#[derive(Clone, Debug)]
+pub struct CrashModel {
+    /// Mean operating time before a router crashes, in milliseconds.
+    pub mtbf_ms: f64,
+    /// Mean reboot time, in milliseconds.
+    pub mttr_ms: f64,
+    /// Fraction of routers subject to crashing (the rest never do).
+    pub fallible_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CrashModel {
+    fn default() -> CrashModel {
+        CrashModel {
+            mtbf_ms: 800.0,
+            mttr_ms: 150.0,
+            fallible_fraction: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+/// One scheduled router outage: crash at `down_at`, restart at `up_at`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RouterOutage {
+    /// The router that crashes.
+    pub ad: AdId,
+    /// Crash time.
+    pub down_at: SimTime,
+    /// Restart time (strictly after `down_at`).
+    pub up_at: SimTime,
+}
+
+/// What kinds of faults to draw; input to [`FaultPlan::draw`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultSpec {
+    /// Link up/down churn (None = stable links).
+    pub link_model: Option<FailureModel>,
+    /// Router crash/restart churn (None = stable routers).
+    pub crash_model: Option<CrashModel>,
+    /// Channel fault probabilities (None = perfect channel).
+    pub channel: Option<ChannelFaults>,
+}
+
+/// A concrete, deterministic fault scenario over a time horizon: link
+/// events, router outages, and a channel fault configuration, ready to
+/// [`apply`](FaultPlan::apply) to an engine.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    links: FailureSchedule,
+    outages: Vec<RouterOutage>,
+    channel: Option<ChannelFaults>,
+    horizon_end: SimTime,
+    heal: bool,
+}
+
+impl FaultPlan {
+    /// Draws a healed plan for `topo` over `[start, start + horizon_ms)`.
+    ///
+    /// Healed means the plan ends clean: every outage restarts by the
+    /// horizon, link repairs the schedule left hanging are forced at the
+    /// horizon by [`apply`](FaultPlan::apply), channel faults stop at the
+    /// horizon, and a resynchronization sweep follows. The same inputs
+    /// always produce the same plan.
+    pub fn draw(topo: &Topology, spec: &FaultSpec, start: SimTime, horizon_ms: u64) -> FaultPlan {
+        let end = start.plus_us(horizon_ms * 1000);
+        let links = spec
+            .link_model
+            .as_ref()
+            .map(|m| FailureSchedule::draw(topo, m, start, horizon_ms))
+            .unwrap_or_default();
+        let outages = spec
+            .crash_model
+            .as_ref()
+            .map(|m| draw_outages(topo, m, start, end))
+            .unwrap_or_default();
+        let mut channel = spec.channel.clone();
+        if let Some(ch) = &mut channel {
+            ch.until.get_or_insert(end);
+        }
+        FaultPlan {
+            links,
+            outages,
+            channel,
+            horizon_end: end,
+            heal: true,
+        }
+    }
+
+    /// A hand-built plan (for tests and targeted experiments). `heal`
+    /// controls whether [`apply`](FaultPlan::apply) appends horizon
+    /// repairs and the resynchronization sweep.
+    pub fn from_parts(
+        links: FailureSchedule,
+        outages: Vec<RouterOutage>,
+        channel: Option<ChannelFaults>,
+        horizon_end: SimTime,
+        heal: bool,
+    ) -> FaultPlan {
+        FaultPlan {
+            links,
+            outages,
+            channel,
+            horizon_end,
+            heal,
+        }
+    }
+
+    /// The link churn component.
+    pub fn link_events(&self) -> &FailureSchedule {
+        &self.links
+    }
+
+    /// The router outages, as drawn (unordered between routers).
+    pub fn outages(&self) -> &[RouterOutage] {
+        &self.outages
+    }
+
+    /// The channel fault configuration, if any.
+    pub fn channel(&self) -> Option<&ChannelFaults> {
+        self.channel.as_ref()
+    }
+
+    /// End of the fault horizon; with healing, the network is fault-free
+    /// from here on.
+    pub fn horizon_end(&self) -> SimTime {
+        self.horizon_end
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.outages.is_empty() && self.channel.is_none()
+    }
+
+    /// Queues every fault into the engine and installs the channel fault
+    /// injector. With healing, also queues horizon repairs for links the
+    /// schedule leaves down and a resynchronization sweep (a link-up
+    /// re-fire on every operational link) 1 ms past the horizon.
+    ///
+    /// # Panics
+    /// Panics if any event lies in the engine's past.
+    pub fn apply<P: Protocol>(&self, engine: &mut Engine<P>) {
+        // Final scheduled state per link: starts from current topology,
+        // then follows the plan's events.
+        let mut final_up: Vec<bool> = engine.topo().links().map(|l| l.up).collect();
+        self.links.apply(engine);
+        for e in self.links.events() {
+            final_up[e.link.index()] = e.up;
+        }
+        for o in &self.outages {
+            engine.schedule_router_change(o.ad, false, o.down_at);
+            engine.schedule_router_change(o.ad, true, o.up_at);
+        }
+        engine.set_channel_faults(self.channel.clone());
+        if self.heal {
+            let link_ids: Vec<_> = engine.topo().links().map(|l| l.id).collect();
+            for link in &link_ids {
+                if !final_up[link.index()] {
+                    engine.schedule_link_change(*link, true, self.horizon_end);
+                    final_up[link.index()] = true;
+                }
+            }
+            let sweep_at = self.horizon_end.plus_us(1000);
+            for link in link_ids {
+                if final_up[link.index()] {
+                    engine.schedule_link_change(link, true, sweep_at);
+                }
+            }
+        }
+    }
+}
+
+/// Draws alternating crash/restart outages per fallible router, every
+/// restart clamped to the horizon so healed plans end with all routers up.
+fn draw_outages(
+    topo: &Topology,
+    model: &CrashModel,
+    start: SimTime,
+    end: SimTime,
+) -> Vec<RouterOutage> {
+    let mut rng = SmallRng::seed_from_u64(model.seed);
+    let mut outages = Vec::new();
+    for ad in topo.ad_ids() {
+        if !rng.gen_bool(model.fallible_fraction.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let mut t = start;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let uptime_ms = (-model.mtbf_ms * u.ln()).max(1.0);
+            let down_at = t.plus_us((uptime_ms * 1000.0) as u64);
+            if down_at >= end {
+                break;
+            }
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let repair_ms = (-model.mttr_ms * u.ln()).max(1.0);
+            let up_at = SimTime(down_at.plus_us((repair_ms * 1000.0) as u64).0.min(end.0));
+            outages.push(RouterOutage { ad, down_at, up_at });
+            t = up_at;
+            if t >= end {
+                break;
+            }
+        }
+    }
+    outages.sort_by_key(|o| (o.down_at, o.ad));
+    outages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adroute_topology::generate::ring;
+
+    fn spec() -> FaultSpec {
+        FaultSpec {
+            link_model: Some(FailureModel {
+                mtbf_ms: 100.0,
+                mttr_ms: 40.0,
+                fallible_fraction: 0.5,
+                seed: 5,
+            }),
+            crash_model: Some(CrashModel {
+                mtbf_ms: 150.0,
+                mttr_ms: 60.0,
+                fallible_fraction: 0.5,
+                seed: 7,
+            }),
+            channel: Some(ChannelFaults {
+                loss: 0.05,
+                seed: 11,
+                ..ChannelFaults::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let topo = ring(10);
+        let a = FaultPlan::draw(&topo, &spec(), SimTime::ZERO, 1_000);
+        let b = FaultPlan::draw(&topo, &spec(), SimTime::ZERO, 1_000);
+        assert_eq!(a.link_events().events(), b.link_events().events());
+        assert_eq!(a.outages(), b.outages());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn outages_heal_within_horizon() {
+        let topo = ring(12);
+        let plan = FaultPlan::draw(&topo, &spec(), SimTime::ZERO, 800);
+        assert!(!plan.outages().is_empty(), "seed should crash someone");
+        for o in plan.outages() {
+            assert!(o.down_at < o.up_at);
+            assert!(o.up_at <= plan.horizon_end());
+        }
+        // Per router: outages do not overlap.
+        for ad in topo.ad_ids() {
+            let mine: Vec<_> = plan.outages().iter().filter(|o| o.ad == ad).collect();
+            for w in mine.windows(2) {
+                assert!(w[0].up_at <= w[1].down_at);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_faults_stop_at_horizon() {
+        let topo = ring(6);
+        let plan = FaultPlan::draw(&topo, &spec(), SimTime::ZERO, 500);
+        let ch = plan.channel().expect("spec has a channel");
+        assert_eq!(ch.until, Some(plan.horizon_end()));
+        assert!(ch.active_at(SimTime::ZERO));
+        assert!(ch.active_at(plan.horizon_end()));
+        assert!(!ch.active_at(plan.horizon_end().plus_us(1)));
+    }
+
+    #[test]
+    fn empty_spec_empty_plan() {
+        let topo = ring(6);
+        let plan = FaultPlan::draw(&topo, &FaultSpec::default(), SimTime::ZERO, 1_000);
+        assert!(plan.is_empty());
+        assert!(plan.link_events().is_empty());
+        assert!(plan.outages().is_empty());
+        assert!(plan.channel().is_none());
+    }
+}

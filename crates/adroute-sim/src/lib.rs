@@ -15,12 +15,14 @@
 
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod schedule;
 pub mod stats;
 pub mod trace;
 
 pub use engine::{Ctx, Engine, Protocol};
 pub use event::SimTime;
+pub use faults::{ChannelFaults, CrashModel, FaultPlan, FaultSpec, RouterOutage};
 pub use schedule::{FailureModel, FailureSchedule, LinkEvent};
 pub use stats::Stats;
 pub use trace::{Trace, TraceRecord};

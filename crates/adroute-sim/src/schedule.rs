@@ -44,7 +44,12 @@ pub struct FailureModel {
 
 impl Default for FailureModel {
     fn default() -> Self {
-        FailureModel { mtbf_ms: 500.0, mttr_ms: 100.0, fallible_fraction: 0.3, seed: 0 }
+        FailureModel {
+            mtbf_ms: 500.0,
+            mttr_ms: 100.0,
+            fallible_fraction: 0.3,
+            seed: 0,
+        }
     }
 }
 
@@ -83,7 +88,11 @@ impl FailureSchedule {
                     break;
                 }
                 up = !up;
-                events.push(LinkEvent { at: t, link: link.id, up });
+                events.push(LinkEvent {
+                    at: t,
+                    link: link.id,
+                    up,
+                });
             }
         }
         events.sort_by_key(|e| (e.at, e.link));
@@ -135,7 +144,10 @@ mod tests {
     #[test]
     fn deterministic_draws() {
         let topo = ring(8);
-        let model = FailureModel { seed: 3, ..Default::default() };
+        let model = FailureModel {
+            seed: 3,
+            ..Default::default()
+        };
         let a = FailureSchedule::draw(&topo, &model, SimTime::ZERO, 2_000);
         let b = FailureSchedule::draw(&topo, &model, SimTime::ZERO, 2_000);
         assert_eq!(a.events(), b.events());
@@ -146,13 +158,21 @@ mod tests {
         let topo = ring(8);
         let a = FailureSchedule::draw(
             &topo,
-            &FailureModel { seed: 1, fallible_fraction: 1.0, ..Default::default() },
+            &FailureModel {
+                seed: 1,
+                fallible_fraction: 1.0,
+                ..Default::default()
+            },
             SimTime::ZERO,
             2_000,
         );
         let b = FailureSchedule::draw(
             &topo,
-            &FailureModel { seed: 2, fallible_fraction: 1.0, ..Default::default() },
+            &FailureModel {
+                seed: 2,
+                fallible_fraction: 1.0,
+                ..Default::default()
+            },
             SimTime::ZERO,
             2_000,
         );
@@ -162,11 +182,18 @@ mod tests {
     #[test]
     fn events_ordered_and_alternating_per_link() {
         let topo = ring(6);
-        let model =
-            FailureModel { fallible_fraction: 1.0, mtbf_ms: 50.0, mttr_ms: 20.0, seed: 9 };
+        let model = FailureModel {
+            fallible_fraction: 1.0,
+            mtbf_ms: 50.0,
+            mttr_ms: 20.0,
+            seed: 9,
+        };
         let s = FailureSchedule::draw(&topo, &model, SimTime::ZERO, 1_000);
         assert!(!s.is_empty());
-        assert!(s.failures() >= s.len() / 2, "first event per link is a failure");
+        assert!(
+            s.failures() >= s.len() / 2,
+            "first event per link is a failure"
+        );
         let mut last = SimTime::ZERO;
         for e in s.events() {
             assert!(e.at >= last);
@@ -184,7 +211,11 @@ mod tests {
     #[test]
     fn horizon_and_start_respected() {
         let topo = ring(6);
-        let model = FailureModel { fallible_fraction: 1.0, seed: 4, ..Default::default() };
+        let model = FailureModel {
+            fallible_fraction: 1.0,
+            seed: 4,
+            ..Default::default()
+        };
         let start = SimTime::from_ms(100);
         let s = FailureSchedule::draw(&topo, &model, start, 500);
         for e in s.events() {
@@ -196,7 +227,10 @@ mod tests {
     #[test]
     fn zero_fraction_means_no_events() {
         let topo = ring(6);
-        let model = FailureModel { fallible_fraction: 0.0, ..Default::default() };
+        let model = FailureModel {
+            fallible_fraction: 0.0,
+            ..Default::default()
+        };
         let s = FailureSchedule::draw(&topo, &model, SimTime::ZERO, 10_000);
         assert!(s.is_empty());
         assert_eq!(s.failures(), 0);
@@ -205,8 +239,16 @@ mod tests {
     #[test]
     fn hand_built_schedules_sort() {
         let s = FailureSchedule::from_events(vec![
-            LinkEvent { at: SimTime(500), link: LinkId(1), up: true },
-            LinkEvent { at: SimTime(100), link: LinkId(1), up: false },
+            LinkEvent {
+                at: SimTime(500),
+                link: LinkId(1),
+                up: true,
+            },
+            LinkEvent {
+                at: SimTime(100),
+                link: LinkId(1),
+                up: false,
+            },
         ]);
         assert_eq!(s.events()[0].at, SimTime(100));
         assert_eq!(s.len(), 2);

@@ -18,6 +18,23 @@ pub struct Stats {
     pub bytes_sent: u64,
     /// Control messages delivered.
     pub msgs_delivered: u64,
+    /// Messages a router tried to send to a non-neighbor or over a failed
+    /// link; [`Ctx::send`](crate::Ctx::send) drops these at the source.
+    pub msgs_dropped: u64,
+    /// Messages lost in flight: the carrying link failed, the destination
+    /// router was down, or an injected channel fault ate the packet.
+    pub msgs_lost: u64,
+    /// Messages dropped as corrupted by an injected channel fault
+    /// (modeling a checksum failure at the receiver).
+    pub msgs_corrupted: u64,
+    /// Extra copies delivered by an injected duplication fault.
+    pub msgs_duplicated: u64,
+    /// Messages delayed out of order by an injected reordering fault.
+    pub msgs_reordered: u64,
+    /// Router crash events processed.
+    pub router_crashes: u64,
+    /// Router restart events processed.
+    pub router_restarts: u64,
     /// Events processed in total.
     pub events: u64,
     /// Time of the last control-plane activity (convergence time).
@@ -31,7 +48,10 @@ pub struct Stats {
 impl Stats {
     /// Creates stats sized for `num_ads` ADs.
     pub fn new(num_ads: usize) -> Stats {
-        Stats { per_ad_msgs: vec![0; num_ads], ..Stats::default() }
+        Stats {
+            per_ad_msgs: vec![0; num_ads],
+            ..Stats::default()
+        }
     }
 
     /// Adds `n` to the named counter.

@@ -34,7 +34,11 @@ pub struct Trace {
 impl Trace {
     /// A trace retaining at most `capacity` most-recent records.
     pub fn new(capacity: usize) -> Trace {
-        Trace { records: VecDeque::new(), capacity, dropped: 0 }
+        Trace {
+            records: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Appends a record, evicting the oldest if full.
@@ -47,7 +51,10 @@ impl Trace {
             self.records.pop_front();
             self.dropped += 1;
         }
-        self.records.push_back(TraceRecord { at, what: what.into() });
+        self.records.push_back(TraceRecord {
+            at,
+            what: what.into(),
+        });
     }
 
     /// The configured capacity (0 = disabled).
@@ -81,7 +88,10 @@ impl Trace {
 
     /// First record whose description differs from `other`'s at the same
     /// position — the point of divergence between two runs.
-    pub fn first_divergence<'a>(&'a self, other: &'a Trace) -> Option<(usize, Option<&'a TraceRecord>, Option<&'a TraceRecord>)> {
+    pub fn first_divergence<'a>(
+        &'a self,
+        other: &'a Trace,
+    ) -> Option<(usize, Option<&'a TraceRecord>, Option<&'a TraceRecord>)> {
         let mut i = 0;
         let mut a = self.records.iter();
         let mut b = other.records.iter();

@@ -58,7 +58,13 @@ pub fn dijkstra(topo: &Topology, src: AdId) -> (Vec<PathCost>, Vec<Option<AdId>>
     }
     let cost = cost
         .into_iter()
-        .map(|c| if c == u64::MAX { PathCost::Unreachable } else { PathCost::Finite(c) })
+        .map(|c| {
+            if c == u64::MAX {
+                PathCost::Unreachable
+            } else {
+                PathCost::Finite(c)
+            }
+        })
         .collect();
     (cost, parent)
 }
@@ -158,7 +164,7 @@ mod tests {
     #[test]
     fn dijkstra_respects_metrics() {
         let mut t = ring(4); // 0-1-2-3-0
-        // Make 0-1 expensive; 0->2 should go via 3.
+                             // Make 0-1 expensive; 0->2 should go via 3.
         let l01 = t.link_between(AdId(0), AdId(1)).unwrap();
         t.set_metric(l01, 10);
         let (cost, parent) = dijkstra(&t, AdId(0));
@@ -201,6 +207,9 @@ mod tests {
     fn self_path_is_trivial() {
         let t = line(2);
         let (_, parent) = dijkstra(&t, AdId(0));
-        assert_eq!(extract_path(&parent, AdId(0), AdId(0)).unwrap(), vec![AdId(0)]);
+        assert_eq!(
+            extract_path(&parent, AdId(0), AdId(0)).unwrap(),
+            vec![AdId(0)]
+        );
     }
 }

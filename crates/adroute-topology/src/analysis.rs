@@ -27,7 +27,11 @@ pub fn degree_stats(topo: &Topology) -> DegreeStats {
     let mut sum = 0usize;
     let n = topo.num_ads();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
     }
     for ad in topo.ad_ids() {
         let d = topo.degree(ad);
@@ -35,7 +39,11 @@ pub fn degree_stats(topo: &Topology) -> DegreeStats {
         max = max.max(d);
         sum += d;
     }
-    DegreeStats { min, max, mean: sum as f64 / n as f64 }
+    DegreeStats {
+        min,
+        max,
+        mean: sum as f64 / n as f64,
+    }
 }
 
 /// Finds the articulation ADs of the operational graph: ADs whose removal
@@ -92,7 +100,10 @@ pub fn articulation_ads(topo: &Topology) -> Vec<AdId> {
             is_art[root.index()] = true;
         }
     }
-    (0..n as u32).map(AdId).filter(|a| is_art[a.index()]).collect()
+    (0..n as u32)
+        .map(AdId)
+        .filter(|a| is_art[a.index()])
+        .collect()
 }
 
 /// Counts vertex-disjoint-ish path diversity: for a pair `(a, b)`, the
@@ -173,10 +184,7 @@ mod tests {
     #[test]
     fn line_interior_ads_are_articulation_points() {
         let t = line(5);
-        assert_eq!(
-            articulation_ads(&t),
-            vec![AdId(1), AdId(2), AdId(3)]
-        );
+        assert_eq!(articulation_ads(&t), vec![AdId(1), AdId(2), AdId(3)]);
     }
 
     #[test]

@@ -78,16 +78,18 @@ impl HierarchyConfig {
         // per-backbone subtree = 1 + 3*(1 + 3*(1+4)) = 1 + 3*16 = 49.
         let per_backbone = 49usize;
         let backbones = (target / per_backbone).max(1);
-        HierarchyConfig { backbones, seed, ..HierarchyConfig::default() }
+        HierarchyConfig {
+            backbones,
+            seed,
+            ..HierarchyConfig::default()
+        }
     }
 
     /// Total AD count this config will generate.
     pub fn total_ads(&self) -> usize {
-        let campuses_per_regional =
-            self.metros_per_regional * self.campuses_per_metro;
-        let per_backbone = 1
-            + self.regionals_per_backbone
-                * (1 + self.metros_per_regional + campuses_per_regional);
+        let campuses_per_regional = self.metros_per_regional * self.campuses_per_metro;
+        let per_backbone = 1 + self.regionals_per_backbone
+            * (1 + self.metros_per_regional + campuses_per_regional);
         self.backbones * per_backbone
     }
 
@@ -106,8 +108,9 @@ impl HierarchyConfig {
         };
 
         // Backbone mesh: ring plus random chords for redundancy.
-        let backbones: Vec<AdId> =
-            (0..self.backbones).map(|_| alloc(AdLevel::Backbone, &mut ads)).collect();
+        let backbones: Vec<AdId> = (0..self.backbones)
+            .map(|_| alloc(AdLevel::Backbone, &mut ads))
+            .collect();
         for i in 0..backbones.len() {
             if backbones.len() > 1 {
                 let j = (i + 1) % backbones.len();
@@ -221,8 +224,9 @@ impl HierarchyConfig {
 pub fn line(n: usize) -> Topology {
     assert!(n >= 1);
     let ads = (0..n as u32).map(|i| make_ad(i, AdLevel::Campus)).collect();
-    let edges: Vec<_> =
-        (0..n as u32 - 1).map(|i| (AdId(i), AdId(i + 1), 1)).collect();
+    let edges: Vec<_> = (0..n as u32 - 1)
+        .map(|i| (AdId(i), AdId(i + 1), 1))
+        .collect();
     Topology::new(ads, &edges)
 }
 
@@ -230,8 +234,9 @@ pub fn line(n: usize) -> Topology {
 pub fn ring(n: usize) -> Topology {
     assert!(n >= 3);
     let ads = (0..n as u32).map(|i| make_ad(i, AdLevel::Campus)).collect();
-    let mut edges: Vec<_> =
-        (0..n as u32 - 1).map(|i| (AdId(i), AdId(i + 1), 1)).collect();
+    let mut edges: Vec<_> = (0..n as u32 - 1)
+        .map(|i| (AdId(i), AdId(i + 1), 1))
+        .collect();
     edges.push((AdId(0), AdId(n as u32 - 1), 1));
     Topology::new(ads, &edges)
 }
@@ -306,8 +311,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = HierarchyConfig { seed: 1, ..Default::default() }.generate();
-        let b = HierarchyConfig { seed: 2, ..Default::default() }.generate();
+        let a = HierarchyConfig {
+            seed: 1,
+            ..Default::default()
+        }
+        .generate();
+        let b = HierarchyConfig {
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
         // AD counts match (structure) but link sets should differ with
         // overwhelming probability.
         assert_eq!(a.num_ads(), b.num_ads());

@@ -92,12 +92,23 @@ impl Topology {
         let mut seen = std::collections::HashSet::new();
         for (i, &(a, b, metric)) in edges.iter().enumerate() {
             assert!(a != b, "self-loop at {a}");
-            assert!(a.index() < ads.len() && b.index() < ads.len(), "edge endpoint out of range");
+            assert!(
+                a.index() < ads.len() && b.index() < ads.len(),
+                "edge endpoint out of range"
+            );
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
             assert!(seen.insert((lo, hi)), "duplicate edge {lo}-{hi}");
             let id = LinkId(i as u32);
             let kind = LinkKind::classify(ads[lo.index()].level, ads[hi.index()].level);
-            links.push(Link { id, a: lo, b: hi, kind, metric, delay_us: 1000, up: true });
+            links.push(Link {
+                id,
+                a: lo,
+                b: hi,
+                kind,
+                metric,
+                delay_us: 1000,
+                up: true,
+            });
             adj[lo.index()].push((hi, id));
             adj[hi.index()].push((lo, id));
         }
@@ -276,7 +287,11 @@ pub fn make_ad(id: u32, level: AdLevel) -> Ad {
         AdLevel::Metro => AdRole::Hybrid,
         AdLevel::Campus => AdRole::Stub,
     };
-    Ad { id: AdId(id), level, role }
+    Ad {
+        id: AdId(id),
+        level,
+        role,
+    }
 }
 
 #[cfg(test)]
@@ -292,7 +307,11 @@ mod tests {
         ];
         Topology::new(
             ads,
-            &[(AdId(0), AdId(1), 1), (AdId(1), AdId(2), 1), (AdId(0), AdId(2), 5)],
+            &[
+                (AdId(0), AdId(1), 1),
+                (AdId(1), AdId(2), 1),
+                (AdId(0), AdId(2), 5),
+            ],
         )
     }
 
@@ -362,7 +381,11 @@ mod tests {
         ];
         let mut t = Topology::new(
             ads,
-            &[(AdId(0), AdId(1), 1), (AdId(0), AdId(2), 1), (AdId(1), AdId(2), 1)],
+            &[
+                (AdId(0), AdId(1), 1),
+                (AdId(0), AdId(2), 1),
+                (AdId(1), AdId(2), 1),
+            ],
         );
         t.reclassify_roles();
         assert_eq!(t.ad(AdId(2)).role, AdRole::MultiHomedStub);

@@ -201,7 +201,10 @@ mod tests {
         assert_eq!(LinkKind::classify(Regional, Regional), LinkKind::Lateral);
         assert_eq!(LinkKind::classify(Campus, Backbone), LinkKind::Bypass);
         assert_eq!(LinkKind::classify(Campus, Regional), LinkKind::Bypass);
-        assert_eq!(LinkKind::classify(Backbone, Regional), LinkKind::Hierarchical);
+        assert_eq!(
+            LinkKind::classify(Backbone, Regional),
+            LinkKind::Hierarchical
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl std::fmt::Display for TopologyParseError {
 impl std::error::Error for TopologyParseError {}
 
 fn perr<T>(line: usize, message: impl Into<String>) -> Result<T, TopologyParseError> {
-    Err(TopologyParseError { line, message: message.into() })
+    Err(TopologyParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parses the v1 text format back into a [`Topology`].
@@ -107,9 +110,16 @@ pub fn parse(text: &str) -> Result<Topology, TopologyParseError> {
                     other => return perr(lineno, format!("bad role {other:?}")),
                 };
                 if id as usize != ads.len() {
-                    return perr(lineno, format!("AD ids must be dense; expected {}", ads.len()));
+                    return perr(
+                        lineno,
+                        format!("AD ids must be dense; expected {}", ads.len()),
+                    );
                 }
-                ads.push(Ad { id: AdId(id), level, role });
+                ads.push(Ad {
+                    id: AdId(id),
+                    level,
+                    role,
+                });
             }
             Some("link") => {
                 let toks: Vec<&str> = parts.collect();
@@ -174,9 +184,9 @@ mod tests {
     fn equivalent(a: &Topology, b: &Topology) -> bool {
         a.num_ads() == b.num_ads()
             && a.num_links() == b.num_links()
-            && a.ads().zip(b.ads()).all(|(x, y)| {
-                x.id == y.id && x.level == y.level && x.role == y.role
-            })
+            && a.ads()
+                .zip(b.ads())
+                .all(|(x, y)| x.id == y.id && x.level == y.level && x.role == y.role)
             && a.links().zip(b.links()).all(|(x, y)| {
                 x.a == y.a
                     && x.b == y.b

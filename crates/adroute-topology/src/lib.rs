@@ -30,7 +30,7 @@ pub mod render;
 
 pub use algo::{bfs_tree, connected_components, dijkstra, is_connected, PathCost};
 pub use analysis::{articulation_ads, degree_stats, egress_diversity, DegreeStats};
-pub use generate::{line, ring, star, grid, clique, HierarchyConfig};
+pub use generate::{clique, grid, line, ring, star, HierarchyConfig};
 pub use graph::{Ad, Link, Topology};
 pub use ids::{AdId, AdLevel, AdRole, LinkId, LinkKind};
 pub use io::{dump, parse, TopologyParseError};

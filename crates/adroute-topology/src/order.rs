@@ -43,10 +43,7 @@ impl PartialOrder {
     /// The natural hierarchy ordering: rank = level-major, id-minor.
     /// Backbones rank highest.
     pub fn from_levels(topo: &Topology) -> PartialOrder {
-        let rank = topo
-            .ads()
-            .map(|ad| u32::from(ad.level.rank()))
-            .collect();
+        let rank = topo.ads().map(|ad| u32::from(ad.level.rank())).collect();
         PartialOrder { rank }
     }
 
@@ -288,7 +285,10 @@ mod tests {
     fn trivial_path() {
         let t = line(2);
         let po = PartialOrder::from_levels(&t);
-        assert_eq!(po.valley_free_path(&t, AdId(0), AdId(0)).unwrap(), vec![AdId(0)]);
+        assert_eq!(
+            po.valley_free_path(&t, AdId(0), AdId(0)).unwrap(),
+            vec![AdId(0)]
+        );
         assert!(po.is_valley_free(&[AdId(0)]));
     }
 }

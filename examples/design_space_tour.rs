@@ -100,7 +100,10 @@ fn main() {
     let engine = adroute::core::router::converge_control_plane(topo.clone(), policies.clone());
     let (m, b) = (engine.stats.msgs_sent, engine.stats.bytes_sent);
     let mut net = OrwgNetwork::from_engine(&engine, Strategy::Cached { capacity: 512 }, 4096);
-    let mut s = FlowScore { flows: flows.len(), ..Default::default() };
+    let mut s = FlowScore {
+        flows: flows.len(),
+        ..Default::default()
+    };
     for f in &flows {
         let oracle = legal_route(&topo, &policies, f);
         if oracle.is_some() {
@@ -112,7 +115,10 @@ fn main() {
                 if let Some(o) = &oracle {
                     s.compliant_of_legal += 1;
                     let cost = adroute::policy::legality::route_is_legal(
-                        &topo, &policies, f, &setup.route,
+                        &topo,
+                        &policies,
+                        f,
+                        &setup.route,
                     )
                     .expect("gateway-validated route must be legal");
                     s.cost_sum += cost;

@@ -42,19 +42,42 @@ fn main() {
     let n = 8;
     println!("ring of {n} ADs, permissive policies; fail link AD0-AD1 after convergence\n");
 
-    crash_test("naive DV", ring(n), NaiveDv { infinity: 32, split_horizon: false, ..NaiveDv::default() });
-    crash_test("naive DV + split hz", ring(n), NaiveDv { infinity: 32, split_horizon: true, ..NaiveDv::default() });
+    crash_test(
+        "naive DV",
+        ring(n),
+        NaiveDv {
+            infinity: 32,
+            split_horizon: false,
+            ..NaiveDv::default()
+        },
+    );
+    crash_test(
+        "naive DV + split hz",
+        ring(n),
+        NaiveDv {
+            infinity: 32,
+            split_horizon: true,
+            ..NaiveDv::default()
+        },
+    );
     crash_test("ECMA (ordering)", ring(n), Ecma::all_transit(&ring(n)));
-    crash_test("path vector (IDRP)", ring(n), PathVector::idrp(PolicyDb::permissive(&ring(n))));
-    crash_test("link state (HBH)", ring(n), LsHbh::new(&ring(n), PolicyDb::permissive(&ring(n))));
+    crash_test(
+        "path vector (IDRP)",
+        ring(n),
+        PathVector::idrp(PolicyDb::permissive(&ring(n))),
+    );
+    crash_test(
+        "link state (HBH)",
+        ring(n),
+        LsHbh::new(&ring(n), PolicyDb::permissive(&ring(n))),
+    );
 
     // ORWG: the interesting part is the data plane — handles crossing the
     // dead link are invalidated and the source re-opens.
     println!("\nORWG handle recovery:");
     let topo = ring(n);
     let db = PolicyDb::permissive(&topo);
-    let mut net =
-        OrwgNetwork::converged_with(&topo, &db, Strategy::Cached { capacity: 128 }, 1024);
+    let mut net = OrwgNetwork::converged_with(&topo, &db, Strategy::Cached { capacity: 128 }, 1024);
     let flow = FlowSpec::best_effort(AdId(0), AdId(4));
     let s1 = net.open(&flow).expect("initial setup");
     println!(
@@ -76,5 +99,8 @@ fn main() {
         s2.header_bytes
     );
     let d = net.send(s2.handle).expect("data flows again");
-    println!("  data flows again: {} hops, {} header bytes", d.hops, d.header_bytes);
+    println!(
+        "  data flows again: {} hops, {} header bytes",
+        d.hops, d.header_bytes
+    );
 }

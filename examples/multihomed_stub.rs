@@ -49,14 +49,20 @@ fn build() -> Topology {
 }
 
 fn describe(path: &[AdId]) -> String {
-    path.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" -> ")
+    path.iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(" -> ")
 }
 
 fn main() {
     let topo = build();
     let policies = PolicyWorkload::structural(1).generate(&topo);
     let flow = FlowSpec::best_effort(AdId(4), AdId(5)); // customer to customer
-    println!("scenario: {} (stub S = AD3 is multi-homed, no-transit)\n", flow);
+    println!(
+        "scenario: {} (stub S = AD3 is multi-homed, no-transit)\n",
+        flow
+    );
 
     // --- Naive DV: policy-blind --------------------------------------
     let mut dv = Engine::new(topo.clone(), NaiveDv::default());

@@ -28,7 +28,10 @@ fn main() {
         .find(|a| a.level == AdLevel::Regional)
         .expect("hierarchy has regionals")
         .id;
-    println!("assessing candidate policies for {subject} over {} sampled flows\n", flows.len());
+    println!(
+        "assessing candidate policies for {subject} over {} sampled flows\n",
+        flows.len()
+    );
 
     let mut candidates: Vec<(&str, TransitPolicy)> = Vec::new();
 

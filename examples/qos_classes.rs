@@ -80,7 +80,11 @@ fn build() -> (Topology, PolicyDb) {
 
 fn show(route: Option<Vec<AdId>>) -> String {
     match route {
-        Some(p) => p.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" -> "),
+        Some(p) => p
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> "),
         None => "(no route)".to_string(),
     }
 }
@@ -120,7 +124,10 @@ fn main() {
     if let ForwardOutcome::Delivered { path } = out {
         println!(
             "  forwarding qos1 hop-by-hop: {}",
-            path.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" -> ")
+            path.iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ")
         );
     }
     println!(

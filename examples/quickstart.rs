@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use adroute::core::{OrwgNetwork, Strategy};
 use adroute::core::router::converge_control_plane;
+use adroute::core::{OrwgNetwork, Strategy};
 use adroute::policy::workload::PolicyWorkload;
 use adroute::policy::FlowSpec;
 use adroute::topology::{AdLevel, HierarchyConfig};
@@ -62,12 +62,16 @@ fn main() {
                 setup.validations, setup.header_bytes, setup.latency_us
             );
             // 6. Data packets ride the handle: constant 12-byte header.
-            let data = net.send(setup.handle).expect("established route must forward");
+            let data = net
+                .send(setup.handle)
+                .expect("established route must forward");
             println!(
                 "  data packet  : {} hops, {} header bytes, {} us",
                 data.hops, data.header_bytes, data.latency_us
             );
-            let sr = net.send_source_routed(&flow).expect("source-routed variant");
+            let sr = net
+                .send_source_routed(&flow)
+                .expect("source-routed variant");
             println!(
                 "  (ablation)   : full source route in every packet would cost {} header bytes",
                 sr.header_bytes
@@ -82,7 +86,10 @@ fn main() {
     for ad in topo.ad_ids() {
         let s = net.server(ad).stats;
         if s.searches > 0 {
-            println!("  {ad}: {} searches ({} states settled)", s.searches, s.settled);
+            println!(
+                "  {ad}: {} searches ({} states settled)",
+                s.searches, s.settled
+            );
         }
     }
 }

@@ -13,9 +13,7 @@
 //! cargo run --example resilience_audit
 //! ```
 
-use adroute::topology::{
-    analysis, io, AdLevel, AdRole, HierarchyConfig,
-};
+use adroute::topology::{analysis, io, AdLevel, AdRole, HierarchyConfig};
 
 fn main() {
     let pure_tree = HierarchyConfig {
@@ -35,11 +33,18 @@ fn main() {
     }
     .generate();
 
-    for (name, topo) in [("pure hierarchy", &pure_tree), ("augmented (Figure 1)", &augmented)] {
+    for (name, topo) in [
+        ("pure hierarchy", &pure_tree),
+        ("augmented (Figure 1)", &augmented),
+    ] {
         let arts = analysis::articulation_ads(topo);
         let stats = analysis::degree_stats(topo);
         let (h, l, b) = topo.link_kind_counts();
-        println!("{name}: {} ADs, {} links ({h} hier, {l} lateral, {b} bypass)", topo.num_ads(), topo.num_links());
+        println!(
+            "{name}: {} ADs, {} links ({h} hier, {l} lateral, {b} bypass)",
+            topo.num_ads(),
+            topo.num_links()
+        );
         println!(
             "  degree min/mean/max = {}/{:.2}/{}, articulation ADs = {}",
             stats.min,
@@ -66,7 +71,10 @@ fn main() {
     let mut shown = 0;
     for ad in augmented.ads().filter(|a| a.role == AdRole::MultiHomedStub) {
         let d = analysis::egress_diversity(&augmented, ad.id, backbone);
-        println!("  {}: {} independent egresses toward {}", ad.id, d, backbone);
+        println!(
+            "  {}: {} independent egresses toward {}",
+            ad.id, d, backbone
+        );
         shown += 1;
         if shown == 6 {
             break;

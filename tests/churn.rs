@@ -23,7 +23,12 @@ fn internet(seed: u64) -> adroute::topology::Topology {
 }
 
 fn model(seed: u64) -> FailureModel {
-    FailureModel { mtbf_ms: 200.0, mttr_ms: 50.0, fallible_fraction: 0.3, seed }
+    FailureModel {
+        mtbf_ms: 200.0,
+        mttr_ms: 50.0,
+        fallible_fraction: 0.3,
+        seed,
+    }
 }
 
 #[test]
@@ -40,6 +45,12 @@ fn link_state_stays_consistent_through_churn() {
     // truth: its view contains exactly the operational links.
     let truth = e.topo().clone();
     for ad in truth.ad_ids() {
+        if truth.neighbors(ad).next().is_none() {
+            // The schedule's repair for this AD's last link fell beyond the
+            // horizon: it ends the run isolated, so its view is legitimately
+            // frozen at the moment it was cut off (seed 81 strands AD19/AD22).
+            continue;
+        }
         let (view, _) = e.router(ad).flooder.db.view();
         assert_eq!(
             view.links().filter(|l| l.up).count(),
@@ -64,7 +75,11 @@ fn dv_protocols_survive_churn_without_loops() {
     for split in [false, true] {
         let mut e = Engine::new(
             topo.clone(),
-            NaiveDv { infinity: 32, split_horizon: split, ..NaiveDv::default() },
+            NaiveDv {
+                infinity: 32,
+                split_horizon: split,
+                ..NaiveDv::default()
+            },
         );
         e.run_to_quiescence();
         let schedule = FailureSchedule::draw(e.topo(), &model(83), e.now().plus_us(1000), 1_000);

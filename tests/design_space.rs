@@ -117,7 +117,10 @@ fn orwg_setup_routes_are_always_legal_and_optimal() {
                 assert_eq!(cost, oracle.cost, "suboptimal route for {f}");
             }
             Err(OpenError::NoRoute) => {
-                assert!(legal_route(&topo, &db, &f).is_none(), "missed legal route for {f}");
+                assert!(
+                    legal_route(&topo, &db, &f).is_none(),
+                    "missed legal route for {f}"
+                );
             }
             Err(e) => panic!("unexpected {e:?}"),
         }
@@ -175,7 +178,13 @@ fn whole_pipeline_is_deterministic() {
         let mut pv = Engine::new(topo.clone(), PathVector::idrp(db.clone()));
         let t = pv.run_to_quiescence();
         let s = score_flows(&mut pv, &topo, &db, &sample_flows(&topo, 40, 99));
-        (t, pv.stats.msgs_sent, pv.stats.bytes_sent, s.delivered, s.compliant_of_legal)
+        (
+            t,
+            pv.stats.msgs_sent,
+            pv.stats.bytes_sent,
+            s.delivered,
+            s.compliant_of_legal,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -209,7 +218,8 @@ fn class_bearing_flows_keep_link_state_exact() {
         .into_iter()
         .enumerate()
         .map(|(i, f)| {
-            f.with_qos(QosClass((i % 3) as u8)).with_uci(UserClass((i % 2) as u8))
+            f.with_qos(QosClass((i % 3) as u8))
+                .with_uci(UserClass((i % 2) as u8))
         })
         .collect();
     let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
@@ -227,7 +237,11 @@ fn class_bearing_flows_keep_link_state_exact() {
     let distinct: std::collections::HashSet<_> =
         flows.iter().map(|f| (f.src, f.dst, f.qos, f.uci)).collect();
     let total_fib: usize = topo.ad_ids().map(|a| ls.router(a).fib_entries()).sum();
-    assert!(total_fib >= distinct.len(), "{total_fib} < {}", distinct.len());
+    assert!(
+        total_fib >= distinct.len(),
+        "{total_fib} < {}",
+        distinct.len()
+    );
 }
 
 #[test]
@@ -256,5 +270,8 @@ fn egp_never_uses_non_tree_links_but_link_state_does() {
             });
         }
     }
-    assert!(ls_used_nontree, "link state should exploit lateral/bypass links");
+    assert!(
+        ls_used_nontree,
+        "link state should exploit lateral/bypass links"
+    );
 }

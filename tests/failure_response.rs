@@ -19,7 +19,14 @@ fn ecma_converges_with_far_fewer_messages_than_naive_dv_after_partition() {
     // The Section 5.1.1 claim: the ordering prevents count-to-infinity.
     let n = 8;
     let naive_msgs = {
-        let mut e = Engine::new(ring(n), NaiveDv { infinity: 32, split_horizon: false, ..NaiveDv::default() });
+        let mut e = Engine::new(
+            ring(n),
+            NaiveDv {
+                infinity: 32,
+                split_horizon: false,
+                ..NaiveDv::default()
+            },
+        );
         e.run_to_quiescence();
         // Partition AD4 completely.
         let l1 = e.topo().link_between(AdId(3), AdId(4)).unwrap();
@@ -57,8 +64,7 @@ fn all_protocols_recover_reachability_after_single_failure() {
     let victim = topo
         .links()
         .find(|l| {
-            topo.ad(l.a).level == adroute::topology::AdLevel::Backbone
-                && topo.full_degree(l.b) >= 2
+            topo.ad(l.a).level == adroute::topology::AdLevel::Backbone && topo.full_degree(l.b) >= 2
         })
         .expect("hierarchy has backbone links")
         .id;
@@ -98,7 +104,10 @@ fn all_protocols_recover_reachability_after_single_failure() {
     ls.run_to_quiescence();
     for f in &flows {
         let out = forward(&mut ls, &post_topo, f);
-        assert!(out.delivered(), "LS must re-deliver {f} (permissive, still connected)");
+        assert!(
+            out.delivered(),
+            "LS must re-deliver {f} (permissive, still connected)"
+        );
     }
 }
 
@@ -165,7 +174,10 @@ fn partitioned_destination_is_unreachable_for_everyone_without_loops() {
     ls.run_to_quiescence();
     let post = ls.topo().clone();
     let f = FlowSpec::best_effort(AdId(0), AdId(3));
-    assert!(matches!(forward(&mut ls, &post, &f), ForwardOutcome::NoRoute { .. }));
+    assert!(matches!(
+        forward(&mut ls, &post, &f),
+        ForwardOutcome::NoRoute { .. }
+    ));
 
     let mut net = OrwgNetwork::converged(&topo, &db);
     net.fail_link(l1);
@@ -181,7 +193,11 @@ fn mixed_policy_network_survives_random_failure_schedule() {
     e.run_to_quiescence();
     // Fail three scattered links, then recover one, at staggered times.
     let ids: Vec<_> = topo.links().map(|l| l.id).collect();
-    let picks = [ids[ids.len() / 4], ids[ids.len() / 2], ids[3 * ids.len() / 4]];
+    let picks = [
+        ids[ids.len() / 4],
+        ids[ids.len() / 2],
+        ids[3 * ids.len() / 4],
+    ];
     let mut t = e.now();
     for (i, l) in picks.iter().enumerate() {
         t = t.plus_us(5_000 * (i as u64 + 1));

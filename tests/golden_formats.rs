@@ -3,7 +3,9 @@
 //! these exact strings.
 
 use adroute::policy::text::{format_policy, parse_policy};
-use adroute::policy::{AdSet, PolicyAction, PolicyCondition, QosClass, TimeOfDay, TransitPolicy, UserClass};
+use adroute::policy::{
+    AdSet, PolicyAction, PolicyCondition, QosClass, TimeOfDay, TransitPolicy, UserClass,
+};
 use adroute::topology::graph::make_ad;
 use adroute::topology::{io, AdId, AdLevel, Topology};
 
@@ -53,7 +55,11 @@ fn golden_topology_text() {
     ];
     let mut topo = Topology::new(
         ads,
-        &[(AdId(0), AdId(1), 2), (AdId(1), AdId(2), 4), (AdId(0), AdId(2), 5)],
+        &[
+            (AdId(0), AdId(1), 2),
+            (AdId(1), AdId(2), 4),
+            (AdId(0), AdId(2), 5),
+        ],
     );
     topo.set_link_up(adroute::topology::LinkId(2), false);
     topo.set_delay(adroute::topology::LinkId(0), 2500);
@@ -80,5 +86,8 @@ fn display_forms_are_stable() {
         .at(TimeOfDay::hm(8, 5));
     assert_eq!(f.to_string(), "AD3->AD7 qos2 uci1 @08:05");
     assert_eq!(AdSet::except([AdId(1), AdId(2)]).to_string(), "!{AD1,AD2}");
-    assert_eq!(adroute::sim::SimTime::from_ms(12).plus_us(34).to_string(), "12.034ms");
+    assert_eq!(
+        adroute::sim::SimTime::from_ms(12).plus_us(34).to_string(),
+        "12.034ms"
+    );
 }

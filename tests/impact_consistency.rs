@@ -27,7 +27,11 @@ fn setup(seed: u64) -> (adroute::topology::Topology, adroute::policy::PolicyDb) 
 fn predicted_breakage_matches_deployment() {
     let (topo, db) = setup(61);
     let flows = sample_flows(&topo, 80, 61);
-    let victim = topo.ads().find(|a| a.level == AdLevel::Regional).unwrap().id;
+    let victim = topo
+        .ads()
+        .find(|a| a.level == AdLevel::Regional)
+        .unwrap()
+        .id;
     let candidate = TransitPolicy::deny_all(victim);
 
     // Predict.
@@ -52,10 +56,7 @@ fn predicted_breakage_matches_deployment() {
         }
     }
     // Aggregate consistency.
-    let opened_after = flows
-        .iter()
-        .filter(|f| net.open(f).is_ok())
-        .count();
+    let opened_after = flows.iter().filter(|f| net.open(f).is_ok()).count();
     assert_eq!(opened_after, impact.routable_after);
 }
 
@@ -102,14 +103,21 @@ fn predicted_reroutes_match_deployment_paths() {
 fn targeted_exclusion_impact_is_source_precise() {
     let (topo, db) = setup(71);
     let flows = sample_flows(&topo, 100, 71);
-    let victim = topo.ads().find(|a| a.level == AdLevel::Regional).unwrap().id;
+    let victim = topo
+        .ads()
+        .find(|a| a.level == AdLevel::Regional)
+        .unwrap()
+        .id;
     // Exclude one specific heavy source.
     let excluded = flows[0].src;
     let mut candidate = db.policy(victim).clone();
     candidate.terms.insert(
         0,
         adroute::policy::PolicyTerm {
-            id: adroute::policy::PtId { ad: victim, serial: 999 },
+            id: adroute::policy::PtId {
+                ad: victim,
+                serial: 999,
+            },
             conditions: vec![PolicyCondition::SrcIn(AdSet::only([excluded]))],
             action: PolicyAction::Deny,
         },

@@ -2,9 +2,13 @@
 //! random topologies, random policies, and random dynamics.
 
 use adroute::policy::legality::{legal_route, legal_route_bruteforce, route_is_legal};
-use adroute::policy::ordering::{check_ordering, random_constraints, solve_ordering, OrderingSolution};
+use adroute::policy::ordering::{
+    check_ordering, random_constraints, solve_ordering, OrderingSolution,
+};
 use adroute::policy::workload::PolicyWorkload;
-use adroute::policy::{AdSet, FlowSpec, PolicyAction, PolicyCondition, PolicyDb, QosClass, UserClass};
+use adroute::policy::{
+    AdSet, FlowSpec, PolicyAction, PolicyCondition, PolicyDb, QosClass, UserClass,
+};
 use adroute::protocols::ecma::Ecma;
 use adroute::protocols::forwarding::{forward, ForwardOutcome};
 use adroute::protocols::path_vector::PathVector;
@@ -31,10 +35,7 @@ fn random_policies(topo: &adroute::topology::Topology, seed: u64) -> PolicyDb {
     for ad in topo.ad_ids() {
         let p = db.policy_mut(ad);
         for _ in 0..rng.gen_range(0..3) {
-            let denied: Vec<AdId> = topo
-                .ad_ids()
-                .filter(|_| rng.gen_bool(0.25))
-                .collect();
+            let denied: Vec<AdId> = topo.ad_ids().filter(|_| rng.gen_bool(0.25)).collect();
             let cond = match rng.gen_range(0..4) {
                 0 => PolicyCondition::SrcIn(AdSet::only(denied)),
                 1 => PolicyCondition::DstIn(AdSet::only(denied)),
@@ -44,7 +45,9 @@ fn random_policies(topo: &adroute::topology::Topology, seed: u64) -> PolicyDb {
             let action = if rng.gen_bool(0.6) {
                 PolicyAction::Deny
             } else {
-                PolicyAction::Permit { cost: rng.gen_range(0..5) }
+                PolicyAction::Permit {
+                    cost: rng.gen_range(0..5),
+                }
             };
             p.push_term(vec![cond], action);
         }

@@ -1,0 +1,183 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The workspace builds without registry access, so the slice of proptest
+//! this repo's tests rely on is vendored: the [`proptest!`] macro (with
+//! `#![proptest_config(..)]`, doc attributes, and `#[test]` pass-through),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`, integer and
+//! `f64` range strategies, [`strategy::Just`], [`prop_oneof!`],
+//! [`collection::vec`], and `Strategy::prop_map`.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports its case index and seed; the
+//!   whole run is deterministic, so replaying is exact.
+//! - **Deterministic case generation.** Case `i` of a test is seeded from a
+//!   hash of the source location and `i`, never from OS entropy. Property
+//!   runs are therefore reproducible across machines — the trait this
+//!   repo's determinism guards actually care about.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use core::ops::Range;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in 0u32..10) {..} }`.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]`, any number of
+/// test functions, and passes outer attributes (including `#[test]` and doc
+/// comments) through to the generated zero-argument function.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(&($cfg), file!(), line!(), |__pt_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __pt_rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current test case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tens() -> impl Strategy<Value = u32> {
+        (1u32..4).prop_map(|x| x * 10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Range strategies stay in bounds; combinators compose.
+        #[test]
+        fn strategies_in_bounds(x in 0u32..7, t in tens(), v in crate::collection::vec(0u8..3, 0..5)) {
+            prop_assert!(x < 7);
+            prop_assert!(t == 10 || t == 20 || t == 30);
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 3));
+        }
+
+        /// prop_oneof picks only from its arms.
+        #[test]
+        fn oneof_picks_arms(x in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(matches!(x, 1 | 2 | 5 | 6), "got {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x < 1, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

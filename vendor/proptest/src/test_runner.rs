@@ -1,0 +1,90 @@
+//! The deterministic case runner behind the [`crate::proptest!`] macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An explicit `prop_assert*` failure.
+    Fail(String),
+    /// The case asked to be discarded (kept for API compatibility).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result type property bodies implicitly return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a, used to derive a per-test seed from its source location.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` for every generated input; panics on the first failure.
+///
+/// Case `i` is generated from `SmallRng::seed_from_u64(h ^ i)` where `h`
+/// hashes the test's source location — fully deterministic, so a failure
+/// reproduces exactly on re-run.
+pub fn run<F>(cfg: &ProptestConfig, file: &str, line: u32, mut case: F)
+where
+    F: FnMut(&mut SmallRng) -> TestCaseResult,
+{
+    let base = fnv1a(file.as_bytes()) ^ (u64::from(line) << 32);
+    for i in 0..u64::from(cfg.cases) {
+        let seed = base ^ i;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property failed at {file}:{line}, case {i} (seed {seed:#x}): {msg}");
+            }
+        }
+    }
+}

@@ -5,7 +5,9 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use adroute_core::{OrwgNetwork, OrwgProtocol, PolicyImpact, SetupRetryPolicy, Strategy};
+use adroute_core::{
+    OrwgNetwork, OrwgProtocol, PolicyImpact, SetupRetryPolicy, Strategy, ViewMaintenance,
+};
 use adroute_policy::text::{format_policies, parse_policies, parse_policy};
 use adroute_policy::workload::PolicyWorkload;
 use adroute_policy::{legality, FlowSpec, PolicyDb, QosClass, TimeOfDay, UserClass};
@@ -32,10 +34,12 @@ COMMANDS:
                 optional ASCII hierarchy)
   impact        --topo FILE --policies FILE --candidate FILE [--flows N --seed S]
                 predict the effect of a candidate policy before deploying it
-  chaos         [--ads N --seed S --duration MS --loss P --flows N]
+  chaos         [--ads N --seed S --duration MS --loss P --flows N
+                 --view incremental|flush]
                 run the ORWG control and data planes through a seeded fault
                 plan (link churn, lossy channels, router crashes) and report
-                recovery metrics
+                recovery metrics; --view picks how Route Servers absorb
+                re-flooded changes (incremental invalidation vs full flush)
   help          this text
 ";
 
@@ -259,10 +263,13 @@ pub fn impact(args: &Args) -> Result<String, CliError> {
 /// [`FaultPlan`] (link churn + lossy/reordering channels + router
 /// crashes), re-runs to quiescence, then drives the data plane through a
 /// gateway crash and a link failure with lossy setups, repairing torn
-/// flows from cached alternates before fresh synthesis. All randomness is
-/// seeded: the same arguments always print the same report.
+/// flows from cached alternates before fresh synthesis. The link failure
+/// is delivered through the control plane — flooded, re-quiesced, and
+/// absorbed by each Route Server per `--view` (incremental invalidation
+/// by default, full flush as the oracle). All randomness is seeded: the
+/// same arguments always print the same report.
 pub fn chaos(args: &Args) -> Result<String, CliError> {
-    args.known(&["ads", "seed", "duration", "loss", "flows"])?;
+    args.known(&["ads", "seed", "duration", "loss", "flows", "view"])?;
     let ads: usize = args.opt_parse("ads", 40)?;
     let seed: u64 = args.opt_parse("seed", 1990)?;
     let duration_ms: u64 = args.opt_parse("duration", 400)?;
@@ -271,6 +278,16 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         return bail("--loss must be in [0, 0.5]");
     }
     let n_flows: usize = args.opt_parse("flows", 30)?;
+    let view = args.opt("view").unwrap_or("incremental");
+    let mode = match view {
+        "incremental" => ViewMaintenance::Incremental,
+        "flush" => ViewMaintenance::Flush,
+        other => {
+            return bail(format!(
+                "--view must be incremental or flush, found '{other}'"
+            ))
+        }
+    };
 
     let topo = HierarchyConfig::with_approx_size(ads, seed).generate();
     // Structural policies only (stubs refuse transit): under the
@@ -369,6 +386,7 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         Strategy::Cached { capacity: 1024 },
         OrwgNetwork::DEFAULT_HANDLE_CAPACITY,
     );
+    net.set_view_maintenance(mode);
     net.set_setup_loss(loss, seed ^ 0x44);
     let rp = SetupRetryPolicy::default();
     let flows = adroute_protocols::forwarding::sample_flows(&topo, n_flows, seed);
@@ -477,7 +495,13 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         .filter(|(_, of)| legality::legal_route(&ghost, &db, &of.flow).is_none())
         .count();
     net.crash_gateway(victim);
-    net.fail_link(cut);
+    // Deliver the cut through the control plane: the engine floods the
+    // link-down, re-quiesces, and the data plane re-syncs each Route
+    // Server from its own flooded database — incrementally or by full
+    // flush, per --view.
+    e.schedule_link_change(cut, false, e.now().plus_us(1));
+    e.run_to_quiescence();
+    net.refresh_from_engine(&e);
     let torn = net.pending_repair_count();
     let r = net.repair_pending(4);
     let _ = writeln!(
@@ -489,6 +513,17 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         out,
         "  repaired via cached alternate {}, via fresh synthesis {}, unrepairable {}",
         r.repaired_via_alternate, r.repaired_via_synthesis, r.failures,
+    );
+    let agg = net.aggregate_synth_stats();
+    let _ = writeln!(
+        out,
+        "  view maintenance ({view}): entries invalidated {}, revalidations {} \
+         ({} kept in place), setup searches {}, precompute searches {}",
+        agg.entries_invalidated,
+        agg.revalidations,
+        agg.revalidate_hits,
+        agg.searches,
+        agg.precompute_searches,
     );
     net.restore_gateway(victim);
     let _ = writeln!(
@@ -640,6 +675,27 @@ mod tests {
         assert_ne!(a, c);
         // Loss outside range is refused.
         assert!(run("chaos --loss 0.9").unwrap_err().0.contains("--loss"));
+    }
+
+    #[test]
+    fn chaos_view_modes_agree_on_recovery() {
+        let inc = run("chaos --ads 30 --seed 11 --duration 250 --loss 0.05 --flows 20").unwrap();
+        assert!(inc.contains("view maintenance (incremental)"), "{inc}");
+        let flush =
+            run("chaos --ads 30 --seed 11 --duration 250 --loss 0.05 --flows 20 --view flush")
+                .unwrap();
+        assert!(flush.contains("view maintenance (flush)"), "{flush}");
+        // The maintenance mode changes the invalidation accounting, never
+        // the recovery outcome: every line except the counters matches.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("view maintenance"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&inc), strip(&flush));
+        // Bad values are refused.
+        assert!(run("chaos --view bogus").unwrap_err().0.contains("--view"));
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod vgw;
 pub use dataplane::{DataPacket, HandleId, SetupPacket};
 pub use gateway::{DataError, PolicyGateway, SetupError};
 pub use mgmt::PolicyImpact;
-pub use network::{OrwgNetwork, RepairStats, SetupRetryPolicy};
+pub use network::{OrwgNetwork, RepairStats, SetupRetryPolicy, ViewMaintenance};
 pub use router::OrwgProtocol;
-pub use synthesis::{PolicyRoute, RouteServer, Strategy, SynthStats};
+pub use synthesis::{PolicyRoute, RouteServer, Strategy, SynthStats, ViewDelta};
 pub use traffic::{run_traffic, TrafficModel, TrafficReport};
 pub use vgw::VirtualGateway;

@@ -37,16 +37,23 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.len()
     }
 
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
 
-    /// Looks up `key`, refreshing its recency.
+    /// Looks up `key`, refreshing its recency. Misses leave the recency
+    /// clock untouched, so miss-heavy workloads cannot skew the spacing
+    /// between surviving entries.
     pub fn get(&mut self, key: &K) -> Option<&V> {
-        self.stamp += 1;
-        let stamp = self.stamp;
         if let Some((_, old)) = self.map.get(key) {
+            self.stamp += 1;
+            let stamp = self.stamp;
             let old = *old;
             self.order.remove(&old);
             self.order.insert(stamp, key.clone());
@@ -64,22 +71,26 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Inserts `key -> value`, evicting the least recently used entry if
-    /// over capacity.
-    pub fn insert(&mut self, key: K, value: V) {
+    /// over capacity. Returns the evicted key, if any, so callers keeping
+    /// secondary indexes over the cached entries can stay exact.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         self.stamp += 1;
         if let Some((_, old)) = self.map.insert(key.clone(), (value, self.stamp)) {
             self.order.remove(&old);
         }
         self.order.insert(self.stamp, key);
+        let mut evicted = None;
         while self.map.len() > self.capacity {
             let (&oldest, _) = self.order.iter().next().expect("non-empty over capacity");
             let victim = self.order.remove(&oldest).expect("key present");
             self.map.remove(&victim);
             self.evictions += 1;
+            evicted = Some(victim);
         }
+        evicted
     }
 
     /// Removes a single entry.
@@ -178,6 +189,31 @@ mod tests {
         assert_eq!(c.iter().count(), 3);
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn miss_does_not_advance_recency_clock() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        let before = c.stamp;
+        for _ in 0..100 {
+            assert_eq!(c.get(&"zzz"), None);
+        }
+        assert_eq!(c.stamp, before, "misses must not advance the clock");
+        let _ = c.get(&"a");
+        assert_eq!(c.stamp, before + 1, "hits advance it by exactly one");
+    }
+
+    #[test]
+    fn insert_reports_evicted_key() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.insert("a", 1), None);
+        assert_eq!(c.insert("b", 2), None);
+        let _ = c.get(&"a"); // b is now LRU
+        assert_eq!(c.insert("c", 3), Some("b"));
+        assert_eq!(c.insert("a", 9), None, "re-insert evicts nothing");
+        let mut zero = LruCache::new(0);
+        assert_eq!(zero.insert("x", 1), None);
     }
 
     #[test]

@@ -6,12 +6,26 @@ use std::collections::HashMap;
 
 use adroute_policy::{FlowSpec, PolicyDb, TransitPolicy};
 use adroute_sim::Engine;
-use adroute_topology::{AdId, LinkId, Topology};
+use adroute_topology::{AdId, LinkId, TopoDelta, Topology};
 
 use crate::dataplane::{DataPacket, HandleId, SetupPacket};
 use crate::gateway::{DataError, PolicyGateway, SetupError};
 use crate::router::OrwgProtocol;
-use crate::synthesis::{PolicyRoute, RouteServer, Strategy};
+use crate::synthesis::{PolicyRoute, RouteServer, Strategy, SynthStats, ViewDelta};
+
+/// How Route Server views track topology and policy events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViewMaintenance {
+    /// Apply each event as a [`ViewDelta`] in place, invalidating only the
+    /// stored routes that depend on the changed element. A server whose
+    /// view cannot absorb a delta (its structure predates the link) falls
+    /// back to a full view install, individually.
+    Incremental,
+    /// Clone the full topology and policy database into every server and
+    /// flush all derived state — the original behavior, retained as the
+    /// correctness oracle and as E7's cost baseline.
+    Flush,
+}
 
 /// Why opening a policy route failed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -138,6 +152,7 @@ pub struct OrwgNetwork {
     /// Cumulative repair outcomes.
     pub repair_stats: RepairStats,
     setup_loss: Option<(f64, rand::rngs::SmallRng)>,
+    view_maintenance: ViewMaintenance,
 }
 
 impl OrwgNetwork {
@@ -184,6 +199,7 @@ impl OrwgNetwork {
             pending_repair: Vec::new(),
             repair_stats: RepairStats::default(),
             setup_loss: None,
+            view_maintenance: ViewMaintenance::Incremental,
         }
     }
 
@@ -219,7 +235,19 @@ impl OrwgNetwork {
             pending_repair: Vec::new(),
             repair_stats: RepairStats::default(),
             setup_loss: None,
+            view_maintenance: ViewMaintenance::Incremental,
         }
+    }
+
+    /// Selects how Route Server views absorb subsequent events. Defaults
+    /// to [`ViewMaintenance::Incremental`].
+    pub fn set_view_maintenance(&mut self, mode: ViewMaintenance) {
+        self.view_maintenance = mode;
+    }
+
+    /// The current view-maintenance mode.
+    pub fn view_maintenance(&self) -> ViewMaintenance {
+        self.view_maintenance
     }
 
     /// The ground-truth topology.
@@ -394,10 +422,7 @@ impl OrwgNetwork {
         max_retries: usize,
     ) -> Result<SetupOutcome, OpenError> {
         let saved = self.servers[flow.src.index()].selection().clone();
-        let mut avoided: Vec<AdId> = match &saved.avoid {
-            adroute_policy::AdSet::Only(v) => v.clone(),
-            _ => Vec::new(),
-        };
+        let mut extra: Vec<AdId> = Vec::new();
         let mut attempt = 0;
         let result = loop {
             match self.open(flow) {
@@ -408,7 +433,7 @@ impl OrwgNetwork {
                     | SetupError::PtMismatch { ad }
                     | SetupError::GatewayDown { ad },
                 )) => {
-                    avoided.push(ad);
+                    extra.push(ad);
                 }
                 Err(OpenError::LinkDown { a, b }) => {
                     // Avoid the downstream endpoint (never the endpoints
@@ -417,13 +442,17 @@ impl OrwgNetwork {
                     if pick == flow.src || pick == flow.dst {
                         break Err(OpenError::LinkDown { a, b });
                     }
-                    avoided.push(pick);
+                    extra.push(pick);
                 }
                 Err(e) => break Err(e),
             }
             attempt += 1;
             let mut sel = saved.clone();
-            sel.avoid = adroute_policy::AdSet::only(avoided.iter().copied());
+            // Widen the saved avoid set — replacing it would silently
+            // loosen the source's standing criteria mid-retry.
+            sel.avoid = saved
+                .avoid
+                .union(&adroute_policy::AdSet::only(extra.iter().copied()));
             self.servers[flow.src.index()].set_selection(sel);
         };
         self.servers[flow.src.index()].set_selection(saved);
@@ -512,6 +541,28 @@ impl OrwgNetwork {
         }
     }
 
+    /// Propagates one event to every Route Server's view (modeling
+    /// re-flooding at quiescence), honoring the view-maintenance mode.
+    fn broadcast_delta(&mut self, delta: &ViewDelta) {
+        if self.view_maintenance == ViewMaintenance::Flush {
+            let topo = self.topo.clone();
+            let db = self.db.clone();
+            for s in &mut self.servers {
+                s.update_view(topo.clone(), db.clone());
+            }
+            return;
+        }
+        let mut fallback = Vec::new();
+        for (i, s) in self.servers.iter_mut().enumerate() {
+            if !s.apply_delta(delta) {
+                fallback.push(i);
+            }
+        }
+        for i in fallback {
+            self.servers[i].update_view(self.topo.clone(), self.db.clone());
+        }
+    }
+
     /// Fails a link in ground truth: flushes affected gateway handles,
     /// queues the torn-down flows for source-side repair, and (modeling
     /// re-flooding at quiescence) updates every Route Server's view.
@@ -526,11 +577,28 @@ impl OrwgNetwork {
                 .windows(2)
                 .any(|w| w.contains(&a) && w.contains(&b))
         });
-        let topo = self.topo.clone();
-        let db = self.db.clone();
-        for s in &mut self.servers {
-            s.update_view(topo.clone(), db.clone());
-        }
+        self.broadcast_delta(&ViewDelta::Topo(TopoDelta::LinkState { a, b, up: false }));
+    }
+
+    /// Restores a failed link in ground truth and refloods the change.
+    /// Nothing tears down — a link coming back can only add routes — but
+    /// servers must invalidate stored routes the recovered link may now
+    /// undercut.
+    pub fn restore_link(&mut self, link: LinkId) {
+        self.topo.set_link_up(link, true);
+        let l = self.topo.link(link);
+        let (a, b) = (l.a, l.b);
+        self.broadcast_delta(&ViewDelta::Topo(TopoDelta::LinkState { a, b, up: true }));
+    }
+
+    /// Changes a link's metric in ground truth and refloods it. Installed
+    /// routes keep forwarding (handles do not re-check cost); stored
+    /// synthesis results are invalidated as the delta's direction demands.
+    pub fn change_metric(&mut self, link: LinkId, metric: u32) {
+        self.topo.set_metric(link, metric);
+        let l = self.topo.link(link);
+        let (a, b) = (l.a, l.b);
+        self.broadcast_delta(&ViewDelta::Topo(TopoDelta::Metric { a, b, metric }));
     }
 
     /// Changes one AD's policy: the AD's gateway flushes all cached
@@ -539,14 +607,10 @@ impl OrwgNetwork {
     /// cost is E7's policy-change column.
     pub fn change_policy(&mut self, policy: TransitPolicy) {
         let ad = policy.ad;
-        self.db.set_policy(policy);
+        self.db.set_policy(policy.clone());
         self.gateways[ad.index()].invalidate(|_| true);
         self.teardown_and_notify(|of| of.route[1..of.route.len().saturating_sub(1)].contains(&ad));
-        let topo = self.topo.clone();
-        let db = self.db.clone();
-        for s in &mut self.servers {
-            s.update_view(topo.clone(), db.clone());
-        }
+        self.broadcast_delta(&ViewDelta::Policy(policy));
     }
 
     /// Crashes `ad`'s Policy Gateway: its handle cache is lost, flows
@@ -611,9 +675,138 @@ impl OrwgNetwork {
         }
     }
 
-    /// Total synthesis searches across all Route Servers.
+    /// Computes the incremental deltas taking view `(old_t, old_d)` to
+    /// view `(new_t, new_d)`. Returns `None` when the change is structural
+    /// (an AD or link the old view never knew) and only a full install can
+    /// absorb it. A link absent from the new view (flooding dropped the
+    /// adjacency) maps to a link-down delta on the old structure — the
+    /// synthesis search only walks *up* links, so a down-link-present view
+    /// and a link-absent view are search-equivalent.
+    fn diff_views(
+        old_t: &Topology,
+        old_d: &PolicyDb,
+        new_t: &Topology,
+        new_d: &PolicyDb,
+    ) -> Option<Vec<ViewDelta>> {
+        if new_t.num_ads() != old_t.num_ads() {
+            return None;
+        }
+        let mut deltas = Vec::new();
+        for l in new_t.links() {
+            let old_id = old_t.link_between(l.a, l.b)?;
+            let old = old_t.link(old_id);
+            if old.up != l.up {
+                deltas.push(ViewDelta::Topo(TopoDelta::LinkState {
+                    a: l.a,
+                    b: l.b,
+                    up: l.up,
+                }));
+            }
+            if old.metric != l.metric {
+                deltas.push(ViewDelta::Topo(TopoDelta::Metric {
+                    a: l.a,
+                    b: l.b,
+                    metric: l.metric,
+                }));
+            }
+        }
+        for l in old_t.links() {
+            if l.up && new_t.link_between(l.a, l.b).is_none() {
+                deltas.push(ViewDelta::Topo(TopoDelta::LinkState {
+                    a: l.a,
+                    b: l.b,
+                    up: false,
+                }));
+            }
+        }
+        for ad in new_t.ad_ids() {
+            if new_d.policy(ad) != old_d.policy(ad) {
+                deltas.push(ViewDelta::Policy(new_d.policy(ad).clone()));
+            }
+        }
+        Some(deltas)
+    }
+
+    /// Re-syncs the data plane with a (re-)quiesced control plane: ground
+    /// truth adopts the engine's topology and policies, flows crossing
+    /// newly-dead links are torn down and queued for repair, and every
+    /// Route Server absorbs **its own flooded database**'s fresh view —
+    /// incrementally (diffed against its current view) or by full install,
+    /// per the view-maintenance mode.
+    ///
+    /// This is the quiescence hook the fault-recovery sweeps and the
+    /// `chaos` pipeline call after the LS flooder settles.
+    pub fn refresh_from_engine(&mut self, engine: &Engine<OrwgProtocol>) {
+        let new_topo = engine.topo().clone();
+        // Ground truth and the engine topology share construction (and
+        // hence link ids); diff per id to find links that died since.
+        if new_topo.num_links() == self.topo.num_links() {
+            for id in 0..self.topo.num_links() {
+                let lid = LinkId(id as u32);
+                let old = self.topo.link(lid);
+                let (was_up, a, b) = (old.up, old.a, old.b);
+                if was_up && !new_topo.link(lid).up {
+                    self.gateways[a.index()].invalidate(|e| e.prev == b || e.next == b);
+                    self.gateways[b.index()].invalidate(|e| e.prev == a || e.next == a);
+                    self.teardown_and_notify(|of| {
+                        of.route
+                            .windows(2)
+                            .any(|w| w.contains(&a) && w.contains(&b))
+                    });
+                }
+            }
+        }
+        self.topo = new_topo;
+        self.db = engine.protocol().policies.clone();
+        for ad in self.topo.ad_ids() {
+            let (vt, vd) = engine.router(ad).flooder.db.view();
+            let s = &mut self.servers[ad.index()];
+            if self.view_maintenance == ViewMaintenance::Flush {
+                s.update_view(vt, vd);
+                continue;
+            }
+            match Self::diff_views(s.view_topo(), s.view_db(), &vt, &vd) {
+                Some(deltas) => {
+                    if !deltas.iter().all(|d| s.apply_delta(d)) {
+                        s.update_view(vt, vd);
+                    }
+                }
+                None => s.update_view(vt, vd),
+            }
+        }
+    }
+
+    /// Total setup-time synthesis searches across all Route Servers.
     pub fn total_searches(&self) -> u64 {
         self.servers.iter().map(|s| s.stats.searches).sum()
+    }
+
+    /// Total background precompute searches across all Route Servers.
+    pub fn total_precompute_searches(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| s.stats.precompute_searches)
+            .sum()
+    }
+
+    /// Sums every Route Server's counters into one [`SynthStats`].
+    pub fn aggregate_synth_stats(&self) -> SynthStats {
+        let mut agg = SynthStats::default();
+        for s in &self.servers {
+            agg.requests += s.stats.requests;
+            agg.searches += s.stats.searches;
+            agg.settled += s.stats.settled;
+            agg.relaxations += s.stats.relaxations;
+            agg.precompute_searches += s.stats.precompute_searches;
+            agg.precompute_settled += s.stats.precompute_settled;
+            agg.precompute_relaxations += s.stats.precompute_relaxations;
+            agg.precomputed_hits += s.stats.precomputed_hits;
+            agg.cache_hits += s.stats.cache_hits;
+            agg.entries_invalidated += s.stats.entries_invalidated;
+            agg.revalidations += s.stats.revalidations;
+            agg.revalidate_hits += s.stats.revalidate_hits;
+        }
+        agg
     }
 
     /// Total data packets that hit a pre-crash handle across all gateways
@@ -952,6 +1145,88 @@ mod tests {
             OpenError::SetupTimeout
         );
         assert_eq!(net.repair_stats.setup_retransmits, 2);
+    }
+
+    #[test]
+    fn restore_link_reinstates_cheaper_side() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let l = net.topo().link_between(AdId(1), AdId(2)).unwrap();
+        net.fail_link(l);
+        let s1 = net.open(&flow).unwrap();
+        assert_eq!(s1.route, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+        net.restore_link(l);
+        // A link coming up tears nothing down …
+        assert!(net.send(s1.handle).is_ok());
+        // … but stored routes were invalidated, so a fresh open sees the
+        // recovered side again.
+        let s2 = net.open(&flow).unwrap();
+        assert_eq!(s2.route, vec![AdId(0), AdId(1), AdId(2), AdId(3)]);
+    }
+
+    #[test]
+    fn incremental_maintenance_spares_unrelated_entries() {
+        let mut net = permissive(6);
+        let f = FlowSpec::best_effort(AdId(0), AdId(3)); // 0-1-2-3
+        let g = FlowSpec::best_effort(AdId(0), AdId(5)); // 0-5
+        net.open(&f).unwrap();
+        net.open(&g).unwrap();
+        let l = net.topo().link_between(AdId(2), AdId(3)).unwrap();
+        net.fail_link(l);
+        let agg = net.aggregate_synth_stats();
+        assert_eq!(agg.entries_invalidated, 1, "only f crosses 2-3");
+        assert_eq!(agg.revalidations, 1);
+        // g is served straight from cache; no server other than the
+        // sources' did any invalidation work at all.
+        let searches = net.total_searches();
+        assert!(net.open(&g).is_ok());
+        assert_eq!(net.total_searches(), searches);
+        for ad in 1..6 {
+            assert_eq!(net.server(AdId(ad)).stats.entries_invalidated, 0);
+        }
+    }
+
+    #[test]
+    fn metric_change_invalidates_by_direction() {
+        let mut net = permissive(6);
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        net.open(&f).unwrap();
+        let l = net.topo().link_between(AdId(1), AdId(2)).unwrap();
+        // Raising a crossed link's metric kills the stored route …
+        net.change_metric(l, 10);
+        let s = net.open(&f).unwrap();
+        assert_eq!(s.route, vec![AdId(0), AdId(5), AdId(4), AdId(3)]);
+        // … lowering it back is expansive: everything re-examined, and
+        // the cheap side wins again.
+        net.change_metric(l, 1);
+        let s2 = net.open(&f).unwrap();
+        assert_eq!(s2.route, vec![AdId(0), AdId(1), AdId(2), AdId(3)]);
+    }
+
+    #[test]
+    fn flush_mode_is_the_behavioral_oracle() {
+        let run = |mode: ViewMaintenance| {
+            let mut net = permissive(6);
+            net.set_view_maintenance(mode);
+            let f = FlowSpec::best_effort(AdId(0), AdId(3));
+            let g = FlowSpec::best_effort(AdId(0), AdId(4));
+            let mut log = Vec::new();
+            log.push(net.open(&f).map(|s| s.route).ok());
+            log.push(net.open(&g).map(|s| s.route).ok());
+            let l = net.topo().link_between(AdId(1), AdId(2)).unwrap();
+            net.fail_link(l);
+            log.push(net.open(&f).map(|s| s.route).ok());
+            net.change_policy(TransitPolicy::deny_all(AdId(4)));
+            log.push(net.open(&g).map(|s| s.route).ok());
+            net.restore_link(l);
+            log.push(net.open(&f).map(|s| s.route).ok());
+            log
+        };
+        assert_eq!(
+            run(ViewMaintenance::Incremental),
+            run(ViewMaintenance::Flush),
+            "incremental maintenance must answer exactly like the flush oracle"
+        );
     }
 
     #[test]

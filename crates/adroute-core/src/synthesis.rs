@@ -13,13 +13,13 @@
 //! (`adroute_policy::legality`) — run over **this AD's own flooded view**
 //! of topology and policy, not ground truth.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use adroute_policy::{
     legality::{self, SearchStats},
-    FlowSpec, PolicyDb, PtId, RouteSelection,
+    FlowSpec, PolicyDb, PtId, RouteSelection, TransitPolicy,
 };
-use adroute_topology::{AdId, Topology};
+use adroute_topology::{AdId, TopoDelta, Topology};
 
 use crate::lru::LruCache;
 
@@ -64,20 +64,133 @@ pub enum Strategy {
 }
 
 /// Synthesis work counters (experiment E7's columns).
+///
+/// Setup-time work (`searches`/`settled`/`relaxations`) is counted apart
+/// from background precomputation (`precompute_*`): E7 compares setup
+/// latency against precompute refresh cost, and conflating the two made
+/// both columns wrong.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct SynthStats {
     /// Route requests served.
     pub requests: u64,
-    /// Full searches performed.
+    /// Full searches performed at setup time (on demand).
     pub searches: u64,
-    /// Search states settled (CPU proxy).
+    /// Search states settled at setup time (CPU proxy).
     pub settled: u64,
-    /// Search edge relaxations (CPU proxy).
+    /// Search edge relaxations at setup time (CPU proxy).
     pub relaxations: u64,
+    /// Searches performed while (re)filling the precomputed table.
+    pub precompute_searches: u64,
+    /// Search states settled during precomputation.
+    pub precompute_settled: u64,
+    /// Search edge relaxations during precomputation.
+    pub precompute_relaxations: u64,
     /// Requests answered from the precomputed table.
     pub precomputed_hits: u64,
     /// Requests answered from the LRU cache.
     pub cache_hits: u64,
+    /// Stored entries discarded (and, for precomputed classes, recomputed)
+    /// by view maintenance.
+    pub entries_invalidated: u64,
+    /// Surviving routes re-checked in place after a restrictive delta.
+    pub revalidations: u64,
+    /// Revalidations that confirmed the stored route, avoiding a search.
+    pub revalidate_hits: u64,
+}
+
+/// One incremental change to a Route Server's view of the internet,
+/// flooded to it by the link-state machinery (paper Section 5.4.1's
+/// "advertised policy and topology information").
+#[derive(Clone, Debug)]
+pub enum ViewDelta {
+    /// An endpoint-addressed topology change (link state or metric).
+    Topo(TopoDelta),
+    /// Replacement of one AD's transit policy.
+    Policy(TransitPolicy),
+}
+
+/// Reverse index from view elements to the stored routes that depend on
+/// them: link endpoint pair → flows whose current route crosses that link,
+/// and AD → flows whose current route transits it. Lets a view delta
+/// invalidate only the entries it can actually affect.
+#[derive(Clone, Debug, Default)]
+struct DepIndex {
+    by_link: HashMap<(AdId, AdId), HashSet<FlowSpec>>,
+    by_ad: HashMap<AdId, HashSet<FlowSpec>>,
+    /// The path each flow is currently indexed under (needed to unindex
+    /// exactly on eviction or replacement).
+    paths: HashMap<FlowSpec, Vec<AdId>>,
+}
+
+impl DepIndex {
+    fn norm(a: AdId, b: AdId) -> (AdId, AdId) {
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Registers `flow`'s current route, replacing any previous entry.
+    fn index(&mut self, flow: FlowSpec, path: &[AdId]) {
+        self.unindex(&flow);
+        for w in path.windows(2) {
+            self.by_link
+                .entry(Self::norm(w[0], w[1]))
+                .or_default()
+                .insert(flow);
+        }
+        for ad in path.get(1..path.len().saturating_sub(1)).unwrap_or(&[]) {
+            self.by_ad.entry(*ad).or_default().insert(flow);
+        }
+        self.paths.insert(flow, path.to_vec());
+    }
+
+    /// Drops `flow` from the index (no-op if not indexed).
+    fn unindex(&mut self, flow: &FlowSpec) {
+        let Some(path) = self.paths.remove(flow) else {
+            return;
+        };
+        for w in path.windows(2) {
+            let key = Self::norm(w[0], w[1]);
+            if let Some(s) = self.by_link.get_mut(&key) {
+                s.remove(flow);
+                if s.is_empty() {
+                    self.by_link.remove(&key);
+                }
+            }
+        }
+        for ad in path.get(1..path.len().saturating_sub(1)).unwrap_or(&[]) {
+            if let Some(s) = self.by_ad.get_mut(ad) {
+                s.remove(flow);
+                if s.is_empty() {
+                    self.by_ad.remove(ad);
+                }
+            }
+        }
+    }
+
+    /// Flows whose route crosses the link `a`–`b`, in deterministic order.
+    fn affected_by_link(&self, a: AdId, b: AdId) -> Vec<FlowSpec> {
+        let mut v: Vec<FlowSpec> = self
+            .by_link
+            .get(&Self::norm(a, b))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Flows whose route transits `ad`, in deterministic order.
+    fn affected_by_ad(&self, ad: AdId) -> Vec<FlowSpec> {
+        let mut v: Vec<FlowSpec> = self
+            .by_ad
+            .get(&ad)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
 }
 
 /// One AD's Route Server.
@@ -96,6 +209,7 @@ pub struct RouteServer {
     precompute_list: Vec<FlowSpec>,
     precomputed: HashMap<FlowSpec, Option<PolicyRoute>>,
     cache: LruCache<FlowSpec, Option<PolicyRoute>>,
+    index: DepIndex,
     /// Work counters.
     pub stats: SynthStats,
 }
@@ -123,6 +237,7 @@ impl RouteServer {
             precompute_list: Vec::new(),
             precomputed: HashMap::new(),
             cache,
+            index: DepIndex::default(),
             stats: SynthStats::default(),
         }
     }
@@ -147,7 +262,7 @@ impl RouteServer {
     /// are flushed (and precomputation re-run).
     pub fn set_selection(&mut self, selection: RouteSelection) {
         self.selection = selection;
-        self.cache.clear();
+        self.flush_cache();
         self.run_precompute();
     }
 
@@ -172,18 +287,51 @@ impl RouteServer {
         self.run_precompute();
     }
 
+    /// Drops every cache entry, keeping the dependency index consistent.
+    /// Precomputed entries (and their index registrations) are untouched.
+    fn flush_cache(&mut self) {
+        let keys: Vec<FlowSpec> = self.cache.iter().map(|(k, _)| *k).collect();
+        for k in &keys {
+            self.index.unindex(k);
+        }
+        self.cache.clear();
+    }
+
+    /// Recomputes one precomputed class in place, keeping the index exact.
+    fn refill_precomputed(&mut self, flow: &FlowSpec) {
+        let r = self.search_tagged(flow, true);
+        match &r {
+            Some(route) => self.index.index(*flow, &route.path),
+            None => self.index.unindex(flow),
+        }
+        self.precomputed.insert(*flow, r);
+    }
+
     fn run_precompute(&mut self) {
+        let old: Vec<FlowSpec> = self.precomputed.keys().copied().collect();
+        for flow in &old {
+            self.index.unindex(flow);
+        }
         let list = std::mem::take(&mut self.precompute_list);
         self.precomputed.clear();
         for flow in &list {
-            let r = self.search(flow);
-            self.precomputed.insert(*flow, r);
+            self.refill_precomputed(flow);
         }
         self.precompute_list = list;
     }
 
     fn search(&mut self, flow: &FlowSpec) -> Option<PolicyRoute> {
-        self.stats.searches += 1;
+        self.search_tagged(flow, false)
+    }
+
+    /// One policy-constrained search; `precompute` routes the work into
+    /// the background counters instead of the setup-time ones.
+    fn search_tagged(&mut self, flow: &FlowSpec, precompute: bool) -> Option<PolicyRoute> {
+        if precompute {
+            self.stats.precompute_searches += 1;
+        } else {
+            self.stats.searches += 1;
+        }
         let mut ss = SearchStats::default();
         let route = legality::legal_route_with(
             &self.view_topo,
@@ -192,24 +340,35 @@ impl RouteServer {
             &self.selection,
             &mut ss,
         )?;
-        self.stats.settled += ss.settled;
-        self.stats.relaxations += ss.relaxations;
-        // Collect the deciding PT per transit AD, to cite in the setup.
-        let mut pts = Vec::with_capacity(route.path.len().saturating_sub(2));
-        for i in 1..route.path.len().saturating_sub(1) {
-            let (permit, pt) = self.view_db.policy(route.path[i]).evaluate_with_term(
-                flow,
-                Some(route.path[i - 1]),
-                Some(route.path[i + 1]),
-            );
-            debug_assert!(permit.is_some(), "search returned an illegal route");
-            pts.push(pt);
+        if precompute {
+            self.stats.precompute_settled += ss.settled;
+            self.stats.precompute_relaxations += ss.relaxations;
+        } else {
+            self.stats.settled += ss.settled;
+            self.stats.relaxations += ss.relaxations;
         }
+        let pts = self.cite_pts(flow, &route.path);
         Some(PolicyRoute {
             path: route.path,
             cost: route.cost,
             pts,
         })
+    }
+
+    /// Collects the deciding PT per transit AD on a known-legal path, to
+    /// cite in the setup packet.
+    fn cite_pts(&self, flow: &FlowSpec, path: &[AdId]) -> Vec<Option<PtId>> {
+        let mut pts = Vec::with_capacity(path.len().saturating_sub(2));
+        for i in 1..path.len().saturating_sub(1) {
+            let (permit, pt) = self.view_db.policy(path[i]).evaluate_with_term(
+                flow,
+                Some(path[i - 1]),
+                Some(path[i + 1]),
+            );
+            debug_assert!(permit.is_some(), "citing terms for an illegal route");
+            pts.push(pt);
+        }
+        pts
     }
 
     /// Synthesizes (or recalls) the policy route for `flow`.
@@ -224,7 +383,15 @@ impl RouteServer {
             return hit.clone();
         }
         let r = self.search(flow);
-        self.cache.insert(*flow, r.clone());
+        if self.cache.capacity() > 0 {
+            match &r {
+                Some(route) => self.index.index(*flow, &route.path),
+                None => self.index.unindex(flow),
+            }
+        }
+        if let Some(evicted) = self.cache.insert(*flow, r.clone()) {
+            self.index.unindex(&evicted);
+        }
         r
     }
 
@@ -235,6 +402,9 @@ impl RouteServer {
     /// This is the sort of pruning heuristic the paper's Section 6 calls
     /// for, not an exact k-shortest-paths.
     pub fn alternatives(&mut self, flow: &FlowSpec, k: usize) -> Vec<PolicyRoute> {
+        if k == 0 {
+            return Vec::new();
+        }
         let Some(first) = self.request(flow) else {
             return Vec::new();
         };
@@ -246,12 +416,9 @@ impl RouteServer {
                 break;
             }
             let mut sel = base.clone();
-            let mut avoided: Vec<AdId> = match &sel.avoid {
-                adroute_policy::AdSet::Only(v) => v.clone(),
-                _ => Vec::new(),
-            };
-            avoided.push(avoid);
-            sel.avoid = adroute_policy::AdSet::only(avoided);
+            // Widen — never replace — the source's avoid set, so its
+            // private criteria stay in force during the hunt.
+            sel.avoid = base.avoid.union(&adroute_policy::AdSet::only([avoid]));
             self.selection = sel;
             if let Some(alt) = self.search(flow) {
                 if !found.iter().any(|r| r.path == alt.path) {
@@ -261,16 +428,122 @@ impl RouteServer {
         }
         self.selection = base;
         found.sort_by_key(|r| (r.cost, r.path.len()));
-        found.truncate(k.max(1));
+        found.truncate(k);
         found
     }
 
     /// Installs a new view after a topology or policy change: flushes the
     /// cache and re-runs precomputation (the staleness cost E7 reports).
+    ///
+    /// This is the flush-everything fallback; [`RouteServer::apply_delta`]
+    /// is the incremental path.
     pub fn update_view(&mut self, view_topo: Topology, view_db: PolicyDb) {
         self.view_topo = view_topo;
         self.view_db = view_db;
-        self.cache.clear();
+        self.invalidate_all();
+    }
+
+    /// Applies one incremental change to the view, invalidating only the
+    /// stored routes the change can affect.
+    ///
+    /// A **restrictive** delta (link down, metric increase, provable policy
+    /// restriction) can only remove routes or make them costlier, so a
+    /// stored route not touching the changed element is still optimal and
+    /// a negative entry is still negative; only the flows whose current
+    /// route crosses the changed link / transits the re-policied AD are
+    /// re-examined — first by revalidating the stored path in place
+    /// (legal at unchanged cost ⇒ still optimal), falling back to a fresh
+    /// search. Anything else (link up, metric decrease, general policy
+    /// replacement) can create or cheapen routes anywhere, so every stored
+    /// entry is invalidated.
+    ///
+    /// Returns `false` — leaving the server untouched — when the delta
+    /// cannot be applied to this view (the view's structure predates the
+    /// link); the caller must fall back to [`RouteServer::update_view`].
+    pub fn apply_delta(&mut self, delta: &ViewDelta) -> bool {
+        match delta {
+            ViewDelta::Topo(td) => {
+                let Some(restrictive) = td.is_restrictive_on(&self.view_topo) else {
+                    return false;
+                };
+                if !td.apply(&mut self.view_topo) {
+                    return false;
+                }
+                if restrictive {
+                    let (a, b) = td.endpoints();
+                    let affected = self.index.affected_by_link(a, b);
+                    self.invalidate_affected(&affected);
+                } else {
+                    self.invalidate_all();
+                }
+                true
+            }
+            ViewDelta::Policy(p) => {
+                let restrictive = p.is_restriction_of(self.view_db.policy(p.ad));
+                self.view_db.set_policy(p.clone());
+                if restrictive {
+                    let affected = self.index.affected_by_ad(p.ad);
+                    self.invalidate_affected(&affected);
+                } else {
+                    self.invalidate_all();
+                }
+                true
+            }
+        }
+    }
+
+    /// Re-examines the stored routes a restrictive delta touches.
+    fn invalidate_affected(&mut self, affected: &[FlowSpec]) {
+        for flow in affected {
+            let stored = if let Some(e) = self.precomputed.get(flow) {
+                e.clone()
+            } else if let Some(e) = self.cache.peek(flow) {
+                e.clone()
+            } else {
+                // Indexed but no longer stored (shouldn't happen; evictions
+                // unindex eagerly) — just drop the registration.
+                self.index.unindex(flow);
+                continue;
+            };
+            let Some(route) = stored else {
+                self.index.unindex(flow);
+                continue;
+            };
+            self.stats.revalidations += 1;
+            let cost = legality::route_is_legal(&self.view_topo, &self.view_db, flow, &route.path);
+            if cost == Some(route.cost) {
+                // Still legal at unchanged cost: every competitor could
+                // only have vanished or grown costlier, so the stored
+                // route is still optimal. Refresh its PT citations — a
+                // policy replacement may have renumbered term ids.
+                self.stats.revalidate_hits += 1;
+                let refreshed = PolicyRoute {
+                    pts: self.cite_pts(flow, &route.path),
+                    ..route
+                };
+                if self.precomputed.contains_key(flow) {
+                    self.precomputed.insert(*flow, Some(refreshed));
+                } else {
+                    // Re-inserting an existing key never evicts.
+                    let _ = self.cache.insert(*flow, Some(refreshed));
+                }
+                continue;
+            }
+            self.stats.entries_invalidated += 1;
+            if self.precomputed.contains_key(flow) {
+                self.refill_precomputed(flow);
+            } else {
+                self.cache.remove(flow);
+                self.index.unindex(flow);
+            }
+        }
+    }
+
+    /// Invalidates every stored entry (the flush path, with accounting):
+    /// drops the cache and recomputes the precomputed table.
+    fn invalidate_all(&mut self) {
+        self.stats.entries_invalidated += (self.cache.len() + self.precomputed.len()) as u64;
+        self.flush_cache();
         self.run_precompute();
     }
 }
@@ -315,15 +588,23 @@ mod tests {
         let f = FlowSpec::best_effort(AdId(0), AdId(3));
         rs.precompute(&[f]);
         assert_eq!(rs.precomputed_len(), 1);
-        let searched_during_precompute = rs.stats.searches;
+        // Precompute work lands in its own counters, not the setup-time
+        // ones E7's latency column reads.
+        assert_eq!(rs.stats.precompute_searches, 1);
+        assert_eq!(rs.stats.searches, 0);
+        assert_eq!(rs.stats.settled, 0);
+        assert_eq!(rs.stats.relaxations, 0);
+        assert!(rs.stats.precompute_settled > 0);
         let _ = rs.request(&f);
-        assert_eq!(rs.stats.searches, searched_during_precompute);
+        assert_eq!(rs.stats.searches, 0);
         assert_eq!(rs.stats.precomputed_hits, 1);
         // A class not precomputed falls back to on-demand + cache.
         let g = FlowSpec::best_effort(AdId(0), AdId(2));
         let _ = rs.request(&g);
         let _ = rs.request(&g);
         assert_eq!(rs.stats.cache_hits, 1);
+        assert_eq!(rs.stats.searches, 1);
+        assert_eq!(rs.stats.precompute_searches, 1);
     }
 
     #[test]
@@ -394,6 +675,149 @@ mod tests {
             "precomputed route must reflect the new view"
         );
         assert_eq!(rs.stats.precomputed_hits, 1);
+    }
+
+    #[test]
+    fn alternatives_with_zero_k_returns_nothing() {
+        let mut rs = server(Strategy::OnDemand);
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let before = rs.stats.requests;
+        assert!(rs.alternatives(&f, 0).is_empty());
+        assert_eq!(rs.stats.requests, before, "k = 0 must not even search");
+    }
+
+    #[test]
+    fn alternatives_keep_non_only_avoid_sets_in_force() {
+        // Base criteria: avoid everything except AD1/AD2 — i.e. of the
+        // ring's transit candidates, AD4 and AD5 are off limits, so only
+        // the 0-1-2-3 side is ever acceptable.
+        let mut rs = server(Strategy::OnDemand);
+        rs.set_selection(RouteSelection {
+            avoid: AdSet::except([AdId(1), AdId(2)]),
+            ..RouteSelection::unconstrained()
+        });
+        let base = rs.selection().clone();
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let alts = rs.alternatives(&f, 3);
+        assert_eq!(alts.len(), 1, "the far ring side violates base criteria");
+        for r in &alts {
+            assert!(
+                base.accepts(&r.path, r.cost),
+                "alternative {:?} loosened the source's private criteria",
+                r.path
+            );
+        }
+        assert_eq!(rs.selection(), &base, "selection must be restored");
+    }
+
+    #[test]
+    fn restrictive_delta_invalidates_only_crossing_entries() {
+        let mut rs = server(Strategy::Cached { capacity: 16 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3)); // 0-1-2-3
+        let g = FlowSpec::best_effort(AdId(0), AdId(5)); // 0-5
+        assert_eq!(rs.request(&f).unwrap().path.len(), 4);
+        assert_eq!(rs.request(&g).unwrap().path.len(), 2);
+        let ok = rs.apply_delta(&ViewDelta::Topo(TopoDelta::LinkState {
+            a: AdId(1),
+            b: AdId(2),
+            up: false,
+        }));
+        assert!(ok);
+        assert_eq!(rs.stats.revalidations, 1, "only f crosses 1-2");
+        assert_eq!(rs.stats.revalidate_hits, 0);
+        assert_eq!(rs.stats.entries_invalidated, 1);
+        // g survives in cache; f is re-searched around the far side.
+        let hits = rs.stats.cache_hits;
+        assert_eq!(rs.request(&g).unwrap().path, vec![AdId(0), AdId(5)]);
+        assert_eq!(rs.stats.cache_hits, hits + 1);
+        assert_eq!(
+            rs.request(&f).unwrap().path,
+            vec![AdId(0), AdId(5), AdId(4), AdId(3)]
+        );
+    }
+
+    #[test]
+    fn restrictive_policy_change_revalidates_in_place() {
+        let mut rs = server(Strategy::Cached { capacity: 16 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let _ = rs.request(&f);
+        // AD1 denies sources it never carries anyway: a pure restriction
+        // that leaves f's route legal at unchanged cost.
+        let mut p = TransitPolicy::permit_all(AdId(1));
+        p.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(9)]))],
+            PolicyAction::Deny,
+        );
+        assert!(rs.apply_delta(&ViewDelta::Policy(p)));
+        assert_eq!(rs.stats.revalidations, 1);
+        assert_eq!(rs.stats.revalidate_hits, 1);
+        assert_eq!(rs.stats.entries_invalidated, 0);
+        let searches = rs.stats.searches;
+        let _ = rs.request(&f);
+        assert_eq!(rs.stats.searches, searches, "entry must survive in cache");
+    }
+
+    #[test]
+    fn expansive_delta_invalidates_everything() {
+        let topo = ring(6);
+        let db = PolicyDb::permissive(&topo);
+        let mut downed = topo.clone();
+        let l = downed.link_between(AdId(1), AdId(2)).unwrap();
+        downed.set_link_up(l, false);
+        let mut rs = RouteServer::new(AdId(0), downed, db, Strategy::Cached { capacity: 16 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let g = FlowSpec::best_effort(AdId(0), AdId(5));
+        let _ = rs.request(&f);
+        let _ = rs.request(&g);
+        assert_eq!(rs.cached_len(), 2);
+        let ok = rs.apply_delta(&ViewDelta::Topo(TopoDelta::LinkState {
+            a: AdId(1),
+            b: AdId(2),
+            up: true,
+        }));
+        assert!(ok);
+        assert_eq!(rs.cached_len(), 0, "a link coming up can cheapen anything");
+        assert_eq!(rs.stats.entries_invalidated, 2);
+        assert_eq!(rs.stats.revalidations, 0);
+        assert_eq!(
+            rs.request(&f).unwrap().path,
+            vec![AdId(0), AdId(1), AdId(2), AdId(3)],
+            "the recovered, cheaper side must win again"
+        );
+    }
+
+    #[test]
+    fn negative_entries_survive_restrictive_deltas() {
+        let topo = line(3);
+        let mut db = PolicyDb::permissive(&topo);
+        db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let mut rs = RouteServer::new(AdId(0), topo, db, Strategy::Cached { capacity: 4 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(2));
+        assert!(rs.request(&f).is_none());
+        assert!(rs.apply_delta(&ViewDelta::Topo(TopoDelta::LinkState {
+            a: AdId(1),
+            b: AdId(2),
+            up: false,
+        })));
+        assert!(rs.request(&f).is_none());
+        assert_eq!(
+            rs.stats.searches, 1,
+            "a restriction cannot create routes, so the negative entry holds"
+        );
+    }
+
+    #[test]
+    fn unknown_link_delta_is_rejected_for_fallback() {
+        let mut rs = server(Strategy::Cached { capacity: 4 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let _ = rs.request(&f);
+        let ok = rs.apply_delta(&ViewDelta::Topo(TopoDelta::LinkState {
+            a: AdId(0),
+            b: AdId(3),
+            up: false,
+        }));
+        assert!(!ok, "a link this view never knew cannot be applied");
+        assert_eq!(rs.cached_len(), 1, "failed apply must leave state alone");
     }
 
     #[test]

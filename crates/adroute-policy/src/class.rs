@@ -94,7 +94,7 @@ impl fmt::Display for TimeOfDay {
 /// (Section 5.4.1) that one policy route "can support multiple pairs of
 /// hosts in the source and destination ADs" — hence host addresses do not
 /// appear here, only AD-granularity attributes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowSpec {
     /// Originating AD.
     pub src: AdId,

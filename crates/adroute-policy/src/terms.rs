@@ -99,6 +99,34 @@ impl AdSet {
         r.dedup();
         self.intersect(&AdSet::Except(r))
     }
+
+    /// Set union. Route Servers widen a *avoid* set with additional ADs
+    /// while hunting for alternate routes; union (not replacement) keeps
+    /// the source's original selection criteria in force.
+    pub fn union(&self, other: &AdSet) -> AdSet {
+        use AdSet::*;
+        match (self, other) {
+            (Any, _) | (_, Any) => Any,
+            (Only(a), Only(b)) => {
+                let mut v: Vec<AdId> = a.iter().chain(b.iter()).copied().collect();
+                v.sort_unstable();
+                v.dedup();
+                AdSet::Only(v)
+            }
+            (Only(a), Except(b)) | (Except(b), Only(a)) => AdSet::Except(
+                b.iter()
+                    .copied()
+                    .filter(|x| a.binary_search(x).is_err())
+                    .collect(),
+            ),
+            (Except(a), Except(b)) => AdSet::Except(
+                a.iter()
+                    .copied()
+                    .filter(|x| b.binary_search(x).is_ok())
+                    .collect(),
+            ),
+        }
+    }
 }
 
 impl fmt::Display for AdSet {
@@ -254,7 +282,7 @@ impl PolicyTerm {
 /// transit**, not end-system access: flows sourced at or destined to the
 /// AD itself are always permitted (network access control is a separate,
 /// orthogonal mechanism — Section 3).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TransitPolicy {
     /// The AD whose policy this is.
     pub ad: AdId,
@@ -297,6 +325,48 @@ impl TransitPolicy {
             action,
         });
         id
+    }
+
+    /// Whether this policy is a *restriction* of `old`: every traversal it
+    /// permits, `old` permitted at the same cost — so replacing `old` with
+    /// `self` can only remove routes, never create or cheapen one.
+    ///
+    /// The check is conservative (sound, not complete). It returns true
+    /// when the policies are identical, when `self` permits nothing at all,
+    /// or when `self` is `old` with extra `Deny` terms inserted (term ids
+    /// may be renumbered; conditions and actions must match). Anything the
+    /// check cannot prove restrictive is reported `false`, and consumers
+    /// fall back to treating the change as potentially route-creating.
+    pub fn is_restriction_of(&self, old: &TransitPolicy) -> bool {
+        if self.ad != old.ad {
+            return false;
+        }
+        // A policy that permits no transit at all restricts anything.
+        if self.default == PolicyAction::Deny
+            && self.terms.iter().all(|t| t.action == PolicyAction::Deny)
+        {
+            return true;
+        }
+        if self.default != old.default {
+            return false;
+        }
+        // `old.terms` must appear as a subsequence of `self.terms`, and
+        // every inserted term must deny: first-match-wins then either hits
+        // an inserted Deny (traversal newly denied — restrictive) or the
+        // same deciding term as before.
+        let mut remaining = old.terms.iter().peekable();
+        for t in &self.terms {
+            if let Some(o) = remaining.peek() {
+                if t.conditions == o.conditions && t.action == o.action {
+                    remaining.next();
+                    continue;
+                }
+            }
+            if t.action != PolicyAction::Deny {
+                return false;
+            }
+        }
+        remaining.peek().is_none()
     }
 
     /// Evaluates a transit traversal: the first matching term decides,
@@ -370,7 +440,7 @@ impl TransitPolicy {
 /// Source-side route selection criteria (paper Section 2.3: "policies of
 /// the source", which under source routing "can [be kept] private from
 /// other ADs" — Section 5.4).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RouteSelection {
     /// ADs the source refuses to route through (e.g. untrusted carriers).
     pub avoid: AdSet,
@@ -483,6 +553,75 @@ mod tests {
             AdSet::except([AdId(1)]).subtract(&[AdId(2), AdId(2)]),
             AdSet::except([AdId(1), AdId(2)])
         );
+    }
+
+    #[test]
+    fn adset_union() {
+        let only12 = AdSet::only([AdId(1), AdId(2)]);
+        let only23 = AdSet::only([AdId(2), AdId(3)]);
+        let except12 = AdSet::except([AdId(1), AdId(2)]);
+        assert_eq!(AdSet::Any.union(&only12), AdSet::Any);
+        assert_eq!(
+            only12.union(&only23),
+            AdSet::only([AdId(1), AdId(2), AdId(3)])
+        );
+        // Only ∪ Except removes the named ADs from the exclusion list.
+        assert_eq!(only12.union(&except12), AdSet::Except(Vec::new()));
+        assert_eq!(
+            AdSet::only([AdId(1)]).union(&except12),
+            AdSet::except([AdId(2)])
+        );
+        // Except ∪ Except keeps only shared exclusions.
+        assert_eq!(
+            except12.union(&AdSet::except([AdId(2), AdId(3)])),
+            AdSet::except([AdId(2)])
+        );
+        // Union never shrinks membership.
+        for ad in [AdId(1), AdId(2), AdId(3), AdId(4)] {
+            for (x, y) in [(&only12, &only23), (&only12, &except12)] {
+                let u = x.union(y);
+                assert_eq!(u.contains(ad), x.contains(ad) || y.contains(ad));
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_check_is_sound_and_conservative() {
+        let base = {
+            let mut p = TransitPolicy::permit_all(AdId(5));
+            p.push_term(
+                vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))],
+                PolicyAction::Permit { cost: 2 },
+            );
+            p
+        };
+        // Identity.
+        assert!(base.is_restriction_of(&base));
+        // Permits-nothing restricts anything.
+        assert!(TransitPolicy::deny_all(AdId(5)).is_restriction_of(&base));
+        // Inserting a Deny term (before or after) is a restriction even
+        // though later term serials shift.
+        let mut narrowed = TransitPolicy::permit_all(AdId(5));
+        narrowed.push_term(
+            vec![PolicyCondition::DstIn(AdSet::only([AdId(9)]))],
+            PolicyAction::Deny,
+        );
+        narrowed.push_term(
+            vec![PolicyCondition::SrcIn(AdSet::only([AdId(0)]))],
+            PolicyAction::Permit { cost: 2 },
+        );
+        assert!(narrowed.is_restriction_of(&base));
+        assert!(!base.is_restriction_of(&narrowed), "loosening is not");
+        // A new Permit term is not provably restrictive.
+        let mut widened = base.clone();
+        widened.push_term(vec![], PolicyAction::Permit { cost: 1 });
+        assert!(!widened.is_restriction_of(&base));
+        // Different AD or flipped default: rejected.
+        assert!(!TransitPolicy::deny_all(AdId(6)).is_restriction_of(&base));
+        assert!(!TransitPolicy::permit_all(AdId(5))
+            .is_restriction_of(&TransitPolicy::deny_all(AdId(5))));
+        // Dropping one of old's terms is rejected (could cheapen a route).
+        assert!(!TransitPolicy::permit_all(AdId(5)).is_restriction_of(&base));
     }
 
     #[test]

@@ -102,6 +102,11 @@ impl LsDb {
     /// operational link, and the [`PolicyDb`] of advertised policies
     /// (ADs with no LSA yet default to deny-all — an unknown AD cannot
     /// be used for transit).
+    ///
+    /// This is the quiescence hook Route Servers consume: the ORWG
+    /// network diffs each server's current view against this fresh one
+    /// and applies the difference as incremental deltas rather than
+    /// reinstalling (and re-precomputing) from scratch.
     pub fn view(&self) -> (Topology, PolicyDb) {
         let n = self.lsas.len();
         let mut ads = Vec::with_capacity(n);

@@ -1,0 +1,147 @@
+//! Incremental topology deltas.
+//!
+//! A Route Server's view of the internet is a [`Topology`] rebuilt from
+//! flooded link-state advertisements. Rather than replacing the whole view
+//! on every event, consumers can apply a [`TopoDelta`] in place and
+//! invalidate only the derived state the delta can actually affect.
+//!
+//! Deltas are **endpoint-addressed**: different views of the same internet
+//! re-index [`crate::LinkId`]s independently (a flooded view only contains
+//! adjacencies both endpoints confirmed), so a `LinkId` minted against one
+//! view is meaningless in another. The AD endpoint pair is the stable name
+//! of a link across views.
+
+use crate::graph::Topology;
+use crate::ids::AdId;
+
+/// One incremental change to a topology view, addressed by the link's AD
+/// endpoint pair (stable across re-indexed views).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopoDelta {
+    /// The link between `a` and `b` went up or down.
+    LinkState {
+        /// One endpoint.
+        a: AdId,
+        /// The other endpoint.
+        b: AdId,
+        /// New operational state.
+        up: bool,
+    },
+    /// The link between `a` and `b` changed metric.
+    Metric {
+        /// One endpoint.
+        a: AdId,
+        /// The other endpoint.
+        b: AdId,
+        /// New routing metric.
+        metric: u32,
+    },
+}
+
+impl TopoDelta {
+    /// The endpoint pair naming the affected link.
+    pub fn endpoints(&self) -> (AdId, AdId) {
+        match *self {
+            TopoDelta::LinkState { a, b, .. } | TopoDelta::Metric { a, b, .. } => (a, b),
+        }
+    }
+
+    /// Whether, applied to `topo`, this delta can only remove routes or
+    /// make them costlier — never create a route or improve one. A link
+    /// going down and a metric increase are restrictive; a link coming up
+    /// or a metric decrease can create new, cheaper routes. Returns `None`
+    /// when `topo` has no link between the endpoints (the delta cannot be
+    /// classified against that view).
+    pub fn is_restrictive_on(&self, topo: &Topology) -> Option<bool> {
+        let (a, b) = self.endpoints();
+        let id = topo.link_between(a, b)?;
+        Some(match *self {
+            TopoDelta::LinkState { up, .. } => !up,
+            TopoDelta::Metric { metric, .. } => metric >= topo.link(id).metric,
+        })
+    }
+
+    /// Applies the delta to `topo` in place. Returns `false` (leaving the
+    /// topology untouched) when no link exists between the endpoints —
+    /// the view's structure predates this link, and the caller must fall
+    /// back to installing a freshly rebuilt view.
+    pub fn apply(&self, topo: &mut Topology) -> bool {
+        let (a, b) = self.endpoints();
+        let Some(id) = topo.link_between(a, b) else {
+            return false;
+        };
+        match *self {
+            TopoDelta::LinkState { up, .. } => {
+                topo.set_link_up(id, up);
+            }
+            TopoDelta::Metric { metric, .. } => {
+                topo.set_metric(id, metric);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::ring;
+    use crate::ids::LinkId;
+
+    #[test]
+    fn link_state_delta_applies_by_endpoints() {
+        let mut t = ring(4);
+        let d = TopoDelta::LinkState {
+            a: AdId(1),
+            b: AdId(0),
+            up: false,
+        };
+        assert_eq!(d.is_restrictive_on(&t), Some(true));
+        assert!(d.apply(&mut t));
+        let l = t.link_between(AdId(0), AdId(1)).unwrap();
+        assert!(!t.link(l).up);
+        let up = TopoDelta::LinkState {
+            a: AdId(0),
+            b: AdId(1),
+            up: true,
+        };
+        assert_eq!(up.is_restrictive_on(&t), Some(false));
+        assert!(up.apply(&mut t));
+        assert!(t.link(l).up);
+    }
+
+    #[test]
+    fn metric_delta_classifies_by_direction() {
+        let mut t = ring(4);
+        let l = t.link_between(AdId(0), AdId(1)).unwrap();
+        t.set_metric(l, 5);
+        let worse = TopoDelta::Metric {
+            a: AdId(0),
+            b: AdId(1),
+            metric: 9,
+        };
+        let better = TopoDelta::Metric {
+            a: AdId(0),
+            b: AdId(1),
+            metric: 2,
+        };
+        assert_eq!(worse.is_restrictive_on(&t), Some(true));
+        assert_eq!(better.is_restrictive_on(&t), Some(false));
+        assert!(worse.apply(&mut t));
+        assert_eq!(t.link(l).metric, 9);
+    }
+
+    #[test]
+    fn unknown_link_is_rejected() {
+        let mut t = ring(4);
+        let d = TopoDelta::LinkState {
+            a: AdId(0),
+            b: AdId(2),
+            up: false,
+        };
+        assert_eq!(d.is_restrictive_on(&t), None);
+        assert!(!d.apply(&mut t));
+        assert!(t.links().all(|l| l.up), "failed apply must not mutate");
+        let _ = LinkId(0);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod algo;
 pub mod analysis;
+pub mod delta;
 pub mod generate;
 pub mod graph;
 pub mod ids;
@@ -30,6 +31,7 @@ pub mod render;
 
 pub use algo::{bfs_tree, connected_components, dijkstra, is_connected, PathCost};
 pub use analysis::{articulation_ads, degree_stats, egress_diversity, DegreeStats};
+pub use delta::TopoDelta;
 pub use generate::{clique, grid, line, ring, star, HierarchyConfig};
 pub use graph::{Ad, Link, Topology};
 pub use ids::{AdId, AdLevel, AdRole, LinkId, LinkKind};

@@ -20,18 +20,20 @@ use adroute_topology::{generate::ring, AdId, Topology};
 /// `(initial msgs, failure msgs, failure reconvergence ms)`.
 fn partition<P: Protocol>(topo: Topology, victim: AdId, proto: P) -> (u64, u64, u64) {
     let mut e = Engine::new(topo, proto);
+    e.begin_phase("converge");
     e.run_to_quiescence();
-    let initial = e.stats.msgs_sent;
     let links: Vec<_> = e.topo().neighbors(victim).map(|(_, l)| l).collect();
     let t = e.now().plus_us(1000);
     for l in &links {
         e.schedule_link_change(*l, false, t);
     }
-    e.stats.reset_counters();
+    e.begin_phase("failure-response");
     let done = e.run_to_quiescence();
+    let initial = e.stats.phase_delta("converge").unwrap().msgs_sent;
+    let failure = e.stats.phase_delta("failure-response").unwrap().msgs_sent;
     (
         initial,
-        e.stats.msgs_sent,
+        failure,
         (done.as_us().saturating_sub(t.as_us())) / 1000,
     )
 }

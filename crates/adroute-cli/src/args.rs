@@ -39,12 +39,16 @@ impl Args {
             return bail("the subcommand must come before flags");
         }
         let mut flags = BTreeMap::new();
+        let mut it = it.peekable();
         while let Some(tok) = it.next() {
             let Some(key) = tok.strip_prefix("--") else {
                 return bail(format!("unexpected positional argument '{tok}'"));
             };
-            let Some(value) = it.next() else {
-                return bail(format!("flag --{key} needs a value"));
+            // A flag followed by another flag (or nothing) is a boolean
+            // switch: `--json` parses as `--json true`.
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                _ => "true".to_string(),
             };
             if flags.insert(key.to_string(), value).is_some() {
                 return bail(format!("flag --{key} given twice"));
@@ -127,10 +131,20 @@ mod tests {
         assert!(Args::parse(argv("")).is_err());
         assert!(Args::parse(argv("--ads 5")).is_err());
         assert!(Args::parse(argv("cmd stray")).is_err());
-        assert!(Args::parse(argv("cmd --k")).is_err());
         assert!(Args::parse(argv("cmd --k 1 --k 2")).is_err());
         let a = Args::parse(argv("cmd --k notanum")).unwrap();
         assert!(a.req_parse::<u32>("k").is_err());
         assert!(a.req("absent").is_err());
+    }
+
+    #[test]
+    fn valueless_flag_is_a_boolean_switch() {
+        let a = Args::parse(argv("report --json")).unwrap();
+        assert!(a.opt_parse("json", false).unwrap());
+        let b = Args::parse(argv("report --json --ads 40")).unwrap();
+        assert!(b.opt_parse("json", false).unwrap());
+        assert_eq!(b.req_parse::<u32>("ads").unwrap(), 40);
+        let c = Args::parse(argv("report --json false")).unwrap();
+        assert!(!c.opt_parse("json", true).unwrap());
     }
 }

@@ -11,8 +11,13 @@ use adroute_core::{
 use adroute_policy::text::{format_policies, parse_policies, parse_policy};
 use adroute_policy::workload::PolicyWorkload;
 use adroute_policy::{legality, FlowSpec, PolicyDb, QosClass, TimeOfDay, UserClass};
-use adroute_sim::{ChannelFaults, CrashModel, Engine, FailureModel, FaultPlan, FaultSpec};
-use adroute_topology::{analysis, io as topo_io, AdId, HierarchyConfig, Topology};
+use adroute_protocols::forwarding::{forward, DataPlane};
+use adroute_protocols::{ecma::Ecma, ls_hbh::LsHbh, naive_dv::NaiveDv, path_vector::PathVector};
+use adroute_sim::{
+    ChannelFaults, CrashModel, Engine, FailureModel, FaultPlan, FaultSpec, MetricsRegistry,
+    Protocol, Stats,
+};
+use adroute_topology::{analysis, io as topo_io, AdId, HierarchyConfig, LinkId, Topology};
 
 use crate::args::{bail, Args, CliError};
 
@@ -35,11 +40,21 @@ COMMANDS:
   impact        --topo FILE --policies FILE --candidate FILE [--flows N --seed S]
                 predict the effect of a candidate policy before deploying it
   chaos         [--ads N --seed S --duration MS --loss P --flows N
-                 --view incremental|flush]
+                 --view incremental|flush --trace FILE]
                 run the ORWG control and data planes through a seeded fault
                 plan (link churn, lossy channels, router crashes) and report
                 recovery metrics; --view picks how Route Servers absorb
-                re-flooded changes (incremental invalidation vs full flush)
+                re-flooded changes (incremental invalidation vs full flush);
+                --trace exports the typed event stream as JSON Lines
+  report        [--ads N --seed S --flows N --json]
+                run every design point (dv, ecma, pv, ls-hbh, orwg) through
+                convergence and a trunk failure on one seeded internet and
+                report convergence times, message complexity, per-AD load,
+                and route-setup latency histograms (--json for machines)
+  trace         [--ads N --seed S --duration MS --loss P
+                 --proto orwg|dv|ecma|pv|ls-hbh --capacity N --out FILE]
+                export one engine run (convergence, then seeded churn) as a
+                typed JSON Lines event stream
   help          this text
 ";
 
@@ -269,7 +284,8 @@ pub fn impact(args: &Args) -> Result<String, CliError> {
 /// by default, full flush as the oracle). All randomness is seeded: the
 /// same arguments always print the same report.
 pub fn chaos(args: &Args) -> Result<String, CliError> {
-    args.known(&["ads", "seed", "duration", "loss", "flows", "view"])?;
+    args.known(&["ads", "seed", "duration", "loss", "flows", "view", "trace"])?;
+    let trace_path = args.opt("trace");
     let ads: usize = args.opt_parse("ads", 40)?;
     let seed: u64 = args.opt_parse("seed", 1990)?;
     let duration_ms: u64 = args.opt_parse("duration", 400)?;
@@ -306,6 +322,10 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
 
     // Phase 1: control plane under the fault plan.
     let mut e = Engine::new(topo.clone(), OrwgProtocol::new(&topo, db.clone()));
+    if trace_path.is_some() {
+        e.enable_obs(65536);
+    }
+    e.begin_phase("converge");
     e.run_to_quiescence();
     let spec = FaultSpec {
         link_model: Some(FailureModel {
@@ -337,6 +357,7 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         plan.outages().len(),
         loss * 100.0,
     );
+    e.begin_phase("churn");
     plan.apply(&mut e);
     let t = e.run_to_quiescence();
     let _ = writeln!(
@@ -387,6 +408,9 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         OrwgNetwork::DEFAULT_HANDLE_CAPACITY,
     );
     net.set_view_maintenance(mode);
+    if trace_path.is_some() {
+        net.enable_obs(16384);
+    }
     net.set_setup_loss(loss, seed ^ 0x44);
     let rp = SetupRetryPolicy::default();
     let flows = adroute_protocols::forwarding::sample_flows(&topo, n_flows, seed);
@@ -499,6 +523,7 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
     // link-down, re-quiesces, and the data plane re-syncs each Route
     // Server from its own flooded database — incrementally or by full
     // flush, per --view.
+    e.begin_phase("failure-response");
     e.schedule_link_change(cut, false, e.now().plus_us(1));
     e.run_to_quiescence();
     net.refresh_from_engine(&e);
@@ -531,7 +556,362 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         "  stale forwards across all gateways: {}",
         net.total_stale_forwards()
     );
+    if let Some(path) = trace_path {
+        // Control-plane stream first, then the data-plane stream — both
+        // deterministic, so identically-seeded runs export byte-identical
+        // files.
+        let mut jsonl = e.obs.log.export_jsonl();
+        jsonl.push_str(&net.obs.log.export_jsonl());
+        fs::write(path, &jsonl)
+            .map_err(|e| CliError(format!("cannot write trace '{path}': {e}")))?;
+        let _ = writeln!(out, "trace: wrote {} bytes to {path}", jsonl.len());
+    }
     Ok(out)
+}
+
+/// One design point's measurements for `report`.
+struct PointReport {
+    name: &'static str,
+    converge_us: u64,
+    reconverge_us: u64,
+    totals: Stats,
+    metrics: MetricsRegistry,
+}
+
+/// The trunk to cut in `report`: the operational link whose endpoints
+/// carry the most adjacencies (ties broken toward the lowest link id) —
+/// the E-series "backbone trunk" failure.
+fn pick_trunk(topo: &Topology) -> LinkId {
+    topo.links()
+        .filter(|l| l.up)
+        .max_by_key(|l| {
+            (
+                topo.neighbors(l.a).count() + topo.neighbors(l.b).count(),
+                std::cmp::Reverse(l.id.0),
+            )
+        })
+        .expect("topology has links")
+        .id
+}
+
+/// Converge, then cut `trunk` and re-converge, under phase scopes.
+/// Returns the engine plus (convergence, reconvergence) times in µs.
+fn run_phases<P: Protocol>(mut e: Engine<P>, trunk: LinkId) -> (Engine<P>, u64, u64) {
+    e.begin_phase("converge");
+    let t1 = e.run_to_quiescence();
+    e.begin_phase("failure-response");
+    e.schedule_link_change(trunk, false, e.now().plus_us(1));
+    let t2 = e.run_to_quiescence();
+    (e, t1.as_us(), t2.as_us() - t1.as_us())
+}
+
+/// Folds the engine's per-AD message counts into its metrics registry as
+/// the `"ad_msgs"` load histogram.
+fn record_ad_load(metrics: &mut MetricsRegistry, stats: &Stats) {
+    for &v in &stats.per_ad_msgs {
+        metrics.record("ad_msgs", v);
+    }
+}
+
+/// Measures one hop-by-hop design point: converge, cut the trunk,
+/// re-converge, then drive `flows` through the converged data plane and
+/// record each delivered flow's first-packet path latency — the
+/// hop-by-hop analogue of ORWG's setup latency.
+fn measure_hbh<P: Protocol>(
+    name: &'static str,
+    e: Engine<P>,
+    trunk: LinkId,
+    flows: &[FlowSpec],
+) -> PointReport
+where
+    Engine<P>: DataPlane,
+{
+    let (mut e, converge_us, reconverge_us) = run_phases(e, trunk);
+    let topo = e.topo().clone();
+    for f in flows {
+        let out = forward(&mut e, &topo, f);
+        if out.delivered() {
+            let lat: u64 = out
+                .path()
+                .windows(2)
+                .map(|w| {
+                    let l = topo.link_between(w[0], w[1]).expect("path follows links");
+                    topo.link(l).delay_us
+                })
+                .sum();
+            e.obs.metrics.record("setup_latency_us", lat);
+            e.obs.metrics.add("flows_delivered", 1);
+        } else {
+            e.obs.metrics.add("flows_undelivered", 1);
+        }
+    }
+    let mut metrics = std::mem::take(&mut e.obs.metrics);
+    record_ad_load(&mut metrics, &e.stats);
+    PointReport {
+        name,
+        converge_us,
+        reconverge_us,
+        totals: e.stats.clone(),
+        metrics,
+    }
+}
+
+fn point_json(p: &PointReport) -> String {
+    let mut s = format!(
+        "{{\"name\":\"{}\",\"convergence_us\":{},\"reconvergence_us\":{},\"stats\":{},\"phases\":{{",
+        p.name,
+        p.converge_us,
+        p.reconverge_us,
+        p.totals.to_json()
+    );
+    let mut first = true;
+    for name in p.totals.phase_names().collect::<Vec<_>>() {
+        if let Some(d) = p.totals.phase_delta(name) {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{name}\":{}", d.to_json());
+        }
+    }
+    let _ = write!(s, "}},\"metrics\":{}}}", p.metrics.to_json());
+    s
+}
+
+/// `report`: convergence, message-complexity, and latency instrumentation
+/// for every design point on one seeded internet.
+pub fn report(args: &Args) -> Result<String, CliError> {
+    args.known(&["ads", "seed", "flows", "json"])?;
+    let ads: usize = args.opt_parse("ads", 60)?;
+    let seed: u64 = args.opt_parse("seed", 1990)?;
+    let n_flows: usize = args.opt_parse("flows", 40)?;
+    let json = args.opt_parse("json", false)?;
+
+    let topo = HierarchyConfig::with_approx_size(ads, seed).generate();
+    let db = PolicyWorkload::structural(seed).generate(&topo);
+    let trunk = pick_trunk(&topo);
+    let flows = adroute_protocols::forwarding::sample_flows(&topo, n_flows, seed);
+
+    let mut points = vec![
+        measure_hbh(
+            "dv",
+            Engine::new(topo.clone(), NaiveDv::egp()),
+            trunk,
+            &flows,
+        ),
+        measure_hbh(
+            "ecma",
+            Engine::new(topo.clone(), Ecma::hierarchical(&topo)),
+            trunk,
+            &flows,
+        ),
+        measure_hbh(
+            "pv",
+            Engine::new(topo.clone(), PathVector::idrp(db.clone())),
+            trunk,
+            &flows,
+        ),
+        measure_hbh(
+            "ls-hbh",
+            Engine::new(topo.clone(), LsHbh::new(&topo, db.clone())),
+            trunk,
+            &flows,
+        ),
+    ];
+
+    // ORWG: source routing — setup latency is measured by actually opening
+    // each flow through the data plane built from the re-converged engine.
+    let (e, converge_us, reconverge_us) = run_phases(
+        Engine::new(topo.clone(), OrwgProtocol::new(&topo, db.clone())),
+        trunk,
+    );
+    let mut net = OrwgNetwork::from_engine(
+        &e,
+        OrwgNetwork::DEFAULT_STRATEGY,
+        OrwgNetwork::DEFAULT_HANDLE_CAPACITY,
+    );
+    for f in &flows {
+        match net.open(f) {
+            Ok(_) => net.obs.metrics.add("flows_delivered", 1),
+            Err(_) => net.obs.metrics.add("flows_undelivered", 1),
+        }
+    }
+    let mut metrics = std::mem::take(&mut net.obs.metrics);
+    record_ad_load(&mut metrics, &e.stats);
+    points.push(PointReport {
+        name: "orwg",
+        converge_us,
+        reconverge_us,
+        totals: e.stats.clone(),
+        metrics,
+    });
+
+    if json {
+        let mut out = format!(
+            "{{\"report\":{{\"ads\":{},\"links\":{},\"seed\":{seed},\"trunk\":\"{}-{}\",\
+             \"flows\":{},\"design_points\":[",
+            topo.num_ads(),
+            topo.num_links(),
+            topo.link(trunk).a,
+            topo.link(trunk).b,
+            flows.len()
+        );
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&point_json(p));
+        }
+        out.push_str("]}}\n");
+        return Ok(out);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "report: {} ADs, {} links, seed {seed}; trunk cut {}-{}; {} flows",
+        topo.num_ads(),
+        topo.num_links(),
+        topo.link(trunk).a,
+        topo.link(trunk).b,
+        flows.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>14} {:>10} {:>12} {:>10} {:>14}",
+        "design", "converge_us", "reconverge_us", "msgs", "bytes", "max_ad", "setup_p50_us"
+    );
+    for p in &points {
+        let setup = p
+            .metrics
+            .histogram("setup_latency_us")
+            .map(|h| h.quantile(0.5).to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>14} {:>10} {:>12} {:>10} {:>14}",
+            p.name,
+            p.converge_us,
+            p.reconverge_us,
+            p.totals.msgs_sent,
+            p.totals.bytes_sent,
+            p.totals.max_per_ad_msgs(),
+            setup
+        );
+    }
+    for p in &points {
+        for name in p.totals.phase_names().collect::<Vec<_>>() {
+            if let Some(d) = p.totals.phase_delta(name) {
+                let _ = writeln!(
+                    out,
+                    "  {}/{}: msgs {}, bytes {}, quiesced at {} us",
+                    p.name,
+                    name,
+                    d.msgs_sent,
+                    d.bytes_sent,
+                    d.last_activity.as_us()
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Converges, applies a seeded churn plan, re-converges, and exports the
+/// typed event stream — shared by `trace` across all design points.
+fn trace_engine<P: Protocol>(
+    mut e: Engine<P>,
+    duration_ms: u64,
+    loss: f64,
+    seed: u64,
+    capacity: usize,
+) -> String {
+    e.enable_obs(capacity);
+    e.begin_phase("converge");
+    e.run_to_quiescence();
+    e.begin_phase("churn");
+    let spec = FaultSpec {
+        link_model: Some(FailureModel {
+            mtbf_ms: duration_ms as f64 / 3.0,
+            mttr_ms: duration_ms as f64 / 8.0,
+            fallible_fraction: 0.3,
+            seed: seed ^ 0x11,
+        }),
+        crash_model: None,
+        channel: (loss > 0.0).then(|| ChannelFaults {
+            loss,
+            corrupt: loss / 4.0,
+            duplicate: loss / 4.0,
+            reorder: loss / 2.0,
+            seed: seed ^ 0x33,
+            ..ChannelFaults::default()
+        }),
+    };
+    let plan = FaultPlan::draw(e.topo(), &spec, e.now(), duration_ms);
+    plan.apply(&mut e);
+    e.run_to_quiescence();
+    e.obs.log.export_jsonl()
+}
+
+/// `trace`: export one engine run as a typed JSON Lines event stream.
+pub fn trace(args: &Args) -> Result<String, CliError> {
+    args.known(&[
+        "ads", "seed", "duration", "loss", "proto", "capacity", "out",
+    ])?;
+    let ads: usize = args.opt_parse("ads", 30)?;
+    let seed: u64 = args.opt_parse("seed", 1990)?;
+    let duration_ms: u64 = args.opt_parse("duration", 200)?;
+    let loss: f64 = args.opt_parse("loss", 0.0)?;
+    if !(0.0..=0.5).contains(&loss) {
+        return bail("--loss must be in [0, 0.5]");
+    }
+    let capacity: usize = args.opt_parse("capacity", 1 << 20)?;
+    let topo = HierarchyConfig::with_approx_size(ads, seed).generate();
+    let db = PolicyWorkload::structural(seed).generate(&topo);
+    let proto = args.opt("proto").unwrap_or("orwg");
+    let jsonl = match proto {
+        "orwg" => trace_engine(
+            Engine::new(topo.clone(), OrwgProtocol::new(&topo, db)),
+            duration_ms,
+            loss,
+            seed,
+            capacity,
+        ),
+        "dv" => trace_engine(
+            Engine::new(topo.clone(), NaiveDv::egp()),
+            duration_ms,
+            loss,
+            seed,
+            capacity,
+        ),
+        "ecma" => trace_engine(
+            Engine::new(topo.clone(), Ecma::hierarchical(&topo)),
+            duration_ms,
+            loss,
+            seed,
+            capacity,
+        ),
+        "pv" => trace_engine(
+            Engine::new(topo.clone(), PathVector::idrp(db)),
+            duration_ms,
+            loss,
+            seed,
+            capacity,
+        ),
+        "ls-hbh" => trace_engine(
+            Engine::new(topo.clone(), LsHbh::new(&topo, db)),
+            duration_ms,
+            loss,
+            seed,
+            capacity,
+        ),
+        other => {
+            return bail(format!(
+                "--proto must be orwg, dv, ecma, pv, or ls-hbh, found '{other}'"
+            ))
+        }
+    };
+    emit(&jsonl, args.opt("out"))
 }
 
 /// Dispatches a parsed command line.
@@ -543,6 +923,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "audit" => audit(args),
         "impact" => impact(args),
         "chaos" => chaos(args),
+        "report" => report(args),
+        "trace" => trace(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => bail(format!("unknown command '{other}'; try `adroute help`")),
     }
@@ -696,6 +1078,86 @@ mod tests {
         assert_eq!(strip(&inc), strip(&flush));
         // Bad values are refused.
         assert!(run("chaos --view bogus").unwrap_err().0.contains("--view"));
+    }
+
+    #[test]
+    fn report_covers_every_design_point() {
+        let line = "report --ads 40 --seed 7 --flows 20";
+        let txt = run(line).unwrap();
+        for name in ["dv", "ecma", "pv", "ls-hbh", "orwg"] {
+            assert!(txt.contains(name), "missing {name}: {txt}");
+        }
+        assert!(txt.contains("converge_us"), "{txt}");
+        assert!(txt.contains("/failure-response:"), "{txt}");
+        // JSON mode: convergence time, message complexity, and setup
+        // latency histograms for every design point, deterministically.
+        let a = run(&format!("{line} --json")).unwrap();
+        for field in [
+            "\"name\":\"orwg\"",
+            "\"name\":\"dv\"",
+            "\"name\":\"ecma\"",
+            "\"name\":\"pv\"",
+            "\"name\":\"ls-hbh\"",
+            "\"convergence_us\":",
+            "\"reconvergence_us\":",
+            "\"msgs_sent\":",
+            "\"setup_latency_us\":",
+            "\"ad_msgs\":",
+            "\"converge\":",
+            "\"failure-response\":",
+        ] {
+            assert!(a.contains(field), "missing {field}: {a}");
+        }
+        let b = run(&format!("{line} --json")).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_exports_typed_jsonl() {
+        let line = "trace --ads 25 --seed 5 --duration 150 --loss 0.05 --proto orwg";
+        let a = run(line).unwrap();
+        let b = run(line).unwrap();
+        assert_eq!(a, b, "trace export must be deterministic");
+        assert!(a.starts_with("{\"us\":"), "{}", &a[..a.len().min(200)]);
+        assert!(a.lines().last().unwrap().contains("\"trace-summary\""));
+        assert!(a.contains("\"kind\":\"phase\""), "phase markers missing");
+        assert!(a.contains("\"kind\":\"fault-plan\""));
+        // Every design point can export a trace.
+        for proto in ["dv", "ecma", "pv", "ls-hbh"] {
+            let t = run(&format!("trace --ads 20 --seed 3 --proto {proto}")).unwrap();
+            assert!(t.contains("\"trace-summary\""), "{proto}: {t}");
+        }
+        assert!(run("trace --proto bogus")
+            .unwrap_err()
+            .0
+            .contains("--proto"));
+    }
+
+    #[test]
+    fn chaos_trace_exports_are_byte_identical_across_runs() {
+        let f1 = tmp("chaos-a.jsonl");
+        let f2 = tmp("chaos-b.jsonl");
+        let base = "chaos --ads 30 --seed 11 --duration 250 --loss 0.05 --flows 20";
+        let a = run(&format!("{base} --trace {f1}")).unwrap();
+        let b = run(&format!("{base} --trace {f2}")).unwrap();
+        // Enabling the trace must not perturb the simulation itself.
+        let plain = run(base).unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("trace:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&a), plain.trim_end());
+        assert_eq!(strip(&b), plain.trim_end());
+        let ta = fs::read(&f1).unwrap();
+        let tb = fs::read(&f2).unwrap();
+        assert!(!ta.is_empty());
+        assert_eq!(ta, tb, "identically-seeded chaos traces must match");
+        let text = String::from_utf8(ta).unwrap();
+        assert!(text.contains("\"kind\":\"setup-open\""), "{text}");
+        assert!(text.contains("\"kind\":\"view-delta\""));
+        assert!(text.contains("\"kind\":\"setup-repair\""));
     }
 
     #[test]

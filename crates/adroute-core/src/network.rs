@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use adroute_policy::{FlowSpec, PolicyDb, TransitPolicy};
-use adroute_sim::Engine;
+use adroute_sim::{Engine, EventRecord, Obs, SimTime};
 use adroute_topology::{AdId, LinkId, TopoDelta, Topology};
 
 use crate::dataplane::{DataPacket, HandleId, SetupPacket};
@@ -153,6 +153,16 @@ pub struct OrwgNetwork {
     pub repair_stats: RepairStats,
     setup_loss: Option<(f64, rand::rngs::SmallRng)>,
     view_maintenance: ViewMaintenance,
+    /// Data-plane observability: typed events (route-setup open/ack/
+    /// repair, view invalidation/delta application) plus metrics — the
+    /// `"setup_latency_us"` and `"invalidation_fanout"` histograms. The
+    /// event log is off until [`OrwgNetwork::enable_obs`]; the metrics are
+    /// always live.
+    pub obs: Obs,
+    /// Timestamp stamped on data-plane events: the last control-plane
+    /// time adopted from an engine (see [`OrwgNetwork::refresh_from_engine`]
+    /// and [`OrwgNetwork::from_engine`]), `SimTime::ZERO` otherwise.
+    clock: SimTime,
 }
 
 impl OrwgNetwork {
@@ -200,6 +210,8 @@ impl OrwgNetwork {
             repair_stats: RepairStats::default(),
             setup_loss: None,
             view_maintenance: ViewMaintenance::Incremental,
+            obs: Obs::disabled(),
+            clock: SimTime::ZERO,
         }
     }
 
@@ -236,6 +248,21 @@ impl OrwgNetwork {
             repair_stats: RepairStats::default(),
             setup_loss: None,
             view_maintenance: ViewMaintenance::Incremental,
+            obs: Obs::disabled(),
+            clock: engine.now(),
+        }
+    }
+
+    /// Enables the typed data-plane event log with the given ring-buffer
+    /// capacity, clearing any previously retained records.
+    pub fn enable_obs(&mut self, capacity: usize) {
+        self.obs.log = adroute_sim::EventLog::new(capacity);
+    }
+
+    /// Emits a data-plane event stamped at the network's clock.
+    fn emit(&mut self, rec: EventRecord) {
+        if self.obs.log.capacity() > 0 {
+            self.obs.log.push(self.clock, rec);
         }
     }
 
@@ -308,6 +335,10 @@ impl OrwgNetwork {
         route: &PolicyRoute,
         alternates: Vec<PolicyRoute>,
     ) -> Result<SetupOutcome, OpenError> {
+        self.emit(EventRecord::RouteSetupOpen {
+            src: flow.src,
+            dst: flow.dst,
+        });
         let handle = HandleId(self.next_handle);
         self.next_handle += 1;
         let setup = SetupPacket {
@@ -338,6 +369,13 @@ impl OrwgNetwork {
                 alternates,
             },
         );
+        self.obs.metrics.record("setup_latency_us", latency_us);
+        self.emit(EventRecord::RouteSetupAck {
+            src: flow.src,
+            dst: flow.dst,
+            hops: hops as u64,
+            latency_us,
+        });
         Ok(SetupOutcome {
             handle,
             route: setup.route,
@@ -528,12 +566,15 @@ impl OrwgNetwork {
     /// (the teardown notification every on-path gateway sends the source
     /// when it flushes the flow's handle).
     fn teardown_and_notify(&mut self, doomed: impl Fn(&OpenFlow) -> bool) {
-        let dead: Vec<HandleId> = self
+        let mut dead: Vec<HandleId> = self
             .open_flows
             .iter()
             .filter(|(_, of)| doomed(of))
             .map(|(h, _)| *h)
             .collect();
+        // HashMap iteration order varies across processes; the repair
+        // queue (and hence trace exports) must not.
+        dead.sort();
         for h in dead {
             if let Some(of) = self.open_flows.remove(&h) {
                 self.pending_repair.push(of);
@@ -550,6 +591,12 @@ impl OrwgNetwork {
             for s in &mut self.servers {
                 s.update_view(topo.clone(), db.clone());
             }
+            let n = self.servers.len() as u64;
+            self.obs.metrics.add("view_full_installs", n);
+            self.emit(EventRecord::ViewDeltaApply {
+                mode: "flush",
+                fallbacks: n,
+            });
             return;
         }
         let mut fallback = Vec::new();
@@ -558,9 +605,27 @@ impl OrwgNetwork {
                 fallback.push(i);
             }
         }
+        let fallbacks = fallback.len() as u64;
         for i in fallback {
             self.servers[i].update_view(self.topo.clone(), self.db.clone());
         }
+        self.obs.metrics.add("view_full_installs", fallbacks);
+        self.emit(EventRecord::ViewDeltaApply {
+            mode: "incremental",
+            fallbacks,
+        });
+    }
+
+    /// [`OrwgNetwork::broadcast_delta`] plus fan-out observation: the
+    /// population-wide count of cache entries the delta invalidated feeds
+    /// the `"invalidation_fanout"` histogram and a `view-invalidate`
+    /// event keyed by the changed element's endpoints.
+    fn reflood(&mut self, a: AdId, b: AdId, delta: &ViewDelta) {
+        let before = self.aggregate_synth_stats().entries_invalidated;
+        self.broadcast_delta(delta);
+        let entries = self.aggregate_synth_stats().entries_invalidated - before;
+        self.obs.metrics.record("invalidation_fanout", entries);
+        self.emit(EventRecord::ViewInvalidate { a, b, entries });
     }
 
     /// Fails a link in ground truth: flushes affected gateway handles,
@@ -577,7 +642,11 @@ impl OrwgNetwork {
                 .windows(2)
                 .any(|w| w.contains(&a) && w.contains(&b))
         });
-        self.broadcast_delta(&ViewDelta::Topo(TopoDelta::LinkState { a, b, up: false }));
+        self.reflood(
+            a,
+            b,
+            &ViewDelta::Topo(TopoDelta::LinkState { a, b, up: false }),
+        );
     }
 
     /// Restores a failed link in ground truth and refloods the change.
@@ -588,7 +657,11 @@ impl OrwgNetwork {
         self.topo.set_link_up(link, true);
         let l = self.topo.link(link);
         let (a, b) = (l.a, l.b);
-        self.broadcast_delta(&ViewDelta::Topo(TopoDelta::LinkState { a, b, up: true }));
+        self.reflood(
+            a,
+            b,
+            &ViewDelta::Topo(TopoDelta::LinkState { a, b, up: true }),
+        );
     }
 
     /// Changes a link's metric in ground truth and refloods it. Installed
@@ -598,7 +671,7 @@ impl OrwgNetwork {
         self.topo.set_metric(link, metric);
         let l = self.topo.link(link);
         let (a, b) = (l.a, l.b);
-        self.broadcast_delta(&ViewDelta::Topo(TopoDelta::Metric { a, b, metric }));
+        self.reflood(a, b, &ViewDelta::Topo(TopoDelta::Metric { a, b, metric }));
     }
 
     /// Changes one AD's policy: the AD's gateway flushes all cached
@@ -610,7 +683,7 @@ impl OrwgNetwork {
         self.db.set_policy(policy.clone());
         self.gateways[ad.index()].invalidate(|_| true);
         self.teardown_and_notify(|of| of.route[1..of.route.len().saturating_sub(1)].contains(&ad));
-        self.broadcast_delta(&ViewDelta::Policy(policy));
+        self.reflood(ad, ad, &ViewDelta::Policy(policy));
     }
 
     /// Crashes `ad`'s Policy Gateway: its handle cache is lost, flows
@@ -658,12 +731,32 @@ impl OrwgNetwork {
                     break;
                 }
             }
-            if !fixed {
+            let via = if fixed {
+                "alternate"
+            } else {
                 match self.open_resilient(&of.flow, max_retries) {
-                    Ok(_) => self.repair_stats.repaired_via_synthesis += 1,
-                    Err(_) => self.repair_stats.failures += 1,
+                    Ok(_) => {
+                        self.repair_stats.repaired_via_synthesis += 1;
+                        "synthesis"
+                    }
+                    Err(_) => {
+                        self.repair_stats.failures += 1;
+                        "failed"
+                    }
                 }
-            }
+            };
+            self.obs.metrics.add(
+                match via {
+                    "failed" => "repair_failed",
+                    _ => "repair_ok",
+                },
+                1,
+            );
+            self.emit(EventRecord::RouteSetupRepair {
+                src: of.flow.src,
+                dst: of.flow.dst,
+                via,
+            });
         }
         RepairStats {
             repaired_via_alternate: self.repair_stats.repaired_via_alternate
@@ -737,6 +830,7 @@ impl OrwgNetwork {
     /// This is the quiescence hook the fault-recovery sweeps and the
     /// `chaos` pipeline call after the LS flooder settles.
     pub fn refresh_from_engine(&mut self, engine: &Engine<OrwgProtocol>) {
+        self.clock = engine.now();
         let new_topo = engine.topo().clone();
         // Ground truth and the engine topology share construction (and
         // hence link ids); diff per id to find links that died since.
@@ -758,22 +852,36 @@ impl OrwgNetwork {
         }
         self.topo = new_topo;
         self.db = engine.protocol().policies.clone();
+        let mut fallbacks = 0u64;
         for ad in self.topo.ad_ids() {
             let (vt, vd) = engine.router(ad).flooder.db.view();
             let s = &mut self.servers[ad.index()];
             if self.view_maintenance == ViewMaintenance::Flush {
                 s.update_view(vt, vd);
+                fallbacks += 1;
                 continue;
             }
             match Self::diff_views(s.view_topo(), s.view_db(), &vt, &vd) {
                 Some(deltas) => {
                     if !deltas.iter().all(|d| s.apply_delta(d)) {
                         s.update_view(vt, vd);
+                        fallbacks += 1;
                     }
                 }
-                None => s.update_view(vt, vd),
+                None => {
+                    s.update_view(vt, vd);
+                    fallbacks += 1;
+                }
             }
         }
+        self.obs.metrics.add("view_full_installs", fallbacks);
+        self.emit(EventRecord::ViewDeltaApply {
+            mode: match self.view_maintenance {
+                ViewMaintenance::Flush => "flush",
+                ViewMaintenance::Incremental => "incremental",
+            },
+            fallbacks,
+        });
     }
 
     /// Total setup-time synthesis searches across all Route Servers.
@@ -836,6 +944,37 @@ mod tests {
         let topo = ring(n);
         let db = PolicyDb::permissive(&topo);
         OrwgNetwork::converged(&topo, &db)
+    }
+
+    #[test]
+    fn data_plane_obs_records_setup_repair_and_invalidation() {
+        let mut net = permissive(6);
+        net.enable_obs(256);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        net.open_repairable(&flow).unwrap();
+        let hist = net.obs.metrics.histogram("setup_latency_us").unwrap();
+        assert_eq!(hist.count, 1);
+        assert!(hist.sum > 0, "ring links have nonzero delay");
+        // Break the installed route; the teardown queues a repair, and the
+        // reflood is observed as an invalidation with its fan-out.
+        let l = net.topo.link_between(AdId(1), AdId(2)).unwrap();
+        net.fail_link(l);
+        net.repair_pending(2);
+        let kinds: Vec<&str> = net.obs.log.iter().map(|(_, r)| r.kind()).collect();
+        assert!(kinds.contains(&"setup-open"));
+        assert!(kinds.contains(&"setup-ack"));
+        assert!(kinds.contains(&"view-delta"));
+        assert!(kinds.contains(&"view-invalidate"));
+        assert!(kinds.contains(&"setup-repair"));
+        assert_eq!(net.obs.metrics.counter("repair_ok"), 1);
+        assert_eq!(
+            net.obs
+                .metrics
+                .histogram("invalidation_fanout")
+                .unwrap()
+                .count,
+            1
+        );
     }
 
     #[test]

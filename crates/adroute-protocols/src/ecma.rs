@@ -33,7 +33,7 @@
 use std::collections::HashMap;
 
 use adroute_policy::{FlowSpec, QosClass};
-use adroute_sim::{Ctx, Engine, Protocol};
+use adroute_sim::{Ctx, Engine, EventRecord, Protocol};
 use adroute_topology::{AdId, AdRole, LinkId, PartialOrder, Topology};
 
 use crate::forwarding::DataPlane;
@@ -345,7 +345,13 @@ impl Protocol for Ecma {
         }
         r.adv_in.insert(from, v);
         ctx.count("ecma_recompute", 1);
-        if self.recompute(r, ctx) {
+        let changed = self.recompute(r, ctx);
+        ctx.emit(EventRecord::RouteRecompute {
+            ad: ctx.me(),
+            proto: "ecma",
+            changed,
+        });
+        if changed {
             self.advertise(r, ctx);
         }
     }
@@ -363,6 +369,11 @@ impl Protocol for Ecma {
         }
         ctx.count("ecma_recompute", 1);
         let changed = self.recompute(r, ctx);
+        ctx.emit(EventRecord::RouteRecompute {
+            ad: ctx.me(),
+            proto: "ecma",
+            changed,
+        });
         if changed || up {
             self.advertise(r, ctx);
         }

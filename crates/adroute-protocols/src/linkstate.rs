@@ -11,7 +11,7 @@
 //! computed.
 
 use adroute_policy::{PolicyDb, TransitPolicy};
-use adroute_sim::Ctx;
+use adroute_sim::{Ctx, EventRecord};
 use adroute_topology::{graph::Ad, AdId, AdLevel, AdRole, Topology};
 
 /// A link-state advertisement: one AD's adjacencies plus its Policy Terms.
@@ -200,11 +200,16 @@ impl Flooder {
     ) {
         self.seq += 1;
         self.identity = Some((level, policy.clone()));
-        let links = ctx
+        let links: Vec<(AdId, u32, u64)> = ctx
             .neighbors()
             .into_iter()
             .map(|(nbr, link)| (nbr, ctx.link_metric(link), ctx.link_delay(link)))
             .collect();
+        ctx.emit(EventRecord::LsaOriginate {
+            origin: self.me,
+            seq: self.seq,
+            links: links.len() as u64,
+        });
         let lsa = Lsa {
             origin: self.me,
             seq: self.seq,
@@ -241,10 +246,19 @@ impl Flooder {
                         .is_some_and(|cur| cur.links != lsa.links));
             if !ghost {
                 ctx.count("flood_dup", 1);
+                ctx.emit(EventRecord::LsaDuplicate {
+                    at: self.me,
+                    origin: lsa.origin,
+                    origin_seq: lsa.seq,
+                });
                 return false;
             }
             self.seq = lsa.seq;
             ctx.count("ls_seq_jump", 1);
+            ctx.emit(EventRecord::LsaSeqJump {
+                at: self.me,
+                seq: lsa.seq,
+            });
             let Some((level, policy)) = self.identity.clone() else {
                 return false; // never originated: nothing to supersede with
             };
@@ -252,6 +266,11 @@ impl Flooder {
             return true;
         }
         if self.db.insert(lsa.clone()) {
+            ctx.emit(EventRecord::LsaAccept {
+                at: self.me,
+                origin: lsa.origin,
+                origin_seq: lsa.seq,
+            });
             for (nbr, _) in ctx.neighbors() {
                 if nbr != from {
                     ctx.send(nbr, lsa.clone());
@@ -260,6 +279,11 @@ impl Flooder {
             true
         } else {
             ctx.count("flood_dup", 1);
+            ctx.emit(EventRecord::LsaDuplicate {
+                at: self.me,
+                origin: lsa.origin,
+                origin_seq: lsa.seq,
+            });
             false
         }
     }
@@ -277,6 +301,11 @@ impl Flooder {
             .filter_map(|i| self.db.get(AdId(i as u32)).cloned())
             .collect();
         ctx.count("ls_resync", 1);
+        ctx.emit(EventRecord::LsaResync {
+            at: self.me,
+            neighbor,
+            lsas: lsas.len() as u64,
+        });
         for lsa in lsas {
             ctx.send(neighbor, lsa);
         }

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use adroute_policy::FlowSpec;
-use adroute_sim::{Ctx, Engine, Protocol};
+use adroute_sim::{Ctx, Engine, EventRecord, Protocol};
 use adroute_topology::{AdId, LinkId, Topology};
 
 use crate::forwarding::DataPlane;
@@ -189,7 +189,13 @@ impl Protocol for NaiveDv {
         }
         r.adv_in.insert(from, v);
         ctx.count("dv_recompute", 1);
-        if self.recompute(r, ctx) {
+        let changed = self.recompute(r, ctx);
+        ctx.emit(EventRecord::RouteRecompute {
+            ad: ctx.me(),
+            proto: "dv",
+            changed,
+        });
+        if changed {
             self.advertise(r, ctx);
         }
     }
@@ -207,6 +213,11 @@ impl Protocol for NaiveDv {
         }
         ctx.count("dv_recompute", 1);
         let changed = self.recompute(r, ctx);
+        ctx.emit(EventRecord::RouteRecompute {
+            ad: ctx.me(),
+            proto: "dv",
+            changed,
+        });
         if changed || up {
             // On link-up, (re)introduce ourselves even if nothing changed.
             self.advertise(r, ctx);

@@ -38,7 +38,7 @@ use adroute_policy::{
     AdSet, FlowSpec, PolicyAction, PolicyCondition, PolicyDb, QosClass, TimeOfDay, TransitPolicy,
     UserClass,
 };
-use adroute_sim::{Ctx, Engine, Protocol};
+use adroute_sim::{Ctx, Engine, EventRecord, Protocol};
 use adroute_topology::{AdId, LinkId, Topology};
 
 use crate::forwarding::DataPlane;
@@ -481,7 +481,13 @@ impl Protocol for PathVector {
             .collect();
         r.adj_in.insert(from, routes);
         ctx.count("pv_recompute", 1);
-        if self.recompute(r, ctx) {
+        let changed = self.recompute(r, ctx);
+        ctx.emit(EventRecord::RouteRecompute {
+            ad: ctx.me(),
+            proto: "pv",
+            changed,
+        });
+        if changed {
             self.schedule_advert(r, ctx);
         }
     }
@@ -506,6 +512,11 @@ impl Protocol for PathVector {
         }
         ctx.count("pv_recompute", 1);
         let changed = self.recompute(r, ctx);
+        ctx.emit(EventRecord::RouteRecompute {
+            ad: ctx.me(),
+            proto: "pv",
+            changed,
+        });
         if changed || up {
             self.schedule_advert(r, ctx);
         }

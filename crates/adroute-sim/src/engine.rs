@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::event::{Event, EventKind, SimTime};
 use crate::faults::ChannelFaults;
+use crate::obs::{EventLog, EventRecord, Obs};
 use crate::stats::Stats;
 use crate::trace::Trace;
 
@@ -90,6 +91,12 @@ pub struct Ctx<'a, M> {
     outbox: Vec<(AdId, LinkId, M)>,
     /// Timers `(delay_us, token)` buffered until the handler returns.
     timers: Vec<(u64, u64)>,
+    /// Typed events emitted by the protocol, drained into the engine's
+    /// observability stream when the handler returns.
+    events: Vec<EventRecord>,
+    /// Whether any event sink (trace or typed log) is enabled; when
+    /// false, [`Ctx::emit`] is a no-op so protocols pay nothing.
+    observing: bool,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -141,7 +148,11 @@ impl<'a, M> Ctx<'a, M> {
     pub fn send(&mut self, to: AdId, msg: M) {
         match self.topo.link_between(self.me, to) {
             Some(link) if self.topo.link(link).up => self.outbox.push((to, link, msg)),
-            _ => self.stats.msgs_dropped += 1,
+            _ => {
+                self.stats.msgs_dropped += 1;
+                let from = self.me;
+                self.emit(EventRecord::MsgDrop { from, to });
+            }
         }
     }
 
@@ -154,6 +165,15 @@ impl<'a, M> Ctx<'a, M> {
     /// Adds `n` to a named work counter (e.g. `"dijkstra"`).
     pub fn count(&mut self, name: &'static str, n: u64) {
         self.stats.count(name, n);
+    }
+
+    /// Emits a typed protocol event (LSA accepted, route recomputed, …)
+    /// into the engine's observability stream. A no-op unless tracing or
+    /// the typed event log is enabled, so hot paths stay free.
+    pub fn emit(&mut self, rec: EventRecord) {
+        if self.observing {
+            self.events.push(rec);
+        }
     }
 }
 
@@ -180,11 +200,17 @@ pub struct Engine<P: Protocol> {
     pub max_events: u64,
     /// Accumulated measurement counters.
     pub stats: Stats,
-    /// Optional event trace (capacity 0 = disabled). Because the engine
-    /// is deterministic, the rendered trace is a golden artifact: equal
+    /// Optional event trace (capacity 0 = disabled). The trace is a
+    /// rendered view over the typed event stream: each line is an
+    /// [`EventRecord`]'s `Display` form. Because the engine is
+    /// deterministic, the rendered trace is a golden artifact: equal
     /// configurations produce byte-identical traces, and
     /// [`Trace::first_divergence`] pinpoints where two runs split.
     pub trace: Trace,
+    /// Structured observability: the typed event log (capacity 0 =
+    /// disabled, see [`Engine::enable_obs`]) plus the always-live metrics
+    /// registry.
+    pub obs: Obs,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -212,6 +238,7 @@ impl<P: Protocol> Engine<P> {
             max_events: 50_000_000,
             stats,
             trace: Trace::new(0),
+            obs: Obs::disabled(),
         };
         for ad in e.topo.ad_ids() {
             e.push(SimTime::ZERO, EventKind::Start { ad });
@@ -319,12 +346,9 @@ impl<P: Protocol> Engine<P> {
         debug_assert!(ev.time >= self.now, "time went backwards");
         self.now = ev.time;
         self.stats.events += 1;
-        let tracing = self.trace.capacity() > 0;
         match ev.kind {
             EventKind::Start { ad } => {
-                if tracing {
-                    self.trace.log(self.now, format!("start {ad}"));
-                }
+                self.emit(EventRecord::Start { ad });
                 self.dispatch(ad, |p, r, ctx| p.on_start(r, ctx));
             }
             EventKind::Deliver {
@@ -338,17 +362,11 @@ impl<P: Protocol> Engine<P> {
                 if self.topo.link(link).up && self.router_up[to.index()] {
                     self.stats.msgs_delivered += 1;
                     self.stats.last_activity = self.now;
-                    if tracing {
-                        self.trace
-                            .log(self.now, format!("deliver {from}->{to} via {link}"));
-                    }
+                    self.emit(EventRecord::MsgDeliver { from, to, link });
                     self.dispatch(to, |p, r, ctx| p.on_message(r, ctx, from, link, msg));
                 } else {
                     self.stats.msgs_lost += 1;
-                    if tracing {
-                        self.trace
-                            .log(self.now, format!("lost {from}->{to} via {link}"));
-                    }
+                    self.emit(EventRecord::MsgLost { from, to, link });
                 }
             }
             EventKind::Timer {
@@ -359,14 +377,10 @@ impl<P: Protocol> Engine<P> {
                 // Timers armed by a previous incarnation (or aimed at a
                 // currently dead router) died with the state that set them.
                 if self.router_up[ad.index()] && incarnation == self.incarnations[ad.index()] {
-                    if tracing {
-                        self.trace
-                            .log(self.now, format!("timer {ad} token={token}"));
-                    }
+                    self.emit(EventRecord::TimerFire { ad, token });
                     self.dispatch(ad, |p, r, ctx| p.on_timer(r, ctx, token));
-                } else if tracing {
-                    self.trace
-                        .log(self.now, format!("stale-timer {ad} token={token}"));
+                } else {
+                    self.emit(EventRecord::StaleTimer { ad, token });
                 }
             }
             EventKind::LinkEvent { link, up } => {
@@ -377,14 +391,11 @@ impl<P: Protocol> Engine<P> {
                 let eff = up && self.router_up[a.index()] && self.router_up[b.index()];
                 self.topo.set_link_up(link, eff);
                 self.stats.last_activity = self.now;
-                if tracing {
-                    let state = match (up, eff) {
-                        (true, true) => "up",
-                        (true, false) => "up-masked",
-                        _ => "down",
-                    };
-                    self.trace.log(self.now, format!("link {link} {state}"));
-                }
+                self.emit(match (up, eff) {
+                    (true, true) => EventRecord::LinkUp { link },
+                    (true, false) => EventRecord::LinkUpMasked { link },
+                    _ => EventRecord::LinkDown { link },
+                });
                 if self.router_up[a.index()] {
                     self.dispatch(a, |p, r, ctx| p.on_link_event(r, ctx, link, b, eff));
                 }
@@ -411,18 +422,14 @@ impl<P: Protocol> Engine<P> {
         }
         self.stats.router_crashes += 1;
         self.stats.last_activity = self.now;
-        if self.trace.capacity() > 0 {
-            self.trace.log(self.now, format!("crash {ad}"));
-        }
+        self.emit(EventRecord::Crash { ad });
         self.protocol.on_crash(&mut self.routers[ad.index()]);
         self.router_up[ad.index()] = false;
         self.incarnations[ad.index()] += 1;
         let adjacent: Vec<(AdId, LinkId)> = self.topo.neighbors(ad).collect();
         for (nbr, link) in adjacent {
             self.topo.set_link_up(link, false);
-            if self.trace.capacity() > 0 {
-                self.trace.log(self.now, format!("link {link} down"));
-            }
+            self.emit(EventRecord::LinkDown { link });
             if self.router_up[nbr.index()] {
                 self.dispatch(nbr, |p, r, ctx| p.on_link_event(r, ctx, link, ad, false));
             }
@@ -438,9 +445,7 @@ impl<P: Protocol> Engine<P> {
         }
         self.stats.router_restarts += 1;
         self.stats.last_activity = self.now;
-        if self.trace.capacity() > 0 {
-            self.trace.log(self.now, format!("restart {ad}"));
-        }
+        self.emit(EventRecord::Restart { ad });
         self.router_up[ad.index()] = true;
         // Restore adjacency first so the rebuilt router boots against the
         // topology it will actually operate on.
@@ -450,9 +455,7 @@ impl<P: Protocol> Engine<P> {
             let eff = self.sched_up[link.index()] && self.router_up[nbr.index()];
             if eff && !self.topo.link(link).up {
                 self.topo.set_link_up(link, true);
-                if self.trace.capacity() > 0 {
-                    self.trace.log(self.now, format!("link {link} up"));
-                }
+                self.emit(EventRecord::LinkUp { link });
                 restored.push((nbr, link));
             }
         }
@@ -471,6 +474,43 @@ impl<P: Protocol> Engine<P> {
         self.trace = Trace::new(capacity);
     }
 
+    /// Enables the typed event log with the given ring-buffer capacity,
+    /// clearing any previously retained records. Metrics are unaffected
+    /// (they are always live).
+    pub fn enable_obs(&mut self, capacity: usize) {
+        self.obs.log = EventLog::new(capacity);
+    }
+
+    /// Whether any event sink (legacy trace or typed log) is recording.
+    fn observing(&self) -> bool {
+        self.trace.capacity() > 0 || self.obs.log.capacity() > 0
+    }
+
+    /// Routes one typed event into every enabled sink: the legacy trace
+    /// receives the rendered `Display` form (so `Trace` is a pure view
+    /// over the typed stream), the typed log the record itself.
+    fn emit(&mut self, rec: EventRecord) {
+        if self.trace.capacity() > 0 {
+            self.trace.log(self.now, rec.to_string());
+        }
+        if self.obs.log.capacity() > 0 {
+            self.obs.log.push(self.now, rec);
+        }
+    }
+
+    /// Records an externally produced event (fault-plan installation,
+    /// experiment annotations) at the current simulated time.
+    pub fn note(&mut self, rec: EventRecord) {
+        self.emit(rec);
+    }
+
+    /// Marks the start of a named measurement phase in both the stats
+    /// (see [`Stats::begin_phase`]) and the event stream.
+    pub fn begin_phase(&mut self, name: &'static str) {
+        self.stats.begin_phase(name);
+        self.emit(EventRecord::PhaseBegin { name });
+    }
+
     fn dispatch<F>(&mut self, ad: AdId, f: F)
     where
         F: FnOnce(&P, &mut P::Router, &mut Ctx<'_, P::Msg>),
@@ -482,60 +522,66 @@ impl<P: Protocol> Engine<P> {
             stats: &mut self.stats,
             outbox: Vec::new(),
             timers: Vec::new(),
+            events: Vec::new(),
+            observing: self.trace.capacity() > 0 || self.obs.log.capacity() > 0,
         };
         f(&self.protocol, &mut self.routers[ad.index()], &mut ctx);
-        let Ctx { outbox, timers, .. } = ctx;
+        let Ctx {
+            outbox,
+            timers,
+            events,
+            ..
+        } = ctx;
+        for rec in events {
+            self.emit(rec);
+        }
         for (to, link, msg) in outbox {
             let delay = self.topo.link(link).delay_us;
             self.stats.msgs_sent += 1;
             self.stats.per_ad_msgs[ad.index()] += 1;
-            self.stats.bytes_sent += self.protocol.msg_size(&msg) as u64;
-            let tracing = self.trace.capacity() > 0;
+            let bytes = self.protocol.msg_size(&msg) as u64;
+            self.stats.bytes_sent += bytes;
+            if self.observing() {
+                self.emit(EventRecord::MsgSend {
+                    from: ad,
+                    to,
+                    link,
+                    bytes,
+                });
+            }
             let mut delay = delay;
             let mut dup_at = None;
-            if let Some(inj) = &mut self.faults {
-                if inj.cfg.active_at(self.now) {
-                    match inj.judge(delay) {
-                        ChannelVerdict::Lost => {
-                            self.stats.msgs_lost += 1;
-                            if tracing {
-                                self.trace
-                                    .log(self.now, format!("chan-loss {ad}->{to} via {link}"));
-                            }
-                            continue;
+            let verdict = match &mut self.faults {
+                Some(inj) if inj.cfg.active_at(self.now) => Some(inj.judge(delay)),
+                _ => None,
+            };
+            if let Some(verdict) = verdict {
+                match verdict {
+                    ChannelVerdict::Lost => {
+                        self.stats.msgs_lost += 1;
+                        self.emit(EventRecord::ChanLoss { from: ad, to, link });
+                        continue;
+                    }
+                    ChannelVerdict::Corrupted => {
+                        self.stats.msgs_corrupted += 1;
+                        self.emit(EventRecord::ChanCorrupt { from: ad, to, link });
+                        continue;
+                    }
+                    ChannelVerdict::Pass {
+                        delay_us,
+                        duplicate_at_us,
+                        reordered,
+                    } => {
+                        if reordered {
+                            self.stats.msgs_reordered += 1;
+                            self.emit(EventRecord::ChanReorder { from: ad, to, link });
                         }
-                        ChannelVerdict::Corrupted => {
-                            self.stats.msgs_corrupted += 1;
-                            if tracing {
-                                self.trace
-                                    .log(self.now, format!("chan-corrupt {ad}->{to} via {link}"));
-                            }
-                            continue;
+                        if let Some(d) = duplicate_at_us {
+                            self.stats.msgs_duplicated += 1;
+                            self.emit(EventRecord::ChanDup { from: ad, to, link });
+                            dup_at = Some(self.now.plus_us(d));
                         }
-                        ChannelVerdict::Pass {
-                            delay_us,
-                            duplicate_at_us,
-                            reordered,
-                        } => {
-                            if reordered {
-                                self.stats.msgs_reordered += 1;
-                                if tracing {
-                                    self.trace.log(
-                                        self.now,
-                                        format!("chan-reorder {ad}->{to} via {link}"),
-                                    );
-                                }
-                            }
-                            if let Some(d) = duplicate_at_us {
-                                self.stats.msgs_duplicated += 1;
-                                if tracing {
-                                    self.trace
-                                        .log(self.now, format!("chan-dup {ad}->{to} via {link}"));
-                                }
-                                dup_at = Some(self.now.plus_us(d));
-                            }
-                            delay = delay_us;
-                        }
+                        delay = delay_us;
                     }
                 }
             }
@@ -894,6 +940,81 @@ mod tests {
         let mut plain = Engine::new(line(3), Wave);
         plain.run_to_quiescence();
         assert!(plain.trace.is_empty());
+        assert!(plain.obs.log.is_empty());
+    }
+
+    #[test]
+    fn trace_is_a_rendered_view_of_the_typed_stream() {
+        let mk = || {
+            let mut e = Engine::new(line(4), Wave);
+            e.enable_trace(1024);
+            e.enable_obs(1024);
+            e.schedule_link_change(LinkId(2), false, SimTime(1500));
+            e.schedule_router_change(AdId(1), false, SimTime(4000));
+            e.schedule_router_change(AdId(1), true, SimTime(5000));
+            e.run_to_quiescence();
+            e
+        };
+        let e = mk();
+        assert!(!e.obs.log.is_empty());
+        assert_eq!(
+            e.trace.render(),
+            e.obs.log.render(),
+            "every trace line must be the Display form of a typed record"
+        );
+        // The typed export is a golden artifact too.
+        let f = mk();
+        assert_eq!(e.obs.log.export_jsonl(), f.obs.log.export_jsonl());
+        assert!(e.obs.log.first_divergence(&f.obs.log).is_none());
+    }
+
+    #[test]
+    fn typed_log_records_sends_and_drops() {
+        let mut e = Engine::new(line(3), Wave);
+        e.enable_obs(1024);
+        e.run_to_quiescence();
+        let sends = e
+            .obs
+            .log
+            .iter()
+            .filter(|(_, r)| matches!(r, EventRecord::MsgSend { .. }))
+            .count() as u64;
+        let delivers = e
+            .obs
+            .log
+            .iter()
+            .filter(|(_, r)| matches!(r, EventRecord::MsgDeliver { .. }))
+            .count() as u64;
+        assert_eq!(sends, e.stats.msgs_sent);
+        assert_eq!(delivers, e.stats.msgs_delivered);
+        let jsonl = e.obs.log.export_jsonl();
+        assert!(jsonl.contains("\"kind\":\"send\""), "{jsonl}");
+    }
+
+    #[test]
+    fn engine_phase_scopes_split_message_totals() {
+        let mut e = Engine::new(line(4), Wave);
+        e.begin_phase("converge");
+        e.run_to_quiescence();
+        let sent_converge = e.stats.msgs_sent;
+        assert!(sent_converge > 0);
+        // Crash+restart the wave origin: the failure-response phase
+        // re-runs the wave from AD0.
+        e.begin_phase("failure-response");
+        let t = e.now();
+        e.schedule_router_change(AdId(0), false, t.plus_us(10));
+        e.schedule_router_change(AdId(0), true, t.plus_us(20));
+        e.run_to_quiescence();
+        let c = e.stats.phase_delta("converge").unwrap();
+        let f = e.stats.phase_delta("failure-response").unwrap();
+        assert_eq!(c.msgs_sent, sent_converge);
+        assert_eq!(c.router_crashes, 0);
+        assert_eq!(f.router_crashes, 1);
+        assert_eq!(f.router_restarts, 1);
+        assert_eq!(c.msgs_sent + f.msgs_sent, e.stats.msgs_sent);
+        // Both phases end quiescent, so each conserves messages.
+        assert!(c.conserves_messages());
+        assert!(f.conserves_messages());
     }
 
     #[test]

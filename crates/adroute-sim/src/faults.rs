@@ -232,6 +232,11 @@ impl FaultPlan {
     /// # Panics
     /// Panics if any event lies in the engine's past.
     pub fn apply<P: Protocol>(&self, engine: &mut Engine<P>) {
+        engine.note(crate::obs::EventRecord::FaultPlanApplied {
+            link_events: self.links.events().len() as u64,
+            outages: self.outages.len() as u64,
+            lossy: self.channel.is_some(),
+        });
         // Final scheduled state per link: starts from current topology,
         // then follows the plan's events.
         let mut final_up: Vec<bool> = engine.topo().links().map(|l| l.up).collect();

@@ -16,6 +16,7 @@
 pub mod engine;
 pub mod event;
 pub mod faults;
+pub mod obs;
 pub mod schedule;
 pub mod stats;
 pub mod trace;
@@ -23,6 +24,7 @@ pub mod trace;
 pub use engine::{Ctx, Engine, Protocol};
 pub use event::SimTime;
 pub use faults::{ChannelFaults, CrashModel, FaultPlan, FaultSpec, RouterOutage};
+pub use obs::{EventLog, EventRecord, Histogram, MetricsRegistry, Obs};
 pub use schedule::{FailureModel, FailureSchedule, LinkEvent};
 pub use stats::Stats;
 pub use trace::{Trace, TraceRecord};

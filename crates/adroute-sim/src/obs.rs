@@ -1,0 +1,1048 @@
+//! Structured observability: typed event records, metrics, histograms.
+//!
+//! This module replaces free-form string tracing as the *source of truth*
+//! for what happened during a run. The engine (and the ORWG data plane
+//! above it) emits typed [`EventRecord`]s into a bounded [`EventLog`];
+//! the legacy [`Trace`](crate::Trace) is now a rendered view over the
+//! same stream — every trace line is `EventRecord`'s `Display` form — so
+//! `first_divergence` keeps working as the regression primitive while
+//! machine consumers get a stable JSONL export instead of parsing text.
+//!
+//! Alongside the log, a [`MetricsRegistry`] holds named counters and
+//! fixed-bucket [`Histogram`]s (route-setup latency, per-AD message load,
+//! invalidation fan-out), which is how the E-series experiments report
+//! *distributions* instead of single totals. Everything here is
+//! deterministic: same configuration, byte-identical export.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+
+use adroute_topology::{AdId, LinkId};
+
+use crate::event::SimTime;
+
+/// Number of power-of-two histogram buckets: bucket 0 holds exact zeros,
+/// bucket `k` (1 ≤ k < 40) holds `2^(k-1) ..= 2^k - 1`, bucket 40 holds
+/// everything `≥ 2^39`.
+const HIST_BUCKETS: usize = 41;
+
+/// One typed simulation event. `Display` renders the exact line the
+/// legacy string [`Trace`](crate::Trace) records, so a trace is a pure
+/// view over the typed stream; [`EventRecord::to_json`] renders the
+/// machine-readable JSONL form with a fixed field order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventRecord {
+    /// Router start-up at time zero (or a scheduled cold start).
+    Start {
+        /// The booting AD.
+        ad: AdId,
+    },
+    /// A message handed to the channel (per-hop transmission).
+    MsgSend {
+        /// Sending AD.
+        from: AdId,
+        /// Receiving neighbor.
+        to: AdId,
+        /// Carrying link.
+        link: LinkId,
+        /// Encoded size in bytes.
+        bytes: u64,
+    },
+    /// A message delivered to its destination's handler.
+    MsgDeliver {
+        /// Sending AD.
+        from: AdId,
+        /// Receiving neighbor.
+        to: AdId,
+        /// Carrying link.
+        link: LinkId,
+    },
+    /// A message lost in flight (link died or destination crashed).
+    MsgLost {
+        /// Sending AD.
+        from: AdId,
+        /// Intended receiver.
+        to: AdId,
+        /// Carrying link.
+        link: LinkId,
+    },
+    /// A send dropped at the source: no operational link to `to`.
+    MsgDrop {
+        /// Sending AD.
+        from: AdId,
+        /// Intended receiver (non-neighbor or across a failed link).
+        to: AdId,
+    },
+    /// A live one-shot timer firing.
+    TimerFire {
+        /// Owning AD.
+        ad: AdId,
+        /// Opaque protocol token.
+        token: u64,
+    },
+    /// A timer from a dead incarnation, discarded unfired.
+    StaleTimer {
+        /// Owning AD.
+        ad: AdId,
+        /// Opaque protocol token.
+        token: u64,
+    },
+    /// A link becoming operational.
+    LinkUp {
+        /// The link.
+        link: LinkId,
+    },
+    /// A link going out of operation.
+    LinkDown {
+        /// The link.
+        link: LinkId,
+    },
+    /// A link scheduled up but held down by a crashed endpoint.
+    LinkUpMasked {
+        /// The link.
+        link: LinkId,
+    },
+    /// A router crash (soft state lost, adjacent links fate-share).
+    Crash {
+        /// The crashing AD.
+        ad: AdId,
+    },
+    /// A router restart (state rebuilt from scratch).
+    Restart {
+        /// The rebooting AD.
+        ad: AdId,
+    },
+    /// Channel fault: message silently dropped in flight.
+    ChanLoss {
+        /// Sending AD.
+        from: AdId,
+        /// Intended receiver.
+        to: AdId,
+        /// Carrying link.
+        link: LinkId,
+    },
+    /// Channel fault: payload corrupted, dropped by receiver checksum.
+    ChanCorrupt {
+        /// Sending AD.
+        from: AdId,
+        /// Intended receiver.
+        to: AdId,
+        /// Carrying link.
+        link: LinkId,
+    },
+    /// Channel fault: message delayed out of order.
+    ChanReorder {
+        /// Sending AD.
+        from: AdId,
+        /// Receiver.
+        to: AdId,
+        /// Carrying link.
+        link: LinkId,
+    },
+    /// Channel fault: an extra copy injected.
+    ChanDup {
+        /// Sending AD.
+        from: AdId,
+        /// Receiver.
+        to: AdId,
+        /// Carrying link.
+        link: LinkId,
+    },
+    /// A [`FaultPlan`](crate::FaultPlan) installed on the engine.
+    FaultPlanApplied {
+        /// Scheduled link up/down events.
+        link_events: u64,
+        /// Scheduled router crash/restart pairs.
+        outages: u64,
+        /// Whether a lossy channel model was installed.
+        lossy: bool,
+    },
+    /// A measurement phase boundary (see [`Stats::begin_phase`](crate::Stats::begin_phase)).
+    PhaseBegin {
+        /// Phase name (`"converge"`, `"failure-response"`, `"churn"`, …).
+        name: &'static str,
+    },
+    /// A link-state advertisement originated by its owner.
+    LsaOriginate {
+        /// Originating AD.
+        origin: AdId,
+        /// New sequence number.
+        seq: u64,
+        /// Links described by the LSA.
+        links: u64,
+    },
+    /// A newer LSA accepted into a router's database.
+    LsaAccept {
+        /// Accepting AD.
+        at: AdId,
+        /// LSA originator.
+        origin: AdId,
+        /// Accepted sequence number.
+        origin_seq: u64,
+    },
+    /// A duplicate (not-newer) LSA discarded without reflooding.
+    LsaDuplicate {
+        /// Discarding AD.
+        at: AdId,
+        /// LSA originator.
+        origin: AdId,
+        /// Stale sequence number seen.
+        origin_seq: u64,
+    },
+    /// OSPF-style recovery: a router saw its own pre-crash LSA and jumped
+    /// its sequence number past the ghost.
+    LsaSeqJump {
+        /// The recovering AD.
+        at: AdId,
+        /// The sequence number jumped to.
+        seq: u64,
+    },
+    /// A full database resync pushed to a neighbor (link-up handshake).
+    LsaResync {
+        /// The sending AD.
+        at: AdId,
+        /// The neighbor receiving the database.
+        neighbor: AdId,
+        /// LSAs pushed.
+        lsas: u64,
+    },
+    /// A distance/path-vector style route recomputation.
+    RouteRecompute {
+        /// Recomputing AD.
+        ad: AdId,
+        /// Protocol tag (`"ecma"`, `"dv"`, `"pv"`).
+        proto: &'static str,
+        /// Whether the routing table changed (triggering advertisement).
+        changed: bool,
+    },
+    /// An ORWG route-setup attempt entering the network.
+    RouteSetupOpen {
+        /// Source AD.
+        src: AdId,
+        /// Destination AD.
+        dst: AdId,
+    },
+    /// A route setup validated end-to-end (the "ack" path).
+    RouteSetupAck {
+        /// Source AD.
+        src: AdId,
+        /// Destination AD.
+        dst: AdId,
+        /// AD-level hop count of the installed route.
+        hops: u64,
+        /// End-to-end setup latency in microseconds.
+        latency_us: u64,
+    },
+    /// A broken open flow routed around (or given up on) by repair.
+    RouteSetupRepair {
+        /// Source AD.
+        src: AdId,
+        /// Destination AD.
+        dst: AdId,
+        /// Repair outcome: `"alternate"`, `"synthesis"`, or `"failed"`.
+        via: &'static str,
+    },
+    /// Route-server cache entries invalidated by a topology/policy delta.
+    ViewInvalidate {
+        /// One endpoint of the changed element (for a policy change, the
+        /// changed AD twice).
+        a: AdId,
+        /// The other endpoint.
+        b: AdId,
+        /// Cache entries invalidated across all route servers (fan-out).
+        entries: u64,
+    },
+    /// A view delta applied across the route-server population.
+    ViewDeltaApply {
+        /// Maintenance mode: `"incremental"` or `"flush"`.
+        mode: &'static str,
+        /// Servers that fell back to a full rebuild.
+        fallbacks: u64,
+    },
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use EventRecord::*;
+        match *self {
+            Start { ad } => write!(f, "start {ad}"),
+            MsgSend { from, to, link, .. } => write!(f, "send {from}->{to} via {link}"),
+            MsgDeliver { from, to, link } => write!(f, "deliver {from}->{to} via {link}"),
+            MsgLost { from, to, link } => write!(f, "lost {from}->{to} via {link}"),
+            MsgDrop { from, to } => write!(f, "drop {from}->{to} at source"),
+            TimerFire { ad, token } => write!(f, "timer {ad} token={token}"),
+            StaleTimer { ad, token } => write!(f, "stale-timer {ad} token={token}"),
+            LinkUp { link } => write!(f, "link {link} up"),
+            LinkDown { link } => write!(f, "link {link} down"),
+            LinkUpMasked { link } => write!(f, "link {link} up-masked"),
+            Crash { ad } => write!(f, "crash {ad}"),
+            Restart { ad } => write!(f, "restart {ad}"),
+            ChanLoss { from, to, link } => write!(f, "chan-loss {from}->{to} via {link}"),
+            ChanCorrupt { from, to, link } => write!(f, "chan-corrupt {from}->{to} via {link}"),
+            ChanReorder { from, to, link } => write!(f, "chan-reorder {from}->{to} via {link}"),
+            ChanDup { from, to, link } => write!(f, "chan-dup {from}->{to} via {link}"),
+            FaultPlanApplied {
+                link_events,
+                outages,
+                lossy,
+            } => write!(
+                f,
+                "fault-plan links={link_events} outages={outages} lossy={lossy}"
+            ),
+            PhaseBegin { name } => write!(f, "phase {name}"),
+            LsaOriginate { origin, seq, links } => {
+                write!(f, "lsa-originate {origin} seq={seq} links={links}")
+            }
+            LsaAccept {
+                at,
+                origin,
+                origin_seq,
+            } => write!(f, "lsa-accept {at} origin={origin} seq={origin_seq}"),
+            LsaDuplicate {
+                at,
+                origin,
+                origin_seq,
+            } => write!(f, "lsa-dup {at} origin={origin} seq={origin_seq}"),
+            LsaSeqJump { at, seq } => write!(f, "lsa-seq-jump {at} seq={seq}"),
+            LsaResync { at, neighbor, lsas } => {
+                write!(f, "lsa-resync {at}->{neighbor} lsas={lsas}")
+            }
+            RouteRecompute { ad, proto, changed } => {
+                write!(f, "recompute {ad} proto={proto} changed={changed}")
+            }
+            RouteSetupOpen { src, dst } => write!(f, "setup-open {src}->{dst}"),
+            RouteSetupAck {
+                src,
+                dst,
+                hops,
+                latency_us,
+            } => write!(
+                f,
+                "setup-ack {src}->{dst} hops={hops} latency={latency_us}us"
+            ),
+            RouteSetupRepair { src, dst, via } => {
+                write!(f, "setup-repair {src}->{dst} via={via}")
+            }
+            ViewInvalidate { a, b, entries } => {
+                write!(f, "view-invalidate {a}-{b} entries={entries}")
+            }
+            ViewDeltaApply { mode, fallbacks } => {
+                write!(f, "view-delta mode={mode} fallbacks={fallbacks}")
+            }
+        }
+    }
+}
+
+impl EventRecord {
+    /// The record's kind tag as it appears in the JSON export.
+    pub fn kind(&self) -> &'static str {
+        use EventRecord::*;
+        match self {
+            Start { .. } => "start",
+            MsgSend { .. } => "send",
+            MsgDeliver { .. } => "deliver",
+            MsgLost { .. } => "lost",
+            MsgDrop { .. } => "drop",
+            TimerFire { .. } => "timer",
+            StaleTimer { .. } => "stale-timer",
+            LinkUp { .. } => "link-up",
+            LinkDown { .. } => "link-down",
+            LinkUpMasked { .. } => "link-up-masked",
+            Crash { .. } => "crash",
+            Restart { .. } => "restart",
+            ChanLoss { .. } => "chan-loss",
+            ChanCorrupt { .. } => "chan-corrupt",
+            ChanReorder { .. } => "chan-reorder",
+            ChanDup { .. } => "chan-dup",
+            FaultPlanApplied { .. } => "fault-plan",
+            PhaseBegin { .. } => "phase",
+            LsaOriginate { .. } => "lsa-originate",
+            LsaAccept { .. } => "lsa-accept",
+            LsaDuplicate { .. } => "lsa-dup",
+            LsaSeqJump { .. } => "lsa-seq-jump",
+            LsaResync { .. } => "lsa-resync",
+            RouteRecompute { .. } => "recompute",
+            RouteSetupOpen { .. } => "setup-open",
+            RouteSetupAck { .. } => "setup-ack",
+            RouteSetupRepair { .. } => "setup-repair",
+            ViewInvalidate { .. } => "view-invalidate",
+            ViewDeltaApply { .. } => "view-delta",
+        }
+    }
+
+    /// Renders one JSON object for this record stamped at `at`. Field
+    /// order is fixed (`us`, `kind`, then per-kind fields in declaration
+    /// order), so exports are byte-stable golden artifacts.
+    pub fn to_json(&self, at: SimTime) -> String {
+        use EventRecord::*;
+        let mut s = format!("{{\"us\":{},\"kind\":\"{}\"", at.as_us(), self.kind());
+        match *self {
+            Start { ad } | Crash { ad } | Restart { ad } => {
+                let _ = write!(s, ",\"ad\":{}", ad.index());
+            }
+            MsgSend {
+                from,
+                to,
+                link,
+                bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"from\":{},\"to\":{},\"link\":{},\"bytes\":{bytes}",
+                    from.index(),
+                    to.index(),
+                    link.index()
+                );
+            }
+            MsgDeliver { from, to, link }
+            | MsgLost { from, to, link }
+            | ChanLoss { from, to, link }
+            | ChanCorrupt { from, to, link }
+            | ChanReorder { from, to, link }
+            | ChanDup { from, to, link } => {
+                let _ = write!(
+                    s,
+                    ",\"from\":{},\"to\":{},\"link\":{}",
+                    from.index(),
+                    to.index(),
+                    link.index()
+                );
+            }
+            MsgDrop { from, to } => {
+                let _ = write!(s, ",\"from\":{},\"to\":{}", from.index(), to.index());
+            }
+            TimerFire { ad, token } | StaleTimer { ad, token } => {
+                let _ = write!(s, ",\"ad\":{},\"token\":{token}", ad.index());
+            }
+            LinkUp { link } | LinkDown { link } | LinkUpMasked { link } => {
+                let _ = write!(s, ",\"link\":{}", link.index());
+            }
+            FaultPlanApplied {
+                link_events,
+                outages,
+                lossy,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"link_events\":{link_events},\"outages\":{outages},\"lossy\":{lossy}"
+                );
+            }
+            PhaseBegin { name } => {
+                let _ = write!(s, ",\"name\":\"{}\"", json_escape(name));
+            }
+            LsaOriginate { origin, seq, links } => {
+                let _ = write!(
+                    s,
+                    ",\"origin\":{},\"seq\":{seq},\"links\":{links}",
+                    origin.index()
+                );
+            }
+            LsaAccept {
+                at: ad,
+                origin,
+                origin_seq,
+            }
+            | LsaDuplicate {
+                at: ad,
+                origin,
+                origin_seq,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"at\":{},\"origin\":{},\"seq\":{origin_seq}",
+                    ad.index(),
+                    origin.index()
+                );
+            }
+            LsaSeqJump { at: ad, seq } => {
+                let _ = write!(s, ",\"at\":{},\"seq\":{seq}", ad.index());
+            }
+            LsaResync {
+                at: ad,
+                neighbor,
+                lsas,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"at\":{},\"neighbor\":{},\"lsas\":{lsas}",
+                    ad.index(),
+                    neighbor.index()
+                );
+            }
+            RouteRecompute { ad, proto, changed } => {
+                let _ = write!(
+                    s,
+                    ",\"ad\":{},\"proto\":\"{}\",\"changed\":{changed}",
+                    ad.index(),
+                    json_escape(proto)
+                );
+            }
+            RouteSetupOpen { src, dst } => {
+                let _ = write!(s, ",\"src\":{},\"dst\":{}", src.index(), dst.index());
+            }
+            RouteSetupAck {
+                src,
+                dst,
+                hops,
+                latency_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{},\"dst\":{},\"hops\":{hops},\"latency_us\":{latency_us}",
+                    src.index(),
+                    dst.index()
+                );
+            }
+            RouteSetupRepair { src, dst, via } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{},\"dst\":{},\"via\":\"{}\"",
+                    src.index(),
+                    dst.index(),
+                    json_escape(via)
+                );
+            }
+            ViewInvalidate { a, b, entries } => {
+                let _ = write!(
+                    s,
+                    ",\"a\":{},\"b\":{},\"entries\":{entries}",
+                    a.index(),
+                    b.index()
+                );
+            }
+            ViewDeltaApply { mode, fallbacks } => {
+                let _ = write!(
+                    s,
+                    ",\"mode\":\"{}\",\"fallbacks\":{fallbacks}",
+                    json_escape(mode)
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A bounded, in-order log of typed events (ring buffer: oldest records
+/// are evicted once `capacity` is reached, counted in `dropped`).
+/// Capacity 0 disables recording entirely.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    records: VecDeque<(SimTime, EventRecord)>,
+    capacity: usize,
+    /// Records discarded because the buffer was full (or disabled).
+    pub dropped: u64,
+}
+
+impl EventLog {
+    /// A log retaining at most `capacity` most-recent records.
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            records: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn push(&mut self, at: SimTime, rec: EventRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back((at, rec));
+    }
+
+    /// The configured capacity (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, EventRecord)> {
+        self.records.iter()
+    }
+
+    /// Renders the log in the legacy trace format: one
+    /// `time<TAB>description` line per record. Byte-identical to what a
+    /// same-capacity [`Trace`](crate::Trace) records on the same run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (at, rec) in &self.records {
+            let _ = writeln!(out, "{at}\t{rec}");
+        }
+        out
+    }
+
+    /// Exports the log as JSON Lines: one object per record followed by a
+    /// trailing summary line with the retained/dropped totals. Output is
+    /// deterministic, so two identically-seeded runs export byte-identical
+    /// files.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (at, rec) in &self.records {
+            out.push_str(&rec.to_json(*at));
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"trace-summary\",\"records\":{},\"dropped\":{}}}",
+            self.records.len(),
+            self.dropped
+        );
+        out
+    }
+
+    /// First position where this log and `other` disagree — the typed
+    /// analogue of [`Trace::first_divergence`](crate::Trace::first_divergence).
+    pub fn first_divergence<'a>(&'a self, other: &'a EventLog) -> Option<Divergence<'a>> {
+        let mut i = 0;
+        let mut a = self.records.iter();
+        let mut b = other.records.iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return None,
+                (x, y) if x == y => {}
+                (x, y) => return Some((i, x, y)),
+            }
+            i += 1;
+        }
+    }
+}
+
+/// A divergence point between two event logs: the record index plus each
+/// log's record at that index (`None` when that log ended first).
+pub type Divergence<'a> = (
+    usize,
+    Option<&'a (SimTime, EventRecord)>,
+    Option<&'a (SimTime, EventRecord)>,
+);
+
+/// A fixed-bucket histogram of `u64` samples (power-of-two buckets), used
+/// for latency and fan-out distributions. Bucketing is value-independent,
+/// so merging and comparing histograms across runs is exact.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive lower bound of bucket `i`.
+    fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// The arithmetic mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the top of the
+    /// first bucket whose cumulative count reaches `q * count`, clamped to
+    /// the observed `max`. Empty histograms report 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let hi = if i + 1 < HIST_BUCKETS {
+                    Self::bucket_lo(i + 1).saturating_sub(1)
+                } else {
+                    u64::MAX
+                };
+                return hi.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Renders the histogram as one deterministic JSON object: summary
+    /// fields plus the non-empty buckets as `[lower_bound, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+            self.quantile(0.5),
+            self.quantile(0.99)
+        );
+        let mut first = true;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "[{},{c}]", Self::bucket_lo(i));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// A registry of named counters and histograms. Names are ordinary
+/// strings (conventionally `snake_case`, with `/` separating a phase
+/// qualifier, e.g. `"msgs_sent/converge"`); iteration and JSON export are
+/// in lexicographic name order, hence deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Reads a named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one sample into the named histogram (created on first use).
+    pub fn record(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::new();
+            h.record(v);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// The named histogram, if any sample was ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the registry as one deterministic JSON object with
+    /// `counters` and `histograms` maps in name order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{}\":{v}", json_escape(k));
+        }
+        s.push_str("},\"histograms\":{");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{}\":{}", json_escape(k), h.to_json());
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// The observability bundle carried by an engine (or the ORWG network):
+/// the typed event log plus the metrics registry. The log is off by
+/// default (capacity 0); metrics are always live — they are cheap and
+/// experiments read them unconditionally.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    /// The typed event stream (ring buffer; capacity 0 = disabled).
+    pub log: EventLog,
+    /// Named counters and histograms.
+    pub metrics: MetricsRegistry,
+}
+
+impl Obs {
+    /// An observability bundle retaining up to `capacity` events.
+    pub fn new(capacity: usize) -> Obs {
+        Obs {
+            log: EventLog::new(capacity),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// A bundle with event logging disabled (metrics still live).
+    pub fn disabled() -> Obs {
+        Obs::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_trace_strings() {
+        let cases: Vec<(EventRecord, &str)> = vec![
+            (EventRecord::Start { ad: AdId(0) }, "start AD0"),
+            (
+                EventRecord::MsgDeliver {
+                    from: AdId(0),
+                    to: AdId(1),
+                    link: LinkId(0),
+                },
+                "deliver AD0->AD1 via L0",
+            ),
+            (
+                EventRecord::MsgLost {
+                    from: AdId(2),
+                    to: AdId(3),
+                    link: LinkId(7),
+                },
+                "lost AD2->AD3 via L7",
+            ),
+            (
+                EventRecord::TimerFire {
+                    ad: AdId(1),
+                    token: 99,
+                },
+                "timer AD1 token=99",
+            ),
+            (
+                EventRecord::StaleTimer {
+                    ad: AdId(0),
+                    token: 99,
+                },
+                "stale-timer AD0 token=99",
+            ),
+            (EventRecord::LinkUp { link: LinkId(1) }, "link L1 up"),
+            (EventRecord::LinkDown { link: LinkId(1) }, "link L1 down"),
+            (
+                EventRecord::LinkUpMasked { link: LinkId(4) },
+                "link L4 up-masked",
+            ),
+            (EventRecord::Crash { ad: AdId(5) }, "crash AD5"),
+            (EventRecord::Restart { ad: AdId(5) }, "restart AD5"),
+            (
+                EventRecord::ChanLoss {
+                    from: AdId(0),
+                    to: AdId(1),
+                    link: LinkId(0),
+                },
+                "chan-loss AD0->AD1 via L0",
+            ),
+        ];
+        for (rec, want) in cases {
+            assert_eq!(rec.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn json_export_is_stable() {
+        let rec = EventRecord::MsgDeliver {
+            from: AdId(0),
+            to: AdId(1),
+            link: LinkId(2),
+        };
+        assert_eq!(
+            rec.to_json(SimTime(1500)),
+            "{\"us\":1500,\"kind\":\"deliver\",\"from\":0,\"to\":1,\"link\":2}"
+        );
+        let mut log = EventLog::new(4);
+        log.push(SimTime(0), EventRecord::Start { ad: AdId(0) });
+        log.push(SimTime(1500), rec);
+        let jsonl = log.export_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"us\":0,\"kind\":\"start\",\"ad\":0}\n\
+             {\"us\":1500,\"kind\":\"deliver\",\"from\":0,\"to\":1,\"link\":2}\n\
+             {\"kind\":\"trace-summary\",\"records\":2,\"dropped\":0}\n"
+        );
+    }
+
+    #[test]
+    fn event_log_ring_and_divergence() {
+        let mut a = EventLog::new(2);
+        a.push(SimTime(1), EventRecord::Start { ad: AdId(0) });
+        a.push(SimTime(2), EventRecord::Start { ad: AdId(1) });
+        a.push(SimTime(3), EventRecord::Start { ad: AdId(2) });
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.dropped, 1);
+        let mut b = a.clone();
+        assert!(a.first_divergence(&b).is_none());
+        b.push(SimTime(4), EventRecord::Crash { ad: AdId(0) });
+        let (i, x, y) = a.first_divergence(&b).unwrap();
+        assert_eq!(i, 0);
+        assert!(x.is_some() && y.is_some());
+        // Disabled log drops everything silently.
+        let mut z = EventLog::new(0);
+        z.push(SimTime(1), EventRecord::Start { ad: AdId(0) });
+        assert!(z.is_empty());
+        assert_eq!(z.dropped, 1);
+        assert_eq!(z.render(), "");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [0u64, 1, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 1011);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!(h.mean() > 144.0 && h.mean() < 145.0);
+        // Median falls in the [2,3] bucket; quantile reports its top.
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 1000);
+        let json = h.to_json();
+        assert!(json.starts_with("{\"count\":7,\"sum\":1011,\"min\":0,\"max\":1000"));
+        assert!(json.contains("\"buckets\":[[0,1],[1,2],[2,2],[4,1],[512,1]]"));
+        // Giant samples land in the saturating top bucket.
+        let mut g = Histogram::new();
+        g.record(u64::MAX);
+        assert_eq!(g.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn registry_counters_histograms_and_json() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.add("b_counter", 2);
+        m.add("a_counter", 1);
+        m.add("b_counter", 3);
+        m.record("lat_us", 10);
+        m.record("lat_us", 20);
+        assert_eq!(m.counter("b_counter"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.histogram("lat_us").unwrap().count, 2);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a_counter", "b_counter"], "name order");
+        let json = m.to_json();
+        assert!(json.starts_with("{\"counters\":{\"a_counter\":1,\"b_counter\":5}"));
+        assert!(json.contains("\"lat_us\":{\"count\":2"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

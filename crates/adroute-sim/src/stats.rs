@@ -1,8 +1,10 @@
 //! Measurement counters shared by every experiment.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use crate::event::SimTime;
+use crate::obs::json_escape;
 
 /// Counters accumulated during a simulation run.
 ///
@@ -10,6 +12,11 @@ use crate::event::SimTime;
 /// counters (e.g. `"dijkstra"`, `"route_recompute"`, `"flood_dup"`), which
 /// is how the computation-burden experiments (paper Sections 5.2/5.3) are
 /// measured without wall-clock noise.
+///
+/// Multi-phase experiments (converge, then fail a link, then measure the
+/// failure response) should mark boundaries with [`Stats::begin_phase`]
+/// and read per-phase deltas via [`Stats::phase_delta`]; unlike the older
+/// [`Stats::reset_counters`], phase scoping preserves cumulative totals.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
     /// Control messages sent (per-hop transmissions, not end-to-end).
@@ -20,6 +27,8 @@ pub struct Stats {
     pub msgs_delivered: u64,
     /// Messages a router tried to send to a non-neighbor or over a failed
     /// link; [`Ctx::send`](crate::Ctx::send) drops these at the source.
+    /// Source drops never enter the channel, so they do not count in
+    /// [`Stats::msgs_sent`]: attempted sends = `msgs_sent + msgs_dropped`.
     pub msgs_dropped: u64,
     /// Messages lost in flight: the carrying link failed, the destination
     /// router was down, or an injected channel fault ate the packet.
@@ -41,6 +50,8 @@ pub struct Stats {
     pub last_activity: SimTime,
     /// Named work counters incremented by protocols.
     counters: BTreeMap<&'static str, u64>,
+    /// Phase marks: `(name, snapshot at phase start)`, in start order.
+    phases: Vec<(&'static str, Box<Stats>)>,
     /// Per-AD control messages sent, indexed by AD.
     pub per_ad_msgs: Vec<u64>,
 }
@@ -74,12 +85,140 @@ impl Stats {
         self.per_ad_msgs.iter().copied().max().unwrap_or(0)
     }
 
-    /// Resets message/byte/event counters but keeps sizing. Used between
-    /// the initial-convergence phase and a failure-response phase so the
-    /// two can be reported separately.
+    /// Marks the start of a named measurement phase (`"converge"`,
+    /// `"failure-response"`, `"churn"`, …). Cumulative totals keep
+    /// accumulating; [`Stats::phase_delta`] later recovers what happened
+    /// within each phase by differencing snapshots. Phase names should be
+    /// unique per run — deltas resolve the first occurrence of a name.
+    pub fn begin_phase(&mut self, name: &'static str) {
+        let mut snap = self.clone();
+        snap.phases.clear();
+        self.phases.push((name, Box::new(snap)));
+    }
+
+    /// Names of all phases begun so far, in start order.
+    pub fn phase_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.phases.iter().map(|&(n, _)| n)
+    }
+
+    /// What happened within the named phase: the counter-wise difference
+    /// between the phase's start snapshot and the next phase's start (or
+    /// the current totals, for the last phase). `last_activity` in the
+    /// delta is the absolute time of the last activity *within* the
+    /// phase's window. Returns `None` for an unknown phase name.
+    pub fn phase_delta(&self, name: &str) -> Option<Stats> {
+        let i = self.phases.iter().position(|&(n, _)| n == name)?;
+        let start = &self.phases[i].1;
+        let end: Stats = match self.phases.get(i + 1) {
+            Some((_, snap)) => (**snap).clone(),
+            None => {
+                let mut cur = self.clone();
+                cur.phases.clear();
+                cur
+            }
+        };
+        Some(end.minus(start))
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), used to
+    /// compute per-phase deltas. `last_activity` keeps `self`'s absolute
+    /// value; the phase list is cleared.
+    fn minus(&self, earlier: &Stats) -> Stats {
+        let mut d = Stats {
+            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            msgs_delivered: self.msgs_delivered.saturating_sub(earlier.msgs_delivered),
+            msgs_dropped: self.msgs_dropped.saturating_sub(earlier.msgs_dropped),
+            msgs_lost: self.msgs_lost.saturating_sub(earlier.msgs_lost),
+            msgs_corrupted: self.msgs_corrupted.saturating_sub(earlier.msgs_corrupted),
+            msgs_duplicated: self.msgs_duplicated.saturating_sub(earlier.msgs_duplicated),
+            msgs_reordered: self.msgs_reordered.saturating_sub(earlier.msgs_reordered),
+            router_crashes: self.router_crashes.saturating_sub(earlier.router_crashes),
+            router_restarts: self.router_restarts.saturating_sub(earlier.router_restarts),
+            events: self.events.saturating_sub(earlier.events),
+            last_activity: self.last_activity,
+            counters: BTreeMap::new(),
+            phases: Vec::new(),
+            per_ad_msgs: vec![0; self.per_ad_msgs.len()],
+        };
+        for (&k, &v) in &self.counters {
+            let dv = v.saturating_sub(earlier.counter(k));
+            if dv > 0 {
+                d.counters.insert(k, dv);
+            }
+        }
+        for (i, &v) in self.per_ad_msgs.iter().enumerate() {
+            let prev = earlier.per_ad_msgs.get(i).copied().unwrap_or(0);
+            d.per_ad_msgs[i] = v.saturating_sub(prev);
+        }
+        d
+    }
+
+    /// Message conservation at quiescence: every message that entered the
+    /// channel (sent, plus injected duplicates) was delivered, lost, or
+    /// corrupted. Source drops ([`Stats::msgs_dropped`]) never entered
+    /// the channel and are accounted separately. Only meaningful when the
+    /// event queue is empty — in-flight messages are still unresolved.
+    pub fn conserves_messages(&self) -> bool {
+        self.msgs_sent + self.msgs_duplicated
+            == self.msgs_delivered + self.msgs_lost + self.msgs_corrupted
+    }
+
+    /// Resets message/byte/event counters (and per-AD message loads) but
+    /// keeps sizing, named work counters, and crash/restart totals —
+    /// those are cumulative facts about the run, not per-window rates.
+    /// Phase marks are cleared, since the totals they snapshot no longer
+    /// exist. Prefer [`Stats::begin_phase`] + [`Stats::phase_delta`],
+    /// which separate phases without destroying any totals.
     pub fn reset_counters(&mut self) {
-        let n = self.per_ad_msgs.len();
-        *self = Stats::new(n);
+        self.msgs_sent = 0;
+        self.bytes_sent = 0;
+        self.msgs_delivered = 0;
+        self.msgs_dropped = 0;
+        self.msgs_lost = 0;
+        self.msgs_corrupted = 0;
+        self.msgs_duplicated = 0;
+        self.msgs_reordered = 0;
+        self.events = 0;
+        self.last_activity = SimTime::ZERO;
+        for v in &mut self.per_ad_msgs {
+            *v = 0;
+        }
+        self.phases.clear();
+    }
+
+    /// Renders the fixed counters, named counters, and the per-AD
+    /// hot-spot maximum as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"msgs_sent\":{},\"bytes_sent\":{},\"msgs_delivered\":{},\"msgs_dropped\":{},\
+             \"msgs_lost\":{},\"msgs_corrupted\":{},\"msgs_duplicated\":{},\"msgs_reordered\":{},\
+             \"router_crashes\":{},\"router_restarts\":{},\"events\":{},\"last_activity_us\":{},\
+             \"max_per_ad_msgs\":{},\"counters\":{{",
+            self.msgs_sent,
+            self.bytes_sent,
+            self.msgs_delivered,
+            self.msgs_dropped,
+            self.msgs_lost,
+            self.msgs_corrupted,
+            self.msgs_duplicated,
+            self.msgs_reordered,
+            self.router_crashes,
+            self.router_restarts,
+            self.events,
+            self.last_activity.as_us(),
+            self.max_per_ad_msgs(),
+        );
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{}\":{v}", json_escape(k));
+        }
+        s.push_str("}}");
+        s
     }
 }
 
@@ -98,16 +237,23 @@ mod tests {
     }
 
     #[test]
-    fn reset_preserves_sizing() {
+    fn reset_preserves_sizing_and_cumulative_work() {
         let mut s = Stats::new(4);
         s.msgs_sent = 10;
         s.per_ad_msgs[2] = 7;
         s.count("x", 1);
+        s.router_crashes = 2;
+        s.router_restarts = 1;
         s.reset_counters();
         assert_eq!(s.msgs_sent, 0);
         assert_eq!(s.per_ad_msgs.len(), 4);
         assert_eq!(s.per_ad_msgs[2], 0);
-        assert_eq!(s.counter("x"), 0);
+        // Regression: reset_counters used to wipe named work counters and
+        // crash/restart totals, silently corrupting two-phase experiment
+        // reports. Those are cumulative and must survive a window reset.
+        assert_eq!(s.counter("x"), 1);
+        assert_eq!(s.router_crashes, 2);
+        assert_eq!(s.router_restarts, 1);
     }
 
     #[test]
@@ -117,5 +263,73 @@ mod tests {
         s.per_ad_msgs[2] = 4;
         assert_eq!(s.max_per_ad_msgs(), 9);
         assert_eq!(Stats::new(0).max_per_ad_msgs(), 0);
+    }
+
+    #[test]
+    fn phase_deltas_preserve_cumulative_totals() {
+        let mut s = Stats::new(2);
+        s.begin_phase("converge");
+        s.msgs_sent = 10;
+        s.bytes_sent = 100;
+        s.per_ad_msgs[0] = 10;
+        s.count("work", 5);
+        s.last_activity = SimTime(1000);
+        s.begin_phase("failure-response");
+        s.msgs_sent = 14;
+        s.bytes_sent = 130;
+        s.per_ad_msgs[0] = 12;
+        s.per_ad_msgs[1] = 2;
+        s.count("work", 2);
+        s.router_crashes = 1;
+        s.last_activity = SimTime(3000);
+
+        let names: Vec<_> = s.phase_names().collect();
+        assert_eq!(names, vec!["converge", "failure-response"]);
+
+        let c = s.phase_delta("converge").unwrap();
+        assert_eq!(c.msgs_sent, 10);
+        assert_eq!(c.bytes_sent, 100);
+        assert_eq!(c.counter("work"), 5);
+        assert_eq!(c.per_ad_msgs, vec![10, 0]);
+        assert_eq!(c.router_crashes, 0);
+
+        let f = s.phase_delta("failure-response").unwrap();
+        assert_eq!(f.msgs_sent, 4);
+        assert_eq!(f.bytes_sent, 30);
+        assert_eq!(f.counter("work"), 2);
+        assert_eq!(f.per_ad_msgs, vec![2, 2]);
+        assert_eq!(f.router_crashes, 1);
+        assert_eq!(f.last_activity, SimTime(3000));
+
+        assert!(s.phase_delta("nope").is_none());
+        // The totals are untouched by phase accounting.
+        assert_eq!(s.msgs_sent, 14);
+        assert_eq!(s.counter("work"), 7);
+    }
+
+    #[test]
+    fn conservation_identity() {
+        let mut s = Stats::new(1);
+        s.msgs_sent = 5;
+        s.msgs_duplicated = 1;
+        s.msgs_delivered = 4;
+        s.msgs_lost = 1;
+        s.msgs_corrupted = 1;
+        s.msgs_dropped = 3; // source drops sit outside the channel identity
+        assert!(s.conserves_messages());
+        s.msgs_lost = 0;
+        assert!(!s.conserves_messages());
+    }
+
+    #[test]
+    fn stats_json_is_deterministic() {
+        let mut s = Stats::new(2);
+        s.msgs_sent = 3;
+        s.count("b", 2);
+        s.count("a", 1);
+        let j = s.to_json();
+        assert!(j.starts_with("{\"msgs_sent\":3,"));
+        assert!(j.ends_with("\"counters\":{\"a\":1,\"b\":2}}"));
+        assert_eq!(j, s.to_json());
     }
 }

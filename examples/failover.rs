@@ -24,16 +24,17 @@ use adroute::topology::AdId;
 /// Converges, fails the 0-1 link, and reports the failure-response cost.
 fn crash_test<P: Protocol>(name: &str, topo: adroute::topology::Topology, proto: P) {
     let mut e = Engine::new(topo, proto);
+    e.begin_phase("converge");
     let t0 = e.run_to_quiescence();
-    let initial_msgs = e.stats.msgs_sent;
     let l = e.topo().link_between(AdId(0), AdId(1)).expect("ring link");
     let fail_at = e.now().plus_us(10_000);
     e.schedule_link_change(l, false, fail_at);
-    e.stats.reset_counters();
+    e.begin_phase("failure-response");
     let t1 = e.run_to_quiescence();
+    let initial_msgs = e.stats.phase_delta("converge").unwrap().msgs_sent;
     println!(
         "{name:<22} initial: {initial_msgs:>5} msgs, conv {t0}   failure: {:>5} msgs, reconv {} ms",
-        e.stats.msgs_sent,
+        e.stats.phase_delta("failure-response").unwrap().msgs_sent,
         (t1.as_us().saturating_sub(fail_at.as_us())) / 1000
     );
 }

@@ -1,0 +1,157 @@
+//! Differential conformance: on random small internets, every design
+//! point must agree about policy-legal reachability — with permissive
+//! policies all four hop-by-hop engines and the ORWG source-routing
+//! architecture deliver exactly the flows the oracle calls reachable, and
+//! under structural policies no policy-aware point ever delivers a
+//! violating path. When two engines disagree, the typed event streams are
+//! compared and the first divergence is printed for debugging.
+
+use adroute::core::OrwgNetwork;
+use adroute::policy::legality::legal_route;
+use adroute::policy::workload::PolicyWorkload;
+use adroute::policy::{FlowSpec, PolicyDb};
+use adroute::protocols::ecma::Ecma;
+use adroute::protocols::forwarding::{self, forward, DataPlane, ForwardOutcome};
+use adroute::protocols::ls_hbh::LsHbh;
+use adroute::protocols::naive_dv::NaiveDv;
+use adroute::protocols::path_vector::PathVector;
+use adroute::sim::{Engine, EventLog, Protocol};
+use adroute::topology::{HierarchyConfig, Topology};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Converges one engine with the typed log enabled and scores per-flow
+/// delivery through its data plane.
+fn converge_and_score<P: Protocol>(
+    mut e: Engine<P>,
+    topo: &Topology,
+    flows: &[FlowSpec],
+) -> (Vec<bool>, EventLog)
+where
+    Engine<P>: DataPlane,
+{
+    e.enable_obs(1 << 16);
+    e.run_to_quiescence();
+    let delivered = flows
+        .iter()
+        .map(|f| forward(&mut e, topo, f).delivered())
+        .collect();
+    (delivered, e.obs.log.clone())
+}
+
+/// Formats the first typed-trace divergence between two engines' logs.
+fn divergence(a_name: &str, a: &EventLog, b_name: &str, b: &EventLog) -> String {
+    match a.first_divergence(b) {
+        None => format!("typed traces of {a_name} and {b_name} are identical"),
+        Some((i, x, y)) => format!(
+            "first typed-trace divergence between {a_name} and {b_name} at record #{i}:\n  \
+             {a_name}: {:?}\n  {b_name}: {:?}",
+            x, y
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Permissive regime: reachability is purely topological, so every
+    /// design point must deliver exactly the oracle-reachable flows.
+    #[test]
+    fn design_points_agree_on_permissive_reachability(
+        ads in 8usize..24,
+        seed in 0u64..500,
+    ) {
+        let topo = HierarchyConfig::with_approx_size(ads, seed).generate();
+        let db = PolicyDb::permissive(&topo);
+        let flows = forwarding::sample_flows(&topo, 20, seed);
+        let oracle: Vec<bool> = flows
+            .iter()
+            .map(|f| legal_route(&topo, &db, f).is_some())
+            .collect();
+
+        let (dv, dv_log) =
+            converge_and_score(Engine::new(topo.clone(), NaiveDv::egp()), &topo, &flows);
+        let (ec, ec_log) = converge_and_score(
+            Engine::new(topo.clone(), Ecma::all_transit(&topo)),
+            &topo,
+            &flows,
+        );
+        let (pv, pv_log) = converge_and_score(
+            Engine::new(topo.clone(), PathVector::idrp(db.clone())),
+            &topo,
+            &flows,
+        );
+        let (ls, ls_log) = converge_and_score(
+            Engine::new(topo.clone(), LsHbh::new(&topo, db.clone())),
+            &topo,
+            &flows,
+        );
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        let orwg: Vec<bool> = flows.iter().map(|f| net.open(f).is_ok()).collect();
+
+        let verdicts = [
+            ("naive-dv", &dv, Some(&dv_log)),
+            ("ecma", &ec, Some(&ec_log)),
+            ("path-vector", &pv, Some(&pv_log)),
+            ("ls-hbh", &ls, Some(&ls_log)),
+            ("orwg", &orwg, None),
+        ];
+        for (name, got, log) in &verdicts {
+            if *got != &oracle {
+                // Pin the disagreement: print where this engine's typed
+                // stream first departs from the closest-behaving peer's.
+                let diag = log
+                    .map(|l| divergence(name, l, "ls-hbh", &ls_log))
+                    .unwrap_or_default();
+                return Err(TestCaseError::fail(format!(
+                    "{name} disagrees with the oracle on reachability:\n  \
+                     oracle {oracle:?}\n  {name} {got:?}\n{diag}"
+                )));
+            }
+        }
+    }
+
+    /// Structural regime: policy-aware design points never deliver a
+    /// policy-violating path, and the ORWG source (with a perfect view)
+    /// opens exactly the oracle-legal flows.
+    #[test]
+    fn policy_aware_points_never_violate(ads in 8usize..24, seed in 0u64..500) {
+        let topo = HierarchyConfig::with_approx_size(ads, seed).generate();
+        let db = PolicyWorkload::structural(seed).generate(&topo);
+        let flows = forwarding::sample_flows(&topo, 20, seed);
+
+        let mut pv = Engine::new(topo.clone(), PathVector::idrp(db.clone()));
+        pv.run_to_quiescence();
+        let mut ls = Engine::new(topo.clone(), LsHbh::new(&topo, db.clone()));
+        ls.run_to_quiescence();
+        for f in &flows {
+            for (name, out) in [
+                ("path-vector", forward(&mut pv, &topo, f)),
+                ("ls-hbh", forward(&mut ls, &topo, f)),
+            ] {
+                if let ForwardOutcome::Delivered { path } = &out {
+                    let audit = forwarding::audit_path(&topo, &db, f, path);
+                    prop_assert!(
+                        audit.compliant(),
+                        "{name} delivered {f} over a path violating {:?}",
+                        audit.violations
+                    );
+                }
+            }
+        }
+
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        for f in &flows {
+            let legal = legal_route(&topo, &db, f).is_some();
+            let opened = net.open(f).is_ok();
+            prop_assert_eq!(
+                opened,
+                legal,
+                "orwg open ({}) disagrees with oracle legality ({}) for {}",
+                opened,
+                legal,
+                f
+            );
+        }
+    }
+}

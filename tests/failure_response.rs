@@ -28,15 +28,16 @@ fn ecma_converges_with_far_fewer_messages_than_naive_dv_after_partition() {
             },
         );
         e.run_to_quiescence();
-        // Partition AD4 completely.
+        // Partition AD4 completely, scoping the response in its own phase
+        // so the converge traffic is excluded without wiping counters.
         let l1 = e.topo().link_between(AdId(3), AdId(4)).unwrap();
         let l2 = e.topo().link_between(AdId(4), AdId(5)).unwrap();
         let t = e.now().plus_us(1000);
         e.schedule_link_change(l1, false, t);
         e.schedule_link_change(l2, false, t);
-        e.stats.reset_counters();
+        e.begin_phase("failure-response");
         e.run_to_quiescence();
-        e.stats.msgs_sent
+        e.stats.phase_delta("failure-response").unwrap().msgs_sent
     };
     let ecma_msgs = {
         let mut e = Engine::new(ring(n), Ecma::all_transit(&ring(n)));
@@ -46,9 +47,9 @@ fn ecma_converges_with_far_fewer_messages_than_naive_dv_after_partition() {
         let t = e.now().plus_us(1000);
         e.schedule_link_change(l1, false, t);
         e.schedule_link_change(l2, false, t);
-        e.stats.reset_counters();
+        e.begin_phase("failure-response");
         e.run_to_quiescence();
-        e.stats.msgs_sent
+        e.stats.phase_delta("failure-response").unwrap().msgs_sent
     };
     assert!(
         ecma_msgs * 2 < naive_msgs,

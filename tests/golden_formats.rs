@@ -78,6 +78,135 @@ link 0 2 metric 5 delay 1000 down
 }
 
 #[test]
+fn golden_event_record_json() {
+    use adroute::sim::{EventRecord, SimTime};
+    use adroute::topology::LinkId;
+    let at = SimTime::from_ms(1).plus_us(500);
+    // One representative per field shape: `us` and `kind` lead, then the
+    // per-kind fields in declaration order.
+    let cases: Vec<(EventRecord, &str, &str)> = vec![
+        (
+            EventRecord::Start { ad: AdId(3) },
+            r#"{"us":1500,"kind":"start","ad":3}"#,
+            "start AD3",
+        ),
+        (
+            EventRecord::MsgSend {
+                from: AdId(0),
+                to: AdId(1),
+                link: LinkId(2),
+                bytes: 64,
+            },
+            r#"{"us":1500,"kind":"send","from":0,"to":1,"link":2,"bytes":64}"#,
+            "send AD0->AD1 via L2",
+        ),
+        (
+            EventRecord::MsgDeliver {
+                from: AdId(0),
+                to: AdId(1),
+                link: LinkId(2),
+            },
+            r#"{"us":1500,"kind":"deliver","from":0,"to":1,"link":2}"#,
+            "deliver AD0->AD1 via L2",
+        ),
+        (
+            EventRecord::MsgDrop {
+                from: AdId(4),
+                to: AdId(5),
+            },
+            r#"{"us":1500,"kind":"drop","from":4,"to":5}"#,
+            "drop AD4->AD5 at source",
+        ),
+        (
+            EventRecord::PhaseBegin { name: "converge" },
+            r#"{"us":1500,"kind":"phase","name":"converge"}"#,
+            "phase converge",
+        ),
+        (
+            EventRecord::LsaOriginate {
+                origin: AdId(2),
+                seq: 7,
+                links: 3,
+            },
+            r#"{"us":1500,"kind":"lsa-originate","origin":2,"seq":7,"links":3}"#,
+            "lsa-originate AD2 seq=7 links=3",
+        ),
+        (
+            EventRecord::RouteRecompute {
+                ad: AdId(1),
+                proto: "pv",
+                changed: true,
+            },
+            r#"{"us":1500,"kind":"recompute","ad":1,"proto":"pv","changed":true}"#,
+            "recompute AD1 proto=pv changed=true",
+        ),
+        (
+            EventRecord::RouteSetupAck {
+                src: AdId(0),
+                dst: AdId(9),
+                hops: 4,
+                latency_us: 4000,
+            },
+            r#"{"us":1500,"kind":"setup-ack","src":0,"dst":9,"hops":4,"latency_us":4000}"#,
+            "setup-ack AD0->AD9 hops=4 latency=4000us",
+        ),
+        (
+            EventRecord::RouteSetupRepair {
+                src: AdId(0),
+                dst: AdId(9),
+                via: "alternate",
+            },
+            r#"{"us":1500,"kind":"setup-repair","src":0,"dst":9,"via":"alternate"}"#,
+            "setup-repair AD0->AD9 via=alternate",
+        ),
+        (
+            EventRecord::ViewInvalidate {
+                a: AdId(2),
+                b: AdId(6),
+                entries: 11,
+            },
+            r#"{"us":1500,"kind":"view-invalidate","a":2,"b":6,"entries":11}"#,
+            "view-invalidate AD2-AD6 entries=11",
+        ),
+        (
+            EventRecord::ViewDeltaApply {
+                mode: "incremental",
+                fallbacks: 1,
+            },
+            r#"{"us":1500,"kind":"view-delta","mode":"incremental","fallbacks":1}"#,
+            "view-delta mode=incremental fallbacks=1",
+        ),
+        (
+            EventRecord::FaultPlanApplied {
+                link_events: 5,
+                outages: 2,
+                lossy: true,
+            },
+            r#"{"us":1500,"kind":"fault-plan","link_events":5,"outages":2,"lossy":true}"#,
+            "fault-plan links=5 outages=2 lossy=true",
+        ),
+    ];
+    for (rec, json, display) in cases {
+        assert_eq!(rec.to_json(at), json);
+        assert_eq!(rec.to_string(), display);
+    }
+}
+
+#[test]
+fn golden_metrics_json() {
+    use adroute::sim::MetricsRegistry;
+    let mut m = MetricsRegistry::new();
+    m.add("flood_dup", 3);
+    m.record("setup_latency_us", 0);
+    m.record("setup_latency_us", 5);
+    m.record("setup_latency_us", 9);
+    assert_eq!(
+        m.to_json(),
+        r#"{"counters":{"flood_dup":3},"histograms":{"setup_latency_us":{"count":3,"sum":14,"min":0,"max":9,"p50":7,"p99":9,"buckets":[[0,1],[4,1],[8,1]]}}}"#
+    );
+}
+
+#[test]
 fn display_forms_are_stable() {
     use adroute::policy::FlowSpec;
     let f = FlowSpec::best_effort(AdId(3), AdId(7))

@@ -1,0 +1,122 @@
+//! Golden typed-trace exports: the JSONL event-stream schema is a stable
+//! artifact — a change to record fields, field order, or event ordering
+//! must show up in review as a diff of the committed `tests/golden/*.jsonl`
+//! snapshots. Regenerate intentionally with `BLESS=1 cargo test --test
+//! golden_trace`.
+
+use adroute::core::{OrwgNetwork, OrwgProtocol};
+use adroute::policy::workload::PolicyWorkload;
+use adroute::policy::PolicyDb;
+use adroute::protocols::forwarding::sample_flows;
+use adroute::sim::Engine;
+use adroute::topology::{HierarchyConfig, LinkId, Topology};
+use std::fs;
+
+fn golden_path(name: &str) -> String {
+    format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Compares `actual` against the committed snapshot (or rewrites the
+/// snapshot under `BLESS=1`).
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"))).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {path} ({e}); run with BLESS=1"));
+    assert_eq!(
+        actual, expected,
+        "typed-trace export for {name} changed; if intentional, re-bless with \
+         BLESS=1 cargo test --test golden_trace"
+    );
+}
+
+/// The E-series-style internet used by the benches (lateral 0.25, bypass
+/// 0.1, multihome 0.2), scaled down to test size.
+fn internet(approx_ads: usize, seed: u64) -> Topology {
+    HierarchyConfig {
+        lateral_prob: 0.25,
+        bypass_prob: 0.1,
+        multihome_prob: 0.2,
+        ..HierarchyConfig::with_approx_size(approx_ads, seed)
+    }
+    .generate()
+}
+
+/// The operational link with the best-connected endpoints — the "trunk".
+fn trunk(topo: &Topology) -> LinkId {
+    topo.links()
+        .filter(|l| l.up)
+        .max_by_key(|l| {
+            (
+                topo.neighbors(l.a).count() + topo.neighbors(l.b).count(),
+                std::cmp::Reverse(l.id.0),
+            )
+        })
+        .unwrap()
+        .id
+}
+
+/// Quickstart scenario: the Figure-1 internet's ORWG control plane
+/// converging, then absorbing one link failure — exported as the
+/// control-plane event stream.
+fn quickstart_export() -> String {
+    let topo = HierarchyConfig::figure1().generate();
+    let db = PolicyDb::permissive(&topo);
+    let mut e = Engine::new(topo.clone(), OrwgProtocol::new(&topo, db));
+    e.enable_obs(1 << 16);
+    e.begin_phase("converge");
+    e.run_to_quiescence();
+    e.begin_phase("failure-response");
+    e.schedule_link_change(trunk(&topo), false, e.now().plus_us(1));
+    e.run_to_quiescence();
+    e.obs.log.export_jsonl()
+}
+
+/// E7b-style scenario: a converged data plane on an E-series internet —
+/// repairable opens, a trunk failure with incremental view invalidation,
+/// and source-side repair — exported as the data-plane event stream.
+fn e7b_export() -> String {
+    let topo = internet(120, 23);
+    let db = PolicyWorkload::structural(23).generate(&topo);
+    let mut net = OrwgNetwork::converged(&topo, &db);
+    net.enable_obs(1 << 14);
+    for f in &sample_flows(&topo, 40, 23) {
+        let _ = net.open_repairable(f);
+    }
+    net.fail_link(trunk(&topo));
+    net.repair_pending(3);
+    net.obs.log.export_jsonl()
+}
+
+#[test]
+fn quickstart_trace_matches_golden_and_reruns_identically() {
+    let a = quickstart_export();
+    let b = quickstart_export();
+    assert_eq!(a, b, "identically-seeded runs must export identical traces");
+    assert!(a
+        .lines()
+        .last()
+        .unwrap()
+        .contains("\"kind\":\"trace-summary\""));
+    assert!(a.contains("\"kind\":\"phase\""));
+    assert!(a.contains("\"kind\":\"lsa-originate\""));
+    assert!(a.contains("\"kind\":\"link-down\""));
+    check_golden("quickstart_trace.jsonl", &a);
+}
+
+#[test]
+fn e7b_trace_matches_golden_and_reruns_identically() {
+    let a = e7b_export();
+    let b = e7b_export();
+    assert_eq!(a, b, "identically-seeded runs must export identical traces");
+    assert!(a.contains("\"kind\":\"setup-open\""));
+    assert!(a.contains("\"kind\":\"setup-ack\""));
+    assert!(a.contains("\"kind\":\"view-invalidate\""));
+    assert!(a.contains("\"kind\":\"view-delta\""));
+    assert!(a.contains("\"kind\":\"setup-repair\""));
+    check_golden("e7b_trace.jsonl", &a);
+}

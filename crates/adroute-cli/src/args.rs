@@ -3,11 +3,13 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: subcommand plus `--key value` flags.
+/// Parsed command line: subcommand plus positional operands and
+/// `--key value` flags.
 #[derive(Clone, Debug, Default)]
 pub struct Args {
     /// The subcommand (first non-flag argument).
     pub command: String,
+    positionals: Vec<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -38,11 +40,20 @@ impl Args {
         if command.starts_with("--") {
             return bail("the subcommand must come before flags");
         }
+        let mut positionals = Vec::new();
         let mut flags = BTreeMap::new();
         let mut it = it.peekable();
         while let Some(tok) = it.next() {
             let Some(key) = tok.strip_prefix("--") else {
-                return bail(format!("unexpected positional argument '{tok}'"));
+                // Positional operands may only precede the flags;
+                // commands that take none reject them in `known`.
+                if !flags.is_empty() {
+                    return bail(format!(
+                        "positional argument '{tok}' must come before flags"
+                    ));
+                }
+                positionals.push(tok);
+                continue;
             };
             // A flag followed by another flag (or nothing) is a boolean
             // switch: `--json` parses as `--json true`.
@@ -54,7 +65,21 @@ impl Args {
                 return bail(format!("flag --{key} given twice"));
             }
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            positionals,
+            flags,
+        })
+    }
+
+    /// The single positional operand commands like `blame <scenario>`
+    /// require.
+    pub fn positional_one(&self, what: &str) -> Result<&str, CliError> {
+        match self.positionals.as_slice() {
+            [one] => Ok(one),
+            [] => bail(format!("'{}' needs a {what} operand", self.command)),
+            _ => bail(format!("'{}' takes exactly one {what}", self.command)),
+        }
     }
 
     /// A required string flag.
@@ -91,8 +116,18 @@ impl Args {
     }
 
     /// Flags that were set but never consumed by the command — caller can
-    /// check against a known list for typo detection.
+    /// check against a known list for typo detection. Also rejects stray
+    /// positionals, since most commands take none; commands with operands
+    /// use [`Args::known_with_positionals`].
     pub fn known(&self, allowed: &[&str]) -> Result<(), CliError> {
+        if let Some(p) = self.positionals.first() {
+            return bail(format!("unexpected positional argument '{p}'"));
+        }
+        self.known_with_positionals(allowed)
+    }
+
+    /// [`Args::known`] for commands that accept positional operands.
+    pub fn known_with_positionals(&self, allowed: &[&str]) -> Result<(), CliError> {
         for k in self.flags.keys() {
             if !allowed.contains(&k.as_str()) {
                 return bail(format!(
@@ -130,11 +165,28 @@ mod tests {
     fn rejects_malformed() {
         assert!(Args::parse(argv("")).is_err());
         assert!(Args::parse(argv("--ads 5")).is_err());
-        assert!(Args::parse(argv("cmd stray")).is_err());
+        assert!(Args::parse(argv("cmd --k 1 stray")).is_err());
         assert!(Args::parse(argv("cmd --k 1 --k 2")).is_err());
+        // Positionals parse, but flag-only commands reject them at the
+        // `known` check.
+        let s = Args::parse(argv("cmd stray")).unwrap();
+        assert_eq!(s.positional_one("operand").unwrap(), "stray");
+        assert!(s.known(&[]).is_err());
         let a = Args::parse(argv("cmd --k notanum")).unwrap();
         assert!(a.req_parse::<u32>("k").is_err());
         assert!(a.req("absent").is_err());
+    }
+
+    #[test]
+    fn positional_operands_parse_before_flags() {
+        let a = Args::parse(argv("blame quickstart --json")).unwrap();
+        assert_eq!(a.positional_one("scenario").unwrap(), "quickstart");
+        assert!(a.opt_parse("json", false).unwrap());
+        a.known_with_positionals(&["json"]).unwrap();
+        let none = Args::parse(argv("blame --json")).unwrap();
+        assert!(none.positional_one("scenario").is_err());
+        let two = Args::parse(argv("blame a b")).unwrap();
+        assert!(two.positional_one("scenario").is_err());
     }
 
     #[test]

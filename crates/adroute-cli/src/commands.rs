@@ -14,8 +14,8 @@ use adroute_policy::{legality, FlowSpec, PolicyDb, QosClass, TimeOfDay, UserClas
 use adroute_protocols::forwarding::{forward, DataPlane};
 use adroute_protocols::{ecma::Ecma, ls_hbh::LsHbh, naive_dv::NaiveDv, path_vector::PathVector};
 use adroute_sim::{
-    ChannelFaults, CrashModel, Engine, FailureModel, FaultPlan, FaultSpec, MetricsRegistry,
-    Protocol, Stats,
+    CausalGraph, ChannelFaults, CrashModel, Engine, EventLog, FailureModel, FaultPlan, FaultSpec,
+    MetricsRegistry, Protocol, Stats,
 };
 use adroute_topology::{analysis, io as topo_io, AdId, HierarchyConfig, LinkId, Topology};
 
@@ -52,9 +52,15 @@ COMMANDS:
                 report convergence times, message complexity, per-AD load,
                 and route-setup latency histograms (--json for machines)
   trace         [--ads N --seed S --duration MS --loss P
-                 --proto orwg|dv|ecma|pv|ls-hbh --capacity N --out FILE]
+                 --proto orwg|dv|ecma|pv|ls-hbh --capacity N --out FILE
+                 --analyze]
                 export one engine run (convergence, then seeded churn) as a
-                typed JSON Lines event stream
+                typed JSON Lines event stream; --analyze prints the causal
+                analysis (critical path + storm report) instead
+  blame         <quickstart|e7b> [--json]
+                run a fixed scenario and attribute its churn: the critical
+                path of causally-linked events that gated convergence, and
+                a per-root-cause storm report (--json for machines)
   help          this text
 ";
 
@@ -817,6 +823,151 @@ pub fn report(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Renders the causal analysis of one or more event logs: the critical
+/// path (the longest chain of causally-dependent events — what gated
+/// convergence) and the storm report (per-root-cause blast radius).
+/// Shared by `trace --analyze` and `blame`.
+fn causal_analysis_text(logs: &[&EventLog]) -> String {
+    let g = CausalGraph::build(logs);
+    let path = g.critical_path();
+    let storms = g.storm_report();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} events in {} span trees (acyclic: {})",
+        g.len(),
+        storms.len(),
+        g.is_acyclic_by_id()
+    );
+    let _ = writeln!(out, "critical path: {} causally-linked events", path.len());
+    for ev in &path {
+        let cause = match ev.cause {
+            Some(c) => format!("<- #{}", c.0),
+            None => "root".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  #{} @{}us [{cause}] {}",
+            ev.id.0,
+            ev.at.as_us(),
+            ev.rec
+        );
+    }
+    let shown = storms.len().min(12);
+    let _ = writeln!(
+        out,
+        "storm report: top {shown} of {} root causes (their event counts partition {}):",
+        storms.len(),
+        g.len()
+    );
+    for s in &storms[..shown] {
+        let _ = writeln!(
+            out,
+            "  root #{} {} @{}us: events {}, messages {}, ads {}, span {}us, depth {}",
+            s.root.0,
+            s.root_kind,
+            s.at.as_us(),
+            s.events,
+            s.messages,
+            s.ads,
+            s.span_us,
+            s.max_depth
+        );
+    }
+    if storms.len() > shown {
+        let rest: u64 = storms[shown..].iter().map(|s| s.events).sum();
+        let _ = writeln!(
+            out,
+            "  ... {} more roots covering {} events",
+            storms.len() - shown,
+            rest
+        );
+    }
+    out
+}
+
+/// `blame` output over the scenario's logs — the text analysis or one
+/// machine-readable JSON object.
+fn render_blame(scenario: &str, logs: &[&EventLog], json: bool) -> String {
+    if !json {
+        return format!(
+            "blame {scenario}: attributing churn to root causes\n{}",
+            causal_analysis_text(logs)
+        );
+    }
+    let g = CausalGraph::build(logs);
+    let path = g.critical_path();
+    let storms = g.storm_report();
+    let mut s = format!(
+        "{{\"blame\":{{\"scenario\":\"{scenario}\",\"events\":{},\"roots\":{},\"critical_path\":[",
+        g.len(),
+        storms.len()
+    );
+    for (i, ev) in path.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&ev.to_json());
+    }
+    s.push_str("],\"storms\":[");
+    for (i, st) in storms.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&st.to_json());
+    }
+    s.push_str("]}}\n");
+    s
+}
+
+/// `blame <scenario>`: run a fixed, seeded scenario and attribute its
+/// churn. The scenarios mirror the golden-trace fixtures, so the output
+/// explains the committed `tests/golden/*.jsonl` artifacts.
+pub fn blame(args: &Args) -> Result<String, CliError> {
+    args.known_with_positionals(&["json"])?;
+    let json = args.opt_parse("json", false)?;
+    match args.positional_one("scenario")? {
+        // Figure-1 internet: ORWG control plane converges, then absorbs
+        // one trunk failure (the quickstart golden trace).
+        "quickstart" => {
+            let topo = HierarchyConfig::figure1().generate();
+            let db = PolicyDb::permissive(&topo);
+            let mut e = Engine::new(topo.clone(), OrwgProtocol::new(&topo, db));
+            e.enable_obs(1 << 16);
+            e.begin_phase("converge");
+            e.run_to_quiescence();
+            e.begin_phase("failure-response");
+            e.schedule_link_change(pick_trunk(&topo), false, e.now().plus_us(1));
+            e.run_to_quiescence();
+            Ok(render_blame("quickstart", &[&e.obs.log], json))
+        }
+        // E7b-style data plane: repairable opens on an E-series internet,
+        // a trunk failure with incremental view invalidation, and
+        // source-side repair (the e7b golden trace).
+        "e7b" => {
+            let topo = HierarchyConfig {
+                lateral_prob: 0.25,
+                bypass_prob: 0.1,
+                multihome_prob: 0.2,
+                ..HierarchyConfig::with_approx_size(120, 23)
+            }
+            .generate();
+            let db = PolicyWorkload::structural(23).generate(&topo);
+            let mut net = OrwgNetwork::converged(&topo, &db);
+            net.enable_obs(1 << 14);
+            for f in &adroute_protocols::forwarding::sample_flows(&topo, 40, 23) {
+                let _ = net.open_repairable(f);
+            }
+            net.fail_link(pick_trunk(&topo));
+            net.repair_pending(3);
+            Ok(render_blame("e7b", &[&net.obs.log], json))
+        }
+        other => bail(format!(
+            "unknown blame scenario '{other}'; scenarios: quickstart, e7b"
+        )),
+    }
+}
+
 /// Converges, applies a seeded churn plan, re-converges, and exports the
 /// typed event stream — shared by `trace` across all design points.
 fn trace_engine<P: Protocol>(
@@ -825,6 +976,7 @@ fn trace_engine<P: Protocol>(
     loss: f64,
     seed: u64,
     capacity: usize,
+    analyze: bool,
 ) -> String {
     e.enable_obs(capacity);
     e.begin_phase("converge");
@@ -850,13 +1002,17 @@ fn trace_engine<P: Protocol>(
     let plan = FaultPlan::draw(e.topo(), &spec, e.now(), duration_ms);
     plan.apply(&mut e);
     e.run_to_quiescence();
-    e.obs.log.export_jsonl()
+    if analyze {
+        format!("trace analysis: {}", causal_analysis_text(&[&e.obs.log]))
+    } else {
+        e.obs.log.export_jsonl()
+    }
 }
 
 /// `trace`: export one engine run as a typed JSON Lines event stream.
 pub fn trace(args: &Args) -> Result<String, CliError> {
     args.known(&[
-        "ads", "seed", "duration", "loss", "proto", "capacity", "out",
+        "ads", "seed", "duration", "loss", "proto", "capacity", "out", "analyze",
     ])?;
     let ads: usize = args.opt_parse("ads", 30)?;
     let seed: u64 = args.opt_parse("seed", 1990)?;
@@ -866,6 +1022,7 @@ pub fn trace(args: &Args) -> Result<String, CliError> {
         return bail("--loss must be in [0, 0.5]");
     }
     let capacity: usize = args.opt_parse("capacity", 1 << 20)?;
+    let analyze = args.opt_parse("analyze", false)?;
     let topo = HierarchyConfig::with_approx_size(ads, seed).generate();
     let db = PolicyWorkload::structural(seed).generate(&topo);
     let proto = args.opt("proto").unwrap_or("orwg");
@@ -876,6 +1033,7 @@ pub fn trace(args: &Args) -> Result<String, CliError> {
             loss,
             seed,
             capacity,
+            analyze,
         ),
         "dv" => trace_engine(
             Engine::new(topo.clone(), NaiveDv::egp()),
@@ -883,6 +1041,7 @@ pub fn trace(args: &Args) -> Result<String, CliError> {
             loss,
             seed,
             capacity,
+            analyze,
         ),
         "ecma" => trace_engine(
             Engine::new(topo.clone(), Ecma::hierarchical(&topo)),
@@ -890,6 +1049,7 @@ pub fn trace(args: &Args) -> Result<String, CliError> {
             loss,
             seed,
             capacity,
+            analyze,
         ),
         "pv" => trace_engine(
             Engine::new(topo.clone(), PathVector::idrp(db)),
@@ -897,6 +1057,7 @@ pub fn trace(args: &Args) -> Result<String, CliError> {
             loss,
             seed,
             capacity,
+            analyze,
         ),
         "ls-hbh" => trace_engine(
             Engine::new(topo.clone(), LsHbh::new(&topo, db)),
@@ -904,6 +1065,7 @@ pub fn trace(args: &Args) -> Result<String, CliError> {
             loss,
             seed,
             capacity,
+            analyze,
         ),
         other => {
             return bail(format!(
@@ -925,6 +1087,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "chaos" => chaos(args),
         "report" => report(args),
         "trace" => trace(args),
+        "blame" => blame(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => bail(format!("unknown command '{other}'; try `adroute help`")),
     }
@@ -1131,6 +1294,120 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--proto"));
+    }
+
+    /// Parses a `blame` text report and checks the acceptance
+    /// invariants: the critical path is a real causal chain, and the
+    /// storm rows (plus the truncation remainder) partition the events.
+    fn check_blame_text(out: &str) -> usize {
+        // "N events in R span trees (acyclic: true)"
+        let header = out
+            .lines()
+            .find(|l| l.contains("span trees"))
+            .unwrap_or_else(|| panic!("no span-tree header: {out}"));
+        assert!(header.contains("acyclic: true"), "{out}");
+        let total: u64 = header.split_whitespace().next().unwrap().parse().unwrap();
+        // "critical path: N causally-linked events"
+        let path_len: usize = out
+            .lines()
+            .find(|l| l.starts_with("critical path:"))
+            .unwrap()
+            .split_whitespace()
+            .nth(2)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let path_lines: Vec<&str> = out.lines().filter(|l| l.starts_with("  #")).collect();
+        assert_eq!(path_lines.len(), path_len, "{out}");
+        // Every non-root path step names the step before it as its cause.
+        assert!(path_lines[0].contains("[root]"), "{out}");
+        for w in path_lines.windows(2) {
+            let prev_id = w[0]
+                .trim_start()
+                .trim_start_matches('#')
+                .split_whitespace()
+                .next()
+                .unwrap();
+            assert!(w[1].contains(&format!("[<- #{prev_id}]")), "{out}");
+        }
+        // Storm rows + remainder partition the total.
+        let mut sum: u64 = 0;
+        for l in out.lines().filter(|l| l.trim_start().starts_with("root #")) {
+            let events: u64 = l
+                .split("events ")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            sum += events;
+        }
+        if let Some(l) = out.lines().find(|l| l.contains("more roots covering")) {
+            let rest: u64 = l
+                .split("covering ")
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            sum += rest;
+        }
+        assert_eq!(sum, total, "storm report is not a partition: {out}");
+        path_len
+    }
+
+    #[test]
+    fn blame_quickstart_prints_causal_chain_and_partitioning_storms() {
+        let a = run("blame quickstart").unwrap();
+        assert!(a.starts_with("blame quickstart:"), "{a}");
+        let path_len = check_blame_text(&a);
+        assert!(path_len >= 3, "critical path too short ({path_len}): {a}");
+        // Deterministic.
+        assert_eq!(a, run("blame quickstart").unwrap());
+        // JSON form carries the same analysis, machine-readably.
+        let j = run("blame quickstart --json").unwrap();
+        assert!(
+            j.starts_with("{\"blame\":{\"scenario\":\"quickstart\""),
+            "{j}"
+        );
+        assert!(j.contains("\"critical_path\":[{\"us\":"), "{j}");
+        assert!(j.contains("\"storms\":[{\"root\":"), "{j}");
+        assert!(j.contains("\"cause\":"), "{j}");
+        // Errors.
+        assert!(run("blame bogus").unwrap_err().0.contains("scenario"));
+        assert!(run("blame").unwrap_err().0.contains("scenario"));
+        assert!(run("blame a b").unwrap_err().0.contains("exactly one"));
+    }
+
+    #[test]
+    fn blame_e7b_attributes_data_plane_churn() {
+        let out = run("blame e7b").unwrap();
+        let path_len = check_blame_text(&out);
+        assert!(path_len >= 3, "critical path too short ({path_len}): {out}");
+        // The data-plane storms are rooted in setups and view deltas.
+        assert!(
+            out.contains("setup-open") || out.contains("view-delta"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn trace_analyze_prints_causal_analysis() {
+        let out = run("trace --ads 25 --seed 5 --duration 150 --loss 0.05 --analyze").unwrap();
+        assert!(out.starts_with("trace analysis:"), "{out}");
+        assert!(out.contains("critical path:"), "{out}");
+        assert!(out.contains("storm report:"), "{out}");
+        assert!(out.contains("acyclic: true"), "{out}");
+        // The analysis replaces the JSONL stream.
+        assert!(!out.contains("\"kind\":"), "{out}");
+        assert_eq!(
+            out,
+            run("trace --ads 25 --seed 5 --duration 150 --loss 0.05 --analyze").unwrap()
+        );
     }
 
     #[test]

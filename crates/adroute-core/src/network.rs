@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use adroute_policy::{FlowSpec, PolicyDb, TransitPolicy};
-use adroute_sim::{Engine, EventRecord, Obs, SimTime};
+use adroute_sim::{Engine, EventId, EventRecord, Obs, SimTime, DATA_STREAM_ID_BASE};
 use adroute_topology::{AdId, LinkId, TopoDelta, Topology};
 
 use crate::dataplane::{DataPacket, HandleId, SetupPacket};
@@ -147,8 +147,10 @@ pub struct OrwgNetwork {
     open_flows: HashMap<HandleId, OpenFlow>,
     /// Flows whose installed route died (link failure, policy change, or
     /// gateway crash tore the handle down and notified the source); they
-    /// wait here until [`OrwgNetwork::repair_pending`].
-    pending_repair: Vec<OpenFlow>,
+    /// wait here until [`OrwgNetwork::repair_pending`], each carrying the
+    /// logged event that killed it (the view-invalidate of the fault), so
+    /// the eventual repair chains to its cause in the span tree.
+    pending_repair: Vec<(OpenFlow, Option<EventId>)>,
     /// Cumulative repair outcomes.
     pub repair_stats: RepairStats,
     setup_loss: Option<(f64, rand::rngs::SmallRng)>,
@@ -254,16 +256,20 @@ impl OrwgNetwork {
     }
 
     /// Enables the typed data-plane event log with the given ring-buffer
-    /// capacity, clearing any previously retained records.
+    /// capacity, clearing any previously retained records. Data-plane ids
+    /// start at [`DATA_STREAM_ID_BASE`] so a merged export with an
+    /// engine's control-plane log (whose ids start at 0) stays unique.
     pub fn enable_obs(&mut self, capacity: usize) {
-        self.obs.log = adroute_sim::EventLog::new(capacity);
+        self.obs.log = adroute_sim::EventLog::with_id_base(capacity, DATA_STREAM_ID_BASE);
     }
 
-    /// Emits a data-plane event stamped at the network's clock.
-    fn emit(&mut self, rec: EventRecord) {
+    /// Emits a data-plane event stamped at the network's clock, as a child
+    /// of `cause`. Returns the assigned id, if the log is enabled.
+    fn emit(&mut self, cause: Option<EventId>, rec: EventRecord) -> Option<EventId> {
         if self.obs.log.capacity() > 0 {
-            self.obs.log.push(self.clock, rec);
+            return self.obs.record_event(self.clock, cause, rec);
         }
+        None
     }
 
     /// Selects how Route Server views absorb subsequent events. Defaults
@@ -329,16 +335,26 @@ impl OrwgNetwork {
     /// Walks a setup packet for an already-synthesized route through every
     /// transit AD's Policy Gateway; on success the flow is installed with
     /// the given spare routes attached.
+    ///
+    /// The open record is a child of `cause`; the matching ack (or nack,
+    /// when a stale view sends the setup into a dead link or a refusing
+    /// gateway) is a child of the open — the setup round-trip is one span.
     fn setup_along(
         &mut self,
         flow: &FlowSpec,
         route: &PolicyRoute,
         alternates: Vec<PolicyRoute>,
+        cause: Option<EventId>,
     ) -> Result<SetupOutcome, OpenError> {
-        self.emit(EventRecord::RouteSetupOpen {
-            src: flow.src,
-            dst: flow.dst,
-        });
+        let open_id = self
+            .emit(
+                cause,
+                EventRecord::RouteSetupOpen {
+                    src: flow.src,
+                    dst: flow.dst,
+                },
+            )
+            .or(cause);
         let handle = HandleId(self.next_handle);
         self.next_handle += 1;
         let setup = SetupPacket {
@@ -347,17 +363,42 @@ impl OrwgNetwork {
             claimed_pts: route.pts.clone(),
             handle,
         };
-        let latency_us = Self::check_links(&setup.route, &self.topo)
-            .map_err(|(a, b)| OpenError::LinkDown { a, b })?;
+        let latency_us = match Self::check_links(&setup.route, &self.topo) {
+            Ok(latency) => latency,
+            Err((a, b)) => {
+                self.emit(
+                    open_id,
+                    EventRecord::RouteSetupNack {
+                        src: flow.src,
+                        dst: flow.dst,
+                        reason: "link-down",
+                    },
+                );
+                return Err(OpenError::LinkDown { a, b });
+            }
+        };
         let mut validations = 0;
         for i in 1..setup.route.len().saturating_sub(1) {
             let ad = setup.route[i];
             // The gateway validates against the AD's *actual* policy —
             // its own policy is always locally accurate.
             validations += 1;
-            self.gateways[ad.index()]
-                .validate_setup(self.db.policy(ad), &setup)
-                .map_err(OpenError::Rejected)?;
+            if let Err(e) = self.gateways[ad.index()].validate_setup(self.db.policy(ad), &setup) {
+                self.emit(
+                    open_id,
+                    EventRecord::RouteSetupNack {
+                        src: flow.src,
+                        dst: flow.dst,
+                        reason: match e {
+                            SetupError::NotOnRoute => "not-on-route",
+                            SetupError::PolicyDenied { .. } => "policy-denied",
+                            SetupError::PtMismatch { .. } => "pt-mismatch",
+                            SetupError::GatewayDown { .. } => "gateway-down",
+                        },
+                    },
+                );
+                return Err(OpenError::Rejected(e));
+            }
         }
         let hops = setup.route.len() - 1;
         let header_bytes = setup.header_size() * hops;
@@ -370,12 +411,15 @@ impl OrwgNetwork {
             },
         );
         self.obs.metrics.record("setup_latency_us", latency_us);
-        self.emit(EventRecord::RouteSetupAck {
-            src: flow.src,
-            dst: flow.dst,
-            hops: hops as u64,
-            latency_us,
-        });
+        self.emit(
+            open_id,
+            EventRecord::RouteSetupAck {
+                src: flow.src,
+                dst: flow.dst,
+                hops: hops as u64,
+                latency_us,
+            },
+        );
         Ok(SetupOutcome {
             handle,
             route: setup.route,
@@ -388,10 +432,18 @@ impl OrwgNetwork {
     /// Opens a policy route for `flow`: synthesize at the source, then
     /// walk the setup packet through every transit AD's Policy Gateway.
     pub fn open(&mut self, flow: &FlowSpec) -> Result<SetupOutcome, OpenError> {
+        self.open_caused(flow, None)
+    }
+
+    fn open_caused(
+        &mut self,
+        flow: &FlowSpec,
+        cause: Option<EventId>,
+    ) -> Result<SetupOutcome, OpenError> {
         let route = self.servers[flow.src.index()]
             .request(flow)
             .ok_or(OpenError::NoRoute)?;
-        self.setup_along(flow, &route, Vec::new())
+        self.setup_along(flow, &route, Vec::new(), cause)
     }
 
     /// [`OrwgNetwork::open`], but the source also synthesizes up to two
@@ -400,12 +452,20 @@ impl OrwgNetwork {
     /// tries the spares before paying for a fresh synthesis — the paper's
     /// "precompute alternate routes" resilience option.
     pub fn open_repairable(&mut self, flow: &FlowSpec) -> Result<SetupOutcome, OpenError> {
+        self.open_repairable_caused(flow, None)
+    }
+
+    fn open_repairable_caused(
+        &mut self,
+        flow: &FlowSpec,
+        cause: Option<EventId>,
+    ) -> Result<SetupOutcome, OpenError> {
         let mut routes = self.servers[flow.src.index()].alternatives(flow, 3);
         if routes.is_empty() {
             return Err(OpenError::NoRoute);
         }
         let primary = routes.remove(0);
-        self.setup_along(flow, &primary, routes)
+        self.setup_along(flow, &primary, routes, cause)
     }
 
     /// Enables (or disables, with `prob = 0.0`) seeded random loss of
@@ -426,6 +486,9 @@ impl OrwgNetwork {
     ) -> Result<SetupOutcome, OpenError> {
         use rand::Rng;
         let mut timeout_penalty_us = 0u64;
+        // Each retransmit chains to the one whose timeout triggered it, so
+        // a lossy open renders as retransmit → retransmit → open → ack.
+        let mut last_rexmit: Option<EventId> = None;
         for attempt in 0..=rp.max_retries {
             let lost = match &mut self.setup_loss {
                 Some((prob, rng)) => rng.gen_bool(*prob),
@@ -436,10 +499,20 @@ impl OrwgNetwork {
                 timeout_penalty_us += rp.base_timeout_us << attempt;
                 if attempt < rp.max_retries {
                     self.repair_stats.setup_retransmits += 1;
+                    last_rexmit = self
+                        .emit(
+                            last_rexmit,
+                            EventRecord::RouteSetupRetransmit {
+                                src: flow.src,
+                                dst: flow.dst,
+                                attempt: attempt as u64 + 1,
+                            },
+                        )
+                        .or(last_rexmit);
                 }
                 continue;
             }
-            return self.open_repairable(flow).map(|mut s| {
+            return self.open_repairable_caused(flow, last_rexmit).map(|mut s| {
                 s.latency_us += timeout_penalty_us;
                 s
             });
@@ -459,11 +532,20 @@ impl OrwgNetwork {
         flow: &FlowSpec,
         max_retries: usize,
     ) -> Result<SetupOutcome, OpenError> {
+        self.open_resilient_caused(flow, max_retries, None)
+    }
+
+    fn open_resilient_caused(
+        &mut self,
+        flow: &FlowSpec,
+        max_retries: usize,
+        cause: Option<EventId>,
+    ) -> Result<SetupOutcome, OpenError> {
         let saved = self.servers[flow.src.index()].selection().clone();
         let mut extra: Vec<AdId> = Vec::new();
         let mut attempt = 0;
         let result = loop {
-            match self.open(flow) {
+            match self.open_caused(flow, cause) {
                 Ok(s) => break Ok(s),
                 Err(e) if attempt >= max_retries => break Err(e),
                 Err(OpenError::Rejected(
@@ -577,14 +659,32 @@ impl OrwgNetwork {
         dead.sort();
         for h in dead {
             if let Some(of) = self.open_flows.remove(&h) {
-                self.pending_repair.push(of);
+                // The fault's own record does not exist yet (it is
+                // emitted after the teardowns it implies); the caller
+                // backfills via `set_pending_cause_from`.
+                self.pending_repair.push((of, None));
+            }
+        }
+    }
+
+    /// Attributes every repair queued at index `start` onward to `cause`
+    /// — the event of the fault that tore those flows down.
+    fn set_pending_cause_from(&mut self, start: usize, cause: Option<EventId>) {
+        if cause.is_none() {
+            return;
+        }
+        for (_, c) in &mut self.pending_repair[start..] {
+            if c.is_none() {
+                *c = cause;
             }
         }
     }
 
     /// Propagates one event to every Route Server's view (modeling
     /// re-flooding at quiescence), honoring the view-maintenance mode.
-    fn broadcast_delta(&mut self, delta: &ViewDelta) {
+    /// Returns the id of the view-delta record, the causal root of the
+    /// reflood span.
+    fn broadcast_delta(&mut self, delta: &ViewDelta) -> Option<EventId> {
         if self.view_maintenance == ViewMaintenance::Flush {
             let topo = self.topo.clone();
             let db = self.db.clone();
@@ -593,11 +693,13 @@ impl OrwgNetwork {
             }
             let n = self.servers.len() as u64;
             self.obs.metrics.add("view_full_installs", n);
-            self.emit(EventRecord::ViewDeltaApply {
-                mode: "flush",
-                fallbacks: n,
-            });
-            return;
+            return self.emit(
+                None,
+                EventRecord::ViewDeltaApply {
+                    mode: "flush",
+                    fallbacks: n,
+                },
+            );
         }
         let mut fallback = Vec::new();
         for (i, s) in self.servers.iter_mut().enumerate() {
@@ -610,22 +712,28 @@ impl OrwgNetwork {
             self.servers[i].update_view(self.topo.clone(), self.db.clone());
         }
         self.obs.metrics.add("view_full_installs", fallbacks);
-        self.emit(EventRecord::ViewDeltaApply {
-            mode: "incremental",
-            fallbacks,
-        });
+        self.emit(
+            None,
+            EventRecord::ViewDeltaApply {
+                mode: "incremental",
+                fallbacks,
+            },
+        )
     }
 
     /// [`OrwgNetwork::broadcast_delta`] plus fan-out observation: the
     /// population-wide count of cache entries the delta invalidated feeds
     /// the `"invalidation_fanout"` histogram and a `view-invalidate`
-    /// event keyed by the changed element's endpoints.
-    fn reflood(&mut self, a: AdId, b: AdId, delta: &ViewDelta) {
+    /// event keyed by the changed element's endpoints — a child of the
+    /// view-delta record. Returns the invalidate id (falling back to the
+    /// delta id) so teardown-triggered repairs can chain to it.
+    fn reflood(&mut self, a: AdId, b: AdId, delta: &ViewDelta) -> Option<EventId> {
         let before = self.aggregate_synth_stats().entries_invalidated;
-        self.broadcast_delta(delta);
+        let delta_id = self.broadcast_delta(delta);
         let entries = self.aggregate_synth_stats().entries_invalidated - before;
         self.obs.metrics.record("invalidation_fanout", entries);
-        self.emit(EventRecord::ViewInvalidate { a, b, entries });
+        self.emit(delta_id, EventRecord::ViewInvalidate { a, b, entries })
+            .or(delta_id)
     }
 
     /// Fails a link in ground truth: flushes affected gateway handles,
@@ -637,16 +745,18 @@ impl OrwgNetwork {
         let (a, b) = (l.a, l.b);
         self.gateways[a.index()].invalidate(|e| e.prev == b || e.next == b);
         self.gateways[b.index()].invalidate(|e| e.prev == a || e.next == a);
+        let queued = self.pending_repair.len();
         self.teardown_and_notify(|of| {
             of.route
                 .windows(2)
                 .any(|w| w.contains(&a) && w.contains(&b))
         });
-        self.reflood(
+        let inv_id = self.reflood(
             a,
             b,
             &ViewDelta::Topo(TopoDelta::LinkState { a, b, up: false }),
         );
+        self.set_pending_cause_from(queued, inv_id);
     }
 
     /// Restores a failed link in ground truth and refloods the change.
@@ -682,8 +792,10 @@ impl OrwgNetwork {
         let ad = policy.ad;
         self.db.set_policy(policy.clone());
         self.gateways[ad.index()].invalidate(|_| true);
+        let queued = self.pending_repair.len();
         self.teardown_and_notify(|of| of.route[1..of.route.len().saturating_sub(1)].contains(&ad));
-        self.reflood(ad, ad, &ViewDelta::Policy(policy));
+        let inv_id = self.reflood(ad, ad, &ViewDelta::Policy(policy));
+        self.set_pending_cause_from(queued, inv_id);
     }
 
     /// Crashes `ad`'s Policy Gateway: its handle cache is lost, flows
@@ -719,13 +831,13 @@ impl OrwgNetwork {
     pub fn repair_pending(&mut self, max_retries: usize) -> RepairStats {
         let before = self.repair_stats;
         let pending = std::mem::take(&mut self.pending_repair);
-        for of in pending {
+        for (of, cause) in pending {
             let mut fixed = false;
             for alt in &of.alternates {
                 if alt.path == of.route {
                     continue; // the spare is the route that just died
                 }
-                if self.setup_along(&of.flow, alt, Vec::new()).is_ok() {
+                if self.setup_along(&of.flow, alt, Vec::new(), cause).is_ok() {
                     self.repair_stats.repaired_via_alternate += 1;
                     fixed = true;
                     break;
@@ -734,7 +846,7 @@ impl OrwgNetwork {
             let via = if fixed {
                 "alternate"
             } else {
-                match self.open_resilient(&of.flow, max_retries) {
+                match self.open_resilient_caused(&of.flow, max_retries, cause) {
                     Ok(_) => {
                         self.repair_stats.repaired_via_synthesis += 1;
                         "synthesis"
@@ -752,11 +864,14 @@ impl OrwgNetwork {
                 },
                 1,
             );
-            self.emit(EventRecord::RouteSetupRepair {
-                src: of.flow.src,
-                dst: of.flow.dst,
-                via,
-            });
+            self.emit(
+                cause,
+                EventRecord::RouteSetupRepair {
+                    src: of.flow.src,
+                    dst: of.flow.dst,
+                    via,
+                },
+            );
         }
         RepairStats {
             repaired_via_alternate: self.repair_stats.repaired_via_alternate
@@ -832,6 +947,7 @@ impl OrwgNetwork {
     pub fn refresh_from_engine(&mut self, engine: &Engine<OrwgProtocol>) {
         self.clock = engine.now();
         let new_topo = engine.topo().clone();
+        let queued = self.pending_repair.len();
         // Ground truth and the engine topology share construction (and
         // hence link ids); diff per id to find links that died since.
         if new_topo.num_links() == self.topo.num_links() {
@@ -875,13 +991,19 @@ impl OrwgNetwork {
             }
         }
         self.obs.metrics.add("view_full_installs", fallbacks);
-        self.emit(EventRecord::ViewDeltaApply {
-            mode: match self.view_maintenance {
-                ViewMaintenance::Flush => "flush",
-                ViewMaintenance::Incremental => "incremental",
+        let delta_id = self.emit(
+            None,
+            EventRecord::ViewDeltaApply {
+                mode: match self.view_maintenance {
+                    ViewMaintenance::Flush => "flush",
+                    ViewMaintenance::Incremental => "incremental",
+                },
+                fallbacks,
             },
-            fallbacks,
-        });
+        );
+        // Flows the re-sync tore down chain to the view-delta record: the
+        // repair that follows is causally downstream of this refresh.
+        self.set_pending_cause_from(queued, delta_id);
     }
 
     /// Total setup-time synthesis searches across all Route Servers.
@@ -960,7 +1082,7 @@ mod tests {
         let l = net.topo.link_between(AdId(1), AdId(2)).unwrap();
         net.fail_link(l);
         net.repair_pending(2);
-        let kinds: Vec<&str> = net.obs.log.iter().map(|(_, r)| r.kind()).collect();
+        let kinds: Vec<&str> = net.obs.log.iter().map(|ev| ev.rec.kind()).collect();
         assert!(kinds.contains(&"setup-open"));
         assert!(kinds.contains(&"setup-ack"));
         assert!(kinds.contains(&"view-delta"));
@@ -975,6 +1097,116 @@ mod tests {
                 .count,
             1
         );
+    }
+
+    #[test]
+    fn setup_spans_chain_open_ack_and_repair() {
+        let mut net = permissive(6);
+        net.enable_obs(256);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        net.open_repairable(&flow).unwrap();
+        let l = net.topo.link_between(AdId(1), AdId(2)).unwrap();
+        net.fail_link(l);
+        net.repair_pending(2);
+        let evs: Vec<_> = net.obs.log.iter().copied().collect();
+        let by_id: std::collections::BTreeMap<_, _> = evs.iter().map(|ev| (ev.id, ev)).collect();
+        // Data-plane ids live in their own namespace, disjoint from any
+        // engine log, and causes always point at earlier records.
+        for ev in &evs {
+            assert!(ev.id.0 >= adroute_sim::DATA_STREAM_ID_BASE);
+            if let Some(c) = ev.cause {
+                assert!(c < ev.id);
+                assert!(by_id.contains_key(&c));
+            }
+        }
+        // Every ack is the child of an open; the first open is a root.
+        let first_open = evs
+            .iter()
+            .find(|ev| matches!(ev.rec, EventRecord::RouteSetupOpen { .. }))
+            .unwrap();
+        assert_eq!(first_open.cause, None);
+        for ev in &evs {
+            if let EventRecord::RouteSetupAck { .. } = ev.rec {
+                let parent = by_id[&ev.cause.expect("ack has a cause")];
+                assert!(matches!(parent.rec, EventRecord::RouteSetupOpen { .. }));
+            }
+        }
+        // The view-invalidate descends from its view-delta, and the
+        // repair span (re-open, ack, repair record) descends from the
+        // invalidate that tore the flow down.
+        let inv = evs
+            .iter()
+            .find(|ev| matches!(ev.rec, EventRecord::ViewInvalidate { .. }))
+            .unwrap();
+        let inv_parent = by_id[&inv.cause.expect("invalidate has a cause")];
+        assert!(matches!(inv_parent.rec, EventRecord::ViewDeltaApply { .. }));
+        let repair = evs
+            .iter()
+            .find(|ev| matches!(ev.rec, EventRecord::RouteSetupRepair { .. }))
+            .unwrap();
+        assert_eq!(repair.cause, Some(inv.id));
+        let reopen = evs
+            .iter()
+            .find(|ev| ev.id > inv.id && matches!(ev.rec, EventRecord::RouteSetupOpen { .. }))
+            .unwrap();
+        assert_eq!(reopen.cause, Some(inv.id));
+    }
+
+    #[test]
+    fn lossy_setup_chains_retransmits_and_nacks_carry_reasons() {
+        let mut net = permissive(6);
+        net.enable_obs(256);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        // Every transmission lost: the log shows a retransmit chain.
+        net.set_setup_loss(1.0, 7);
+        let rp = SetupRetryPolicy {
+            max_retries: 2,
+            base_timeout_us: 500,
+        };
+        assert_eq!(
+            net.open_with_retries(&flow, &rp).unwrap_err(),
+            OpenError::SetupTimeout
+        );
+        let rexmits: Vec<_> = net
+            .obs
+            .log
+            .iter()
+            .filter(|ev| matches!(ev.rec, EventRecord::RouteSetupRetransmit { .. }))
+            .copied()
+            .collect();
+        assert_eq!(rexmits.len(), 2);
+        assert_eq!(rexmits[0].cause, None);
+        assert_eq!(rexmits[1].cause, Some(rexmits[0].id));
+        // A stale-view setup into a refusing gateway nacks with a reason,
+        // chained to its open.
+        net.set_setup_loss(0.0, 7);
+        net.db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        assert!(matches!(net.open(&flow), Err(OpenError::Rejected(_))));
+        let nack = net
+            .obs
+            .log
+            .iter()
+            .find(|ev| matches!(ev.rec, EventRecord::RouteSetupNack { .. }))
+            .copied()
+            .expect("rejected setup nacks");
+        assert!(matches!(
+            nack.rec,
+            EventRecord::RouteSetupNack {
+                reason: "policy-denied",
+                ..
+            }
+        ));
+        let opens: Vec<_> = net
+            .obs
+            .log
+            .iter()
+            .filter(|ev| matches!(ev.rec, EventRecord::RouteSetupOpen { .. }))
+            .copied()
+            .collect();
+        assert_eq!(nack.cause, Some(opens.last().unwrap().id));
+        let jsonl = net.obs.log.export_jsonl();
+        assert!(jsonl.contains("\"kind\":\"setup-nack\""), "{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"setup-retransmit\""), "{jsonl}");
     }
 
     #[test]

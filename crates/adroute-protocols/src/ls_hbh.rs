@@ -133,6 +133,9 @@ impl Protocol for LsHbh {
         _link: LinkId,
         msg: FloodMsg,
     ) {
+        // The flooder emits its accept/duplicate record before forwarding
+        // the LSA, so flood fan-out anchors to the acceptance in the
+        // causal log.
         r.flooder.handle(ctx, from, msg);
     }
 

@@ -190,6 +190,8 @@ impl Protocol for NaiveDv {
         r.adv_in.insert(from, v);
         ctx.count("dv_recompute", 1);
         let changed = self.recompute(r, ctx);
+        // Emit before advertising: the sends below anchor to this record
+        // in the causal log (recompute → triggered updates).
         ctx.emit(EventRecord::RouteRecompute {
             ad: ctx.me(),
             proto: "dv",

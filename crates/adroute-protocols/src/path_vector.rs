@@ -482,6 +482,8 @@ impl Protocol for PathVector {
         r.adj_in.insert(from, routes);
         ctx.count("pv_recompute", 1);
         let changed = self.recompute(r, ctx);
+        // Emit before scheduling the advertisement: the batch timer below
+        // anchors to this record in the causal log.
         ctx.emit(EventRecord::RouteRecompute {
             ad: ctx.me(),
             proto: "pv",

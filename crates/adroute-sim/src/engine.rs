@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::event::{Event, EventKind, SimTime};
 use crate::faults::ChannelFaults;
-use crate::obs::{EventLog, EventRecord, Obs};
+use crate::obs::{EventId, EventLog, EventRecord, Obs};
 use crate::stats::Stats;
 use crate::trace::Trace;
 
@@ -86,14 +86,21 @@ pub struct Ctx<'a, M> {
     now: SimTime,
     topo: &'a Topology,
     stats: &'a mut Stats,
-    /// Outgoing messages `(to, link, msg)` buffered until the handler
+    /// Outgoing messages `(to, link, msg, anchor)` buffered until the
+    /// handler returns; `anchor` indexes the protocol-emitted event in
+    /// `events` that preceded the send, for causal attribution.
+    outbox: Vec<(AdId, LinkId, M, Option<usize>)>,
+    /// Timers `(delay_us, token, anchor)` buffered until the handler
     /// returns.
-    outbox: Vec<(AdId, LinkId, M)>,
-    /// Timers `(delay_us, token)` buffered until the handler returns.
-    timers: Vec<(u64, u64)>,
+    timers: Vec<(u64, u64, Option<usize>)>,
     /// Typed events emitted by the protocol, drained into the engine's
     /// observability stream when the handler returns.
     events: Vec<EventRecord>,
+    /// Index into `events` of the most recent protocol-emitted record.
+    /// Sends and timers are attributed to it (protocols emit the
+    /// reaction — LSA accepted, route recomputed — *before* flooding),
+    /// falling back to the dispatched event itself.
+    anchor: Option<usize>,
     /// Whether any event sink (trace or typed log) is enabled; when
     /// false, [`Ctx::emit`] is a no-op so protocols pay nothing.
     observing: bool,
@@ -147,11 +154,16 @@ impl<'a, M> Ctx<'a, M> {
     /// drops are counted in [`Stats::msgs_dropped`].
     pub fn send(&mut self, to: AdId, msg: M) {
         match self.topo.link_between(self.me, to) {
-            Some(link) if self.topo.link(link).up => self.outbox.push((to, link, msg)),
+            Some(link) if self.topo.link(link).up => self.outbox.push((to, link, msg, self.anchor)),
             _ => {
                 self.stats.msgs_dropped += 1;
                 let from = self.me;
-                self.emit(EventRecord::MsgDrop { from, to });
+                // Recorded without moving the anchor: a source-side drop
+                // is a side effect, not a protocol reaction later sends
+                // should attach to.
+                if self.observing {
+                    self.events.push(EventRecord::MsgDrop { from, to });
+                }
             }
         }
     }
@@ -159,7 +171,7 @@ impl<'a, M> Ctx<'a, M> {
     /// Sets a one-shot timer `delay_us` microseconds from now. The token
     /// is returned to [`Protocol::on_timer`].
     pub fn set_timer(&mut self, delay_us: u64, token: u64) {
-        self.timers.push((delay_us, token));
+        self.timers.push((delay_us, token, self.anchor));
     }
 
     /// Adds `n` to a named work counter (e.g. `"dijkstra"`).
@@ -172,6 +184,7 @@ impl<'a, M> Ctx<'a, M> {
     /// the typed event log is enabled, so hot paths stay free.
     pub fn emit(&mut self, rec: EventRecord) {
         if self.observing {
+            self.anchor = Some(self.events.len());
             self.events.push(rec);
         }
     }
@@ -241,15 +254,20 @@ impl<P: Protocol> Engine<P> {
             obs: Obs::disabled(),
         };
         for ad in e.topo.ad_ids() {
-            e.push(SimTime::ZERO, EventKind::Start { ad });
+            e.push(SimTime::ZERO, None, EventKind::Start { ad });
         }
         e
     }
 
-    fn push(&mut self, time: SimTime, kind: EventKind<P::Msg>) {
+    fn push(&mut self, time: SimTime, cause: Option<EventId>, kind: EventKind<P::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { time, seq, kind });
+        self.queue.push(Event {
+            time,
+            seq,
+            cause,
+            kind,
+        });
     }
 
     /// The topology (current link states included).
@@ -287,18 +305,44 @@ impl<P: Protocol> Engine<P> {
     /// flips when the event fires; both endpoint routers are then
     /// notified.
     pub fn schedule_link_change(&mut self, link: LinkId, up: bool, at: SimTime) {
+        self.schedule_link_change_caused(link, up, at, None);
+    }
+
+    /// [`Engine::schedule_link_change`] with causal provenance: the fired
+    /// link event (and everything it triggers) is attributed to `cause`
+    /// in the event log. Fault injectors use this to root their blast
+    /// radius at the plan that scheduled them.
+    pub fn schedule_link_change_caused(
+        &mut self,
+        link: LinkId,
+        up: bool,
+        at: SimTime,
+        cause: Option<EventId>,
+    ) {
         assert!(at >= self.now, "cannot schedule in the past");
-        self.push(at, EventKind::LinkEvent { link, up });
+        self.push(at, cause, EventKind::LinkEvent { link, up });
     }
 
     /// Schedules a timer wake-up at router `ad` at an absolute time.
     /// Experiments use this to trigger protocol-defined reactions (e.g.
     /// after directly mutating a router's policy).
     pub fn schedule_wakeup(&mut self, ad: AdId, at: SimTime, token: u64) {
+        self.schedule_wakeup_caused(ad, at, token, None);
+    }
+
+    /// [`Engine::schedule_wakeup`] with causal provenance.
+    pub fn schedule_wakeup_caused(
+        &mut self,
+        ad: AdId,
+        at: SimTime,
+        token: u64,
+        cause: Option<EventId>,
+    ) {
         assert!(at >= self.now, "cannot schedule in the past");
         let incarnation = self.incarnations[ad.index()];
         self.push(
             at,
+            cause,
             EventKind::Timer {
                 ad,
                 token,
@@ -317,9 +361,20 @@ impl<P: Protocol> Engine<P> {
     /// link-up events to both ends of each — which is what lets existing
     /// protocol resynchronization logic heal the reborn router.
     pub fn schedule_router_change(&mut self, ad: AdId, up: bool, at: SimTime) {
+        self.schedule_router_change_caused(ad, up, at, None);
+    }
+
+    /// [`Engine::schedule_router_change`] with causal provenance.
+    pub fn schedule_router_change_caused(
+        &mut self,
+        ad: AdId,
+        up: bool,
+        at: SimTime,
+        cause: Option<EventId>,
+    ) {
         assert!(at >= self.now, "cannot schedule in the past");
         assert!(ad.index() < self.routers.len(), "unknown AD {ad}");
-        self.push(at, EventKind::RouterEvent { ad, up });
+        self.push(at, cause, EventKind::RouterEvent { ad, up });
     }
 
     /// Whether router `ad` is currently alive.
@@ -346,10 +401,11 @@ impl<P: Protocol> Engine<P> {
         debug_assert!(ev.time >= self.now, "time went backwards");
         self.now = ev.time;
         self.stats.events += 1;
+        let cause = ev.cause;
         match ev.kind {
             EventKind::Start { ad } => {
-                self.emit(EventRecord::Start { ad });
-                self.dispatch(ad, |p, r, ctx| p.on_start(r, ctx));
+                let id = self.emit(cause, EventRecord::Start { ad });
+                self.dispatch(ad, id.or(cause), |p, r, ctx| p.on_start(r, ctx));
             }
             EventKind::Deliver {
                 to,
@@ -362,11 +418,13 @@ impl<P: Protocol> Engine<P> {
                 if self.topo.link(link).up && self.router_up[to.index()] {
                     self.stats.msgs_delivered += 1;
                     self.stats.last_activity = self.now;
-                    self.emit(EventRecord::MsgDeliver { from, to, link });
-                    self.dispatch(to, |p, r, ctx| p.on_message(r, ctx, from, link, msg));
+                    let id = self.emit(cause, EventRecord::MsgDeliver { from, to, link });
+                    self.dispatch(to, id.or(cause), |p, r, ctx| {
+                        p.on_message(r, ctx, from, link, msg)
+                    });
                 } else {
                     self.stats.msgs_lost += 1;
-                    self.emit(EventRecord::MsgLost { from, to, link });
+                    self.emit(cause, EventRecord::MsgLost { from, to, link });
                 }
             }
             EventKind::Timer {
@@ -377,10 +435,10 @@ impl<P: Protocol> Engine<P> {
                 // Timers armed by a previous incarnation (or aimed at a
                 // currently dead router) died with the state that set them.
                 if self.router_up[ad.index()] && incarnation == self.incarnations[ad.index()] {
-                    self.emit(EventRecord::TimerFire { ad, token });
-                    self.dispatch(ad, |p, r, ctx| p.on_timer(r, ctx, token));
+                    let id = self.emit(cause, EventRecord::TimerFire { ad, token });
+                    self.dispatch(ad, id.or(cause), |p, r, ctx| p.on_timer(r, ctx, token));
                 } else {
-                    self.emit(EventRecord::StaleTimer { ad, token });
+                    self.emit(cause, EventRecord::StaleTimer { ad, token });
                 }
             }
             EventKind::LinkEvent { link, up } => {
@@ -391,23 +449,31 @@ impl<P: Protocol> Engine<P> {
                 let eff = up && self.router_up[a.index()] && self.router_up[b.index()];
                 self.topo.set_link_up(link, eff);
                 self.stats.last_activity = self.now;
-                self.emit(match (up, eff) {
-                    (true, true) => EventRecord::LinkUp { link },
-                    (true, false) => EventRecord::LinkUpMasked { link },
-                    _ => EventRecord::LinkDown { link },
-                });
+                let id = self.emit(
+                    cause,
+                    match (up, eff) {
+                        (true, true) => EventRecord::LinkUp { link },
+                        (true, false) => EventRecord::LinkUpMasked { link },
+                        _ => EventRecord::LinkDown { link },
+                    },
+                );
+                let link_cause = id.or(cause);
                 if self.router_up[a.index()] {
-                    self.dispatch(a, |p, r, ctx| p.on_link_event(r, ctx, link, b, eff));
+                    self.dispatch(a, link_cause, |p, r, ctx| {
+                        p.on_link_event(r, ctx, link, b, eff)
+                    });
                 }
                 if self.router_up[b.index()] {
-                    self.dispatch(b, |p, r, ctx| p.on_link_event(r, ctx, link, a, eff));
+                    self.dispatch(b, link_cause, |p, r, ctx| {
+                        p.on_link_event(r, ctx, link, a, eff)
+                    });
                 }
             }
             EventKind::RouterEvent { ad, up } => {
                 if up {
-                    self.restart_router(ad);
+                    self.restart_router(ad, cause);
                 } else {
-                    self.crash_router(ad);
+                    self.crash_router(ad, cause);
                 }
             }
         }
@@ -416,22 +482,28 @@ impl<P: Protocol> Engine<P> {
 
     /// Crashes router `ad`: soft state is lost, adjacent links go out of
     /// operation, live neighbors observe link-down events.
-    fn crash_router(&mut self, ad: AdId) {
+    fn crash_router(&mut self, ad: AdId, cause: Option<EventId>) {
         if !self.router_up[ad.index()] {
             return; // already down: double-crash is a no-op
         }
         self.stats.router_crashes += 1;
         self.stats.last_activity = self.now;
-        self.emit(EventRecord::Crash { ad });
+        let crash_id = self.emit(cause, EventRecord::Crash { ad }).or(cause);
         self.protocol.on_crash(&mut self.routers[ad.index()]);
         self.router_up[ad.index()] = false;
         self.incarnations[ad.index()] += 1;
         let adjacent: Vec<(AdId, LinkId)> = self.topo.neighbors(ad).collect();
         for (nbr, link) in adjacent {
             self.topo.set_link_up(link, false);
-            self.emit(EventRecord::LinkDown { link });
+            // Fate-shared link-downs are children of the crash; neighbor
+            // reactions chain off each link-down in turn.
+            let down_id = self
+                .emit(crash_id, EventRecord::LinkDown { link })
+                .or(crash_id);
             if self.router_up[nbr.index()] {
-                self.dispatch(nbr, |p, r, ctx| p.on_link_event(r, ctx, link, ad, false));
+                self.dispatch(nbr, down_id, |p, r, ctx| {
+                    p.on_link_event(r, ctx, link, ad, false)
+                });
             }
         }
     }
@@ -439,32 +511,40 @@ impl<P: Protocol> Engine<P> {
     /// Restarts router `ad`: state is rebuilt from scratch via
     /// [`Protocol::make_router`], operational adjacent links come back,
     /// and link-up events fire at both ends of each restored link.
-    fn restart_router(&mut self, ad: AdId) {
+    fn restart_router(&mut self, ad: AdId, cause: Option<EventId>) {
         if self.router_up[ad.index()] {
             return; // already up: double-restart is a no-op
         }
         self.stats.router_restarts += 1;
         self.stats.last_activity = self.now;
-        self.emit(EventRecord::Restart { ad });
+        let restart_id = self.emit(cause, EventRecord::Restart { ad }).or(cause);
         self.router_up[ad.index()] = true;
         // Restore adjacency first so the rebuilt router boots against the
-        // topology it will actually operate on.
-        let mut restored: Vec<(AdId, LinkId)> = Vec::new();
+        // topology it will actually operate on. Each restored link-up is
+        // a child of the restart; the link-event dispatches below chain
+        // off their own link-up record.
+        let mut restored: Vec<(AdId, LinkId, Option<EventId>)> = Vec::new();
         let adjacent: Vec<(AdId, LinkId)> = self.topo.all_neighbors(ad).collect();
         for (nbr, link) in adjacent {
             let eff = self.sched_up[link.index()] && self.router_up[nbr.index()];
             if eff && !self.topo.link(link).up {
                 self.topo.set_link_up(link, true);
-                self.emit(EventRecord::LinkUp { link });
-                restored.push((nbr, link));
+                let up_id = self
+                    .emit(restart_id, EventRecord::LinkUp { link })
+                    .or(restart_id);
+                restored.push((nbr, link, up_id));
             }
         }
         self.routers[ad.index()] = self.protocol.make_router(&self.topo, ad);
-        self.dispatch(ad, |p, r, ctx| p.on_restart(r, ctx));
-        for (nbr, link) in restored {
-            self.dispatch(ad, |p, r, ctx| p.on_link_event(r, ctx, link, nbr, true));
+        self.dispatch(ad, restart_id, |p, r, ctx| p.on_restart(r, ctx));
+        for (nbr, link, up_id) in restored {
+            self.dispatch(ad, up_id, |p, r, ctx| {
+                p.on_link_event(r, ctx, link, nbr, true)
+            });
             if self.router_up[nbr.index()] {
-                self.dispatch(nbr, |p, r, ctx| p.on_link_event(r, ctx, link, ad, true));
+                self.dispatch(nbr, up_id, |p, r, ctx| {
+                    p.on_link_event(r, ctx, link, ad, true)
+                });
             }
         }
     }
@@ -488,30 +568,34 @@ impl<P: Protocol> Engine<P> {
 
     /// Routes one typed event into every enabled sink: the legacy trace
     /// receives the rendered `Display` form (so `Trace` is a pure view
-    /// over the typed stream), the typed log the record itself.
-    fn emit(&mut self, rec: EventRecord) {
+    /// over the typed stream), the typed log the record itself with its
+    /// causal parent. Returns the id the typed log assigned, if any.
+    fn emit(&mut self, cause: Option<EventId>, rec: EventRecord) -> Option<EventId> {
         if self.trace.capacity() > 0 {
             self.trace.log(self.now, rec.to_string());
         }
         if self.obs.log.capacity() > 0 {
-            self.obs.log.push(self.now, rec);
+            return self.obs.record_event(self.now, cause, rec);
         }
+        None
     }
 
     /// Records an externally produced event (fault-plan installation,
-    /// experiment annotations) at the current simulated time.
-    pub fn note(&mut self, rec: EventRecord) {
-        self.emit(rec);
+    /// experiment annotations) at the current simulated time, as a causal
+    /// root. Returns its id so subsequently scheduled work can be
+    /// attributed to it (see [`Engine::schedule_link_change_caused`]).
+    pub fn note(&mut self, rec: EventRecord) -> Option<EventId> {
+        self.emit(None, rec)
     }
 
     /// Marks the start of a named measurement phase in both the stats
     /// (see [`Stats::begin_phase`]) and the event stream.
     pub fn begin_phase(&mut self, name: &'static str) {
         self.stats.begin_phase(name);
-        self.emit(EventRecord::PhaseBegin { name });
+        self.emit(None, EventRecord::PhaseBegin { name });
     }
 
-    fn dispatch<F>(&mut self, ad: AdId, f: F)
+    fn dispatch<F>(&mut self, ad: AdId, cause: Option<EventId>, f: F)
     where
         F: FnOnce(&P, &mut P::Router, &mut Ctx<'_, P::Msg>),
     {
@@ -523,6 +607,7 @@ impl<P: Protocol> Engine<P> {
             outbox: Vec::new(),
             timers: Vec::new(),
             events: Vec::new(),
+            anchor: None,
             observing: self.trace.capacity() > 0 || self.obs.log.capacity() > 0,
         };
         f(&self.protocol, &mut self.routers[ad.index()], &mut ctx);
@@ -532,23 +617,42 @@ impl<P: Protocol> Engine<P> {
             events,
             ..
         } = ctx;
+        // Protocol-emitted records are children of the dispatched event;
+        // their assigned ids let the sends and timers that followed each
+        // one attach to the precise reaction that produced them.
+        let mut emitted: Vec<Option<EventId>> = Vec::with_capacity(events.len());
         for rec in events {
-            self.emit(rec);
+            let id = self.emit(cause, rec);
+            emitted.push(id);
         }
-        for (to, link, msg) in outbox {
+        let resolve = |anchor: Option<usize>| -> Option<EventId> {
+            anchor
+                .and_then(|i| emitted.get(i).copied().flatten())
+                .or(cause)
+        };
+        for (to, link, msg, anchor) in outbox {
+            let msg_cause = resolve(anchor);
             let delay = self.topo.link(link).delay_us;
             self.stats.msgs_sent += 1;
             self.stats.per_ad_msgs[ad.index()] += 1;
             let bytes = self.protocol.msg_size(&msg) as u64;
             self.stats.bytes_sent += bytes;
-            if self.observing() {
-                self.emit(EventRecord::MsgSend {
-                    from: ad,
-                    to,
-                    link,
-                    bytes,
-                });
-            }
+            let send_id = if self.observing() {
+                self.emit(
+                    msg_cause,
+                    EventRecord::MsgSend {
+                        from: ad,
+                        to,
+                        link,
+                        bytes,
+                    },
+                )
+            } else {
+                None
+            };
+            // The per-hop chain: whatever happens to this message in
+            // flight (channel fault, delivery) descends from its send.
+            let hop_cause = send_id.or(msg_cause);
             let mut delay = delay;
             let mut dup_at = None;
             let verdict = match &mut self.faults {
@@ -559,12 +663,12 @@ impl<P: Protocol> Engine<P> {
                 match verdict {
                     ChannelVerdict::Lost => {
                         self.stats.msgs_lost += 1;
-                        self.emit(EventRecord::ChanLoss { from: ad, to, link });
+                        self.emit(hop_cause, EventRecord::ChanLoss { from: ad, to, link });
                         continue;
                     }
                     ChannelVerdict::Corrupted => {
                         self.stats.msgs_corrupted += 1;
-                        self.emit(EventRecord::ChanCorrupt { from: ad, to, link });
+                        self.emit(hop_cause, EventRecord::ChanCorrupt { from: ad, to, link });
                         continue;
                     }
                     ChannelVerdict::Pass {
@@ -574,11 +678,11 @@ impl<P: Protocol> Engine<P> {
                     } => {
                         if reordered {
                             self.stats.msgs_reordered += 1;
-                            self.emit(EventRecord::ChanReorder { from: ad, to, link });
+                            self.emit(hop_cause, EventRecord::ChanReorder { from: ad, to, link });
                         }
                         if let Some(d) = duplicate_at_us {
                             self.stats.msgs_duplicated += 1;
-                            self.emit(EventRecord::ChanDup { from: ad, to, link });
+                            self.emit(hop_cause, EventRecord::ChanDup { from: ad, to, link });
                             dup_at = Some(self.now.plus_us(d));
                         }
                         delay = delay_us;
@@ -588,6 +692,7 @@ impl<P: Protocol> Engine<P> {
             if let Some(at) = dup_at {
                 self.push(
                     at,
+                    hop_cause,
                     EventKind::Deliver {
                         to,
                         from: ad,
@@ -599,6 +704,7 @@ impl<P: Protocol> Engine<P> {
             let at = self.now.plus_us(delay);
             self.push(
                 at,
+                hop_cause,
                 EventKind::Deliver {
                     to,
                     from: ad,
@@ -608,10 +714,11 @@ impl<P: Protocol> Engine<P> {
             );
         }
         let incarnation = self.incarnations[ad.index()];
-        for (delay_us, token) in timers {
+        for (delay_us, token, anchor) in timers {
             let at = self.now.plus_us(delay_us);
             self.push(
                 at,
+                resolve(anchor),
                 EventKind::Timer {
                     ad,
                     token,
@@ -965,7 +1072,7 @@ mod tests {
         // The typed export is a golden artifact too.
         let f = mk();
         assert_eq!(e.obs.log.export_jsonl(), f.obs.log.export_jsonl());
-        assert!(e.obs.log.first_divergence(&f.obs.log).is_none());
+        assert!(e.obs.log.first_divergence(&f.obs.log).is_identical());
     }
 
     #[test]
@@ -977,18 +1084,61 @@ mod tests {
             .obs
             .log
             .iter()
-            .filter(|(_, r)| matches!(r, EventRecord::MsgSend { .. }))
+            .filter(|ev| matches!(ev.rec, EventRecord::MsgSend { .. }))
             .count() as u64;
         let delivers = e
             .obs
             .log
             .iter()
-            .filter(|(_, r)| matches!(r, EventRecord::MsgDeliver { .. }))
+            .filter(|ev| matches!(ev.rec, EventRecord::MsgDeliver { .. }))
             .count() as u64;
         assert_eq!(sends, e.stats.msgs_sent);
         assert_eq!(delivers, e.stats.msgs_delivered);
         let jsonl = e.obs.log.export_jsonl();
         assert!(jsonl.contains("\"kind\":\"send\""), "{jsonl}");
+    }
+
+    #[test]
+    fn causal_chain_threads_send_to_deliver() {
+        let mut e = Engine::new(line(3), Wave);
+        e.enable_obs(1024);
+        e.run_to_quiescence();
+        let by_id: std::collections::BTreeMap<_, _> =
+            e.obs.log.iter().map(|ev| (ev.id, ev)).collect();
+        // Causes are always earlier ids: the log is a DAG by construction.
+        for ev in e.obs.log.iter() {
+            if let Some(c) = ev.cause {
+                assert!(c < ev.id, "{:?} caused by later {c:?}", ev.id);
+                assert!(by_id.contains_key(&c), "dangling cause {c:?}");
+            }
+        }
+        // Every delivery descends from the send that put it in flight,
+        // and that send from the start/deliver event it reacted to.
+        let mut chained = 0;
+        for ev in e.obs.log.iter() {
+            if let EventRecord::MsgDeliver { .. } = ev.rec {
+                let send = by_id[&ev.cause.expect("deliver has a cause")];
+                assert!(matches!(send.rec, EventRecord::MsgSend { .. }));
+                let origin = by_id[&send.cause.expect("send has a cause")];
+                assert!(matches!(
+                    origin.rec,
+                    EventRecord::Start { .. } | EventRecord::MsgDeliver { .. }
+                ));
+                chained += 1;
+            }
+        }
+        assert_eq!(chained as u64, e.stats.msgs_delivered);
+        // Timer fires trace back to the start event that armed them.
+        let fire = e
+            .obs
+            .log
+            .iter()
+            .find(|ev| matches!(ev.rec, EventRecord::TimerFire { .. }))
+            .expect("wave arms a timer");
+        assert!(matches!(
+            by_id[&fire.cause.unwrap()].rec,
+            EventRecord::Start { .. }
+        ));
     }
 
     #[test]

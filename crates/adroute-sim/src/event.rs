@@ -69,11 +69,15 @@ pub(crate) enum EventKind<M> {
 }
 
 /// A scheduled event: ordered by `(time, seq)` so simulation order is
-/// total and deterministic.
+/// total and deterministic. The `cause` is the logged event that
+/// scheduled this one (if observability is on); it becomes the `cause`
+/// of whatever record fires when the event is processed, which is how
+/// provenance crosses the queue (enqueue → deliver → reaction).
 #[derive(Clone, Debug)]
 pub(crate) struct Event<M> {
     pub time: SimTime,
     pub seq: u64,
+    pub cause: Option<crate::obs::EventId>,
     pub kind: EventKind<M>,
 }
 
@@ -118,16 +122,19 @@ mod tests {
         let a: Event<()> = Event {
             time: SimTime(5),
             seq: 1,
+            cause: None,
             kind: timer(0),
         };
         let b: Event<()> = Event {
             time: SimTime(3),
             seq: 2,
+            cause: None,
             kind: timer(0),
         };
         let c: Event<()> = Event {
             time: SimTime(3),
             seq: 1,
+            cause: None,
             kind: timer(0),
         };
         let mut heap = std::collections::BinaryHeap::new();

@@ -232,7 +232,10 @@ impl FaultPlan {
     /// # Panics
     /// Panics if any event lies in the engine's past.
     pub fn apply<P: Protocol>(&self, engine: &mut Engine<P>) {
-        engine.note(crate::obs::EventRecord::FaultPlanApplied {
+        // The plan record is the causal root of every fault it schedules:
+        // span trees rooted here separate injected chaos from the
+        // protocol reactions it provokes.
+        let plan_id = engine.note(crate::obs::EventRecord::FaultPlanApplied {
             link_events: self.links.events().len() as u64,
             outages: self.outages.len() as u64,
             lossy: self.channel.is_some(),
@@ -240,27 +243,27 @@ impl FaultPlan {
         // Final scheduled state per link: starts from current topology,
         // then follows the plan's events.
         let mut final_up: Vec<bool> = engine.topo().links().map(|l| l.up).collect();
-        self.links.apply(engine);
+        self.links.apply_caused(engine, plan_id);
         for e in self.links.events() {
             final_up[e.link.index()] = e.up;
         }
         for o in &self.outages {
-            engine.schedule_router_change(o.ad, false, o.down_at);
-            engine.schedule_router_change(o.ad, true, o.up_at);
+            engine.schedule_router_change_caused(o.ad, false, o.down_at, plan_id);
+            engine.schedule_router_change_caused(o.ad, true, o.up_at, plan_id);
         }
         engine.set_channel_faults(self.channel.clone());
         if self.heal {
             let link_ids: Vec<_> = engine.topo().links().map(|l| l.id).collect();
             for link in &link_ids {
                 if !final_up[link.index()] {
-                    engine.schedule_link_change(*link, true, self.horizon_end);
+                    engine.schedule_link_change_caused(*link, true, self.horizon_end, plan_id);
                     final_up[link.index()] = true;
                 }
             }
             let sweep_at = self.horizon_end.plus_us(1000);
             for link in link_ids {
                 if final_up[link.index()] {
-                    engine.schedule_link_change(link, true, sweep_at);
+                    engine.schedule_link_change_caused(link, true, sweep_at, plan_id);
                 }
             }
         }

@@ -24,7 +24,11 @@ pub mod trace;
 pub use engine::{Ctx, Engine, Protocol};
 pub use event::SimTime;
 pub use faults::{ChannelFaults, CrashModel, FaultPlan, FaultSpec, RouterOutage};
-pub use obs::{EventLog, EventRecord, Histogram, MetricsRegistry, Obs};
+pub use obs::causal::{CausalGraph, StormEntry};
+pub use obs::{
+    EventId, EventLog, EventRecord, Histogram, LogComparison, LoggedEvent, MetricsRegistry, Obs,
+    DATA_STREAM_ID_BASE,
+};
 pub use schedule::{FailureModel, FailureSchedule, LinkEvent};
 pub use stats::Stats;
 pub use trace::{Trace, TraceRecord};

@@ -13,6 +13,15 @@
 //! invalidation fan-out), which is how the E-series experiments report
 //! *distributions* instead of single totals. Everything here is
 //! deterministic: same configuration, byte-identical export.
+//!
+//! Every logged record additionally carries a stable [`EventId`] and an
+//! optional `cause` — the id of the event that provoked it — so the log
+//! is a causality DAG, not just a sequence. The [`causal`] module builds
+//! span trees over that DAG (convergence critical path, per-root storm
+//! reports, per-AD timelines), which is what turns the flight recorder
+//! into a debugger.
+
+pub mod causal;
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -21,6 +30,25 @@ use std::fmt::Write as _;
 use adroute_topology::{AdId, LinkId};
 
 use crate::event::SimTime;
+
+/// The id base of the ORWG data-plane event stream. The engine's
+/// control-plane log assigns ids from 0; the data plane starts here so a
+/// merged export (e.g. `chaos --trace`) has globally unique ids and the
+/// two streams can be joined into one causality graph.
+pub const DATA_STREAM_ID_BASE: u64 = 1 << 32;
+
+/// A stable identifier of one logged event within a run. Ids are assigned
+/// monotonically per [`EventLog`] (numbering the full stream, including
+/// evicted records) and never reused, so `cause < id` always holds and
+/// the causality graph is acyclic by construction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
 
 /// Number of power-of-two histogram buckets: bucket 0 holds exact zeros,
 /// bucket `k` (1 ≤ k < 40) holds `2^(k-1) ..= 2^k - 1`, bucket 40 holds
@@ -234,6 +262,26 @@ pub enum EventRecord {
         /// End-to-end setup latency in microseconds.
         latency_us: u64,
     },
+    /// A route setup rejected in-network (no route, policy denial, or a
+    /// dead hop): the "nack" leg of the span tree.
+    RouteSetupNack {
+        /// Source AD.
+        src: AdId,
+        /// Destination AD.
+        dst: AdId,
+        /// Rejection reason: `"no-route"`, `"validate"`, or `"setup-loss"`.
+        reason: &'static str,
+    },
+    /// A lost setup packet retried after backoff; attempt numbering
+    /// starts at 1 for the first retransmission.
+    RouteSetupRetransmit {
+        /// Source AD.
+        src: AdId,
+        /// Destination AD.
+        dst: AdId,
+        /// Which retransmission this is (1-based).
+        attempt: u64,
+    },
     /// A broken open flow routed around (or given up on) by repair.
     RouteSetupRepair {
         /// Source AD.
@@ -321,6 +369,12 @@ impl fmt::Display for EventRecord {
                 f,
                 "setup-ack {src}->{dst} hops={hops} latency={latency_us}us"
             ),
+            RouteSetupNack { src, dst, reason } => {
+                write!(f, "setup-nack {src}->{dst} reason={reason}")
+            }
+            RouteSetupRetransmit { src, dst, attempt } => {
+                write!(f, "setup-retransmit {src}->{dst} attempt={attempt}")
+            }
             RouteSetupRepair { src, dst, via } => {
                 write!(f, "setup-repair {src}->{dst} via={via}")
             }
@@ -365,6 +419,8 @@ impl EventRecord {
             RouteRecompute { .. } => "recompute",
             RouteSetupOpen { .. } => "setup-open",
             RouteSetupAck { .. } => "setup-ack",
+            RouteSetupNack { .. } => "setup-nack",
+            RouteSetupRetransmit { .. } => "setup-retransmit",
             RouteSetupRepair { .. } => "setup-repair",
             ViewInvalidate { .. } => "view-invalidate",
             ViewDeltaApply { .. } => "view-delta",
@@ -375,8 +431,18 @@ impl EventRecord {
     /// order is fixed (`us`, `kind`, then per-kind fields in declaration
     /// order), so exports are byte-stable golden artifacts.
     pub fn to_json(&self, at: SimTime) -> String {
+        let mut s = format!("{{\"us\":{},", at.as_us());
+        self.write_json_fields(&mut s);
+        s.push('}');
+        s
+    }
+
+    /// Appends `"kind":"...",<per-kind fields>` (no braces, no timestamp)
+    /// to `s`; shared by [`EventRecord::to_json`] and
+    /// [`LoggedEvent::to_json`] so both renderings stay field-identical.
+    fn write_json_fields(&self, s: &mut String) {
         use EventRecord::*;
-        let mut s = format!("{{\"us\":{},\"kind\":\"{}\"", at.as_us(), self.kind());
+        let _ = write!(s, "\"kind\":\"{}\"", self.kind());
         match *self {
             Start { ad } | Crash { ad } | Restart { ad } => {
                 let _ = write!(s, ",\"ad\":{}", ad.index());
@@ -494,6 +560,23 @@ impl EventRecord {
                     dst.index()
                 );
             }
+            RouteSetupNack { src, dst, reason } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{},\"dst\":{},\"reason\":\"{}\"",
+                    src.index(),
+                    dst.index(),
+                    json_escape(reason)
+                );
+            }
+            RouteSetupRetransmit { src, dst, attempt } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{},\"dst\":{},\"attempt\":{attempt}",
+                    src.index(),
+                    dst.index()
+                );
+            }
             RouteSetupRepair { src, dst, via } => {
                 let _ = write!(
                     s,
@@ -519,6 +602,82 @@ impl EventRecord {
                 );
             }
         }
+    }
+
+    /// The ADs this record directly involves (at most two), used by the
+    /// causal analyses to attribute blast radius per root cause. Records
+    /// about links or the run as a whole involve none.
+    pub fn ads(&self) -> [Option<AdId>; 2] {
+        use EventRecord::*;
+        match *self {
+            Start { ad }
+            | Crash { ad }
+            | Restart { ad }
+            | TimerFire { ad, .. }
+            | StaleTimer { ad, .. }
+            | RouteRecompute { ad, .. } => [Some(ad), None],
+            MsgSend { from, to, .. }
+            | MsgDeliver { from, to, .. }
+            | MsgLost { from, to, .. }
+            | MsgDrop { from, to }
+            | ChanLoss { from, to, .. }
+            | ChanCorrupt { from, to, .. }
+            | ChanReorder { from, to, .. }
+            | ChanDup { from, to, .. } => [Some(from), Some(to)],
+            LinkUp { .. }
+            | LinkDown { .. }
+            | LinkUpMasked { .. }
+            | FaultPlanApplied { .. }
+            | PhaseBegin { .. }
+            | ViewDeltaApply { .. } => [None, None],
+            LsaOriginate { origin, .. } => [Some(origin), None],
+            LsaAccept { at, origin, .. } | LsaDuplicate { at, origin, .. } => {
+                [Some(at), Some(origin)]
+            }
+            LsaSeqJump { at, .. } => [Some(at), None],
+            LsaResync { at, neighbor, .. } => [Some(at), Some(neighbor)],
+            RouteSetupOpen { src, dst }
+            | RouteSetupAck { src, dst, .. }
+            | RouteSetupNack { src, dst, .. }
+            | RouteSetupRetransmit { src, dst, .. }
+            | RouteSetupRepair { src, dst, .. } => [Some(src), Some(dst)],
+            ViewInvalidate { a, b, .. } => [Some(a), Some(b)],
+        }
+    }
+
+    /// Whether this record is a wire message entering the channel; the
+    /// storm report counts these separately from total events.
+    pub fn is_message(&self) -> bool {
+        matches!(self, EventRecord::MsgSend { .. })
+    }
+}
+
+/// One entry in an [`EventLog`]: a typed record stamped with its
+/// simulation time, its stable [`EventId`], and the id of the event that
+/// caused it (`None` for causal roots: scheduled topology changes, fault
+/// plans, phase markers, and externally initiated route setups).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LoggedEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Stable per-stream identifier, strictly increasing in log order.
+    pub id: EventId,
+    /// The provoking event, if any. Always strictly smaller than `id`.
+    pub cause: Option<EventId>,
+    /// The typed payload.
+    pub rec: EventRecord,
+}
+
+impl LoggedEvent {
+    /// Renders the JSONL form with fixed field order: `us`, `id`,
+    /// `cause` (omitted for roots), then the record's `kind` and fields.
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"us\":{},\"id\":{}", self.at.as_us(), self.id.0);
+        if let Some(c) = self.cause {
+            let _ = write!(s, ",\"cause\":{}", c.0);
+        }
+        s.push(',');
+        self.rec.write_json_fields(&mut s);
         s.push('}');
         s
     }
@@ -548,33 +707,55 @@ pub fn json_escape(s: &str) -> String {
 /// Capacity 0 disables recording entirely.
 #[derive(Clone, Debug, Default)]
 pub struct EventLog {
-    records: VecDeque<(SimTime, EventRecord)>,
+    records: VecDeque<LoggedEvent>,
     capacity: usize,
     /// Records discarded because the buffer was full (or disabled).
     pub dropped: u64,
+    /// Next id to assign. Ids number the whole stream (they keep
+    /// advancing across eviction), so retained ids are stable references.
+    next_id: u64,
 }
 
 impl EventLog {
-    /// A log retaining at most `capacity` most-recent records.
+    /// A log retaining at most `capacity` most-recent records, assigning
+    /// ids from 0.
     pub fn new(capacity: usize) -> EventLog {
+        EventLog::with_id_base(capacity, 0)
+    }
+
+    /// A log whose ids start at `base`. Streams exported side by side
+    /// (the engine's control plane at 0, the ORWG data plane at
+    /// [`DATA_STREAM_ID_BASE`]) use disjoint bases so the merged stream
+    /// has globally unique ids.
+    pub fn with_id_base(capacity: usize, base: u64) -> EventLog {
         EventLog {
             records: VecDeque::new(),
             capacity,
             dropped: 0,
+            next_id: base,
         }
     }
 
-    /// Appends a record, evicting the oldest if full.
-    pub fn push(&mut self, at: SimTime, rec: EventRecord) {
+    /// Appends a record caused by `cause` (evicting the oldest if full)
+    /// and returns its assigned id, or `None` when the log is disabled.
+    pub fn push(
+        &mut self,
+        at: SimTime,
+        cause: Option<EventId>,
+        rec: EventRecord,
+    ) -> Option<EventId> {
         if self.capacity == 0 {
             self.dropped += 1;
-            return;
+            return None;
         }
         if self.records.len() == self.capacity {
             self.records.pop_front();
             self.dropped += 1;
         }
-        self.records.push_back((at, rec));
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.records.push_back(LoggedEvent { at, id, cause, rec });
+        Some(id)
     }
 
     /// The configured capacity (0 = disabled).
@@ -593,7 +774,7 @@ impl EventLog {
     }
 
     /// Iterates over retained records, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, EventRecord)> {
+    pub fn iter(&self) -> impl Iterator<Item = &LoggedEvent> {
         self.records.iter()
     }
 
@@ -602,8 +783,8 @@ impl EventLog {
     /// same-capacity [`Trace`](crate::Trace) records on the same run.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (at, rec) in &self.records {
-            let _ = writeln!(out, "{at}\t{rec}");
+        for ev in &self.records {
+            let _ = writeln!(out, "{}\t{}", ev.at, ev.rec);
         }
         out
     }
@@ -614,8 +795,8 @@ impl EventLog {
     /// files.
     pub fn export_jsonl(&self) -> String {
         let mut out = String::new();
-        for (at, rec) in &self.records {
-            out.push_str(&rec.to_json(*at));
+        for ev in &self.records {
+            out.push_str(&ev.to_json());
             out.push('\n');
         }
         let _ = writeln!(
@@ -627,30 +808,81 @@ impl EventLog {
         out
     }
 
-    /// First position where this log and `other` disagree — the typed
-    /// analogue of [`Trace::first_divergence`](crate::Trace::first_divergence).
-    pub fn first_divergence<'a>(&'a self, other: &'a EventLog) -> Option<Divergence<'a>> {
+    /// Compares this log against `other` — the typed analogue of
+    /// [`Trace::first_divergence`](crate::Trace::first_divergence). Unlike
+    /// the legacy comparison, truncation is reported: two ring buffers
+    /// that overflowed can retain identical windows while the dropped
+    /// prefixes differed, so agreement under truncation is flagged as
+    /// inconclusive instead of silently passing differential checks.
+    pub fn first_divergence<'a>(&'a self, other: &'a EventLog) -> LogComparison<'a> {
         let mut i = 0;
         let mut a = self.records.iter();
         let mut b = other.records.iter();
         loop {
             match (a.next(), b.next()) {
-                (None, None) => return None,
+                (None, None) => {
+                    return if self.dropped > 0 || other.dropped > 0 {
+                        LogComparison::TruncatedMatch {
+                            left_dropped: self.dropped,
+                            right_dropped: other.dropped,
+                        }
+                    } else {
+                        LogComparison::Identical
+                    };
+                }
                 (x, y) if x == y => {}
-                (x, y) => return Some((i, x, y)),
+                (x, y) => {
+                    return LogComparison::Diverged {
+                        index: i,
+                        left: x,
+                        right: y,
+                    }
+                }
             }
             i += 1;
         }
     }
 }
 
-/// A divergence point between two event logs: the record index plus each
-/// log's record at that index (`None` when that log ended first).
-pub type Divergence<'a> = (
-    usize,
-    Option<&'a (SimTime, EventRecord)>,
-    Option<&'a (SimTime, EventRecord)>,
-);
+/// Outcome of comparing two event logs record-by-record.
+#[derive(Clone, Copy, Debug)]
+pub enum LogComparison<'a> {
+    /// Every record matches and neither log dropped anything: the runs
+    /// provably produced the same event stream.
+    Identical,
+    /// The retained records match, but at least one log overflowed its
+    /// ring buffer — the dropped prefixes may have differed, so this is
+    /// *not* proof of identical runs.
+    TruncatedMatch {
+        /// Records the left log dropped.
+        left_dropped: u64,
+        /// Records the right log dropped.
+        right_dropped: u64,
+    },
+    /// The logs disagree at `index` (a side is `None` when that log ended
+    /// first).
+    Diverged {
+        /// Index of the first mismatching record.
+        index: usize,
+        /// The left log's record there, if any.
+        left: Option<&'a LoggedEvent>,
+        /// The right log's record there, if any.
+        right: Option<&'a LoggedEvent>,
+    },
+}
+
+impl LogComparison<'_> {
+    /// Whether the logs are provably identical (no divergence, no
+    /// truncation).
+    pub fn is_identical(&self) -> bool {
+        matches!(self, LogComparison::Identical)
+    }
+
+    /// Whether the retained records match (possibly under truncation).
+    pub fn records_match(&self) -> bool {
+        !matches!(self, LogComparison::Diverged { .. })
+    }
+}
 
 /// A fixed-bucket histogram of `u64` samples (power-of-two buckets), used
 /// for latency and fan-out distributions. Bucketing is value-independent,
@@ -726,10 +958,52 @@ impl Histogram {
         }
     }
 
-    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the top of the
-    /// first bucket whose cumulative count reaches `q * count`, clamped to
-    /// the observed `max`. Empty histograms report 0.
+    /// The inclusive upper bound of bucket `i`.
+    fn bucket_top(i: usize) -> u64 {
+        if i + 1 < HIST_BUCKETS {
+            Self::bucket_lo(i + 1) - 1
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// An estimate of the `q`-quantile (`0.0 ..= 1.0`), interpolated
+    /// within the winning bucket: the target rank's position among the
+    /// bucket's samples is mapped linearly onto the bucket's value range
+    /// (clamped to the observed `min`/`max`). When the rank lands on the
+    /// final sample the exact `max` is reported. Empty histograms report
+    /// 0. For the conservative bucket-top bound, use
+    /// [`Histogram::quantile_upper`].
     pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        if target >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen >= target {
+                let lo = Self::bucket_lo(i).max(self.min);
+                let hi = Self::bucket_top(i).min(self.max).max(lo);
+                // Rank of the target within this bucket, at the midpoint
+                // of its unit interval so the estimate sweeps (lo, hi)
+                // instead of pinning to an edge.
+                let frac = ((target - (seen - c)) as f64 - 0.5) / c as f64;
+                let off = ((hi - lo) as f64 * frac).round() as u64;
+                return lo.saturating_add(off).min(hi);
+            }
+        }
+        self.max
+    }
+
+    /// An upper bound on the `q`-quantile: the top of the first bucket
+    /// whose cumulative count reaches `q * count`, clamped to the
+    /// observed `max`. This is the conservative (never under-reporting)
+    /// companion of the interpolated [`Histogram::quantile`].
+    pub fn quantile_upper(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
@@ -738,12 +1012,7 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let hi = if i + 1 < HIST_BUCKETS {
-                    Self::bucket_lo(i + 1).saturating_sub(1)
-                } else {
-                    u64::MAX
-                };
-                return hi.min(self.max).max(self.min);
+                return Self::bucket_top(i).min(self.max).max(self.min);
             }
         }
         self.max
@@ -889,6 +1158,25 @@ impl Obs {
     pub fn disabled() -> Obs {
         Obs::new(0)
     }
+
+    /// Records an event into the log and mirrors any ring-buffer
+    /// eviction into the `events_dropped` metrics counter, so overflow
+    /// is visible in `report --json` even when the log itself is only
+    /// consulted for its retained window.
+    pub fn record_event(
+        &mut self,
+        at: SimTime,
+        cause: Option<EventId>,
+        rec: EventRecord,
+    ) -> Option<EventId> {
+        let before = self.log.dropped;
+        let id = self.log.push(at, cause, rec);
+        if self.log.dropped > before {
+            self.metrics
+                .add("events_dropped", self.log.dropped - before);
+        }
+        id
+    }
 }
 
 #[cfg(test)]
@@ -945,6 +1233,22 @@ mod tests {
                 },
                 "chan-loss AD0->AD1 via L0",
             ),
+            (
+                EventRecord::RouteSetupNack {
+                    src: AdId(1),
+                    dst: AdId(2),
+                    reason: "no-route",
+                },
+                "setup-nack AD1->AD2 reason=no-route",
+            ),
+            (
+                EventRecord::RouteSetupRetransmit {
+                    src: AdId(1),
+                    dst: AdId(2),
+                    attempt: 2,
+                },
+                "setup-retransmit AD1->AD2 attempt=2",
+            ),
         ];
         for (rec, want) in cases {
             assert_eq!(rec.to_string(), want);
@@ -963,13 +1267,14 @@ mod tests {
             "{\"us\":1500,\"kind\":\"deliver\",\"from\":0,\"to\":1,\"link\":2}"
         );
         let mut log = EventLog::new(4);
-        log.push(SimTime(0), EventRecord::Start { ad: AdId(0) });
-        log.push(SimTime(1500), rec);
+        let root = log.push(SimTime(0), None, EventRecord::Start { ad: AdId(0) });
+        assert_eq!(root, Some(EventId(0)));
+        log.push(SimTime(1500), root, rec);
         let jsonl = log.export_jsonl();
         assert_eq!(
             jsonl,
-            "{\"us\":0,\"kind\":\"start\",\"ad\":0}\n\
-             {\"us\":1500,\"kind\":\"deliver\",\"from\":0,\"to\":1,\"link\":2}\n\
+            "{\"us\":0,\"id\":0,\"kind\":\"start\",\"ad\":0}\n\
+             {\"us\":1500,\"id\":1,\"cause\":0,\"kind\":\"deliver\",\"from\":0,\"to\":1,\"link\":2}\n\
              {\"kind\":\"trace-summary\",\"records\":2,\"dropped\":0}\n"
         );
     }
@@ -977,23 +1282,60 @@ mod tests {
     #[test]
     fn event_log_ring_and_divergence() {
         let mut a = EventLog::new(2);
-        a.push(SimTime(1), EventRecord::Start { ad: AdId(0) });
-        a.push(SimTime(2), EventRecord::Start { ad: AdId(1) });
-        a.push(SimTime(3), EventRecord::Start { ad: AdId(2) });
+        a.push(SimTime(1), None, EventRecord::Start { ad: AdId(0) });
+        a.push(SimTime(2), None, EventRecord::Start { ad: AdId(1) });
+        a.push(SimTime(3), None, EventRecord::Start { ad: AdId(2) });
         assert_eq!(a.len(), 2);
         assert_eq!(a.dropped, 1);
+        // Ids number the whole stream: eviction does not recycle them.
+        assert_eq!(a.iter().map(|ev| ev.id.0).collect::<Vec<_>>(), vec![1, 2]);
         let mut b = a.clone();
-        assert!(a.first_divergence(&b).is_none());
-        b.push(SimTime(4), EventRecord::Crash { ad: AdId(0) });
-        let (i, x, y) = a.first_divergence(&b).unwrap();
-        assert_eq!(i, 0);
-        assert!(x.is_some() && y.is_some());
+        // Retained records agree but both logs overflowed: agreement is
+        // flagged as inconclusive, not reported as proof of identity.
+        match a.first_divergence(&b) {
+            LogComparison::TruncatedMatch {
+                left_dropped: 1,
+                right_dropped: 1,
+            } => {}
+            c => panic!("expected truncated match, got {c:?}"),
+        }
+        assert!(a.first_divergence(&b).records_match());
+        assert!(!a.first_divergence(&b).is_identical());
+        b.push(SimTime(4), None, EventRecord::Crash { ad: AdId(0) });
+        match a.first_divergence(&b) {
+            LogComparison::Diverged { index, left, right } => {
+                assert_eq!(index, 0);
+                assert!(left.is_some() && right.is_some());
+            }
+            c => panic!("expected divergence, got {c:?}"),
+        }
+        // Untruncated identical logs are provably identical.
+        let mut c1 = EventLog::new(4);
+        let mut c2 = EventLog::new(4);
+        for log in [&mut c1, &mut c2] {
+            let r = log.push(SimTime(1), None, EventRecord::Start { ad: AdId(0) });
+            log.push(SimTime(2), r, EventRecord::Crash { ad: AdId(0) });
+        }
+        assert!(c1.first_divergence(&c2).is_identical());
         // Disabled log drops everything silently.
         let mut z = EventLog::new(0);
-        z.push(SimTime(1), EventRecord::Start { ad: AdId(0) });
+        assert_eq!(
+            z.push(SimTime(1), None, EventRecord::Start { ad: AdId(0) }),
+            None
+        );
         assert!(z.is_empty());
         assert_eq!(z.dropped, 1);
         assert_eq!(z.render(), "");
+    }
+
+    #[test]
+    fn obs_record_event_mirrors_drops_into_metrics() {
+        let mut obs = Obs::new(1);
+        obs.record_event(SimTime(1), None, EventRecord::Start { ad: AdId(0) });
+        assert_eq!(obs.metrics.counter("events_dropped"), 0);
+        obs.record_event(SimTime(2), None, EventRecord::Start { ad: AdId(1) });
+        assert_eq!(obs.log.dropped, 1);
+        assert_eq!(obs.metrics.counter("events_dropped"), 1);
     }
 
     #[test]
@@ -1008,9 +1350,14 @@ mod tests {
         assert_eq!(h.min, 0);
         assert_eq!(h.max, 1000);
         assert!(h.mean() > 144.0 && h.mean() < 145.0);
-        // Median falls in the [2,3] bucket; quantile reports its top.
-        assert_eq!(h.quantile(0.5), 3);
+        // The median rank falls in the [2,3] bucket: the upper bound is
+        // the bucket top, the interpolated estimate sits inside it.
+        assert_eq!(h.quantile_upper(0.5), 3);
+        assert_eq!(h.quantile(0.5), 2);
+        // Extreme quantiles are known exactly.
         assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile_upper(1.0), 1000);
+        assert_eq!(h.quantile(0.0), 0);
         let json = h.to_json();
         assert!(json.starts_with("{\"count\":7,\"sum\":1011,\"min\":0,\"max\":1000"));
         assert!(json.contains("\"buckets\":[[0,1],[1,2],[2,2],[4,1],[512,1]]"));
@@ -1018,6 +1365,33 @@ mod tests {
         let mut g = Histogram::new();
         g.record(u64::MAX);
         assert_eq!(g.quantile(0.5), u64::MAX);
+        assert_eq!(g.quantile_upper(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // {0,5,9}: the median rank (2nd of 3) falls in the [4,7] bucket
+        // holding the single sample 5; interpolation reports the middle
+        // of the bucket's range instead of its top.
+        let mut h = Histogram::new();
+        for v in [0u64, 5, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_upper(0.5), 7);
+        assert_eq!(h.quantile(0.5), 6);
+        assert_eq!(h.quantile(0.99), 9, "p99 rank is the last sample");
+        // A full bucket: samples 8..=15 all land in [8,15]; interpolated
+        // quantiles sweep the bucket instead of pinning to its top.
+        let mut u = Histogram::new();
+        for v in 8u64..=15 {
+            u.record(v);
+        }
+        let q25 = u.quantile(0.25);
+        let q75 = u.quantile(0.75);
+        assert!(q25 < q75, "{q25} vs {q75}");
+        assert!((8..=15).contains(&q25));
+        assert!((8..=15).contains(&q75));
+        assert_eq!(u.quantile_upper(0.25), 15);
     }
 
     #[test]

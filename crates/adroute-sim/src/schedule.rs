@@ -17,6 +17,7 @@ use adroute_topology::{LinkId, Topology};
 
 use crate::engine::{Engine, Protocol};
 use crate::event::SimTime;
+use crate::obs::EventId;
 
 /// One scheduled link state change.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -130,8 +131,15 @@ impl FailureSchedule {
     /// # Panics
     /// Panics if any event lies in the engine's past.
     pub fn apply<P: Protocol>(&self, engine: &mut Engine<P>) {
+        self.apply_caused(engine, None);
+    }
+
+    /// Like [`apply`](FailureSchedule::apply), but attributes every queued
+    /// link change to `cause` in the causal event log (e.g. the
+    /// fault-plan-applied record that installed this schedule).
+    pub fn apply_caused<P: Protocol>(&self, engine: &mut Engine<P>, cause: Option<EventId>) {
         for e in &self.events {
-            engine.schedule_link_change(e.link, e.up, e.at);
+            engine.schedule_link_change_caused(e.link, e.up, e.at, cause);
         }
     }
 }

@@ -41,12 +41,21 @@ where
 
 /// Formats the first typed-trace divergence between two engines' logs.
 fn divergence(a_name: &str, a: &EventLog, b_name: &str, b: &EventLog) -> String {
+    use adroute::sim::LogComparison;
     match a.first_divergence(b) {
-        None => format!("typed traces of {a_name} and {b_name} are identical"),
-        Some((i, x, y)) => format!(
-            "first typed-trace divergence between {a_name} and {b_name} at record #{i}:\n  \
-             {a_name}: {:?}\n  {b_name}: {:?}",
-            x, y
+        LogComparison::Identical => {
+            format!("typed traces of {a_name} and {b_name} are identical")
+        }
+        LogComparison::TruncatedMatch {
+            left_dropped,
+            right_dropped,
+        } => format!(
+            "typed traces of {a_name} and {b_name} match over the retained window \
+             ({left_dropped} / {right_dropped} records evicted)"
+        ),
+        LogComparison::Diverged { index, left, right } => format!(
+            "first typed-trace divergence between {a_name} and {b_name} at record #{index}:\n  \
+             {a_name}: {left:?}\n  {b_name}: {right:?}"
         ),
     }
 }

@@ -151,6 +151,24 @@ fn golden_event_record_json() {
             "setup-ack AD0->AD9 hops=4 latency=4000us",
         ),
         (
+            EventRecord::RouteSetupNack {
+                src: AdId(0),
+                dst: AdId(9),
+                reason: "policy-denied",
+            },
+            r#"{"us":1500,"kind":"setup-nack","src":0,"dst":9,"reason":"policy-denied"}"#,
+            "setup-nack AD0->AD9 reason=policy-denied",
+        ),
+        (
+            EventRecord::RouteSetupRetransmit {
+                src: AdId(0),
+                dst: AdId(9),
+                attempt: 2,
+            },
+            r#"{"us":1500,"kind":"setup-retransmit","src":0,"dst":9,"attempt":2}"#,
+            "setup-retransmit AD0->AD9 attempt=2",
+        ),
+        (
             EventRecord::RouteSetupRepair {
                 src: AdId(0),
                 dst: AdId(9),
@@ -190,6 +208,24 @@ fn golden_event_record_json() {
         assert_eq!(rec.to_json(at), json);
         assert_eq!(rec.to_string(), display);
     }
+    // The logged form prefixes the stable id and (when present) the
+    // provoking event's id, before the record's own fields.
+    use adroute::sim::{EventId, LoggedEvent};
+    let ev = LoggedEvent {
+        at,
+        id: EventId(7),
+        cause: Some(EventId(3)),
+        rec: EventRecord::LinkDown { link: LinkId(4) },
+    };
+    assert_eq!(
+        ev.to_json(),
+        r#"{"us":1500,"id":7,"cause":3,"kind":"link-down","link":4}"#
+    );
+    let root = LoggedEvent { cause: None, ..ev };
+    assert_eq!(
+        root.to_json(),
+        r#"{"us":1500,"id":7,"kind":"link-down","link":4}"#
+    );
 }
 
 #[test]
@@ -200,9 +236,11 @@ fn golden_metrics_json() {
     m.record("setup_latency_us", 0);
     m.record("setup_latency_us", 5);
     m.record("setup_latency_us", 9);
+    // p50 is the interpolated quantile (the median of {0,5,9} estimated
+    // within its bucket), not the old bucket-top answer of 7.
     assert_eq!(
         m.to_json(),
-        r#"{"counters":{"flood_dup":3},"histograms":{"setup_latency_us":{"count":3,"sum":14,"min":0,"max":9,"p50":7,"p99":9,"buckets":[[0,1],[4,1],[8,1]]}}}"#
+        r#"{"counters":{"flood_dup":3},"histograms":{"setup_latency_us":{"count":3,"sum":14,"min":0,"max":9,"p50":6,"p99":9,"buckets":[[0,1],[4,1],[8,1]]}}}"#
     );
 }
 

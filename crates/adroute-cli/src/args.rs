@@ -82,6 +82,12 @@ impl Args {
         }
     }
 
+    /// Whether any positional operands were given — lets a command pick
+    /// between an operand-driven mode and a flag-driven one.
+    pub fn has_positionals(&self) -> bool {
+        !self.positionals.is_empty()
+    }
+
     /// A required string flag.
     pub fn req(&self, key: &str) -> Result<&str, CliError> {
         match self.flags.get(key) {

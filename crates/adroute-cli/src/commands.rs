@@ -2,20 +2,23 @@
 //! arguments (plus file contents) to an output string, so the whole tool
 //! is unit-testable without spawning processes.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
 
 use adroute_core::{
-    OrwgNetwork, OrwgProtocol, PolicyImpact, SetupRetryPolicy, Strategy, ViewMaintenance,
+    OrwgNetwork, OrwgProtocol, PolicyImpact, RepairStats, SetupRetryPolicy, Strategy,
+    ViewMaintenance,
 };
 use adroute_policy::text::{format_policies, parse_policies, parse_policy};
 use adroute_policy::workload::PolicyWorkload;
-use adroute_policy::{legality, FlowSpec, PolicyDb, QosClass, TimeOfDay, UserClass};
-use adroute_protocols::forwarding::{forward, DataPlane};
+use adroute_policy::{legality, FlowSpec, PolicyDb, QosClass, TimeOfDay, TransitPolicy, UserClass};
+use adroute_protocols::forwarding::{audit_path, forward, DataPlane};
 use adroute_protocols::{ecma::Ecma, ls_hbh::LsHbh, naive_dv::NaiveDv, path_vector::PathVector};
 use adroute_sim::{
-    CausalGraph, ChannelFaults, CrashModel, Engine, EventLog, FailureModel, FaultPlan, FaultSpec,
-    MetricsRegistry, Protocol, Stats,
+    Alarm, CausalGraph, ChannelFaults, CrashModel, Engine, EventLog, EventRecord, FailureModel,
+    FaultPlan, FaultSpec, MetricsRegistry, MisbehaviorModel, MisbehaviorSpec, MonitorBank,
+    MonitorConfig, Observation, Protocol, QuarantineController, SimTime, Stats,
 };
 use adroute_topology::{analysis, io as topo_io, AdId, HierarchyConfig, LinkId, Topology};
 
@@ -34,17 +37,25 @@ COMMANDS:
                 generate a policy workload for a topology
   route         --topo FILE --src A --dst B [--policies FILE --qos Q --uci U --time HH:MM]
                 find the least-cost policy-legal route (oracle + ORWG setup)
-  audit         --topo FILE [--tree true]
-                structural resilience report (articulation ADs, degrees,
-                optional ASCII hierarchy)
+  audit         <quickstart|e7b> [--json --trace FILE]
+                run the byzantine audit lifecycle on a fixed scenario: a
+                forged-ack rogue AD is injected, the policy-violation
+                tripwire detects it, quarantine tears its transits down,
+                and repair reconverges every flow policy-legally
+                (--json for machines, --trace exports the event stream);
+                or: --topo FILE [--tree true] for the structural
+                resilience report (articulation ADs, degrees, hierarchy)
   impact        --topo FILE --policies FILE --candidate FILE [--flows N --seed S]
                 predict the effect of a candidate policy before deploying it
   chaos         [--ads N --seed S --duration MS --loss P --flows N
-                 --view incremental|flush --trace FILE]
+                 --view incremental|flush --byzantine [forged-ack]
+                 --trace FILE]
                 run the ORWG control and data planes through a seeded fault
                 plan (link churn, lossy channels, router crashes) and report
                 recovery metrics; --view picks how Route Servers absorb
                 re-flooded changes (incremental invalidation vs full flush);
+                --byzantine additionally turns one transit AD rogue
+                (forged setup acks) and runs detection + quarantine;
                 --trace exports the typed event stream as JSON Lines
   report        [--ads N --seed S --flows N --json]
                 run every design point (dv, ecma, pv, ls-hbh, orwg) through
@@ -182,8 +193,287 @@ pub fn route(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `audit`: structural resilience report.
+/// Open flows whose installed route violates some transit AD's *actual*
+/// policy — audited against ground truth, not the possibly-stale flooded
+/// views, so it sees exactly what a rogue gateway hides.
+fn violating_flows(net: &OrwgNetwork) -> usize {
+    net.open_flows()
+        .filter(|(_, of)| !audit_path(net.topo(), net.policies(), &of.flow, &of.route).compliant())
+        .count()
+}
+
+/// The transit AD carrying the most open flows — the highest-leverage
+/// rogue for a byzantine run (ties break toward the lowest AD id).
+fn most_transited(net: &OrwgNetwork) -> Option<AdId> {
+    let mut counts: BTreeMap<AdId, usize> = BTreeMap::new();
+    for (_, of) in net.open_flows() {
+        for ad in of
+            .route
+            .iter()
+            .skip(1)
+            .take(of.route.len().saturating_sub(2))
+        {
+            *counts.entry(*ad).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(ad, n)| (n, std::cmp::Reverse(ad.index())))
+        .map(|(ad, _)| ad)
+}
+
+/// What one byzantine run produced, for `audit`, `chaos --byzantine`,
+/// and `report` to render.
+struct ByzReport {
+    /// The misbehaving AD.
+    rogue: AdId,
+    /// The logged `misbehavior-inject` root, if the log is enabled.
+    inject: Option<adroute_sim::EventId>,
+    /// Open flows violating ground-truth policy right after injection.
+    violating_before: usize,
+    /// The first confirmed alarm against the rogue, if any fired.
+    detection: Option<Alarm>,
+    /// The logged `quarantine-enter` event, if the log is enabled.
+    enter: Option<adroute_sim::EventId>,
+    /// Flows torn down by containment.
+    torn: usize,
+    /// Repair outcomes for the torn flows.
+    repair: RepairStats,
+    /// Open flows still violating ground-truth policy after containment.
+    violating_after: usize,
+    /// The controller, still holding the quarantine (callers may lift it).
+    controller: QuarantineController,
+}
+
+/// Drives the full byzantine lifecycle against an assembled network:
+/// covertly flips the rogue's *actual* policy to deny-all (its flooded
+/// view stays stale, so Route Servers keep synthesizing through it),
+/// turns its gateway rogue (forged setup acks install what policy
+/// forbids), opens the `fresh` flows through the now-lying gateway, then
+/// runs the monitor bank tick by tick until the policy-violation
+/// tripwire fires, the quarantine controller contains the suspect, and
+/// repair reconverges the torn flows policy-legally around it.
+fn run_byzantine(net: &mut OrwgNetwork, rogue: AdId, at: SimTime, fresh: &[FlowSpec]) -> ByzReport {
+    net.set_covert_policy(TransitPolicy::deny_all(rogue));
+    net.set_rogue_gateways([rogue]);
+    let inject = net.obs.record_event(
+        at,
+        None,
+        EventRecord::MisbehaviorInject {
+            ad: rogue,
+            model: MisbehaviorModel::ForgedAck.tag(),
+        },
+    );
+    for f in fresh {
+        let _ = net.open_repairable(f);
+    }
+    let violating_before = violating_flows(net);
+    let mut bank = MonitorBank::new(MonitorConfig::default());
+    bank.set_injection_roots(&[(rogue, inject)]);
+    let mut controller = QuarantineController::new(1);
+    let mut detection = None;
+    let mut enter = None;
+    let mut torn = 0usize;
+    let mut repair = RepairStats::default();
+    for _ in 0..6 {
+        // One monitoring tick: probe every open flow against ground truth.
+        let probes: Vec<Observation> = net
+            .open_flows()
+            .map(|(_, of)| Observation::Delivered {
+                src: of.flow.src,
+                dst: of.flow.dst,
+                violators: audit_path(net.topo(), net.policies(), &of.flow, &of.route).violations,
+            })
+            .collect();
+        for p in probes {
+            bank.observe(p);
+        }
+        let mut contained = false;
+        for alarm in bank.end_tick(&mut net.obs, at) {
+            if let Some((ad, qev)) = controller.note_alarm(&alarm, &mut net.obs, at) {
+                detection.get_or_insert(alarm);
+                enter = enter.or(qev);
+                let t = net.quarantine_ad(ad, qev);
+                net.obs
+                    .metrics
+                    .record("quarantine_collateral_flows", t as u64);
+                torn += t;
+                let r = net.repair_pending(3);
+                repair.repaired_via_alternate += r.repaired_via_alternate;
+                repair.repaired_via_synthesis += r.repaired_via_synthesis;
+                repair.failures += r.failures;
+                repair.setup_retransmits += r.setup_retransmits;
+                contained = true;
+            }
+        }
+        if contained || violating_before == 0 {
+            break;
+        }
+    }
+    let violating_after = violating_flows(net);
+    ByzReport {
+        rogue,
+        inject,
+        violating_before,
+        detection,
+        enter,
+        torn,
+        repair,
+        violating_after,
+        controller,
+    }
+}
+
+/// `audit <scenario>`: the byzantine audit lifecycle on a fixed, seeded
+/// scenario — inject a forged-ack rogue, detect it with the runtime
+/// policy-violation tripwire, quarantine it, and verify policy-legal
+/// reconvergence.
+fn audit_byzantine(args: &Args) -> Result<String, CliError> {
+    args.known_with_positionals(&["json", "trace"])?;
+    let json = args.opt_parse("json", false)?;
+    let trace_path = args.opt("trace");
+    let scenario = args.positional_one("scenario")?.to_string();
+    let (topo, seed) = match scenario.as_str() {
+        "quickstart" => (HierarchyConfig::figure1().generate(), 1990u64),
+        "e7b" => (
+            HierarchyConfig {
+                lateral_prob: 0.25,
+                bypass_prob: 0.1,
+                multihome_prob: 0.2,
+                ..HierarchyConfig::with_approx_size(120, 23)
+            }
+            .generate(),
+            23,
+        ),
+        other => {
+            return bail(format!(
+                "unknown audit scenario '{other}'; scenarios: quickstart, e7b"
+            ))
+        }
+    };
+    let db = PolicyWorkload::structural(seed).generate(&topo);
+    let mut net = OrwgNetwork::converged(&topo, &db);
+    net.enable_obs(1 << 14);
+    let mut opened = 0usize;
+    for f in &adroute_protocols::forwarding::sample_flows(&topo, 40, seed) {
+        if net.open_repairable(f).is_ok() {
+            opened += 1;
+        }
+    }
+    let Some(rogue) = most_transited(&net) else {
+        return bail(format!("audit {scenario}: no open flow transits any AD"));
+    };
+    // A fresh wave arrives *after* the rogue turns: its setups through the
+    // rogue succeed only because the gateway forges the acks.
+    let fresh = adroute_protocols::forwarding::sample_flows(&topo, 10, seed ^ 0x5a);
+    let bz = run_byzantine(&mut net, rogue, SimTime::ZERO, &fresh);
+    let reconverged = bz.violating_after == 0;
+    let mut out = String::new();
+    if json {
+        let _ = write!(
+            out,
+            "{{\"audit\":{{\"scenario\":\"{scenario}\",\"ads\":{},\"links\":{},\"seed\":{seed},\
+             \"rogue\":\"{}\",\"model\":\"forged-ack\",\"flows_open\":{opened},\
+             \"violating_before\":{},",
+            topo.num_ads(),
+            topo.num_links(),
+            bz.rogue,
+            bz.violating_before
+        );
+        match &bz.detection {
+            Some(a) => {
+                let _ = write!(
+                    out,
+                    "\"detection\":{{\"detector\":\"{}\",\"tick\":{},\"evidence\":{}}},",
+                    a.detector, a.tick, a.evidence
+                );
+            }
+            None => out.push_str("\"detection\":null,"),
+        }
+        let _ = writeln!(
+            out,
+            "\"quarantine\":{{\"entered\":1,\"torn\":{},\"repaired_alternate\":{},\
+             \"repaired_synthesis\":{},\"unrepairable\":{}}},\"violating_after\":{},\
+             \"reconverged_legal\":{reconverged},\"metrics\":{}}}}}",
+            bz.torn,
+            bz.repair.repaired_via_alternate,
+            bz.repair.repaired_via_synthesis,
+            bz.repair.failures,
+            bz.violating_after,
+            net.obs.metrics.to_json()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "audit {scenario}: {} ADs, {} links, seed {seed}",
+            topo.num_ads(),
+            topo.num_links()
+        );
+        let _ = writeln!(
+            out,
+            "inject: {} turns rogue (forged-ack): actual policy deny-all, flooded views stale",
+            bz.rogue
+        );
+        let _ = writeln!(
+            out,
+            "flows: {opened} open before, {} fresh setups after; {} violating ground-truth policy",
+            fresh.len(),
+            bz.violating_before
+        );
+        match &bz.detection {
+            Some(a) => {
+                let _ = writeln!(
+                    out,
+                    "detect: {} tripwire fired on tick {} ({} violating observations)",
+                    a.detector, a.tick, a.evidence
+                );
+            }
+            None => {
+                let _ = writeln!(out, "detect: no alarm fired");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "contain: quarantined {}; {} transiting flows torn down",
+            bz.rogue, bz.torn
+        );
+        let _ = writeln!(
+            out,
+            "repair: {} via cached alternate, {} via fresh synthesis, {} unrepairable",
+            bz.repair.repaired_via_alternate, bz.repair.repaired_via_synthesis, bz.repair.failures
+        );
+        let _ = writeln!(
+            out,
+            "verify: {} flows violating after containment (policy-legal reconvergence: {reconverged})",
+            bz.violating_after
+        );
+        if let (Some(i), Some(a), Some(q)) = (bz.inject, bz.detection.as_ref(), bz.enter) {
+            if let Some(ae) = a.event {
+                let _ = writeln!(
+                    out,
+                    "causal chain: misbehavior-inject #{} -> monitor-alarm #{} -> \
+                     quarantine-enter #{} -> {} setup-repair descendants",
+                    i.0, ae.0, q.0, bz.torn
+                );
+            }
+        }
+    }
+    if let Some(path) = trace_path {
+        let jsonl = net.obs.log.export_jsonl();
+        fs::write(path, &jsonl)
+            .map_err(|e| CliError(format!("cannot write trace '{path}': {e}")))?;
+        let _ = writeln!(out, "trace: wrote {} bytes to {path}", jsonl.len());
+    }
+    Ok(out)
+}
+
+/// `audit`: with a scenario operand, the byzantine audit lifecycle
+/// ([`audit_byzantine`]); with `--topo`, the structural resilience
+/// report.
 pub fn audit(args: &Args) -> Result<String, CliError> {
+    if args.has_positionals() {
+        return audit_byzantine(args);
+    }
     args.known(&["topo", "tree"])?;
     let topo = load_topo(args.req("topo")?)?;
     let stats = analysis::degree_stats(&topo);
@@ -290,16 +580,50 @@ pub fn impact(args: &Args) -> Result<String, CliError> {
 /// by default, full flush as the oracle). All randomness is seeded: the
 /// same arguments always print the same report.
 pub fn chaos(args: &Args) -> Result<String, CliError> {
-    args.known(&["ads", "seed", "duration", "loss", "flows", "view", "trace"])?;
+    args.known(&[
+        "ads",
+        "seed",
+        "duration",
+        "loss",
+        "flows",
+        "view",
+        "byzantine",
+        "trace",
+    ])?;
     let trace_path = args.opt("trace");
     let ads: usize = args.opt_parse("ads", 40)?;
     let seed: u64 = args.opt_parse("seed", 1990)?;
     let duration_ms: u64 = args.opt_parse("duration", 400)?;
+    if duration_ms == 0 {
+        return bail("--duration must be a positive number of milliseconds");
+    }
     let loss: f64 = args.opt_parse("loss", 0.05)?;
     if !(0.0..=0.5).contains(&loss) {
         return bail("--loss must be in [0, 0.5]");
     }
     let n_flows: usize = args.opt_parse("flows", 30)?;
+    let byz_model = match args.opt("byzantine") {
+        None => None,
+        Some("true") | Some("forged-ack") => Some(MisbehaviorModel::ForgedAck),
+        Some(tag) => match MisbehaviorModel::parse(tag) {
+            Some(m) => {
+                return bail(format!(
+                    "--byzantine: chaos drives the ORWG data plane, which supports forged-ack; \
+                     '{}' targets the hop-by-hop engines (see `adroute audit`)",
+                    m.tag()
+                ))
+            }
+            None => {
+                return bail(format!(
+                    "--byzantine: unknown misbehavior model '{tag}'; models: {}",
+                    MisbehaviorModel::ALL.map(|m| m.tag()).join(", ")
+                ))
+            }
+        },
+    };
+    if byz_model.is_some() && n_flows == 0 {
+        return bail("--byzantine needs open flows to audit; raise --flows above 0");
+    }
     let view = args.opt("view").unwrap_or("incremental");
     let mode = match view {
         "incremental" => ViewMaintenance::Incremental,
@@ -354,6 +678,7 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
             seed: seed ^ 0x33,
             ..ChannelFaults::default()
         }),
+        misbehavior: MisbehaviorSpec::default(),
     };
     let plan = FaultPlan::draw(&topo, &spec, e.now(), duration_ms);
     let _ = writeln!(
@@ -562,6 +887,46 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         "  stale forwards across all gateways: {}",
         net.total_stale_forwards()
     );
+    if let Some(model) = byz_model {
+        // After the physical faults heal, one transit AD turns rogue.
+        let rogue = most_transited(&net).unwrap_or_else(|| {
+            MisbehaviorSpec::draw(&truth, model, 1, seed ^ 0x55).assignments()[0].0
+        });
+        let fresh =
+            adroute_protocols::forwarding::sample_flows(&truth, (n_flows / 2).max(5), seed ^ 0x66);
+        let bz = run_byzantine(&mut net, rogue, e.now(), &fresh);
+        let _ = writeln!(
+            out,
+            "byzantine: {} at {rogue} (actual policy flipped to deny-all; flooded views stale)",
+            model.tag()
+        );
+        match &bz.detection {
+            Some(a) => {
+                let _ = writeln!(
+                    out,
+                    "  detected: {} tripwire on tick {} ({} violating observations)",
+                    a.detector, a.tick, a.evidence
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  detected: nothing (no open flow transits the rogue)");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  quarantine: {} transiting flows torn down; repaired {} via alternate, \
+             {} via synthesis, {} unrepairable",
+            bz.torn,
+            bz.repair.repaired_via_alternate,
+            bz.repair.repaired_via_synthesis,
+            bz.repair.failures
+        );
+        let _ = writeln!(
+            out,
+            "  violating flows after containment: {}",
+            bz.violating_after
+        );
+    }
     if let Some(path) = trace_path {
         // Control-plane stream first, then the data-plane stream — both
         // deterministic, so identically-seeded runs export byte-identical
@@ -740,6 +1105,22 @@ pub fn report(args: &Args) -> Result<String, CliError> {
         match net.open(f) {
             Ok(_) => net.obs.metrics.add("flows_delivered", 1),
             Err(_) => net.obs.metrics.add("flows_undelivered", 1),
+        }
+    }
+    // Byzantine containment drill: its quarantine lifecycle counters land
+    // in the orwg point's metrics (pre-touched so every counter reports,
+    // even at zero).
+    net.obs.metrics.add("quarantine_entered", 0);
+    net.obs.metrics.add("quarantine_lifted", 0);
+    net.obs.metrics.add("false_positive", 0);
+    if let Some(rogue) = most_transited(&net) {
+        let mut bz = run_byzantine(&mut net, rogue, SimTime::ZERO, &[]);
+        if bz.detection.is_some() && bz.violating_after == 0 {
+            // Drill over: the rogue was guilty and contained; lift the
+            // quarantine so the lifted counter reflects a full lifecycle.
+            bz.controller
+                .lift(bz.rogue, true, &mut net.obs, SimTime::ZERO);
+            net.lift_quarantine(bz.rogue);
         }
     }
     let mut metrics = std::mem::take(&mut net.obs.metrics);
@@ -998,6 +1379,7 @@ fn trace_engine<P: Protocol>(
             seed: seed ^ 0x33,
             ..ChannelFaults::default()
         }),
+        misbehavior: MisbehaviorSpec::default(),
     };
     let plan = FaultPlan::draw(e.topo(), &spec, e.now(), duration_ms);
     plan.apply(&mut e);
@@ -1244,6 +1626,135 @@ mod tests {
     }
 
     #[test]
+    fn audit_scenarios_run_the_byzantine_lifecycle() {
+        for scenario in ["quickstart", "e7b"] {
+            let a = run(&format!("audit {scenario}")).unwrap();
+            assert!(a.starts_with(&format!("audit {scenario}:")), "{a}");
+            assert!(a.contains("turns rogue (forged-ack)"), "{a}");
+            // The tripwire fires on the very first monitoring tick: the
+            // covert policy flip makes existing transits violations.
+            assert!(
+                a.contains("detect: policy-violation tripwire fired on tick 1"),
+                "{a}"
+            );
+            assert!(a.contains("contain: quarantined AD"), "{a}");
+            // Containment is complete: nothing violates afterwards.
+            assert!(
+                a.contains(
+                    "0 flows violating after containment (policy-legal reconvergence: true)"
+                ),
+                "{a}"
+            );
+            // The full causal chain is visible with real event ids.
+            assert!(a.contains("causal chain: misbehavior-inject #"), "{a}");
+            assert!(a.contains("-> monitor-alarm #"), "{a}");
+            assert!(a.contains("-> quarantine-enter #"), "{a}");
+            // Deterministic.
+            assert_eq!(a, run(&format!("audit {scenario}")).unwrap());
+        }
+    }
+
+    #[test]
+    fn audit_json_reports_the_full_lifecycle() {
+        let line = "audit quickstart --json";
+        let a = run(line).unwrap();
+        assert!(
+            a.starts_with("{\"audit\":{\"scenario\":\"quickstart\""),
+            "{a}"
+        );
+        for field in [
+            "\"rogue\":\"AD",
+            "\"model\":\"forged-ack\"",
+            "\"violating_before\":",
+            "\"detection\":{\"detector\":\"policy-violation\",\"tick\":1,",
+            "\"quarantine\":{\"entered\":1,",
+            "\"violating_after\":0",
+            "\"reconverged_legal\":true",
+            "\"quarantine_entered\":1",
+            "\"detection_latency_ticks\":",
+        ] {
+            assert!(a.contains(field), "missing {field}: {a}");
+        }
+        assert_eq!(a, run(line).unwrap());
+    }
+
+    #[test]
+    fn audit_rejects_contradictory_and_malformed_usage() {
+        // Bare `audit` falls into structural mode, which needs --topo.
+        assert!(run("audit").unwrap_err().0.contains("--topo"));
+        assert!(run("audit bogus")
+            .unwrap_err()
+            .0
+            .contains("unknown audit scenario"));
+        assert!(run("audit a b").unwrap_err().0.contains("exactly one"));
+        // Structural flags contradict scenario mode.
+        assert!(run("audit quickstart --topo x")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+        assert!(run("audit quickstart --tree true")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn audit_trace_exports_are_byte_identical_across_runs() {
+        let f1 = tmp("audit-a.jsonl");
+        let f2 = tmp("audit-b.jsonl");
+        run(&format!("audit quickstart --trace {f1}")).unwrap();
+        run(&format!("audit quickstart --trace {f2}")).unwrap();
+        let ta = fs::read(&f1).unwrap();
+        let tb = fs::read(&f2).unwrap();
+        assert!(!ta.is_empty());
+        assert_eq!(ta, tb, "identically-seeded audit traces must match");
+        let text = String::from_utf8(ta).unwrap();
+        assert!(text.contains("\"kind\":\"misbehavior-inject\""), "{text}");
+        assert!(text.contains("\"kind\":\"monitor-alarm\""), "{text}");
+        assert!(text.contains("\"kind\":\"quarantine-enter\""), "{text}");
+        assert!(text.contains("\"kind\":\"setup-repair\""), "{text}");
+    }
+
+    #[test]
+    fn chaos_byzantine_detects_and_contains_the_rogue() {
+        let line = "chaos --ads 30 --seed 11 --duration 250 --loss 0.05 --flows 20 --byzantine";
+        let a = run(line).unwrap();
+        assert!(a.contains("byzantine: forged-ack at AD"), "{a}");
+        assert!(a.contains("detected: policy-violation tripwire"), "{a}");
+        assert!(a.contains("violating flows after containment: 0"), "{a}");
+        assert_eq!(a, run(line).unwrap());
+        // The byzantine phase rides on top of an unchanged fault sweep.
+        let plain = run("chaos --ads 30 --seed 11 --duration 250 --loss 0.05 --flows 20").unwrap();
+        for l in plain.lines() {
+            assert!(a.contains(l), "byzantine run lost line: {l}");
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_contradictory_flag_combinations() {
+        assert!(run("chaos --byzantine route-leak")
+            .unwrap_err()
+            .0
+            .contains("forged-ack"));
+        assert!(run("chaos --byzantine bogus")
+            .unwrap_err()
+            .0
+            .contains("unknown misbehavior model"));
+        assert!(run("chaos --duration 0")
+            .unwrap_err()
+            .0
+            .contains("--duration"));
+        assert!(run("chaos --flows 0 --byzantine")
+            .unwrap_err()
+            .0
+            .contains("--flows"));
+        assert!(run("chaos --bogus 1")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+    }
+
+    #[test]
     fn report_covers_every_design_point() {
         let line = "report --ads 40 --seed 7 --flows 20";
         let txt = run(line).unwrap();
@@ -1268,6 +1779,12 @@ mod tests {
             "\"ad_msgs\":",
             "\"converge\":",
             "\"failure-response\":",
+            // The orwg point runs a byzantine containment drill: its
+            // quarantine lifecycle counters report even when zero.
+            "\"quarantine_entered\":",
+            "\"quarantine_lifted\":",
+            "\"false_positive\":",
+            "\"detection_latency_ticks\":",
         ] {
             assert!(a.contains(field), "missing {field}: {a}");
         }

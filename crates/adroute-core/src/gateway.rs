@@ -217,6 +217,40 @@ impl PolicyGateway {
         Ok(())
     }
 
+    /// Installs a handle for `setup` **without** consulting policy — the
+    /// forged-ack misbehavior. A rogue gateway acknowledges setups its
+    /// own policy should have rejected, admitting traffic its AD never
+    /// agreed to carry; the resulting forwarding-plane path then trips
+    /// the policy-violation monitor, since the ground-truth audit still
+    /// uses the honest policy. Only route position is checked (a gateway
+    /// not on the route cannot even name its prev/next hops).
+    pub fn force_install(&mut self, setup: &SetupPacket) -> Result<(), SetupError> {
+        if !self.up {
+            self.stats.setups_rejected += 1;
+            return Err(SetupError::GatewayDown { ad: self.ad });
+        }
+        let Some(pos) = setup.route.iter().position(|&a| a == self.ad) else {
+            self.stats.setups_rejected += 1;
+            return Err(SetupError::NotOnRoute);
+        };
+        if pos == 0 || pos == setup.route.len() - 1 {
+            self.stats.setups_rejected += 1;
+            return Err(SetupError::NotOnRoute);
+        }
+        self.handles.insert(
+            setup.handle,
+            HandleEntry {
+                flow: setup.flow,
+                prev: setup.route[pos - 1],
+                next: setup.route[pos + 1],
+                pt: setup.claimed_pts.get(pos - 1).copied().flatten(),
+                epoch: self.epoch,
+            },
+        );
+        self.stats.setups_ok += 1;
+        Ok(())
+    }
+
     /// Forwards a data packet from cached state: returns the next AD.
     ///
     /// `arrived_from` is the AD the packet physically came from; it must

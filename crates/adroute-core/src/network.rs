@@ -155,6 +155,14 @@ pub struct OrwgNetwork {
     pub repair_stats: RepairStats,
     setup_loss: Option<(f64, rand::rngs::SmallRng)>,
     view_maintenance: ViewMaintenance,
+    /// ADs whose gateways forge setup acks: they install handles without
+    /// consulting their own policy (see [`PolicyGateway::force_install`]),
+    /// so setups the AD should reject sail through and policy-violating
+    /// traffic flows — the ORWG byzantine misbehavior model.
+    rogue_gateways: Vec<AdId>,
+    /// ADs currently contained: every Route Server's selection carries
+    /// them in its avoid-set, so no synthesized route transits them.
+    quarantined: Vec<AdId>,
     /// Data-plane observability: typed events (route-setup open/ack/
     /// repair, view invalidation/delta application) plus metrics — the
     /// `"setup_latency_us"` and `"invalidation_fanout"` histograms. The
@@ -212,6 +220,8 @@ impl OrwgNetwork {
             repair_stats: RepairStats::default(),
             setup_loss: None,
             view_maintenance: ViewMaintenance::Incremental,
+            rogue_gateways: Vec::new(),
+            quarantined: Vec::new(),
             obs: Obs::disabled(),
             clock: SimTime::ZERO,
         }
@@ -250,6 +260,8 @@ impl OrwgNetwork {
             repair_stats: RepairStats::default(),
             setup_loss: None,
             view_maintenance: ViewMaintenance::Incremental,
+            rogue_gateways: Vec::new(),
+            quarantined: Vec::new(),
             obs: Obs::disabled(),
             clock: engine.now(),
         }
@@ -381,9 +393,15 @@ impl OrwgNetwork {
         for i in 1..setup.route.len().saturating_sub(1) {
             let ad = setup.route[i];
             // The gateway validates against the AD's *actual* policy —
-            // its own policy is always locally accurate.
+            // its own policy is always locally accurate. A rogue gateway
+            // skips the policy check entirely and forges the ack.
             validations += 1;
-            if let Err(e) = self.gateways[ad.index()].validate_setup(self.db.policy(ad), &setup) {
+            let verdict = if self.rogue_gateways.contains(&ad) {
+                self.gateways[ad.index()].force_install(&setup)
+            } else {
+                self.gateways[ad.index()].validate_setup(self.db.policy(ad), &setup)
+            };
+            if let Err(e) = verdict {
                 self.emit(
                     open_id,
                     EventRecord::RouteSetupNack {
@@ -813,6 +831,84 @@ impl OrwgNetwork {
         self.gateways[ad.index()].restart();
     }
 
+    /// Installs `policy` as its AD's *actual* policy **without**
+    /// reflooding — every Route Server keeps the stale published view.
+    /// This is misbehavior injection, not management: it models an AD
+    /// whose enforced policy diverges from what it advertises. Combined
+    /// with [`OrwgNetwork::set_rogue_gateways`] it is the ORWG analogue
+    /// of a route leak — the AD carries (and acks) traffic its real
+    /// policy forbids, detectable only on the forwarding plane.
+    pub fn set_covert_policy(&mut self, policy: TransitPolicy) {
+        self.db.set_policy(policy);
+    }
+
+    /// Marks each given AD's gateway as rogue: it forges setup acks
+    /// (installing handles without a policy check) until quarantined or
+    /// unmarked. Replaces any previous rogue set.
+    pub fn set_rogue_gateways(&mut self, ads: impl IntoIterator<Item = AdId>) {
+        self.rogue_gateways = ads.into_iter().collect();
+        self.rogue_gateways.sort();
+        self.rogue_gateways.dedup();
+    }
+
+    /// ADs currently marked rogue.
+    pub fn rogue_gateways(&self) -> &[AdId] {
+        &self.rogue_gateways
+    }
+
+    /// Contains a confirmed-misbehaving AD: every Route Server adds `ad`
+    /// to its avoid criteria (no future synthesis will transit it), and
+    /// every open flow currently transiting `ad` is torn down and queued
+    /// for repair, chained to `cause` (normally the quarantine-enter
+    /// event) so the repair span renders under the containment decision.
+    /// Returns the number of flows torn down — the immediate collateral
+    /// of the quarantine. Follow with [`OrwgNetwork::repair_pending`] to
+    /// reconverge the torn flows onto policy-legal alternates.
+    pub fn quarantine_ad(&mut self, ad: AdId, cause: Option<EventId>) -> usize {
+        if !self.quarantined.contains(&ad) {
+            self.quarantined.push(ad);
+            self.quarantined.sort();
+        }
+        let add = adroute_policy::AdSet::only([ad]);
+        for s in &mut self.servers {
+            let mut sel = s.selection().clone();
+            sel.avoid = sel.avoid.union(&add);
+            s.set_selection(sel);
+        }
+        let queued = self.pending_repair.len();
+        self.teardown_and_notify(|of| of.route[1..of.route.len().saturating_sub(1)].contains(&ad));
+        let torn = self.pending_repair.len() - queued;
+        self.set_pending_cause_from(queued, cause);
+        // Cached spare routes through the quarantined AD must go too:
+        // repair replays alternates through a raw setup walk, and a rogue
+        // gateway would forge the ack and reinstall the violating path.
+        let transits = |r: &PolicyRoute| r.path[1..r.path.len().saturating_sub(1)].contains(&ad);
+        for (of, _) in &mut self.pending_repair {
+            of.alternates.retain(|r| !transits(r));
+        }
+        for of in self.open_flows.values_mut() {
+            of.alternates.retain(|r| !transits(r));
+        }
+        torn
+    }
+
+    /// Releases `ad` from quarantine: every Route Server's avoid-set drops
+    /// it, so synthesis may transit it again. Does not unmark a rogue
+    /// gateway — a lifted-but-still-rogue AD will simply be re-detected.
+    pub fn lift_quarantine(&mut self, ad: AdId) {
+        self.quarantined.retain(|&q| q != ad);
+        for s in &mut self.servers {
+            let mut sel = s.selection().clone();
+            sel.avoid = sel.avoid.subtract(&[ad]);
+            s.set_selection(sel);
+        }
+    }
+
+    /// ADs currently under quarantine.
+    pub fn quarantined(&self) -> &[AdId] {
+        &self.quarantined
+    }
+
     /// Flows currently awaiting repair.
     pub fn pending_repair_count(&self) -> usize {
         self.pending_repair.len()
@@ -1066,6 +1162,50 @@ mod tests {
         let topo = ring(n);
         let db = PolicyDb::permissive(&topo);
         OrwgNetwork::converged(&topo, &db)
+    }
+
+    #[test]
+    fn rogue_gateway_forges_acks_and_quarantine_reconverges_legally() {
+        // Ring of 6; AD1's *actual* policy turns deny-all while every
+        // Route Server still holds the permissive view (stale flooding).
+        let topo = ring(6);
+        let db = PolicyDb::permissive(&topo);
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        net.enable_obs(256);
+        net.db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let flow = FlowSpec::best_effort(AdId(0), AdId(2));
+        // Honest gateway: the stale source synthesizes through AD1, and
+        // AD1's gateway rejects the setup against its actual policy.
+        assert_eq!(
+            net.open(&flow).unwrap_err(),
+            OpenError::Rejected(SetupError::PolicyDenied { ad: AdId(1) })
+        );
+        // Rogue gateway: the same setup sails through on a forged ack,
+        // and policy-violating traffic actually flows.
+        net.set_rogue_gateways([AdId(1)]);
+        let s = net.open(&flow).unwrap();
+        assert!(s.route.contains(&AdId(1)));
+        assert!(net
+            .policies()
+            .policy(AdId(1))
+            .evaluate(&flow, Some(AdId(0)), Some(AdId(2)))
+            .is_none());
+        net.send(s.handle).unwrap();
+        // Containment: quarantine tears the violating flow down and
+        // repair reconverges it onto the policy-legal long way around.
+        let torn = net.quarantine_ad(AdId(1), None);
+        assert_eq!(torn, 1);
+        assert_eq!(net.quarantined(), &[AdId(1)]);
+        let stats = net.repair_pending(3);
+        assert_eq!(stats.repaired_via_synthesis, 1);
+        assert_eq!(stats.failures, 0);
+        let of = net.open_flows.values().next().unwrap();
+        assert!(!of.route.contains(&AdId(1)), "still transits rogue AD");
+        assert_eq!(of.route, vec![AdId(0), AdId(5), AdId(4), AdId(3), AdId(2)]);
+        // Lifting restores the avoid-sets.
+        net.lift_quarantine(AdId(1));
+        assert!(net.quarantined().is_empty());
+        assert!(!net.server(AdId(0)).selection().avoid.contains(AdId(1)));
     }
 
     #[test]

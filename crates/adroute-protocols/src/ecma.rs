@@ -33,7 +33,7 @@
 use std::collections::HashMap;
 
 use adroute_policy::{FlowSpec, QosClass};
-use adroute_sim::{Ctx, Engine, EventRecord, Protocol};
+use adroute_sim::{Ctx, Engine, EventRecord, MisbehaviorModel, MisbehaviorSpec, Protocol};
 use adroute_topology::{AdId, AdRole, LinkId, PartialOrder, Topology};
 
 use crate::forwarding::DataPlane;
@@ -75,6 +75,12 @@ pub struct Ecma {
     pub ad_config: Vec<EcmaAdConfig>,
     /// Unreachable metric.
     pub infinity: u32,
+    /// Byzantine assignments. ECMA understands
+    /// [`MisbehaviorModel::UpDownViolation`]: the violator advertises its
+    /// valley-free (`any`) metric in the `alldown` slot and forwards
+    /// *marked* packets through the `any` table — breaking the global
+    /// up/down rule that makes the ordering loop-free and policy-safe.
+    pub misbehavior: MisbehaviorSpec,
 }
 
 impl Ecma {
@@ -95,6 +101,7 @@ impl Ecma {
             qos_classes: 1,
             ad_config,
             infinity: 1 << 20,
+            misbehavior: MisbehaviorSpec::default(),
         }
     }
 
@@ -243,7 +250,17 @@ impl Ecma {
                 }
                 let e = &r.table[dest_i * nq + qos as usize];
                 if e.any.0 < self.infinity || e.alldown.0 < self.infinity {
-                    entries.push((dest, qos, e.any.0, e.alldown.0));
+                    // An up/down violator claims its valley-free metric is
+                    // available even to marked packets, luring neighbors
+                    // into down-then-up routes through it.
+                    let alldown = if self.misbehavior.model_of(r.me)
+                        == Some(MisbehaviorModel::UpDownViolation)
+                    {
+                        e.any.0
+                    } else {
+                        e.alldown.0
+                    };
+                    entries.push((dest, qos, e.any.0, alldown));
                 }
             }
         }
@@ -404,7 +421,15 @@ impl DataPlane for Engine<Ecma> {
         let entry = self
             .router(at)
             .entry(flow.dst, flow.qos.0, proto.qos_classes);
-        let (metric, hop) = if *gone_down { entry.alldown } else { entry.any };
+        // An up/down violator backs its advertisement lie on the data
+        // plane: marked packets are forwarded through the unrestricted
+        // (valley-free) table, taking up hops they must not.
+        let violate = proto.misbehavior.model_of(at) == Some(MisbehaviorModel::UpDownViolation);
+        let (metric, hop) = if *gone_down && !violate {
+            entry.alldown
+        } else {
+            entry.any
+        };
         if metric >= proto.infinity {
             return None;
         }

@@ -240,6 +240,68 @@ pub fn score_flows<D: DataPlane>(
     score
 }
 
+/// One monitoring tick's worth of forwarding-plane probes: pushes every
+/// flow through the data plane and translates the outcomes into
+/// [`Observation`](adroute_sim::Observation)s for a
+/// [`MonitorBank`](adroute_sim::MonitorBank) — the protocol-agnostic glue
+/// between the four design-point data planes and the runtime safety
+/// monitors. The caller closes the tick with
+/// [`MonitorBank::end_tick`](adroute_sim::MonitorBank::end_tick).
+///
+/// Mapping:
+/// - delivered → [`Observation::Delivered`] with the policy violators
+///   from [`audit_path`] (the tripwire's evidence),
+/// - looped → [`Observation::Looped`] with the repeating cycle,
+/// - dropped → [`Observation::Blackholed`], `reachable` taken from the
+///   policy-legality oracle ([`legality::legal_route`]): a drop is only
+///   suspicious when a policy-legal route exists right now. A
+///   policy-honoring protocol refusing a policy-forbidden flow is thus
+///   never accused — the false-positive discipline the monitors.rs
+///   proptest battery enforces (each design point is paired with the
+///   policy regime it actually honors).
+pub fn observe_flows<D: DataPlane>(
+    dp: &mut D,
+    topo: &Topology,
+    db: &PolicyDb,
+    flows: &[FlowSpec],
+    bank: &mut adroute_sim::MonitorBank,
+) {
+    use adroute_sim::Observation;
+    for flow in flows {
+        match forward(dp, topo, flow) {
+            ForwardOutcome::Delivered { path } => {
+                let audit = audit_path(topo, db, flow, &path);
+                bank.observe(Observation::Delivered {
+                    src: flow.src,
+                    dst: flow.dst,
+                    violators: audit.violations,
+                });
+            }
+            ForwardOutcome::Loop { path } => {
+                // The cycle is the suffix starting at the first visit of
+                // the revisited AD (budget-exhaustion "loops" degrade to
+                // the whole path).
+                let last = *path.last().expect("loop path is never empty");
+                let start = path.iter().position(|&a| a == last).unwrap_or(0);
+                bank.observe(Observation::Looped {
+                    src: flow.src,
+                    dst: flow.dst,
+                    cycle: path[start..path.len() - 1].to_vec(),
+                });
+            }
+            ForwardOutcome::NoRoute { path } => {
+                let at = *path.last().expect("drop path is never empty");
+                bank.observe(Observation::Blackholed {
+                    src: flow.src,
+                    dst: flow.dst,
+                    at,
+                    reachable: legality::legal_route(topo, db, flow).is_some(),
+                });
+            }
+        }
+    }
+}
+
 /// Generates a deterministic sample of distinct-endpoint best-effort flows.
 pub fn sample_flows(topo: &Topology, count: usize, seed: u64) -> Vec<FlowSpec> {
     use rand::rngs::SmallRng;

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 
 use adroute_policy::{legality, FlowSpec, PolicyDb, TransitPolicy};
-use adroute_sim::{Ctx, Engine, Protocol};
+use adroute_sim::{Ctx, Engine, MisbehaviorModel, MisbehaviorSpec, Protocol};
 use adroute_topology::{AdId, AdLevel, LinkId, Topology};
 
 use crate::forwarding::DataPlane;
@@ -37,6 +37,14 @@ pub struct LsHbh {
     pub policies: PolicyDb,
     /// Hierarchy level per AD, advertised in LSAs.
     pub levels: Vec<AdLevel>,
+    /// Byzantine misbehavior assignments. An AD tagged
+    /// [`MisbehaviorModel::LsaReplay`] re-floods its *stale* stored copy
+    /// of another origin's LSA under an inflated sequence number whenever
+    /// a fresh one arrives — the classic replay-with-seq-abuse attack.
+    /// The origin's self-originated-LSA ghost rule is both the detection
+    /// signal (`ls_seq_jump`) and the cure (re-origination supersedes the
+    /// forgery everywhere).
+    pub misbehavior: MisbehaviorSpec,
 }
 
 impl LsHbh {
@@ -45,6 +53,7 @@ impl LsHbh {
         LsHbh {
             policies,
             levels: topo.ads().map(|a| a.level).collect(),
+            misbehavior: MisbehaviorSpec::default(),
         }
     }
 }
@@ -62,6 +71,11 @@ pub struct LsHbhRouter {
     fib: HashMap<FlowSpec, Option<AdId>>,
     /// Policy-constrained route computations performed (E5 measure).
     pub route_computations: u64,
+    /// Remaining LSA-replay forgeries this router may emit. Nonzero only
+    /// for ADs tagged [`MisbehaviorModel::LsaReplay`]; bounded because
+    /// every forgery provokes a higher-sequence re-origination from the
+    /// victim, so an unbounded replayer would never let flooding quiesce.
+    replay_budget: u32,
 }
 
 impl LsHbhRouter {
@@ -110,12 +124,14 @@ impl Protocol for LsHbh {
     type Msg = FloodMsg;
 
     fn make_router(&self, topo: &Topology, ad: AdId) -> LsHbhRouter {
+        let replayer = self.misbehavior.model_of(ad) == Some(MisbehaviorModel::LsaReplay);
         LsHbhRouter {
             me: ad,
             flooder: Flooder::new(ad, topo.num_ads()),
             view: None,
             fib: HashMap::new(),
             route_computations: 0,
+            replay_budget: if replayer { 4 } else { 0 },
         }
     }
 
@@ -133,10 +149,32 @@ impl Protocol for LsHbh {
         _link: LinkId,
         msg: FloodMsg,
     ) {
+        // A replayer captures its *stale* stored copy of the origin's LSA
+        // before the flooder overwrites it, then re-floods that stale
+        // content under an inflated sequence number so honest routers
+        // prefer the forgery over the genuine update.
+        let stale = if r.replay_budget > 0 && msg.origin != r.me {
+            r.flooder
+                .db
+                .get(msg.origin)
+                .filter(|old| old.seq < msg.seq && old.links != msg.links)
+                .cloned()
+        } else {
+            None
+        };
+        let incoming_seq = msg.seq;
         // The flooder emits its accept/duplicate record before forwarding
         // the LSA, so flood fan-out anchors to the acceptance in the
         // causal log.
         r.flooder.handle(ctx, from, msg);
+        if let Some(mut forged) = stale {
+            r.replay_budget -= 1;
+            forged.seq = incoming_seq + 7;
+            ctx.count("lsa_replay_forged", 1);
+            for (nbr, _) in ctx.neighbors() {
+                ctx.send(nbr, forged.clone());
+            }
+        }
     }
 
     fn on_link_event(
@@ -362,6 +400,35 @@ mod tests {
         assert!(e.stats.msgs_sent >= 6 * 5);
         assert!(e.stats.counter("flood_dup") > 0);
         assert!(e.stats.bytes_sent > 0);
+    }
+
+    #[test]
+    fn lsa_replayer_is_detected_and_superseded() {
+        let topo = ring(5);
+        let db = PolicyDb::permissive(&topo);
+        let mut proto = LsHbh::new(&topo, db);
+        proto.misbehavior = MisbehaviorSpec::single(AdId(2), MisbehaviorModel::LsaReplay);
+        let mut e = Engine::new(topo, proto);
+        e.run_to_quiescence();
+        // Fail a link: its endpoints re-originate, and the replayer at AD2
+        // re-floods its stale pre-failure copies under inflated sequence
+        // numbers.
+        let l = e.topo().link_between(AdId(0), AdId(1)).unwrap();
+        let t = e.now().plus_us(1000);
+        e.schedule_link_change(l, false, t);
+        e.run_to_quiescence();
+        assert!(e.stats.counter("lsa_replay_forged") > 0, "never forged");
+        // Detection: the victim's ghost rule fires on its own forged LSA.
+        assert!(e.stats.counter("ls_seq_jump") > 0, "replay undetected");
+        // Self-healing: the bounded replayer loses — every database ends
+        // with AD0's genuine post-failure adjacency list (one link left).
+        let truth = e.topo().clone();
+        for ad in truth.ad_ids() {
+            let lsa = e.router(ad).flooder.db.get(AdId(0)).unwrap();
+            assert_eq!(lsa.links.len(), 1, "stale ghost survives at {ad}");
+        }
+        let out = forward(&mut e, &truth, &FlowSpec::best_effort(AdId(0), AdId(2)));
+        assert!(out.delivered(), "{out:?}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use adroute_policy::FlowSpec;
-use adroute_sim::{Ctx, Engine, EventRecord, Protocol};
+use adroute_sim::{Ctx, Engine, EventRecord, MisbehaviorModel, MisbehaviorSpec, Protocol};
 use adroute_topology::{AdId, LinkId, Topology};
 
 use crate::forwarding::DataPlane;
@@ -34,6 +34,12 @@ pub struct NaiveDv {
     /// the connectivity they provide is wasted, which experiment E11
     /// quantifies.
     pub hierarchical_only: bool,
+    /// Byzantine assignments. DV understands two models:
+    /// [`MisbehaviorModel::DistanceFalsification`] (the AD advertises
+    /// distance 1 to *every* destination, attracting transit it cannot
+    /// serve) and [`MisbehaviorModel::Blackhole`] (honest advertisements,
+    /// but the data plane silently drops all through-traffic).
+    pub misbehavior: MisbehaviorSpec,
 }
 
 impl Default for NaiveDv {
@@ -42,6 +48,7 @@ impl Default for NaiveDv {
             infinity: 64,
             split_horizon: false,
             hierarchical_only: false,
+            misbehavior: MisbehaviorSpec::default(),
         }
     }
 }
@@ -131,12 +138,20 @@ impl NaiveDv {
     }
 
     fn advertise(&self, r: &DvRouter, ctx: &mut Ctx<'_, DvUpdate>) {
+        // A distance falsifier claims to be one hop from everything —
+        // split-horizon poisoning included, since the lie is strictly
+        // better than any honest poison.
+        let falsify =
+            self.misbehavior.model_of(r.me) == Some(MisbehaviorModel::DistanceFalsification);
         for (nbr, _) in self.peers(ctx) {
             let entries: Vec<(AdId, u32)> = r
                 .metric
                 .iter()
                 .enumerate()
                 .map(|(dest, &m)| {
+                    if falsify && dest != r.me.index() {
+                        return (AdId(dest as u32), 1);
+                    }
                     let poisoned =
                         self.split_horizon && r.next_hop[dest] == Some(nbr) && dest != r.me.index();
                     (AdId(dest as u32), if poisoned { self.infinity } else { m })
@@ -231,6 +246,32 @@ impl Protocol for NaiveDv {
     }
 }
 
+/// Feeds every operational router's full distance table to the
+/// count-to-infinity watchdog as
+/// [`MetricSample`](adroute_sim::Observation::MetricSample)s — one
+/// monitoring tick's control-plane snapshot. Only the DV family exposes
+/// climbing metrics, so this feeder lives beside the protocol.
+pub fn observe_dv_metrics(engine: &Engine<NaiveDv>, bank: &mut adroute_sim::MonitorBank) {
+    let infinity = engine.protocol().infinity;
+    for ad in engine.topo().ad_ids() {
+        if !engine.router_is_up(ad) {
+            continue;
+        }
+        let r = engine.router(ad);
+        for (dest, &m) in r.metric.iter().enumerate() {
+            if dest == ad.index() {
+                continue;
+            }
+            bank.observe(adroute_sim::Observation::MetricSample {
+                at: ad,
+                dst: AdId(dest as u32),
+                metric: m,
+                infinity,
+            });
+        }
+    }
+}
+
 impl DataPlane for Engine<NaiveDv> {
     type Mark = ();
 
@@ -241,6 +282,18 @@ impl DataPlane for Engine<NaiveDv> {
         _prev: Option<AdId>,
         _mark: &mut (),
     ) -> Option<AdId> {
+        let mis = self.protocol().misbehavior.model_of(at);
+        // A blackholer (and a distance falsifier, which attracted transit
+        // it has no real route for) drops everything not addressed to it.
+        if at != flow.dst
+            && at != flow.src
+            && matches!(
+                mis,
+                Some(MisbehaviorModel::Blackhole) | Some(MisbehaviorModel::DistanceFalsification)
+            )
+        {
+            return None;
+        }
         self.router(at).next_hop[flow.dst.index()]
     }
 }
@@ -425,6 +478,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn distance_falsifier_attracts_and_drops_transit() {
+        // Ring of 6: honest 0->3 is 3 hops either way. A falsifier at 1
+        // claims distance 1 to everything, so 0 prefers 0->1->...(lie).
+        let dv = NaiveDv {
+            misbehavior: MisbehaviorSpec::single(AdId(1), MisbehaviorModel::DistanceFalsification),
+            ..NaiveDv::default()
+        };
+        let mut e = Engine::new(ring(6), dv);
+        e.run_to_quiescence();
+        assert_eq!(e.router(AdId(0)).next_hop[3], Some(AdId(1)));
+        assert_eq!(e.router(AdId(0)).metric[3], 2, "lured by the lie");
+        let topo = e.topo().clone();
+        let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(3)));
+        assert!(
+            matches!(out, ForwardOutcome::NoRoute { .. }),
+            "attracted transit is dropped: {out:?}"
+        );
+        // Traffic *to* the falsifier still arrives (it serves itself).
+        let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(1)));
+        assert!(out.delivered());
+    }
+
+    #[test]
+    fn blackholer_advertises_honestly_but_drops() {
+        let dv = NaiveDv {
+            misbehavior: MisbehaviorSpec::single(AdId(2), MisbehaviorModel::Blackhole),
+            ..NaiveDv::default()
+        };
+        let mut e = Engine::new(line(5), dv);
+        e.run_to_quiescence();
+        // Advertisements are honest: 0 still sees the true metric.
+        assert_eq!(e.router(AdId(0)).metric[4], 4);
+        let topo = e.topo().clone();
+        let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(4)));
+        assert!(matches!(out, ForwardOutcome::NoRoute { .. }));
+        // The blackholer's own flows and flows to it are unaffected.
+        assert!(forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(2))).delivered());
+        assert!(forward(&mut e, &topo, &FlowSpec::best_effort(AdId(2), AdId(4))).delivered());
     }
 
     #[test]

@@ -38,7 +38,7 @@ use adroute_policy::{
     AdSet, FlowSpec, PolicyAction, PolicyCondition, PolicyDb, QosClass, TimeOfDay, TransitPolicy,
     UserClass,
 };
-use adroute_sim::{Ctx, Engine, EventRecord, Protocol};
+use adroute_sim::{Ctx, Engine, EventRecord, MisbehaviorModel, MisbehaviorSpec, Protocol};
 use adroute_topology::{AdId, LinkId, Topology};
 
 use crate::forwarding::DataPlane;
@@ -128,6 +128,12 @@ pub struct PathVector {
     /// change, the router waits this long (coalescing further changes)
     /// before advertising. 0 disables batching (advertise immediately).
     pub mrai_us: u64,
+    /// Byzantine assignments. Path vector understands
+    /// [`MisbehaviorModel::RouteLeak`]: the leaker re-advertises its
+    /// entire loc-RIB to every neighbor with wildcard attributes,
+    /// bypassing the offerings conversion of its own `TransitPolicy` —
+    /// the classic transit route leak.
+    pub misbehavior: MisbehaviorSpec,
 }
 
 impl PathVector {
@@ -139,6 +145,7 @@ impl PathVector {
             max_routes_per_dest: 32,
             eval_time: TimeOfDay::NOON,
             mrai_us: 2_000,
+            misbehavior: MisbehaviorSpec::default(),
         }
     }
 
@@ -332,6 +339,7 @@ impl PathVector {
 
     fn advertise(&self, r: &PvRouter, ctx: &mut Ctx<'_, PvUpdate>) {
         let policy = self.policies.policy(r.me);
+        let leaking = self.misbehavior.model_of(r.me) == Some(MisbehaviorModel::RouteLeak);
         for (nbr, _) in ctx.neighbors() {
             let mut routes: Vec<PvRoute> = Vec::new();
             // Own-origin route: reaching us is not transit; always offered.
@@ -347,6 +355,18 @@ impl PathVector {
             for route in &r.loc_rib {
                 if route.path.contains(&nbr) {
                     continue; // receiver would loop-reject; save the bytes
+                }
+                if leaking {
+                    // Route leak: every known route goes to every neighbor
+                    // with wildcard attributes — the offerings conversion
+                    // (our own policy!) is bypassed entirely.
+                    per_dest.entry(route.dest).or_default().push(PvRoute {
+                        dest: route.dest,
+                        path: route.path.clone(),
+                        attrs: PvAttrs::any(),
+                        cost: route.cost,
+                    });
+                    continue;
                 }
                 let next = route.path[0];
                 for off in offerings(policy, route.dest, nbr, next, self.eval_time) {
@@ -601,6 +621,32 @@ mod tests {
         // 0 -> 1 (AD1 as endpoint) still works.
         let out = forward(&mut e, &topo, &FlowSpec::best_effort(AdId(0), AdId(1)));
         assert!(out.delivered());
+    }
+
+    #[test]
+    fn route_leaker_readvertises_against_its_own_policy() {
+        use adroute_sim::{MisbehaviorModel, MisbehaviorSpec};
+        // Same topology as deny_all_transit_is_never_advertised_through,
+        // but AD1 now *leaks*: it advertises the transit route its own
+        // policy forbids, so 0->3 is delivered — in violation.
+        let topo = line(4);
+        let mut db = PolicyDb::permissive(&topo);
+        db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let mut pv = PathVector::idrp(db.clone());
+        pv.misbehavior = MisbehaviorSpec::single(AdId(1), MisbehaviorModel::RouteLeak);
+        let mut e = converge(topo, pv);
+        let topo = e.topo().clone();
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let out = forward(&mut e, &topo, &f);
+        let ForwardOutcome::Delivered { path } = &out else {
+            panic!("leak should open the forbidden route: {out:?}")
+        };
+        let audit = audit_path(&topo, &db, &f, path);
+        assert_eq!(
+            audit.violations,
+            vec![AdId(1)],
+            "the tripwire evidence names the leaker"
+        );
     }
 
     #[test]

@@ -588,6 +588,14 @@ impl<P: Protocol> Engine<P> {
         self.emit(None, rec)
     }
 
+    /// [`Engine::note`] with an explicit causal parent — for externally
+    /// produced events that belong to an existing span (e.g. per-AD
+    /// misbehavior injections under their fault plan, monitor alarms
+    /// under the injection they detected).
+    pub fn note_caused(&mut self, cause: Option<EventId>, rec: EventRecord) -> Option<EventId> {
+        self.emit(cause, rec)
+    }
+
     /// Marks the start of a named measurement phase in both the stats
     /// (see [`Stats::begin_phase`]) and the event stream.
     pub fn begin_phase(&mut self, name: &'static str) {

@@ -39,6 +39,7 @@ use adroute_topology::{AdId, Topology};
 
 use crate::engine::{Engine, Protocol};
 use crate::event::SimTime;
+use crate::obs::EventId;
 use crate::schedule::{FailureModel, FailureSchedule};
 
 /// Per-message channel fault probabilities. All default to zero; a default
@@ -132,6 +133,139 @@ pub struct FaultSpec {
     pub crash_model: Option<CrashModel>,
     /// Channel fault probabilities (None = perfect channel).
     pub channel: Option<ChannelFaults>,
+    /// Byzantine per-AD misbehavior assignments (empty = everyone honest).
+    pub misbehavior: MisbehaviorSpec,
+}
+
+/// One model of active AD misbehavior — the byzantine counterpart of the
+/// crash/loss faults above. Each model maps onto the design point whose
+/// trust assumptions it violates (Section 4 of the paper): hop-by-hop
+/// schemes trust *advertisements*, the ORWG trusts *setup acknowledgments*.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MisbehaviorModel {
+    /// path_vector: the AD re-advertises every route it knows to every
+    /// neighbor with wildcard attributes, bypassing its own
+    /// `TransitPolicy` offerings — the classic transit route leak.
+    RouteLeak,
+    /// naive_dv: the AD advertises distance 1 to every destination,
+    /// attracting traffic it has no business carrying.
+    DistanceFalsification,
+    /// naive_dv: the AD advertises honestly but silently drops every
+    /// transit packet on the data plane.
+    Blackhole,
+    /// linkstate/ls_hbh: the AD re-floods stale self-describing LSAs for
+    /// other origins with abused (inflated) sequence numbers.
+    LsaReplay,
+    /// ecma: the AD advertises its up/down-rule-restricted (`alldown`)
+    /// metric as equal to its unrestricted metric and forwards marked
+    /// packets through the unrestricted table — violating the up/down
+    /// rule that keeps hierarchical routing policy-safe.
+    UpDownViolation,
+    /// ORWG data plane: the AD's Policy Gateway acknowledges setups its
+    /// own policy forbids, installing handles it should have refused.
+    ForgedAck,
+}
+
+impl MisbehaviorModel {
+    /// Every model, in a stable order (CLI listings, experiment sweeps).
+    pub const ALL: [MisbehaviorModel; 6] = [
+        MisbehaviorModel::RouteLeak,
+        MisbehaviorModel::DistanceFalsification,
+        MisbehaviorModel::Blackhole,
+        MisbehaviorModel::LsaReplay,
+        MisbehaviorModel::UpDownViolation,
+        MisbehaviorModel::ForgedAck,
+    ];
+
+    /// Stable machine-readable tag (event records, CLI `--byzantine`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MisbehaviorModel::RouteLeak => "route-leak",
+            MisbehaviorModel::DistanceFalsification => "distance-falsification",
+            MisbehaviorModel::Blackhole => "blackhole",
+            MisbehaviorModel::LsaReplay => "lsa-replay",
+            MisbehaviorModel::UpDownViolation => "up-down-violation",
+            MisbehaviorModel::ForgedAck => "forged-ack",
+        }
+    }
+
+    /// Parses a [`MisbehaviorModel::tag`] back to the model.
+    pub fn parse(s: &str) -> Option<MisbehaviorModel> {
+        MisbehaviorModel::ALL.into_iter().find(|m| m.tag() == s)
+    }
+}
+
+/// Per-AD misbehavior assignments, the byzantine half of a [`FaultSpec`].
+///
+/// The spec is protocol-agnostic: it records *which* ADs misbehave *how*;
+/// each protocol engine (and the ORWG network) interprets the assignments
+/// it understands and ignores the rest, so one spec drives the same
+/// scenario across all four design points.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MisbehaviorSpec {
+    assignments: Vec<(AdId, MisbehaviorModel)>,
+}
+
+impl MisbehaviorSpec {
+    /// A single misbehaving AD.
+    pub fn single(ad: AdId, model: MisbehaviorModel) -> MisbehaviorSpec {
+        MisbehaviorSpec {
+            assignments: vec![(ad, model)],
+        }
+    }
+
+    /// Adds (or replaces) `ad`'s assignment, builder-style.
+    pub fn assign(mut self, ad: AdId, model: MisbehaviorModel) -> MisbehaviorSpec {
+        self.assignments.retain(|(a, _)| *a != ad);
+        self.assignments.push((ad, model));
+        self.assignments.sort_by_key(|(a, _)| *a);
+        self
+    }
+
+    /// The model assigned to `ad`, if any.
+    pub fn model_of(&self, ad: AdId) -> Option<MisbehaviorModel> {
+        self.assignments
+            .iter()
+            .find(|(a, _)| *a == ad)
+            .map(|(_, m)| *m)
+    }
+
+    /// All assignments, sorted by AD.
+    pub fn assignments(&self) -> &[(AdId, MisbehaviorModel)] {
+        &self.assignments
+    }
+
+    /// ADs assigned `model`, in AD order.
+    pub fn ads_with(&self, model: MisbehaviorModel) -> impl Iterator<Item = AdId> + '_ {
+        self.assignments
+            .iter()
+            .filter(move |(_, m)| *m == model)
+            .map(|(a, _)| *a)
+    }
+
+    /// Whether nobody misbehaves.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Deterministically picks `count` distinct *transit-capable* ADs
+    /// (degree ≥ 2 — a stub cannot leak or blackhole through-traffic)
+    /// and assigns each `model`. Falls back to any AD when the topology
+    /// has too few transits.
+    pub fn draw(topo: &Topology, model: MisbehaviorModel, count: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut transit: Vec<AdId> = topo.ad_ids().filter(|ad| topo.degree(*ad) >= 2).collect();
+        if transit.len() < count {
+            transit = topo.ad_ids().collect();
+        }
+        let mut spec = MisbehaviorSpec::default();
+        for _ in 0..count.min(transit.len()) {
+            let i = rng.gen_range(0..transit.len());
+            let ad = transit.swap_remove(i);
+            spec = spec.assign(ad, model);
+        }
+        spec
+    }
 }
 
 /// A concrete, deterministic fault scenario over a time horizon: link
@@ -142,6 +276,7 @@ pub struct FaultPlan {
     links: FailureSchedule,
     outages: Vec<RouterOutage>,
     channel: Option<ChannelFaults>,
+    misbehavior: MisbehaviorSpec,
     horizon_end: SimTime,
     heal: bool,
 }
@@ -174,6 +309,7 @@ impl FaultPlan {
             links,
             outages,
             channel,
+            misbehavior: spec.misbehavior.clone(),
             horizon_end: end,
             heal: true,
         }
@@ -193,9 +329,21 @@ impl FaultPlan {
             links,
             outages,
             channel,
+            misbehavior: MisbehaviorSpec::default(),
             horizon_end,
             heal,
         }
+    }
+
+    /// Attaches byzantine assignments to a hand-built plan, builder-style.
+    pub fn with_misbehavior(mut self, spec: MisbehaviorSpec) -> FaultPlan {
+        self.misbehavior = spec;
+        self
+    }
+
+    /// The byzantine per-AD assignments (empty = everyone honest).
+    pub fn misbehavior(&self) -> &MisbehaviorSpec {
+        &self.misbehavior
     }
 
     /// The link churn component.
@@ -221,7 +369,10 @@ impl FaultPlan {
 
     /// Whether the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.links.is_empty() && self.outages.is_empty() && self.channel.is_none()
+        self.links.is_empty()
+            && self.outages.is_empty()
+            && self.channel.is_none()
+            && self.misbehavior.is_empty()
     }
 
     /// Queues every fault into the engine and installs the channel fault
@@ -229,9 +380,16 @@ impl FaultPlan {
     /// schedule leaves down and a resynchronization sweep (a link-up
     /// re-fire on every operational link) 1 ms past the horizon.
     ///
+    /// Byzantine assignments are *noted* (one `misbehavior-inject` record
+    /// per misbehaving AD, child of the plan record) but not enacted —
+    /// the engine is protocol-generic, so the caller wires the same
+    /// [`MisbehaviorSpec`] into its protocol's violator hooks. The
+    /// returned per-AD event ids are the causal roots detection alarms
+    /// chain to.
+    ///
     /// # Panics
     /// Panics if any event lies in the engine's past.
-    pub fn apply<P: Protocol>(&self, engine: &mut Engine<P>) {
+    pub fn apply<P: Protocol>(&self, engine: &mut Engine<P>) -> Vec<(AdId, Option<EventId>)> {
         // The plan record is the causal root of every fault it schedules:
         // span trees rooted here separate injected chaos from the
         // protocol reactions it provokes.
@@ -240,6 +398,21 @@ impl FaultPlan {
             outages: self.outages.len() as u64,
             lossy: self.channel.is_some(),
         });
+        let roots: Vec<(AdId, Option<EventId>)> = self
+            .misbehavior
+            .assignments()
+            .iter()
+            .map(|(ad, model)| {
+                let id = engine.note_caused(
+                    plan_id,
+                    crate::obs::EventRecord::MisbehaviorInject {
+                        ad: *ad,
+                        model: model.tag(),
+                    },
+                );
+                (*ad, id)
+            })
+            .collect();
         // Final scheduled state per link: starts from current topology,
         // then follows the plan's events.
         let mut final_up: Vec<bool> = engine.topo().links().map(|l| l.up).collect();
@@ -267,6 +440,7 @@ impl FaultPlan {
                 }
             }
         }
+        roots
     }
 }
 
@@ -330,7 +504,32 @@ mod tests {
                 seed: 11,
                 ..ChannelFaults::default()
             }),
+            misbehavior: MisbehaviorSpec::default(),
         }
+    }
+
+    #[test]
+    fn misbehavior_spec_assignment_and_draw() {
+        let topo = ring(8);
+        let spec = MisbehaviorSpec::single(AdId(3), MisbehaviorModel::RouteLeak)
+            .assign(AdId(5), MisbehaviorModel::Blackhole)
+            .assign(AdId(3), MisbehaviorModel::ForgedAck);
+        assert_eq!(spec.model_of(AdId(3)), Some(MisbehaviorModel::ForgedAck));
+        assert_eq!(spec.model_of(AdId(5)), Some(MisbehaviorModel::Blackhole));
+        assert_eq!(spec.model_of(AdId(0)), None);
+        assert_eq!(
+            spec.ads_with(MisbehaviorModel::Blackhole)
+                .collect::<Vec<_>>(),
+            vec![AdId(5)]
+        );
+        let a = MisbehaviorSpec::draw(&topo, MisbehaviorModel::RouteLeak, 2, 9);
+        let b = MisbehaviorSpec::draw(&topo, MisbehaviorModel::RouteLeak, 2, 9);
+        assert_eq!(a, b, "draws are deterministic");
+        assert_eq!(a.assignments().len(), 2);
+        for m in MisbehaviorModel::ALL {
+            assert_eq!(MisbehaviorModel::parse(m.tag()), Some(m));
+        }
+        assert_eq!(MisbehaviorModel::parse("nonsense"), None);
     }
 
     #[test]

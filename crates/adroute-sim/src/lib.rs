@@ -16,6 +16,7 @@
 pub mod engine;
 pub mod event;
 pub mod faults;
+pub mod monitor;
 pub mod obs;
 pub mod schedule;
 pub mod stats;
@@ -23,7 +24,11 @@ pub mod trace;
 
 pub use engine::{Ctx, Engine, Protocol};
 pub use event::SimTime;
-pub use faults::{ChannelFaults, CrashModel, FaultPlan, FaultSpec, RouterOutage};
+pub use faults::{
+    ChannelFaults, CrashModel, FaultPlan, FaultSpec, MisbehaviorModel, MisbehaviorSpec,
+    RouterOutage,
+};
+pub use monitor::{Alarm, MonitorBank, MonitorConfig, Observation, QuarantineController};
 pub use obs::causal::{CausalGraph, StormEntry};
 pub use obs::{
     EventId, EventLog, EventRecord, Histogram, LogComparison, LoggedEvent, MetricsRegistry, Obs,

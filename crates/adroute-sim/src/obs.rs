@@ -308,6 +308,36 @@ pub enum EventRecord {
         /// Servers that fell back to a full rebuild.
         fallbacks: u64,
     },
+    /// A byzantine misbehavior model armed on an AD (the causal root of
+    /// every alarm and quarantine the misbehavior later provokes).
+    MisbehaviorInject {
+        /// The misbehaving AD.
+        ad: AdId,
+        /// Model tag (see `MisbehaviorModel::tag`): `"route-leak"`,
+        /// `"blackhole"`, `"forged-ack"`, ….
+        model: &'static str,
+    },
+    /// A runtime safety monitor confirming a violation and naming a
+    /// suspect.
+    MonitorAlarm {
+        /// Detector tag: `"policy-violation"`, `"persistent-loop"`,
+        /// `"blackhole"`, or `"count-to-infinity"`.
+        detector: &'static str,
+        /// The AD the monitor holds responsible.
+        suspect: AdId,
+        /// Supporting observations accumulated before the alarm fired.
+        evidence: u64,
+    },
+    /// The quarantine controller excising an AD from route synthesis.
+    QuarantineEnter {
+        /// The quarantined AD.
+        ad: AdId,
+    },
+    /// A quarantine released (misbehavior ceased or was disproved).
+    QuarantineLift {
+        /// The released AD.
+        ad: AdId,
+    },
 }
 
 impl fmt::Display for EventRecord {
@@ -384,6 +414,19 @@ impl fmt::Display for EventRecord {
             ViewDeltaApply { mode, fallbacks } => {
                 write!(f, "view-delta mode={mode} fallbacks={fallbacks}")
             }
+            MisbehaviorInject { ad, model } => {
+                write!(f, "misbehavior-inject {ad} model={model}")
+            }
+            MonitorAlarm {
+                detector,
+                suspect,
+                evidence,
+            } => write!(
+                f,
+                "monitor-alarm {detector} suspect={suspect} evidence={evidence}"
+            ),
+            QuarantineEnter { ad } => write!(f, "quarantine-enter {ad}"),
+            QuarantineLift { ad } => write!(f, "quarantine-lift {ad}"),
         }
     }
 }
@@ -424,6 +467,10 @@ impl EventRecord {
             RouteSetupRepair { .. } => "setup-repair",
             ViewInvalidate { .. } => "view-invalidate",
             ViewDeltaApply { .. } => "view-delta",
+            MisbehaviorInject { .. } => "misbehavior-inject",
+            MonitorAlarm { .. } => "monitor-alarm",
+            QuarantineEnter { .. } => "quarantine-enter",
+            QuarantineLift { .. } => "quarantine-lift",
         }
     }
 
@@ -601,6 +648,29 @@ impl EventRecord {
                     json_escape(mode)
                 );
             }
+            MisbehaviorInject { ad, model } => {
+                let _ = write!(
+                    s,
+                    ",\"ad\":{},\"model\":\"{}\"",
+                    ad.index(),
+                    json_escape(model)
+                );
+            }
+            MonitorAlarm {
+                detector,
+                suspect,
+                evidence,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"detector\":\"{}\",\"suspect\":{},\"evidence\":{evidence}",
+                    json_escape(detector),
+                    suspect.index()
+                );
+            }
+            QuarantineEnter { ad } | QuarantineLift { ad } => {
+                let _ = write!(s, ",\"ad\":{}", ad.index());
+            }
         }
     }
 
@@ -642,6 +712,10 @@ impl EventRecord {
             | RouteSetupRetransmit { src, dst, .. }
             | RouteSetupRepair { src, dst, .. } => [Some(src), Some(dst)],
             ViewInvalidate { a, b, .. } => [Some(a), Some(b)],
+            MisbehaviorInject { ad, .. }
+            | MonitorAlarm { suspect: ad, .. }
+            | QuarantineEnter { ad }
+            | QuarantineLift { ad } => [Some(ad), None],
         }
     }
 

@@ -91,6 +91,7 @@ fn churny_engine<P: Protocol>(
             seed: seed ^ 0x33,
             ..ChannelFaults::default()
         }),
+        ..FaultSpec::default()
     };
     let plan = FaultPlan::draw(e.topo(), &spec, e.now(), 150);
     plan.apply(&mut e);

@@ -44,6 +44,7 @@ fn mixed_spec(seed: u64) -> FaultSpec {
             seed: seed ^ 0xC,
             ..ChannelFaults::default()
         }),
+        ..FaultSpec::default()
     }
 }
 

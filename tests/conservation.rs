@@ -52,6 +52,7 @@ fn full_spec(seed: u64) -> FaultSpec {
             seed: seed ^ 0x33,
             ..ChannelFaults::default()
         }),
+        ..FaultSpec::default()
     }
 }
 

@@ -203,6 +203,33 @@ fn golden_event_record_json() {
             r#"{"us":1500,"kind":"fault-plan","link_events":5,"outages":2,"lossy":true}"#,
             "fault-plan links=5 outages=2 lossy=true",
         ),
+        (
+            EventRecord::MisbehaviorInject {
+                ad: AdId(6),
+                model: "route-leak",
+            },
+            r#"{"us":1500,"kind":"misbehavior-inject","ad":6,"model":"route-leak"}"#,
+            "misbehavior-inject AD6 model=route-leak",
+        ),
+        (
+            EventRecord::MonitorAlarm {
+                detector: "policy-violation",
+                suspect: AdId(6),
+                evidence: 3,
+            },
+            r#"{"us":1500,"kind":"monitor-alarm","detector":"policy-violation","suspect":6,"evidence":3}"#,
+            "monitor-alarm policy-violation suspect=AD6 evidence=3",
+        ),
+        (
+            EventRecord::QuarantineEnter { ad: AdId(6) },
+            r#"{"us":1500,"kind":"quarantine-enter","ad":6}"#,
+            "quarantine-enter AD6",
+        ),
+        (
+            EventRecord::QuarantineLift { ad: AdId(6) },
+            r#"{"us":1500,"kind":"quarantine-lift","ad":6}"#,
+            "quarantine-lift AD6",
+        ),
     ];
     for (rec, json, display) in cases {
         assert_eq!(rec.to_json(at), json);

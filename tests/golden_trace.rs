@@ -6,10 +6,14 @@
 
 use adroute::core::{OrwgNetwork, OrwgProtocol};
 use adroute::policy::workload::PolicyWorkload;
-use adroute::policy::PolicyDb;
-use adroute::protocols::forwarding::sample_flows;
-use adroute::sim::Engine;
-use adroute::topology::{HierarchyConfig, LinkId, Topology};
+use adroute::policy::{PolicyDb, TransitPolicy};
+use adroute::protocols::forwarding::{audit_path, sample_flows};
+use adroute::sim::{
+    Engine, EventRecord, MisbehaviorModel, MonitorBank, MonitorConfig, Observation,
+    QuarantineController, SimTime,
+};
+use adroute::topology::{AdId, HierarchyConfig, LinkId, Topology};
+use std::collections::BTreeMap;
 use std::fs;
 
 fn golden_path(name: &str) -> String {
@@ -92,6 +96,79 @@ fn e7b_export() -> String {
     net.obs.log.export_jsonl()
 }
 
+/// Byzantine audit scenario (the CLI's `audit quickstart` lifecycle): the
+/// busiest transit AD on the Figure-1 internet turns rogue with forged
+/// acks, the policy tripwire detects it, quarantine tears its flows down,
+/// and repair reconverges — exported as the data-plane event stream with
+/// the full misbehavior-inject → monitor-alarm → quarantine-enter chain.
+fn audit_quickstart_export() -> String {
+    let seed = 1990u64;
+    let topo = HierarchyConfig::figure1().generate();
+    let db = PolicyWorkload::structural(seed).generate(&topo);
+    let mut net = OrwgNetwork::converged(&topo, &db);
+    net.enable_obs(1 << 14);
+    for f in &sample_flows(&topo, 40, seed) {
+        let _ = net.open_repairable(f);
+    }
+    // The rogue is the AD carrying the most transit — maximal blast radius.
+    let mut transited: BTreeMap<AdId, usize> = BTreeMap::new();
+    for (_, of) in net.open_flows() {
+        for ad in of
+            .route
+            .iter()
+            .skip(1)
+            .take(of.route.len().saturating_sub(2))
+        {
+            *transited.entry(*ad).or_default() += 1;
+        }
+    }
+    let rogue = *transited
+        .iter()
+        .max_by_key(|&(ad, n)| (n, std::cmp::Reverse(ad.index())))
+        .expect("some flow transits an AD")
+        .0;
+    net.set_covert_policy(TransitPolicy::deny_all(rogue));
+    net.set_rogue_gateways([rogue]);
+    let inject = net.obs.record_event(
+        SimTime::ZERO,
+        None,
+        EventRecord::MisbehaviorInject {
+            ad: rogue,
+            model: MisbehaviorModel::ForgedAck.tag(),
+        },
+    );
+    for f in &sample_flows(&topo, 10, seed ^ 0x5a) {
+        let _ = net.open_repairable(f);
+    }
+    let mut bank = MonitorBank::new(MonitorConfig::default());
+    bank.set_injection_roots(&[(rogue, inject)]);
+    let mut controller = QuarantineController::new(1);
+    'ticks: for _ in 0..6 {
+        let probes: Vec<Observation> = net
+            .open_flows()
+            .map(|(_, of)| Observation::Delivered {
+                src: of.flow.src,
+                dst: of.flow.dst,
+                violators: audit_path(net.topo(), net.policies(), &of.flow, &of.route).violations,
+            })
+            .collect();
+        for p in probes {
+            bank.observe(p);
+        }
+        for alarm in bank.end_tick(&mut net.obs, SimTime::ZERO) {
+            if let Some((ad, qev)) = controller.note_alarm(&alarm, &mut net.obs, SimTime::ZERO) {
+                let torn = net.quarantine_ad(ad, qev);
+                net.obs
+                    .metrics
+                    .record("quarantine_collateral_flows", torn as u64);
+                net.repair_pending(3);
+                break 'ticks;
+            }
+        }
+    }
+    net.obs.log.export_jsonl()
+}
+
 #[test]
 fn quickstart_trace_matches_golden_and_reruns_identically() {
     let a = quickstart_export();
@@ -119,4 +196,16 @@ fn e7b_trace_matches_golden_and_reruns_identically() {
     assert!(a.contains("\"kind\":\"view-delta\""));
     assert!(a.contains("\"kind\":\"setup-repair\""));
     check_golden("e7b_trace.jsonl", &a);
+}
+
+#[test]
+fn audit_quickstart_trace_matches_golden_and_reruns_identically() {
+    let a = audit_quickstart_export();
+    let b = audit_quickstart_export();
+    assert_eq!(a, b, "identically-seeded runs must export identical traces");
+    assert!(a.contains("\"kind\":\"misbehavior-inject\""));
+    assert!(a.contains("\"kind\":\"monitor-alarm\""));
+    assert!(a.contains("\"kind\":\"quarantine-enter\""));
+    assert!(a.contains("\"kind\":\"setup-repair\""));
+    check_golden("audit_quickstart_trace.jsonl", &a);
 }

@@ -7,8 +7,8 @@ use std::fmt::Write as _;
 use std::fs;
 
 use adroute_core::{
-    OrwgNetwork, OrwgProtocol, PolicyImpact, RepairStats, SetupRetryPolicy, Strategy,
-    ViewMaintenance,
+    run_load_ramp, OrwgNetwork, OrwgProtocol, PolicyImpact, RepairStats, SetupRetryPolicy,
+    Strategy, StressConfig, StressReport, ViewMaintenance,
 };
 use adroute_policy::text::{format_policies, parse_policies, parse_policy};
 use adroute_policy::workload::PolicyWorkload;
@@ -18,7 +18,8 @@ use adroute_protocols::{ecma::Ecma, ls_hbh::LsHbh, naive_dv::NaiveDv, path_vecto
 use adroute_sim::{
     Alarm, CausalGraph, ChannelFaults, CrashModel, Engine, EventLog, EventRecord, FailureModel,
     FaultPlan, FaultSpec, MetricsRegistry, MisbehaviorModel, MisbehaviorSpec, MonitorBank,
-    MonitorConfig, Observation, Protocol, QuarantineController, SimTime, Stats,
+    MonitorConfig, Observation, OpenStorm, Protocol, QuarantineController, RouterOutage, SimTime,
+    Stats, StormPhase,
 };
 use adroute_topology::{analysis, io as topo_io, AdId, HierarchyConfig, LinkId, Topology};
 
@@ -72,6 +73,19 @@ COMMANDS:
                 run a fixed scenario and attribute its churn: the critical
                 path of causally-linked events that gated convergence, and
                 a per-root-cause storm report (--json for machines)
+  stress        <quickstart|e9b> [--json --trace FILE]
+                drive an open-request load ramp across the Route Servers'
+                saturation point: admission queues defer, the brownout
+                ladder degrades synthesis (full -> cached -> stored),
+                overflow is shed with NACK + retry-after, clients retry
+                under a deadline budget, and a mid-peak Route Server
+                crash fails over to its warm standby (--json for
+                machines, --trace exports the event stream)
+  bench         [--json --out FILE]
+                wall-clock the overload-serving path on the quickstart
+                storm (no crash) and report opens/sec, setup-wait
+                p50/p99, and the shed rate (--json emits the
+                BENCH_serve.json schema)
   help          this text
 ";
 
@@ -1458,6 +1472,316 @@ pub fn trace(args: &Args) -> Result<String, CliError> {
     emit(&jsonl, args.opt("out"))
 }
 
+/// One `stress` scenario: a topology, the storm seed, and the ramp's
+/// phase schedule. Service costs are fixed by [`stress_run`], so the
+/// schedule is what positions each phase relative to saturation.
+struct StressScenario {
+    topo: Topology,
+    seed: u64,
+    phases: Vec<StormPhase>,
+}
+
+/// Resolves a `stress` scenario name.
+///
+/// Both ramps cross the Route Servers' full-rung saturation point
+/// (~166 opens/s per AD under [`stress_run`]'s service costs) in their
+/// second phase and the stored-rung ceiling (~1666 opens/s per AD) in
+/// their last, so the report shows the whole brownout ladder plus
+/// shedding.
+fn stress_scenario(name: &str) -> Result<StressScenario, CliError> {
+    fn ramp(duration_ms: u64, rates: [u64; 4]) -> Vec<StormPhase> {
+        rates
+            .iter()
+            .map(|&opens_per_sec| StormPhase {
+                duration_ms,
+                opens_per_sec,
+            })
+            .collect()
+    }
+    match name {
+        "quickstart" => Ok(StressScenario {
+            topo: HierarchyConfig::figure1().generate(),
+            seed: 1990,
+            phases: ramp(50, [2_000, 8_000, 20_000, 64_000]),
+        }),
+        "e9b" => Ok(StressScenario {
+            topo: HierarchyConfig {
+                lateral_prob: 0.25,
+                bypass_prob: 0.1,
+                multihome_prob: 0.2,
+                ..HierarchyConfig::with_approx_size(120, 23)
+            }
+            .generate(),
+            seed: 23,
+            phases: ramp(100, [6_000, 25_000, 70_000, 200_000]),
+        }),
+        other => bail(format!(
+            "unknown stress scenario '{other}'; scenarios: quickstart, e9b"
+        )),
+    }
+}
+
+/// The AD whose Route Server the stress crash targets: the storm's
+/// busiest source (ties to the lowest id), so the outage lands where the
+/// admission queue is deepest.
+fn busiest_src(storm: &OpenStorm, n_ads: usize) -> AdId {
+    let mut counts = vec![0u64; n_ads];
+    for a in storm.arrivals() {
+        counts[a.src.index()] += 1;
+    }
+    let mut best = 0usize;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > counts[best] {
+            best = i;
+        }
+    }
+    AdId(best as u32)
+}
+
+/// Draws a scenario's storm and runs the load ramp, returning the
+/// network (for its event log and metrics) with the report.
+///
+/// Service costs are inflated relative to the event-loop defaults so the
+/// schedules above straddle saturation on a ~30-AD internet: full
+/// synthesis 6 ms, a cached answer 1.2 ms, a stored-only answer 0.6 ms.
+/// With `crash`, the busiest source AD's Route Server goes down a
+/// quarter into the peak phase and its warm standby takes over 20 ms
+/// later.
+fn stress_run(sc: &StressScenario, crash: bool) -> (OrwgNetwork, StressReport) {
+    let db = PolicyWorkload::structural(sc.seed).generate(&sc.topo);
+    let mut net = OrwgNetwork::converged(&sc.topo, &db);
+    net.enable_obs(1 << 18);
+    let storm = OpenStorm::draw(&sc.topo, &sc.phases, SimTime::ZERO, sc.seed);
+    let durations_us: Vec<u64> = sc.phases.iter().map(|p| p.duration_ms * 1000).collect();
+    let cfg = StressConfig {
+        seed: sc.seed,
+        service_full_us: 6_000,
+        service_cached_us: 1_200,
+        service_stored_us: 600,
+        crash: crash.then(|| {
+            let peak_start: u64 = durations_us[..durations_us.len() - 1].iter().sum();
+            let down_at = SimTime(peak_start + durations_us[durations_us.len() - 1] / 4);
+            RouterOutage {
+                ad: busiest_src(&storm, sc.topo.num_ads()),
+                down_at,
+                up_at: down_at.plus_us(20_000),
+            }
+        }),
+        ..StressConfig::default()
+    };
+    let report = run_load_ramp(&mut net, &storm, &durations_us, &cfg);
+    (net, report)
+}
+
+/// `stress`: the E9b overload load ramp — admission control, the
+/// brownout ladder, NACK + retry-after shedding, deadline-budgeted
+/// client retries, and warm-standby Route Server failover, all on one
+/// deterministic seeded storm.
+pub fn stress(args: &Args) -> Result<String, CliError> {
+    args.known_with_positionals(&["json", "trace"])?;
+    let json = args.opt_parse("json", false)?;
+    let trace_path = args.opt("trace");
+    let scenario = args.positional_one("scenario")?.to_string();
+    let sc = stress_scenario(&scenario)?;
+    let (net, r) = stress_run(&sc, true);
+    let mut out = String::new();
+    if json {
+        let _ = write!(
+            out,
+            "{{\"stress\":{{\"scenario\":\"{scenario}\",\"ads\":{},\"links\":{},\"seed\":{},\
+             \"phases\":[",
+            sc.topo.num_ads(),
+            sc.topo.num_links(),
+            sc.seed
+        );
+        for (i, p) in r.phases.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"offered\":{},\"served\":{},\"served_full\":{},\"served_cached\":{},\
+                 \"served_stored\":{},\"shed\":{},\"abandoned\":{},\"no_route\":{},\
+                 \"failed\":{},\"duration_us\":{},\"goodput_per_sec\":{}}}",
+                if i == 0 { "" } else { "," },
+                p.offered,
+                p.served,
+                p.served_full,
+                p.served_cached,
+                p.served_stored,
+                p.shed,
+                p.abandoned,
+                p.no_route,
+                p.failed,
+                p.duration_us,
+                p.goodput_per_sec()
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"totals\":{{\"offered\":{},\"served\":{},\"shed\":{},\"abandoned\":{},\
+             \"no_route\":{},\"failed\":{},\"retries\":{}}},\
+             \"latency\":{{\"p50_wait_us\":{},\"p99_wait_us\":{}}},",
+            r.offered,
+            r.served,
+            r.shed,
+            r.abandoned,
+            r.no_route,
+            r.failed,
+            r.retries,
+            r.p50_wait_us,
+            r.p99_wait_us
+        );
+        match &r.failover {
+            Some(f) => {
+                let _ = write!(
+                    out,
+                    "\"failover\":{{\"ad\":\"{}\",\"crashed_at_us\":{},\"takeover_at_us\":{},\
+                     \"cancelled\":{},\"warmed\":{}}},",
+                    f.ad,
+                    f.crashed_at.as_us(),
+                    f.takeover_at.as_us(),
+                    f.cancelled,
+                    f.warmed
+                );
+            }
+            None => out.push_str("\"failover\":null,"),
+        }
+        match &r.chain {
+            Some(c) => {
+                let _ = write!(
+                    out,
+                    "\"chain\":{{\"shed\":{},\"retry\":{},\"admit\":{}}},",
+                    c.shed.0, c.retry.0, c.admit.0
+                );
+            }
+            None => out.push_str("\"chain\":null,"),
+        }
+        let _ = writeln!(out, "\"metrics\":{}}}}}", net.obs.metrics.to_json());
+    } else {
+        let _ = writeln!(
+            out,
+            "stress {scenario}: {} ADs, {} links, seed {}",
+            sc.topo.num_ads(),
+            sc.topo.num_links(),
+            sc.seed
+        );
+        let _ = writeln!(
+            out,
+            "phase  offered/s   offered   served     full   cached   stored     shed    aband \
+             no-route  goodput/s"
+        );
+        for (i, p) in r.phases.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>5}  {:>9}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {:>9}",
+                i + 1,
+                sc.phases[i].opens_per_sec,
+                p.offered,
+                p.served,
+                p.served_full,
+                p.served_cached,
+                p.served_stored,
+                p.shed,
+                p.abandoned,
+                p.no_route,
+                p.goodput_per_sec()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "totals: {} offered, {} served, {} shed NACKs (retry-after honored), \
+             {} abandoned, {} no-route, {} setup-failed, {} retries",
+            r.offered, r.served, r.shed, r.abandoned, r.no_route, r.failed, r.retries
+        );
+        let _ = writeln!(
+            out,
+            "latency: setup wait p50 {} us, p99 {} us",
+            r.p50_wait_us, r.p99_wait_us
+        );
+        if let Some(f) = &r.failover {
+            let _ = writeln!(
+                out,
+                "failover: {} Route Server crashed @{} us, warm standby took over @{} us: \
+                 {} queued opens cancelled (NACKed), {} cache entries warmed",
+                f.ad,
+                f.crashed_at.as_us(),
+                f.takeover_at.as_us(),
+                f.cancelled,
+                f.warmed
+            );
+        }
+        if let Some(c) = &r.chain {
+            let _ = writeln!(
+                out,
+                "causal chain: setup-shed #{} -> setup-retry #{} -> setup-admit #{} \
+                 (defer -> retry -> serve across the storm)",
+                c.shed.0, c.retry.0, c.admit.0
+            );
+        }
+    }
+    if let Some(path) = trace_path {
+        let jsonl = net.obs.log.export_jsonl();
+        fs::write(path, &jsonl)
+            .map_err(|e| CliError(format!("cannot write trace '{path}': {e}")))?;
+        let _ = writeln!(out, "trace: wrote {} bytes to {path}", jsonl.len());
+    }
+    Ok(out)
+}
+
+/// `bench`: wall-clock throughput of the overload-serving path on the
+/// quickstart storm (no crash, so the number measures serving, not
+/// failover). The simulated results are deterministic; only the
+/// wall-clock figures vary run to run.
+pub fn bench(args: &Args) -> Result<String, CliError> {
+    args.known(&["json", "out"])?;
+    let json = args.opt_parse("json", false)?;
+    let sc = stress_scenario("quickstart")?;
+    let t0 = std::time::Instant::now();
+    let (_net, r) = stress_run(&sc, false);
+    let wall = t0.elapsed();
+    let attempts = r.offered + r.retries;
+    let opens_per_sec = (attempts as f64 / wall.as_secs_f64().max(1e-9)) as u64;
+    let shed_rate = if attempts == 0 {
+        0.0
+    } else {
+        r.shed as f64 / attempts as f64
+    };
+    let mut out = String::new();
+    if json {
+        let _ = writeln!(
+            out,
+            "{{\"bench\":{{\"workload\":\"quickstart\",\"opens\":{},\"attempts\":{},\
+             \"served\":{},\"shed\":{},\"abandoned\":{},\"wall_ms\":{:.3},\
+             \"opens_per_sec\":{opens_per_sec},\"p50_setup_wait_us\":{},\
+             \"p99_setup_wait_us\":{},\"shed_rate\":{:.4}}}}}",
+            r.offered,
+            attempts,
+            r.served,
+            r.shed,
+            r.abandoned,
+            wall.as_secs_f64() * 1000.0,
+            r.p50_wait_us,
+            r.p99_wait_us,
+            shed_rate
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "bench quickstart: {} opens ({attempts} attempts)",
+            r.offered
+        );
+        let _ = writeln!(
+            out,
+            "wall: {:.3} ms ({opens_per_sec} opens/s processed)",
+            wall.as_secs_f64() * 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "setup wait: p50 {} us, p99 {} us; shed rate {:.4}",
+            r.p50_wait_us, r.p99_wait_us, shed_rate
+        );
+    }
+    emit(&out, args.opt("out"))
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
@@ -1470,6 +1794,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "report" => report(args),
         "trace" => trace(args),
         "blame" => blame(args),
+        "stress" => stress(args),
+        "bench" => bench(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => bail(format!("unknown command '{other}'; try `adroute help`")),
     }
@@ -1959,5 +2285,122 @@ mod tests {
         let text = run("gen-topo --ads 50 --seed 9").unwrap();
         let topo = adroute_topology::io::parse(&text).unwrap();
         assert!(topo.num_ads() >= 40);
+    }
+
+    #[test]
+    fn stress_quickstart_shows_the_ladder_sheds_and_fails_over() {
+        let line = "stress quickstart";
+        let a = run(line).unwrap();
+        assert!(a.contains("stress quickstart: "), "{a}");
+        // Shed opens get NACKs with retry-after, never silent drops.
+        assert!(a.contains("shed NACKs (retry-after honored)"), "{a}");
+        // The mid-peak crash recovers via warm-standby takeover.
+        assert!(a.contains("warm standby took over"), "{a}");
+        assert!(a.contains("cache entries warmed"), "{a}");
+        // A complete defer -> retry -> serve span survived the storm.
+        assert!(a.contains("causal chain: setup-shed #"), "{a}");
+        // Goodput is monotone non-collapsing past saturation: the last
+        // phase's goodput stays within 70% of the best earlier phase.
+        let goodputs: Vec<u64> = a
+            .lines()
+            .skip(2)
+            .take(4)
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(goodputs.len(), 4, "{a}");
+        let best_early = *goodputs[..3].iter().max().unwrap();
+        assert!(
+            goodputs[3] * 10 >= best_early * 7,
+            "goodput collapsed past saturation: {goodputs:?}\n{a}"
+        );
+        // Later phases lean on cheaper rungs: some opens serve stored.
+        let last = a.lines().nth(5).unwrap();
+        let cols: Vec<u64> = last
+            .split_whitespace()
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert!(cols[6] > 0, "peak phase never reached the stored rung: {a}");
+        // Identical seeds produce a byte-identical report.
+        assert_eq!(a, run(line).unwrap());
+    }
+
+    #[test]
+    fn stress_json_reports_phases_failover_and_chain() {
+        let line = "stress quickstart --json";
+        let a = run(line).unwrap();
+        for key in [
+            "\"stress\":{",
+            "\"phases\":[",
+            "\"goodput_per_sec\":",
+            "\"totals\":{",
+            "\"retries\":",
+            "\"failover\":{\"ad\":\"AD",
+            "\"warmed\":",
+            "\"chain\":{\"shed\":",
+            "\"metrics\":{",
+        ] {
+            assert!(a.contains(key), "missing {key}: {a}");
+        }
+        assert_eq!(a, run(line).unwrap());
+    }
+
+    #[test]
+    fn stress_rejects_unknown_scenarios_and_flags() {
+        assert!(run("stress bogus")
+            .unwrap_err()
+            .0
+            .contains("unknown stress scenario"));
+        assert!(run("stress").unwrap_err().0.contains("scenario"));
+        assert!(run("stress quickstart --out x")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn stress_trace_exports_are_byte_identical_across_runs() {
+        let f1 = tmp("stress-a.jsonl");
+        let f2 = tmp("stress-b.jsonl");
+        run(&format!("stress quickstart --trace {f1}")).unwrap();
+        run(&format!("stress quickstart --trace {f2}")).unwrap();
+        let ta = fs::read(&f1).unwrap();
+        let tb = fs::read(&f2).unwrap();
+        assert!(!ta.is_empty());
+        assert_eq!(ta, tb, "identically-seeded stress traces must match");
+        let text = String::from_utf8(ta).unwrap();
+        // The overload lifecycle is visible in the typed stream: defers,
+        // NACKs carrying retry-after, client retries, admits, and the
+        // Route Server crash/failover pair.
+        assert!(text.contains("\"kind\":\"setup-defer\""), "{text}");
+        assert!(text.contains("\"kind\":\"setup-shed\""));
+        assert!(text.contains("\"retry_after_us\":"));
+        assert!(text.contains("\"kind\":\"setup-retry\""));
+        assert!(text.contains("\"kind\":\"setup-admit\""));
+        assert!(text.contains("\"kind\":\"rs-crash\""));
+        assert!(text.contains("\"kind\":\"rs-failover\""));
+    }
+
+    #[test]
+    fn bench_emits_the_serve_schema() {
+        let f = tmp("bench-serve.json");
+        let msg = run(&format!("bench --json --out {f}")).unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let j = fs::read_to_string(&f).unwrap();
+        for key in [
+            "\"bench\":{",
+            "\"opens\":",
+            "\"opens_per_sec\":",
+            "\"p50_setup_wait_us\":",
+            "\"p99_setup_wait_us\":",
+            "\"shed_rate\":",
+        ] {
+            assert!(j.contains(key), "missing {key}: {j}");
+        }
+        let text = run("bench").unwrap();
+        assert!(text.contains("opens/s processed"), "{text}");
+        assert!(run("bench --trace x")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
     }
 }

@@ -293,6 +293,16 @@ impl PolicyGateway {
     pub fn invalidate(&mut self, mut doomed: impl FnMut(&HandleEntry) -> bool) {
         self.handles.retain(|_, e| !doomed(e));
     }
+
+    /// Drops every handle installed for `flow`, returning how many were
+    /// removed. This is the cancellation path for abandoned opens: a
+    /// client that gives up on its setup deadline must not leave
+    /// partially-installed state pinning cache slots along the route.
+    pub fn purge_flow(&mut self, flow: &FlowSpec) -> usize {
+        let before = self.handles.len();
+        self.handles.retain(|_, e| e.flow != *flow);
+        before - self.handles.len()
+    }
 }
 
 #[cfg(test)]
@@ -522,6 +532,32 @@ mod tests {
         assert_eq!(err, DataError::StaleHandle { at: AdId(1) });
         assert_eq!(pg.stats.stale_forwards, 1);
         assert_eq!(pg.stats.data_forwarded, 0);
+    }
+
+    #[test]
+    fn purge_flow_drops_only_matching_handles() {
+        let mut pg = PolicyGateway::new(AdId(1), 8);
+        let policy = TransitPolicy::permit_all(AdId(1));
+        let s = setup_pkt(vec![AdId(0), AdId(1), AdId(2)], vec![None]);
+        pg.validate_setup(&policy, &s).unwrap();
+        // A second flow through the same gateway under a different handle.
+        let mut other = setup_pkt(vec![AdId(3), AdId(1), AdId(2)], vec![None]);
+        other.handle = HandleId(9);
+        pg.validate_setup(&policy, &other).unwrap();
+        assert_eq!(pg.cached_handles(), 2);
+        assert_eq!(pg.purge_flow(&s.flow), 1);
+        assert_eq!(pg.cached_handles(), 1);
+        assert_eq!(pg.purge_flow(&s.flow), 0, "already purged");
+        // The other flow still forwards.
+        assert!(pg
+            .forward_data(
+                &DataPacket {
+                    handle: HandleId(9),
+                    src: AdId(3)
+                },
+                AdId(3)
+            )
+            .is_ok());
     }
 
     #[test]

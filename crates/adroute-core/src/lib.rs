@@ -33,6 +33,7 @@ pub mod gateway;
 pub mod lru;
 pub mod mgmt;
 pub mod network;
+pub mod overload;
 pub mod router;
 pub mod synthesis;
 pub mod traffic;
@@ -42,6 +43,11 @@ pub use dataplane::{DataPacket, HandleId, SetupPacket};
 pub use gateway::{DataError, PolicyGateway, SetupError};
 pub use mgmt::PolicyImpact;
 pub use network::{OrwgNetwork, RepairStats, SetupRetryPolicy, ViewMaintenance};
+pub use overload::{
+    run_load_ramp, AdmissionConfig, AdmissionController, AdmissionStats, AdmissionVerdict,
+    BrownoutRung, ExemplarChain, FailoverReport, PendingOpen, PhaseReport, RetryPolicy,
+    ServeOutcome, StressConfig, StressReport,
+};
 pub use router::OrwgProtocol;
 pub use synthesis::{PolicyRoute, RouteServer, Strategy, SynthStats, ViewDelta};
 pub use traffic::{run_traffic, TrafficModel, TrafficReport};

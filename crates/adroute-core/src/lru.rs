@@ -128,6 +128,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
         self.map.iter().map(|(k, (v, _))| (k, v))
     }
+
+    /// Iterates over entries least-recently-used first. The order is a
+    /// pure function of the access sequence, so snapshots taken from it
+    /// (e.g. a warm standby syncing a Route Server's cache) are
+    /// deterministic.
+    pub fn iter_recency(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.order.values().map(move |k| (k, &self.map[k].0))
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +222,19 @@ mod tests {
         assert_eq!(c.insert("a", 9), None, "re-insert evicts nothing");
         let mut zero = LruCache::new(0);
         assert_eq!(zero.insert("x", 1), None);
+    }
+
+    #[test]
+    fn iter_recency_is_lru_first() {
+        let mut c = LruCache::new(4);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        let _ = c.get(&"a"); // a is now the most recent
+        let keys: Vec<_> = c.iter_recency().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["b", "c", "a"]);
+        let again: Vec<_> = c.iter_recency().map(|(k, _)| *k).collect();
+        assert_eq!(keys, again, "iteration must not perturb recency");
     }
 
     #[test]

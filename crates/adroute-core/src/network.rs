@@ -10,6 +10,9 @@ use adroute_topology::{AdId, LinkId, TopoDelta, Topology};
 
 use crate::dataplane::{DataPacket, HandleId, SetupPacket};
 use crate::gateway::{DataError, PolicyGateway, SetupError};
+use crate::overload::{
+    AdmissionConfig, AdmissionController, AdmissionVerdict, BrownoutRung, PendingOpen, ServeOutcome,
+};
 use crate::router::OrwgProtocol;
 use crate::synthesis::{PolicyRoute, RouteServer, Strategy, SynthStats, ViewDelta};
 
@@ -163,6 +166,15 @@ pub struct OrwgNetwork {
     /// ADs currently contained: every Route Server's selection carries
     /// them in its avoid-set, so no synthesized route transits them.
     quarantined: Vec<AdId>,
+    /// Per-AD admission controllers fronting the Route Servers (the
+    /// overload layer's bounded open queues).
+    admission: Vec<AdmissionController>,
+    /// ADs whose Route Server is currently crashed: offers to them are
+    /// shed until standby takeover.
+    rs_down: Vec<AdId>,
+    /// Last warm-standby cache snapshot per AD (indexed by AD), replayed
+    /// into the server at failover.
+    standby: Vec<Vec<(FlowSpec, Option<PolicyRoute>)>>,
     /// Data-plane observability: typed events (route-setup open/ack/
     /// repair, view invalidation/delta application) plus metrics — the
     /// `"setup_latency_us"` and `"invalidation_fanout"` histograms. The
@@ -209,6 +221,11 @@ impl OrwgNetwork {
             .ad_ids()
             .map(|ad| PolicyGateway::new(ad, handle_capacity))
             .collect();
+        let admission = topo
+            .ad_ids()
+            .map(|_| AdmissionController::new(AdmissionConfig::default()))
+            .collect();
+        let standby = topo.ad_ids().map(|_| Vec::new()).collect();
         OrwgNetwork {
             topo: topo.clone(),
             db: db.clone(),
@@ -222,6 +239,9 @@ impl OrwgNetwork {
             view_maintenance: ViewMaintenance::Incremental,
             rogue_gateways: Vec::new(),
             quarantined: Vec::new(),
+            admission,
+            rs_down: Vec::new(),
+            standby,
             obs: Obs::disabled(),
             clock: SimTime::ZERO,
         }
@@ -249,6 +269,11 @@ impl OrwgNetwork {
             .ad_ids()
             .map(|ad| PolicyGateway::new(ad, handle_capacity))
             .collect();
+        let admission = topo
+            .ad_ids()
+            .map(|_| AdmissionController::new(AdmissionConfig::default()))
+            .collect();
+        let standby = topo.ad_ids().map(|_| Vec::new()).collect();
         OrwgNetwork {
             topo,
             db,
@@ -262,6 +287,9 @@ impl OrwgNetwork {
             view_maintenance: ViewMaintenance::Incremental,
             rogue_gateways: Vec::new(),
             quarantined: Vec::new(),
+            admission,
+            rs_down: Vec::new(),
+            standby,
             obs: Obs::disabled(),
             clock: engine.now(),
         }
@@ -402,6 +430,12 @@ impl OrwgNetwork {
                 self.gateways[ad.index()].validate_setup(self.db.policy(ad), &setup)
             };
             if let Err(e) = verdict {
+                // Roll back handles already installed at earlier transit
+                // ADs: a rejected setup must not leave partial state
+                // pinning cache slots upstream of the refusal.
+                for earlier in &setup.route[1..i] {
+                    self.gateways[earlier.index()].teardown(handle);
+                }
                 self.emit(
                     open_id,
                     EventRecord::RouteSetupNack {
@@ -914,6 +948,334 @@ impl OrwgNetwork {
         self.pending_repair.len()
     }
 
+    /// Sets the data-plane clock — the timestamp stamped on every emitted
+    /// event. External drivers (the stress harness) advance it as their
+    /// own event loop progresses.
+    pub fn set_clock(&mut self, t: SimTime) {
+        self.clock = t;
+    }
+
+    /// The current data-plane clock.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Installs `cfg` on every AD's admission controller. Queued opens
+    /// and counters are reset — call before a run, not during one.
+    pub fn set_admission(&mut self, cfg: AdmissionConfig) {
+        for a in &mut self.admission {
+            *a = AdmissionController::new(cfg);
+        }
+    }
+
+    /// The admission controller fronting `ad`'s Route Server.
+    pub fn admission(&self, ad: AdId) -> &AdmissionController {
+        &self.admission[ad.index()]
+    }
+
+    /// ADs whose Route Server is currently crashed.
+    pub fn rs_down(&self) -> &[AdId] {
+        &self.rs_down
+    }
+
+    /// Offers an open to the source AD's admission controller (stamped at
+    /// the network clock). A crashed Route Server or a full queue sheds
+    /// the open with an explicit NACK carrying a retry-after hint — never
+    /// a silent drop; otherwise the open queues for
+    /// [`OrwgNetwork::serve_next`], and the emitted setup-defer record
+    /// becomes its causal parent so the eventual admit chains to it.
+    pub fn offer_open(&mut self, open: PendingOpen) -> AdmissionVerdict {
+        let (src, dst) = (open.flow.src, open.flow.dst);
+        self.obs.metrics.add("opens_offered", 1);
+        if self.rs_down.contains(&src) {
+            let retry_after_us = self.admission[src.index()].config().retry_after_us;
+            self.obs.metrics.add("opens_shed", 1);
+            let event = self.emit(
+                open.cause,
+                EventRecord::SetupShed {
+                    src,
+                    dst,
+                    retry_after_us,
+                    depth: 0,
+                },
+            );
+            return AdmissionVerdict::Shed {
+                open,
+                retry_after_us,
+                event,
+            };
+        }
+        match self.admission[src.index()].offer(open) {
+            Ok(depth) => {
+                self.obs.metrics.add("opens_queued", 1);
+                self.obs.metrics.record("open_queue_depth", depth as u64);
+                let event = self.emit(
+                    open.cause,
+                    EventRecord::SetupDefer {
+                        src,
+                        dst,
+                        depth: depth as u64,
+                    },
+                );
+                if event.is_some() {
+                    self.admission[src.index()].set_back_cause(event);
+                }
+                AdmissionVerdict::Queued { depth, event }
+            }
+            Err(retry_after_us) => {
+                self.obs.metrics.add("opens_shed", 1);
+                let depth = self.admission[src.index()].depth() as u64;
+                let event = self.emit(
+                    open.cause,
+                    EventRecord::SetupShed {
+                        src,
+                        dst,
+                        retry_after_us,
+                        depth,
+                    },
+                );
+                AdmissionVerdict::Shed {
+                    open,
+                    retry_after_us,
+                    event,
+                }
+            }
+        }
+    }
+
+    /// Serves the head of `ad`'s admission queue on the rung the brownout
+    /// ladder currently selects. An open whose deadline passed while it
+    /// queued is cancelled unserved (no synthesis is paid for); a stored-
+    /// rung miss sheds mid-queue rather than searching. Every rung's
+    /// result honors the source's selection criteria — quarantine
+    /// avoid-sets hold even in degraded service, with an explicit
+    /// re-check on stored entries as belt and braces.
+    pub fn serve_next(&mut self, ad: AdId) -> Option<ServeOutcome> {
+        let now = self.clock;
+        let rung = self.admission[ad.index()].rung(now);
+        let open = self.admission[ad.index()].pop()?;
+        let (src, dst) = (open.flow.src, open.flow.dst);
+        if now >= open.deadline {
+            self.obs.metrics.add("opens_expired", 1);
+            self.obs.metrics.record(
+                "shed_latency_us",
+                now.as_us().saturating_sub(open.arrival.as_us()),
+            );
+            self.emit(
+                open.cause,
+                EventRecord::SetupAbandon {
+                    src,
+                    dst,
+                    attempts: u64::from(open.attempt) + 1,
+                },
+            );
+            return Some(ServeOutcome::Expired { open });
+        }
+        let waited = now.as_us().saturating_sub(open.offered_at.as_us());
+        self.obs.metrics.record("setup_wait_us", waited);
+        let flow = open.flow;
+        enum Synth {
+            Route(PolicyRoute, Vec<PolicyRoute>),
+            Miss,
+            NoRoute,
+        }
+        let synth = match rung {
+            BrownoutRung::Full => {
+                let mut alts = self.servers[ad.index()].alternatives(&flow, 3);
+                if alts.is_empty() {
+                    Synth::NoRoute
+                } else {
+                    let primary = alts.remove(0);
+                    Synth::Route(primary, alts)
+                }
+            }
+            BrownoutRung::Cached => match self.servers[ad.index()].request(&flow) {
+                Some(r) => Synth::Route(r, Vec::new()),
+                None => Synth::NoRoute,
+            },
+            BrownoutRung::Stored => match self.servers[ad.index()].stored_route(&flow) {
+                Some(Some(r)) => {
+                    let sel = self.servers[ad.index()].selection();
+                    if sel.accepts(&r.path, r.cost) {
+                        Synth::Route(r, Vec::new())
+                    } else {
+                        // A stored entry that predates a quarantine
+                        // widening must never be served; treat as a miss.
+                        Synth::Miss
+                    }
+                }
+                Some(None) => Synth::NoRoute,
+                None => Synth::Miss,
+            },
+        };
+        match synth {
+            Synth::Miss => {
+                let retry_after_us = self.admission[ad.index()].config().retry_after_us;
+                self.obs.metrics.add("opens_shed", 1);
+                let depth = self.admission[ad.index()].depth() as u64;
+                let event = self.emit(
+                    open.cause,
+                    EventRecord::SetupShed {
+                        src,
+                        dst,
+                        retry_after_us,
+                        depth,
+                    },
+                );
+                Some(ServeOutcome::Shed {
+                    open,
+                    retry_after_us,
+                    event,
+                })
+            }
+            Synth::NoRoute => {
+                self.obs.metrics.add("opens_no_route", 1);
+                Some(ServeOutcome::NoRoute { open, rung })
+            }
+            Synth::Route(primary, alts) => {
+                let admit = self.emit(
+                    open.cause,
+                    EventRecord::SetupAdmit {
+                        src,
+                        dst,
+                        rung: rung.tag(),
+                        waited_us: waited,
+                    },
+                );
+                let cause = admit.or(open.cause);
+                match self.setup_along(&flow, &primary, alts, cause) {
+                    Ok(setup) => {
+                        self.obs.metrics.add(
+                            match rung {
+                                BrownoutRung::Full => "opens_served_full",
+                                BrownoutRung::Cached => "opens_served_cached",
+                                BrownoutRung::Stored => "opens_served_stored",
+                            },
+                            1,
+                        );
+                        Some(ServeOutcome::Served {
+                            open,
+                            rung,
+                            setup,
+                            admit,
+                        })
+                    }
+                    Err(error) => {
+                        self.obs.metrics.add("opens_setup_failed", 1);
+                        Some(ServeOutcome::Failed { open, rung, error })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a client's retry decision (the setup-retry event, chained
+    /// to the shed that provoked it). Returns the event id so the retried
+    /// offer can chain onward — the defer→retry→serve span.
+    pub fn note_retry(
+        &mut self,
+        flow: &FlowSpec,
+        attempt: u32,
+        backoff_us: u64,
+        cause: Option<EventId>,
+    ) -> Option<EventId> {
+        self.obs.metrics.add("open_retries", 1);
+        self.emit(
+            cause,
+            EventRecord::SetupRetry {
+                src: flow.src,
+                dst: flow.dst,
+                attempt: u64::from(attempt),
+                backoff_us,
+            },
+        )
+    }
+
+    /// Records a client giving up on an open (deadline or attempt budget
+    /// exhausted) and cancels its in-flight work: any partial handle
+    /// state the abandoned attempts left at gateways is purged — unless
+    /// another arrival with the same flow spec holds an open route, which
+    /// must keep forwarding. Returns the number of handles purged.
+    pub fn abandon_open(
+        &mut self,
+        flow: &FlowSpec,
+        attempts: u64,
+        arrival: SimTime,
+        cause: Option<EventId>,
+    ) -> usize {
+        self.obs.metrics.add("opens_abandoned", 1);
+        self.obs.metrics.record(
+            "shed_latency_us",
+            self.clock.as_us().saturating_sub(arrival.as_us()),
+        );
+        self.emit(
+            cause,
+            EventRecord::SetupAbandon {
+                src: flow.src,
+                dst: flow.dst,
+                attempts,
+            },
+        );
+        if self.open_flows.values().any(|of| of.flow == *flow) {
+            return 0;
+        }
+        let mut purged = 0;
+        for g in &mut self.gateways {
+            purged += g.purge_flow(flow);
+        }
+        purged
+    }
+
+    /// Crashes `ad`'s Route Server: all soft synthesis state is lost, the
+    /// admission queue drains (its opens are handed back, cancelled, for
+    /// the clients' retry logic), and offers shed until
+    /// [`OrwgNetwork::failover_route_server`]. Returns the cancelled
+    /// opens plus the rs-crash event id (the causal parent for the
+    /// cancellations' retries).
+    pub fn crash_route_server(&mut self, ad: AdId) -> (Vec<PendingOpen>, Option<EventId>) {
+        if !self.rs_down.contains(&ad) {
+            self.rs_down.push(ad);
+            self.rs_down.sort();
+        }
+        self.servers[ad.index()].crash_soft_state();
+        let cancelled = self.admission[ad.index()].drain();
+        self.obs.metrics.add("rs_crashes", 1);
+        let id = self.emit(None, EventRecord::RsCrash { ad });
+        (cancelled, id)
+    }
+
+    /// Warm-standby takeover for `ad`'s crashed Route Server: the standby
+    /// rebuilds the precomputed table from the flooded view, then replays
+    /// its last cache snapshot — each entry revalidated against the
+    /// current view and selection, so the takeover respects quarantines
+    /// declared since the sync. Returns the number of warmed entries.
+    pub fn failover_route_server(&mut self, ad: AdId) -> usize {
+        self.rs_down.retain(|&d| d != ad);
+        self.servers[ad.index()].rebuild_soft_state();
+        let snap = std::mem::take(&mut self.standby[ad.index()]);
+        let warmed = self.servers[ad.index()].warm_cache(&snap);
+        self.standby[ad.index()] = snap;
+        self.obs.metrics.add("rs_failovers", 1);
+        self.emit(
+            None,
+            EventRecord::RsFailover {
+                ad,
+                warmed: warmed as u64,
+            },
+        );
+        warmed
+    }
+
+    /// Snapshots `ad`'s route cache into its warm standby (the periodic
+    /// sync a deployment would run over the AD's internal network).
+    /// Returns the snapshot size.
+    pub fn standby_sync(&mut self, ad: AdId) -> usize {
+        let snap = self.servers[ad.index()].cache_snapshot();
+        let n = snap.len();
+        self.standby[ad.index()] = snap;
+        n
+    }
+
     /// Attempts to restore every flow whose route a fault tore down.
     ///
     /// For each pending flow the source first replays its cached alternate
@@ -1162,6 +1524,275 @@ mod tests {
         let topo = ring(n);
         let db = PolicyDb::permissive(&topo);
         OrwgNetwork::converged(&topo, &db)
+    }
+
+    fn pending(flow: FlowSpec, at: SimTime) -> PendingOpen {
+        PendingOpen {
+            flow,
+            offered_at: at,
+            arrival: at,
+            deadline: at.plus_us(100_000),
+            attempt: 0,
+            phase: 0,
+            cause: None,
+        }
+    }
+
+    #[test]
+    fn offer_queue_serve_emits_defer_admit_chain() {
+        let mut net = permissive(6);
+        net.enable_obs(64);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        net.set_clock(SimTime(100));
+        let AdmissionVerdict::Queued { depth, event } = net.offer_open(pending(flow, SimTime(100)))
+        else {
+            panic!("an empty queue must admit");
+        };
+        assert_eq!(depth, 1);
+        let defer_id = event.expect("log enabled");
+        net.set_clock(SimTime(200));
+        let Some(ServeOutcome::Served {
+            rung,
+            setup,
+            admit,
+            open,
+        }) = net.serve_next(AdId(0))
+        else {
+            panic!("queued open must serve");
+        };
+        assert_eq!(rung, BrownoutRung::Full, "idle server serves full");
+        assert_eq!(open.flow, flow);
+        assert!(!setup.route.is_empty());
+        let admit_id = admit.expect("log enabled");
+        // The admit chains to the defer: the wait span is causally linked.
+        let events: Vec<_> = net.obs.log.iter().collect();
+        let admit_ev = events.iter().find(|e| e.id == admit_id).unwrap();
+        assert_eq!(admit_ev.cause, Some(defer_id));
+        assert_eq!(net.obs.metrics.counter("opens_served_full"), 1);
+        assert!(net.serve_next(AdId(0)).is_none(), "queue is drained");
+    }
+
+    #[test]
+    fn full_queue_sheds_with_retry_after_nack() {
+        let mut net = permissive(6);
+        net.enable_obs(64);
+        net.set_admission(AdmissionConfig {
+            queue_capacity: 1,
+            ..AdmissionConfig::default()
+        });
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        assert!(matches!(
+            net.offer_open(pending(flow, SimTime::ZERO)),
+            AdmissionVerdict::Queued { .. }
+        ));
+        let AdmissionVerdict::Shed {
+            retry_after_us,
+            event,
+            ..
+        } = net.offer_open(pending(flow, SimTime::ZERO))
+        else {
+            panic!("a full queue must shed");
+        };
+        assert_eq!(retry_after_us, AdmissionConfig::default().retry_after_us);
+        assert!(event.is_some(), "shed is an explicit NACK, never silent");
+        assert_eq!(net.obs.metrics.counter("opens_shed"), 1);
+    }
+
+    #[test]
+    fn deep_queue_degrades_to_cheaper_rungs() {
+        let mut net = permissive(6);
+        net.set_admission(AdmissionConfig {
+            queue_capacity: 64,
+            full_depth: 1,
+            cached_depth: 2,
+            age_watermark_us: 1_000_000,
+            retry_after_us: 10_000,
+        });
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        // Warm the cache so the stored rung has something to serve.
+        let _ = net.synthesize(&flow);
+        for _ in 0..3 {
+            assert!(matches!(
+                net.offer_open(pending(flow, SimTime::ZERO)),
+                AdmissionVerdict::Queued { .. }
+            ));
+        }
+        // Depth 3 > cached_depth: stored rung (cache hit, no search).
+        let searches = net.total_searches();
+        let Some(ServeOutcome::Served { rung, .. }) = net.serve_next(AdId(0)) else {
+            panic!("stored rung must serve the cached flow");
+        };
+        assert_eq!(rung, BrownoutRung::Stored);
+        assert_eq!(net.total_searches(), searches, "stored rung never searches");
+        // Depth 2: cached rung.
+        let Some(ServeOutcome::Served { rung, .. }) = net.serve_next(AdId(0)) else {
+            panic!("cached rung must serve");
+        };
+        assert_eq!(rung, BrownoutRung::Cached);
+        // Depth 1: full rung again.
+        let Some(ServeOutcome::Served { rung, .. }) = net.serve_next(AdId(0)) else {
+            panic!("full rung must serve");
+        };
+        assert_eq!(rung, BrownoutRung::Full);
+    }
+
+    #[test]
+    fn stored_rung_miss_sheds_instead_of_searching() {
+        let mut net = permissive(6);
+        net.set_admission(AdmissionConfig {
+            queue_capacity: 64,
+            full_depth: 0,
+            cached_depth: 0,
+            age_watermark_us: 1_000_000,
+            retry_after_us: 10_000,
+        });
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let _ = net.offer_open(pending(flow, SimTime::ZERO));
+        let searches = net.total_searches();
+        assert!(matches!(
+            net.serve_next(AdId(0)),
+            Some(ServeOutcome::Shed { .. })
+        ));
+        assert_eq!(net.total_searches(), searches);
+    }
+
+    #[test]
+    fn stored_rung_respects_quarantine() {
+        let mut net = permissive(6);
+        net.set_admission(AdmissionConfig {
+            queue_capacity: 64,
+            full_depth: 0,
+            cached_depth: 0,
+            age_watermark_us: 1_000_000,
+            retry_after_us: 10_000,
+        });
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let first = net.synthesize(&flow).unwrap();
+        assert!(first.path.contains(&AdId(1)) || first.path.contains(&AdId(2)));
+        // Quarantining a transit AD flushes stale cached routes; the
+        // stored rung must then either serve a legal detour or shed —
+        // never the quarantined path.
+        let transit = first.path[1];
+        net.quarantine_ad(transit, None);
+        let _ = net.offer_open(pending(flow, SimTime::ZERO));
+        match net.serve_next(AdId(0)) {
+            Some(ServeOutcome::Served { setup, .. }) => {
+                assert!(!setup.route.contains(&transit));
+            }
+            Some(ServeOutcome::Shed { .. }) => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_open_is_cancelled_unserved() {
+        let mut net = permissive(6);
+        net.enable_obs(64);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let mut open = pending(flow, SimTime::ZERO);
+        open.deadline = SimTime(50);
+        let _ = net.offer_open(open);
+        net.set_clock(SimTime(100));
+        let searches = net.total_searches();
+        assert!(matches!(
+            net.serve_next(AdId(0)),
+            Some(ServeOutcome::Expired { .. })
+        ));
+        assert_eq!(net.total_searches(), searches, "no synthesis paid");
+        assert_eq!(net.obs.metrics.counter("opens_expired"), 1);
+    }
+
+    #[test]
+    fn rs_crash_drains_queue_and_failover_warms_from_standby() {
+        let mut net = permissive(6);
+        net.enable_obs(128);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        // Build cache state and sync the standby.
+        let _ = net.synthesize(&flow);
+        assert_eq!(net.standby_sync(AdId(0)), 1);
+        // Queue an open, then crash mid-queue.
+        let _ = net.offer_open(pending(flow, SimTime::ZERO));
+        let (cancelled, crash_id) = net.crash_route_server(AdId(0));
+        assert_eq!(cancelled.len(), 1);
+        assert!(crash_id.is_some());
+        assert_eq!(net.rs_down(), &[AdId(0)]);
+        assert_eq!(net.server(AdId(0)).cached_len(), 0, "soft state lost");
+        // Offers while down shed.
+        assert!(matches!(
+            net.offer_open(pending(flow, SimTime(10))),
+            AdmissionVerdict::Shed { .. }
+        ));
+        // Takeover: precompute rebuilt, cache warmed from the snapshot.
+        let warmed = net.failover_route_server(AdId(0));
+        assert_eq!(warmed, 1);
+        assert!(net.rs_down().is_empty());
+        // Serve the post-failover open on the cached rung: the warmed
+        // entry must absorb it without a search.
+        net.set_admission(AdmissionConfig {
+            full_depth: 0,
+            ..AdmissionConfig::default()
+        });
+        let searches = net.total_searches();
+        let _ = net.offer_open(pending(flow, SimTime(20)));
+        let Some(ServeOutcome::Served { rung, .. }) = net.serve_next(AdId(0)) else {
+            panic!("post-failover open must serve");
+        };
+        assert_eq!(rung, BrownoutRung::Cached);
+        assert_eq!(
+            net.total_searches(),
+            searches,
+            "the warmed cache must absorb the post-failover open"
+        );
+    }
+
+    #[test]
+    fn failover_warm_cache_respects_quarantine_declared_after_sync() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let first = net.synthesize(&flow).unwrap();
+        let transit = first.path[1];
+        net.standby_sync(AdId(0));
+        let (_, _) = net.crash_route_server(AdId(0));
+        // Quarantine lands between sync and takeover.
+        net.quarantine_ad(transit, None);
+        let warmed = net.failover_route_server(AdId(0));
+        assert_eq!(warmed, 0, "snapshot entry through {transit:?} must drop");
+    }
+
+    #[test]
+    fn rejected_setup_rolls_back_partial_handles() {
+        // Ring of 6: route 0-1-2-3. AD1 validates and installs; AD2's
+        // actual policy then refuses. AD1 must not keep the handle.
+        let topo = ring(6);
+        let db = PolicyDb::permissive(&topo);
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        net.db.set_policy(TransitPolicy::deny_all(AdId(2)));
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let err = net.open(&flow).unwrap_err();
+        assert_eq!(
+            err,
+            OpenError::Rejected(SetupError::PolicyDenied { ad: AdId(2) })
+        );
+        assert_eq!(
+            net.gateway(AdId(1)).cached_handles(),
+            0,
+            "partial install must roll back"
+        );
+    }
+
+    #[test]
+    fn abandon_purges_partial_state_but_spares_live_flows() {
+        let mut net = permissive(6);
+        let flow = FlowSpec::best_effort(AdId(0), AdId(3));
+        let s = net.open(&flow).unwrap();
+        // Another client with the same flow spec abandons: the live
+        // flow's handles must survive.
+        assert_eq!(net.abandon_open(&flow, 3, SimTime::ZERO, None), 0);
+        assert!(net.send(s.handle).is_ok());
+        // After teardown nothing is live; purge clears stragglers.
+        net.teardown(s.handle);
+        assert_eq!(net.abandon_open(&flow, 3, SimTime::ZERO, None), 0);
+        assert_eq!(net.obs.metrics.counter("opens_abandoned"), 2);
     }
 
     #[test]

@@ -1,0 +1,883 @@
+//! Overload-robust route serving: admission control, the brownout ladder,
+//! deadline-budgeted client retries, and the stress-test driver.
+//!
+//! The paper names ORWG route synthesis as *the* open scaling problem —
+//! "precomputation of all policy routes in a large internet is
+//! computationally intractable, while on demand computation may introduce
+//! excessive latency at setup time". This module treats the Route Server
+//! as what it would be in deployment: a serving system that must survive
+//! an open storm. Three mechanisms compose:
+//!
+//! 1. **Admission control** ([`AdmissionController`]): each Route Server
+//!    fronts a bounded open queue. Beyond capacity, opens are *shed* with
+//!    an explicit NACK carrying a retry-after hint — never silently
+//!    dropped.
+//! 2. **Brownout ladder** ([`BrownoutRung`]): as queue depth and head age
+//!    cross watermarks, the server downgrades the work it performs per
+//!    open — full synthesis with spare routes, then cached-route fast
+//!    path, then stored-state-only (no search at all) — trading route
+//!    quality for throughput so goodput plateaus instead of collapsing.
+//!    Shedding is the ladder's fourth, implicit rung.
+//! 3. **Deadline-budgeted retries** ([`RetryPolicy`]): shed clients back
+//!    off exponentially with seeded jitter, honor the server's
+//!    retry-after, and abandon (cancelling any partial state) when the
+//!    next attempt could not land inside the setup deadline.
+//!
+//! A Route Server crash ([`crate::network::OrwgNetwork::crash_route_server`])
+//! drains the queue and loses all soft state; a warm standby that
+//! periodically snapshots the primary's route cache takes over by
+//! rebuilding the precomputed table from the flooded view and replaying
+//! the snapshot — revalidated entry by entry, so a takeover can never
+//! resurrect a route through a quarantined AD.
+//!
+//! [`run_load_ramp`] is the deterministic driver behind `adroute stress`
+//! and experiment E9b: a mini event loop over an
+//! [`OpenStorm`](adroute_sim::OpenStorm) arrival schedule, with per-AD
+//! service occupancy, an optional mid-storm Route Server outage (reusing
+//! [`RouterOutage`] from `sim::faults`), and causal defer→retry→serve
+//! chains in the event log.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use adroute_policy::FlowSpec;
+use adroute_sim::{EventId, RouterOutage, SimTime};
+use adroute_topology::AdId;
+
+use crate::network::{OpenError, OrwgNetwork, SetupOutcome};
+
+/// Watermarks and bounds for one Route Server's open queue.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum queued opens; offers beyond this are shed.
+    pub queue_capacity: usize,
+    /// Queue depth up to which the server still performs full synthesis
+    /// (with spare routes) per open.
+    pub full_depth: usize,
+    /// Queue depth up to which the server serves the cached-route fast
+    /// path; beyond it, stored-state only.
+    pub cached_depth: usize,
+    /// Head-of-queue age beyond which the server degrades one extra rung
+    /// (overload shows up as waiting even when the queue is short).
+    pub age_watermark_us: u64,
+    /// Retry-after hint attached to every shed NACK.
+    pub retry_after_us: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity: 64,
+            full_depth: 8,
+            cached_depth: 24,
+            age_watermark_us: 5_000,
+            retry_after_us: 10_000,
+        }
+    }
+}
+
+/// The serving rung the brownout ladder selects for one admitted open.
+/// Shedding — the fourth rung — happens at the admission edge and is
+/// represented by the NACK, not by a variant here.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BrownoutRung {
+    /// Full synthesis plus spare routes (the `open_repairable` quality).
+    Full,
+    /// Cached-route fast path: one search at most, no spares.
+    Cached,
+    /// Stored state only — precomputed table or cache hit; a miss sheds
+    /// rather than searching.
+    Stored,
+}
+
+impl BrownoutRung {
+    /// Short tag for event logs and report tables.
+    pub fn tag(self) -> &'static str {
+        match self {
+            BrownoutRung::Full => "full",
+            BrownoutRung::Cached => "cached",
+            BrownoutRung::Stored => "stored",
+        }
+    }
+
+    fn degrade(self) -> BrownoutRung {
+        match self {
+            BrownoutRung::Full => BrownoutRung::Cached,
+            BrownoutRung::Cached | BrownoutRung::Stored => BrownoutRung::Stored,
+        }
+    }
+}
+
+/// One open waiting in (or returned by) a Route Server's admission queue.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingOpen {
+    /// The traffic class to open.
+    pub flow: FlowSpec,
+    /// When this attempt was offered to the admission controller.
+    pub offered_at: SimTime,
+    /// When the client first asked (attempt 0) — shed latency is measured
+    /// from here.
+    pub arrival: SimTime,
+    /// The client's absolute setup deadline; an open still queued past it
+    /// is cancelled unserved.
+    pub deadline: SimTime,
+    /// Retry attempt number (0 = first offer).
+    pub attempt: u32,
+    /// Load-ramp phase the arrival belongs to (report attribution).
+    pub phase: usize,
+    /// Causal parent for the defer/admit events of this attempt.
+    pub cause: Option<EventId>,
+}
+
+/// Cumulative admission counters for one Route Server.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct AdmissionStats {
+    /// Opens offered.
+    pub offered: u64,
+    /// Opens queued (admitted to wait).
+    pub admitted: u64,
+    /// Opens shed at the admission edge.
+    pub shed: u64,
+}
+
+/// The bounded open queue fronting one Route Server.
+#[derive(Clone, Debug)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    queue: VecDeque<PendingOpen>,
+    /// Cumulative counters.
+    pub stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// A controller with the given watermarks.
+    pub fn new(cfg: AdmissionConfig) -> AdmissionController {
+        AdmissionController {
+            cfg,
+            queue: VecDeque::new(),
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// The configured watermarks.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Offers one open. `Ok(depth)` queues it and reports the depth after
+    /// enqueue; `Err(retry_after_us)` sheds it.
+    pub fn offer(&mut self, open: PendingOpen) -> Result<usize, u64> {
+        self.stats.offered += 1;
+        if self.queue.len() >= self.cfg.queue_capacity {
+            self.stats.shed += 1;
+            return Err(self.cfg.retry_after_us);
+        }
+        self.queue.push_back(open);
+        self.stats.admitted += 1;
+        Ok(self.queue.len())
+    }
+
+    /// The rung the ladder currently selects, from queue depth and
+    /// head-of-queue age at `now`.
+    pub fn rung(&self, now: SimTime) -> BrownoutRung {
+        let depth = self.queue.len();
+        let mut rung = if depth <= self.cfg.full_depth {
+            BrownoutRung::Full
+        } else if depth <= self.cfg.cached_depth {
+            BrownoutRung::Cached
+        } else {
+            BrownoutRung::Stored
+        };
+        if let Some(head) = self.queue.front() {
+            let age = now.as_us().saturating_sub(head.offered_at.as_us());
+            if age > self.cfg.age_watermark_us {
+                rung = rung.degrade();
+            }
+        }
+        rung
+    }
+
+    /// Rewrites the causal parent of the most recently queued open —
+    /// the setup-defer record is emitted *after* enqueue, and the
+    /// eventual admit must chain to it.
+    pub fn set_back_cause(&mut self, cause: Option<EventId>) {
+        if cause.is_some() {
+            if let Some(o) = self.queue.back_mut() {
+                o.cause = cause;
+            }
+        }
+    }
+
+    /// Pops the oldest queued open.
+    pub fn pop(&mut self) -> Option<PendingOpen> {
+        self.queue.pop_front()
+    }
+
+    /// Empties the queue (Route Server crash), returning the cancelled
+    /// opens oldest-first.
+    pub fn drain(&mut self) -> Vec<PendingOpen> {
+        self.queue.drain(..).collect()
+    }
+}
+
+/// Client-side retry behavior for shed opens: jittered exponential
+/// backoff, bounded by the setup deadline and an attempt cap, honoring
+/// the server's retry-after hint.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// First backoff, µs (doubles per attempt).
+    pub base_backoff_us: u64,
+    /// Backoff growth cap, µs.
+    pub max_backoff_us: u64,
+    /// Uniform jitter added on top, `[0, jitter_us)`, drawn from the
+    /// driver's seeded RNG in event order (deterministic).
+    pub jitter_us: u64,
+    /// Total attempts allowed (first offer included).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base_backoff_us: 2_000,
+            max_backoff_us: 64_000,
+            jitter_us: 1_000,
+            max_attempts: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before re-offering after attempt number `attempt` was
+    /// shed: the exponential backoff or the server's retry-after,
+    /// whichever is larger, plus `jitter` (already drawn, `< jitter_us`).
+    pub fn wait_us(&self, attempt: u32, retry_after_us: u64, jitter: u64) -> u64 {
+        let exp = self
+            .base_backoff_us
+            .saturating_mul(1 << attempt.min(16))
+            .min(self.max_backoff_us);
+        exp.max(retry_after_us) + jitter
+    }
+}
+
+/// What [`OrwgNetwork::offer_open`] decided at the admission edge.
+#[derive(Clone, Copy, Debug)]
+pub enum AdmissionVerdict {
+    /// Queued at the given depth; [`OrwgNetwork::serve_next`] will reach
+    /// it. `event` is the setup-defer record (causal parent of the
+    /// eventual admit).
+    Queued {
+        /// Queue depth after enqueue.
+        depth: usize,
+        /// The setup-defer event id, if the log is enabled.
+        event: Option<EventId>,
+    },
+    /// Shed with a NACK; the open is handed back for the client's retry
+    /// logic. `event` is the setup-shed record (causal parent of the
+    /// retry).
+    Shed {
+        /// The rejected open, returned to the client.
+        open: PendingOpen,
+        /// Server's retry-after hint.
+        retry_after_us: u64,
+        /// The setup-shed event id, if the log is enabled.
+        event: Option<EventId>,
+    },
+}
+
+/// What serving the head of an admission queue produced.
+#[derive(Clone, Debug)]
+pub enum ServeOutcome {
+    /// The open was served and the route installed.
+    Served {
+        /// The open that was served.
+        open: PendingOpen,
+        /// The rung it was served on.
+        rung: BrownoutRung,
+        /// The installed route's setup outcome.
+        setup: SetupOutcome,
+        /// The setup-admit event id (parent of the route-setup span).
+        admit: Option<EventId>,
+    },
+    /// The stored rung had nothing for this flow: shed mid-queue (the
+    /// server cannot afford a search), NACK with retry-after.
+    Shed {
+        /// The open handed back to the client.
+        open: PendingOpen,
+        /// Server's retry-after hint.
+        retry_after_us: u64,
+        /// The setup-shed event id.
+        event: Option<EventId>,
+    },
+    /// The view holds no legal route — an answer, not congestion.
+    NoRoute {
+        /// The answered open.
+        open: PendingOpen,
+        /// The rung that produced the answer.
+        rung: BrownoutRung,
+    },
+    /// The setup walk failed (dead link or refusing gateway).
+    Failed {
+        /// The failed open.
+        open: PendingOpen,
+        /// The rung that attempted it.
+        rung: BrownoutRung,
+        /// Why the walk failed.
+        error: OpenError,
+    },
+    /// The open's deadline passed while it queued: cancelled unserved,
+    /// before any synthesis was paid for.
+    Expired {
+        /// The cancelled open.
+        open: PendingOpen,
+    },
+}
+
+/// Configuration of one stress run (`adroute stress`, experiment E9b).
+#[derive(Clone, Debug)]
+pub struct StressConfig {
+    /// Per-open setup deadline, µs from first arrival.
+    pub deadline_us: u64,
+    /// Client retry behavior.
+    pub retry: RetryPolicy,
+    /// Server admission watermarks (installed on every AD).
+    pub admission: AdmissionConfig,
+    /// Seed for client-side retry jitter.
+    pub seed: u64,
+    /// Route Server service time for a full-rung open, µs.
+    pub service_full_us: u64,
+    /// Service time for a cached-rung open, µs.
+    pub service_cached_us: u64,
+    /// Service time for a stored-rung open (including a stored-miss
+    /// shed), µs.
+    pub service_stored_us: u64,
+    /// Optional mid-storm Route Server outage: `ad`'s server crashes at
+    /// `down_at` and its warm standby takes over at `up_at`.
+    pub crash: Option<RouterOutage>,
+    /// Warm-standby sync period, ms (0 disables sync; the takeover then
+    /// rebuilds from the flooded view alone).
+    pub standby_sync_ms: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> StressConfig {
+        StressConfig {
+            deadline_us: 200_000,
+            retry: RetryPolicy::default(),
+            admission: AdmissionConfig::default(),
+            seed: 0,
+            service_full_us: 400,
+            service_cached_us: 40,
+            service_stored_us: 20,
+            crash: None,
+            standby_sync_ms: 10,
+        }
+    }
+}
+
+/// Per-phase outcome counters of a stress run. An open's outcome is
+/// attributed to the phase of its *arrival*, however many retries later
+/// it resolved.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct PhaseReport {
+    /// First-attempt arrivals in this phase.
+    pub offered: u64,
+    /// Opens served (any rung).
+    pub served: u64,
+    /// Served on the full rung.
+    pub served_full: u64,
+    /// Served on the cached rung.
+    pub served_cached: u64,
+    /// Served on the stored rung.
+    pub served_stored: u64,
+    /// Shed NACKs issued (counts every shed attempt, so it can exceed
+    /// `offered`).
+    pub shed: u64,
+    /// Opens abandoned: deadline or attempt budget exhausted.
+    pub abandoned: u64,
+    /// Opens answered "no legal route".
+    pub no_route: u64,
+    /// Setup walks that failed (dead link / refusing gateway).
+    pub failed: u64,
+    /// Phase length, µs.
+    pub duration_us: u64,
+}
+
+impl PhaseReport {
+    /// Opens served per second of simulated time.
+    pub fn goodput_per_sec(&self) -> u64 {
+        (self.served * 1_000_000)
+            .checked_div(self.duration_us)
+            .unwrap_or(0)
+    }
+}
+
+/// The crash/failover timeline of a stress run.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverReport {
+    /// The AD whose Route Server crashed.
+    pub ad: AdId,
+    /// When it crashed.
+    pub crashed_at: SimTime,
+    /// When the standby took over.
+    pub takeover_at: SimTime,
+    /// Queued opens the crash cancelled (clients retried them).
+    pub cancelled: u64,
+    /// Cache entries the standby accepted from its last sync.
+    pub warmed: u64,
+}
+
+/// One shed→retry→admit causal chain, by event id, proving shed opens
+/// come back and get served (visible in `adroute stress --trace`).
+#[derive(Clone, Copy, Debug)]
+pub struct ExemplarChain {
+    /// The setup-shed NACK.
+    pub shed: EventId,
+    /// The client's retry decision.
+    pub retry: EventId,
+    /// The eventual admit that served the open.
+    pub admit: EventId,
+}
+
+/// Everything a stress run produced.
+#[derive(Clone, Debug)]
+pub struct StressReport {
+    /// Per-phase outcomes, in phase order.
+    pub phases: Vec<PhaseReport>,
+    /// Total first-attempt arrivals.
+    pub offered: u64,
+    /// Total opens served.
+    pub served: u64,
+    /// Total shed NACKs issued.
+    pub shed: u64,
+    /// Total opens abandoned.
+    pub abandoned: u64,
+    /// Total "no legal route" answers.
+    pub no_route: u64,
+    /// Total failed setup walks.
+    pub failed: u64,
+    /// Total retry attempts scheduled.
+    pub retries: u64,
+    /// Median queueing wait of admitted opens, µs.
+    pub p50_wait_us: u64,
+    /// 99th-percentile queueing wait, µs.
+    pub p99_wait_us: u64,
+    /// Crash/failover timeline, when the run had an outage.
+    pub failover: Option<FailoverReport>,
+    /// An exemplar defer→retry→serve chain, when one occurred with the
+    /// event log enabled.
+    pub chain: Option<ExemplarChain>,
+}
+
+enum Ev {
+    Offer(PendingOpen),
+    Serve(AdId),
+    Crash(AdId),
+    Failover(AdId),
+    Sync(AdId),
+}
+
+struct HeapEv {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, the driver needs min-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Driver<'a> {
+    net: &'a mut OrwgNetwork,
+    cfg: &'a StressConfig,
+    heap: BinaryHeap<HeapEv>,
+    seq: u64,
+    rng: SmallRng,
+    next_free: Vec<SimTime>,
+    serve_scheduled: Vec<bool>,
+    phases: Vec<PhaseReport>,
+    retries: u64,
+    failover: Option<FailoverReport>,
+    /// `(shed, retry, flow, attempt)` awaiting its serve to complete the
+    /// exemplar chain.
+    chain_candidate: Option<(EventId, EventId, FlowSpec, u32)>,
+    chain: Option<ExemplarChain>,
+}
+
+impl<'a> Driver<'a> {
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.heap.push(HeapEv { at, seq, ev });
+    }
+
+    fn service_us(&self, rung: BrownoutRung) -> u64 {
+        match rung {
+            BrownoutRung::Full => self.cfg.service_full_us,
+            BrownoutRung::Cached => self.cfg.service_cached_us,
+            BrownoutRung::Stored => self.cfg.service_stored_us,
+        }
+    }
+
+    /// Client reaction to a shed NACK (or a crash-cancelled open):
+    /// schedule a deadline-budgeted retry, or abandon.
+    fn on_shed(&mut self, now: SimTime, open: PendingOpen, retry_after_us: u64) {
+        self.phases[open.phase].shed += 1;
+        let next_attempt = open.attempt + 1;
+        let jitter = self.rng.gen_range(0..self.cfg.retry.jitter_us.max(1));
+        let wait = self.cfg.retry.wait_us(open.attempt, retry_after_us, jitter);
+        let retry_at = now.plus_us(wait);
+        if next_attempt >= self.cfg.retry.max_attempts || retry_at >= open.deadline {
+            self.phases[open.phase].abandoned += 1;
+            self.net.abandon_open(
+                &open.flow,
+                u64::from(next_attempt),
+                open.arrival,
+                open.cause,
+            );
+        } else {
+            self.retries += 1;
+            let retry_id = self
+                .net
+                .note_retry(&open.flow, next_attempt, wait, open.cause);
+            if self.chain.is_none() && self.chain_candidate.is_none() {
+                if let (Some(s), Some(r)) = (open.cause, retry_id) {
+                    self.chain_candidate = Some((s, r, open.flow, next_attempt));
+                }
+            }
+            self.push(
+                retry_at,
+                Ev::Offer(PendingOpen {
+                    offered_at: retry_at,
+                    attempt: next_attempt,
+                    cause: retry_id,
+                    ..open
+                }),
+            );
+        }
+    }
+
+    fn kick_server(&mut self, now: SimTime, ad: AdId) {
+        if !self.serve_scheduled[ad.index()] {
+            self.serve_scheduled[ad.index()] = true;
+            let at = now.max(self.next_free[ad.index()]);
+            self.push(at, Ev::Serve(ad));
+        }
+    }
+
+    fn on_offer(&mut self, now: SimTime, open: PendingOpen) {
+        if open.attempt == 0 {
+            self.phases[open.phase].offered += 1;
+        }
+        let src = open.flow.src;
+        match self.net.offer_open(open) {
+            AdmissionVerdict::Queued { .. } => self.kick_server(now, src),
+            AdmissionVerdict::Shed {
+                open,
+                retry_after_us,
+                event,
+            } => {
+                let open = PendingOpen {
+                    cause: event.or(open.cause),
+                    ..open
+                };
+                self.on_shed(now, open, retry_after_us);
+            }
+        }
+    }
+
+    fn on_serve(&mut self, now: SimTime, ad: AdId) {
+        loop {
+            let Some(outcome) = self.net.serve_next(ad) else {
+                self.serve_scheduled[ad.index()] = false;
+                return;
+            };
+            let rung = match &outcome {
+                // Cancellation is free: the deadline check precedes any
+                // synthesis work, so keep popping within this slot.
+                ServeOutcome::Expired { open } => {
+                    self.phases[open.phase].abandoned += 1;
+                    continue;
+                }
+                ServeOutcome::Served { rung, .. }
+                | ServeOutcome::NoRoute { rung, .. }
+                | ServeOutcome::Failed { rung, .. } => *rung,
+                ServeOutcome::Shed { .. } => BrownoutRung::Stored,
+            };
+            self.next_free[ad.index()] = now.plus_us(self.service_us(rung));
+            match outcome {
+                ServeOutcome::Served {
+                    open, rung, admit, ..
+                } => {
+                    let p = &mut self.phases[open.phase];
+                    p.served += 1;
+                    match rung {
+                        BrownoutRung::Full => p.served_full += 1,
+                        BrownoutRung::Cached => p.served_cached += 1,
+                        BrownoutRung::Stored => p.served_stored += 1,
+                    }
+                    if let Some((shed, retry, flow, attempt)) = self.chain_candidate {
+                        if self.chain.is_none() && flow == open.flow && attempt == open.attempt {
+                            if let Some(admit) = admit {
+                                self.chain = Some(ExemplarChain { shed, retry, admit });
+                            }
+                            self.chain_candidate = None;
+                        }
+                    }
+                }
+                ServeOutcome::Shed {
+                    open,
+                    retry_after_us,
+                    event,
+                } => {
+                    let open = PendingOpen {
+                        cause: event.or(open.cause),
+                        ..open
+                    };
+                    self.on_shed(now, open, retry_after_us);
+                }
+                ServeOutcome::NoRoute { open, .. } => self.phases[open.phase].no_route += 1,
+                ServeOutcome::Failed { open, .. } => self.phases[open.phase].failed += 1,
+                ServeOutcome::Expired { .. } => unreachable!("handled above"),
+            }
+            if self.net.admission(ad).is_empty() {
+                self.serve_scheduled[ad.index()] = false;
+            } else {
+                let at = self.next_free[ad.index()];
+                self.push(at, Ev::Serve(ad));
+            }
+            return;
+        }
+    }
+}
+
+/// Runs one deterministic load ramp: the storm's arrivals offer opens to
+/// their source ADs' admission queues, servers drain them under the
+/// brownout ladder with per-rung service occupancy, shed clients retry
+/// under the deadline budget, and an optional mid-storm Route Server
+/// outage exercises standby failover. The network's clock follows the
+/// driver, so every logged event is correctly stamped and chained.
+pub fn run_load_ramp(
+    net: &mut OrwgNetwork,
+    storm: &adroute_sim::OpenStorm,
+    phase_durations_us: &[u64],
+    cfg: &StressConfig,
+) -> StressReport {
+    let n_ads = net.topo().num_ads();
+    net.set_admission(cfg.admission);
+    let mut driver = Driver {
+        net,
+        cfg,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        rng: SmallRng::seed_from_u64(cfg.seed ^ 0x6f76_6572_6c6f_6164), // "overload"
+        next_free: vec![SimTime::ZERO; n_ads],
+        serve_scheduled: vec![false; n_ads],
+        phases: phase_durations_us
+            .iter()
+            .map(|&d| PhaseReport {
+                duration_us: d,
+                ..PhaseReport::default()
+            })
+            .collect(),
+        retries: 0,
+        failover: None,
+        chain_candidate: None,
+        chain: None,
+    };
+    for a in storm.arrivals() {
+        driver.push(
+            a.at,
+            Ev::Offer(PendingOpen {
+                flow: FlowSpec::best_effort(a.src, a.dst),
+                offered_at: a.at,
+                arrival: a.at,
+                deadline: a.at.plus_us(cfg.deadline_us),
+                attempt: 0,
+                phase: a.phase,
+                cause: None,
+            }),
+        );
+    }
+    if let Some(outage) = cfg.crash {
+        driver.push(outage.down_at, Ev::Crash(outage.ad));
+        driver.push(outage.up_at, Ev::Failover(outage.ad));
+        if cfg.standby_sync_ms > 0 {
+            let step = cfg.standby_sync_ms * 1000;
+            let mut t = step;
+            while SimTime(t) < outage.down_at {
+                driver.push(SimTime(t), Ev::Sync(outage.ad));
+                t += step;
+            }
+        }
+    }
+    while let Some(HeapEv { at, ev, .. }) = driver.heap.pop() {
+        driver.net.set_clock(at);
+        match ev {
+            Ev::Offer(open) => driver.on_offer(at, open),
+            Ev::Serve(ad) => driver.on_serve(at, ad),
+            Ev::Sync(ad) => {
+                driver.net.standby_sync(ad);
+            }
+            Ev::Crash(ad) => {
+                let (cancelled, crash_id) = driver.net.crash_route_server(ad);
+                driver.serve_scheduled[ad.index()] = false;
+                driver.failover = Some(FailoverReport {
+                    ad,
+                    crashed_at: at,
+                    takeover_at: at,
+                    cancelled: cancelled.len() as u64,
+                    warmed: 0,
+                });
+                let retry_after = cfg.admission.retry_after_us;
+                for open in cancelled {
+                    let open = PendingOpen {
+                        cause: crash_id.or(open.cause),
+                        ..open
+                    };
+                    driver.on_shed(at, open, retry_after);
+                }
+            }
+            Ev::Failover(ad) => {
+                let warmed = driver.net.failover_route_server(ad);
+                if let Some(f) = &mut driver.failover {
+                    f.takeover_at = at;
+                    f.warmed = warmed as u64;
+                }
+            }
+        }
+    }
+    let phases = driver.phases;
+    let total = |f: fn(&PhaseReport) -> u64| phases.iter().map(f).sum::<u64>();
+    let (p50, p99) = driver
+        .net
+        .obs
+        .metrics
+        .histogram("setup_wait_us")
+        .map(|h| (h.quantile(0.5), h.quantile(0.99)))
+        .unwrap_or((0, 0));
+    StressReport {
+        offered: total(|p| p.offered),
+        served: total(|p| p.served),
+        shed: total(|p| p.shed),
+        abandoned: total(|p| p.abandoned),
+        no_route: total(|p| p.no_route),
+        failed: total(|p| p.failed),
+        retries: driver.retries,
+        p50_wait_us: p50,
+        p99_wait_us: p99,
+        failover: driver.failover,
+        chain: driver.chain,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_at(us: u64) -> PendingOpen {
+        PendingOpen {
+            flow: FlowSpec::best_effort(AdId(0), AdId(1)),
+            offered_at: SimTime(us),
+            arrival: SimTime(us),
+            deadline: SimTime(us + 100_000),
+            attempt: 0,
+            phase: 0,
+            cause: None,
+        }
+    }
+
+    #[test]
+    fn admission_sheds_past_capacity() {
+        let mut ac = AdmissionController::new(AdmissionConfig {
+            queue_capacity: 2,
+            ..AdmissionConfig::default()
+        });
+        assert_eq!(ac.offer(open_at(0)), Ok(1));
+        assert_eq!(ac.offer(open_at(1)), Ok(2));
+        let cfg = *ac.config();
+        assert_eq!(ac.offer(open_at(2)), Err(cfg.retry_after_us));
+        assert_eq!(ac.depth(), 2);
+        assert_eq!(ac.stats.offered, 3);
+        assert_eq!(ac.stats.admitted, 2);
+        assert_eq!(ac.stats.shed, 1);
+        assert!(ac.pop().is_some());
+        assert_eq!(ac.drain().len(), 1);
+        assert!(ac.is_empty());
+    }
+
+    #[test]
+    fn rung_degrades_with_depth_and_age() {
+        let cfg = AdmissionConfig {
+            queue_capacity: 100,
+            full_depth: 2,
+            cached_depth: 4,
+            age_watermark_us: 1_000,
+            retry_after_us: 10_000,
+        };
+        let mut ac = AdmissionController::new(cfg);
+        let now = SimTime(500);
+        ac.offer(open_at(0)).unwrap();
+        assert_eq!(ac.rung(now), BrownoutRung::Full);
+        for i in 1..4 {
+            ac.offer(open_at(i)).unwrap();
+        }
+        assert_eq!(ac.rung(now), BrownoutRung::Cached, "depth 4 > full_depth");
+        ac.offer(open_at(4)).unwrap();
+        assert_eq!(ac.rung(now), BrownoutRung::Stored, "depth 5 > cached_depth");
+        // Head age beyond the watermark degrades one extra rung.
+        let mut young = AdmissionController::new(cfg);
+        young.offer(open_at(0)).unwrap();
+        assert_eq!(young.rung(SimTime(2_000)), BrownoutRung::Cached);
+        assert_eq!(young.rung(SimTime(500)), BrownoutRung::Full);
+    }
+
+    #[test]
+    fn retry_backoff_honors_retry_after_and_caps() {
+        let rp = RetryPolicy {
+            base_backoff_us: 1_000,
+            max_backoff_us: 8_000,
+            jitter_us: 100,
+            max_attempts: 8,
+        };
+        assert_eq!(rp.wait_us(0, 0, 7), 1_007);
+        assert_eq!(rp.wait_us(2, 0, 0), 4_000);
+        assert_eq!(rp.wait_us(10, 0, 0), 8_000, "growth must cap");
+        assert_eq!(rp.wait_us(0, 50_000, 0), 50_000, "retry-after dominates");
+    }
+
+    #[test]
+    fn brownout_tags_and_degradation() {
+        assert_eq!(BrownoutRung::Full.tag(), "full");
+        assert_eq!(BrownoutRung::Full.degrade(), BrownoutRung::Cached);
+        assert_eq!(BrownoutRung::Cached.degrade(), BrownoutRung::Stored);
+        assert_eq!(BrownoutRung::Stored.degrade(), BrownoutRung::Stored);
+    }
+}

@@ -395,6 +395,99 @@ impl RouteServer {
         r
     }
 
+    /// Serves `flow` from stored state only — the precomputed table, then
+    /// the LRU cache — performing **no** search. This is the brownout
+    /// ladder's cheapest serving rung: under overload a Route Server that
+    /// cannot afford synthesis can still answer from what it already has.
+    ///
+    /// Returns `None` when nothing is stored (the caller sheds the open);
+    /// `Some(None)` is a stored negative entry — the view has no legal
+    /// route, which is an answer, not a miss.
+    pub fn stored_route(&mut self, flow: &FlowSpec) -> Option<Option<PolicyRoute>> {
+        self.stats.requests += 1;
+        if let Some(hit) = self.precomputed.get(flow) {
+            self.stats.precomputed_hits += 1;
+            return Some(hit.clone());
+        }
+        if let Some(hit) = self.cache.get(flow) {
+            self.stats.cache_hits += 1;
+            return Some(hit.clone());
+        }
+        None
+    }
+
+    /// Snapshot of the LRU cache, least-recently-used first, for warm
+    /// standby sync. The order is deterministic (a pure function of the
+    /// access sequence), so replaying a snapshot into a standby's cache
+    /// reproduces the primary's recency order exactly.
+    pub fn cache_snapshot(&self) -> Vec<(FlowSpec, Option<PolicyRoute>)> {
+        self.cache
+            .iter_recency()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// Preseeds the cache from a standby snapshot, revalidating each entry
+    /// against this server's **current** view and selection criteria: the
+    /// snapshot may predate a view delta or a quarantine widening, and a
+    /// takeover must never resurrect a route through an AD the source now
+    /// avoids. Negative entries are dropped rather than trusted (absence
+    /// of a route is cheap to rediscover and dangerous to assume).
+    /// Returns how many entries were accepted.
+    pub fn warm_cache(&mut self, entries: &[(FlowSpec, Option<PolicyRoute>)]) -> usize {
+        if self.cache.capacity() == 0 {
+            return 0;
+        }
+        let mut warmed = 0;
+        for (flow, stored) in entries {
+            let Some(route) = stored else {
+                continue;
+            };
+            let Some(cost) =
+                legality::route_is_legal(&self.view_topo, &self.view_db, flow, &route.path)
+            else {
+                continue;
+            };
+            if cost != route.cost || !self.selection.accepts(&route.path, cost) {
+                continue;
+            }
+            if self.precomputed.contains_key(flow) {
+                continue;
+            }
+            let refreshed = PolicyRoute {
+                pts: self.cite_pts(flow, &route.path),
+                ..route.clone()
+            };
+            self.index.index(*flow, &refreshed.path);
+            if let Some(evicted) = self.cache.insert(*flow, Some(refreshed)) {
+                self.index.unindex(&evicted);
+            }
+            warmed += 1;
+        }
+        warmed
+    }
+
+    /// A crash loses all soft state: the route cache, the precomputed
+    /// table, and the dependency index. The flooded view itself is kept —
+    /// link-state is recoverable from neighbors, and modeling its loss is
+    /// [`RouteServer::update_view`]'s job.
+    pub fn crash_soft_state(&mut self) {
+        self.flush_cache();
+        let old: Vec<FlowSpec> = self.precomputed.keys().copied().collect();
+        for flow in &old {
+            self.index.unindex(flow);
+        }
+        self.precomputed.clear();
+    }
+
+    /// Standby takeover: rebuilds the precomputed table from the flooded
+    /// view. The precompute list survives a crash as configuration (it is
+    /// workload knowledge, not derived state); the routes themselves are
+    /// re-synthesized so they reflect the current view.
+    pub fn rebuild_soft_state(&mut self) {
+        self.run_precompute();
+    }
+
     /// Up to `k` alternative routes for `flow`, cheapest first.
     ///
     /// Heuristic: after each route is found, re-search while avoiding one
@@ -818,6 +911,123 @@ mod tests {
         }));
         assert!(!ok, "a link this view never knew cannot be applied");
         assert_eq!(rs.cached_len(), 1, "failed apply must leave state alone");
+    }
+
+    #[test]
+    fn stored_route_never_searches() {
+        let mut rs = server(Strategy::Hybrid { capacity: 8 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        rs.precompute(&[f]);
+        let g = FlowSpec::best_effort(AdId(0), AdId(2));
+        let _ = rs.request(&g); // lands in the LRU cache
+        let h = FlowSpec::best_effort(AdId(0), AdId(4));
+        let searches = rs.stats.searches;
+        assert!(rs.stored_route(&f).unwrap().is_some(), "precomputed hit");
+        assert!(rs.stored_route(&g).unwrap().is_some(), "cache hit");
+        assert!(rs.stored_route(&h).is_none(), "miss must not search");
+        assert_eq!(rs.stats.searches, searches);
+        assert_eq!(rs.stats.precomputed_hits, 1);
+        assert_eq!(rs.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn stored_route_returns_stored_negatives() {
+        let topo = line(3);
+        let mut db = PolicyDb::permissive(&topo);
+        db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let mut rs = RouteServer::new(AdId(0), topo, db, Strategy::Cached { capacity: 4 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(2));
+        assert!(rs.request(&f).is_none());
+        assert_eq!(
+            rs.stored_route(&f),
+            Some(None),
+            "a stored negative is an answer, not a miss"
+        );
+    }
+
+    #[test]
+    fn snapshot_and_warm_cache_round_trip() {
+        let mut primary = server(Strategy::Cached { capacity: 8 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        let g = FlowSpec::best_effort(AdId(0), AdId(2));
+        let _ = primary.request(&f);
+        let _ = primary.request(&g);
+        let snap = primary.cache_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, f, "LRU-first: f was touched before g");
+        let mut standby = server(Strategy::Cached { capacity: 8 });
+        assert_eq!(standby.warm_cache(&snap), 2);
+        let searches = standby.stats.searches;
+        assert_eq!(standby.request(&f), primary.stored_route(&f).unwrap());
+        assert_eq!(standby.stats.searches, searches, "warmed entry must hit");
+    }
+
+    #[test]
+    fn warm_cache_rejects_entries_the_view_or_selection_refuse() {
+        let mut primary = server(Strategy::Cached { capacity: 8 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3)); // 0-1-2-3
+        let _ = primary.request(&f);
+        let snap = primary.cache_snapshot();
+        // Standby whose view lost link 1-2: the snapshot route is illegal.
+        let topo = ring(6);
+        let mut downed = topo.clone();
+        let l = downed.link_between(AdId(1), AdId(2)).unwrap();
+        downed.set_link_up(l, false);
+        let db = PolicyDb::permissive(&topo);
+        let mut standby = RouteServer::new(
+            AdId(0),
+            downed,
+            db.clone(),
+            Strategy::Cached { capacity: 8 },
+        );
+        assert_eq!(
+            standby.warm_cache(&snap),
+            0,
+            "illegal route must be dropped"
+        );
+        // Standby that quarantined AD1: selection refuses the route.
+        let mut avoider = RouteServer::new(AdId(0), topo, db, Strategy::Cached { capacity: 8 });
+        avoider.set_selection(RouteSelection::avoiding([AdId(1)]));
+        assert_eq!(avoider.warm_cache(&snap), 0, "quarantine must be respected");
+        assert_eq!(avoider.cached_len(), 0);
+    }
+
+    #[test]
+    fn warm_cache_drops_negative_entries() {
+        let topo = line(3);
+        let mut db = PolicyDb::permissive(&topo);
+        db.set_policy(TransitPolicy::deny_all(AdId(1)));
+        let mut primary = RouteServer::new(
+            AdId(0),
+            topo.clone(),
+            db.clone(),
+            Strategy::Cached { capacity: 4 },
+        );
+        let f = FlowSpec::best_effort(AdId(0), AdId(2));
+        assert!(primary.request(&f).is_none());
+        let snap = primary.cache_snapshot();
+        let mut standby = RouteServer::new(AdId(0), topo, db, Strategy::Cached { capacity: 4 });
+        assert_eq!(standby.warm_cache(&snap), 0);
+        assert!(standby.stored_route(&f).is_none(), "negatives not trusted");
+    }
+
+    #[test]
+    fn crash_loses_soft_state_and_rebuild_recovers_it() {
+        let mut rs = server(Strategy::Hybrid { capacity: 8 });
+        let f = FlowSpec::best_effort(AdId(0), AdId(3));
+        rs.precompute(&[f]);
+        let g = FlowSpec::best_effort(AdId(0), AdId(2));
+        let _ = rs.request(&g);
+        assert_eq!(rs.precomputed_len(), 1);
+        assert_eq!(rs.cached_len(), 1);
+        rs.crash_soft_state();
+        assert_eq!(rs.precomputed_len(), 0, "crash must lose the table");
+        assert_eq!(rs.cached_len(), 0, "crash must lose the cache");
+        assert!(rs.stored_route(&f).is_none());
+        rs.rebuild_soft_state();
+        assert_eq!(rs.precomputed_len(), 1, "rebuild refills from the view");
+        assert!(rs.stored_route(&f).unwrap().is_some());
+        assert!(rs.stored_route(&g).is_none(), "cache entries stay lost");
     }
 
     #[test]

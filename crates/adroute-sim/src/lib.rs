@@ -34,6 +34,6 @@ pub use obs::{
     EventId, EventLog, EventRecord, Histogram, LogComparison, LoggedEvent, MetricsRegistry, Obs,
     DATA_STREAM_ID_BASE,
 };
-pub use schedule::{FailureModel, FailureSchedule, LinkEvent};
+pub use schedule::{FailureModel, FailureSchedule, LinkEvent, OpenArrival, OpenStorm, StormPhase};
 pub use stats::Stats;
 pub use trace::{Trace, TraceRecord};

@@ -338,6 +338,76 @@ pub enum EventRecord {
         /// The released AD.
         ad: AdId,
     },
+    /// An open deferred by the Route Server's admission controller:
+    /// queued behind earlier work instead of being served immediately.
+    SetupDefer {
+        /// Source AD.
+        src: AdId,
+        /// Destination AD.
+        dst: AdId,
+        /// Open-queue depth after enqueue.
+        depth: u64,
+    },
+    /// An open shed under overload: the client receives a NACK carrying
+    /// a retry-after hint instead of being silently dropped.
+    SetupShed {
+        /// Source AD.
+        src: AdId,
+        /// Destination AD.
+        dst: AdId,
+        /// Server-suggested earliest retry delay, µs.
+        retry_after_us: u64,
+        /// Open-queue depth at the shed decision.
+        depth: u64,
+    },
+    /// A shed or refused open retried by its client after backoff.
+    SetupRetry {
+        /// Source AD.
+        src: AdId,
+        /// Destination AD.
+        dst: AdId,
+        /// Which retry this is (1-based).
+        attempt: u64,
+        /// Backoff waited before this retry, µs.
+        backoff_us: u64,
+    },
+    /// A queued open dequeued for service, with the brownout rung the
+    /// admission watermarks selected.
+    SetupAdmit {
+        /// Source AD.
+        src: AdId,
+        /// Destination AD.
+        dst: AdId,
+        /// Brownout rung tag: `"full"`, `"cached"`, or `"stored"`.
+        rung: &'static str,
+        /// Time spent queued, µs.
+        waited_us: u64,
+    },
+    /// A client giving up on an open: the setup deadline is exhausted
+    /// (any queued or partially-installed work is cancelled).
+    SetupAbandon {
+        /// Source AD.
+        src: AdId,
+        /// Destination AD.
+        dst: AdId,
+        /// Attempts made before giving up.
+        attempts: u64,
+    },
+    /// A Route Server crash: soft state (route cache, precomputed table,
+    /// open queue) is lost and queued opens are cancelled.
+    RsCrash {
+        /// The AD whose Route Server crashed.
+        ad: AdId,
+    },
+    /// A warm standby taking over a crashed Route Server: soft state is
+    /// rebuilt from the flooded view, the cache preseeded from the last
+    /// standby sync.
+    RsFailover {
+        /// The AD whose Route Server recovered.
+        ad: AdId,
+        /// Cached routes revalidated and preseeded by the standby.
+        warmed: u64,
+    },
 }
 
 impl fmt::Display for EventRecord {
@@ -427,6 +497,38 @@ impl fmt::Display for EventRecord {
             ),
             QuarantineEnter { ad } => write!(f, "quarantine-enter {ad}"),
             QuarantineLift { ad } => write!(f, "quarantine-lift {ad}"),
+            SetupDefer { src, dst, depth } => {
+                write!(f, "setup-defer {src}->{dst} depth={depth}")
+            }
+            SetupShed {
+                src,
+                dst,
+                retry_after_us,
+                depth,
+            } => write!(
+                f,
+                "setup-shed {src}->{dst} retry-after={retry_after_us}us depth={depth}"
+            ),
+            SetupRetry {
+                src,
+                dst,
+                attempt,
+                backoff_us,
+            } => write!(
+                f,
+                "setup-retry {src}->{dst} attempt={attempt} backoff={backoff_us}us"
+            ),
+            SetupAdmit {
+                src,
+                dst,
+                rung,
+                waited_us,
+            } => write!(f, "setup-admit {src}->{dst} rung={rung} wait={waited_us}us"),
+            SetupAbandon { src, dst, attempts } => {
+                write!(f, "setup-abandon {src}->{dst} attempts={attempts}")
+            }
+            RsCrash { ad } => write!(f, "rs-crash {ad}"),
+            RsFailover { ad, warmed } => write!(f, "rs-failover {ad} warmed={warmed}"),
         }
     }
 }
@@ -471,6 +573,13 @@ impl EventRecord {
             MonitorAlarm { .. } => "monitor-alarm",
             QuarantineEnter { .. } => "quarantine-enter",
             QuarantineLift { .. } => "quarantine-lift",
+            SetupDefer { .. } => "setup-defer",
+            SetupShed { .. } => "setup-shed",
+            SetupRetry { .. } => "setup-retry",
+            SetupAdmit { .. } => "setup-admit",
+            SetupAbandon { .. } => "setup-abandon",
+            RsCrash { .. } => "rs-crash",
+            RsFailover { .. } => "rs-failover",
         }
     }
 
@@ -668,8 +777,67 @@ impl EventRecord {
                     suspect.index()
                 );
             }
-            QuarantineEnter { ad } | QuarantineLift { ad } => {
+            QuarantineEnter { ad } | QuarantineLift { ad } | RsCrash { ad } => {
                 let _ = write!(s, ",\"ad\":{}", ad.index());
+            }
+            SetupDefer { src, dst, depth } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{},\"dst\":{},\"depth\":{depth}",
+                    src.index(),
+                    dst.index()
+                );
+            }
+            SetupShed {
+                src,
+                dst,
+                retry_after_us,
+                depth,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{},\"dst\":{},\"retry_after_us\":{retry_after_us},\"depth\":{depth}",
+                    src.index(),
+                    dst.index()
+                );
+            }
+            SetupRetry {
+                src,
+                dst,
+                attempt,
+                backoff_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{},\"dst\":{},\"attempt\":{attempt},\"backoff_us\":{backoff_us}",
+                    src.index(),
+                    dst.index()
+                );
+            }
+            SetupAdmit {
+                src,
+                dst,
+                rung,
+                waited_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{},\"dst\":{},\"rung\":\"{}\",\"waited_us\":{waited_us}",
+                    src.index(),
+                    dst.index(),
+                    json_escape(rung)
+                );
+            }
+            SetupAbandon { src, dst, attempts } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{},\"dst\":{},\"attempts\":{attempts}",
+                    src.index(),
+                    dst.index()
+                );
+            }
+            RsFailover { ad, warmed } => {
+                let _ = write!(s, ",\"ad\":{},\"warmed\":{warmed}", ad.index());
             }
         }
     }
@@ -710,12 +878,19 @@ impl EventRecord {
             | RouteSetupAck { src, dst, .. }
             | RouteSetupNack { src, dst, .. }
             | RouteSetupRetransmit { src, dst, .. }
-            | RouteSetupRepair { src, dst, .. } => [Some(src), Some(dst)],
+            | RouteSetupRepair { src, dst, .. }
+            | SetupDefer { src, dst, .. }
+            | SetupShed { src, dst, .. }
+            | SetupRetry { src, dst, .. }
+            | SetupAdmit { src, dst, .. }
+            | SetupAbandon { src, dst, .. } => [Some(src), Some(dst)],
             ViewInvalidate { a, b, .. } => [Some(a), Some(b)],
             MisbehaviorInject { ad, .. }
             | MonitorAlarm { suspect: ad, .. }
             | QuarantineEnter { ad }
-            | QuarantineLift { ad } => [Some(ad), None],
+            | QuarantineLift { ad }
+            | RsCrash { ad }
+            | RsFailover { ad, .. } => [Some(ad), None],
         }
     }
 

@@ -13,7 +13,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use adroute_topology::{LinkId, Topology};
+use adroute_topology::{AdId, LinkId, Topology};
 
 use crate::engine::{Engine, Protocol};
 use crate::event::SimTime;
@@ -144,6 +144,91 @@ impl FailureSchedule {
     }
 }
 
+/// One phase of an open-storm load ramp: a constant offered rate of
+/// route-setup opens held for a duration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StormPhase {
+    /// Phase length in milliseconds.
+    pub duration_ms: u64,
+    /// Route-setup opens offered per second of simulated time.
+    pub opens_per_sec: u64,
+}
+
+/// One client open arrival drawn from an [`OpenStorm`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OpenArrival {
+    /// When the client offers the open.
+    pub at: SimTime,
+    /// Source AD (whose Route Server serves the open).
+    pub src: AdId,
+    /// Destination AD.
+    pub dst: AdId,
+    /// Index of the [`StormPhase`] the arrival belongs to.
+    pub phase: usize,
+}
+
+/// A deterministic open-storm workload: route-setup arrivals over a
+/// multi-phase load ramp, the offered side of the overload experiments.
+/// Arrival times are uniform within each phase and endpoints are drawn
+/// uniformly over distinct AD pairs; the same inputs always produce the
+/// same storm.
+#[derive(Clone, Debug, Default)]
+pub struct OpenStorm {
+    arrivals: Vec<OpenArrival>,
+}
+
+impl OpenStorm {
+    /// Draws a storm for `topo` starting at `start` under the given load
+    /// ramp. Each phase contributes `opens_per_sec × duration` arrivals.
+    pub fn draw(topo: &Topology, phases: &[StormPhase], start: SimTime, seed: u64) -> OpenStorm {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_ads = topo.num_ads();
+        let mut arrivals = Vec::new();
+        let mut phase_start = start;
+        for (phase, p) in phases.iter().enumerate() {
+            let span_us = p.duration_ms * 1000;
+            let count = (p.opens_per_sec * p.duration_ms) / 1000;
+            for _ in 0..count {
+                let off = rng.gen_range(0..span_us.max(1));
+                let src = AdId(rng.gen_range(0..n_ads) as u32);
+                let mut dst = AdId(rng.gen_range(0..n_ads) as u32);
+                if dst == src {
+                    dst = AdId(((dst.index() + 1) % n_ads) as u32);
+                }
+                arrivals.push(OpenArrival {
+                    at: phase_start.plus_us(off),
+                    src,
+                    dst,
+                    phase,
+                });
+            }
+            phase_start = phase_start.plus_us(span_us);
+        }
+        arrivals.sort_by_key(|a| (a.at, a.src, a.dst));
+        OpenStorm { arrivals }
+    }
+
+    /// The arrivals, time-ordered.
+    pub fn arrivals(&self) -> &[OpenArrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the storm is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// End of the last phase (== `start` for an empty ramp).
+    pub fn horizon(phases: &[StormPhase], start: SimTime) -> SimTime {
+        start.plus_us(phases.iter().map(|p| p.duration_ms * 1000).sum())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +327,44 @@ mod tests {
         let s = FailureSchedule::draw(&topo, &model, SimTime::ZERO, 10_000);
         assert!(s.is_empty());
         assert_eq!(s.failures(), 0);
+    }
+
+    #[test]
+    fn open_storm_is_deterministic_and_phased() {
+        let topo = ring(8);
+        let phases = [
+            StormPhase {
+                duration_ms: 100,
+                opens_per_sec: 500,
+            },
+            StormPhase {
+                duration_ms: 50,
+                opens_per_sec: 2000,
+            },
+        ];
+        let a = OpenStorm::draw(&topo, &phases, SimTime::ZERO, 7);
+        let b = OpenStorm::draw(&topo, &phases, SimTime::ZERO, 7);
+        assert_eq!(a.arrivals(), b.arrivals());
+        assert_eq!(a.len(), 50 + 100);
+        assert!(!a.is_empty());
+        let mut last = SimTime::ZERO;
+        for arr in a.arrivals() {
+            assert!(arr.at >= last, "arrivals must be time-ordered");
+            last = arr.at;
+            assert_ne!(arr.src, arr.dst);
+            if arr.phase == 0 {
+                assert!(arr.at < SimTime::from_ms(100));
+            } else {
+                assert!(arr.at >= SimTime::from_ms(100));
+                assert!(arr.at < SimTime::from_ms(150));
+            }
+        }
+        assert_eq!(
+            OpenStorm::horizon(&phases, SimTime::ZERO),
+            SimTime::from_ms(150)
+        );
+        let c = OpenStorm::draw(&topo, &phases, SimTime::ZERO, 8);
+        assert_ne!(a.arrivals(), c.arrivals());
     }
 
     #[test]

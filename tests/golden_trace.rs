@@ -209,3 +209,76 @@ fn audit_quickstart_trace_matches_golden_and_reruns_identically() {
     assert!(a.contains("\"kind\":\"setup-repair\""));
     check_golden("audit_quickstart_trace.jsonl", &a);
 }
+
+/// Stress scenario (a shrunk `adroute stress` lifecycle): a short open
+/// storm crosses a 15-AD internet's serving saturation under tight
+/// admission watermarks, a mid-storm Route Server crash fails over to
+/// its warm standby, and shed clients retry under the deadline budget —
+/// exported as the overload event stream with defer/shed/retry/admit
+/// spans and the rs-crash → rs-failover pair.
+fn stress_export() -> String {
+    use adroute::core::{run_load_ramp, AdmissionConfig, StressConfig};
+    use adroute::sim::{OpenStorm, RouterOutage, StormPhase};
+
+    let seed = 1990u64;
+    let topo = HierarchyConfig {
+        backbones: 1,
+        regionals_per_backbone: 2,
+        metros_per_regional: 2,
+        campuses_per_metro: 2,
+        lateral_prob: 0.25,
+        bypass_prob: 0.15,
+        multihome_prob: 0.25,
+        seed,
+    }
+    .generate();
+    let db = PolicyWorkload::structural(seed).generate(&topo);
+    let mut net = OrwgNetwork::converged(&topo, &db);
+    net.enable_obs(1 << 14);
+    let phases = [
+        StormPhase {
+            duration_ms: 10,
+            opens_per_sec: 1_500,
+        },
+        StormPhase {
+            duration_ms: 20,
+            opens_per_sec: 8_000,
+        },
+    ];
+    let storm = OpenStorm::draw(&topo, &phases, SimTime::ZERO, seed);
+    let cfg = StressConfig {
+        seed,
+        service_full_us: 6_000,
+        service_cached_us: 1_200,
+        service_stored_us: 600,
+        admission: AdmissionConfig {
+            queue_capacity: 4,
+            full_depth: 1,
+            cached_depth: 2,
+            ..AdmissionConfig::default()
+        },
+        crash: Some(RouterOutage {
+            ad: AdId(0),
+            down_at: SimTime(15_000),
+            up_at: SimTime(21_000),
+        }),
+        ..StressConfig::default()
+    };
+    run_load_ramp(&mut net, &storm, &[10_000, 20_000], &cfg);
+    net.obs.log.export_jsonl()
+}
+
+#[test]
+fn stress_trace_matches_golden_and_reruns_identically() {
+    let a = stress_export();
+    let b = stress_export();
+    assert_eq!(a, b, "identically-seeded runs must export identical traces");
+    assert!(a.contains("\"kind\":\"setup-defer\""));
+    assert!(a.contains("\"kind\":\"setup-shed\""));
+    assert!(a.contains("\"retry_after_us\":"));
+    assert!(a.contains("\"kind\":\"setup-retry\""));
+    assert!(a.contains("\"kind\":\"setup-admit\""));
+    assert!(a.contains("\"kind\":\"rs-crash\""));
+    assert!(a.contains("\"kind\":\"rs-failover\""));
+    check_golden("stress_trace.jsonl", &a);
+}

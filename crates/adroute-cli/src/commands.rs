@@ -14,7 +14,9 @@ use adroute_policy::text::{format_policies, parse_policies, parse_policy};
 use adroute_policy::workload::PolicyWorkload;
 use adroute_policy::{legality, FlowSpec, PolicyDb, QosClass, TimeOfDay, TransitPolicy, UserClass};
 use adroute_protocols::forwarding::{audit_path, forward, DataPlane};
-use adroute_protocols::{ecma::Ecma, ls_hbh::LsHbh, naive_dv::NaiveDv, path_vector::PathVector};
+use adroute_protocols::{
+    ecma::Ecma, gossip::Gossip, ls_hbh::LsHbh, naive_dv::NaiveDv, path_vector::PathVector,
+};
 use adroute_sim::{
     Alarm, CausalGraph, ChannelFaults, CrashModel, Engine, EventLog, EventRecord, FailureModel,
     FaultPlan, FaultSpec, MetricsRegistry, MisbehaviorModel, MisbehaviorSpec, MonitorBank,
@@ -85,7 +87,13 @@ COMMANDS:
                 wall-clock the overload-serving path on the quickstart
                 storm (no crash) and report opens/sec, setup-wait
                 p50/p99, and the shed rate (--json emits the
-                BENCH_serve.json schema)
+                BENCH_serve.json schema); or: --engine [--ads N
+                --workers K --rounds R --cost C --seed S] to wall-clock
+                the discrete-event core itself on a cheap gossip flood
+                at paper scale — events/sec sequential, region-parallel,
+                with an observer attached, and a compute-bound pair at
+                C iterations of per-delivery work (--json emits the
+                BENCH_engine.json schema)
   help          this text
 ";
 
@@ -1731,7 +1739,12 @@ pub fn stress(args: &Args) -> Result<String, CliError> {
 /// failover). The simulated results are deterministic; only the
 /// wall-clock figures vary run to run.
 pub fn bench(args: &Args) -> Result<String, CliError> {
-    args.known(&["json", "out"])?;
+    args.known(&[
+        "json", "out", "engine", "ads", "workers", "rounds", "cost", "seed",
+    ])?;
+    if args.opt_parse("engine", false)? {
+        return bench_engine(args);
+    }
     let json = args.opt_parse("json", false)?;
     let sc = stress_scenario("quickstart")?;
     let t0 = std::time::Instant::now();
@@ -1777,6 +1790,133 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
             out,
             "setup wait: p50 {} us, p99 {} us; shed rate {:.4}",
             r.p50_wait_us, r.p99_wait_us, shed_rate
+        );
+    }
+    emit(&out, args.opt("out"))
+}
+
+/// `bench --engine`: wall-clock throughput of the discrete-event core on
+/// the cheap gossip flood ([`adroute_protocols::gossip`]), whose handlers
+/// are a few array reads — so the figure measures the engine's dispatch,
+/// queue, and delivery machinery, not protocol computation. Five timed
+/// runs over the same deterministic event population: sequential with no
+/// observer (the zero-allocation dispatch path), region-parallel at
+/// `--workers`, sequential with the trace observer attached (pricing the
+/// emit path the no-observer run skips), and a sequential/parallel pair
+/// with `--cost` iterations of synthetic per-delivery compute — the
+/// compute-bound regime where region-parallel execution pays, since its
+/// journaling and sequential commit replay cost roughly constant time
+/// per event regardless of handler weight.
+fn bench_engine(args: &Args) -> Result<String, CliError> {
+    let ads: usize = args.opt_parse("ads", 10_000)?;
+    let seed: u64 = args.opt_parse("seed", 1990)?;
+    let workers: usize = args.opt_parse("workers", 8)?;
+    let rounds: u32 = args.opt_parse("rounds", 4)?;
+    let cost: u32 = args.opt_parse("cost", 2_000)?;
+    let json = args.opt_parse("json", false)?;
+    if ads == 0 || workers == 0 || rounds == 0 {
+        return bail("--ads, --workers, and --rounds must be positive");
+    }
+    let topo = HierarchyConfig::with_approx_size(ads, seed).generate();
+    let gossip = Gossip {
+        origins: 8,
+        rounds,
+        period_us: 50_000,
+        work: 0,
+    };
+    let costly = Gossip {
+        work: cost,
+        ..gossip
+    };
+    let (num_ads, links) = (topo.num_ads(), topo.num_links());
+    // Recorded so the speedup figures are interpretable: on a 1-CPU host
+    // the parallel lanes time-slice and the best possible "speedup" is
+    // the overhead ratio, not a gain.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let run = |g: Gossip, regions: Option<usize>, trace_cap: usize| {
+        let mut e = Engine::new(topo.clone(), g);
+        if trace_cap > 0 {
+            e.enable_trace(trace_cap);
+        }
+        let t0 = std::time::Instant::now();
+        let quiesced = match regions {
+            None => e.run_to_quiescence(),
+            Some(r) => e.run_to_quiescence_parallel(r),
+        };
+        (e.stats.events, t0.elapsed(), quiesced)
+    };
+    let rate = |events: u64, wall: std::time::Duration| {
+        (events as f64 / wall.as_secs_f64().max(1e-9)) as u64
+    };
+
+    let (ev_seq, wall_seq, quiesced) = run(gossip, None, 0);
+    let (ev_par, wall_par, q_par) = run(gossip, Some(workers), 0);
+    let (ev_obs, wall_obs, _) = run(gossip, None, 1 << 16);
+    let (_, wall_cseq, _) = run(costly, None, 0);
+    let (_, wall_cpar, _) = run(costly, Some(workers), 0);
+    debug_assert_eq!((ev_seq, quiesced), (ev_par, q_par));
+    let (seq_rate, par_rate, obs_rate, cseq_rate, cpar_rate) = (
+        rate(ev_seq, wall_seq),
+        rate(ev_par, wall_par),
+        rate(ev_obs, wall_obs),
+        rate(ev_seq, wall_cseq),
+        rate(ev_seq, wall_cpar),
+    );
+    let speedup = wall_seq.as_secs_f64() / wall_par.as_secs_f64().max(1e-9);
+    let cspeedup = wall_cseq.as_secs_f64() / wall_cpar.as_secs_f64().max(1e-9);
+
+    let mut out = String::new();
+    if json {
+        let _ = writeln!(
+            out,
+            "{{\"bench\":{{\"workload\":\"engine-gossip\",\"ads\":{num_ads},\
+             \"links\":{links},\"workers\":{workers},\"host_cpus\":{host_cpus},\
+             \"events\":{ev_seq},\
+             \"quiesced_at_us\":{},\"wall_ms_seq\":{:.3},\
+             \"events_per_sec_seq\":{seq_rate},\"wall_ms_par\":{:.3},\
+             \"events_per_sec_par\":{par_rate},\"speedup\":{speedup:.3},\
+             \"wall_ms_observed\":{:.3},\"events_per_sec_observed\":{obs_rate},\
+             \"cost\":{cost},\"wall_ms_seq_costly\":{:.3},\
+             \"events_per_sec_seq_costly\":{cseq_rate},\
+             \"wall_ms_par_costly\":{:.3},\
+             \"events_per_sec_par_costly\":{cpar_rate},\
+             \"speedup_costly\":{cspeedup:.3}}}}}",
+            quiesced.as_us(),
+            wall_seq.as_secs_f64() * 1000.0,
+            wall_par.as_secs_f64() * 1000.0,
+            wall_obs.as_secs_f64() * 1000.0,
+            wall_cseq.as_secs_f64() * 1000.0,
+            wall_cpar.as_secs_f64() * 1000.0,
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "bench engine-gossip: {num_ads} ADs, {links} links, {ev_seq} events \
+             (quiesced @{} us, host has {host_cpus} CPUs)",
+            quiesced.as_us()
+        );
+        let _ = writeln!(
+            out,
+            "sequential:       {:.3} ms ({seq_rate} events/s, no observer)",
+            wall_seq.as_secs_f64() * 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "parallel x{workers}:      {:.3} ms ({par_rate} events/s, speedup {speedup:.2})",
+            wall_par.as_secs_f64() * 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "observer attached: {:.3} ms ({obs_rate} events/s, emit path priced in)",
+            wall_obs.as_secs_f64() * 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "compute-bound (cost {cost}): seq {:.3} ms, parallel x{workers} {:.3} ms \
+             (speedup {cspeedup:.2})",
+            wall_cseq.as_secs_f64() * 1000.0,
+            wall_cpar.as_secs_f64() * 1000.0
         );
     }
     emit(&out, args.opt("out"))
@@ -2402,5 +2542,37 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown flag"));
+    }
+
+    #[test]
+    fn bench_engine_emits_the_engine_schema() {
+        let f = tmp("bench-engine.json");
+        // Small scale so the debug-mode test stays fast; the committed
+        // baseline uses the release-mode defaults (10^4 ADs).
+        let msg = run(&format!(
+            "bench --engine --ads 200 --workers 2 --rounds 2 --cost 10 --json --out {f}"
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let j = fs::read_to_string(&f).unwrap();
+        for key in [
+            "\"workload\":\"engine-gossip\"",
+            "\"ads\":",
+            "\"events\":",
+            "\"events_per_sec_seq\":",
+            "\"events_per_sec_par\":",
+            "\"events_per_sec_observed\":",
+            "\"speedup\":",
+            "\"speedup_costly\":",
+        ] {
+            assert!(j.contains(key), "missing {key}: {j}");
+        }
+        let text = run("bench --engine --ads 200 --workers 2 --rounds 2 --cost 10").unwrap();
+        assert!(text.contains("events/s, no observer"), "{text}");
+        assert!(text.contains("speedup"), "{text}");
+        assert!(run("bench --engine --ads 0")
+            .unwrap_err()
+            .0
+            .contains("positive"));
     }
 }

@@ -60,7 +60,9 @@ pub struct AdmissionConfig {
     /// path; beyond it, stored-state only.
     pub cached_depth: usize,
     /// Head-of-queue age beyond which the server degrades one extra rung
-    /// (overload shows up as waiting even when the queue is short).
+    /// (overload shows up as waiting even when the queue is short). The
+    /// degrade is proportional: each further multiple of the watermark
+    /// costs another rung, until the ladder bottoms out at stored-only.
     pub age_watermark_us: u64,
     /// Retry-after hint attached to every shed NACK.
     pub retry_after_us: u64,
@@ -190,7 +192,11 @@ impl AdmissionController {
     }
 
     /// The rung the ladder currently selects, from queue depth and
-    /// head-of-queue age at `now`.
+    /// head-of-queue age at `now`. Age degrades proportionally: one rung
+    /// per full watermark the head has waited beyond admission (ages in
+    /// `(w, 2w]` cost one rung, `(2w, 3w]` two), so a server that falls
+    /// far behind reaches stored-only service without waiting for depth
+    /// to catch up.
     pub fn rung(&self, now: SimTime) -> BrownoutRung {
         let depth = self.queue.len();
         let mut rung = if depth <= self.cfg.full_depth {
@@ -202,7 +208,11 @@ impl AdmissionController {
         };
         if let Some(head) = self.queue.front() {
             let age = now.as_us().saturating_sub(head.offered_at.as_us());
-            if age > self.cfg.age_watermark_us {
+            // Integer form of "one rung per started watermark beyond the
+            // first": 0 steps for age <= w, then +1 per multiple of w.
+            let steps = age.saturating_sub(1) / self.cfg.age_watermark_us.max(1);
+            // The ladder has three rungs, so two steps saturate it.
+            for _ in 0..steps.min(2) {
                 rung = rung.degrade();
             }
         }
@@ -857,6 +867,49 @@ mod tests {
         young.offer(open_at(0)).unwrap();
         assert_eq!(young.rung(SimTime(2_000)), BrownoutRung::Cached);
         assert_eq!(young.rung(SimTime(500)), BrownoutRung::Full);
+    }
+
+    #[test]
+    fn rung_age_degrade_is_proportional() {
+        let cfg = AdmissionConfig {
+            queue_capacity: 100,
+            full_depth: 8,
+            cached_depth: 24,
+            age_watermark_us: 1_000,
+            retry_after_us: 10_000,
+        };
+        let mut ac = AdmissionController::new(cfg);
+        ac.offer(open_at(0)).unwrap(); // head offered at t=0, depth 1 (Full)
+                                       // Boundaries are exclusive at each multiple of the watermark.
+        assert_eq!(ac.rung(SimTime(1_000)), BrownoutRung::Full, "age == w");
+        assert_eq!(
+            ac.rung(SimTime(1_001)),
+            BrownoutRung::Cached,
+            "age in (w, 2w]"
+        );
+        assert_eq!(ac.rung(SimTime(2_000)), BrownoutRung::Cached, "age == 2w");
+        assert_eq!(
+            ac.rung(SimTime(2_001)),
+            BrownoutRung::Stored,
+            "age in (2w, 3w]"
+        );
+        // Further waiting saturates at the bottom rung.
+        assert_eq!(ac.rung(SimTime(999_999)), BrownoutRung::Stored);
+        // Proportional degrade composes with the depth-selected rung: a
+        // Cached-depth queue reaches Stored after one extra watermark.
+        let mut deep = AdmissionController::new(cfg);
+        for i in 0..10 {
+            deep.offer(open_at(i)).unwrap();
+        }
+        assert_eq!(deep.rung(SimTime(500)), BrownoutRung::Cached, "depth only");
+        assert_eq!(deep.rung(SimTime(1_001)), BrownoutRung::Stored);
+        // A zero watermark never divides by zero; it just saturates.
+        let mut zero = AdmissionController::new(AdmissionConfig {
+            age_watermark_us: 0,
+            ..cfg
+        });
+        zero.offer(open_at(0)).unwrap();
+        assert_eq!(zero.rung(SimTime(5)), BrownoutRung::Stored);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::{HashMap, HashSet};
 
 use adroute_policy::{
     legality::{self, SearchStats},
-    FlowSpec, PolicyDb, PtId, RouteSelection, TransitPolicy,
+    AdSetPool, FlowSpec, PolicyDb, PtId, RouteSelection, TransitPolicy,
 };
 use adroute_topology::{AdId, TopoDelta, Topology};
 
@@ -210,6 +210,10 @@ pub struct RouteServer {
     precomputed: HashMap<FlowSpec, Option<PolicyRoute>>,
     cache: LruCache<FlowSpec, Option<PolicyRoute>>,
     index: DepIndex,
+    /// Interned avoid-sets: the alternatives hunt widens the same base
+    /// selection by one transit AD per probe, and the pool memoizes those
+    /// compositions across flows.
+    avoid_pool: AdSetPool,
     /// Work counters.
     pub stats: SynthStats,
 }
@@ -238,6 +242,7 @@ impl RouteServer {
             precomputed: HashMap::new(),
             cache,
             index: DepIndex::default(),
+            avoid_pool: AdSetPool::new(),
             stats: SynthStats::default(),
         }
     }
@@ -504,14 +509,17 @@ impl RouteServer {
         let mut found = vec![first.clone()];
         let transit: Vec<AdId> = first.path[1..first.path.len().saturating_sub(1)].to_vec();
         let base = self.selection.clone();
+        let base_avoid = self.avoid_pool.intern(base.avoid.clone());
         for avoid in transit {
             if found.len() >= k {
                 break;
             }
             let mut sel = base.clone();
             // Widen — never replace — the source's avoid set, so its
-            // private criteria stay in force during the hunt.
-            sel.avoid = base.avoid.union(&adroute_policy::AdSet::only([avoid]));
+            // private criteria stay in force during the hunt. The pool
+            // memoizes each (base, avoid) composition.
+            let widened = self.avoid_pool.widen(base_avoid, avoid);
+            sel.avoid = self.avoid_pool.get(widened).clone();
             self.selection = sel;
             if let Some(alt) = self.search(flow) {
                 if !found.iter().any(|r| r.path == alt.path) {

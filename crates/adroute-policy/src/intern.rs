@@ -1,0 +1,131 @@
+//! AD-set interning for hot route-synthesis paths.
+//!
+//! Route Servers compose avoid-sets constantly: every `alternatives(k)`
+//! probe, resilient open, and quarantine sweep widens a source's avoid-set
+//! with one more AD and re-runs the search. At scale the same handful of
+//! widened sets are rebuilt thousands of times. [`AdSetPool`] deduplicates
+//! sets behind small integer handles ([`AdSetRef`]) and memoizes the
+//! widen-by-one-AD operation, so repeated compositions cost a hash probe
+//! instead of a set union.
+
+use crate::bits::AdBits;
+use crate::terms::AdSet;
+use adroute_topology::AdId;
+use std::collections::HashMap;
+
+/// Handle to an interned [`AdSet`] inside an [`AdSetPool`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AdSetRef(u32);
+
+/// Deduplicating store of [`AdSet`]s with a memoized widen operation.
+#[derive(Clone, Default, Debug)]
+pub struct AdSetPool {
+    sets: Vec<AdSet>,
+    index: HashMap<AdSet, AdSetRef>,
+    /// `(base set, added AD) -> widened set`, the hot composition.
+    widened: HashMap<(AdSetRef, AdId), AdSetRef>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AdSetPool {
+    /// An empty pool.
+    pub fn new() -> AdSetPool {
+        AdSetPool::default()
+    }
+
+    /// Interns a set, returning its stable handle. Equal sets (canonical
+    /// representation makes equality semantic) share one handle.
+    pub fn intern(&mut self, set: AdSet) -> AdSetRef {
+        if let Some(&r) = self.index.get(&set) {
+            self.hits += 1;
+            return r;
+        }
+        self.misses += 1;
+        let r = AdSetRef(self.sets.len() as u32);
+        self.sets.push(set.clone());
+        self.index.insert(set, r);
+        r
+    }
+
+    /// Resolves a handle.
+    pub fn get(&self, r: AdSetRef) -> &AdSet {
+        &self.sets[r.0 as usize]
+    }
+
+    /// Membership test without materialising anything.
+    pub fn contains(&self, r: AdSetRef, ad: AdId) -> bool {
+        self.get(r).contains(ad)
+    }
+
+    /// Returns the handle for `base ∪ {ad}`, computing the union only the
+    /// first time a given `(base, ad)` pair is seen.
+    pub fn widen(&mut self, base: AdSetRef, ad: AdId) -> AdSetRef {
+        if let Some(&r) = self.widened.get(&(base, ad)) {
+            self.hits += 1;
+            return r;
+        }
+        let widened = self.get(base).union(&AdSet::Only(AdBits::from_ids([ad])));
+        let r = self.intern(widened);
+        self.widened.insert((base, ad), r);
+        r
+    }
+
+    /// Number of distinct sets interned.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the pool holds no sets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// `(cache hits, misses)` across intern + widen, for observability.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_equal_sets() {
+        let mut pool = AdSetPool::new();
+        let a = pool.intern(AdSet::only([AdId(2), AdId(1)]));
+        let b = pool.intern(AdSet::only([AdId(1), AdId(2), AdId(2)]));
+        assert_eq!(a, b);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.get(a), &AdSet::only([AdId(1), AdId(2)]));
+    }
+
+    #[test]
+    fn widen_is_union_and_memoized() {
+        let mut pool = AdSetPool::new();
+        let base = pool.intern(AdSet::only([AdId(1)]));
+        let w1 = pool.widen(base, AdId(5));
+        assert_eq!(pool.get(w1), &AdSet::only([AdId(1), AdId(5)]));
+        let (_, misses_before) = pool.stats();
+        let w2 = pool.widen(base, AdId(5));
+        assert_eq!(w1, w2);
+        assert_eq!(pool.stats().1, misses_before, "second widen is a pure hit");
+        // Widening an Except shrinks the exclusion list.
+        let ex = pool.intern(AdSet::except([AdId(5), AdId(6)]));
+        let wex = pool.widen(ex, AdId(5));
+        assert_eq!(pool.get(wex), &AdSet::except([AdId(6)]));
+        // Any stays Any.
+        let any = pool.intern(AdSet::Any);
+        let wany = pool.widen(any, AdId(1));
+        assert_eq!(pool.get(wany), &AdSet::Any);
+    }
+
+    #[test]
+    fn contains_through_handle() {
+        let mut pool = AdSetPool::new();
+        let r = pool.intern(AdSet::except([AdId(3)]));
+        assert!(pool.contains(r, AdId(4)));
+        assert!(!pool.contains(r, AdId(3)));
+    }
+}

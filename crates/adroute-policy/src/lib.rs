@@ -25,16 +25,20 @@
 //! * [`ordering`] — satisfiability of a policy set by a single global
 //!   partial ordering (the ECMA question of paper Section 5.1.1).
 
+pub mod bits;
 pub mod class;
 pub mod db;
+pub mod intern;
 pub mod legality;
 pub mod ordering;
 pub mod terms;
 pub mod text;
 pub mod workload;
 
+pub use bits::AdBits;
 pub use class::{FlowSpec, QosClass, TimeOfDay, UserClass};
 pub use db::PolicyDb;
+pub use intern::{AdSetPool, AdSetRef};
 pub use legality::{legal_route, route_is_legal, LegalRoute};
 pub use terms::{
     AdSet, PolicyAction, PolicyCondition, PolicyTerm, PtId, RouteSelection, TransitPolicy,

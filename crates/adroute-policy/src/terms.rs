@@ -9,48 +9,51 @@
 use adroute_topology::AdId;
 use std::fmt;
 
+use crate::bits::AdBits;
 use crate::class::{FlowSpec, QosClass, TimeOfDay, UserClass};
 
 /// A set of ADs, as appears in policy conditions.
 ///
-/// Kept sorted for deterministic evaluation and cheap membership tests.
+/// Payloads are [`AdBits`] — chunked Roaring-style bitsets — so membership
+/// is a bit test rather than a binary search over a `Vec<AdId>`, and set
+/// algebra runs chunk-at-a-time. The canonical bitset form keeps derived
+/// equality semantic and the member-lexicographic `Ord` identical to the
+/// old sorted-`Vec` ordering.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum AdSet {
     /// Matches every AD.
     Any,
     /// Matches exactly the listed ADs.
-    Only(Vec<AdId>),
+    Only(AdBits),
     /// Matches every AD except the listed ones.
-    Except(Vec<AdId>),
+    Except(AdBits),
 }
 
 impl AdSet {
     /// Builds an [`AdSet::Only`] from an iterator, sorting and deduplicating.
     pub fn only(ads: impl IntoIterator<Item = AdId>) -> AdSet {
-        let mut v: Vec<AdId> = ads.into_iter().collect();
-        v.sort_unstable();
-        v.dedup();
-        AdSet::Only(v)
+        AdSet::Only(AdBits::from_ids(ads))
     }
 
     /// Builds an [`AdSet::Except`] from an iterator, sorting and deduplicating.
     pub fn except(ads: impl IntoIterator<Item = AdId>) -> AdSet {
-        let mut v: Vec<AdId> = ads.into_iter().collect();
-        v.sort_unstable();
-        v.dedup();
-        AdSet::Except(v)
+        AdSet::Except(AdBits::from_ids(ads))
     }
 
     /// Membership test.
     pub fn contains(&self, ad: AdId) -> bool {
         match self {
             AdSet::Any => true,
-            AdSet::Only(v) => v.binary_search(&ad).is_ok(),
-            AdSet::Except(v) => v.binary_search(&ad).is_err(),
+            AdSet::Only(v) => v.contains(ad),
+            AdSet::Except(v) => !v.contains(ad),
         }
     }
 
     /// Approximate encoded size in bytes, for message accounting.
+    ///
+    /// Deliberately kept at the id-list encoding (1 tag byte + 4 bytes per
+    /// member) regardless of the in-memory bitset form, so protocol message
+    /// sizes are unchanged by the representation switch.
     pub fn encoded_size(&self) -> usize {
         match self {
             AdSet::Any => 1,
@@ -71,33 +74,15 @@ impl AdSet {
         use AdSet::*;
         match (self, other) {
             (Any, x) | (x, Any) => x.clone(),
-            (Only(a), Only(b)) => AdSet::Only(
-                a.iter()
-                    .copied()
-                    .filter(|x| b.binary_search(x).is_ok())
-                    .collect(),
-            ),
-            (Only(a), Except(b)) | (Except(b), Only(a)) => AdSet::Only(
-                a.iter()
-                    .copied()
-                    .filter(|x| b.binary_search(x).is_err())
-                    .collect(),
-            ),
-            (Except(a), Except(b)) => {
-                let mut v: Vec<AdId> = a.iter().chain(b.iter()).copied().collect();
-                v.sort_unstable();
-                v.dedup();
-                AdSet::Except(v)
-            }
+            (Only(a), Only(b)) => AdSet::Only(a.intersect(b)),
+            (Only(a), Except(b)) | (Except(b), Only(a)) => AdSet::Only(a.difference(b)),
+            (Except(a), Except(b)) => AdSet::Except(a.union(b)),
         }
     }
 
     /// Set difference `self \ removed` where `removed` is a plain list.
     pub fn subtract(&self, removed: &[AdId]) -> AdSet {
-        let mut r = removed.to_vec();
-        r.sort_unstable();
-        r.dedup();
-        self.intersect(&AdSet::Except(r))
+        self.intersect(&AdSet::Except(AdBits::from_ids(removed.iter().copied())))
     }
 
     /// Set union. Route Servers widen a *avoid* set with additional ADs
@@ -107,24 +92,9 @@ impl AdSet {
         use AdSet::*;
         match (self, other) {
             (Any, _) | (_, Any) => Any,
-            (Only(a), Only(b)) => {
-                let mut v: Vec<AdId> = a.iter().chain(b.iter()).copied().collect();
-                v.sort_unstable();
-                v.dedup();
-                AdSet::Only(v)
-            }
-            (Only(a), Except(b)) | (Except(b), Only(a)) => AdSet::Except(
-                b.iter()
-                    .copied()
-                    .filter(|x| a.binary_search(x).is_err())
-                    .collect(),
-            ),
-            (Except(a), Except(b)) => AdSet::Except(
-                a.iter()
-                    .copied()
-                    .filter(|x| b.binary_search(x).is_ok())
-                    .collect(),
-            ),
+            (Only(a), Only(b)) => AdSet::Only(a.union(b)),
+            (Only(a), Except(b)) | (Except(b), Only(a)) => AdSet::Except(b.difference(a)),
+            (Except(a), Except(b)) => AdSet::Except(a.intersect(b)),
         }
     }
 }
@@ -133,26 +103,8 @@ impl fmt::Display for AdSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdSet::Any => f.write_str("*"),
-            AdSet::Only(v) => {
-                write!(f, "{{")?;
-                for (i, a) in v.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{a}")?;
-                }
-                write!(f, "}}")
-            }
-            AdSet::Except(v) => {
-                write!(f, "!{{")?;
-                for (i, a) in v.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{a}")?;
-                }
-                write!(f, "}}")
-            }
+            AdSet::Only(v) => write!(f, "{{{v}}}"),
+            AdSet::Except(v) => write!(f, "!{{{v}}}"),
         }
     }
 }
@@ -455,7 +407,7 @@ impl RouteSelection {
     /// No source-side constraints.
     pub fn unconstrained() -> RouteSelection {
         RouteSelection {
-            avoid: AdSet::Only(Vec::new()),
+            avoid: AdSet::Only(AdBits::new()),
             max_cost: None,
             max_hops: None,
         }
@@ -566,7 +518,7 @@ mod tests {
             AdSet::only([AdId(1), AdId(2), AdId(3)])
         );
         // Only ∪ Except removes the named ADs from the exclusion list.
-        assert_eq!(only12.union(&except12), AdSet::Except(Vec::new()));
+        assert_eq!(only12.union(&except12), AdSet::Except(AdBits::new()));
         assert_eq!(
             AdSet::only([AdId(1)]).union(&except12),
             AdSet::except([AdId(2)])

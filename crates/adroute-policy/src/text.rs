@@ -179,7 +179,7 @@ fn parse_adset(lx: &mut Lexer<'_>) -> Result<AdSet, ParseError> {
             let AdSet::Only(v) = parse_adset_braces(lx)? else {
                 return err("expected '{' after '!'");
             };
-            Ok(AdSet::except(v))
+            Ok(AdSet::Except(v))
         }
         Some(Tok::Punct('{')) => parse_adset_rest(lx),
         other => err(format!("expected AD set, found {other:?}")),

@@ -30,8 +30,6 @@
 //! policy is expressible **only** through the ordering itself — the
 //! limitation experiment E3 quantifies.
 
-use std::collections::HashMap;
-
 use adroute_policy::{FlowSpec, QosClass};
 use adroute_sim::{Ctx, Engine, EventRecord, MisbehaviorModel, MisbehaviorSpec, Protocol};
 use adroute_topology::{AdId, AdRole, LinkId, PartialOrder, Topology};
@@ -176,7 +174,13 @@ impl Ecma {
 
     fn recompute(&self, r: &mut EcmaRouter, ctx: &Ctx<'_, EcmaUpdate>) -> bool {
         let mut changed = false;
-        let neighbors = ctx.neighbors();
+        // Resolve each neighbor's adjacency slot once; the inner loop is
+        // then a flat array walk with no hashing.
+        let neighbors: Vec<(AdId, LinkId, usize)> = ctx
+            .neighbors()
+            .into_iter()
+            .filter_map(|(nbr, link)| ctx.neighbor_slot(nbr).map(|s| (nbr, link, s)))
+            .collect();
         let nq = self.qos_classes as usize;
         for dest_i in 0..r.num_ads {
             for qos in 0..nq as u8 {
@@ -188,8 +192,8 @@ impl Ecma {
                         alldown: (0, None),
                     };
                 } else {
-                    for &(nbr, link) in &neighbors {
-                        let Some(v) = r.adv_in.get(&nbr) else {
+                    for &(nbr, link, nslot) in &neighbors {
+                        let Some(v) = &r.adv_in[nslot] else {
                             continue;
                         };
                         let adv = v[slot];
@@ -307,7 +311,9 @@ pub struct EcmaRouter {
     num_ads: usize,
     /// FIBs indexed `dest * qos_classes + qos`.
     pub table: Vec<EcmaEntry>,
-    adv_in: HashMap<AdId, Vec<(u32, u32)>>,
+    /// Last advertisement per neighbor, indexed by the dense adjacency
+    /// slot ([`Ctx::neighbor_slot`]) instead of a hash map.
+    adv_in: Vec<Option<Vec<(u32, u32)>>>,
 }
 
 impl EcmaRouter {
@@ -335,7 +341,7 @@ impl Protocol for Ecma {
             me: ad,
             num_ads: n,
             table,
-            adv_in: HashMap::new(),
+            adv_in: vec![None; topo.full_degree(ad)],
         }
     }
 
@@ -360,7 +366,9 @@ impl Protocol for Ecma {
                 v[self.idx(dest, qos)] = (any.min(self.infinity), alldown.min(self.infinity));
             }
         }
-        r.adv_in.insert(from, v);
+        if let Some(slot) = ctx.neighbor_slot(from) {
+            r.adv_in[slot] = Some(v);
+        }
         ctx.count("ecma_recompute", 1);
         let changed = self.recompute(r, ctx);
         // Emit before advertising: the sends below anchor to this record
@@ -384,7 +392,9 @@ impl Protocol for Ecma {
         up: bool,
     ) {
         if !up {
-            r.adv_in.remove(&neighbor);
+            if let Some(slot) = ctx.neighbor_slot(neighbor) {
+                r.adv_in[slot] = None;
+            }
         }
         ctx.count("ecma_recompute", 1);
         let changed = self.recompute(r, ctx);

@@ -15,6 +15,11 @@
 //! `adroute-core`, built on the [`linkstate`] flooding machinery defined
 //! here.
 //!
+//! [`gossip`] is not a design point: it is a deliberately cheap flood
+//! workload whose per-event cost is a few array reads, used by
+//! `adroute bench --engine` and the scale experiments to measure the
+//! discrete-event core itself rather than any protocol's computation.
+//!
 //! [`forwarding`] provides the common data-plane harness: every protocol
 //! exposes a [`forwarding::DataPlane`], and experiments drive packets
 //! hop-by-hop through the converged network, auditing loop-freedom and
@@ -22,6 +27,7 @@
 
 pub mod ecma;
 pub mod forwarding;
+pub mod gossip;
 pub mod linkstate;
 pub mod ls_hbh;
 pub mod naive_dv;

@@ -12,8 +12,6 @@
 //! routes transit traffic through ADs whose policies forbid it — the
 //! policy-integrity failure that the Table-1 capability probe records.
 
-use std::collections::HashMap;
-
 use adroute_policy::FlowSpec;
 use adroute_sim::{Ctx, Engine, EventRecord, MisbehaviorModel, MisbehaviorSpec, Protocol};
 use adroute_topology::{AdId, LinkId, Topology};
@@ -89,8 +87,9 @@ pub struct DvRouter {
     pub metric: Vec<u32>,
     /// Chosen next hop per destination.
     pub next_hop: Vec<Option<AdId>>,
-    /// Last vector received from each neighbor.
-    adv_in: HashMap<AdId, Vec<u32>>,
+    /// Last vector received from each neighbor, indexed by the dense
+    /// adjacency slot ([`Ctx::neighbor_slot`]) instead of a hash map.
+    adv_in: Vec<Option<Vec<u32>>>,
 }
 
 impl DvRouter {
@@ -108,7 +107,13 @@ impl NaiveDv {
     fn recompute(&self, r: &mut DvRouter, ctx: &Ctx<'_, DvUpdate>) -> bool {
         let n = r.metric.len();
         let mut changed = false;
-        let neighbors = self.peers(ctx);
+        // Resolve each peer's adjacency slot once; the inner loop is then
+        // a flat array walk with no hashing.
+        let neighbors: Vec<(AdId, LinkId, usize)> = self
+            .peers(ctx)
+            .into_iter()
+            .filter_map(|(nbr, link)| ctx.neighbor_slot(nbr).map(|slot| (nbr, link, slot)))
+            .collect();
         for dest in 0..n {
             let (mut best, mut hop) = if dest == r.me.index() {
                 (0u32, None)
@@ -116,8 +121,8 @@ impl NaiveDv {
                 (self.infinity, None)
             };
             if dest != r.me.index() {
-                for &(nbr, link) in &neighbors {
-                    if let Some(v) = r.adv_in.get(&nbr) {
+                for &(nbr, link, slot) in &neighbors {
+                    if let Some(v) = &r.adv_in[slot] {
                         let m = v[dest]
                             .saturating_add(ctx.link_metric(link))
                             .min(self.infinity);
@@ -174,7 +179,7 @@ impl Protocol for NaiveDv {
             me: ad,
             metric,
             next_hop: vec![None; n],
-            adv_in: HashMap::new(),
+            adv_in: vec![None; topo.full_degree(ad)],
         }
     }
 
@@ -202,7 +207,9 @@ impl Protocol for NaiveDv {
                 *slot = m.min(self.infinity);
             }
         }
-        r.adv_in.insert(from, v);
+        if let Some(slot) = ctx.neighbor_slot(from) {
+            r.adv_in[slot] = Some(v);
+        }
         ctx.count("dv_recompute", 1);
         let changed = self.recompute(r, ctx);
         // Emit before advertising: the sends below anchor to this record
@@ -226,7 +233,9 @@ impl Protocol for NaiveDv {
         up: bool,
     ) {
         if !up {
-            r.adv_in.remove(&neighbor);
+            if let Some(slot) = ctx.neighbor_slot(neighbor) {
+                r.adv_in[slot] = None;
+            }
         }
         ctx.count("dv_recompute", 1);
         let changed = self.recompute(r, ctx);

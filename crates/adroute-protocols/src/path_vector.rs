@@ -203,7 +203,9 @@ fn offerings(
                 // Remove the denied sources from everything that follows.
                 // (Class-conditioned denials over-restrict; conservative.)
                 match src_cond {
-                    Some(AdSet::Only(v)) => remaining = remaining.subtract(v),
+                    Some(AdSet::Only(v)) => {
+                        remaining = remaining.intersect(&AdSet::Except(v.clone()))
+                    }
                     Some(AdSet::Except(v)) => {
                         remaining = remaining.intersect(&AdSet::Only(v.clone()))
                     }
@@ -257,8 +259,9 @@ fn offerings(
 pub struct PvRouter {
     me: AdId,
     /// Last full table received from each neighbor (paths start at that
-    /// neighbor).
-    adj_in: BTreeMap<AdId, Vec<PvRoute>>,
+    /// neighbor), indexed by the dense adjacency slot
+    /// ([`Ctx::neighbor_slot`]) instead of a map.
+    adj_in: Vec<Option<Vec<PvRoute>>>,
     /// Selected routes: cheapest per `(dest, attrs)`, sorted for
     /// determinism. Paths start at the next hop.
     pub loc_rib: Vec<PvRoute>,
@@ -270,7 +273,7 @@ impl PvRouter {
     /// Total routes stored across neighbor RIBs (the state-size measure
     /// of experiment E4).
     pub fn adj_rib_size(&self) -> usize {
-        self.adj_in.values().map(Vec::len).sum()
+        self.adj_in.iter().flatten().map(Vec::len).sum()
     }
 
     /// Selected routes toward one destination.
@@ -300,11 +303,12 @@ impl PathVector {
     }
 
     fn recompute(&self, r: &mut PvRouter, ctx: &Ctx<'_, PvUpdate>) -> bool {
-        let neighbors = ctx.neighbors();
         let mut best: BTreeMap<(AdId, PvAttrs), PvRoute> = BTreeMap::new();
-        for (&nbr, routes) in &r.adj_in {
-            let Some(&(_, link)) = neighbors.iter().find(|&&(n, _)| n == nbr) else {
-                continue; // link currently down
+        // Up neighbors in ascending id order: the same visit order the
+        // old per-neighbor BTreeMap produced, so tie-breaks are stable.
+        for (nbr, link) in ctx.neighbors() {
+            let Some(routes) = ctx.neighbor_slot(nbr).and_then(|s| r.adj_in[s].as_ref()) else {
+                continue; // nothing heard from this neighbor yet
             };
             let w = ctx.link_metric(link);
             for route in routes {
@@ -467,10 +471,10 @@ impl Protocol for PathVector {
     type Router = PvRouter;
     type Msg = PvUpdate;
 
-    fn make_router(&self, _topo: &Topology, ad: AdId) -> PvRouter {
+    fn make_router(&self, topo: &Topology, ad: AdId) -> PvRouter {
         PvRouter {
             me: ad,
-            adj_in: BTreeMap::new(),
+            adj_in: vec![None; topo.full_degree(ad)],
             loc_rib: Vec::new(),
             advert_pending: false,
         }
@@ -499,7 +503,9 @@ impl Protocol for PathVector {
                 route
             })
             .collect();
-        r.adj_in.insert(from, routes);
+        if let Some(slot) = ctx.neighbor_slot(from) {
+            r.adj_in[slot] = Some(routes);
+        }
         ctx.count("pv_recompute", 1);
         let changed = self.recompute(r, ctx);
         // Emit before scheduling the advertisement: the batch timer below
@@ -530,7 +536,9 @@ impl Protocol for PathVector {
         up: bool,
     ) {
         if !up {
-            r.adj_in.remove(&neighbor);
+            if let Some(slot) = ctx.neighbor_slot(neighbor) {
+                r.adj_in[slot] = None;
+            }
         }
         ctx.count("pv_recompute", 1);
         let changed = self.recompute(r, ctx);

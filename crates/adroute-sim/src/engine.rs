@@ -82,28 +82,28 @@ pub trait Protocol: Sized {
 
 /// Handler-side context: everything a router may do during an event.
 pub struct Ctx<'a, M> {
-    me: AdId,
-    now: SimTime,
-    topo: &'a Topology,
-    stats: &'a mut Stats,
+    pub(crate) me: AdId,
+    pub(crate) now: SimTime,
+    pub(crate) topo: &'a Topology,
+    pub(crate) stats: &'a mut Stats,
     /// Outgoing messages `(to, link, msg, anchor)` buffered until the
     /// handler returns; `anchor` indexes the protocol-emitted event in
     /// `events` that preceded the send, for causal attribution.
-    outbox: Vec<(AdId, LinkId, M, Option<usize>)>,
+    pub(crate) outbox: Vec<(AdId, LinkId, M, Option<usize>)>,
     /// Timers `(delay_us, token, anchor)` buffered until the handler
     /// returns.
-    timers: Vec<(u64, u64, Option<usize>)>,
+    pub(crate) timers: Vec<(u64, u64, Option<usize>)>,
     /// Typed events emitted by the protocol, drained into the engine's
     /// observability stream when the handler returns.
-    events: Vec<EventRecord>,
+    pub(crate) events: Vec<EventRecord>,
     /// Index into `events` of the most recent protocol-emitted record.
     /// Sends and timers are attributed to it (protocols emit the
     /// reaction — LSA accepted, route recomputed — *before* flooding),
     /// falling back to the dispatched event itself.
-    anchor: Option<usize>,
+    pub(crate) anchor: Option<usize>,
     /// Whether any event sink (trace or typed log) is enabled; when
     /// false, [`Ctx::emit`] is a no-op so protocols pay nothing.
-    observing: bool,
+    pub(crate) observing: bool,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -148,6 +148,21 @@ impl<'a, M> Ctx<'a, M> {
             .unwrap_or(false)
     }
 
+    /// The dense slot of `neighbor` in this AD's adjacency list, or
+    /// `None` for non-neighbors. Slots are stable for a topology (the
+    /// adjacency is sorted by neighbor id) regardless of link state, so
+    /// per-neighbor protocol state can live in flat arrays of
+    /// [`Ctx::full_degree`] length instead of hash maps.
+    pub fn neighbor_slot(&self, neighbor: AdId) -> Option<usize> {
+        self.topo.neighbor_slot(self.me, neighbor)
+    }
+
+    /// This AD's adjacency size counting failed links too: the length to
+    /// allocate for [`Ctx::neighbor_slot`]-indexed arrays.
+    pub fn full_degree(&self) -> usize {
+        self.topo.full_degree(self.me)
+    }
+
     /// Sends `msg` to a directly connected neighbor over the (operational)
     /// link between them. Messages to non-neighbors or over failed links
     /// are dropped at the source, mirroring a loss on a dying link; such
@@ -190,25 +205,55 @@ impl<'a, M> Ctx<'a, M> {
     }
 }
 
+/// Reusable dispatch buffers. [`Engine::dispatch`] hands these to each
+/// [`Ctx`] and takes them back drained, so steady-state dispatch allocates
+/// nothing — the hot-path requirement for paper-scale runs (and the whole
+/// point when no observer is attached and `events` stays empty).
+pub(crate) struct Scratch<M> {
+    pub(crate) outbox: Vec<(AdId, LinkId, M, Option<usize>)>,
+    pub(crate) timers: Vec<(u64, u64, Option<usize>)>,
+    pub(crate) events: Vec<EventRecord>,
+    pub(crate) emitted: Vec<Option<EventId>>,
+}
+
+impl<M> Default for Scratch<M> {
+    fn default() -> Scratch<M> {
+        Scratch {
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            events: Vec::new(),
+            emitted: Vec::new(),
+        }
+    }
+}
+
 /// The discrete-event engine running one [`Protocol`] over one
 /// [`Topology`].
 pub struct Engine<P: Protocol> {
-    protocol: P,
-    topo: Topology,
-    routers: Vec<P::Router>,
-    queue: BinaryHeap<Event<P::Msg>>,
-    seq: u64,
-    now: SimTime,
+    pub(crate) protocol: P,
+    pub(crate) topo: Topology,
+    pub(crate) routers: Vec<P::Router>,
+    /// AD-targeted events (start / deliver / timer): the parallelizable
+    /// queue, partitioned by region during parallel windows.
+    pub(crate) queue: BinaryHeap<Event<P::Msg>>,
+    /// Control events (link / router state changes). Kept apart from the
+    /// targeted queue so the parallel scheduler can read the next global
+    /// synchronization point in O(1).
+    pub(crate) ctrl: BinaryHeap<Event<P::Msg>>,
+    pub(crate) seq: u64,
+    pub(crate) now: SimTime,
     /// What the link-fault process says about each link, independent of
     /// router crashes. A link is *operational* (reflected in `topo`) iff
     /// its scheduled state is up AND both endpoint routers are up.
     sched_up: Vec<bool>,
     /// Liveness of each router; crashed routers receive no events.
-    router_up: Vec<bool>,
+    pub(crate) router_up: Vec<bool>,
     /// Bumped on each crash so pre-crash timers die with the old state.
-    incarnations: Vec<u32>,
+    pub(crate) incarnations: Vec<u32>,
     /// Optional channel-fault injector (loss/corruption/dup/reorder).
-    faults: Option<FaultInjector>,
+    pub(crate) faults: Option<FaultInjector>,
+    /// Reusable dispatch buffers (see [`Scratch`]).
+    scratch: Scratch<P::Msg>,
     /// Safety valve: maximum events processed per `run_*` call family.
     pub max_events: u64,
     /// Accumulated measurement counters.
@@ -242,12 +287,14 @@ impl<P: Protocol> Engine<P> {
             topo,
             routers,
             queue: BinaryHeap::new(),
+            ctrl: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
             sched_up,
             router_up: vec![true; num_ads],
             incarnations: vec![0; num_ads],
             faults: None,
+            scratch: Scratch::default(),
             max_events: 50_000_000,
             stats,
             trace: Trace::new(0),
@@ -262,12 +309,42 @@ impl<P: Protocol> Engine<P> {
     fn push(&mut self, time: SimTime, cause: Option<EventId>, kind: EventKind<P::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event {
+        let ev = Event {
             time,
             seq,
             cause,
             kind,
-        });
+        };
+        if ev.kind.target_ad().is_some() {
+            self.queue.push(ev);
+        } else {
+            self.ctrl.push(ev);
+        }
+    }
+
+    /// Pops the globally next event across both queues, by `(time, seq)`.
+    pub(crate) fn pop_next(&mut self) -> Option<Event<P::Msg>> {
+        let take_ctrl = match (self.queue.peek(), self.ctrl.peek()) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(a), Some(c)) => (c.time, c.seq) < (a.time, a.seq),
+        };
+        if take_ctrl {
+            self.ctrl.pop()
+        } else {
+            self.queue.pop()
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        match (self.queue.peek(), self.ctrl.peek()) {
+            (None, None) => None,
+            (Some(a), None) => Some(a.time),
+            (None, Some(c)) => Some(c.time),
+            (Some(a), Some(c)) => Some(a.time.min(c.time)),
+        }
     }
 
     /// The topology (current link states included).
@@ -298,7 +375,7 @@ impl<P: Protocol> Engine<P> {
 
     /// Number of events waiting.
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.ctrl.len()
     }
 
     /// Schedules a link state change at an absolute time. The topology
@@ -395,7 +472,7 @@ impl<P: Protocol> Engine<P> {
 
     /// Processes a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        let Some(ev) = self.pop_next() else {
             return false;
         };
         debug_assert!(ev.time >= self.now, "time went backwards");
@@ -562,7 +639,7 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// Whether any event sink (legacy trace or typed log) is recording.
-    fn observing(&self) -> bool {
+    pub(crate) fn observing(&self) -> bool {
         self.trace.capacity() > 0 || self.obs.log.capacity() > 0
     }
 
@@ -570,7 +647,7 @@ impl<P: Protocol> Engine<P> {
     /// receives the rendered `Display` form (so `Trace` is a pure view
     /// over the typed stream), the typed log the record itself with its
     /// causal parent. Returns the id the typed log assigned, if any.
-    fn emit(&mut self, cause: Option<EventId>, rec: EventRecord) -> Option<EventId> {
+    pub(crate) fn emit(&mut self, cause: Option<EventId>, rec: EventRecord) -> Option<EventId> {
         if self.trace.capacity() > 0 {
             self.trace.log(self.now, rec.to_string());
         }
@@ -607,29 +684,31 @@ impl<P: Protocol> Engine<P> {
     where
         F: FnOnce(&P, &mut P::Router, &mut Ctx<'_, P::Msg>),
     {
+        // Hand the reusable buffers to the context; they come back drained
+        // below, so steady-state dispatch performs no allocation.
         let mut ctx = Ctx {
             me: ad,
             now: self.now,
             topo: &self.topo,
             stats: &mut self.stats,
-            outbox: Vec::new(),
-            timers: Vec::new(),
-            events: Vec::new(),
+            outbox: std::mem::take(&mut self.scratch.outbox),
+            timers: std::mem::take(&mut self.scratch.timers),
+            events: std::mem::take(&mut self.scratch.events),
             anchor: None,
             observing: self.trace.capacity() > 0 || self.obs.log.capacity() > 0,
         };
         f(&self.protocol, &mut self.routers[ad.index()], &mut ctx);
         let Ctx {
-            outbox,
-            timers,
-            events,
+            mut outbox,
+            mut timers,
+            mut events,
             ..
         } = ctx;
         // Protocol-emitted records are children of the dispatched event;
         // their assigned ids let the sends and timers that followed each
         // one attach to the precise reaction that produced them.
-        let mut emitted: Vec<Option<EventId>> = Vec::with_capacity(events.len());
-        for rec in events {
+        let mut emitted = std::mem::take(&mut self.scratch.emitted);
+        for rec in events.drain(..) {
             let id = self.emit(cause, rec);
             emitted.push(id);
         }
@@ -638,7 +717,7 @@ impl<P: Protocol> Engine<P> {
                 .and_then(|i| emitted.get(i).copied().flatten())
                 .or(cause)
         };
-        for (to, link, msg, anchor) in outbox {
+        for (to, link, msg, anchor) in outbox.drain(..) {
             let msg_cause = resolve(anchor);
             let delay = self.topo.link(link).delay_us;
             self.stats.msgs_sent += 1;
@@ -722,7 +801,7 @@ impl<P: Protocol> Engine<P> {
             );
         }
         let incarnation = self.incarnations[ad.index()];
-        for (delay_us, token, anchor) in timers {
+        for (delay_us, token, anchor) in timers.drain(..) {
             let at = self.now.plus_us(delay_us);
             self.push(
                 at,
@@ -734,6 +813,11 @@ impl<P: Protocol> Engine<P> {
                 },
             );
         }
+        emitted.clear();
+        self.scratch.outbox = outbox;
+        self.scratch.timers = timers;
+        self.scratch.events = events;
+        self.scratch.emitted = emitted;
     }
 
     /// Runs until the event queue is empty (quiescence) and returns the
@@ -759,8 +843,8 @@ impl<P: Protocol> Engine<P> {
     /// Runs until simulated time exceeds `until` or the queue empties.
     pub fn run_until(&mut self, until: SimTime) {
         let start_events = self.stats.events;
-        while let Some(ev) = self.queue.peek() {
-            if ev.time > until {
+        while let Some(t) = self.next_event_time() {
+            if t > until {
                 break;
             }
             self.step();
@@ -785,7 +869,7 @@ impl<P: Protocol> Engine<P> {
 /// Live state of the channel-fault process: configuration plus the RNG it
 /// draws from. Owned by the engine so fault arrival is a pure function of
 /// the (deterministic) event sequence.
-struct FaultInjector {
+pub(crate) struct FaultInjector {
     cfg: ChannelFaults,
     rng: SmallRng,
 }
@@ -838,15 +922,16 @@ impl FaultInjector {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use adroute_topology::generate::line;
 
     /// A toy flooding protocol: AD0 floods a wave token; every router
-    /// forwards the first copy it sees to all neighbors.
-    struct Wave;
+    /// forwards the first copy it sees to all neighbors. Shared with the
+    /// parallel-execution tests.
+    pub(crate) struct Wave;
     #[derive(Default)]
-    struct WaveRouter {
+    pub(crate) struct WaveRouter {
         seen: bool,
         heard_from: Vec<AdId>,
         timer_fired: bool,

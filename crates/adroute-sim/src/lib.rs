@@ -18,6 +18,7 @@ pub mod event;
 pub mod faults;
 pub mod monitor;
 pub mod obs;
+pub mod parallel;
 pub mod schedule;
 pub mod stats;
 pub mod trace;

@@ -1,0 +1,756 @@
+//! Deterministically parallel region execution.
+//!
+//! The engine's sequential semantics — a single total order of events by
+//! `(time, seq)` — is the contract every golden trace in this repo depends
+//! on. This module runs the same simulation on multiple threads *without
+//! changing one byte of that contract*, using conservative synchronization
+//! (Chandy/Misra-style lookahead) plus a journal/commit replay:
+//!
+//! 1. ADs are partitioned into contiguous regions
+//!    ([`RegionMap`](adroute_topology::RegionMap)). The **lookahead** is
+//!    the minimum propagation delay of any link crossing a region
+//!    boundary: no message sent inside a window of that length can arrive
+//!    in another region before the window ends.
+//! 2. A window `[t0, wend)` is chosen with
+//!    `wend = min(t0 + lookahead, next control event, until + 1)`.
+//!    Control events (link/router state changes) mutate shared topology
+//!    state, so they bound every window and run sequentially between
+//!    windows, as do whole windows whenever channel faults are active
+//!    (fault draws consume a global RNG in event order).
+//! 3. Each region's lane processes its in-window events on its own thread
+//!    against a *shared immutable* topology and a private slice of the
+//!    router arena, recording a **journal**: per processed event, the
+//!    records it emitted and the events it pushed, with *symbolic* causes
+//!    ([`CauseRef`]) because real [`EventId`]s cannot be assigned
+//!    concurrently.
+//! 4. A sequential **commit** replays the skeleton of the window — a heap
+//!    of `(time, seq)` stubs — in exactly the order the sequential engine
+//!    would have used, assigning global sequence numbers and event ids,
+//!    resolving symbolic causes, and feeding escaped events (arrivals at
+//!    or past `wend`) back into the engine queue.
+//!
+//! Two invariants make the replay exact:
+//!
+//! * **Lane-local order is sequential order restricted to the lane.**
+//!   Within a lane, temporary sequence numbers are assigned in push order
+//!   and all exceed the window's initial (real) sequence numbers; at
+//!   commit, real numbers are assigned in the same relative order, so
+//!   `(time, temp)` and `(time, real)` induce the same lane-local order.
+//! * **In-window arrivals are always lane-local.** A delivery to another
+//!   region crosses a boundary link, whose delay is at least the
+//!   lookahead, so it arrives at or after `wend` and escapes the window.
+//!
+//! Consequently traces, typed event logs, stats, and final router state
+//! are byte-identical to a sequential run at *any* region count.
+
+use std::collections::BinaryHeap;
+
+use adroute_topology::{min_cross_region_delay, AdId, RegionMap, Topology};
+
+use crate::engine::{Ctx, Engine, Protocol, Scratch};
+use crate::event::{Event, EventKind, SimTime};
+use crate::obs::{EventId, EventRecord};
+use crate::stats::Stats;
+
+/// A cause that may not have a real id yet: either a known id from before
+/// the window (or `None`), or the `k`-th record this lane emitted during
+/// the window, resolved against the lane's symbol table at commit.
+#[derive(Clone, Copy, Debug)]
+enum CauseRef {
+    Known(Option<EventId>),
+    Local(u32),
+}
+
+/// A lane-queued event. `seq` is real for events drained from the engine
+/// queue and temporary (>= the window's sequence base) for in-window
+/// pushes; the two ranges never overlap, so the lane heap's `(time, seq)`
+/// order matches the sequential order restricted to the lane.
+struct LaneEv<M> {
+    time: SimTime,
+    seq: u64,
+    cause: CauseRef,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for LaneEv<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for LaneEv<M> {}
+impl<M> PartialOrd for LaneEv<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for LaneEv<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: earliest first out of the max-heap.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// One record emitted during the window, with its symbolic cause.
+struct JRecord {
+    cause: CauseRef,
+    rec: EventRecord,
+}
+
+/// One event pushed during the window. `payload: None` marks an in-window
+/// push the lane processed itself (commit only mints its sequence number
+/// and skeleton stub); `Some` marks an escaped event commit feeds back
+/// into the engine queue.
+struct JPush<M> {
+    time: SimTime,
+    cause: CauseRef,
+    payload: Option<EventKind<M>>,
+}
+
+/// The journal of one processed event, consumed by commit in pop order.
+struct JEntry<M> {
+    time: SimTime,
+    records: Vec<JRecord>,
+    pushes: Vec<JPush<M>>,
+}
+
+/// Everything a lane hands back to the committing thread.
+struct LaneResult<M> {
+    journal: Vec<JEntry<M>>,
+    stats: Stats,
+    /// Messages sent per AD of this region, indexed relative to the
+    /// region base (keeps per-lane allocation proportional to the region,
+    /// not the whole arena).
+    per_ad: Vec<u64>,
+}
+
+impl<M> LaneResult<M> {
+    fn empty() -> LaneResult<M> {
+        LaneResult {
+            journal: Vec::new(),
+            stats: Stats::new(0),
+            per_ad: Vec::new(),
+        }
+    }
+}
+
+/// A skeleton stub: the `(time, seq)` identity of one processed event and
+/// the lane whose journal holds its effects.
+#[derive(Clone, Copy)]
+struct Stub {
+    time: SimTime,
+    seq: u64,
+    lane: u32,
+}
+
+impl PartialEq for Stub {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Stub {}
+impl PartialOrd for Stub {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Stub {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The per-region execution context: a private slice of the router arena,
+/// shared read-only views of everything control events own, and the
+/// journaling machinery.
+struct Lane<'a, P: Protocol> {
+    protocol: &'a P,
+    topo: &'a Topology,
+    router_up: &'a [bool],
+    incarnations: &'a [u32],
+    routers: &'a mut [P::Router],
+    region: std::ops::Range<usize>,
+    wend: SimTime,
+    observing: bool,
+    max_events: u64,
+    now: SimTime,
+    /// Next temporary sequence number for in-window pushes.
+    temp_seq: u64,
+    /// Next symbolic record index ([`CauseRef::Local`]).
+    symct: u32,
+    heap: BinaryHeap<LaneEv<P::Msg>>,
+    journal: Vec<JEntry<P::Msg>>,
+    cur_records: Vec<JRecord>,
+    cur_pushes: Vec<JPush<P::Msg>>,
+    stats: Stats,
+    per_ad: Vec<u64>,
+    scratch: Scratch<P::Msg>,
+    emitted: Vec<CauseRef>,
+}
+
+impl<'a, P: Protocol> Lane<'a, P> {
+    /// Processes every queued event (initial events are seeded by the
+    /// caller; in-window pushes feed back into the heap).
+    fn run(&mut self) {
+        while let Some(ev) = self.heap.pop() {
+            assert!(
+                (self.journal.len() as u64) <= self.max_events,
+                "event budget exceeded inside a parallel window at {}",
+                ev.time
+            );
+            self.process(ev);
+        }
+    }
+
+    /// Mirrors [`Engine::step`]'s targeted-event arms (start / deliver /
+    /// timer); control events never reach a lane.
+    fn process(&mut self, ev: LaneEv<P::Msg>) {
+        debug_assert!(ev.time >= self.now && ev.time < self.wend);
+        self.now = ev.time;
+        self.stats.events += 1;
+        let cause = ev.cause;
+        match ev.kind {
+            EventKind::Start { ad } => {
+                let id = self.jemit(cause, EventRecord::Start { ad });
+                self.dispatch(ad, id, |p, r, ctx| p.on_start(r, ctx));
+            }
+            EventKind::Deliver {
+                to,
+                from,
+                link,
+                msg,
+            } => {
+                if self.topo.link(link).up && self.router_up[to.index()] {
+                    self.stats.msgs_delivered += 1;
+                    self.stats.last_activity = self.now;
+                    let id = self.jemit(cause, EventRecord::MsgDeliver { from, to, link });
+                    self.dispatch(to, id, |p, r, ctx| p.on_message(r, ctx, from, link, msg));
+                } else {
+                    self.stats.msgs_lost += 1;
+                    self.jemit(cause, EventRecord::MsgLost { from, to, link });
+                }
+            }
+            EventKind::Timer {
+                ad,
+                token,
+                incarnation,
+            } => {
+                if self.router_up[ad.index()] && incarnation == self.incarnations[ad.index()] {
+                    let id = self.jemit(cause, EventRecord::TimerFire { ad, token });
+                    self.dispatch(ad, id, |p, r, ctx| p.on_timer(r, ctx, token));
+                } else {
+                    self.jemit(cause, EventRecord::StaleTimer { ad, token });
+                }
+            }
+            EventKind::LinkEvent { .. } | EventKind::RouterEvent { .. } => {
+                unreachable!("control events are never routed to a lane")
+            }
+        }
+        self.journal.push(JEntry {
+            time: self.now,
+            records: std::mem::take(&mut self.cur_records),
+            pushes: std::mem::take(&mut self.cur_pushes),
+        });
+    }
+
+    /// The lane counterpart of [`Engine::emit`] composed with the
+    /// `.or(cause)` every sequential call site applies: journals the
+    /// record (when observing) and returns the symbolic composite id that
+    /// downstream pushes and records should cite as their cause. When no
+    /// sink is attached the sequential emit returns `None` and the
+    /// composite collapses to `cause`, so nothing is journaled.
+    fn jemit(&mut self, cause: CauseRef, rec: EventRecord) -> CauseRef {
+        if !self.observing {
+            return cause;
+        }
+        self.cur_records.push(JRecord { cause, rec });
+        let r = CauseRef::Local(self.symct);
+        self.symct += 1;
+        r
+    }
+
+    /// Journals one pushed event. In-window arrivals (guaranteed
+    /// lane-local by the lookahead) also enter the lane heap under a
+    /// temporary sequence number; escaped arrivals carry their payload to
+    /// commit.
+    fn jpush(&mut self, time: SimTime, cause: CauseRef, kind: EventKind<P::Msg>) {
+        if time < self.wend {
+            let target = kind.target_ad().expect("lanes only push targeted events");
+            debug_assert!(
+                self.region.contains(&target.index()),
+                "in-window push crossed a region boundary: lookahead violated"
+            );
+            let seq = self.temp_seq;
+            self.temp_seq += 1;
+            self.cur_pushes.push(JPush {
+                time,
+                cause,
+                payload: None,
+            });
+            self.heap.push(LaneEv {
+                time,
+                seq,
+                cause,
+                kind,
+            });
+        } else {
+            self.cur_pushes.push(JPush {
+                time,
+                cause,
+                payload: Some(kind),
+            });
+        }
+    }
+
+    /// Mirrors [`Engine::dispatch`] with journaled effects. Channel
+    /// faults never reach a lane (fault runs are fully sequential), so
+    /// the in-flight verdict branch has no counterpart here.
+    fn dispatch<F>(&mut self, ad: AdId, cause: CauseRef, f: F)
+    where
+        F: FnOnce(&P, &mut P::Router, &mut Ctx<'_, P::Msg>),
+    {
+        let mut ctx = Ctx {
+            me: ad,
+            now: self.now,
+            topo: self.topo,
+            stats: &mut self.stats,
+            outbox: std::mem::take(&mut self.scratch.outbox),
+            timers: std::mem::take(&mut self.scratch.timers),
+            events: std::mem::take(&mut self.scratch.events),
+            anchor: None,
+            observing: self.observing,
+        };
+        f(
+            self.protocol,
+            &mut self.routers[ad.index() - self.region.start],
+            &mut ctx,
+        );
+        let Ctx {
+            mut outbox,
+            mut timers,
+            mut events,
+            ..
+        } = ctx;
+        let mut emitted = std::mem::take(&mut self.emitted);
+        for rec in events.drain(..) {
+            let id = self.jemit(cause, rec);
+            emitted.push(id);
+        }
+        let resolve =
+            |anchor: Option<usize>| -> CauseRef { anchor.map(|i| emitted[i]).unwrap_or(cause) };
+        for (to, link, msg, anchor) in outbox.drain(..) {
+            let msg_cause = resolve(anchor);
+            let delay = self.topo.link(link).delay_us;
+            self.stats.msgs_sent += 1;
+            self.per_ad[ad.index() - self.region.start] += 1;
+            let bytes = self.protocol.msg_size(&msg) as u64;
+            self.stats.bytes_sent += bytes;
+            let hop_cause = self.jemit(
+                msg_cause,
+                EventRecord::MsgSend {
+                    from: ad,
+                    to,
+                    link,
+                    bytes,
+                },
+            );
+            let at = self.now.plus_us(delay);
+            self.jpush(
+                at,
+                hop_cause,
+                EventKind::Deliver {
+                    to,
+                    from: ad,
+                    link,
+                    msg,
+                },
+            );
+        }
+        let incarnation = self.incarnations[ad.index()];
+        for (delay_us, token, anchor) in timers.drain(..) {
+            let at = self.now.plus_us(delay_us);
+            self.jpush(
+                at,
+                resolve(anchor),
+                EventKind::Timer {
+                    ad,
+                    token,
+                    incarnation,
+                },
+            );
+        }
+        emitted.clear();
+        self.scratch.outbox = outbox;
+        self.scratch.timers = timers;
+        self.scratch.events = events;
+        self.emitted = emitted;
+    }
+
+    fn finish(self) -> LaneResult<P::Msg> {
+        LaneResult {
+            journal: self.journal,
+            stats: self.stats,
+            per_ad: self.per_ad,
+        }
+    }
+}
+
+impl<P: Protocol> Engine<P>
+where
+    P: Sync,
+    P::Router: Send,
+    P::Msg: Send,
+{
+    /// [`Engine::run_to_quiescence`] on `num_regions` worker lanes.
+    /// Produces byte-identical traces, logs, stats, and router state.
+    ///
+    /// # Panics
+    /// Panics if more than `max_events` events are processed, as the
+    /// sequential runner does.
+    pub fn run_to_quiescence_parallel(&mut self, num_regions: usize) -> SimTime {
+        self.run_parallel_inner(None, num_regions);
+        self.stats.last_activity
+    }
+
+    /// [`Engine::run_until`] on `num_regions` worker lanes.
+    pub fn run_until_parallel(&mut self, until: SimTime, num_regions: usize) {
+        self.run_parallel_inner(Some(until), num_regions);
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// The shared scheduler: alternates sequential islands (control
+    /// events, zero-lookahead points, active fault injection) with
+    /// parallel windows, preserving the sequential total order
+    /// throughout.
+    fn run_parallel_inner(&mut self, until: Option<SimTime>, num_regions: usize) {
+        let start_events = self.stats.events;
+        let budget_check = |e: &Engine<P>| {
+            assert!(
+                e.stats.events - start_events <= e.max_events,
+                "protocol did not quiesce within {} events (time {})",
+                e.max_events,
+                e.now
+            );
+        };
+        // Channel faults draw from one global RNG in event order; any
+        // partition would reorder the draws. Run those configurations
+        // sequentially (they are fault experiments, not scale runs).
+        if self.faults.is_some() || num_regions <= 1 || self.topo.num_ads() < 2 {
+            match until {
+                Some(u) => self.run_until(u),
+                None => {
+                    self.run_to_quiescence();
+                }
+            }
+            return;
+        }
+        let map = RegionMap::contiguous(self.topo.num_ads(), num_regions);
+        // No crossing link: regions are independent and any window length
+        // is safe; cap only by control events / until.
+        let lookahead = min_cross_region_delay(&self.topo, &map).unwrap_or(u64::MAX);
+        while let Some(t0) = self.next_event_time() {
+            if let Some(u) = until {
+                if t0 > u {
+                    break;
+                }
+            }
+            let ctrl_t = self.ctrl.peek().map(|e| e.time);
+            let mut wend = t0.0.saturating_add(lookahead);
+            if let Some(ct) = ctrl_t {
+                wend = wend.min(ct.0);
+            }
+            if let Some(u) = until {
+                wend = wend.min(u.0.saturating_add(1));
+            }
+            if wend <= t0.0 {
+                // A control event is due now (or the lookahead is zero):
+                // drain this instant sequentially, including any
+                // same-time events the handlers push.
+                while self.next_event_time() == Some(t0) {
+                    self.step();
+                }
+            } else {
+                self.run_window_parallel(&map, SimTime(wend));
+            }
+            budget_check(self);
+        }
+    }
+
+    /// Runs one parallel window `[t0, wend)`: fan out to lanes, then
+    /// commit the journals in sequential order.
+    fn run_window_parallel(&mut self, map: &RegionMap, wend: SimTime) {
+        let nl = map.num_regions();
+        // Drain in-window events from the engine queue into per-lane seed
+        // lists; their (real) sequence numbers seed the skeleton too.
+        let mut seeds: Vec<Vec<LaneEv<P::Msg>>> = (0..nl).map(|_| Vec::new()).collect();
+        let mut skel: BinaryHeap<Stub> = BinaryHeap::new();
+        while let Some(ev) = self.queue.peek() {
+            if ev.time >= wend {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            let ad = ev.kind.target_ad().expect("queue holds targeted events");
+            let lane = map.region_of(ad);
+            skel.push(Stub {
+                time: ev.time,
+                seq: ev.seq,
+                lane: lane as u32,
+            });
+            seeds[lane].push(LaneEv {
+                time: ev.time,
+                seq: ev.seq,
+                cause: CauseRef::Known(ev.cause),
+                kind: ev.kind,
+            });
+        }
+        let temp_base = self.seq;
+        let observing = self.observing();
+        let max_events = self.max_events;
+        let now = self.now;
+        let topo = &self.topo;
+        let protocol = &self.protocol;
+        let router_up = self.router_up.as_slice();
+        let incarnations = self.incarnations.as_slice();
+        // Contiguous regions -> disjoint &mut slices of the router arena.
+        let mut slices: Vec<&mut [P::Router]> = Vec::with_capacity(nl);
+        let mut rest: &mut [P::Router] = self.routers.as_mut_slice();
+        for r in 0..nl {
+            let (head, tail) = rest.split_at_mut(map.range(r).len());
+            slices.push(head);
+            rest = tail;
+        }
+        let mut results: Vec<LaneResult<P::Msg>> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nl);
+            for (r, (seed, routers)) in seeds.into_iter().zip(slices).enumerate() {
+                if seed.is_empty() {
+                    handles.push(None);
+                    continue;
+                }
+                let region = map.range(r);
+                handles.push(Some(s.spawn(move || {
+                    let per_ad = vec![0u64; region.len()];
+                    let mut lane: Lane<'_, P> = Lane {
+                        protocol,
+                        topo,
+                        router_up,
+                        incarnations,
+                        routers,
+                        region,
+                        wend,
+                        observing,
+                        max_events,
+                        now,
+                        temp_seq: temp_base,
+                        symct: 0,
+                        heap: seed.into(),
+                        journal: Vec::new(),
+                        cur_records: Vec::new(),
+                        cur_pushes: Vec::new(),
+                        stats: Stats::new(0),
+                        per_ad,
+                        scratch: Scratch::default(),
+                        emitted: Vec::new(),
+                    };
+                    lane.run();
+                    lane.finish()
+                })));
+            }
+            handles
+                .into_iter()
+                .map(|h| match h {
+                    Some(h) => h.join().expect("lane thread panicked"),
+                    None => LaneResult::empty(),
+                })
+                .collect()
+        });
+        // Commit: replay the skeleton in sequential (time, seq) order,
+        // assigning real sequence numbers and event ids exactly as the
+        // sequential engine would have.
+        let mut symtab: Vec<Vec<Option<EventId>>> = (0..nl).map(|_| Vec::new()).collect();
+        let mut cursors = vec![0usize; nl];
+        let resolve = |symtab: &[Vec<Option<EventId>>], lane: usize, c: CauseRef| match c {
+            CauseRef::Known(id) => id,
+            CauseRef::Local(i) => symtab[lane][i as usize],
+        };
+        while let Some(stub) = skel.pop() {
+            let lane = stub.lane as usize;
+            let entry = &mut results[lane].journal[cursors[lane]];
+            cursors[lane] += 1;
+            debug_assert_eq!(entry.time, stub.time, "journal out of step with skeleton");
+            self.now = stub.time;
+            for jr in std::mem::take(&mut entry.records) {
+                let parent = resolve(&symtab, lane, jr.cause);
+                let id = self.emit(parent, jr.rec);
+                symtab[lane].push(id.or(parent));
+            }
+            for jp in entry.pushes.iter_mut() {
+                let seq = self.seq;
+                self.seq += 1;
+                let time = jp.time;
+                match jp.payload.take() {
+                    Some(kind) => {
+                        let cause = resolve(&symtab, lane, jp.cause);
+                        self.queue.push(Event {
+                            time,
+                            seq,
+                            cause,
+                            kind,
+                        });
+                    }
+                    None => skel.push(Stub {
+                        time,
+                        seq,
+                        lane: stub.lane,
+                    }),
+                }
+            }
+        }
+        for (lane, res) in results.into_iter().enumerate() {
+            debug_assert_eq!(
+                cursors[lane],
+                res.journal.len(),
+                "uncommitted journal entries"
+            );
+            self.stats.merge(&res.stats);
+            let base = map.range(lane).start;
+            for (i, &v) in res.per_ad.iter().enumerate() {
+                self.stats.per_ad_msgs[base + i] += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::tests::Wave;
+    use adroute_topology::generate::{line, ring, HierarchyConfig};
+    use adroute_topology::LinkId;
+
+    fn quiesce_seq(topo: Topology) -> (String, String, Engine<Wave>) {
+        let mut e = Engine::new(topo, Wave);
+        e.enable_trace(1 << 14);
+        e.enable_obs(1 << 14);
+        e.run_to_quiescence();
+        (e.trace.render(), e.obs.log.export_jsonl(), e)
+    }
+
+    fn quiesce_par(topo: Topology, regions: usize) -> (String, String, Engine<Wave>) {
+        let mut e = Engine::new(topo, Wave);
+        e.enable_trace(1 << 14);
+        e.enable_obs(1 << 14);
+        e.run_to_quiescence_parallel(regions);
+        (e.trace.render(), e.obs.log.export_jsonl(), e)
+    }
+
+    #[test]
+    fn parallel_wave_is_byte_identical_to_sequential() {
+        for &regions in &[1usize, 2, 3, 8] {
+            let (st, sj, se) = quiesce_seq(line(12));
+            let (pt, pj, pe) = quiesce_par(line(12), regions);
+            assert_eq!(st, pt, "trace diverged at {regions} regions");
+            assert_eq!(sj, pj, "jsonl diverged at {regions} regions");
+            assert_eq!(se.stats.events, pe.stats.events);
+            assert_eq!(se.stats.msgs_sent, pe.stats.msgs_sent);
+            assert_eq!(se.stats.per_ad_msgs, pe.stats.per_ad_msgs);
+            assert_eq!(se.now(), pe.now());
+            assert_eq!(se.seq, pe.seq, "sequence counters diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_ring_with_varied_delays_matches() {
+        let mut topo = ring(9);
+        for (i, d) in [900u64, 1100, 700, 1300, 800, 1000, 600, 1200, 950]
+            .into_iter()
+            .enumerate()
+        {
+            topo.set_delay(LinkId(i as u32), d);
+        }
+        let (st, sj, _) = quiesce_seq(topo.clone());
+        for &regions in &[2usize, 4, 8] {
+            let (pt, pj, _) = quiesce_par(topo.clone(), regions);
+            assert_eq!(st, pt, "trace diverged at {regions} regions");
+            assert_eq!(sj, pj);
+        }
+    }
+
+    #[test]
+    fn parallel_handles_control_events_sequentially() {
+        let drive = |parallel: Option<usize>| {
+            let mut e = Engine::new(line(10), Wave);
+            e.enable_trace(1 << 14);
+            e.enable_obs(1 << 14);
+            e.schedule_link_change(LinkId(4), false, SimTime(2500));
+            e.schedule_router_change(AdId(8), false, SimTime(3500));
+            e.schedule_router_change(AdId(8), true, SimTime(4200));
+            match parallel {
+                Some(r) => {
+                    e.run_to_quiescence_parallel(r);
+                }
+                None => {
+                    e.run_to_quiescence();
+                }
+            }
+            (e.trace.render(), e.obs.log.export_jsonl())
+        };
+        let seq = drive(None);
+        for &r in &[2usize, 5] {
+            assert_eq!(drive(Some(r)), seq, "diverged at {r} regions");
+        }
+    }
+
+    #[test]
+    fn parallel_run_until_matches_sequential_checkpoints() {
+        let drive = |regions: Option<usize>| {
+            let mut e = Engine::new(line(8), Wave);
+            e.enable_trace(1 << 14);
+            for stop in [1500u64, 3200, 9000] {
+                match regions {
+                    Some(r) => e.run_until_parallel(SimTime(stop), r),
+                    None => e.run_until(SimTime(stop)),
+                }
+            }
+            (e.trace.render(), e.now())
+        };
+        assert_eq!(drive(None), drive(Some(3)));
+    }
+
+    #[test]
+    fn parallel_hierarchy_topology_matches() {
+        let topo = HierarchyConfig {
+            seed: 7,
+            ..HierarchyConfig::default()
+        }
+        .generate();
+        let (st, sj, _) = quiesce_seq(topo.clone());
+        let (pt, pj, _) = quiesce_par(topo, 4);
+        assert_eq!(st, pt);
+        assert_eq!(sj, pj);
+    }
+
+    #[test]
+    fn faulted_runs_fall_back_to_sequential() {
+        use crate::faults::ChannelFaults;
+        let drive = |regions: Option<usize>| {
+            let mut e = Engine::new(line(6), Wave);
+            e.enable_trace(1 << 14);
+            e.set_channel_faults(Some(ChannelFaults {
+                loss: 0.3,
+                seed: 11,
+                ..ChannelFaults::default()
+            }));
+            match regions {
+                Some(r) => {
+                    e.run_to_quiescence_parallel(r);
+                }
+                None => {
+                    e.run_to_quiescence();
+                }
+            }
+            e.trace.render()
+        };
+        assert_eq!(drive(None), drive(Some(4)));
+    }
+}

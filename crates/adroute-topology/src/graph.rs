@@ -183,10 +183,17 @@ impl Topology {
 
     /// Finds the link between `a` and `b`, if any (up or down).
     pub fn link_between(&self, a: AdId, b: AdId) -> Option<LinkId> {
+        self.neighbor_slot(a, b)
+            .map(|slot| self.adj[a.index()][slot].1)
+    }
+
+    /// The position of `b` in `a`'s adjacency list, if adjacent. Protocol
+    /// state keyed per-neighbor can use this as a dense arena index (the
+    /// list is sorted by neighbor id, so slots are stable for a topology).
+    pub fn neighbor_slot(&self, a: AdId, b: AdId) -> Option<usize> {
         self.adj[a.index()]
-            .iter()
-            .find(|&&(nbr, _)| nbr == b)
-            .map(|&(_, l)| l)
+            .binary_search_by_key(&b, |&(nbr, _)| nbr)
+            .ok()
     }
 
     /// Marks a link down. Returns the previous state.

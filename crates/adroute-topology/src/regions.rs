@@ -1,0 +1,108 @@
+//! Region partitioning for parallel simulation.
+//!
+//! Conservative parallel discrete-event execution partitions the ADs into
+//! contiguous id ranges ("regions"). Each region advances independently
+//! inside a time window bounded by the **lookahead**: the minimum
+//! propagation delay of any link crossing a region boundary. No message
+//! sent during a window can arrive in another region before the window
+//! ends, so regions cannot causally interact within it — the classic
+//! conservative-synchronization argument (Chandy/Misra; see also the
+//! distributed BGP simulation feasibility study this design follows).
+
+use crate::graph::Topology;
+use crate::ids::AdId;
+use std::ops::Range;
+
+/// A partition of AD ids into contiguous regions.
+#[derive(Clone, Debug)]
+pub struct RegionMap {
+    /// Region `r` covers AD indices `starts[r] .. starts[r + 1]`.
+    starts: Vec<u32>,
+}
+
+impl RegionMap {
+    /// Splits `num_ads` ADs into `num_regions` contiguous, balanced
+    /// ranges. The region count is clamped to `[1, num_ads]` (an empty
+    /// topology yields one empty region).
+    pub fn contiguous(num_ads: usize, num_regions: usize) -> RegionMap {
+        let n = num_regions.clamp(1, num_ads.max(1));
+        let base = num_ads / n;
+        let extra = num_ads % n;
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut at = 0usize;
+        starts.push(0);
+        for r in 0..n {
+            at += base + usize::from(r < extra);
+            starts.push(at as u32);
+        }
+        RegionMap { starts }
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The region containing `ad`.
+    pub fn region_of(&self, ad: AdId) -> usize {
+        // partition_point: first start strictly greater than ad.0, minus 1.
+        self.starts.partition_point(|&s| s <= ad.0) - 1
+    }
+
+    /// The AD-index range of region `r`.
+    pub fn range(&self, r: usize) -> Range<usize> {
+        self.starts[r] as usize..self.starts[r + 1] as usize
+    }
+}
+
+/// The conservative lookahead of a partition: the minimum `delay_us` over
+/// links whose endpoints lie in different regions, or `None` when no link
+/// crosses a boundary (regions are then fully independent). Link up/down
+/// state is ignored — a failed link can come back mid-run, and lookahead
+/// must hold for the whole run.
+pub fn min_cross_region_delay(topo: &Topology, map: &RegionMap) -> Option<u64> {
+    topo.links()
+        .filter(|l| map.region_of(l.a) != map.region_of(l.b))
+        .map(|l| l.delay_us)
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::line;
+    use crate::ids::LinkId;
+
+    #[test]
+    fn contiguous_partition_is_balanced_and_total() {
+        let map = RegionMap::contiguous(10, 3);
+        assert_eq!(map.num_regions(), 3);
+        assert_eq!(map.range(0), 0..4);
+        assert_eq!(map.range(1), 4..7);
+        assert_eq!(map.range(2), 7..10);
+        for ad in 0..10u32 {
+            let r = map.region_of(AdId(ad));
+            assert!(map.range(r).contains(&(ad as usize)), "AD{ad} region {r}");
+        }
+    }
+
+    #[test]
+    fn region_count_is_clamped() {
+        assert_eq!(RegionMap::contiguous(3, 8).num_regions(), 3);
+        assert_eq!(RegionMap::contiguous(3, 0).num_regions(), 1);
+        assert_eq!(RegionMap::contiguous(0, 4).num_regions(), 1);
+        assert_eq!(RegionMap::contiguous(0, 4).range(0), 0..0);
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_delay() {
+        let mut topo = line(4); // links 0-1, 1-2, 2-3, default delay 1000us
+        let map = RegionMap::contiguous(4, 2); // regions {0,1} {2,3}
+        topo.set_delay(LinkId(1), 250); // the only crossing link (1-2)
+        topo.set_delay(LinkId(0), 10); // intra-region: ignored
+        assert_eq!(min_cross_region_delay(&topo, &map), Some(250));
+        // Single region: nothing crosses.
+        let one = RegionMap::contiguous(4, 1);
+        assert_eq!(min_cross_region_delay(&topo, &one), None);
+    }
+}

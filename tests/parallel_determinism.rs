@@ -1,0 +1,193 @@
+//! Parallel-determinism contract: region-parallel execution must be
+//! invisible in every observable artifact. For each golden scenario the
+//! parallel engine's typed JSONL export is compared byte-for-byte
+//! against the sequential engine at worker counts {1, 2, 8}, and every
+//! configuration is run twice (double-run identity) — so a scheduling
+//! or journal-replay bug shows up as a diff, not a flake. A proptest
+//! sweep repeats the check over random internets, failure points, and
+//! worker counts.
+
+use adroute::core::OrwgProtocol;
+use adroute::policy::PolicyDb;
+use adroute::protocols::naive_dv::NaiveDv;
+use adroute::sim::{Engine, Protocol};
+use adroute::topology::{HierarchyConfig, LinkId, Topology};
+use proptest::prelude::*;
+
+/// The E-series-style internet used by the benches, scaled to test size.
+fn internet(approx_ads: usize, seed: u64) -> Topology {
+    HierarchyConfig {
+        lateral_prob: 0.25,
+        bypass_prob: 0.1,
+        multihome_prob: 0.2,
+        ..HierarchyConfig::with_approx_size(approx_ads, seed)
+    }
+    .generate()
+}
+
+/// The operational link with the best-connected endpoints — the "trunk".
+fn trunk(topo: &Topology) -> LinkId {
+    topo.links()
+        .filter(|l| l.up)
+        .max_by_key(|l| {
+            (
+                topo.neighbors(l.a).count() + topo.neighbors(l.b).count(),
+                std::cmp::Reverse(l.id.0),
+            )
+        })
+        .unwrap()
+        .id
+}
+
+/// Runs `protocol` on `topo` through convergence, a trunk failure, and
+/// reconvergence — sequentially when `workers` is `None`, else with the
+/// region-parallel engine — and exports the typed JSONL event stream.
+fn lifecycle_jsonl<P>(topo: &Topology, protocol: P, workers: Option<usize>) -> String
+where
+    P: Protocol + Sync,
+    P::Router: Send,
+    P::Msg: Send,
+{
+    let mut e = Engine::new(topo.clone(), protocol);
+    e.enable_obs(1 << 16);
+    e.begin_phase("converge");
+    match workers {
+        None => e.run_to_quiescence(),
+        Some(w) => e.run_to_quiescence_parallel(w),
+    };
+    e.begin_phase("failure-response");
+    e.schedule_link_change(trunk(topo), false, e.now().plus_us(1));
+    match workers {
+        None => e.run_to_quiescence(),
+        Some(w) => e.run_to_quiescence_parallel(w),
+    };
+    e.obs.log.export_jsonl()
+}
+
+/// Asserts the full determinism contract for one scenario: sequential
+/// double-run identity, then parallel == sequential (twice) at each
+/// worker count.
+fn assert_parallel_matches<P, F>(topo: &Topology, make: F, what: &str)
+where
+    P: Protocol + Sync,
+    P::Router: Send,
+    P::Msg: Send,
+    F: Fn() -> P,
+{
+    let seq = lifecycle_jsonl(topo, make(), None);
+    assert_eq!(
+        seq,
+        lifecycle_jsonl(topo, make(), None),
+        "{what}: sequential double-run must be byte-identical"
+    );
+    for workers in [1, 2, 8] {
+        for run in 0..2 {
+            let par = lifecycle_jsonl(topo, make(), Some(workers));
+            assert_eq!(
+                par, seq,
+                "{what}: parallel ({workers} workers, run {run}) diverged from sequential"
+            );
+        }
+    }
+}
+
+/// The quickstart golden scenario's engine: the Figure-1 internet's ORWG
+/// control plane converging and absorbing a trunk failure.
+#[test]
+fn quickstart_parallel_is_byte_identical() {
+    let topo = HierarchyConfig::figure1().generate();
+    assert_parallel_matches(
+        &topo,
+        || OrwgProtocol::new(&topo, PolicyDb::permissive(&topo)),
+        "quickstart",
+    );
+}
+
+/// The e7b golden scenario's internet (E-series, ~120 ADs) under the
+/// ORWG control plane.
+#[test]
+fn e7b_internet_parallel_is_byte_identical() {
+    let topo = internet(120, 23);
+    assert_parallel_matches(
+        &topo,
+        || OrwgProtocol::new(&topo, PolicyDb::permissive(&topo)),
+        "e7b-internet",
+    );
+}
+
+/// The stress golden scenario runs the ORWG serving path (`run_load_ramp`),
+/// which is a mini event loop outside the region-parallel engine — so its
+/// determinism contract is double-run byte identity of the exported
+/// stream, under the same storm-crosses-saturation shape as the golden.
+#[test]
+fn stress_ramp_double_run_is_byte_identical() {
+    use adroute::core::{run_load_ramp, AdmissionConfig, OrwgNetwork, StressConfig};
+    use adroute::policy::workload::PolicyWorkload;
+    use adroute::sim::{OpenStorm, SimTime, StormPhase};
+
+    let export = || {
+        let seed = 77u64;
+        let topo = HierarchyConfig {
+            backbones: 1,
+            regionals_per_backbone: 2,
+            metros_per_regional: 2,
+            campuses_per_metro: 2,
+            lateral_prob: 0.25,
+            bypass_prob: 0.15,
+            multihome_prob: 0.25,
+            seed,
+        }
+        .generate();
+        let db = PolicyWorkload::structural(seed).generate(&topo);
+        let mut net = OrwgNetwork::converged(&topo, &db);
+        net.enable_obs(1 << 14);
+        let phases = [
+            StormPhase {
+                duration_ms: 8,
+                opens_per_sec: 1_200,
+            },
+            StormPhase {
+                duration_ms: 12,
+                opens_per_sec: 7_000,
+            },
+        ];
+        let storm = OpenStorm::draw(&topo, &phases, SimTime::ZERO, seed);
+        let cfg = StressConfig {
+            seed,
+            admission: AdmissionConfig {
+                queue_capacity: 4,
+                full_depth: 1,
+                cached_depth: 2,
+                ..AdmissionConfig::default()
+            },
+            ..StressConfig::default()
+        };
+        run_load_ramp(&mut net, &storm, &[8_000, 12_000], &cfg);
+        net.obs.log.export_jsonl()
+    };
+    let a = export();
+    assert_eq!(
+        a,
+        export(),
+        "stress: double-run must export identical JSONL"
+    );
+    assert!(a.contains("\"kind\":\"setup-shed\""));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random internets and worker counts: the parallel engine's JSONL
+    /// must match the sequential engine's, byte for byte.
+    #[test]
+    fn random_internets_parallel_matches_sequential(
+        seed in 0u64..1_000,
+        approx in 30usize..90,
+        workers in 2usize..9,
+    ) {
+        let topo = internet(approx, seed);
+        let seq = lifecycle_jsonl(&topo, NaiveDv::default(), None);
+        let par = lifecycle_jsonl(&topo, NaiveDv::default(), Some(workers));
+        prop_assert_eq!(seq, par);
+    }
+}

@@ -8,7 +8,7 @@ use std::fs;
 
 use adroute_core::{
     run_load_ramp, OrwgNetwork, OrwgProtocol, PolicyImpact, RepairStats, SetupRetryPolicy,
-    Strategy, StressConfig, StressReport, ViewMaintenance,
+    ShardConfig, Strategy, StressConfig, StressReport, ViewMaintenance,
 };
 use adroute_policy::text::{format_policies, parse_policies, parse_policy};
 use adroute_policy::workload::PolicyWorkload;
@@ -75,19 +75,22 @@ COMMANDS:
                 run a fixed scenario and attribute its churn: the critical
                 path of causally-linked events that gated convergence, and
                 a per-root-cause storm report (--json for machines)
-  stress        <quickstart|e9b> [--json --trace FILE]
+  stress        <quickstart|e9b> [--json --trace FILE --sharded]
                 drive an open-request load ramp across the Route Servers'
                 saturation point: admission queues defer, the brownout
                 ladder degrades synthesis (full -> cached -> stored),
                 overflow is shed with NACK + retry-after, clients retry
                 under a deadline budget, and a mid-peak Route Server
                 crash fails over to its warm standby (--json for
-                machines, --trace exports the event stream)
+                machines, --trace exports the event stream, --sharded
+                serves batches of co-routable opens per slot through
+                shared multi-destination sweeps and refills invalidated
+                cache entries in idle slots)
   bench         [--json --out FILE]
-                wall-clock the overload-serving path on the quickstart
-                storm (no crash) and report opens/sec, setup-wait
-                p50/p99, and the shed rate (--json emits the
-                BENCH_serve.json schema); or: --engine [--ads N
+                wall-clock the overload-serving path on the e9b storm
+                (no crash), monolithic and sharded, and report opens/sec,
+                setup-wait p50/p99, shed rate, and the sharded speedup
+                (--json emits the BENCH_serve.json schema); or: --engine [--ads N
                 --workers K --rounds R --cost C --seed S] to wall-clock
                 the discrete-event core itself on a cheap gossip flood
                 at paper scale — events/sec sequential, region-parallel,
@@ -1555,7 +1558,11 @@ fn busiest_src(storm: &OpenStorm, n_ads: usize) -> AdId {
 /// With `crash`, the busiest source AD's Route Server goes down a
 /// quarter into the peak phase and its warm standby takes over 20 ms
 /// later.
-fn stress_run(sc: &StressScenario, crash: bool) -> (OrwgNetwork, StressReport) {
+fn stress_run(
+    sc: &StressScenario,
+    crash: bool,
+    sharding: Option<ShardConfig>,
+) -> (OrwgNetwork, StressReport) {
     let db = PolicyWorkload::structural(sc.seed).generate(&sc.topo);
     let mut net = OrwgNetwork::converged(&sc.topo, &db);
     net.enable_obs(1 << 18);
@@ -1563,6 +1570,7 @@ fn stress_run(sc: &StressScenario, crash: bool) -> (OrwgNetwork, StressReport) {
     let durations_us: Vec<u64> = sc.phases.iter().map(|p| p.duration_ms * 1000).collect();
     let cfg = StressConfig {
         seed: sc.seed,
+        sharding,
         service_full_us: 6_000,
         service_cached_us: 1_200,
         service_stored_us: 600,
@@ -1586,18 +1594,19 @@ fn stress_run(sc: &StressScenario, crash: bool) -> (OrwgNetwork, StressReport) {
 /// client retries, and warm-standby Route Server failover, all on one
 /// deterministic seeded storm.
 pub fn stress(args: &Args) -> Result<String, CliError> {
-    args.known_with_positionals(&["json", "trace"])?;
+    args.known_with_positionals(&["json", "trace", "sharded"])?;
     let json = args.opt_parse("json", false)?;
     let trace_path = args.opt("trace");
+    let sharded = args.opt_parse("sharded", false)?;
     let scenario = args.positional_one("scenario")?.to_string();
     let sc = stress_scenario(&scenario)?;
-    let (net, r) = stress_run(&sc, true);
+    let (net, r) = stress_run(&sc, true, sharded.then(ShardConfig::default));
     let mut out = String::new();
     if json {
         let _ = write!(
             out,
             "{{\"stress\":{{\"scenario\":\"{scenario}\",\"ads\":{},\"links\":{},\"seed\":{},\
-             \"phases\":[",
+             \"sharded\":{sharded},\"phases\":[",
             sc.topo.num_ads(),
             sc.topo.num_links(),
             sc.seed
@@ -1666,10 +1675,15 @@ pub fn stress(args: &Args) -> Result<String, CliError> {
     } else {
         let _ = writeln!(
             out,
-            "stress {scenario}: {} ADs, {} links, seed {}",
+            "stress {scenario}: {} ADs, {} links, seed {}{}",
             sc.topo.num_ads(),
             sc.topo.num_links(),
-            sc.seed
+            sc.seed,
+            if sharded {
+                " (sharded batch service)"
+            } else {
+                ""
+            }
         );
         let _ = writeln!(
             out,
@@ -1734,10 +1748,39 @@ pub fn stress(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// One timed serve-path run for `bench`: wall-clock figures plus the
+/// (deterministic) simulated outcome.
+struct ServeBench {
+    attempts: u64,
+    wall_ms: f64,
+    opens_per_sec: u64,
+    shed_rate: f64,
+    report: StressReport,
+}
+
+fn serve_bench(sc: &StressScenario, sharding: Option<ShardConfig>) -> ServeBench {
+    let t0 = std::time::Instant::now();
+    let (_net, report) = stress_run(sc, false, sharding);
+    let wall = t0.elapsed();
+    let attempts = report.offered + report.retries;
+    ServeBench {
+        attempts,
+        wall_ms: wall.as_secs_f64() * 1000.0,
+        opens_per_sec: (attempts as f64 / wall.as_secs_f64().max(1e-9)) as u64,
+        shed_rate: if attempts == 0 {
+            0.0
+        } else {
+            report.shed as f64 / attempts as f64
+        },
+        report,
+    }
+}
+
 /// `bench`: wall-clock throughput of the overload-serving path on the
-/// quickstart storm (no crash, so the number measures serving, not
-/// failover). The simulated results are deterministic; only the
-/// wall-clock figures vary run to run.
+/// e9b storm (no crash, so the numbers measure serving, not failover),
+/// once through the monolithic one-open-per-slot path and once through
+/// sharded batch service. The simulated results are deterministic; only
+/// the wall-clock figures vary run to run.
 pub fn bench(args: &Args) -> Result<String, CliError> {
     args.known(&[
         "json", "out", "engine", "ads", "workers", "rounds", "cost", "seed",
@@ -1746,51 +1789,69 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
         return bench_engine(args);
     }
     let json = args.opt_parse("json", false)?;
-    let sc = stress_scenario("quickstart")?;
-    let t0 = std::time::Instant::now();
-    let (_net, r) = stress_run(&sc, false);
-    let wall = t0.elapsed();
-    let attempts = r.offered + r.retries;
-    let opens_per_sec = (attempts as f64 / wall.as_secs_f64().max(1e-9)) as u64;
-    let shed_rate = if attempts == 0 {
-        0.0
-    } else {
-        r.shed as f64 / attempts as f64
-    };
+    let sc = stress_scenario("e9b")?;
+    let mono = serve_bench(&sc, None);
+    let shard = serve_bench(&sc, Some(ShardConfig::default()));
+    let speedup = shard.opens_per_sec as f64 / mono.opens_per_sec.max(1) as f64;
     let mut out = String::new();
     if json {
         let _ = writeln!(
             out,
-            "{{\"bench\":{{\"workload\":\"quickstart\",\"opens\":{},\"attempts\":{},\
+            "{{\"bench\":{{\"workload\":\"e9b\",\"opens\":{},\"attempts\":{},\
              \"served\":{},\"shed\":{},\"abandoned\":{},\"wall_ms\":{:.3},\
-             \"opens_per_sec\":{opens_per_sec},\"p50_setup_wait_us\":{},\
-             \"p99_setup_wait_us\":{},\"shed_rate\":{:.4}}}}}",
-            r.offered,
-            attempts,
-            r.served,
-            r.shed,
-            r.abandoned,
-            wall.as_secs_f64() * 1000.0,
-            r.p50_wait_us,
-            r.p99_wait_us,
-            shed_rate
+             \"opens_per_sec\":{},\"p50_setup_wait_us\":{},\
+             \"p99_setup_wait_us\":{},\"shed_rate\":{:.4},\
+             \"attempts_sharded\":{},\"served_sharded\":{},\"shed_sharded\":{},\
+             \"wall_ms_sharded\":{:.3},\"opens_per_sec_sharded\":{},\
+             \"p50_setup_wait_us_sharded\":{},\"p99_setup_wait_us_sharded\":{},\
+             \"shed_rate_sharded\":{:.4},\"speedup\":{:.3}}}}}",
+            mono.report.offered,
+            mono.attempts,
+            mono.report.served,
+            mono.report.shed,
+            mono.report.abandoned,
+            mono.wall_ms,
+            mono.opens_per_sec,
+            mono.report.p50_wait_us,
+            mono.report.p99_wait_us,
+            mono.shed_rate,
+            shard.attempts,
+            shard.report.served,
+            shard.report.shed,
+            shard.wall_ms,
+            shard.opens_per_sec,
+            shard.report.p50_wait_us,
+            shard.report.p99_wait_us,
+            shard.shed_rate,
+            speedup
         );
     } else {
         let _ = writeln!(
             out,
-            "bench quickstart: {} opens ({attempts} attempts)",
-            r.offered
+            "bench e9b: {} opens ({} attempts monolithic, {} sharded)",
+            mono.report.offered, mono.attempts, shard.attempts
         );
         let _ = writeln!(
             out,
-            "wall: {:.3} ms ({opens_per_sec} opens/s processed)",
-            wall.as_secs_f64() * 1000.0
+            "monolithic: wall {:.3} ms ({} opens/s); setup wait p50 {} us, p99 {} us; \
+             shed rate {:.4}",
+            mono.wall_ms,
+            mono.opens_per_sec,
+            mono.report.p50_wait_us,
+            mono.report.p99_wait_us,
+            mono.shed_rate
         );
         let _ = writeln!(
             out,
-            "setup wait: p50 {} us, p99 {} us; shed rate {:.4}",
-            r.p50_wait_us, r.p99_wait_us, shed_rate
+            "sharded:    wall {:.3} ms ({} opens/s); setup wait p50 {} us, p99 {} us; \
+             shed rate {:.4}",
+            shard.wall_ms,
+            shard.opens_per_sec,
+            shard.report.p50_wait_us,
+            shard.report.p99_wait_us,
+            shard.shed_rate
         );
+        let _ = writeln!(out, "speedup: {speedup:.3}x (sharded vs monolithic)");
     }
     emit(&out, args.opt("out"))
 }
@@ -2533,11 +2594,18 @@ mod tests {
             "\"p50_setup_wait_us\":",
             "\"p99_setup_wait_us\":",
             "\"shed_rate\":",
+            "\"opens_per_sec_sharded\":",
+            "\"p50_setup_wait_us_sharded\":",
+            "\"p99_setup_wait_us_sharded\":",
+            "\"shed_rate_sharded\":",
+            "\"speedup\":",
         ] {
             assert!(j.contains(key), "missing {key}: {j}");
         }
         let text = run("bench").unwrap();
-        assert!(text.contains("opens/s processed"), "{text}");
+        assert!(text.contains("monolithic: wall"), "{text}");
+        assert!(text.contains("sharded:    wall"), "{text}");
+        assert!(text.contains("speedup:"), "{text}");
         assert!(run("bench --trace x")
             .unwrap_err()
             .0

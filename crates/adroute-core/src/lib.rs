@@ -46,7 +46,7 @@ pub use network::{OrwgNetwork, RepairStats, SetupRetryPolicy, ViewMaintenance};
 pub use overload::{
     run_load_ramp, AdmissionConfig, AdmissionController, AdmissionStats, AdmissionVerdict,
     BrownoutRung, ExemplarChain, FailoverReport, PendingOpen, PhaseReport, RetryPolicy,
-    ServeOutcome, StressConfig, StressReport,
+    ServeOutcome, ShardConfig, StressConfig, StressReport,
 };
 pub use router::OrwgProtocol;
 pub use synthesis::{PolicyRoute, RouteServer, Strategy, SynthStats, ViewDelta};

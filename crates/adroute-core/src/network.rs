@@ -11,10 +11,19 @@ use adroute_topology::{AdId, LinkId, TopoDelta, Topology};
 use crate::dataplane::{DataPacket, HandleId, SetupPacket};
 use crate::gateway::{DataError, PolicyGateway, SetupError};
 use crate::overload::{
-    AdmissionConfig, AdmissionController, AdmissionVerdict, BrownoutRung, PendingOpen, ServeOutcome,
+    AdmissionConfig, AdmissionController, AdmissionVerdict, BrownoutRung, PendingOpen,
+    ServeOutcome, ShardConfig,
 };
 use crate::router::OrwgProtocol;
 use crate::synthesis::{PolicyRoute, RouteServer, Strategy, SynthStats, ViewDelta};
+
+/// What one rung's synthesis produced for one queued open — shared by
+/// the monolithic and batched serve paths.
+enum Synth {
+    Route(PolicyRoute, Vec<PolicyRoute>),
+    Miss,
+    NoRoute,
+}
 
 /// How Route Server views track topology and policy events.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -1054,34 +1063,45 @@ impl OrwgNetwork {
         let now = self.clock;
         let rung = self.admission[ad.index()].rung(now);
         let open = self.admission[ad.index()].pop()?;
-        let (src, dst) = (open.flow.src, open.flow.dst);
+        // The depth a mid-queue shed NACK would report: nothing between
+        // here and the NACK touches the queue, so capturing it at the
+        // pop is exact (and lets the batched path reuse this code).
+        let depth = self.admission[ad.index()].depth() as u64;
         if now >= open.deadline {
-            self.obs.metrics.add("opens_expired", 1);
-            self.obs.metrics.record(
-                "shed_latency_us",
-                now.as_us().saturating_sub(open.arrival.as_us()),
-            );
-            self.emit(
-                open.cause,
-                EventRecord::SetupAbandon {
-                    src,
-                    dst,
-                    attempts: u64::from(open.attempt) + 1,
-                },
-            );
-            return Some(ServeOutcome::Expired { open });
+            return Some(self.emit_expired(open));
         }
         let waited = now.as_us().saturating_sub(open.offered_at.as_us());
         self.obs.metrics.record("setup_wait_us", waited);
-        let flow = open.flow;
-        enum Synth {
-            Route(PolicyRoute, Vec<PolicyRoute>),
-            Miss,
-            NoRoute,
-        }
-        let synth = match rung {
+        let synth = self.synth_on_rung(ad, &open.flow, rung);
+        Some(self.commit_outcome(ad, open, rung, waited, depth, synth))
+    }
+
+    /// Cancels an open whose deadline passed while it queued, emitting
+    /// the abandon record. No synthesis is paid for.
+    fn emit_expired(&mut self, open: PendingOpen) -> ServeOutcome {
+        let (src, dst) = (open.flow.src, open.flow.dst);
+        self.obs.metrics.add("opens_expired", 1);
+        self.obs.metrics.record(
+            "shed_latency_us",
+            self.clock.as_us().saturating_sub(open.arrival.as_us()),
+        );
+        self.emit(
+            open.cause,
+            EventRecord::SetupAbandon {
+                src,
+                dst,
+                attempts: u64::from(open.attempt) + 1,
+            },
+        );
+        ServeOutcome::Expired { open }
+    }
+
+    /// One rung's synthesis for one flow — the per-open body shared by
+    /// [`OrwgNetwork::serve_next`] and [`OrwgNetwork::serve_batch`].
+    fn synth_on_rung(&mut self, ad: AdId, flow: &FlowSpec, rung: BrownoutRung) -> Synth {
+        match rung {
             BrownoutRung::Full => {
-                let mut alts = self.servers[ad.index()].alternatives(&flow, 3);
+                let mut alts = self.servers[ad.index()].alternatives(flow, 3);
                 if alts.is_empty() {
                     Synth::NoRoute
                 } else {
@@ -1089,11 +1109,11 @@ impl OrwgNetwork {
                     Synth::Route(primary, alts)
                 }
             }
-            BrownoutRung::Cached => match self.servers[ad.index()].request(&flow) {
+            BrownoutRung::Cached => match self.servers[ad.index()].request(flow) {
                 Some(r) => Synth::Route(r, Vec::new()),
                 None => Synth::NoRoute,
             },
-            BrownoutRung::Stored => match self.servers[ad.index()].stored_route(&flow) {
+            BrownoutRung::Stored => match self.servers[ad.index()].stored_route(flow) {
                 Some(Some(r)) => {
                     let sel = self.servers[ad.index()].selection();
                     if sel.accepts(&r.path, r.cost) {
@@ -1107,12 +1127,27 @@ impl OrwgNetwork {
                 Some(None) => Synth::NoRoute,
                 None => Synth::Miss,
             },
-        };
+        }
+    }
+
+    /// Turns a synthesis result into the open's outcome: metrics, the
+    /// admit/shed event, and the setup walk for a served route. `depth`
+    /// is the queue depth captured when the open was popped.
+    fn commit_outcome(
+        &mut self,
+        ad: AdId,
+        open: PendingOpen,
+        rung: BrownoutRung,
+        waited: u64,
+        depth: u64,
+        synth: Synth,
+    ) -> ServeOutcome {
+        let (src, dst) = (open.flow.src, open.flow.dst);
+        let flow = open.flow;
         match synth {
             Synth::Miss => {
                 let retry_after_us = self.admission[ad.index()].config().retry_after_us;
                 self.obs.metrics.add("opens_shed", 1);
-                let depth = self.admission[ad.index()].depth() as u64;
                 let event = self.emit(
                     open.cause,
                     EventRecord::SetupShed {
@@ -1122,15 +1157,15 @@ impl OrwgNetwork {
                         depth,
                     },
                 );
-                Some(ServeOutcome::Shed {
+                ServeOutcome::Shed {
                     open,
                     retry_after_us,
                     event,
-                })
+                }
             }
             Synth::NoRoute => {
                 self.obs.metrics.add("opens_no_route", 1);
-                Some(ServeOutcome::NoRoute { open, rung })
+                ServeOutcome::NoRoute { open, rung }
             }
             Synth::Route(primary, alts) => {
                 let admit = self.emit(
@@ -1153,20 +1188,154 @@ impl OrwgNetwork {
                             },
                             1,
                         );
-                        Some(ServeOutcome::Served {
+                        ServeOutcome::Served {
                             open,
                             rung,
                             setup,
                             admit,
-                        })
+                        }
                     }
                     Err(error) => {
                         self.obs.metrics.add("opens_setup_failed", 1);
-                        Some(ServeOutcome::Failed { open, rung, error })
+                        ServeOutcome::Failed { open, rung, error }
                     }
                 }
             }
         }
+    }
+
+    /// Serves up to `cfg.max_batch` opens from `ad`'s admission queue in
+    /// one service slot, folding co-routable cached-rung opens into
+    /// shared multi-destination sweeps ([`RouteServer::request_batch`]).
+    ///
+    /// The brownout ladder picks the slot's path once, at the rung in
+    /// force when the slot's first live open is popped: `Full` serves a
+    /// single open solo with spares (full synthesis shares nothing and
+    /// costs too much to commit a whole batch to), `Cached` answers the
+    /// whole batch through one batched request — itself byte-identical
+    /// to a [`RouteServer::request`] loop — and `Stored` does per-open
+    /// table lookups, shedding misses. Sampling the ladder per slot
+    /// rather than per pop keeps its feedback at the granularity the
+    /// service actually happens at; a batch must not talk itself into
+    /// expensive full synthesis merely because its own pops momentarily
+    /// drained the queue below a watermark.
+    ///
+    /// Expired opens are cancelled unserved in pop order, ride along
+    /// free (they do not count against the batch), and — exactly as a
+    /// [`OrwgNetwork::serve_next`] loop would — still see the rung
+    /// recomputed until the first live open fixes it. With
+    /// `max_batch == 1` this function *is* `serve_next`: one live open,
+    /// popped at the recomputed rung. Outcomes return in pop order.
+    pub fn serve_batch(&mut self, ad: AdId, cfg: ShardConfig) -> Vec<ServeOutcome> {
+        let now = self.clock;
+        let ai = ad.index();
+        struct Popped {
+            open: PendingOpen,
+            expired: bool,
+            waited: u64,
+            depth: u64,
+        }
+        // Phase 1: pop under the ladder. The rung is recomputed before
+        // every pop until the first live open freezes it for the slot;
+        // the depth each shed NACK would report is captured at the pop.
+        let mut popped: Vec<Popped> = Vec::new();
+        let mut slot_rung: Option<BrownoutRung> = None;
+        let mut live = 0usize;
+        let mut limit = cfg.max_batch.max(1);
+        while live < limit {
+            let rung = match slot_rung {
+                Some(r) => r,
+                None => self.admission[ai].rung(now),
+            };
+            let Some(open) = self.admission[ai].pop() else {
+                break;
+            };
+            let expired = now >= open.deadline;
+            if !expired {
+                if slot_rung.is_none() {
+                    slot_rung = Some(rung);
+                    // Full synthesis shares nothing across a batch and is
+                    // the most expensive rung by an order of magnitude: a
+                    // full-rung slot serves exactly one open so the ladder
+                    // can re-evaluate before committing to the next.
+                    if rung == BrownoutRung::Full {
+                        limit = 1;
+                    }
+                }
+                live += 1;
+            }
+            popped.push(Popped {
+                waited: now.as_us().saturating_sub(open.offered_at.as_us()),
+                depth: self.admission[ai].depth() as u64,
+                open,
+                expired,
+            });
+        }
+        // Phase 2: synthesize the live opens on the slot rung, in pop
+        // order. Cached is the batched path; Full and Stored answer each
+        // open exactly as serve_next would.
+        let rung = slot_rung.unwrap_or(BrownoutRung::Full);
+        let lives: Vec<usize> = (0..popped.len()).filter(|&i| !popped[i].expired).collect();
+        let mut synths: Vec<Option<Synth>> = Vec::new();
+        synths.resize_with(popped.len(), || None);
+        if rung == BrownoutRung::Cached && lives.len() > 1 {
+            let flows: Vec<FlowSpec> = lives.iter().map(|&k| popped[k].open.flow).collect();
+            let searches_before = self.servers[ai].stats.searches;
+            let routes = self.servers[ai].request_batch(&flows, cfg.shards);
+            let fresh = self.servers[ai].stats.searches - searches_before;
+            self.emit(
+                None,
+                EventRecord::SynthBatch {
+                    ad,
+                    flows: lives.len() as u64,
+                    fresh,
+                },
+            );
+            for (&k, r) in lives.iter().zip(routes) {
+                synths[k] = Some(match r {
+                    Some(route) => Synth::Route(route, Vec::new()),
+                    None => Synth::NoRoute,
+                });
+            }
+        } else {
+            for &k in &lives {
+                synths[k] = Some(self.synth_on_rung(ad, &popped[k].open.flow, rung));
+            }
+        }
+        // Phase 3: commit in pop order, exactly as serve_next would.
+        popped
+            .into_iter()
+            .zip(synths)
+            .map(|(p, synth)| {
+                if p.expired {
+                    self.emit_expired(p.open)
+                } else {
+                    self.obs.metrics.record("setup_wait_us", p.waited);
+                    let synth = synth.expect("live pops are synthesized");
+                    self.commit_outcome(ad, p.open, rung, p.waited, p.depth, synth)
+                }
+            })
+            .collect()
+    }
+
+    /// Runs up to `budget` background precompute refills on `ad`'s Route
+    /// Server — re-searching cache entries a view change invalidated so
+    /// the next open finds them hot instead of paying a search. Emits a
+    /// precompute-refill record when anything was restored; returns the
+    /// number of entries refilled.
+    pub fn background_refill(&mut self, ad: AdId, budget: usize) -> usize {
+        let refilled = self.servers[ad.index()].background_refill(budget);
+        if refilled > 0 {
+            self.obs.metrics.add("precompute_refills", refilled as u64);
+            self.emit(
+                None,
+                EventRecord::PrecomputeRefill {
+                    ad,
+                    refilled: refilled as u64,
+                },
+            );
+        }
+        refilled
     }
 
     /// Records a client's retry decision (the setup-retry event, chained

@@ -70,6 +70,16 @@ impl PolicyDb {
         self.policies.iter().map(|p| p.num_terms()).sum()
     }
 
+    /// Whether any AD's policy conditions on the flow **destination**.
+    ///
+    /// When false, transit evaluation is identical for every flow in a
+    /// batch that shares `src`/`qos`/`uci`/`time`, and a single
+    /// multi-destination search ([`crate::legality::legal_routes_sweep`])
+    /// is exactly equivalent to one search per destination.
+    pub fn dst_sensitive(&self) -> bool {
+        self.policies.iter().any(|p| p.conditions_on_dst())
+    }
+
     /// Total encoded size of all policies (the flooding payload of a
     /// link-state policy architecture).
     pub fn total_encoded_size(&self) -> usize {

@@ -40,7 +40,7 @@ impl LegalRoute {
 }
 
 /// Search-effort statistics, for the synthesis experiments.
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct SearchStats {
     /// `(state, edge)` relaxations attempted.
     pub relaxations: u64,
@@ -183,6 +183,197 @@ pub fn legal_route_with(
         }
     }
     None
+}
+
+/// Batched multi-destination variant of [`legal_route_with`]: one search
+/// from `template.src` answers every destination in `dsts`, with results
+/// and per-destination [`SearchStats`] **exactly equal** to calling
+/// [`legal_route_with`] once per destination (flow `i` is `template` with
+/// `dst = dsts[i]`, starting from fresh stats).
+///
+/// The wall-clock win comes from work sharing: the Dijkstra frontier from
+/// `src` is computed once and read off at each destination's first
+/// settle, instead of being regrown per open. Equivalence holds because,
+/// when no policy conditions on the destination and no requested
+/// destination sits in the avoid-set, the solo search's loop body is
+/// destination-independent until the moment it breaks — so the shared
+/// sweep's pop/relax sequence is a common prefix of every solo run, and
+/// each solo run's effort counters can be snapshotted at its
+/// destination's settle (settled *includes* the destination pop;
+/// relaxations exclude its outgoing edges, which solo never visits).
+/// Destinations that violate a sharing precondition — a dst-conditioned
+/// Policy Term anywhere in `db`, or a destination the selection avoids
+/// (which flips the `nbr != dst` transit test) — are transparently
+/// answered by private per-destination searches, so the equivalence
+/// contract is unconditional.
+pub fn legal_routes_sweep(
+    topo: &Topology,
+    db: &PolicyDb,
+    template: &FlowSpec,
+    dsts: &[AdId],
+    selection: &RouteSelection,
+) -> Vec<(Option<LegalRoute>, SearchStats)> {
+    let flow_for = |d: AdId| FlowSpec {
+        dst: d,
+        ..*template
+    };
+    let solo = |d: AdId| {
+        let f = flow_for(d);
+        let mut st = SearchStats::default();
+        let r = legal_route_with(topo, db, &f, selection, &mut st);
+        (r, st)
+    };
+    // A dst-conditioned Policy Term makes transit evaluation vary across
+    // the batch: no sharing is sound.
+    if db.dst_sensitive() {
+        return dsts.iter().map(|&d| solo(d)).collect();
+    }
+
+    let n = topo.num_ads();
+    let src = template.src;
+    let mut out: Vec<Option<(Option<LegalRoute>, SearchStats)>> = vec![None; dsts.len()];
+    // Destinations the shared search will answer, by index. Trivial and
+    // out-of-range flows never search; avoided destinations get private
+    // searches (for them `nbr != dst` admits an otherwise-avoided AD).
+    let mut swept: Vec<(usize, AdId)> = Vec::new();
+    for (i, &d) in dsts.iter().enumerate() {
+        if d == src {
+            out[i] = Some((
+                Some(LegalRoute {
+                    path: vec![src],
+                    cost: 0,
+                }),
+                SearchStats::default(),
+            ));
+        } else if src.index() >= n || d.index() >= n {
+            out[i] = Some((None, SearchStats::default()));
+        } else if !selection.allows_transit(d) {
+            out[i] = Some(solo(d));
+        } else {
+            swept.push((i, d));
+        }
+    }
+
+    if !swept.is_empty() {
+        // Same loop as `legal_route_with`, minus the break at the (single)
+        // destination: instead, snapshot effort at each destination's
+        // first settle. Policy evaluation uses an arbitrary batch flow —
+        // sound because `db` is not dst-sensitive (checked above).
+        type State = (AdId, AdId);
+        let probe = flow_for(swept[0].1);
+        let start: State = (src, src);
+        let mut dist: HashMap<State, u64> = HashMap::new();
+        let mut parent: HashMap<State, State> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(u64, AdId, AdId)>> = BinaryHeap::new();
+        dist.insert(start, 0);
+        heap.push(Reverse((0, src, src)));
+
+        let mut stats = SearchStats::default();
+        // First-settle snapshot per destination AD: final state plus the
+        // effort counters a solo run would have reported at its break.
+        let mut settle: HashMap<AdId, (State, SearchStats)> = HashMap::new();
+        let mut remaining: usize = {
+            let mut uniq: Vec<AdId> = swept.iter().map(|&(_, d)| d).collect();
+            uniq.sort_unstable();
+            uniq.dedup();
+            uniq.len()
+        };
+        let wanted: std::collections::HashSet<AdId> = swept.iter().map(|&(_, d)| d).collect();
+
+        while let Some(Reverse((cost, cur, prev))) = heap.pop() {
+            let state = (cur, prev);
+            if dist.get(&state).is_none_or(|&d| cost > d) {
+                continue;
+            }
+            stats.settled += 1;
+            if wanted.contains(&cur) && !settle.contains_key(&cur) {
+                // Solo for `cur` breaks exactly here, after counting this
+                // pop but before relaxing its edges.
+                settle.insert(cur, (state, stats));
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            for (nbr, link) in topo.neighbors(cur) {
+                stats.relaxations += 1;
+                if nbr == prev && cur != src {
+                    continue;
+                }
+                let transit_cost = if cur == src {
+                    0
+                } else {
+                    match db.policy(cur).evaluate(&probe, Some(prev), Some(nbr)) {
+                        Some(c) => u64::from(c),
+                        None => continue,
+                    }
+                };
+                // Swept destinations are never avoided, so the solo test
+                // `nbr != dst && !allows_transit(nbr)` reduces to this for
+                // every flow in the batch.
+                if !selection.allows_transit(nbr) {
+                    continue;
+                }
+                let ncost = cost + u64::from(topo.link(link).metric) + transit_cost;
+                let nstate: State = (nbr, cur);
+                if dist.get(&nstate).is_none_or(|&d| ncost < d) {
+                    dist.insert(nstate, ncost);
+                    parent.insert(nstate, state);
+                    heap.push(Reverse((ncost, nbr, cur)));
+                }
+            }
+        }
+
+        for (i, d) in swept {
+            let f = flow_for(d);
+            let entry = match settle.get(&d) {
+                // Unsettled: solo exhausts the identical heap, reporting
+                // the full-run totals.
+                None => (None, stats),
+                Some(&(fstate, st)) => {
+                    let mut path = Vec::new();
+                    let mut cur = fstate;
+                    loop {
+                        path.push(cur.0);
+                        if cur == start {
+                            break;
+                        }
+                        cur = parent[&cur];
+                    }
+                    path.reverse();
+                    let cost = dist[&fstate];
+                    // Identical post-processing to `legal_route_with`:
+                    // revisiting walks fall back to the exact simple-path
+                    // search; selection rejection retries minimizing hops
+                    // when a hop bound is present. Neither touches stats.
+                    let has_revisit = {
+                        let mut seen = std::collections::HashSet::new();
+                        path.iter().any(|a| !seen.insert(*a))
+                    };
+                    let route = if has_revisit {
+                        legal_route_bruteforce(topo, db, &f)
+                    } else {
+                        Some(LegalRoute { path, cost })
+                    };
+                    let result = match route {
+                        None => None,
+                        Some(r) if selection.accepts(&r.path, r.cost) => Some(r),
+                        Some(_) if selection.max_hops.is_some() => {
+                            legal_route_min_hops(topo, db, &f, selection)
+                                .filter(|r| selection.accepts(&r.path, r.cost))
+                        }
+                        Some(_) => None,
+                    };
+                    (result, st)
+                }
+            };
+            out[i] = Some(entry);
+        }
+    }
+
+    out.into_iter()
+        .map(|o| o.expect("every dst answered"))
+        .collect()
 }
 
 /// Hop-minimizing variant: BFS over the same `(current, previous)` state
@@ -491,5 +682,134 @@ mod tests {
         assert_eq!(r.path, vec![AdId(0)]);
         assert_eq!(r.cost, 0);
         assert_eq!(route_is_legal(&t, &db, &f, &[AdId(0)]), Some(0));
+    }
+
+    /// The sweep's contract is exact equivalence with one solo search per
+    /// destination — routes AND effort counters.
+    fn assert_sweep_matches_solo(
+        t: &Topology,
+        db: &PolicyDb,
+        template: &FlowSpec,
+        dsts: &[AdId],
+        sel: &RouteSelection,
+        what: &str,
+    ) {
+        let swept = legal_routes_sweep(t, db, template, dsts, sel);
+        assert_eq!(swept.len(), dsts.len());
+        for (i, &d) in dsts.iter().enumerate() {
+            let f = FlowSpec {
+                dst: d,
+                ..*template
+            };
+            let mut st = SearchStats::default();
+            let solo = legal_route_with(t, db, &f, sel, &mut st);
+            assert_eq!(swept[i].0, solo, "{what}: route for dst {d} diverged");
+            assert_eq!(swept[i].1, st, "{what}: stats for dst {d} diverged");
+        }
+    }
+
+    use adroute_topology::Topology;
+
+    #[test]
+    fn sweep_matches_solo_on_ring() {
+        let t = ring(8);
+        let mut db = PolicyDb::permissive(&t);
+        db.set_policy(TransitPolicy::deny_all(AdId(2)));
+        db.policy_mut(AdId(5)).default = PolicyAction::Permit { cost: 3 };
+        let template = FlowSpec::best_effort(AdId(0), AdId(0));
+        let dsts: Vec<AdId> = t.ad_ids().collect();
+        assert_sweep_matches_solo(
+            &t,
+            &db,
+            &template,
+            &dsts,
+            &RouteSelection::unconstrained(),
+            "ring",
+        );
+    }
+
+    #[test]
+    fn sweep_matches_solo_with_avoided_and_trivial_dsts() {
+        let t = ring(8);
+        let db = PolicyDb::permissive(&t);
+        let template = FlowSpec::best_effort(AdId(0), AdId(0));
+        // Avoid 3: dst 3 takes the private-search path; dst 0 is trivial;
+        // dst 99 is out of range; duplicates must each be answered.
+        let sel = RouteSelection::avoiding([AdId(3)]);
+        let dsts = [AdId(4), AdId(3), AdId(0), AdId(99), AdId(4), AdId(6)];
+        assert_sweep_matches_solo(&t, &db, &template, &dsts, &sel, "avoid");
+    }
+
+    #[test]
+    fn sweep_falls_back_on_dst_sensitive_policies() {
+        let t = ring(6);
+        let mut db = PolicyDb::permissive(&t);
+        let mut p = TransitPolicy::permit_all(AdId(1));
+        p.push_term(
+            vec![PolicyCondition::DstIn(AdSet::only([AdId(3)]))],
+            PolicyAction::Deny,
+        );
+        db.set_policy(p);
+        assert!(db.dst_sensitive());
+        let template = FlowSpec::best_effort(AdId(0), AdId(0));
+        let dsts: Vec<AdId> = t.ad_ids().collect();
+        assert_sweep_matches_solo(
+            &t,
+            &db,
+            &template,
+            &dsts,
+            &RouteSelection::unconstrained(),
+            "dst-sensitive",
+        );
+    }
+
+    #[test]
+    fn sweep_matches_solo_on_random_policies() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(1990);
+        for trial in 0..40 {
+            let t = match trial % 3 {
+                0 => ring(7),
+                1 => adroute_topology::generate::grid(3, 3),
+                _ => adroute_topology::generate::grid(2, 4),
+            };
+            let mut db = PolicyDb::permissive(&t);
+            for ad in t.ad_ids() {
+                if rng.gen_bool(0.35) {
+                    let denied: Vec<AdId> = t.ad_ids().filter(|_| rng.gen_bool(0.3)).collect();
+                    db.policy_mut(ad).push_term(
+                        vec![PolicyCondition::PrevIn(AdSet::only(denied))],
+                        PolicyAction::Deny,
+                    );
+                }
+                if rng.gen_bool(0.3) {
+                    db.policy_mut(ad).default = PolicyAction::Permit {
+                        cost: rng.gen_range(0..5),
+                    };
+                }
+                if rng.gen_bool(0.15) {
+                    // Exercise the dst-sensitivity fallback in some trials.
+                    let picked: Vec<AdId> = t.ad_ids().filter(|_| rng.gen_bool(0.2)).collect();
+                    db.policy_mut(ad).push_term(
+                        vec![PolicyCondition::DstIn(AdSet::only(picked))],
+                        PolicyAction::Deny,
+                    );
+                }
+            }
+            let src = AdId(rng.gen_range(0..t.num_ads() as u32));
+            let template = FlowSpec::best_effort(src, src);
+            let sel = if rng.gen_bool(0.4) {
+                let avoided: Vec<AdId> = t.ad_ids().filter(|_| rng.gen_bool(0.2)).collect();
+                RouteSelection {
+                    max_hops: rng.gen_bool(0.3).then(|| rng.gen_range(1..5)),
+                    ..RouteSelection::avoiding(avoided)
+                }
+            } else {
+                RouteSelection::unconstrained()
+            };
+            let dsts: Vec<AdId> = t.ad_ids().collect();
+            assert_sweep_matches_solo(&t, &db, &template, &dsts, &sel, &format!("trial {trial}"));
+        }
     }
 }

@@ -39,7 +39,7 @@ pub use bits::AdBits;
 pub use class::{FlowSpec, QosClass, TimeOfDay, UserClass};
 pub use db::PolicyDb;
 pub use intern::{AdSetPool, AdSetRef};
-pub use legality::{legal_route, route_is_legal, LegalRoute};
+pub use legality::{legal_route, legal_routes_sweep, route_is_legal, LegalRoute};
 pub use terms::{
     AdSet, PolicyAction, PolicyCondition, PolicyTerm, PtId, RouteSelection, TransitPolicy,
 };

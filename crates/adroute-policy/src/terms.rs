@@ -378,6 +378,20 @@ impl TransitPolicy {
         self.evaluate(flow, Some(path[i - 1]), Some(path[i + 1]))
     }
 
+    /// Whether any term conditions on the flow's **destination** AD.
+    ///
+    /// Destination-conditioned terms make transit evaluation vary across
+    /// flows that differ only in `dst` — the one flow attribute a batched
+    /// multi-destination synthesis sweep does not hold fixed — so batching
+    /// layers use this to decide when a shared search is sound.
+    pub fn conditions_on_dst(&self) -> bool {
+        self.terms.iter().any(|t| {
+            t.conditions
+                .iter()
+                .any(|c| matches!(c, PolicyCondition::DstIn(_)))
+        })
+    }
+
     /// Approximate encoded size in bytes of the whole policy as advertised.
     pub fn encoded_size(&self) -> usize {
         4 + 1 + self.terms.iter().map(|t| t.encoded_size()).sum::<usize>()

@@ -269,6 +269,9 @@ pub struct Engine<P: Protocol> {
     /// disabled, see [`Engine::enable_obs`]) plus the always-live metrics
     /// registry.
     pub obs: Obs,
+    /// Lazily-created persistent worker crew for parallel windows
+    /// (spawning threads per window dominated lane work at paper scale).
+    pub(crate) pool: Option<crate::pool::WorkerPool>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -299,6 +302,7 @@ impl<P: Protocol> Engine<P> {
             stats,
             trace: Trace::new(0),
             obs: Obs::disabled(),
+            pool: None,
         };
         for ad in e.topo.ad_ids() {
             e.push(SimTime::ZERO, None, EventKind::Start { ad });

@@ -19,6 +19,7 @@ pub mod faults;
 pub mod monitor;
 pub mod obs;
 pub mod parallel;
+pub mod pool;
 pub mod schedule;
 pub mod stats;
 pub mod trace;

@@ -408,6 +408,24 @@ pub enum EventRecord {
         /// Cached routes revalidated and preseeded by the standby.
         warmed: u64,
     },
+    /// A batched synthesis sweep: one multi-destination search answered
+    /// several co-routable queued opens at once (sharded service).
+    SynthBatch {
+        /// The AD whose Route Server ran the sweep.
+        ad: AdId,
+        /// Queued opens answered by this batch.
+        flows: u64,
+        /// Flows that needed a fresh search (the rest hit stored state).
+        fresh: u64,
+    },
+    /// A background precompute pass refilling cache entries that a view
+    /// change invalidated, ahead of the next open that wants them.
+    PrecomputeRefill {
+        /// The AD whose Route Server refilled.
+        ad: AdId,
+        /// Entries restored into the route cache.
+        refilled: u64,
+    },
 }
 
 impl fmt::Display for EventRecord {
@@ -529,6 +547,12 @@ impl fmt::Display for EventRecord {
             }
             RsCrash { ad } => write!(f, "rs-crash {ad}"),
             RsFailover { ad, warmed } => write!(f, "rs-failover {ad} warmed={warmed}"),
+            SynthBatch { ad, flows, fresh } => {
+                write!(f, "synth-batch {ad} flows={flows} fresh={fresh}")
+            }
+            PrecomputeRefill { ad, refilled } => {
+                write!(f, "precompute-refill {ad} refilled={refilled}")
+            }
         }
     }
 }
@@ -580,6 +604,8 @@ impl EventRecord {
             SetupAbandon { .. } => "setup-abandon",
             RsCrash { .. } => "rs-crash",
             RsFailover { .. } => "rs-failover",
+            SynthBatch { .. } => "synth-batch",
+            PrecomputeRefill { .. } => "precompute-refill",
         }
     }
 
@@ -839,6 +865,16 @@ impl EventRecord {
             RsFailover { ad, warmed } => {
                 let _ = write!(s, ",\"ad\":{},\"warmed\":{warmed}", ad.index());
             }
+            SynthBatch { ad, flows, fresh } => {
+                let _ = write!(
+                    s,
+                    ",\"ad\":{},\"flows\":{flows},\"fresh\":{fresh}",
+                    ad.index()
+                );
+            }
+            PrecomputeRefill { ad, refilled } => {
+                let _ = write!(s, ",\"ad\":{},\"refilled\":{refilled}", ad.index());
+            }
         }
     }
 
@@ -890,7 +926,9 @@ impl EventRecord {
             | QuarantineEnter { ad }
             | QuarantineLift { ad }
             | RsCrash { ad }
-            | RsFailover { ad, .. } => [Some(ad), None],
+            | RsFailover { ad, .. }
+            | SynthBatch { ad, .. }
+            | PrecomputeRefill { ad, .. } => [Some(ad), None],
         }
     }
 

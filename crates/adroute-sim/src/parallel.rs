@@ -520,15 +520,27 @@ where
             slices.push(head);
             rest = tail;
         }
-        let mut results: Vec<LaneResult<P::Msg>> = std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(nl);
-            for (r, (seed, routers)) in seeds.into_iter().zip(slices).enumerate() {
+        // Fan out to the persistent worker crew (created on first use,
+        // reused across windows). Each lane writes its result into its
+        // own slot, so worker scheduling cannot reorder anything the
+        // sequential commit below observes.
+        let mut results: Vec<LaneResult<P::Msg>> = (0..nl).map(|_| LaneResult::empty()).collect();
+        {
+            let pool = self
+                .pool
+                .get_or_insert_with(|| crate::pool::WorkerPool::new(nl));
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(nl);
+            for (r, ((seed, routers), out)) in seeds
+                .into_iter()
+                .zip(slices)
+                .zip(results.iter_mut())
+                .enumerate()
+            {
                 if seed.is_empty() {
-                    handles.push(None);
                     continue;
                 }
                 let region = map.range(r);
-                handles.push(Some(s.spawn(move || {
+                jobs.push(Box::new(move || {
                     let per_ad = vec![0u64; region.len()];
                     let mut lane: Lane<'_, P> = Lane {
                         protocol,
@@ -553,17 +565,11 @@ where
                         emitted: Vec::new(),
                     };
                     lane.run();
-                    lane.finish()
-                })));
+                    *out = lane.finish();
+                }));
             }
-            handles
-                .into_iter()
-                .map(|h| match h {
-                    Some(h) => h.join().expect("lane thread panicked"),
-                    None => LaneResult::empty(),
-                })
-                .collect()
-        });
+            pool.scoped(jobs);
+        }
         // Commit: replay the skeleton in sequential (time, seq) order,
         // assigning real sequence numbers and event ids exactly as the
         // sequential engine would have.

@@ -268,6 +268,75 @@ fn stress_export() -> String {
     net.obs.log.export_jsonl()
 }
 
+/// The stress scenario served by the sharded batch engine: caches warmed
+/// and then partially invalidated by a trunk failure (so idle slots have
+/// refill work), the same storm and mid-storm Route Server crash, but
+/// every service slot batches opens — cached-rung slots answer through
+/// one shared `request_batch` (the `synth-batch` span) and drained-queue
+/// slots run the background-precompute scheduler (`precompute-refill`).
+fn stress_sharded_export(shards: usize) -> String {
+    use adroute::core::{run_load_ramp, AdmissionConfig, ShardConfig, StressConfig};
+    use adroute::sim::{OpenStorm, RouterOutage, StormPhase};
+
+    let seed = 1990u64;
+    let topo = HierarchyConfig {
+        backbones: 1,
+        regionals_per_backbone: 2,
+        metros_per_regional: 2,
+        campuses_per_metro: 2,
+        lateral_prob: 0.25,
+        bypass_prob: 0.15,
+        multihome_prob: 0.25,
+        seed,
+    }
+    .generate();
+    let db = PolicyWorkload::structural(seed).generate(&topo);
+    let mut net = OrwgNetwork::converged(&topo, &db);
+    net.enable_obs(1 << 14);
+    // Warm the two-tier caches, then fail the trunk: the invalidated
+    // entries queue for background refill, which idle sharded slots run.
+    for f in &sample_flows(&topo, 24, seed) {
+        let _ = net.synthesize(f);
+    }
+    net.fail_link(trunk(&topo));
+    let phases = [
+        StormPhase {
+            duration_ms: 10,
+            opens_per_sec: 1_500,
+        },
+        StormPhase {
+            duration_ms: 20,
+            opens_per_sec: 8_000,
+        },
+    ];
+    let storm = OpenStorm::draw(&topo, &phases, SimTime::ZERO, seed);
+    let cfg = StressConfig {
+        seed,
+        sharding: Some(ShardConfig {
+            shards,
+            max_batch: 4,
+            refill_budget: 4,
+        }),
+        service_full_us: 6_000,
+        service_cached_us: 1_200,
+        service_stored_us: 600,
+        admission: AdmissionConfig {
+            queue_capacity: 4,
+            full_depth: 1,
+            cached_depth: 2,
+            ..AdmissionConfig::default()
+        },
+        crash: Some(RouterOutage {
+            ad: AdId(0),
+            down_at: SimTime(15_000),
+            up_at: SimTime(21_000),
+        }),
+        ..StressConfig::default()
+    };
+    run_load_ramp(&mut net, &storm, &[10_000, 20_000], &cfg);
+    net.obs.log.export_jsonl()
+}
+
 #[test]
 fn stress_trace_matches_golden_and_reruns_identically() {
     let a = stress_export();
@@ -281,4 +350,26 @@ fn stress_trace_matches_golden_and_reruns_identically() {
     assert!(a.contains("\"kind\":\"rs-crash\""));
     assert!(a.contains("\"kind\":\"rs-failover\""));
     check_golden("stress_trace.jsonl", &a);
+}
+
+#[test]
+fn stress_sharded_trace_matches_golden_across_shard_counts() {
+    let a = stress_sharded_export(8);
+    let b = stress_sharded_export(8);
+    assert_eq!(a, b, "identically-seeded runs must export identical traces");
+    // The shard count parallelizes work *within* a service slot; the
+    // event stream — batch spans included — must not depend on it.
+    for shards in [1usize, 2] {
+        assert_eq!(
+            a,
+            stress_sharded_export(shards),
+            "trace changed between shards=8 and shards={shards}"
+        );
+    }
+    assert!(a.contains("\"kind\":\"synth-batch\""));
+    assert!(a.contains("\"kind\":\"precompute-refill\""));
+    assert!(a.contains("\"kind\":\"setup-shed\""));
+    assert!(a.contains("\"kind\":\"rs-crash\""));
+    assert!(a.contains("\"kind\":\"rs-failover\""));
+    check_golden("stress_sharded_trace.jsonl", &a);
 }

@@ -149,4 +149,58 @@ proptest! {
             }
         }
     }
+
+    /// Cache coherence across the two-tier store: view deltas invalidate
+    /// hot-tier entries atomically with the LRU they front, so after a
+    /// random fault script every stored-state answer — the hot tier is
+    /// probed first — is legal under the *current* view, and the
+    /// background-precompute scheduler refills only entries the current
+    /// view revalidates. A stale hot handle surviving its LRU entry's
+    /// invalidation would surface here as an illegal served route.
+    #[test]
+    fn hot_tier_and_refills_stay_view_coherent(
+        seed in 0u64..150,
+        script in proptest::collection::vec(0u64..u64::MAX, 1..8),
+    ) {
+        let topo = small_internet(seed);
+        let db = PolicyWorkload::default_mix(seed).generate(&topo);
+        let flows = sample_flows(&topo, 16, seed ^ 0x11);
+        let mut net = OrwgNetwork::converged_with(
+            &topo, &db, Strategy::Hybrid { capacity: 32 }, 1024);
+        net.set_view_maintenance(ViewMaintenance::Incremental);
+        // Warm through the request path: every answer lands in the LRU
+        // *and* the hot tier fronting it.
+        for f in &flows {
+            let _ = net.synthesize(f);
+        }
+        for word in script {
+            match decode(word, topo.num_links(), topo.num_ads()) {
+                Op::Fail(l) => net.fail_link(l),
+                Op::Restore(l) => net.restore_link(l),
+                Op::Metric(l, m) => net.change_metric(l, m),
+                Op::Policy(ad, g, pseed) => {
+                    let p = PolicyWorkload::granularity(g, pseed)
+                        .generate(&topo)
+                        .policy(ad)
+                        .clone();
+                    net.change_policy(p);
+                }
+            }
+            // Run the background-precompute scheduler over the entries
+            // the delta invalidated, then check every stored-state
+            // answer (refilled or surviving) against the current view.
+            for ad in topo.ad_ids() {
+                net.background_refill(ad, 64);
+            }
+            for f in &flows {
+                if let Some(Some(r)) = net.server_mut(f.src).stored_route(f) {
+                    prop_assert_eq!(
+                        route_is_legal(net.topo(), net.policies(), f, &r.path),
+                        Some(r.cost),
+                        "stored tier served a view-stale route for {}", f
+                    );
+                }
+            }
+        }
+    }
 }

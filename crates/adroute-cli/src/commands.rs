@@ -20,8 +20,8 @@ use adroute_protocols::{
 use adroute_sim::{
     Alarm, CausalGraph, ChannelFaults, CrashModel, Engine, EventLog, EventRecord, FailureModel,
     FaultPlan, FaultSpec, MetricsRegistry, MisbehaviorModel, MisbehaviorSpec, MonitorBank,
-    MonitorConfig, Observation, OpenStorm, Protocol, QuarantineController, RouterOutage, SimTime,
-    Stats, StormPhase,
+    MonitorConfig, Observation, OpenStorm, Profiler, Protocol, QuarantineController, RouterOutage,
+    SimTime, Stats, StormPhase,
 };
 use adroute_topology::{analysis, io as topo_io, AdId, HierarchyConfig, LinkId, Topology};
 
@@ -86,6 +86,18 @@ COMMANDS:
                 serves batches of co-routable opens per slot through
                 shared multi-destination sweeps and refills invalidated
                 cache entries in idle slots)
+  profile       <quickstart|e7b|e13|e14> [--json --folded --workers K
+                 --top N --ads N --out FILE]
+                run a fixed scenario with the self-profiler attached and
+                render its span tree: monotonic self/total wall time per
+                span plus the deterministic work ledger, whose counters
+                are byte-identical across repeat runs and worker counts.
+                quickstart/e7b profile the ORWG engine lifecycle
+                (converge + trunk cut, region-parallel at --workers)
+                then a sharded serve ramp; e13 the region-parallel
+                gossip flood; e14 full sharded e9b serving (--json for
+                machines, --folded for flamegraph.pl, default a top-N
+                self-time table)
   bench         [--json --out FILE]
                 wall-clock the overload-serving path on the e9b storm
                 (no crash), monolithic and sharded, and report opens/sec,
@@ -96,7 +108,11 @@ COMMANDS:
                 at paper scale — events/sec sequential, region-parallel,
                 with an observer attached, and a compute-bound pair at
                 C iterations of per-delivery work (--json emits the
-                BENCH_engine.json schema)
+                BENCH_engine.json schema); or: --obs [--ads N --rounds R
+                --seed S] to price the observability sinks on that same
+                flood — no sink vs trace observer vs self-profiler, best
+                of three interleaved runs each (--json emits the
+                BENCH_obs.json schema that CI's obs-overhead gate reads)
   help          this text
 ";
 
@@ -1148,6 +1164,19 @@ pub fn report(args: &Args) -> Result<String, CliError> {
             net.lift_quarantine(bz.rogue);
         }
     }
+    // Route-Server efficiency counters: sharded-sweep statistics and the
+    // AD-set intern pool's hit/miss totals land in the orwg point's
+    // metrics block (added even at zero so every run reports them).
+    let sweep = net.aggregate_sweep_stats();
+    net.obs.metrics.add("sweep_batches", sweep.batches);
+    net.obs.metrics.add("sweep_batch_flows", sweep.batch_flows);
+    net.obs.metrics.add("sweep_sweeps", sweep.sweeps);
+    net.obs.metrics.add("sweep_classes", sweep.classes);
+    net.obs.metrics.add("sweep_hot_hits", sweep.hot_hits);
+    net.obs.metrics.add("sweep_refills", sweep.refills);
+    let (intern_hits, intern_misses) = net.intern_stats();
+    net.obs.metrics.add("intern_hits", intern_hits);
+    net.obs.metrics.add("intern_misses", intern_misses);
     let mut metrics = std::mem::take(&mut net.obs.metrics);
     record_ad_load(&mut metrics, &e.stats);
     points.push(PointReport {
@@ -1748,6 +1777,173 @@ pub fn stress(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Runs one quiescence under `workers` lanes (sequential when 1); the
+/// profiler attributes the work either way, so the ledger is identical.
+fn run_quiesce<P: Protocol + Sync>(e: &mut Engine<P>, workers: usize)
+where
+    P::Router: Send,
+    P::Msg: Send,
+{
+    if workers > 1 {
+        e.run_to_quiescence_parallel(workers);
+    } else {
+        e.run_to_quiescence();
+    }
+}
+
+/// Drives a serve ramp with the self-profiler attached and *no* event
+/// log — the always-on light path — using the same service costs as
+/// `stress_run`. Returns the network for its profiler.
+fn profile_ramp(
+    topo: &Topology,
+    db: &PolicyDb,
+    seed: u64,
+    phases: &[StormPhase],
+    sharding: Option<ShardConfig>,
+) -> OrwgNetwork {
+    let mut net = OrwgNetwork::converged(topo, db);
+    net.enable_prof();
+    let storm = OpenStorm::draw(topo, phases, SimTime::ZERO, seed);
+    let durations_us: Vec<u64> = phases.iter().map(|p| p.duration_ms * 1000).collect();
+    let cfg = StressConfig {
+        seed,
+        sharding,
+        service_full_us: 6_000,
+        service_cached_us: 1_200,
+        service_stored_us: 600,
+        ..StressConfig::default()
+    };
+    let _ = run_load_ramp(&mut net, &storm, &durations_us, &cfg);
+    net
+}
+
+/// `profile`: run a fixed scenario with the self-profiler attached and
+/// render the span tree. Self/total wall times vary run to run and are
+/// never part of any golden; the `work` ledger is deterministic —
+/// byte-identical across repeat runs and worker counts, which
+/// `tests/profile_determinism.rs` enforces (the PR-7 determinism
+/// contract extended to observability).
+pub fn profile(args: &Args) -> Result<String, CliError> {
+    args.known_with_positionals(&["json", "folded", "workers", "top", "ads", "out"])?;
+    let json = args.opt_parse("json", false)?;
+    let folded = args.opt_parse("folded", false)?;
+    let workers: usize = args.opt_parse("workers", 2)?;
+    let top: usize = args.opt_parse("top", 16)?;
+    let scenario = args.positional_one("scenario")?.to_string();
+    if workers == 0 {
+        return bail("--workers must be positive");
+    }
+    let mut prof = Profiler::new();
+    let (ads, links);
+    match scenario.as_str() {
+        // Engine lifecycle (converge, cut the trunk, re-converge) plus a
+        // sharded serve ramp on the same seeded internet. e7b reuses the
+        // e9b ramp schedule at a quarter of each phase's duration: the
+        // same saturation ladder, a fraction of the arrivals.
+        "quickstart" | "e7b" => {
+            let (sc, phases) = if scenario == "quickstart" {
+                let sc = stress_scenario("quickstart")?;
+                let phases = sc.phases.clone();
+                (sc, phases)
+            } else {
+                let sc = stress_scenario("e9b")?;
+                let phases = sc
+                    .phases
+                    .iter()
+                    .map(|p| StormPhase {
+                        duration_ms: (p.duration_ms / 4).max(1),
+                        opens_per_sec: p.opens_per_sec,
+                    })
+                    .collect();
+                (sc, phases)
+            };
+            ads = sc.topo.num_ads();
+            links = sc.topo.num_links();
+            let db = PolicyWorkload::structural(sc.seed).generate(&sc.topo);
+            let trunk = pick_trunk(&sc.topo);
+            let mut e = Engine::new(sc.topo.clone(), OrwgProtocol::new(&sc.topo, db.clone()));
+            e.enable_prof();
+            e.begin_phase("converge");
+            run_quiesce(&mut e, workers);
+            e.begin_phase("failure-response");
+            e.schedule_link_change(trunk, false, e.now().plus_us(1));
+            run_quiesce(&mut e, workers);
+            prof.merge_from(&e.prof);
+            let net = profile_ramp(
+                &sc.topo,
+                &db,
+                sc.seed,
+                &phases,
+                Some(ShardConfig::default()),
+            );
+            prof.merge_from(&net.prof);
+        }
+        // The region-parallel gossip flood: the engine-dispatch /
+        // window / fanout / commit span stack with per-lane metrics.
+        "e13" => {
+            let n: usize = args.opt_parse("ads", 2_000)?;
+            if n == 0 {
+                return bail("--ads must be positive");
+            }
+            let topo = HierarchyConfig::with_approx_size(n, 1990).generate();
+            ads = topo.num_ads();
+            links = topo.num_links();
+            let mut e = Engine::new(
+                topo,
+                Gossip {
+                    origins: 8,
+                    rounds: 4,
+                    period_us: 50_000,
+                    work: 0,
+                },
+            );
+            e.enable_prof();
+            run_quiesce(&mut e, workers);
+            prof.merge_from(&e.prof);
+        }
+        // Full sharded e9b serving: the serve_batch rungs, shared
+        // sweeps, and background refill under the whole brownout ramp.
+        "e14" => {
+            let sc = stress_scenario("e9b")?;
+            ads = sc.topo.num_ads();
+            links = sc.topo.num_links();
+            let db = PolicyWorkload::structural(sc.seed).generate(&sc.topo);
+            let net = profile_ramp(
+                &sc.topo,
+                &db,
+                sc.seed,
+                &sc.phases,
+                Some(ShardConfig::default()),
+            );
+            prof.merge_from(&net.prof);
+        }
+        other => {
+            return bail(format!(
+                "unknown profile scenario '{other}'; scenarios: quickstart, e7b, e13, e14"
+            ))
+        }
+    }
+    let mut out = String::new();
+    if json {
+        let body = prof.to_json();
+        let inner = &body[1..body.len() - 1];
+        let _ = writeln!(
+            out,
+            "{{\"profile\":{{\"scenario\":\"{scenario}\",\"ads\":{ads},\"links\":{links},\
+             \"workers\":{workers},{inner}}}}}"
+        );
+    } else if folded {
+        out.push_str(&prof.fold());
+    } else {
+        let _ = writeln!(
+            out,
+            "profile {scenario}: {ads} ADs, {links} links, workers {workers}"
+        );
+        out.push_str(&prof.table(top));
+    }
+    emit(&out, args.opt("out"))
+}
+
 /// One timed serve-path run for `bench`: wall-clock figures plus the
 /// (deterministic) simulated outcome.
 struct ServeBench {
@@ -1783,10 +1979,13 @@ fn serve_bench(sc: &StressScenario, sharding: Option<ShardConfig>) -> ServeBench
 /// the wall-clock figures vary run to run.
 pub fn bench(args: &Args) -> Result<String, CliError> {
     args.known(&[
-        "json", "out", "engine", "ads", "workers", "rounds", "cost", "seed",
+        "json", "out", "engine", "obs", "ads", "workers", "rounds", "cost", "seed",
     ])?;
     if args.opt_parse("engine", false)? {
         return bench_engine(args);
+    }
+    if args.opt_parse("obs", false)? {
+        return bench_obs(args);
     }
     let json = args.opt_parse("json", false)?;
     let sc = stress_scenario("e9b")?;
@@ -1983,6 +2182,106 @@ fn bench_engine(args: &Args) -> Result<String, CliError> {
     emit(&out, args.opt("out"))
 }
 
+/// `bench --obs`: price the observability sinks on the engine bench's
+/// gossip flood — the same deterministic event population run with no
+/// sink, with the trace observer attached, and with the self-profiler
+/// on. Each mode is timed three times, interleaved so clock drift hits
+/// all modes alike, and the best run kept, which cancels scheduler
+/// noise out of the overhead ratios. `prof_overhead` is the CI-gated
+/// budget: the profiler's instrumentation is per-run/per-window, not
+/// per-event, so it must stay within 5% of the no-sink path — and the
+/// no-sink path itself must not regress against the committed baseline.
+fn bench_obs(args: &Args) -> Result<String, CliError> {
+    let ads: usize = args.opt_parse("ads", 10_000)?;
+    let seed: u64 = args.opt_parse("seed", 1990)?;
+    let rounds: u32 = args.opt_parse("rounds", 4)?;
+    let json = args.opt_parse("json", false)?;
+    if ads == 0 || rounds == 0 {
+        return bail("--ads and --rounds must be positive");
+    }
+    let topo = HierarchyConfig::with_approx_size(ads, seed).generate();
+    let gossip = Gossip {
+        origins: 8,
+        rounds,
+        period_us: 50_000,
+        work: 0,
+    };
+    let (num_ads, links) = (topo.num_ads(), topo.num_links());
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Modes: 0 = no sink, 1 = trace observer, 2 = self-profiler.
+    let run = |mode: usize| {
+        let mut e = Engine::new(topo.clone(), gossip);
+        match mode {
+            1 => e.enable_trace(1 << 16),
+            2 => e.enable_prof(),
+            _ => {}
+        }
+        let t0 = std::time::Instant::now();
+        e.run_to_quiescence();
+        (e.stats.events, t0.elapsed())
+    };
+    let mut best = [std::time::Duration::MAX; 3];
+    let mut events = 0u64;
+    for _ in 0..3 {
+        for (mode, b) in best.iter_mut().enumerate() {
+            let (ev, wall) = run(mode);
+            events = ev;
+            *b = (*b).min(wall);
+        }
+    }
+    let ms = |w: std::time::Duration| w.as_secs_f64() * 1000.0;
+    let rate = |w: std::time::Duration| (events as f64 / w.as_secs_f64().max(1e-9)) as u64;
+    let ratio = |w: std::time::Duration| w.as_secs_f64() / best[0].as_secs_f64().max(1e-9);
+
+    let mut out = String::new();
+    if json {
+        let _ = writeln!(
+            out,
+            "{{\"bench\":{{\"workload\":\"engine-obs\",\"ads\":{num_ads},\"links\":{links},\
+             \"host_cpus\":{host_cpus},\"events\":{events},\
+             \"wall_ms_nosink\":{:.3},\"events_per_sec_nosink\":{},\
+             \"wall_ms_log\":{:.3},\"events_per_sec_log\":{},\"log_overhead\":{:.4},\
+             \"wall_ms_prof\":{:.3},\"events_per_sec_prof\":{},\"prof_overhead\":{:.4}}}}}",
+            ms(best[0]),
+            rate(best[0]),
+            ms(best[1]),
+            rate(best[1]),
+            ratio(best[1]),
+            ms(best[2]),
+            rate(best[2]),
+            ratio(best[2]),
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "bench engine-obs: {num_ads} ADs, {links} links, {events} events \
+             (best of 3 interleaved runs per mode, host has {host_cpus} CPUs)"
+        );
+        let _ = writeln!(
+            out,
+            "no sink:        {:.3} ms ({} events/s)",
+            ms(best[0]),
+            rate(best[0])
+        );
+        let _ = writeln!(
+            out,
+            "trace observer: {:.3} ms ({} events/s, overhead {:.3}x)",
+            ms(best[1]),
+            rate(best[1]),
+            ratio(best[1])
+        );
+        let _ = writeln!(
+            out,
+            "self-profiler:  {:.3} ms ({} events/s, overhead {:.3}x, budget 1.05x)",
+            ms(best[2]),
+            rate(best[2]),
+            ratio(best[2])
+        );
+    }
+    emit(&out, args.opt("out"))
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
@@ -1996,6 +2295,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "trace" => trace(args),
         "blame" => blame(args),
         "stress" => stress(args),
+        "profile" => profile(args),
         "bench" => bench(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => bail(format!("unknown command '{other}'; try `adroute help`")),
@@ -2312,6 +2612,12 @@ mod tests {
             "\"quarantine_lifted\":",
             "\"false_positive\":",
             "\"detection_latency_ticks\":",
+            // Route-Server efficiency counters (sharded sweeps + AD-set
+            // intern pool) report on the orwg point even when zero.
+            "\"sweep_batches\":",
+            "\"sweep_classes\":",
+            "\"intern_hits\":",
+            "\"intern_misses\":",
         ] {
             assert!(a.contains(field), "missing {field}: {a}");
         }
@@ -2642,5 +2948,101 @@ mod tests {
             .unwrap_err()
             .0
             .contains("positive"));
+    }
+
+    #[test]
+    fn bench_obs_emits_the_obs_schema() {
+        let f = tmp("bench-obs.json");
+        // Small scale so the debug-mode test stays fast; the committed
+        // baseline uses the release-mode defaults (10^4 ADs).
+        let msg = run(&format!(
+            "bench --obs --ads 200 --rounds 2 --json --out {f}"
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let j = fs::read_to_string(&f).unwrap();
+        for key in [
+            "\"workload\":\"engine-obs\"",
+            "\"events\":",
+            "\"events_per_sec_nosink\":",
+            "\"events_per_sec_log\":",
+            "\"log_overhead\":",
+            "\"events_per_sec_prof\":",
+            "\"prof_overhead\":",
+        ] {
+            assert!(j.contains(key), "missing {key}: {j}");
+        }
+        let text = run("bench --obs --ads 200 --rounds 2").unwrap();
+        assert!(text.contains("no sink:"), "{text}");
+        assert!(text.contains("self-profiler:"), "{text}");
+        assert!(run("bench --obs --rounds 0")
+            .unwrap_err()
+            .0
+            .contains("positive"));
+    }
+
+    /// Extracts the deterministic `"work":{...}` object from a profile's
+    /// JSON output (the only part the determinism contract covers).
+    fn work_object(json: &str) -> &str {
+        let start = json.find("\"work\":{").expect("profile has a work object");
+        let end = json[start..].find('}').expect("work object closes") + start;
+        &json[start..=end]
+    }
+
+    #[test]
+    fn profile_e13_work_ledger_is_worker_invariant() {
+        let a = run("profile e13 --ads 300 --workers 2 --json").unwrap();
+        assert!(a.starts_with("{\"profile\":{\"scenario\":\"e13\""), "{a}");
+        for key in [
+            "\"workers\":2",
+            "\"work\":{",
+            "\"engine/events\":",
+            "\"engine/msgs_delivered\":",
+            "\"spans\":[",
+        ] {
+            assert!(a.contains(key), "missing {key}: {a}");
+        }
+        // The ledger side is byte-identical across worker counts even
+        // though the span tree (and its wall times) legitimately differ.
+        let b = run("profile e13 --ads 300 --workers 4 --json").unwrap();
+        assert_eq!(work_object(&a), work_object(&b));
+        let seq = run("profile e13 --ads 300 --workers 1 --json").unwrap();
+        assert_eq!(work_object(&a), work_object(&seq));
+    }
+
+    #[test]
+    fn profile_quickstart_covers_engine_and_serve_spans() {
+        let table = run("profile quickstart --workers 2").unwrap();
+        for span in ["serve_batch", "synth", "load_ramp"] {
+            assert!(table.contains(span), "missing span {span}: {table}");
+        }
+        assert!(table.contains("work ledger (deterministic):"), "{table}");
+        assert!(table.contains("serve/opens_popped"), "{table}");
+        let folded = run("profile quickstart --workers 2 --folded").unwrap();
+        assert!(
+            folded
+                .lines()
+                .any(|l| l.starts_with("load_ramp;serve_batch")),
+            "{folded}"
+        );
+        // Every folded line is `path self_us`.
+        for line in folded.lines() {
+            let mut parts = line.rsplitn(2, ' ');
+            let n = parts.next().unwrap();
+            assert!(n.parse::<u64>().is_ok(), "bad folded line: {line}");
+        }
+    }
+
+    #[test]
+    fn profile_rejects_unknown_scenarios_and_flags() {
+        assert!(run("profile nope").unwrap_err().0.contains("unknown"));
+        assert!(run("profile e13 --workers 0")
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(run("profile e13 --bogus 1")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
     }
 }

@@ -6,10 +6,9 @@
 //!
 //! Run `adroute help` for usage.
 
-mod args;
-mod commands;
-
 use std::process::ExitCode;
+
+use adroute_cli::{args, commands};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use adroute_policy::{FlowSpec, PolicyDb, TransitPolicy};
-use adroute_sim::{Engine, EventId, EventRecord, Obs, SimTime, DATA_STREAM_ID_BASE};
+use adroute_sim::{Engine, EventId, EventRecord, Obs, Profiler, SimTime, DATA_STREAM_ID_BASE};
 use adroute_topology::{AdId, LinkId, TopoDelta, Topology};
 
 use crate::dataplane::{DataPacket, HandleId, SetupPacket};
@@ -15,7 +15,7 @@ use crate::overload::{
     ServeOutcome, ShardConfig,
 };
 use crate::router::OrwgProtocol;
-use crate::synthesis::{PolicyRoute, RouteServer, Strategy, SynthStats, ViewDelta};
+use crate::synthesis::{PolicyRoute, RouteServer, Strategy, SweepStats, SynthStats, ViewDelta};
 
 /// What one rung's synthesis produced for one queued open — shared by
 /// the monolithic and batched serve paths.
@@ -190,6 +190,11 @@ pub struct OrwgNetwork {
     /// event log is off until [`OrwgNetwork::enable_obs`]; the metrics are
     /// always live.
     pub obs: Obs,
+    /// The data-plane self-profiler (disabled by default, see
+    /// [`OrwgNetwork::enable_prof`]): spans around serve slots and
+    /// refills plus a deterministic work ledger fed from synthesis
+    /// counters. Merged with an engine's profiler for whole-run reports.
+    pub prof: Profiler,
     /// Timestamp stamped on data-plane events: the last control-plane
     /// time adopted from an engine (see [`OrwgNetwork::refresh_from_engine`]
     /// and [`OrwgNetwork::from_engine`]), `SimTime::ZERO` otherwise.
@@ -252,6 +257,7 @@ impl OrwgNetwork {
             rs_down: Vec::new(),
             standby,
             obs: Obs::disabled(),
+            prof: Profiler::new(),
             clock: SimTime::ZERO,
         }
     }
@@ -300,6 +306,7 @@ impl OrwgNetwork {
             rs_down: Vec::new(),
             standby,
             obs: Obs::disabled(),
+            prof: Profiler::new(),
             clock: engine.now(),
         }
     }
@@ -310,6 +317,13 @@ impl OrwgNetwork {
     /// engine's control-plane log (whose ids start at 0) stays unique.
     pub fn enable_obs(&mut self, capacity: usize) {
         self.obs.log = adroute_sim::EventLog::with_id_base(capacity, DATA_STREAM_ID_BASE);
+    }
+
+    /// Enables the data-plane self-profiler. Adds no per-packet work:
+    /// spans wrap serve slots and refill batches, and the ledger is fed
+    /// from synthesis-counter deltas at slot boundaries.
+    pub fn enable_prof(&mut self) {
+        self.prof.enable();
     }
 
     /// Emits a data-plane event stamped at the network's clock, as a child
@@ -1227,6 +1241,7 @@ impl OrwgNetwork {
     /// `max_batch == 1` this function *is* `serve_next`: one live open,
     /// popped at the recomputed rung. Outcomes return in pop order.
     pub fn serve_batch(&mut self, ad: AdId, cfg: ShardConfig) -> Vec<ServeOutcome> {
+        self.prof.enter("serve_batch");
         let now = self.clock;
         let ai = ad.index();
         struct Popped {
@@ -1238,6 +1253,7 @@ impl OrwgNetwork {
         // Phase 1: pop under the ladder. The rung is recomputed before
         // every pop until the first live open freezes it for the slot;
         // the depth each shed NACK would report is captured at the pop.
+        self.prof.enter("pop");
         let mut popped: Vec<Popped> = Vec::new();
         let mut slot_rung: Option<BrownoutRung> = None;
         let mut live = 0usize;
@@ -1271,11 +1287,26 @@ impl OrwgNetwork {
                 expired,
             });
         }
+        self.prof.exit("pop");
         // Phase 2: synthesize the live opens on the slot rung, in pop
         // order. Cached is the batched path; Full and Stored answer each
         // open exactly as serve_next would.
         let rung = slot_rung.unwrap_or(BrownoutRung::Full);
         let lives: Vec<usize> = (0..popped.len()).filter(|&i| !popped[i].expired).collect();
+        self.prof.enter("synth");
+        self.prof.work("serve/opens_popped", popped.len() as u64);
+        self.prof.work("serve/opens_live", lives.len() as u64);
+        if !popped.is_empty() {
+            self.prof.work(
+                match rung {
+                    BrownoutRung::Full => "serve/slots_full",
+                    BrownoutRung::Cached => "serve/slots_cached",
+                    BrownoutRung::Stored => "serve/slots_stored",
+                },
+                1,
+            );
+        }
+        let synth_snap = self.prof_synth_snapshot(ai);
         let mut synths: Vec<Option<Synth>> = Vec::new();
         synths.resize_with(popped.len(), || None);
         if rung == BrownoutRung::Cached && lives.len() > 1 {
@@ -1302,8 +1333,11 @@ impl OrwgNetwork {
                 synths[k] = Some(self.synth_on_rung(ad, &popped[k].open.flow, rung));
             }
         }
+        self.prof_synth_attribute(ai, synth_snap);
+        self.prof.exit("synth");
         // Phase 3: commit in pop order, exactly as serve_next would.
-        popped
+        self.prof.enter("commit");
+        let outcomes: Vec<ServeOutcome> = popped
             .into_iter()
             .zip(synths)
             .map(|(p, synth)| {
@@ -1315,7 +1349,45 @@ impl OrwgNetwork {
                     self.commit_outcome(ad, p.open, rung, p.waited, p.depth, synth)
                 }
             })
-            .collect()
+            .collect();
+        self.prof.exit("commit");
+        self.prof.exit("serve_batch");
+        outcomes
+    }
+
+    /// Snapshot of one server's synthesis counters, taken around a serve
+    /// slot's synthesis phase to credit the profiler's work ledger.
+    fn prof_synth_snapshot(&self, ai: usize) -> (u64, u64, u64, u64, u64) {
+        let s = &self.servers[ai];
+        (
+            s.stats.searches,
+            s.stats.cache_hits,
+            s.sweep.sweeps,
+            s.sweep.classes,
+            s.sweep.hot_hits,
+        )
+    }
+
+    /// Credits the synthesis side of the work ledger with everything a
+    /// slot's synthesis phase did. All five deltas are deterministic for
+    /// a fixed scenario configuration, so the ledger is reproducible.
+    fn prof_synth_attribute(&mut self, ai: usize, snap: (u64, u64, u64, u64, u64)) {
+        if !self.prof.is_enabled() {
+            return;
+        }
+        let s = &self.servers[ai];
+        let deltas = (
+            s.stats.searches - snap.0,
+            s.stats.cache_hits - snap.1,
+            s.sweep.sweeps - snap.2,
+            s.sweep.classes - snap.3,
+            s.sweep.hot_hits - snap.4,
+        );
+        self.prof.work("synth/searches", deltas.0);
+        self.prof.work("synth/cache_hits", deltas.1);
+        self.prof.work("synth/sweeps", deltas.2);
+        self.prof.work("synth/classes", deltas.3);
+        self.prof.work("synth/hot_hits", deltas.4);
     }
 
     /// Runs up to `budget` background precompute refills on `ad`'s Route
@@ -1324,7 +1396,10 @@ impl OrwgNetwork {
     /// precompute-refill record when anything was restored; returns the
     /// number of entries refilled.
     pub fn background_refill(&mut self, ad: AdId, budget: usize) -> usize {
+        self.prof.enter("background_refill");
         let refilled = self.servers[ad.index()].background_refill(budget);
+        self.prof.work("synth/refills", refilled as u64);
+        self.prof.exit("background_refill");
         if refilled > 0 {
             self.obs.metrics.add("precompute_refills", refilled as u64);
             self.emit(
@@ -1664,6 +1739,35 @@ impl OrwgNetwork {
             agg.revalidate_hits += s.stats.revalidate_hits;
         }
         agg
+    }
+
+    /// Sums every Route Server's batched-sweep counters into one
+    /// [`SweepStats`] — the per-run sharded-serving cost breakdown
+    /// `report --json` and `profile` publish.
+    pub fn aggregate_sweep_stats(&self) -> SweepStats {
+        let mut agg = SweepStats::default();
+        for s in &self.servers {
+            agg.batches += s.sweep.batches;
+            agg.batch_flows += s.sweep.batch_flows;
+            agg.sweeps += s.sweep.sweeps;
+            agg.classes += s.sweep.classes;
+            agg.hot_hits += s.sweep.hot_hits;
+            agg.refills += s.sweep.refills;
+        }
+        agg
+    }
+
+    /// Total `(hits, misses)` of every Route Server's interned avoid-set
+    /// pool — the [`adroute_policy::AdSetPool`] intern/widen hit rate.
+    pub fn intern_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for s in &self.servers {
+            let (h, m) = s.intern_stats();
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
     }
 
     /// Total data packets that hit a pre-crash handle across all gateways

@@ -801,6 +801,7 @@ pub fn run_load_ramp(
             .saturating_mul(s.max_batch.max(1) as u64);
     }
     net.set_admission(admission);
+    net.prof.enter("load_ramp");
     let mut driver = Driver {
         net,
         cfg,
@@ -883,6 +884,7 @@ pub fn run_load_ramp(
             }
         }
     }
+    driver.net.prof.exit("load_ramp");
     let phases = driver.phases;
     let total = |f: fn(&PhaseReport) -> u64| phases.iter().map(f).sum::<u64>();
     let (p50, p99) = driver

@@ -311,6 +311,13 @@ impl RouteServer {
         &self.view_db
     }
 
+    /// `(hits, misses)` of the interned avoid-set pool across intern and
+    /// widen operations — the AD-set sharing rate of this server's
+    /// selection handling.
+    pub fn intern_stats(&self) -> (u64, u64) {
+        self.avoid_pool.stats()
+    }
+
     /// The source's current route-selection criteria.
     pub fn selection(&self) -> &RouteSelection {
         &self.selection

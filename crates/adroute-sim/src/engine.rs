@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::event::{Event, EventKind, SimTime};
 use crate::faults::ChannelFaults;
+use crate::obs::prof::Profiler;
 use crate::obs::{EventId, EventLog, EventRecord, Obs};
 use crate::stats::Stats;
 use crate::trace::Trace;
@@ -269,6 +270,11 @@ pub struct Engine<P: Protocol> {
     /// disabled, see [`Engine::enable_obs`]) plus the always-live metrics
     /// registry.
     pub obs: Obs,
+    /// The self-profiler (disabled by default; see
+    /// [`Engine::enable_prof`]). Its span/wall side is measurement-only;
+    /// its work ledger is fed exclusively from worker-count-invariant
+    /// [`Stats`] deltas, so it obeys the determinism contract.
+    pub prof: Profiler,
     /// Lazily-created persistent worker crew for parallel windows
     /// (spawning threads per window dominated lane work at paper scale).
     pub(crate) pool: Option<crate::pool::WorkerPool>,
@@ -302,6 +308,7 @@ impl<P: Protocol> Engine<P> {
             stats,
             trace: Trace::new(0),
             obs: Obs::disabled(),
+            prof: Profiler::new(),
             pool: None,
         };
         for ad in e.topo.ad_ids() {
@@ -642,6 +649,41 @@ impl<P: Protocol> Engine<P> {
         self.obs.log = EventLog::new(capacity);
     }
 
+    /// Enables the self-profiler. Unlike the event sinks, the profiler
+    /// adds no per-event work: spans wrap whole `run_*` calls and
+    /// parallel windows, and the work ledger is fed from [`Stats`]
+    /// deltas at span exits.
+    pub fn enable_prof(&mut self) {
+        self.prof.enable();
+    }
+
+    /// Snapshot of the worker-count-invariant counters a run span
+    /// attributes work from.
+    pub(crate) fn prof_snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.stats.events,
+            self.stats.msgs_sent,
+            self.stats.msgs_delivered,
+            self.stats.bytes_sent,
+        )
+    }
+
+    /// Credits the engine-level work ledger with everything that
+    /// happened since `snap`. All four deltas are byte-identical across
+    /// worker counts by the determinism contract, so the ledger is too.
+    pub(crate) fn prof_attribute(&mut self, snap: (u64, u64, u64, u64)) {
+        if !self.prof.is_enabled() {
+            return;
+        }
+        self.prof.work("engine/events", self.stats.events - snap.0);
+        self.prof
+            .work("engine/msgs_sent", self.stats.msgs_sent - snap.1);
+        self.prof
+            .work("engine/msgs_delivered", self.stats.msgs_delivered - snap.2);
+        self.prof
+            .work("engine/bytes_sent", self.stats.bytes_sent - snap.3);
+    }
+
     /// Whether any event sink (legacy trace or typed log) is recording.
     pub(crate) fn observing(&self) -> bool {
         self.trace.capacity() > 0 || self.obs.log.capacity() > 0
@@ -689,7 +731,9 @@ impl<P: Protocol> Engine<P> {
         F: FnOnce(&P, &mut P::Router, &mut Ctx<'_, P::Msg>),
     {
         // Hand the reusable buffers to the context; they come back drained
-        // below, so steady-state dispatch performs no allocation.
+        // below, so steady-state dispatch performs no allocation. The
+        // observer gate is evaluated once per dispatch, not per message.
+        let observing = self.observing();
         let mut ctx = Ctx {
             me: ad,
             now: self.now,
@@ -699,7 +743,7 @@ impl<P: Protocol> Engine<P> {
             timers: std::mem::take(&mut self.scratch.timers),
             events: std::mem::take(&mut self.scratch.events),
             anchor: None,
-            observing: self.trace.capacity() > 0 || self.obs.log.capacity() > 0,
+            observing,
         };
         f(&self.protocol, &mut self.routers[ad.index()], &mut ctx);
         let Ctx {
@@ -728,7 +772,7 @@ impl<P: Protocol> Engine<P> {
             self.stats.per_ad_msgs[ad.index()] += 1;
             let bytes = self.protocol.msg_size(&msg) as u64;
             self.stats.bytes_sent += bytes;
-            let send_id = if self.observing() {
+            let send_id = if observing {
                 self.emit(
                     msg_cause,
                     EventRecord::MsgSend {
@@ -832,6 +876,8 @@ impl<P: Protocol> Engine<P> {
     /// indicates a protocol that does not converge (e.g. unbounded
     /// count-to-infinity).
     pub fn run_to_quiescence(&mut self) -> SimTime {
+        self.prof.enter("engine.quiesce");
+        let snap = self.prof_snapshot();
         let start_events = self.stats.events;
         while self.step() {
             if self.stats.events - start_events > self.max_events {
@@ -841,11 +887,15 @@ impl<P: Protocol> Engine<P> {
                 );
             }
         }
+        self.prof_attribute(snap);
+        self.prof.exit("engine.quiesce");
         self.stats.last_activity
     }
 
     /// Runs until simulated time exceeds `until` or the queue empties.
     pub fn run_until(&mut self, until: SimTime) {
+        self.prof.enter("engine.run_until");
+        let snap = self.prof_snapshot();
         let start_events = self.stats.events;
         while let Some(t) = self.next_event_time() {
             if t > until {
@@ -861,6 +911,8 @@ impl<P: Protocol> Engine<P> {
         if self.now < until {
             self.now = until;
         }
+        self.prof_attribute(snap);
+        self.prof.exit("engine.run_until");
     }
 
     /// Consumes the engine, returning its parts (topology, routers,

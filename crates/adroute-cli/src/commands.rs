@@ -87,7 +87,7 @@ COMMANDS:
                 shared multi-destination sweeps and refills invalidated
                 cache entries in idle slots)
   profile       <quickstart|e7b|e13|e14> [--json --folded --workers K
-                 --top N --ads N --out FILE]
+                 --top N --ads N --loss P --out FILE]
                 run a fixed scenario with the self-profiler attached and
                 render its span tree: monotonic self/total wall time per
                 span plus the deterministic work ledger, whose counters
@@ -95,7 +95,9 @@ COMMANDS:
                 quickstart/e7b profile the ORWG engine lifecycle
                 (converge + trunk cut, region-parallel at --workers)
                 then a sharded serve ramp; e13 the region-parallel
-                gossip flood; e14 full sharded e9b serving (--json for
+                gossip flood (--loss attaches an event-keyed faulty
+                channel so the faulted dispatch path is what gets
+                profiled); e14 full sharded e9b serving (--json for
                 machines, --folded for flamegraph.pl, default a top-N
                 self-time table)
   bench         [--json --out FILE]
@@ -112,7 +114,13 @@ COMMANDS:
                 --seed S] to price the observability sinks on that same
                 flood — no sink vs trace observer vs self-profiler, best
                 of three interleaved runs each (--json emits the
-                BENCH_obs.json schema that CI's obs-overhead gate reads)
+                BENCH_obs.json schema that CI's obs-overhead gate reads);
+                or: --chaos [--ads N --workers K --rounds R --loss P
+                --seed S] to wall-clock the same flood under the
+                event-keyed chaos machinery (lossy channel + a
+                partition/heal cycle), sequential vs region-parallel
+                (--json emits the BENCH_chaos.json schema that CI's
+                chaos-throughput gate reads)
   help          this text
 ";
 
@@ -630,6 +638,8 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         "view",
         "byzantine",
         "trace",
+        "workers",
+        "partition",
     ])?;
     let trace_path = args.opt("trace");
     let ads: usize = args.opt_parse("ads", 40)?;
@@ -638,6 +648,11 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
     if duration_ms == 0 {
         return bail("--duration must be a positive number of milliseconds");
     }
+    let workers: usize = args.opt_parse("workers", 1)?;
+    if workers == 0 {
+        return bail("--workers must be positive");
+    }
+    let partition = args.opt_parse("partition", false)?;
     let loss: f64 = args.opt_parse("loss", 0.05)?;
     if !(0.0..=0.5).contains(&loss) {
         return bail("--loss must be in [0, 0.5]");
@@ -697,7 +712,7 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         e.enable_obs(65536);
     }
     e.begin_phase("converge");
-    e.run_to_quiescence();
+    run_quiesce(&mut e, workers);
     let spec = FaultSpec {
         link_model: Some(FailureModel {
             mtbf_ms: duration_ms as f64 / 3.0,
@@ -721,7 +736,17 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         }),
         misbehavior: MisbehaviorSpec::default(),
     };
-    let plan = FaultPlan::draw(&topo, &spec, e.now(), duration_ms);
+    let mut plan = FaultPlan::draw(&topo, &spec, e.now(), duration_ms);
+    if partition {
+        // Split the flooding domain at the AD-index midpoint for the
+        // first half of the horizon, then heal and reconcile.
+        plan = plan.with_partition(
+            &topo,
+            (topo.num_ads() / 2) as u32,
+            e.now().plus_us(1_000),
+            e.now().plus_us(duration_ms * 500),
+        );
+    }
     let _ = writeln!(
         out,
         "plan: {} link events, {} router outages, channel loss {:.1}% over {duration_ms} ms",
@@ -729,9 +754,23 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         plan.outages().len(),
         loss * 100.0,
     );
+    if let Some(p) = plan.partition_spec() {
+        let _ = writeln!(
+            out,
+            "partition: {} cut links split {} | {} ADs, heal at {} us",
+            p.cut.len(),
+            p.split,
+            topo.num_ads() as u32 - p.split,
+            p.heal_at.as_us(),
+        );
+    }
     e.begin_phase("churn");
     plan.apply(&mut e);
-    let t = e.run_to_quiescence();
+    let t = if workers > 1 {
+        e.run_to_quiescence_parallel(workers)
+    } else {
+        e.run_to_quiescence()
+    };
     let _ = writeln!(
         out,
         "control plane: quiescent at {} us after {} events",
@@ -897,7 +936,7 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
     // flush, per --view.
     e.begin_phase("failure-response");
     e.schedule_link_change(cut, false, e.now().plus_us(1));
-    e.run_to_quiescence();
+    run_quiesce(&mut e, workers);
     net.refresh_from_engine(&e);
     let torn = net.pending_repair_count();
     let r = net.repair_pending(4);
@@ -1824,7 +1863,7 @@ fn profile_ramp(
 /// `tests/profile_determinism.rs` enforces (the PR-7 determinism
 /// contract extended to observability).
 pub fn profile(args: &Args) -> Result<String, CliError> {
-    args.known_with_positionals(&["json", "folded", "workers", "top", "ads", "out"])?;
+    args.known_with_positionals(&["json", "folded", "workers", "top", "ads", "loss", "out"])?;
     let json = args.opt_parse("json", false)?;
     let folded = args.opt_parse("folded", false)?;
     let workers: usize = args.opt_parse("workers", 2)?;
@@ -1880,10 +1919,17 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
         }
         // The region-parallel gossip flood: the engine-dispatch /
         // window / fanout / commit span stack with per-lane metrics.
+        // `--loss p` attaches an event-keyed lossy channel (corrupt,
+        // duplicate, and reorder scaled off `p`) so the profiled
+        // dispatch path is the faulted one.
         "e13" => {
             let n: usize = args.opt_parse("ads", 2_000)?;
             if n == 0 {
                 return bail("--ads must be positive");
+            }
+            let loss: f64 = args.opt_parse("loss", 0.0)?;
+            if !(0.0..=1.0).contains(&loss) {
+                return bail("--loss must be a probability in [0, 1]");
             }
             let topo = HierarchyConfig::with_approx_size(n, 1990).generate();
             ads = topo.num_ads();
@@ -1897,6 +1943,17 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
                     work: 0,
                 },
             );
+            if loss > 0.0 {
+                e.set_channel_faults(Some(ChannelFaults {
+                    loss,
+                    corrupt: loss / 4.0,
+                    duplicate: loss / 4.0,
+                    reorder: loss / 2.0,
+                    jitter_us: 500,
+                    seed: 1990,
+                    ..ChannelFaults::default()
+                }));
+            }
             e.enable_prof();
             run_quiesce(&mut e, workers);
             prof.merge_from(&e.prof);
@@ -1979,13 +2036,16 @@ fn serve_bench(sc: &StressScenario, sharding: Option<ShardConfig>) -> ServeBench
 /// the wall-clock figures vary run to run.
 pub fn bench(args: &Args) -> Result<String, CliError> {
     args.known(&[
-        "json", "out", "engine", "obs", "ads", "workers", "rounds", "cost", "seed",
+        "json", "out", "engine", "obs", "chaos", "ads", "workers", "rounds", "cost", "seed", "loss",
     ])?;
     if args.opt_parse("engine", false)? {
         return bench_engine(args);
     }
     if args.opt_parse("obs", false)? {
         return bench_obs(args);
+    }
+    if args.opt_parse("chaos", false)? {
+        return bench_chaos(args);
     }
     let json = args.opt_parse("json", false)?;
     let sc = stress_scenario("e9b")?;
@@ -2177,6 +2237,115 @@ fn bench_engine(args: &Args) -> Result<String, CliError> {
              (speedup {cspeedup:.2})",
             wall_cseq.as_secs_f64() * 1000.0,
             wall_cpar.as_secs_f64() * 1000.0
+        );
+    }
+    emit(&out, args.opt("out"))
+}
+
+/// `bench --chaos`: wall-clock throughput of the discrete-event core on
+/// the gossip flood with the chaos machinery engaged — an event-keyed
+/// lossy / corrupting / duplicating / reordering channel plus a
+/// partition/heal cycle across the AD-index midpoint — sequential and
+/// region-parallel at `--workers`. The simulated outcome is identical in
+/// every run (each channel verdict is a pure function of event identity),
+/// so the asserted counters double as a determinism check; only the
+/// wall-clock figures vary. CI's chaos-throughput gate reads the JSON.
+fn bench_chaos(args: &Args) -> Result<String, CliError> {
+    let ads: usize = args.opt_parse("ads", 10_000)?;
+    let seed: u64 = args.opt_parse("seed", 1990)?;
+    let workers: usize = args.opt_parse("workers", 8)?;
+    let rounds: u32 = args.opt_parse("rounds", 4)?;
+    let loss: f64 = args.opt_parse("loss", 0.05)?;
+    let json = args.opt_parse("json", false)?;
+    if ads == 0 || workers == 0 || rounds == 0 {
+        return bail("--ads, --workers, and --rounds must be positive");
+    }
+    if !(0.0..=0.5).contains(&loss) {
+        return bail("--loss must be in [0, 0.5]");
+    }
+    let topo = HierarchyConfig::with_approx_size(ads, seed).generate();
+    let gossip = Gossip {
+        origins: 8,
+        rounds,
+        period_us: 50_000,
+        work: 0,
+    };
+    let faults = ChannelFaults {
+        loss,
+        corrupt: loss / 4.0,
+        duplicate: loss / 4.0,
+        reorder: loss / 2.0,
+        jitter_us: 500,
+        seed: seed ^ 0x33,
+        ..ChannelFaults::default()
+    };
+    // The flood spans rounds * 50 ms; cut at 10 ms, heal at the midpoint.
+    let split = (topo.num_ads() / 2) as u32;
+    let heal_at = SimTime::from_ms(u64::from(rounds) * 50 / 2).plus_us(1);
+    let (num_ads, links) = (topo.num_ads(), topo.num_links());
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let run = |regions: Option<usize>| {
+        let mut e = Engine::new(topo.clone(), gossip);
+        e.set_channel_faults(Some(faults.clone()));
+        if let Some(plan) = FaultPlan::partition(&topo, split, SimTime::from_ms(10), heal_at) {
+            plan.apply(&mut e);
+        }
+        let t0 = std::time::Instant::now();
+        let quiesced = match regions {
+            None => e.run_to_quiescence(),
+            Some(r) => e.run_to_quiescence_parallel(r),
+        };
+        let chaos_events = e.stats.msgs_lost
+            + e.stats.msgs_corrupted
+            + e.stats.msgs_duplicated
+            + e.stats.msgs_reordered;
+        (e.stats.events, chaos_events, t0.elapsed(), quiesced)
+    };
+    let rate = |events: u64, wall: std::time::Duration| {
+        (events as f64 / wall.as_secs_f64().max(1e-9)) as u64
+    };
+
+    let (ev_seq, chaos_seq, wall_seq, quiesced) = run(None);
+    let (ev_par, chaos_par, wall_par, q_par) = run(Some(workers));
+    assert_eq!(
+        (ev_seq, chaos_seq, quiesced),
+        (ev_par, chaos_par, q_par),
+        "faulted parallel run diverged from sequential"
+    );
+    let (seq_rate, par_rate) = (rate(ev_seq, wall_seq), rate(ev_par, wall_par));
+    let speedup = wall_seq.as_secs_f64() / wall_par.as_secs_f64().max(1e-9);
+
+    let mut out = String::new();
+    if json {
+        let _ = writeln!(
+            out,
+            "{{\"bench\":{{\"workload\":\"engine-chaos\",\"ads\":{num_ads},\
+             \"links\":{links},\"workers\":{workers},\"host_cpus\":{host_cpus},\
+             \"loss\":{loss},\"events\":{ev_seq},\"chaos_events\":{chaos_seq},\
+             \"quiesced_at_us\":{},\"wall_ms_seq\":{:.3},\
+             \"events_per_sec_seq\":{seq_rate},\"wall_ms_par\":{:.3},\
+             \"events_per_sec_par\":{par_rate},\"speedup\":{speedup:.3}}}}}",
+            quiesced.as_us(),
+            wall_seq.as_secs_f64() * 1000.0,
+            wall_par.as_secs_f64() * 1000.0,
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "bench engine-chaos: {num_ads} ADs, {links} links, {ev_seq} events \
+             ({chaos_seq} channel faults, quiesced @{} us, host has {host_cpus} CPUs)",
+            quiesced.as_us()
+        );
+        let _ = writeln!(
+            out,
+            "sequential:  {:.3} ms ({seq_rate} events/s)",
+            wall_seq.as_secs_f64() * 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "parallel x{workers}: {:.3} ms ({par_rate} events/s, speedup {speedup:.2})",
+            wall_par.as_secs_f64() * 1000.0
         );
     }
     emit(&out, args.opt("out"))

@@ -252,6 +252,8 @@ pub fn score_flows<D: DataPlane>(
 /// - delivered → [`Observation::Delivered`] with the policy violators
 ///   from [`audit_path`] (the tripwire's evidence),
 /// - looped → [`Observation::Looped`] with the repeating cycle,
+///   `reachable` from the same oracle as drops (a loop toward an
+///   unreachable destination is reconvergence churn, not misbehavior),
 /// - dropped → [`Observation::Blackholed`], `reachable` taken from the
 ///   policy-legality oracle ([`legality::legal_route`]): a drop is only
 ///   suspicious when a policy-legal route exists right now. A
@@ -287,6 +289,7 @@ pub fn observe_flows<D: DataPlane>(
                     src: flow.src,
                     dst: flow.dst,
                     cycle: path[start..path.len() - 1].to_vec(),
+                    reachable: legality::legal_route(topo, db, flow).is_some(),
                 });
             }
             ForwardOutcome::NoRoute { path } => {

@@ -260,8 +260,15 @@ impl Protocol for NaiveDv {
 /// [`MetricSample`](adroute_sim::Observation::MetricSample)s — one
 /// monitoring tick's control-plane snapshot. Only the DV family exposes
 /// climbing metrics, so this feeder lives beside the protocol.
+///
+/// Each sample carries ground-truth reachability, computed once per tick
+/// from the connected components of the *operational* topology: during a
+/// partition, metrics toward the far island climb legitimately, and the
+/// `reachable: false` tag keeps the watchdog from quarantining the
+/// unreachable destination (unreachable ≠ byzantine).
 pub fn observe_dv_metrics(engine: &Engine<NaiveDv>, bank: &mut adroute_sim::MonitorBank) {
     let infinity = engine.protocol().infinity;
+    let comp = adroute_topology::algo::connected_components(engine.topo());
     for ad in engine.topo().ad_ids() {
         if !engine.router_is_up(ad) {
             continue;
@@ -276,6 +283,7 @@ pub fn observe_dv_metrics(engine: &Engine<NaiveDv>, bank: &mut adroute_sim::Moni
                 dst: AdId(dest as u32),
                 metric: m,
                 infinity,
+                reachable: comp[ad.index()] == comp[dest],
             });
         }
     }

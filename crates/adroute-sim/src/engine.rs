@@ -3,11 +3,9 @@
 use std::collections::BinaryHeap;
 
 use adroute_topology::{AdId, LinkId, Topology};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::event::{Event, EventKind, SimTime};
-use crate::faults::ChannelFaults;
+use crate::faults::{ChannelFaults, ChannelVerdict};
 use crate::obs::prof::Profiler;
 use crate::obs::{EventId, EventLog, EventRecord, Obs};
 use crate::stats::Stats;
@@ -251,8 +249,9 @@ pub struct Engine<P: Protocol> {
     pub(crate) router_up: Vec<bool>,
     /// Bumped on each crash so pre-crash timers die with the old state.
     pub(crate) incarnations: Vec<u32>,
-    /// Optional channel-fault injector (loss/corruption/dup/reorder).
-    pub(crate) faults: Option<FaultInjector>,
+    /// Optional channel-fault configuration (loss/corruption/dup/
+    /// reorder); verdicts are drawn per message, keyed on event identity.
+    pub(crate) faults: Option<ChannelFaults>,
     /// Reusable dispatch buffers (see [`Scratch`]).
     scratch: Scratch<P::Msg>,
     /// Safety valve: maximum events processed per `run_*` call family.
@@ -470,15 +469,14 @@ impl<P: Protocol> Engine<P> {
         self.router_up[ad.index()]
     }
 
-    /// Installs (or clears) the channel-fault injector. Faults apply to
-    /// every message sent after this call, drawn from a dedicated RNG
-    /// seeded by the configuration — fault arrival is a pure function of
-    /// the event sequence, so runs stay deterministic.
+    /// Installs (or clears) the channel-fault configuration. Faults apply
+    /// to every message sent after this call; each message's fate is
+    /// drawn by [`ChannelFaults::judge`] keyed on (seed, sender, per-AD
+    /// send ordinal), so fault arrival is a pure function of event
+    /// identity — independent of draw order, identical under the
+    /// sequential and parallel engines.
     pub fn set_channel_faults(&mut self, faults: Option<ChannelFaults>) {
-        self.faults = faults.map(|cfg| FaultInjector {
-            rng: SmallRng::seed_from_u64(cfg.seed),
-            cfg,
-        });
+        self.faults = faults;
     }
 
     /// Processes a single event. Returns `false` if the queue was empty.
@@ -790,8 +788,13 @@ impl<P: Protocol> Engine<P> {
             let hop_cause = send_id.or(msg_cause);
             let mut delay = delay;
             let mut dup_at = None;
-            let verdict = match &mut self.faults {
-                Some(inj) if inj.cfg.active_at(self.now) => Some(inj.judge(delay)),
+            // The ordinal is the sender's cumulative send count (the
+            // increment above), so the draw key is identical whether
+            // this dispatch runs here or inside a parallel lane.
+            let verdict = match &self.faults {
+                Some(cfg) if cfg.active_at(self.now) => {
+                    Some(cfg.judge(ad, self.stats.per_ad_msgs[ad.index()], delay))
+                }
                 _ => None,
             };
             if let Some(verdict) = verdict {
@@ -919,61 +922,6 @@ impl<P: Protocol> Engine<P> {
     /// stats). Experiments use this to inspect final state.
     pub fn into_parts(self) -> (Topology, Vec<P::Router>, Stats) {
         (self.topo, self.routers, self.stats)
-    }
-}
-
-/// Live state of the channel-fault process: configuration plus the RNG it
-/// draws from. Owned by the engine so fault arrival is a pure function of
-/// the (deterministic) event sequence.
-pub(crate) struct FaultInjector {
-    cfg: ChannelFaults,
-    rng: SmallRng,
-}
-
-/// What the channel decided to do with one message.
-enum ChannelVerdict {
-    /// Silently dropped in flight.
-    Lost,
-    /// Dropped by the receiver's checksum (payload corrupted).
-    Corrupted,
-    /// Delivered, possibly late and/or twice.
-    Pass {
-        delay_us: u64,
-        duplicate_at_us: Option<u64>,
-        reordered: bool,
-    },
-}
-
-impl FaultInjector {
-    /// Draws this message's fate. Draw order is fixed (loss, corruption,
-    /// reorder, duplication) so identical configurations replay
-    /// identically.
-    fn judge(&mut self, base_delay_us: u64) -> ChannelVerdict {
-        let c = &self.cfg;
-        let rng = &mut self.rng;
-        if c.loss > 0.0 && rng.gen_bool(c.loss) {
-            return ChannelVerdict::Lost;
-        }
-        if c.corrupt > 0.0 && rng.gen_bool(c.corrupt) {
-            return ChannelVerdict::Corrupted;
-        }
-        let jitter = c.jitter_us.max(1);
-        let mut delay_us = base_delay_us;
-        let mut reordered = false;
-        if c.reorder > 0.0 && rng.gen_bool(c.reorder) {
-            reordered = true;
-            delay_us += rng.gen_range(1..=jitter);
-        }
-        let duplicate_at_us = if c.duplicate > 0.0 && rng.gen_bool(c.duplicate) {
-            Some(delay_us + rng.gen_range(1..=jitter))
-        } else {
-            None
-        };
-        ChannelVerdict::Pass {
-            delay_us,
-            duplicate_at_us,
-            reordered,
-        }
     }
 }
 

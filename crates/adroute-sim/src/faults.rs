@@ -8,8 +8,12 @@
 //!
 //! - **Channel faults** ([`ChannelFaults`]): per-message loss,
 //!   corruption (detected at the receiver and dropped), duplication, and
-//!   reordering (extra delay jitter), drawn from a seeded RNG owned by the
-//!   engine so runs stay deterministic.
+//!   reordering (extra delay jitter). Each message's fate is a pure
+//!   function of its *identity* — the configured seed, the sending AD,
+//!   and the sender's cumulative send ordinal — drawn from a fresh
+//!   counter-keyed RNG per message, so verdicts are independent of
+//!   global draw order and byte-identical under the sequential and
+//!   region-parallel engines at any worker count.
 //! - **Router crashes** ([`CrashModel`], [`RouterOutage`]): a crashed
 //!   router loses *all* soft state — it is rebuilt from
 //!   [`Protocol::make_router`](crate::Protocol::make_router) at restart —
@@ -35,12 +39,12 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use adroute_topology::{AdId, Topology};
+use adroute_topology::{AdId, LinkId, Topology};
 
 use crate::engine::{Engine, Protocol};
 use crate::event::SimTime;
 use crate::obs::EventId;
-use crate::schedule::{FailureModel, FailureSchedule};
+use crate::schedule::{FailureModel, FailureSchedule, LinkEvent};
 
 /// Per-message channel fault probabilities. All default to zero; a default
 /// `ChannelFaults` is a perfect channel.
@@ -86,6 +90,77 @@ impl ChannelFaults {
     pub fn active_at(&self, now: SimTime) -> bool {
         self.until.is_none_or(|t| now <= t)
     }
+
+    /// SplitMix64 finalizer over the message identity. `seed_from_u64`
+    /// expands the result through SplitMix64 again, so this only needs to
+    /// separate nearby `(sender, ordinal)` pairs — the two odd-constant
+    /// multiplies do that.
+    fn event_key(&self, from: AdId, ordinal: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((from.0 as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(ordinal.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Draws one message's fate as a **pure function of event identity**:
+    /// the configured seed, the sending AD, and that sender's cumulative
+    /// send ordinal. Each call seeds a fresh RNG from the mixed key, so
+    /// the verdict does not depend on how many other messages anyone else
+    /// has sent — a lane of the parallel engine and the sequential
+    /// dispatch loop compute byte-identical answers at any worker count.
+    ///
+    /// The per-message draw order is fixed (loss, corruption, reorder,
+    /// duplication) so identical configurations replay identically.
+    pub(crate) fn judge(&self, from: AdId, ordinal: u64, base_delay_us: u64) -> ChannelVerdict {
+        let mut rng = SmallRng::seed_from_u64(self.event_key(from, ordinal));
+        if self.loss > 0.0 && rng.gen_bool(self.loss) {
+            return ChannelVerdict::Lost;
+        }
+        if self.corrupt > 0.0 && rng.gen_bool(self.corrupt) {
+            return ChannelVerdict::Corrupted;
+        }
+        let jitter = self.jitter_us.max(1);
+        let mut delay_us = base_delay_us;
+        let mut reordered = false;
+        if self.reorder > 0.0 && rng.gen_bool(self.reorder) {
+            reordered = true;
+            delay_us += rng.gen_range(1..=jitter);
+        }
+        let duplicate_at_us = if self.duplicate > 0.0 && rng.gen_bool(self.duplicate) {
+            Some(delay_us + rng.gen_range(1..=jitter))
+        } else {
+            None
+        };
+        ChannelVerdict::Pass {
+            delay_us,
+            duplicate_at_us,
+            reordered,
+        }
+    }
+}
+
+/// What the channel decided to do with one message. Produced by
+/// [`ChannelFaults::judge`]; the sequential dispatch loop and the
+/// parallel lanes must interpret it identically (same record order, same
+/// push order) for trace byte identity to hold.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ChannelVerdict {
+    /// Silently dropped in flight.
+    Lost,
+    /// Dropped by the receiver's checksum (payload corrupted).
+    Corrupted,
+    /// Delivered, possibly late and/or twice.
+    Pass {
+        /// Actual delay, ≥ the link delay (jitter only ever adds).
+        delay_us: u64,
+        /// If `Some`, a second copy arrives this long after the send.
+        duplicate_at_us: Option<u64>,
+        /// Whether jitter was applied (counted as a reorder).
+        reordered: bool,
+    },
 }
 
 /// Parameters of a random router crash/restart process, mirroring
@@ -268,6 +343,28 @@ impl MisbehaviorSpec {
     }
 }
 
+/// A partition fault: a **cut set** of links fails simultaneously,
+/// splitting the flooding domain into two islands that cannot exchange
+/// any routing traffic until the cut heals.
+///
+/// The split is by AD index: ADs `< split` form the left island, the rest
+/// the right. During the cut, every metric toward the far island
+/// legitimately counts toward infinity and every far destination is
+/// unreachable — the partition-aware monitors
+/// ([`Observation::MetricSample`](crate::monitor::Observation)'s
+/// `reachable` flag) must not quarantine anyone for that.
+#[derive(Clone, Debug)]
+pub struct PartitionSpec {
+    /// The cut set: every operational link with one endpoint on each side.
+    pub cut: Vec<LinkId>,
+    /// ADs `< split` are the left island; the rest are the right.
+    pub split: u32,
+    /// When the cut set goes down (the partition begins).
+    pub at: SimTime,
+    /// When the cut set comes back up (the heal).
+    pub heal_at: SimTime,
+}
+
 /// A concrete, deterministic fault scenario over a time horizon: link
 /// events, router outages, and a channel fault configuration, ready to
 /// [`apply`](FaultPlan::apply) to an engine.
@@ -277,6 +374,7 @@ pub struct FaultPlan {
     outages: Vec<RouterOutage>,
     channel: Option<ChannelFaults>,
     misbehavior: MisbehaviorSpec,
+    partition: Option<PartitionSpec>,
     horizon_end: SimTime,
     heal: bool,
 }
@@ -310,9 +408,81 @@ impl FaultPlan {
             outages,
             channel,
             misbehavior: spec.misbehavior.clone(),
+            partition: None,
             horizon_end: end,
             heal: true,
         }
+    }
+
+    /// A pure partition plan: the cut set of every operational link
+    /// straddling AD index `split` goes down at `at` and heals at
+    /// `heal_at`, with the standard healed ending (resynchronization
+    /// sweep just past the horizon). No other faults are injected, so
+    /// any quarantine fired during `[at, heal_at)` is a false positive
+    /// by construction — the property `tests/monitors.rs` pins down.
+    ///
+    /// Returns `None` if the split produces no cut set (an empty side,
+    /// or no straddling links — the domain would not actually split).
+    pub fn partition(
+        topo: &Topology,
+        split: u32,
+        at: SimTime,
+        heal_at: SimTime,
+    ) -> Option<FaultPlan> {
+        assert!(at < heal_at, "partition must heal after it cuts");
+        let cut = cut_set(topo, split);
+        if cut.is_empty() || split == 0 || split as usize >= topo.num_ads() {
+            return None;
+        }
+        let mut events = Vec::with_capacity(cut.len() * 2);
+        for &link in &cut {
+            events.push(LinkEvent {
+                at,
+                link,
+                up: false,
+            });
+            events.push(LinkEvent {
+                at: heal_at,
+                link,
+                up: true,
+            });
+        }
+        Some(FaultPlan {
+            links: FailureSchedule::from_events(events),
+            outages: Vec::new(),
+            channel: None,
+            misbehavior: MisbehaviorSpec::default(),
+            partition: Some(PartitionSpec {
+                cut,
+                split,
+                at,
+                heal_at,
+            }),
+            horizon_end: heal_at,
+            heal: true,
+        })
+    }
+
+    /// Composes a partition into an existing plan, builder-style: the cut
+    /// set's down/heal events merge into the link schedule and the plan
+    /// horizon extends to cover the heal. Returns the plan unchanged when
+    /// the split yields no cut set.
+    pub fn with_partition(
+        mut self,
+        topo: &Topology,
+        split: u32,
+        at: SimTime,
+        heal_at: SimTime,
+    ) -> FaultPlan {
+        let Some(part) = FaultPlan::partition(topo, split, at, heal_at) else {
+            return self;
+        };
+        let mut events = self.links.events().to_vec();
+        events.extend_from_slice(part.links.events());
+        self.links = FailureSchedule::from_events(events);
+        self.partition = part.partition;
+        self.horizon_end = self.horizon_end.max(heal_at);
+        self
     }
 
     /// A hand-built plan (for tests and targeted experiments). `heal`
@@ -330,6 +500,7 @@ impl FaultPlan {
             outages,
             channel,
             misbehavior: MisbehaviorSpec::default(),
+            partition: None,
             horizon_end,
             heal,
         }
@@ -359,6 +530,18 @@ impl FaultPlan {
     /// The channel fault configuration, if any.
     pub fn channel(&self) -> Option<&ChannelFaults> {
         self.channel.as_ref()
+    }
+
+    /// Attaches (or replaces) the channel fault configuration,
+    /// builder-style.
+    pub fn with_channel(mut self, channel: ChannelFaults) -> FaultPlan {
+        self.channel = Some(channel);
+        self
+    }
+
+    /// The partition component, if this plan cuts the flooding domain.
+    pub fn partition_spec(&self) -> Option<&PartitionSpec> {
+        self.partition.as_ref()
     }
 
     /// End of the fault horizon; with healing, the network is fault-free
@@ -413,6 +596,23 @@ impl FaultPlan {
                 (*ad, id)
             })
             .collect();
+        if let Some(p) = &self.partition {
+            let n = engine.topo().num_ads() as u64;
+            engine.note_caused(
+                plan_id,
+                crate::obs::EventRecord::PartitionCut {
+                    links: p.cut.len() as u64,
+                    left: p.split as u64,
+                    right: n.saturating_sub(p.split as u64),
+                },
+            );
+            engine.note_caused(
+                plan_id,
+                crate::obs::EventRecord::PartitionHeal {
+                    links: p.cut.len() as u64,
+                },
+            );
+        }
         // Final scheduled state per link: starts from current topology,
         // then follows the plan's events.
         let mut final_up: Vec<bool> = engine.topo().links().map(|l| l.up).collect();
@@ -424,7 +624,12 @@ impl FaultPlan {
             engine.schedule_router_change_caused(o.ad, false, o.down_at, plan_id);
             engine.schedule_router_change_caused(o.ad, true, o.up_at, plan_id);
         }
-        engine.set_channel_faults(self.channel.clone());
+        // Only install channel faults the plan actually carries: a
+        // channel-free plan (e.g. a pure partition) composed on top of a
+        // lossy one must not silently clean the channel.
+        if self.channel.is_some() {
+            engine.set_channel_faults(self.channel.clone());
+        }
         if self.heal {
             let link_ids: Vec<_> = engine.topo().links().map(|l| l.id).collect();
             for link in &link_ids {
@@ -442,6 +647,17 @@ impl FaultPlan {
         }
         roots
     }
+}
+
+/// Every currently-operational link with one endpoint on each side of the
+/// AD-index `split` — downing all of them at once partitions the domain
+/// (assuming the split separates the connectivity, which it does for the
+/// contiguous generators used throughout this repo).
+fn cut_set(topo: &Topology, split: u32) -> Vec<LinkId> {
+    topo.links()
+        .filter(|l| l.up && ((l.a.0 < split) != (l.b.0 < split)))
+        .map(|l| l.id)
+        .collect()
 }
 
 /// Draws alternating crash/restart outages per fallible router, every

@@ -23,6 +23,16 @@
 //!   *destination* under churn, not the culprit — distance vectors carry
 //!   no provenance, which is itself a finding (DESIGN.md §3.10).
 //!
+//! **Unreachable ≠ byzantine.** During a network partition every metric
+//! toward the far island legitimately counts toward infinity and every
+//! far destination goes undelivered; neither is evidence of misbehavior.
+//! Feeders therefore tag each observation with ground-truth
+//! reachability ([`Observation::Blackholed::reachable`] and
+//! [`Observation::MetricSample::reachable`], both computed from the
+//! engine's topology over *operational* links), and the detectors treat
+//! unreachable symptoms as streak-breaking noise. A pure partition fires
+//! zero quarantines — the property `tests/monitors.rs` pins down.
+//!
 //! Monitors are deliberately protocol-agnostic: they consume abstract
 //! [`Observation`]s that a per-protocol feeder (the forwarding harness,
 //! the ORWG data plane) derives each monitoring tick, so the same bank
@@ -63,6 +73,11 @@ pub enum Observation {
         /// The repeating AD cycle (first AD repeated at the end or not —
         /// only membership matters).
         cycle: Vec<AdId>,
+        /// Whether ground truth says `dst` is reachable right now. A
+        /// transient loop toward an unreachable destination is ordinary
+        /// count-to-infinity churn (e.g. mid-partition), not evidence of
+        /// misbehavior; such ticks break the loop streak.
+        reachable: bool,
     },
     /// A probe packet died at `at` without reaching `dst`.
     Blackholed {
@@ -86,6 +101,12 @@ pub enum Observation {
         metric: u32,
         /// The protocol's infinity (unreachable) sentinel.
         infinity: u32,
+        /// Whether ground truth says `dst` is reachable from the sampled
+        /// router over operational links right now. A metric climbing
+        /// toward an *unreachable* destination is correct convergence
+        /// (e.g. during a partition), not count-to-infinity; such
+        /// samples break the climb streak instead of advancing it.
+        reachable: bool,
     },
 }
 
@@ -219,7 +240,15 @@ impl MonitorBank {
                         self.fire(DET_POLICY, v, ev, &mut new_alarms);
                     }
                 }
-                Observation::Looped { src, dst, cycle } => {
+                Observation::Looped {
+                    src,
+                    dst,
+                    cycle,
+                    reachable,
+                } => {
+                    if !reachable {
+                        continue; // count-to-infinity churn, not misbehavior
+                    }
                     // Blame deterministically: the smallest AD in the
                     // cycle (membership is what the monitor can see).
                     let suspect = cycle.iter().copied().min().unwrap_or(src);
@@ -255,12 +284,13 @@ impl MonitorBank {
                     dst,
                     metric,
                     infinity,
+                    reachable,
                 } => {
                     let e = self
                         .climb_streaks
                         .entry((router, dst))
                         .or_insert((metric, 0));
-                    if metric > e.0 && metric < infinity {
+                    if reachable && metric > e.0 && metric < infinity {
                         e.1 += 1;
                     } else {
                         e.1 = 0;
@@ -467,6 +497,7 @@ mod tests {
             src: AdId(0),
             dst: AdId(5),
             cycle: vec![AdId(3), AdId(1)],
+            reachable: true,
         };
         assert!(tickf(&mut bank, &mut obs, vec![looped()]).is_empty());
         assert!(tickf(&mut bank, &mut obs, vec![looped()]).is_empty());
@@ -513,6 +544,7 @@ mod tests {
             dst: AdId(7),
             metric: m,
             infinity: 64,
+            reachable: true,
         };
         for m in [2, 4, 6] {
             assert!(tickf(&mut bank, &mut obs, vec![sample(m)]).is_empty());
@@ -530,6 +562,40 @@ mod tests {
             assert!(tickf(&mut bank2, &mut obs, vec![sample(m)]).is_empty());
         }
         assert!(bank2.silent());
+    }
+
+    #[test]
+    fn cti_watchdog_ignores_climbs_toward_unreachable_destinations() {
+        // A partition makes metrics toward the far island climb — that is
+        // correct convergence, and the reachable=false tag must keep the
+        // watchdog silent no matter how long the climb runs.
+        let mut bank = MonitorBank::new(MonitorConfig {
+            cti_ticks: 2,
+            ..MonitorConfig::default()
+        });
+        let mut obs = Obs::new(64);
+        let sample = |m: u32, reachable: bool| Observation::MetricSample {
+            at: AdId(1),
+            dst: AdId(7),
+            metric: m,
+            infinity: 64,
+            reachable,
+        };
+        for m in [2, 4, 6, 8, 10, 12] {
+            assert!(tickf(&mut bank, &mut obs, vec![sample(m, false)]).is_empty());
+        }
+        assert!(bank.silent());
+        // Unreachable samples also *break* a streak built while reachable.
+        let mut bank2 = MonitorBank::new(MonitorConfig {
+            cti_ticks: 3,
+            ..MonitorConfig::default()
+        });
+        assert!(tickf(&mut bank2, &mut obs, vec![sample(2, true)]).is_empty());
+        assert!(tickf(&mut bank2, &mut obs, vec![sample(4, true)]).is_empty());
+        assert!(tickf(&mut bank2, &mut obs, vec![sample(6, false)]).is_empty());
+        assert!(tickf(&mut bank2, &mut obs, vec![sample(8, true)]).is_empty());
+        assert!(tickf(&mut bank2, &mut obs, vec![sample(10, true)]).is_empty());
+        assert!(bank2.silent(), "the unreachable tick reset the streak");
     }
 
     #[test]

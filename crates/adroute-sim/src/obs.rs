@@ -187,6 +187,21 @@ pub enum EventRecord {
         /// Whether a lossy channel model was installed.
         lossy: bool,
     },
+    /// A partition fault scheduled: a cut set of links goes down
+    /// together, splitting the flooding domain into two islands.
+    PartitionCut {
+        /// Links in the cut set.
+        links: u64,
+        /// ADs on the low-index side of the split.
+        left: u64,
+        /// ADs on the high-index side of the split.
+        right: u64,
+    },
+    /// The partition's heal scheduled: the cut set comes back up.
+    PartitionHeal {
+        /// Links restored.
+        links: u64,
+    },
     /// A measurement phase boundary (see [`Stats::begin_phase`](crate::Stats::begin_phase)).
     PhaseBegin {
         /// Phase name (`"converge"`, `"failure-response"`, `"churn"`, …).
@@ -457,6 +472,10 @@ impl fmt::Display for EventRecord {
                 f,
                 "fault-plan links={link_events} outages={outages} lossy={lossy}"
             ),
+            PartitionCut { links, left, right } => {
+                write!(f, "partition-cut links={links} left={left} right={right}")
+            }
+            PartitionHeal { links } => write!(f, "partition-heal links={links}"),
             PhaseBegin { name } => write!(f, "phase {name}"),
             LsaOriginate { origin, seq, links } => {
                 write!(f, "lsa-originate {origin} seq={seq} links={links}")
@@ -580,6 +599,8 @@ impl EventRecord {
             ChanReorder { .. } => "chan-reorder",
             ChanDup { .. } => "chan-dup",
             FaultPlanApplied { .. } => "fault-plan",
+            PartitionCut { .. } => "partition-cut",
+            PartitionHeal { .. } => "partition-heal",
             PhaseBegin { .. } => "phase",
             LsaOriginate { .. } => "lsa-originate",
             LsaAccept { .. } => "lsa-accept",
@@ -676,6 +697,12 @@ impl EventRecord {
                     s,
                     ",\"link_events\":{link_events},\"outages\":{outages},\"lossy\":{lossy}"
                 );
+            }
+            PartitionCut { links, left, right } => {
+                let _ = write!(s, ",\"links\":{links},\"left\":{left},\"right\":{right}");
+            }
+            PartitionHeal { links } => {
+                let _ = write!(s, ",\"links\":{links}");
             }
             PhaseBegin { name } => {
                 let _ = write!(s, ",\"name\":\"{}\"", json_escape(name));
@@ -903,6 +930,8 @@ impl EventRecord {
             | LinkDown { .. }
             | LinkUpMasked { .. }
             | FaultPlanApplied { .. }
+            | PartitionCut { .. }
+            | PartitionHeal { .. }
             | PhaseBegin { .. }
             | ViewDeltaApply { .. } => [None, None],
             LsaOriginate { origin, .. } => [Some(origin), None],

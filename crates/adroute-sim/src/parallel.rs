@@ -15,8 +15,14 @@
 //!    `wend = min(t0 + lookahead, next control event, until + 1)`.
 //!    Control events (link/router state changes) mutate shared topology
 //!    state, so they bound every window and run sequentially between
-//!    windows, as do whole windows whenever channel faults are active
-//!    (fault draws consume a global RNG in event order).
+//!    windows. Channel faults do *not* force sequential execution:
+//!    every fault verdict is a pure function of the message's identity
+//!    (config seed, sending AD, per-AD send ordinal — see
+//!    [`ChannelFaults::judge`]), so a lane draws exactly the verdict the
+//!    sequential engine would, with no shared RNG to race on. Fault
+//!    jitter only ever *adds* delay, so delayed and duplicated copies
+//!    still respect the lookahead bound (they escape the window rather
+//!    than crossing a region early).
 //! 3. Each region's lane processes its in-window events on its own thread
 //!    against a *shared immutable* topology and a private slice of the
 //!    router arena, recording a **journal**: per processed event, the
@@ -50,6 +56,7 @@ use adroute_topology::{min_cross_region_delay, AdId, RegionMap, Topology};
 
 use crate::engine::{Ctx, Engine, Protocol, Scratch};
 use crate::event::{Event, EventKind, SimTime};
+use crate::faults::{ChannelFaults, ChannelVerdict};
 use crate::obs::{EventId, EventRecord, MetricsRegistry};
 use crate::stats::Stats;
 
@@ -108,15 +115,24 @@ struct JPush<M> {
 }
 
 /// The journal of one processed event, consumed by commit in pop order.
-struct JEntry<M> {
+/// Records and pushes live in the lane's flat arenas ([`LaneResult`]);
+/// an entry holds only `[start, end)` ranges into them. One arena append
+/// per effect replaces the two per-event `Vec` allocations the journal
+/// used to make, which dominated the faulted hot path's allocator
+/// traffic (every fault verdict emits an extra record).
+struct JEntry {
     time: SimTime,
-    records: Vec<JRecord>,
-    pushes: Vec<JPush<M>>,
+    records: (u32, u32),
+    pushes: (u32, u32),
 }
 
 /// Everything a lane hands back to the committing thread.
 struct LaneResult<M> {
-    journal: Vec<JEntry<M>>,
+    journal: Vec<JEntry>,
+    /// Flat record arena; `JEntry::records` ranges index into it.
+    rec_arena: Vec<JRecord>,
+    /// Flat push arena; `JEntry::pushes` ranges index into it.
+    push_arena: Vec<JPush<M>>,
     stats: Stats,
     /// Messages sent per AD of this region, indexed relative to the
     /// region base (keeps per-lane allocation proportional to the region,
@@ -134,6 +150,8 @@ impl<M> LaneResult<M> {
     fn empty() -> LaneResult<M> {
         LaneResult {
             journal: Vec::new(),
+            rec_arena: Vec::new(),
+            push_arena: Vec::new(),
             stats: Stats::new(0),
             per_ad: Vec::new(),
             wall_ns: 0,
@@ -187,11 +205,19 @@ struct Lane<'a, P: Protocol> {
     /// Next symbolic record index ([`CauseRef::Local`]).
     symct: u32,
     heap: BinaryHeap<LaneEv<P::Msg>>,
-    journal: Vec<JEntry<P::Msg>>,
-    cur_records: Vec<JRecord>,
-    cur_pushes: Vec<JPush<P::Msg>>,
+    journal: Vec<JEntry>,
+    rec_arena: Vec<JRecord>,
+    push_arena: Vec<JPush<P::Msg>>,
     stats: Stats,
     per_ad: Vec<u64>,
+    /// Channel-fault configuration shared with the engine (None = clean).
+    faults: Option<&'a ChannelFaults>,
+    /// `stats.per_ad_msgs` snapshot at window fan-out. A sender's draw
+    /// ordinal is `per_ad_base[ad] + per_ad[ad - region.start]` — the
+    /// same cumulative count the sequential engine would hold, because
+    /// all of an AD's dispatches happen in its one lane in
+    /// sequential-restricted order.
+    per_ad_base: &'a [u64],
     scratch: Scratch<P::Msg>,
     emitted: Vec<CauseRef>,
 }
@@ -216,6 +242,8 @@ impl<'a, P: Protocol> Lane<'a, P> {
         debug_assert!(ev.time >= self.now && ev.time < self.wend);
         self.now = ev.time;
         self.stats.events += 1;
+        let rec_mark = self.rec_arena.len() as u32;
+        let push_mark = self.push_arena.len() as u32;
         let cause = ev.cause;
         match ev.kind {
             EventKind::Start { ad } => {
@@ -256,8 +284,8 @@ impl<'a, P: Protocol> Lane<'a, P> {
         }
         self.journal.push(JEntry {
             time: self.now,
-            records: std::mem::take(&mut self.cur_records),
-            pushes: std::mem::take(&mut self.cur_pushes),
+            records: (rec_mark, self.rec_arena.len() as u32),
+            pushes: (push_mark, self.push_arena.len() as u32),
         });
     }
 
@@ -271,7 +299,7 @@ impl<'a, P: Protocol> Lane<'a, P> {
         if !self.observing {
             return cause;
         }
-        self.cur_records.push(JRecord { cause, rec });
+        self.rec_arena.push(JRecord { cause, rec });
         let r = CauseRef::Local(self.symct);
         self.symct += 1;
         r
@@ -290,7 +318,7 @@ impl<'a, P: Protocol> Lane<'a, P> {
             );
             let seq = self.temp_seq;
             self.temp_seq += 1;
-            self.cur_pushes.push(JPush {
+            self.push_arena.push(JPush {
                 time,
                 cause,
                 payload: None,
@@ -302,7 +330,7 @@ impl<'a, P: Protocol> Lane<'a, P> {
                 kind,
             });
         } else {
-            self.cur_pushes.push(JPush {
+            self.push_arena.push(JPush {
                 time,
                 cause,
                 payload: Some(kind),
@@ -310,9 +338,11 @@ impl<'a, P: Protocol> Lane<'a, P> {
         }
     }
 
-    /// Mirrors [`Engine::dispatch`] with journaled effects. Channel
-    /// faults never reach a lane (fault runs are fully sequential), so
-    /// the in-flight verdict branch has no counterpart here.
+    /// Mirrors [`Engine::dispatch`] with journaled effects, including the
+    /// channel-fault verdict branch: each verdict is keyed on (seed,
+    /// sender, per-AD send ordinal), so the lane draws exactly what the
+    /// sequential engine would — same records, same push order (duplicate
+    /// copy before the primary copy), same stat counters.
     fn dispatch<F>(&mut self, ad: AdId, cause: CauseRef, f: F)
     where
         F: FnOnce(&P, &mut P::Router, &mut Ctx<'_, P::Msg>),
@@ -362,6 +392,58 @@ impl<'a, P: Protocol> Lane<'a, P> {
                     bytes,
                 },
             );
+            let mut delay = delay;
+            let mut dup_at = None;
+            let verdict = match self.faults {
+                Some(cfg) if cfg.active_at(self.now) => {
+                    let ordinal =
+                        self.per_ad_base[ad.index()] + self.per_ad[ad.index() - self.region.start];
+                    Some(cfg.judge(ad, ordinal, delay))
+                }
+                _ => None,
+            };
+            if let Some(verdict) = verdict {
+                match verdict {
+                    ChannelVerdict::Lost => {
+                        self.stats.msgs_lost += 1;
+                        self.jemit(hop_cause, EventRecord::ChanLoss { from: ad, to, link });
+                        continue;
+                    }
+                    ChannelVerdict::Corrupted => {
+                        self.stats.msgs_corrupted += 1;
+                        self.jemit(hop_cause, EventRecord::ChanCorrupt { from: ad, to, link });
+                        continue;
+                    }
+                    ChannelVerdict::Pass {
+                        delay_us,
+                        duplicate_at_us,
+                        reordered,
+                    } => {
+                        if reordered {
+                            self.stats.msgs_reordered += 1;
+                            self.jemit(hop_cause, EventRecord::ChanReorder { from: ad, to, link });
+                        }
+                        if let Some(d) = duplicate_at_us {
+                            self.stats.msgs_duplicated += 1;
+                            self.jemit(hop_cause, EventRecord::ChanDup { from: ad, to, link });
+                            dup_at = Some(self.now.plus_us(d));
+                        }
+                        delay = delay_us;
+                    }
+                }
+            }
+            if let Some(at) = dup_at {
+                self.jpush(
+                    at,
+                    hop_cause,
+                    EventKind::Deliver {
+                        to,
+                        from: ad,
+                        link,
+                        msg: msg.clone(),
+                    },
+                );
+            }
             let at = self.now.plus_us(delay);
             self.jpush(
                 at,
@@ -397,6 +479,8 @@ impl<'a, P: Protocol> Lane<'a, P> {
     fn finish(self) -> LaneResult<P::Msg> {
         LaneResult {
             journal: self.journal,
+            rec_arena: self.rec_arena,
+            push_arena: self.push_arena,
             stats: self.stats,
             per_ad: self.per_ad,
             wall_ns: 0,
@@ -431,9 +515,10 @@ where
     }
 
     /// The shared scheduler: alternates sequential islands (control
-    /// events, zero-lookahead points, active fault injection) with
-    /// parallel windows, preserving the sequential total order
-    /// throughout.
+    /// events, zero-lookahead points) with parallel windows, preserving
+    /// the sequential total order throughout. Channel faults run inside
+    /// the windows — verdicts are event-keyed, so lanes draw them
+    /// independently (see the module docs).
     fn run_parallel_inner(&mut self, until: Option<SimTime>, num_regions: usize) {
         let start_events = self.stats.events;
         let budget_check = |e: &Engine<P>| {
@@ -444,10 +529,10 @@ where
                 e.now
             );
         };
-        // Channel faults draw from one global RNG in event order; any
-        // partition would reorder the draws. Run those configurations
-        // sequentially (they are fault experiments, not scale runs).
-        if self.faults.is_some() || num_regions <= 1 || self.topo.num_ads() < 2 {
+        // The only remaining sequential path: a single region (or a
+        // degenerate topology) has no parallelism to exploit. Faulted
+        // configurations run parallel like everything else.
+        if num_regions <= 1 || self.topo.num_ads() < 2 {
             match until {
                 Some(u) => self.run_until(u),
                 None => {
@@ -547,6 +632,10 @@ where
         let protocol = &self.protocol;
         let router_up = self.router_up.as_slice();
         let incarnations = self.incarnations.as_slice();
+        let faults = self.faults.as_ref();
+        // Ordinal base for event-keyed fault draws: stats are untouched
+        // during fan-out, so this borrow is valid for the whole window.
+        let per_ad_base = self.stats.per_ad_msgs.as_slice();
         // Contiguous regions -> disjoint &mut slices of the router arena.
         let mut slices: Vec<&mut [P::Router]> = Vec::with_capacity(nl);
         let mut rest: &mut [P::Router] = self.routers.as_mut_slice();
@@ -595,10 +684,12 @@ where
                         symct: 0,
                         heap: seed.into(),
                         journal: Vec::new(),
-                        cur_records: Vec::new(),
-                        cur_pushes: Vec::new(),
+                        rec_arena: Vec::new(),
+                        push_arena: Vec::new(),
                         stats: Stats::new(0),
                         per_ad,
+                        faults,
+                        per_ad_base,
                         scratch: Scratch::default(),
                         emitted: Vec::new(),
                     };
@@ -630,16 +721,19 @@ where
         };
         while let Some(stub) = skel.pop() {
             let lane = stub.lane as usize;
-            let entry = &mut results[lane].journal[cursors[lane]];
+            let res = &mut results[lane];
+            let entry = &res.journal[cursors[lane]];
+            let (r0, r1) = entry.records;
+            let (p0, p1) = entry.pushes;
             cursors[lane] += 1;
             debug_assert_eq!(entry.time, stub.time, "journal out of step with skeleton");
             self.now = stub.time;
-            for jr in std::mem::take(&mut entry.records) {
+            for jr in &res.rec_arena[r0 as usize..r1 as usize] {
                 let parent = resolve(&symtab, lane, jr.cause);
                 let id = self.emit(parent, jr.rec);
                 symtab[lane].push(id.or(parent));
             }
-            for jp in entry.pushes.iter_mut() {
+            for jp in res.push_arena[p0 as usize..p1 as usize].iter_mut() {
                 let seq = self.seq;
                 self.seq += 1;
                 let time = jp.time;
@@ -814,16 +908,24 @@ mod tests {
     }
 
     #[test]
-    fn faulted_runs_fall_back_to_sequential() {
-        use crate::faults::ChannelFaults;
+    fn faulted_parallel_matches_sequential() {
+        // The event-keyed draw makes faulted runs parallel-safe: every
+        // verdict (loss / corrupt / dup / reorder) lands identically at
+        // any region count, so trace, JSONL, and fault counters match.
+        let mixed = ChannelFaults {
+            loss: 0.15,
+            corrupt: 0.05,
+            duplicate: 0.1,
+            reorder: 0.1,
+            jitter_us: 400,
+            seed: 11,
+            ..ChannelFaults::default()
+        };
         let drive = |regions: Option<usize>| {
-            let mut e = Engine::new(line(6), Wave);
+            let mut e = Engine::new(ring(12), Wave);
             e.enable_trace(1 << 14);
-            e.set_channel_faults(Some(ChannelFaults {
-                loss: 0.3,
-                seed: 11,
-                ..ChannelFaults::default()
-            }));
+            e.enable_obs(1 << 14);
+            e.set_channel_faults(Some(mixed.clone()));
             match regions {
                 Some(r) => {
                     e.run_to_quiescence_parallel(r);
@@ -832,8 +934,22 @@ mod tests {
                     e.run_to_quiescence();
                 }
             }
-            e.trace.render()
+            (e.trace.render(), e.obs.log.export_jsonl(), e.stats)
         };
-        assert_eq!(drive(None), drive(Some(4)));
+        let (st, sj, ss) = drive(None);
+        assert!(
+            ss.msgs_lost + ss.msgs_corrupted + ss.msgs_duplicated + ss.msgs_reordered > 0,
+            "fault config must actually bite for this test to mean anything"
+        );
+        for &r in &[2usize, 4, 8] {
+            let (pt, pj, ps) = drive(Some(r));
+            assert_eq!(st, pt, "trace diverged at {r} regions");
+            assert_eq!(sj, pj, "jsonl diverged at {r} regions");
+            assert_eq!(ss.msgs_lost, ps.msgs_lost);
+            assert_eq!(ss.msgs_corrupted, ps.msgs_corrupted);
+            assert_eq!(ss.msgs_duplicated, ps.msgs_duplicated);
+            assert_eq!(ss.msgs_reordered, ps.msgs_reordered);
+            assert_eq!(ss.per_ad_msgs, ps.per_ad_msgs);
+        }
     }
 }

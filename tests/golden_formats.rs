@@ -204,6 +204,20 @@ fn golden_event_record_json() {
             "fault-plan links=5 outages=2 lossy=true",
         ),
         (
+            EventRecord::PartitionCut {
+                links: 3,
+                left: 40,
+                right: 60,
+            },
+            r#"{"us":1500,"kind":"partition-cut","links":3,"left":40,"right":60}"#,
+            "partition-cut links=3 left=40 right=60",
+        ),
+        (
+            EventRecord::PartitionHeal { links: 3 },
+            r#"{"us":1500,"kind":"partition-heal","links":3}"#,
+            "partition-heal links=3",
+        ),
+        (
             EventRecord::MisbehaviorInject {
                 ad: AdId(6),
                 model: "route-leak",

@@ -169,6 +169,87 @@ fn audit_quickstart_export() -> String {
     net.obs.log.export_jsonl()
 }
 
+/// Chaos scenario: the quickstart internet's ORWG control plane
+/// converging, then absorbing an event-keyed fault plan — a lossy /
+/// corrupting / duplicating / reordering channel plus a partition/heal
+/// cycle across the AD-index midpoint — run on the region-parallel
+/// engine. Because every channel verdict is a pure function of event
+/// identity, the faulted stream is a stable golden artifact at *any*
+/// worker count.
+fn chaos_parallel_export(workers: Option<usize>) -> String {
+    use adroute::sim::{ChannelFaults, FaultPlan, FaultSpec};
+    let seed = 1990u64;
+    // Explicit small hierarchy: `internet()` clamps to a ~49-AD backbone
+    // subtree, too chatty for a committed golden once chaos refloods.
+    let topo = HierarchyConfig {
+        backbones: 1,
+        regionals_per_backbone: 2,
+        metros_per_regional: 2,
+        campuses_per_metro: 2,
+        lateral_prob: 0.25,
+        bypass_prob: 0.15,
+        multihome_prob: 0.25,
+        seed,
+    }
+    .generate();
+    let db = PolicyDb::permissive(&topo);
+    let mut e = Engine::new(topo.clone(), OrwgProtocol::new(&topo, db));
+    e.enable_obs(1 << 16);
+    e.begin_phase("converge");
+    match workers {
+        None => e.run_to_quiescence(),
+        Some(w) => e.run_to_quiescence_parallel(w),
+    };
+    e.begin_phase("chaos");
+    let spec = FaultSpec {
+        link_model: None,
+        crash_model: None,
+        channel: Some(ChannelFaults {
+            loss: 0.08,
+            corrupt: 0.02,
+            duplicate: 0.02,
+            reorder: 0.04,
+            jitter_us: 400,
+            seed: seed ^ 0x33,
+            ..ChannelFaults::default()
+        }),
+        misbehavior: Default::default(),
+    };
+    let horizon_ms = 20;
+    let plan = FaultPlan::draw(&topo, &spec, e.now(), horizon_ms).with_partition(
+        &topo,
+        (topo.num_ads() / 2) as u32,
+        e.now().plus_us(500),
+        e.now().plus_us(horizon_ms * 500),
+    );
+    plan.apply(&mut e);
+    match workers {
+        None => e.run_to_quiescence(),
+        Some(w) => e.run_to_quiescence_parallel(w),
+    };
+    e.obs.log.export_jsonl()
+}
+
+#[test]
+fn chaos_parallel_trace_matches_golden_at_every_worker_count() {
+    let seq = chaos_parallel_export(None);
+    assert!(seq.contains("\"kind\":\"fault-plan\""));
+    assert!(seq.contains("\"kind\":\"partition-cut\""));
+    assert!(seq.contains("\"kind\":\"partition-heal\""));
+    assert!(seq.contains("\"kind\":\"chan-loss\""));
+    assert!(seq.contains("\"kind\":\"chan-dup\""));
+    for workers in [2usize, 8] {
+        for run in 0..2 {
+            assert_eq!(
+                chaos_parallel_export(Some(workers)),
+                seq,
+                "faulted parallel trace ({workers} workers, run {run}) diverged"
+            );
+        }
+    }
+    check_golden("chaos_parallel_trace.jsonl", &seq);
+}
+
 #[test]
 fn quickstart_trace_matches_golden_and_reruns_identically() {
     let a = quickstart_export();

@@ -11,8 +11,8 @@ use adroute::protocols::ls_hbh::LsHbh;
 use adroute::protocols::naive_dv::{observe_dv_metrics, NaiveDv};
 use adroute::protocols::path_vector::PathVector;
 use adroute::sim::{
-    Alarm, Engine, MisbehaviorModel, MisbehaviorSpec, MonitorBank, MonitorConfig, Obs, Observation,
-    SimTime,
+    Alarm, Engine, FaultPlan, MisbehaviorModel, MisbehaviorSpec, MonitorBank, MonitorConfig, Obs,
+    Observation, QuarantineController, SimTime,
 };
 use adroute::topology::generate::{line, ring};
 use adroute::topology::graph::make_ad;
@@ -289,10 +289,160 @@ fn cti_watchdog_fires_on_a_monotone_climb() {
             dst: AdId(7),
             metric: m,
             infinity: 1 << 20,
+            reachable: true,
         });
         fired.extend(bank.end_tick(&mut obs, SimTime::ZERO));
     }
     let a = fired.first().expect("climb undetected");
     assert_eq!(a.detector, "count-to-infinity");
     assert_eq!(a.suspect, AdId(7));
+}
+
+/// Two 5-cycles bridged by two straddling links. Cutting both bridges at
+/// split 5 partitions the domain while each island keeps a cycle of its
+/// own, so DV metrics toward the far island genuinely count toward
+/// infinity (poisoned reverse cannot break three-party loops) and
+/// forwarding toward the far island transiently walks in circles —
+/// exactly the unreachability symptoms the partition-aware monitors must
+/// refuse to blame on any router.
+fn two_island_net() -> Topology {
+    let ads = (0..10).map(|i| make_ad(i, AdLevel::Campus)).collect();
+    let mut links = Vec::new();
+    for i in 0..5u32 {
+        links.push((AdId(i), AdId((i + 1) % 5), 1));
+        links.push((AdId(5 + i), AdId(5 + (i + 1) % 5), 1));
+    }
+    links.push((AdId(4), AdId(5), 1));
+    links.push((AdId(0), AdId(9), 1));
+    Topology::new(ads, &links)
+}
+
+#[test]
+fn pure_partition_raises_no_alarms_and_no_quarantines() {
+    let topo = two_island_net();
+    let db = PolicyDb::permissive(&topo);
+    let mut e = Engine::new(topo.clone(), NaiveDv::default());
+    e.run_to_quiescence();
+    // Every cross-island pair plus intra-island controls on both sides.
+    let flows: Vec<FlowSpec> = (0..5)
+        .map(|i| FlowSpec::best_effort(AdId(i), AdId(9 - i)))
+        .chain([
+            FlowSpec::best_effort(AdId(0), AdId(3)),
+            FlowSpec::best_effort(AdId(6), AdId(8)),
+        ])
+        .collect();
+    let cut_at = e.now().plus_us(1_000);
+    let heal_at = cut_at.plus_us(400_000);
+    let plan = FaultPlan::partition(&topo, 5, cut_at, heal_at).expect("bridge cut partitions");
+    plan.apply(&mut e);
+
+    // Aggressive thresholds: two consecutive suspicious ticks alarm, one
+    // alarm quarantines. The checkpoints span the whole count-to-infinity
+    // climb inside the partition window, so without the reachability
+    // gates this configuration would quarantine an innocent router.
+    let mut bank = MonitorBank::new(MonitorConfig {
+        loop_ticks: 2,
+        blackhole_ticks: 2,
+        cti_ticks: 2,
+    });
+    let mut obs = Obs::disabled();
+    let mut quarantine = QuarantineController::new(1);
+    for k in 1..=10u64 {
+        // Advance *within* the partition window (quiescence would run
+        // through the queued heal), then take one monitoring tick.
+        e.run_until(cut_at.plus_us(k * 30_000));
+        let truth = e.topo().clone();
+        observe_flows(&mut e, &truth, &db, &flows, &mut bank);
+        observe_dv_metrics(&e, &mut bank);
+        for a in bank.end_tick(&mut obs, e.now()) {
+            quarantine.note_alarm(&a, &mut obs, e.now());
+        }
+    }
+    assert!(bank.silent(), "pure partition alarmed: {:?}", bank.alarms());
+    assert_eq!(
+        quarantine.quarantined().count(),
+        0,
+        "false-positive quarantine during a pure partition"
+    );
+
+    // Run through the heal and the resync sweep: the domain reconverges,
+    // cross-island traffic flows again, and the monitors stay silent.
+    e.run_to_quiescence();
+    assert!(e.now() >= heal_at, "quiescence must run through the heal");
+    let truth = e.topo().clone();
+    for f in &flows {
+        let out = adroute::protocols::forwarding::forward(&mut e, &truth, f);
+        assert!(out.delivered(), "healed flow {f} undelivered: {out:?}");
+    }
+    for _ in 0..4 {
+        observe_flows(&mut e, &truth, &db, &flows, &mut bank);
+        observe_dv_metrics(&e, &mut bank);
+        for a in bank.end_tick(&mut obs, e.now()) {
+            quarantine.note_alarm(&a, &mut obs, e.now());
+        }
+    }
+    assert!(bank.silent(), "post-heal alarmed: {:?}", bank.alarms());
+    assert_eq!(quarantine.quarantined().count(), 0);
+}
+
+#[test]
+fn heal_reconciliation_matches_the_flush_oracle() {
+    use adroute::core::{OrwgNetwork, OrwgProtocol, Strategy, ViewMaintenance};
+    use adroute::policy::legality::route_is_legal;
+
+    let topo = HierarchyConfig {
+        backbones: 1,
+        lateral_prob: 0.3,
+        seed: 17,
+        ..Default::default()
+    }
+    .generate();
+    let db = PolicyWorkload::structural(17).generate(&topo);
+    let flows = sample_flows(&topo, 20, 23);
+    let split = (topo.num_ads() / 2) as u32;
+
+    let run = |mode: ViewMaintenance| {
+        let mut e = Engine::new(topo.clone(), OrwgProtocol::new(&topo, db.clone()));
+        e.run_to_quiescence();
+        let mut net = OrwgNetwork::from_engine(
+            &e,
+            Strategy::Cached { capacity: 256 },
+            OrwgNetwork::DEFAULT_HANDLE_CAPACITY,
+        );
+        net.set_view_maintenance(mode);
+        // Warm every cache pre-partition so reconciliation has stale
+        // state it must actually fix.
+        for f in &flows {
+            let _ = net.synthesize(f);
+        }
+        let cut_at = e.now().plus_us(1_000);
+        let heal_at = cut_at.plus_us(250_000);
+        let plan = FaultPlan::partition(&topo, split, cut_at, heal_at)
+            .expect("hierarchy splits at the index midpoint");
+        plan.apply(&mut e);
+        // Quiescence runs through the cut, intra-island reconvergence,
+        // the heal, and the post-horizon resync sweep.
+        e.run_to_quiescence();
+        net.refresh_from_engine(&e);
+        flows
+            .iter()
+            .map(|f| {
+                let r = net.synthesize(f);
+                if let Some(x) = &r {
+                    assert_eq!(
+                        route_is_legal(net.topo(), net.policies(), f, &x.path),
+                        Some(x.cost),
+                        "illegal post-heal route for {f}"
+                    );
+                }
+                r.map(|x| x.cost)
+            })
+            .collect::<Vec<_>>()
+    };
+    let incremental = run(ViewMaintenance::Incremental);
+    let flush = run(ViewMaintenance::Flush);
+    assert_eq!(
+        incremental, flush,
+        "post-heal incremental reconciliation diverged from the flush oracle"
+    );
 }

@@ -10,7 +10,9 @@
 use adroute::core::OrwgProtocol;
 use adroute::policy::PolicyDb;
 use adroute::protocols::naive_dv::NaiveDv;
-use adroute::sim::{Engine, Protocol};
+use adroute::sim::{
+    ChannelFaults, CrashModel, Engine, FailureModel, FaultPlan, FaultSpec, Protocol,
+};
 use adroute::topology::{HierarchyConfig, LinkId, Topology};
 use proptest::prelude::*;
 
@@ -189,5 +191,104 @@ proptest! {
         let seq = lifecycle_jsonl(&topo, NaiveDv::default(), None);
         let par = lifecycle_jsonl(&topo, NaiveDv::default(), Some(workers));
         prop_assert_eq!(seq, par);
+    }
+}
+
+/// Convergence, then a chaos phase under `spec` — drawn at the quiescent
+/// time, which is itself part of the determinism contract, so every run
+/// (sequential or parallel, any worker count) derives the identical
+/// plan. `partition` additionally splits the domain at the AD-index
+/// midpoint for the first half of the horizon and heals it.
+fn chaos_lifecycle_jsonl<P>(
+    topo: &Topology,
+    protocol: P,
+    spec: &FaultSpec,
+    partition: bool,
+    horizon_ms: u64,
+    workers: Option<usize>,
+) -> String
+where
+    P: Protocol + Sync,
+    P::Router: Send,
+    P::Msg: Send,
+{
+    let mut e = Engine::new(topo.clone(), protocol);
+    e.enable_obs(1 << 16);
+    e.begin_phase("converge");
+    match workers {
+        None => e.run_to_quiescence(),
+        Some(w) => e.run_to_quiescence_parallel(w),
+    };
+    e.begin_phase("chaos");
+    let mut plan = FaultPlan::draw(topo, spec, e.now(), horizon_ms);
+    if partition {
+        let at = e.now().plus_us(500);
+        let heal_at = e.now().plus_us(horizon_ms * 500);
+        plan = plan.with_partition(topo, (topo.num_ads() / 2) as u32, at, heal_at);
+    }
+    plan.apply(&mut e);
+    match workers {
+        None => e.run_to_quiescence(),
+        Some(w) => e.run_to_quiescence_parallel(w),
+    };
+    e.obs.log.export_jsonl()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The chaos battery: random fault plans — lossy / corrupting /
+    /// duplicating / reordering channels keyed on event identity,
+    /// optional link churn and router crashes, optional partition/heal —
+    /// must leave the parallel engine byte-identical to the sequential
+    /// one at every required worker count.
+    #[test]
+    fn random_fault_plans_parallel_matches_sequential(
+        seed in 0u64..1_000,
+        approx in 30usize..80,
+        loss in 0.0f64..0.25,
+        shape in 0u64..4,
+    ) {
+        // Two fault-plan shape bits: link/router churn, partition/heal.
+        let (churn, partition) = (shape & 1 != 0, shape & 2 != 0);
+        let topo = internet(approx, seed);
+        let horizon_ms = 40;
+        let spec = FaultSpec {
+            link_model: churn.then_some(FailureModel {
+                mtbf_ms: 15.0,
+                mttr_ms: 5.0,
+                fallible_fraction: 0.3,
+                seed: seed ^ 0x11,
+            }),
+            crash_model: churn.then_some(CrashModel {
+                mtbf_ms: 25.0,
+                mttr_ms: 6.0,
+                fallible_fraction: 0.15,
+                seed: seed ^ 0x22,
+            }),
+            channel: Some(ChannelFaults {
+                loss,
+                corrupt: loss / 4.0,
+                duplicate: loss / 4.0,
+                reorder: loss / 2.0,
+                jitter_us: 300,
+                seed: seed ^ 0x33,
+                ..ChannelFaults::default()
+            }),
+            misbehavior: Default::default(),
+        };
+        let seq = chaos_lifecycle_jsonl(
+            &topo, NaiveDv::default(), &spec, partition, horizon_ms, None,
+        );
+        for workers in [1usize, 2, 8] {
+            let par = chaos_lifecycle_jsonl(
+                &topo, NaiveDv::default(), &spec, partition, horizon_ms, Some(workers),
+            );
+            prop_assert_eq!(
+                &seq, &par,
+                "chaos divergence at {} workers (loss {}, churn {}, partition {})",
+                workers, loss, churn, partition
+            );
+        }
     }
 }
